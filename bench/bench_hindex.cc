@@ -1,0 +1,68 @@
+// Experiment E11 — Section 4.4 ablation: the linear-time h-index
+// computation (counting, no sort) vs the O(n log n) sort-based method, and
+// the reusable-scratch variant used in the SND/AND inner loops. Implemented
+// with google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "src/common/h_index.h"
+#include "src/common/rng.h"
+
+namespace nucleus {
+namespace {
+
+std::vector<Degree> MakeValues(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Degree> v(n);
+  for (auto& x : v) {
+    x = static_cast<Degree>(rng.UniformInt(0, n));
+  }
+  return v;
+}
+
+void BM_HIndexLinear(benchmark::State& state) {
+  const auto values = MakeValues(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HIndex(values));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HIndexLinear)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_HIndexSorting(benchmark::State& state) {
+  const auto values = MakeValues(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HIndexBySorting(values));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HIndexSorting)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_HIndexScratchReuse(benchmark::State& state) {
+  const auto values = MakeValues(static_cast<std::size_t>(state.range(0)), 1);
+  HIndexScratch scratch;
+  for (auto _ : state) {
+    scratch.values().assign(values.begin(), values.end());
+    benchmark::DoNotOptimize(scratch.Compute());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HIndexScratchReuse)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_HIndexPreserveCheck(benchmark::State& state) {
+  // The Section 4.4 "preserve" shortcut: confirm tau can be kept by seeing
+  // >= tau items with value >= tau, short-circuiting.
+  const auto values = MakeValues(static_cast<std::size_t>(state.range(0)), 1);
+  const Degree h = HIndex(values);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HIndexAtLeast(values, h));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HIndexPreserveCheck)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
+
+}  // namespace
+}  // namespace nucleus
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Experiment E5 + E12 — Table 4-style: iterations to convergence for SND
+// vs AND under different processing orders, against the degree-level upper
+// bound (Lemma 2) and Theorem 4 (peel order -> 1 iteration).
+// Paper shape: AND < SND <= levels; peel order == 1.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/clique/spaces.h"
+#include "src/local/and.h"
+#include "src/local/degree_levels.h"
+#include "src/local/snd.h"
+#include "src/peel/generic_peel.h"
+
+namespace nucleus::bench {
+namespace {
+
+template <typename Space>
+void Row(const std::string& graph, const std::string& kind,
+         const Space& space) {
+  const LocalResult snd = SndGeneric(space, {});
+  AndOptions natural;
+  const LocalResult and_nat = AndGeneric(space, natural);
+  AndOptions degree;
+  degree.order = AndOrder::kDegree;
+  const LocalResult and_deg = AndGeneric(space, degree);
+  AndOptions random;
+  random.order = AndOrder::kRandom;
+  random.seed = 11;
+  const LocalResult and_rnd = AndGeneric(space, random);
+  const PeelResult peel = PeelDecomposition(space);
+  AndOptions best;
+  best.order = AndOrder::kGiven;
+  best.given_order = peel.order;
+  const LocalResult and_best = AndGeneric(space, best);
+  const DegreeLevels levels = ComputeDegreeLevels(space);
+  std::printf("%-18s %-7s %6d %8d %8d %8d %10d %8zu\n", graph.c_str(),
+              kind.c_str(), snd.iterations, and_nat.iterations,
+              and_deg.iterations, and_rnd.iterations, and_best.iterations,
+              levels.num_levels);
+}
+
+void Run() {
+  Header("E5+E12 / Table 4-style — iterations to convergence",
+         "SND vs AND orders vs the degree-level bound; AND(peel order) "
+         "checks Theorem 4 (must be <= 1)");
+  std::printf("%-18s %-7s %6s %8s %8s %8s %10s %8s\n", "graph", "kind",
+              "SND", "AND-nat", "AND-deg", "AND-rnd", "AND-peel", "levels");
+  for (const auto& d : MediumSuite()) {
+    Row(d.name, "core", CoreSpace(d.graph));
+  }
+  for (const auto& d : MediumSuite()) {
+    const EdgeIndex edges(d.graph);
+    Row(d.name, "truss", TrussSpace(d.graph, edges));
+  }
+  for (const auto& d : SmallSuite()) {
+    const TriangleIndex tris(d.graph);
+    Row(d.name, "(3,4)", Nucleus34Space(d.graph, tris));
+  }
+  std::printf("\npaper shape check: AND <= SND <= levels on every row; "
+              "AND-peel <= 1 everywhere (Theorem 4).\n");
+}
+
+}  // namespace
+}  // namespace nucleus::bench
+
+int main() {
+  nucleus::bench::Run();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Experiment E10 — Section 4.4 ablation: OpenMP-style dynamic vs static
+// scheduling of the per-r-clique loop. The notification mechanism makes
+// per-item work extremely skewed (converged items are nearly free), which
+// is why the paper chose dynamic scheduling; static chunks strand one
+// thread with all the live work.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/clique/spaces.h"
+#include "src/common/timer.h"
+#include "src/local/and.h"
+#include "src/peel/generic_peel.h"
+
+namespace nucleus::bench {
+namespace {
+
+void Run() {
+  Header("E10 / Sec 4.4 ablation — dynamic vs static loop scheduling",
+         "AND with notification, 4 threads; skew comes from converged "
+         "(cheap) vs active (expensive) r-cliques");
+  std::printf("%-18s %-7s %12s %12s %9s %6s\n", "graph", "kind", "dynamic-s",
+              "static-s", "dyn/stat", "check");
+  for (const auto& d : MediumSuite()) {
+    const EdgeIndex edges(d.graph);
+    const TrussSpace space(d.graph, edges);
+    const auto kappa = PeelDecomposition(space).kappa;
+    AndOptions dyn;
+    dyn.local.threads = 4;
+    dyn.local.schedule = Schedule::kDynamic;
+    Timer t;
+    const LocalResult rd = AndGeneric(space, dyn);
+    const double dyn_s = t.Seconds();
+    AndOptions sta = dyn;
+    sta.local.schedule = Schedule::kStatic;
+    t.Restart();
+    const LocalResult rs = AndGeneric(space, sta);
+    const double sta_s = t.Seconds();
+    const bool ok = rd.tau == kappa && rs.tau == kappa;
+    std::printf("%-18s %-7s %12s %12s %9s %6s\n", d.name.c_str(), "truss",
+                Fmt(dyn_s).c_str(), Fmt(sta_s).c_str(),
+                Fmt(dyn_s / std::max(sta_s, 1e-9), 2).c_str(),
+                ok ? "ok" : "MISMATCH");
+  }
+  std::printf("\npaper shape check (multicore hosts): dynamic <= static "
+              "once convergence skew kicks in; on 1 hardware thread the "
+              "ratio is ~1 (no real concurrency).\n");
+
+  // Second ablation from Section 4.2.1: notification on vs off.
+  Header("E10b / Sec 4.2.1 ablation — notification mechanism on vs off",
+         "plateau skipping: processed-item counts and wall time, "
+         "sequential AND");
+  std::printf("%-18s %-7s %12s %12s %10s\n", "graph", "kind", "notif-s",
+              "no-notif-s", "ratio");
+  for (const auto& d : MediumSuite()) {
+    const EdgeIndex edges(d.graph);
+    const TrussSpace space(d.graph, edges);
+    AndOptions with;
+    Timer t;
+    AndGeneric(space, with);
+    const double with_s = t.Seconds();
+    AndOptions without;
+    without.use_notification = false;
+    t.Restart();
+    AndGeneric(space, without);
+    const double without_s = t.Seconds();
+    std::printf("%-18s %-7s %12s %12s %10s\n", d.name.c_str(), "truss",
+                Fmt(with_s).c_str(), Fmt(without_s).c_str(),
+                Fmt(without_s / std::max(with_s, 1e-9), 2).c_str());
+  }
+  std::printf("\npaper shape check: notification saves the plateau "
+              "recomputations (ratio > 1), most on graphs with long "
+              "convergence tails.\n");
+}
+
+}  // namespace
+}  // namespace nucleus::bench
+
+int main() {
+  nucleus::bench::Run();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Experiment E8 — Figure 10-style: the time/quality trade-off unique to the
+// local algorithms. Truncating SND after t iterations yields a valid
+// approximate decomposition (peeling has no useful intermediate state);
+// quality is measured as Kendall-tau and exact-match fraction vs kappa.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/clique/spaces.h"
+#include "src/common/timer.h"
+#include "src/local/snd.h"
+#include "src/metrics/accuracy.h"
+#include "src/metrics/kendall.h"
+#include "src/peel/generic_peel.h"
+
+namespace nucleus::bench {
+namespace {
+
+template <typename Space>
+void Series(const std::string& graph, const std::string& kind,
+            const Space& space) {
+  const PeelResult peel = PeelDecomposition(space);
+  std::printf("%-18s %-7s\n", graph.c_str(), kind.c_str());
+  std::printf("  %7s %9s %10s %9s %9s\n", "iters", "sec", "kendall",
+              "exact%", "meanerr");
+  for (int iters : {1, 2, 3, 5, 8, 0 /* = to convergence */}) {
+    LocalOptions opt;
+    opt.max_iterations = iters;
+    Timer t;
+    const LocalResult r = SndGeneric(space, opt);
+    const double secs = t.Seconds();
+    const double kt = KendallTauB(r.tau, peel.kappa);
+    const auto acc = ComputeAccuracy(r.tau, peel.kappa);
+    std::printf("  %7s %9s %10s %9s %9s\n",
+                iters == 0 ? "full" : Fmt(iters, 0).c_str(),
+                Fmt(secs).c_str(), Fmt(kt, 4).c_str(),
+                Fmt(100 * acc.exact_fraction, 1).c_str(),
+                Fmt(acc.mean_abs_error, 3).c_str());
+  }
+}
+
+void Run() {
+  Header("E8 / Fig 10-style — time vs quality trade-off (truncated SND)",
+         "quality of tau after a fixed iteration budget, vs exact kappa");
+  for (const auto& d : MediumSuite()) {
+    const EdgeIndex edges(d.graph);
+    Series(d.name, "truss", TrussSpace(d.graph, edges));
+  }
+  for (const auto& d : SmallSuite()) {
+    const TriangleIndex tris(d.graph);
+    Series(d.name, "(3,4)", Nucleus34Space(d.graph, tris));
+  }
+  std::printf("\npaper shape check: Kendall-tau climbs steeply in the first "
+              "few iterations (>0.9 by ~3), then has a long tail to exact "
+              "- hence approximation pays.\n");
+}
+
+}  // namespace
+}  // namespace nucleus::bench
+
+int main() {
+  nucleus::bench::Run();
+  return 0;
+}

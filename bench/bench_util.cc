@@ -1,0 +1,74 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "src/graph/generators.h"
+
+namespace nucleus::bench {
+
+bool FastMode() {
+  const char* env = std::getenv("NUCLEUS_BENCH_FAST");
+  return env != nullptr && env[0] == '1';
+}
+
+std::vector<Dataset> MediumSuite() {
+  const bool fast = FastMode();
+  std::vector<Dataset> suite;
+  suite.push_back({"rmat-web", "web-Google / as-skitter (power-law)",
+                   GenerateRmat(fast ? 10 : 13, 8, 101)});
+  suite.push_back({"ba-social", "soc-LiveJournal / orkut (pref. attach)",
+                   GenerateBarabasiAlbert(fast ? 2000 : 20000, 5, 102)});
+  suite.push_back({"planted-comm", "facebook (dense communities)",
+                   GeneratePlantedPartition(fast ? 4 : 8, fast ? 25 : 50,
+                                            0.5, 0.01, 103)});
+  suite.push_back({"ws-local", "web-NotreDame (high clustering)",
+                   GenerateWattsStrogatz(fast ? 2000 : 20000, 10, 0.1, 104)});
+  suite.push_back({"er-flat", "wikipedia (low clustering baseline)",
+                   GenerateErdosRenyi(fast ? 2000 : 10000,
+                                      fast ? 10000 : 50000, 105)});
+  suite.push_back({"nested-cliques", "citation hierarchy (nested nuclei)",
+                   GenerateNestedCliques(fast ? 4 : 6, 5, 4, 106)});
+  return suite;
+}
+
+std::vector<Dataset> SmallSuite() {
+  const bool fast = FastMode();
+  std::vector<Dataset> suite;
+  suite.push_back({"rmat-web-s", "web-Google (power-law)",
+                   GenerateRmat(fast ? 8 : 10, 8, 201)});
+  suite.push_back({"ba-social-s", "soc networks (pref. attach)",
+                   GenerateBarabasiAlbert(fast ? 500 : 2000, 5, 202)});
+  suite.push_back({"planted-comm-s", "facebook (dense communities)",
+                   GeneratePlantedPartition(4, fast ? 15 : 30, 0.5, 0.01,
+                                            203)});
+  suite.push_back({"nested-cliques-s", "citation hierarchy",
+                   GenerateNestedCliques(4, 5, 3, 204)});
+  return suite;
+}
+
+std::string Describe(const Dataset& d) {
+  std::ostringstream os;
+  os << d.name << " (|V|=" << d.graph.NumVertices()
+     << ", |E|=" << d.graph.NumEdges() << "; stands in for " << d.analog
+     << ")";
+  return os.str();
+}
+
+std::string Fmt(double x, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, x);
+  return buf;
+}
+
+void Header(const std::string& title, const std::string& subtitle) {
+  std::printf("\n==============================================================="
+              "=================\n");
+  std::printf("%s\n", title.c_str());
+  if (!subtitle.empty()) std::printf("%s\n", subtitle.c_str());
+  std::printf("================================================================="
+              "===============\n");
+}
+
+}  // namespace nucleus::bench

@@ -1,0 +1,43 @@
+// Shared harness utilities for the experiment benches: the synthetic dataset
+// suite standing in for the paper's Table 3 graphs (see DESIGN.md section 3)
+// and small table-printing helpers.
+#ifndef NUCLEUS_BENCH_BENCH_UTIL_H_
+#define NUCLEUS_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace nucleus::bench {
+
+/// A named dataset.
+struct Dataset {
+  std::string name;
+  std::string analog;  // which Table 3 graph family it stands in for
+  Graph graph;
+};
+
+/// Medium suite: used by the core/truss experiments. Sizes are laptop-scale
+/// but large enough to show convergence/runtime shape (10^4-10^5 edges).
+std::vector<Dataset> MediumSuite();
+
+/// Small suite: used by the (3,4) experiments, where K4 enumeration on
+/// skewed graphs is the cost driver.
+std::vector<Dataset> SmallSuite();
+
+/// Fast mode (env NUCLEUS_BENCH_FAST=1) shrinks both suites for smoke runs.
+bool FastMode();
+
+/// Prints "name: v=... e=..." one-line summary.
+std::string Describe(const Dataset& d);
+
+/// Formats a double with fixed precision.
+std::string Fmt(double x, int precision = 3);
+
+/// Prints a horizontal rule and a title.
+void Header(const std::string& title, const std::string& subtitle = "");
+
+}  // namespace nucleus::bench
+
+#endif  // NUCLEUS_BENCH_BENCH_UTIL_H_

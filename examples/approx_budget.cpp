@@ -1,0 +1,75 @@
+// Approximation under a time budget — the trade-off the peeling process
+// cannot offer (its intermediate state says nothing about the densest
+// regions, which peel last).
+//
+// Scenario: a stream-processing job must refresh the truss numbers of a
+// 20k-edge graph within a fixed budget. We truncate SND at increasing
+// iteration budgets and report accuracy, then show that the densest region
+// (the thing applications care about) is identified almost immediately.
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "src/clique/edge_index.h"
+#include "src/common/timer.h"
+#include "src/graph/generators.h"
+#include "src/local/snd.h"
+#include "src/metrics/accuracy.h"
+#include "src/metrics/kendall.h"
+#include "src/peel/ktruss.h"
+
+using namespace nucleus;
+
+int main() {
+  std::printf("generating planted communities + noise...\n");
+  const Graph g = GeneratePlantedPartition(5, 40, 0.5, 0.01, 23);
+  const EdgeIndex edges(g);
+  std::printf("graph: %zu vertices, %zu edges\n\n", g.NumVertices(),
+              g.NumEdges());
+
+  Timer t;
+  const auto exact = TrussNumbers(g, edges);
+  const double peel_s = t.Seconds();
+  std::printf("exact peeling baseline: %.3fs\n\n", peel_s);
+
+  // "The answer" applications want: the maximal-truss nucleus, i.e. the
+  // edges with exact truss number >= k_max - 1 (the densest region).
+  const Degree k_dense = MaxTruss(exact) > 0 ? MaxTruss(exact) - 1 : 0;
+  std::size_t dense_size = 0;
+  for (Degree k : exact) {
+    if (k >= k_dense) ++dense_size;
+  }
+
+  std::printf("%8s %9s %10s %9s %11s %9s\n", "budget", "sec", "kendall",
+              "exact%", "dense-prec", "recall");
+  for (int budget : {1, 2, 3, 5, 8, 0}) {
+    LocalOptions opt;
+    opt.max_iterations = budget;
+    t.Restart();
+    const LocalResult r = SndTruss(g, edges, opt);
+    const double secs = t.Seconds();
+    const auto acc = ComputeAccuracy(r.tau, exact);
+    // Candidate dense set from the approximation: {e : tau(e) >= k_dense}.
+    // tau >= kappa (Theorem 1), so this always CONTAINS the true dense set
+    // (recall == 1 by construction); precision improves with iterations.
+    std::size_t candidates = 0, correct = 0;
+    for (EdgeId e = 0; e < edges.NumEdges(); ++e) {
+      if (r.tau[e] >= k_dense) {
+        ++candidates;
+        if (exact[e] >= k_dense) ++correct;
+      }
+    }
+    std::printf("%8s %9.3f %10.4f %9.1f %11.3f %9.3f\n",
+                budget == 0 ? "full" : std::to_string(budget).c_str(), secs,
+                KendallTauB(r.tau, exact), 100 * acc.exact_fraction,
+                static_cast<double>(correct) / candidates,
+                static_cast<double>(correct) / dense_size);
+  }
+
+  std::printf("\nthe dense-region candidate set {tau >= k} always contains "
+              "the true densest nucleus (tau >= kappa, Theorem 1) and its "
+              "precision climbs within a few iterations - the opposite of "
+              "peeling, which reveals the densest edges only at the very "
+              "end.\n");
+  return 0;
+}

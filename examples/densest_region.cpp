@@ -1,0 +1,103 @@
+// Densest-region discovery — the application class that motivates dense
+// subgraph mining in the paper's introduction (spam link farms, price
+// motifs, DNA motifs). Compares three lenses on the same graph:
+//   1. greedy densest subgraph (edge density, 1/2-approx = peel order),
+//   2. triangle-densest subgraph (1/3-approx),
+//   3. the innermost k-truss nucleus from the hierarchy.
+#include <algorithm>
+#include <cstdio>
+
+#include "src/clique/edge_index.h"
+#include "src/common/rng.h"
+#include "src/core/densest.h"
+#include "src/core/nucleus_decomposition.h"
+#include "src/graph/builder.h"
+#include "src/graph/generators.h"
+
+using namespace nucleus;
+
+int main() {
+  // A "link farm": a 16-vertex near-clique hidden in a sparse 3000-vertex
+  // web-like background.
+  std::printf("planting a 16-vertex near-clique into a sparse background "
+              "graph...\n");
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  const Graph web = GenerateErdosRenyi(3000, 12000, 19);
+  for (VertexId u = 0; u < web.NumVertices(); ++u) {
+    for (VertexId v : web.Neighbors(u)) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  Rng rng(4);
+  for (VertexId u = 0; u < 16; ++u) {
+    for (VertexId v = u + 1; v < 16; ++v) {
+      if (rng.UniformReal() < 0.9) edges.emplace_back(3000 + u, 3000 + v);
+    }
+  }
+  // Wire the farm into the web so it is not a separate component.
+  for (VertexId u = 0; u < 16; ++u) {
+    edges.emplace_back(3000 + u, static_cast<VertexId>(u * 131 % 3000));
+  }
+  const Graph g = BuildGraphFromEdges(3016, edges);
+  std::printf("graph: %zu vertices, %zu edges\n\n", g.NumVertices(),
+              g.NumEdges());
+
+  auto report_overlap = [](const std::vector<VertexId>& vs) {
+    std::size_t farm = 0;
+    for (VertexId v : vs) {
+      if (v >= 3000) ++farm;
+    }
+    std::printf("    contains %zu/16 farm vertices, %zu others\n", farm,
+                vs.size() - farm);
+  };
+
+  const auto dense = ApproxDensestSubgraph(g);
+  std::printf("1. greedy densest subgraph: %zu vertices, avg degree %.2f\n",
+              dense.vertices.size(), dense.avg_degree_density);
+  report_overlap(dense.vertices);
+
+  const auto tri = ApproxTriangleDensestSubgraph(g);
+  std::printf("2. triangle-densest subgraph: %zu vertices, %llu triangles "
+              "(%.2f per vertex)\n",
+              tri.vertices.size(),
+              static_cast<unsigned long long>(tri.num_triangles),
+              tri.triangle_density);
+  report_overlap(tri.vertices);
+
+  // 3. Innermost truss nucleus.
+  const auto r =
+      Decompose(g, DecompositionKind::kTruss, {.method = Method::kAnd});
+  const auto h = DecomposeHierarchy(g, DecompositionKind::kTruss, r.kappa);
+  const EdgeIndex eidx(g);
+  int deepest = -1;
+  for (std::size_t id = 0; id < h.nodes.size(); ++id) {
+    if (deepest == -1 || h.nodes[id].k > h.nodes[deepest].k) {
+      deepest = static_cast<int>(id);
+    }
+  }
+  std::vector<VertexId> nucleus_vertices;
+  {
+    std::vector<bool> in(g.NumVertices(), false);
+    std::vector<int> stack = {deepest};
+    while (!stack.empty()) {
+      const int x = stack.back();
+      stack.pop_back();
+      for (CliqueId e : h.nodes[x].new_members) {
+        const auto [u, v] = eidx.Endpoints(static_cast<EdgeId>(e));
+        in[u] = in[v] = true;
+      }
+      for (int c : h.nodes[x].children) stack.push_back(c);
+    }
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      if (in[v]) nucleus_vertices.push_back(v);
+    }
+  }
+  std::printf("3. innermost k-truss nucleus (k=%u): %zu vertices\n",
+              h.nodes[deepest].k, nucleus_vertices.size());
+  report_overlap(nucleus_vertices);
+
+  std::printf("\nall three lenses localize the planted farm; the nucleus "
+              "hierarchy additionally situates it inside the graph's "
+              "coarser dense regions (see community_hierarchy).\n");
+  return 0;
+}

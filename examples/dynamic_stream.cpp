@@ -1,0 +1,85 @@
+// Streaming maintenance — an extension built on the paper's locality: keep
+// core numbers exact while edges arrive and expire, repairing only a local
+// region per update instead of redecomposing.
+//
+// Scenario: a sliding-window view over an interaction stream (each edge
+// lives for W steps); the application continuously reads the engagement
+// (core number) of accounts.
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+
+#include "src/common/rng.h"
+#include "src/common/timer.h"
+#include "src/graph/generators.h"
+#include "src/local/dynamic.h"
+#include "src/peel/kcore.h"
+
+using namespace nucleus;
+
+int main() {
+  const std::size_t n = 5000;
+  const int steps = 15000;
+  const int window = 5000;
+
+  std::printf("sliding-window stream on %zu vertices, window=%d edges, "
+              "%d arrivals\n\n", n, window, steps);
+
+  DynamicCoreMaintainer m(n);
+  std::deque<std::pair<VertexId, VertexId>> live;
+  Rng rng(29);
+
+  Timer t;
+  std::size_t repair_work = 0;
+  std::size_t applied = 0;
+  Degree max_core_seen = 0;
+  for (int step = 0; step < steps; ++step) {
+    // Skewed arrivals: a small hot community plus a sparse background, so
+    // core numbers are diverse (that is where local repair shines; on
+    // near-regular graphs the equal-kappa "subcore" is giant and every
+    // single-edge algorithm degenerates).
+    auto draw = [&] {
+      return static_cast<VertexId>(rng.Flip(0.6) ? rng.UniformInt(0, 149)
+                                                 : rng.UniformInt(0, n - 1));
+    };
+    const VertexId u = draw();
+    const VertexId v = draw();
+    if (m.InsertEdge(u, v)) {
+      live.emplace_back(u, v);
+      repair_work += m.LastRepairWork();
+      ++applied;
+    }
+    if (static_cast<int>(live.size()) > window) {
+      const auto [a, b] = live.front();
+      live.pop_front();
+      if (m.RemoveEdge(a, b)) {
+        repair_work += m.LastRepairWork();
+        ++applied;
+      }
+    }
+    // The application-side read: engagement of the accounts just touched.
+    max_core_seen = std::max({max_core_seen, m.CoreNumbersView()[u],
+                              m.CoreNumbersView()[v]});
+  }
+  const double stream_s = t.Seconds();
+
+  // Validate the final state and compare with the recompute-per-update
+  // alternative (estimated from one full decomposition).
+  t.Restart();
+  const auto recomputed = CoreNumbers(m.ToGraph());
+  const double one_decomp_s = t.Seconds();
+  const bool exact = recomputed == m.CoreNumbersView();
+
+  std::printf("stream processed in %.3fs (%zu mutations, mean repair work "
+              "%.1f vertices)\n", stream_s, applied,
+              static_cast<double>(repair_work) / applied);
+  std::printf("final state exact vs full recompute: %s\n",
+              exact ? "yes" : "NO (bug!)");
+  std::printf("max core number observed: %u\n", max_core_seen);
+  std::printf("\none full decomposition costs %.4fs; recomputing per "
+              "mutation would cost ~%.1fs vs %.3fs with local repair "
+              "(%.0fx saved)\n",
+              one_decomp_s, one_decomp_s * applied, stream_s,
+              one_decomp_s * applied / stream_s);
+  return exact ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+// Quickstart: the 60-second tour of the public API.
+//
+//   ./quickstart [edge_list.txt]
+//
+// Loads a SNAP-style edge list if given (ids relabeled densely), otherwise
+// generates a small scale-free graph. Runs all three decompositions with
+// the asynchronous local algorithm (AND) and prints summary statistics.
+#include <cstdio>
+
+#include "src/core/nucleus_decomposition.h"
+#include "src/graph/generators.h"
+#include "src/graph/io.h"
+
+int main(int argc, char** argv) {
+  using namespace nucleus;
+
+  Graph g;
+  if (argc > 1) {
+    std::printf("loading %s ...\n", argv[1]);
+    g = LoadEdgeListText(argv[1]);
+  } else {
+    std::printf("no input file given; generating a Barabasi-Albert graph\n");
+    g = GenerateBarabasiAlbert(2000, 4, 42);
+  }
+  std::printf("graph: %zu vertices, %zu edges\n\n", g.NumVertices(),
+              g.NumEdges());
+
+  const struct {
+    DecompositionKind kind;
+    const char* name;
+    const char* r_clique;
+  } kinds[] = {
+      {DecompositionKind::kCore, "k-core  (1,2)", "vertices"},
+      {DecompositionKind::kTruss, "k-truss (2,3)", "edges"},
+      {DecompositionKind::kNucleus34, "nucleus (3,4)", "triangles"},
+  };
+
+  for (const auto& k : kinds) {
+    DecomposeOptions opt;
+    opt.method = Method::kAnd;  // local, asynchronous, notification on
+    const DecomposeResult r = Decompose(g, k.kind, opt);
+    Degree max_k = 0;
+    double mean = 0;
+    for (Degree x : r.kappa) {
+      max_k = std::max(max_k, x);
+      mean += x;
+    }
+    if (!r.kappa.empty()) mean /= r.kappa.size();
+    std::printf("%s over %zu %s: max kappa = %u, mean = %.2f, "
+                "%d iterations, %.3fs (+%.3fs index)\n",
+                k.name, r.num_r_cliques, k.r_clique, max_k, mean,
+                r.iterations, r.seconds, r.index_seconds);
+  }
+
+  std::printf("\nTip: Method::kPeeling gives the classical exact baseline; "
+              "Method::kSnd is the deterministic synchronous variant; "
+              "options.max_iterations > 0 trades accuracy for time.\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+#include "src/clique/edge_index.h"
+
+#include <algorithm>
+
+namespace nucleus {
+
+EdgeIndex::EdgeIndex(const Graph& g) : graph_(&g) {
+  const std::size_t n = g.NumVertices();
+  forward_offsets_.assign(n + 1, 0);
+  endpoints_.reserve(g.NumEdges());
+  for (VertexId u = 0; u < n; ++u) {
+    forward_offsets_[u] = endpoints_.size();
+    for (VertexId v : g.Neighbors(u)) {
+      if (v > u) endpoints_.emplace_back(u, v);
+    }
+  }
+  forward_offsets_[n] = endpoints_.size();
+}
+
+EdgeId EdgeIndex::EdgeIdOf(VertexId u, VertexId v) const {
+  if (u == v) return kInvalidEdge;
+  if (u > v) std::swap(u, v);
+  if (v >= graph_->NumVertices()) return kInvalidEdge;
+  const auto nb = graph_->Neighbors(u);
+  // Forward neighbors of u (those > u) form the tail of nb; the edge id is
+  // forward_offsets_[u] + position within that tail.
+  auto tail_begin = std::upper_bound(nb.begin(), nb.end(), u);
+  auto it = std::lower_bound(tail_begin, nb.end(), v);
+  if (it == nb.end() || *it != v) return kInvalidEdge;
+  return static_cast<EdgeId>(forward_offsets_[u] + (it - tail_begin));
+}
+
+}  // namespace nucleus

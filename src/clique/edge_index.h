@@ -1,0 +1,50 @@
+// Canonical edge identifiers. Edges are the r-cliques of the (2,3)
+// decomposition (k-truss), so they need dense ids, endpoint lookup, and
+// id-of-pair lookup.
+#ifndef NUCLEUS_CLIQUE_EDGE_INDEX_H_
+#define NUCLEUS_CLIQUE_EDGE_INDEX_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/graph/graph.h"
+
+namespace nucleus {
+
+/// Assigns ids to the m undirected edges in lexicographic (u, v), u < v
+/// order. Lookup of an id from endpoints is O(log deg(min endpoint)).
+class EdgeIndex {
+ public:
+  explicit EdgeIndex(const Graph& g);
+
+  /// Number of edges (== Graph::NumEdges()).
+  std::size_t NumEdges() const { return endpoints_.size(); }
+
+  /// Endpoints of edge e, with first < second.
+  std::pair<VertexId, VertexId> Endpoints(EdgeId e) const {
+    return endpoints_[e];
+  }
+
+  /// Id of edge {u, v}, or kInvalidEdge if absent.
+  EdgeId EdgeIdOf(VertexId u, VertexId v) const;
+
+  /// Edges incident to u whose other endpoint is > u, as (first id, count):
+  /// ids are contiguous because edges are sorted by (u, v).
+  std::pair<EdgeId, std::size_t> ForwardRange(VertexId u) const {
+    return {static_cast<EdgeId>(forward_offsets_[u]),
+            forward_offsets_[u + 1] - forward_offsets_[u]};
+  }
+
+ private:
+  const Graph* graph_;
+  std::vector<std::pair<VertexId, VertexId>> endpoints_;
+  // forward_offsets_[u] = id of the first edge (u, *); the higher endpoints
+  // of u's forward edges are the sorted suffix of Neighbors(u) above u, so
+  // id lookup is a binary search there.
+  std::vector<std::size_t> forward_offsets_;
+};
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_CLIQUE_EDGE_INDEX_H_

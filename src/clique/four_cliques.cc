@@ -1,0 +1,77 @@
+#include "src/clique/four_cliques.h"
+
+#include <algorithm>
+
+#include "src/clique/intersect.h"
+#include "src/common/parallel.h"
+#include "src/graph/ordering.h"
+
+namespace nucleus {
+
+namespace {
+
+// Shared enumeration core. For every 4-clique {a,b,c,d}, let v be its
+// rank-minimum and w the rank-minimum of the rest: then w, x, y are all in
+// out(v), and x, y are in out(w), and the x-y edge is oriented one way.
+// Enumerating (v, w, common = out(v) cap out(w), then pairs of common joined
+// by an oriented edge) therefore hits each 4-clique exactly once.
+template <typename Fn>
+void EnumerateFourCliques(const Graph& g, Fn&& fn) {
+  const auto ranks = DegreeOrderRanks(g);
+  const OrientedGraph oriented(g, ranks);
+  const std::size_t n = g.NumVertices();
+  std::vector<VertexId> common;
+  for (VertexId v = 0; v < n; ++v) {
+    const auto out_v = oriented.OutNeighbors(v);
+    for (VertexId w : out_v) {
+      common.clear();
+      ForEachCommon(out_v, oriented.OutNeighbors(w),
+                    [&](VertexId x) { common.push_back(x); });
+      // common is sorted by vertex id. For each x in common, every
+      // y in out(x) cap common closes the clique; orientation of the x-y
+      // edge makes each unordered pair appear exactly once.
+      const std::span<const VertexId> common_span(common.data(),
+                                                  common.size());
+      for (VertexId x : common) {
+        ForEachCommon(common_span, oriented.OutNeighbors(x),
+                      [&](VertexId y) { fn(v, w, x, y); });
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void ForEachFourClique(
+    const Graph& g,
+    const std::function<void(VertexId, VertexId, VertexId, VertexId)>& fn) {
+  EnumerateFourCliques(g, [&](VertexId a, VertexId b, VertexId c,
+                              VertexId d) {
+    VertexId q[4] = {a, b, c, d};
+    std::sort(q, q + 4);
+    fn(q[0], q[1], q[2], q[3]);
+  });
+}
+
+Count CountFourCliques(const Graph& g) {
+  Count total = 0;
+  EnumerateFourCliques(
+      g, [&](VertexId, VertexId, VertexId, VertexId) { ++total; });
+  return total;
+}
+
+std::vector<Degree> FourCliqueCountsPerTriangle(const Graph& g,
+                                                const TriangleIndex& tris,
+                                                int threads) {
+  std::vector<Degree> counts(tris.NumTriangles(), 0);
+  ParallelFor(tris.NumTriangles(), threads, [&](std::size_t t) {
+    const auto& tri = tris.Vertices(static_cast<TriangleId>(t));
+    std::size_t c = 0;
+    ForEachCommon3(g.Neighbors(tri[0]), g.Neighbors(tri[1]),
+                   g.Neighbors(tri[2]), [&](VertexId) { ++c; });
+    counts[t] = static_cast<Degree>(c);
+  });
+  return counts;
+}
+
+}  // namespace nucleus

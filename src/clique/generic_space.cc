@@ -1,0 +1,117 @@
+#include "src/clique/generic_space.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/clique/intersect.h"
+#include "src/common/parallel.h"
+
+namespace nucleus {
+
+GenericRsEnumerator::GenericRsEnumerator(const Graph& g,
+                                         const KCliqueIndex& r_index, int s)
+    : g_(&g), r_index_(&r_index), s_(s) {
+  assert(s_ > r_index_->k());
+}
+
+void GenericRsEnumerator::ForEachExtension(
+    std::span<const VertexId> base,
+    const std::function<void(std::span<const VertexId>)>& cb) const {
+  const int need = s_ - r_index_->k();
+  // Common neighborhood of the whole base clique.
+  std::vector<VertexId> cand(g_->Neighbors(base[0]).begin(),
+                             g_->Neighbors(base[0]).end());
+  std::vector<VertexId> tmp;
+  for (std::size_t i = 1; i < base.size(); ++i) {
+    tmp.clear();
+    ForEachCommon(std::span<const VertexId>(cand), g_->Neighbors(base[i]),
+                  [&](VertexId w) { tmp.push_back(w); });
+    cand.swap(tmp);
+    if (cand.empty()) return;
+  }
+
+  // Enumerate `need`-cliques inside the candidate set, ascending ids.
+  std::vector<VertexId> ext;
+  // Explicit stack-free recursion via lambda.
+  std::function<void(const std::vector<VertexId>&)> recurse =
+      [&](const std::vector<VertexId>& pool) {
+        if (static_cast<int>(ext.size()) == need) {
+          cb(ext);
+          return;
+        }
+        for (VertexId v : pool) {
+          ext.push_back(v);
+          if (static_cast<int>(ext.size()) == need) {
+            cb(ext);
+          } else {
+            std::vector<VertexId> next;
+            ForEachCommon(std::span<const VertexId>(pool),
+                          g_->Neighbors(v), [&](VertexId w) {
+                            if (w > v) next.push_back(w);
+                          });
+            recurse(next);
+          }
+          ext.pop_back();
+        }
+      };
+  if (need == 0) {
+    cb(ext);
+    return;
+  }
+  recurse(cand);
+}
+
+Degree GenericRsEnumerator::SDegree(CliqueId rc) const {
+  Degree count = 0;
+  ForEachExtension(r_index_->Vertices(rc),
+                   [&](std::span<const VertexId>) { ++count; });
+  return count;
+}
+
+void GenericRsEnumerator::ForEachSCliqueOf(
+    CliqueId rc,
+    const std::function<void(std::span<const CliqueId>)>& fn) const {
+  const int r = r_index_->k();
+  const auto base = r_index_->Vertices(rc);
+  std::vector<VertexId> all(s_);       // merged s-clique vertex set
+  std::vector<VertexId> subset(r);     // current r-subset
+  std::vector<CliqueId> co;            // co-member ids, C(s,r)-1 of them
+  std::vector<int> comb(r);            // combination indices into `all`
+  ForEachExtension(base, [&](std::span<const VertexId> ext) {
+    // Merge base and ext (both sorted) into the s-clique vertex list.
+    std::merge(base.begin(), base.end(), ext.begin(), ext.end(),
+               all.begin());
+    co.clear();
+    // All r-subsets of `all` except `base` itself.
+    for (int i = 0; i < r; ++i) comb[i] = i;
+    for (;;) {
+      bool is_base = true;
+      for (int i = 0; i < r; ++i) {
+        subset[i] = all[comb[i]];
+        if (subset[i] != base[i]) is_base = false;
+      }
+      if (!is_base) {
+        const CliqueId id = r_index_->IdOf(subset);
+        assert(id != kInvalidClique);
+        co.push_back(id);
+      }
+      // Next combination.
+      int i = r - 1;
+      while (i >= 0 && comb[i] == s_ - r + i) --i;
+      if (i < 0) break;
+      ++comb[i];
+      for (int j = i + 1; j < r; ++j) comb[j] = comb[j - 1] + 1;
+    }
+    fn(co);
+  });
+}
+
+std::vector<Degree> GenericRsSpace::InitialDegrees(int threads) const {
+  std::vector<Degree> d(NumRCliques());
+  ParallelFor(d.size(), threads, [&](std::size_t rc) {
+    d[rc] = enumerator_.SDegree(static_cast<CliqueId>(rc));
+  });
+  return d;
+}
+
+}  // namespace nucleus

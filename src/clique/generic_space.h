@@ -1,0 +1,76 @@
+// GenericRsSpace: the clique space of an arbitrary (r,s) nucleus
+// decomposition, r < s. r-cliques come from a KCliqueIndex; s-cliques are
+// enumerated on the fly as (s-r)-clique extensions inside the common
+// neighborhood of the r-clique (never materialized). Plugging this space
+// into the template engines gives peeling / SND / AND / degree levels /
+// hierarchies for any r < s — the full generality of the paper's framework.
+#ifndef NUCLEUS_CLIQUE_GENERIC_SPACE_H_
+#define NUCLEUS_CLIQUE_GENERIC_SPACE_H_
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "src/clique/kclique.h"
+#include "src/common/types.h"
+#include "src/graph/graph.h"
+
+namespace nucleus {
+
+/// Non-template enumeration core shared by the header-template wrapper:
+/// for the r-clique `verts`, finds every extension set X of size s-r such
+/// that verts + X is an s-clique, and reports the C(s,r)-1 co-member ids.
+/// `fn` may be called with co-member spans only valid during the call.
+class GenericRsEnumerator {
+ public:
+  GenericRsEnumerator(const Graph& g, const KCliqueIndex& r_index, int s);
+
+  int r() const { return r_index_->k(); }
+  int s() const { return s_; }
+  std::size_t NumRCliques() const { return r_index_->NumCliques(); }
+
+  /// S-degree of one r-clique (number of s-cliques containing it).
+  Degree SDegree(CliqueId rc) const;
+
+  /// Calls fn once per s-clique containing rc, passing the co-member ids.
+  void ForEachSCliqueOf(
+      CliqueId rc,
+      const std::function<void(std::span<const CliqueId>)>& fn) const;
+
+ private:
+  // Enumerates the (s-r)-vertex extensions of `base` (sorted) whose union
+  // with base is a clique; calls cb with each extension.
+  void ForEachExtension(
+      std::span<const VertexId> base,
+      const std::function<void(std::span<const VertexId>)>& cb) const;
+
+  const Graph* g_;
+  const KCliqueIndex* r_index_;
+  int s_;
+};
+
+/// The space adapter usable with PeelDecomposition / SndGeneric /
+/// AndGeneric / ComputeDegreeLevels / BuildHierarchy.
+class GenericRsSpace {
+ public:
+  GenericRsSpace(const Graph& g, const KCliqueIndex& r_index, int s)
+      : enumerator_(g, r_index, s) {}
+
+  std::size_t NumRCliques() const { return enumerator_.NumRCliques(); }
+
+  std::vector<Degree> InitialDegrees(int threads = 1) const;
+
+  template <typename Fn>
+  void ForEachSClique(CliqueId rc, Fn&& fn) const {
+    enumerator_.ForEachSCliqueOf(rc, std::forward<Fn>(fn));
+  }
+
+  const GenericRsEnumerator& enumerator() const { return enumerator_; }
+
+ private:
+  GenericRsEnumerator enumerator_;
+};
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_CLIQUE_GENERIC_SPACE_H_

@@ -1,0 +1,61 @@
+// Sorted-list intersection helpers shared by the clique enumerators.
+#ifndef NUCLEUS_CLIQUE_INTERSECT_H_
+#define NUCLEUS_CLIQUE_INTERSECT_H_
+
+#include <span>
+
+#include "src/common/types.h"
+
+namespace nucleus {
+
+/// Calls fn(x) for every x present in both sorted ranges.
+template <typename Fn>
+void ForEachCommon(std::span<const VertexId> a, std::span<const VertexId> b,
+                   Fn&& fn) {
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      fn(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+}
+
+/// Number of common elements of two sorted ranges.
+inline std::size_t CountCommon(std::span<const VertexId> a,
+                               std::span<const VertexId> b) {
+  std::size_t count = 0;
+  ForEachCommon(a, b, [&](VertexId) { ++count; });
+  return count;
+}
+
+/// Calls fn(x) for every x present in all three sorted ranges.
+template <typename Fn>
+void ForEachCommon3(std::span<const VertexId> a, std::span<const VertexId> b,
+                    std::span<const VertexId> c, Fn&& fn) {
+  std::size_t i = 0, j = 0, k = 0;
+  while (i < a.size() && j < b.size() && k < c.size()) {
+    const VertexId m = std::max({a[i], b[j], c[k]});
+    if (a[i] < m) {
+      ++i;
+    } else if (b[j] < m) {
+      ++j;
+    } else if (c[k] < m) {
+      ++k;
+    } else {
+      fn(m);
+      ++i;
+      ++j;
+      ++k;
+    }
+  }
+}
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_CLIQUE_INTERSECT_H_

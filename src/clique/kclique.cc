@@ -1,0 +1,119 @@
+#include "src/clique/kclique.h"
+
+#include <algorithm>
+
+#include "src/clique/intersect.h"
+#include "src/graph/ordering.h"
+
+namespace nucleus {
+
+namespace {
+
+// Recursive oriented enumeration: `chosen` holds the clique so far (in rank
+// order), `cand` the common out-neighborhood of everything chosen.
+void Expand(const OrientedGraph& oriented, int remaining,
+            std::vector<VertexId>* chosen, std::vector<VertexId>* cand,
+            std::vector<VertexId>* sorted_buf,
+            const std::function<void(std::span<const VertexId>)>& fn) {
+  if (remaining == 0) {
+    sorted_buf->assign(chosen->begin(), chosen->end());
+    std::sort(sorted_buf->begin(), sorted_buf->end());
+    fn(*sorted_buf);
+    return;
+  }
+  // Each candidate takes a turn as the next (rank-ordered) member.
+  const std::vector<VertexId> current = *cand;  // copy: cand mutates below
+  for (VertexId v : current) {
+    chosen->push_back(v);
+    if (remaining == 1) {
+      sorted_buf->assign(chosen->begin(), chosen->end());
+      std::sort(sorted_buf->begin(), sorted_buf->end());
+      fn(*sorted_buf);
+    } else {
+      std::vector<VertexId> next;
+      ForEachCommon(std::span<const VertexId>(current),
+                    oriented.OutNeighbors(v), [&](VertexId w) {
+                      next.push_back(w);
+                    });
+      Expand(oriented, remaining - 1, chosen, &next, sorted_buf, fn);
+    }
+    chosen->pop_back();
+  }
+}
+
+}  // namespace
+
+void ForEachKClique(
+    const Graph& g, int k,
+    const std::function<void(std::span<const VertexId>)>& fn) {
+  if (k < 1) return;
+  const std::size_t n = g.NumVertices();
+  if (k == 1) {
+    for (VertexId v = 0; v < n; ++v) {
+      fn(std::span<const VertexId>(&v, 1));
+    }
+    return;
+  }
+  const auto ranks = DegreeOrderRanks(g);
+  const OrientedGraph oriented(g, ranks);
+  std::vector<VertexId> chosen, sorted_buf;
+  for (VertexId v = 0; v < n; ++v) {
+    chosen.assign(1, v);
+    std::vector<VertexId> cand(oriented.OutNeighbors(v).begin(),
+                               oriented.OutNeighbors(v).end());
+    Expand(oriented, k - 1, &chosen, &cand, &sorted_buf, fn);
+  }
+}
+
+Count CountKCliques(const Graph& g, int k) {
+  Count total = 0;
+  ForEachKClique(g, k, [&](std::span<const VertexId>) { ++total; });
+  return total;
+}
+
+KCliqueIndex::KCliqueIndex(const Graph& g, int k) : k_(k) {
+  ForEachKClique(g, k, [&](std::span<const VertexId> vs) {
+    flat_.insert(flat_.end(), vs.begin(), vs.end());
+  });
+  // Sort tuples lexicographically via an index permutation.
+  const std::size_t count = NumCliques();
+  std::vector<CliqueId> order(count);
+  for (CliqueId i = 0; i < count; ++i) order[i] = i;
+  auto tuple_less = [&](CliqueId a, CliqueId b) {
+    const VertexId* pa = flat_.data() + static_cast<std::size_t>(a) * k_;
+    const VertexId* pb = flat_.data() + static_cast<std::size_t>(b) * k_;
+    return std::lexicographical_compare(pa, pa + k_, pb, pb + k_);
+  };
+  std::sort(order.begin(), order.end(), tuple_less);
+  std::vector<VertexId> sorted;
+  sorted.reserve(flat_.size());
+  for (CliqueId id : order) {
+    const VertexId* p = flat_.data() + static_cast<std::size_t>(id) * k_;
+    sorted.insert(sorted.end(), p, p + k_);
+  }
+  flat_ = std::move(sorted);
+}
+
+CliqueId KCliqueIndex::IdOf(std::span<const VertexId> sorted_vertices) const {
+  if (static_cast<int>(sorted_vertices.size()) != k_) return kInvalidClique;
+  const std::size_t count = NumCliques();
+  std::size_t lo = 0, hi = count;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const VertexId* p = flat_.data() + mid * k_;
+    if (std::lexicographical_compare(p, p + k_, sorted_vertices.begin(),
+                                     sorted_vertices.end())) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == count) return kInvalidClique;
+  const VertexId* p = flat_.data() + lo * k_;
+  if (!std::equal(p, p + k_, sorted_vertices.begin())) {
+    return kInvalidClique;
+  }
+  return static_cast<CliqueId>(lo);
+}
+
+}  // namespace nucleus

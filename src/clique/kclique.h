@@ -1,0 +1,53 @@
+// Generic k-clique enumeration and indexing, the substrate of the
+// arbitrary-(r,s) nucleus decomposition. The paper defines the framework
+// for any r < s (Definitions 3-6) and notes that r,s > 4 is affordable only
+// for small graphs; this module provides exactly that capability.
+#ifndef NUCLEUS_CLIQUE_KCLIQUE_H_
+#define NUCLEUS_CLIQUE_KCLIQUE_H_
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/graph/graph.h"
+
+namespace nucleus {
+
+/// Calls fn(vertices) once per k-clique, vertices sorted ascending.
+/// Enumeration is oriented by degree order (Chiba-Nishizeki style), so the
+/// work is bounded by the degeneracy-restricted search tree. k >= 1.
+void ForEachKClique(const Graph& g, int k,
+                    const std::function<void(std::span<const VertexId>)>& fn);
+
+/// Number of k-cliques.
+Count CountKCliques(const Graph& g, int k);
+
+/// Dense ids for the k-cliques of a graph, stored as lexicographically
+/// sorted vertex tuples; lookup by binary search.
+class KCliqueIndex {
+ public:
+  KCliqueIndex(const Graph& g, int k);
+
+  int k() const { return k_; }
+
+  std::size_t NumCliques() const { return k_ == 0 ? 0 : flat_.size() / k_; }
+
+  /// Vertices of clique id, ascending.
+  std::span<const VertexId> Vertices(CliqueId id) const {
+    return {flat_.data() + static_cast<std::size_t>(id) * k_,
+            static_cast<std::size_t>(k_)};
+  }
+
+  /// Id of the clique with exactly these vertices (must be sorted
+  /// ascending), or kInvalidClique.
+  CliqueId IdOf(std::span<const VertexId> sorted_vertices) const;
+
+ private:
+  int k_;
+  std::vector<VertexId> flat_;  // NumCliques * k, tuples sorted lex
+};
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_CLIQUE_KCLIQUE_H_

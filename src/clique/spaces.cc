@@ -1,0 +1,19 @@
+#include "src/clique/spaces.h"
+
+namespace nucleus {
+
+std::vector<Degree> CoreSpace::InitialDegrees(int /*threads*/) const {
+  std::vector<Degree> d(g_->NumVertices());
+  for (VertexId v = 0; v < g_->NumVertices(); ++v) d[v] = g_->GetDegree(v);
+  return d;
+}
+
+std::vector<Degree> TrussSpace::InitialDegrees(int threads) const {
+  return TriangleCountsPerEdge(*g_, *edges_, threads);
+}
+
+std::vector<Degree> Nucleus34Space::InitialDegrees(int threads) const {
+  return FourCliqueCountsPerTriangle(*g_, *tris_, threads);
+}
+
+}  // namespace nucleus

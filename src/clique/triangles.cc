@@ -1,0 +1,81 @@
+#include "src/clique/triangles.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "src/clique/intersect.h"
+#include "src/common/parallel.h"
+#include "src/graph/ordering.h"
+
+namespace nucleus {
+
+void ForEachTriangle(
+    const Graph& g,
+    const std::function<void(VertexId, VertexId, VertexId)>& fn) {
+  const auto ranks = DegreeOrderRanks(g);
+  const OrientedGraph oriented(g, ranks);
+  const std::size_t n = g.NumVertices();
+  for (VertexId v = 0; v < n; ++v) {
+    const auto out_v = oriented.OutNeighbors(v);
+    for (std::size_t i = 0; i < out_v.size(); ++i) {
+      const VertexId w = out_v[i];
+      ForEachCommon(out_v, oriented.OutNeighbors(w), [&](VertexId x) {
+        VertexId t[3] = {v, w, x};
+        std::sort(t, t + 3);
+        fn(t[0], t[1], t[2]);
+      });
+    }
+  }
+}
+
+Count CountTriangles(const Graph& g) {
+  const auto ranks = DegreeOrderRanks(g);
+  const OrientedGraph oriented(g, ranks);
+  Count total = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    const auto out_v = oriented.OutNeighbors(v);
+    for (VertexId w : out_v) {
+      total += CountCommon(out_v, oriented.OutNeighbors(w));
+    }
+  }
+  return total;
+}
+
+std::vector<Degree> TriangleCountsPerEdge(const Graph& g,
+                                          const EdgeIndex& edges,
+                                          int threads) {
+  std::vector<Degree> counts(edges.NumEdges(), 0);
+  ParallelFor(edges.NumEdges(), threads, [&](std::size_t e) {
+    const auto [u, v] = edges.Endpoints(static_cast<EdgeId>(e));
+    counts[e] =
+        static_cast<Degree>(CountCommon(g.Neighbors(u), g.Neighbors(v)));
+  });
+  return counts;
+}
+
+TriangleIndex::TriangleIndex(const Graph& g) {
+  ForEachTriangle(g, [&](VertexId u, VertexId v, VertexId w) {
+    triangles_.push_back({u, v, w});
+  });
+  std::sort(triangles_.begin(), triangles_.end());
+}
+
+TriangleId TriangleIndex::TriangleIdOf(VertexId u, VertexId v,
+                                       VertexId w) const {
+  std::array<VertexId, 3> key = {u, v, w};
+  std::sort(key.begin(), key.end());
+  auto it = std::lower_bound(triangles_.begin(), triangles_.end(), key);
+  if (it == triangles_.end() || *it != key) return kInvalidTriangle;
+  return static_cast<TriangleId>(it - triangles_.begin());
+}
+
+void TriangleIndex::ForEachTriangleOfEdge(
+    const Graph& g, VertexId u, VertexId v,
+    const std::function<void(TriangleId, VertexId)>& fn) const {
+  ForEachCommon(g.Neighbors(u), g.Neighbors(v), [&](VertexId w) {
+    const TriangleId t = TriangleIdOf(u, v, w);
+    fn(t, w);
+  });
+}
+
+}  // namespace nucleus

@@ -1,0 +1,64 @@
+// Triangle enumeration, per-edge triangle counting, and the triangle index
+// that gives triangles dense ids (they are the r-cliques of the (3,4)
+// decomposition).
+#ifndef NUCLEUS_CLIQUE_TRIANGLES_H_
+#define NUCLEUS_CLIQUE_TRIANGLES_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/clique/edge_index.h"
+#include "src/common/types.h"
+#include "src/graph/graph.h"
+
+namespace nucleus {
+
+/// Calls fn(u, v, w) with u < v < w exactly once per triangle. Enumeration
+/// is oriented by degree order internally, so total work is
+/// O(sum over edges of min-degree) — the standard compact-forward bound.
+void ForEachTriangle(const Graph& g,
+                     const std::function<void(VertexId, VertexId, VertexId)>&
+                         fn);
+
+/// Total triangle count (Table 3 statistic).
+Count CountTriangles(const Graph& g);
+
+/// Per-edge triangle counts indexed by EdgeIndex ids; this is d_3, the
+/// initial tau of the (2,3) decomposition. `threads` parallelizes over
+/// edges (each edge's count is an independent adjacency intersection).
+std::vector<Degree> TriangleCountsPerEdge(const Graph& g,
+                                          const EdgeIndex& edges,
+                                          int threads = 1);
+
+/// Dense ids for triangles, stored as sorted (u < v < w) triples in
+/// lexicographic order so ids are stable and lookup is a binary search.
+class TriangleIndex {
+ public:
+  explicit TriangleIndex(const Graph& g);
+
+  std::size_t NumTriangles() const { return triangles_.size(); }
+
+  /// Vertices of triangle t, ascending.
+  const std::array<VertexId, 3>& Vertices(TriangleId t) const {
+    return triangles_[t];
+  }
+
+  /// Id of triangle {u, v, w} (any order), or kInvalidTriangle.
+  TriangleId TriangleIdOf(VertexId u, VertexId v, VertexId w) const;
+
+  /// All triangle ids containing edge (u, v): provided via callback to
+  /// avoid allocation. Triangles containing an edge share its two vertices,
+  /// so they are the common neighbors of u and v.
+  void ForEachTriangleOfEdge(
+      const Graph& g, VertexId u, VertexId v,
+      const std::function<void(TriangleId, VertexId)>& fn) const;
+
+ private:
+  std::vector<std::array<VertexId, 3>> triangles_;
+};
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_CLIQUE_TRIANGLES_H_

@@ -1,0 +1,109 @@
+// Monotone bucket priority queue used by the peeling algorithms
+// (Batagelj-Zaversnik style). Supports ExtractMin and DecreaseKey in O(1)
+// amortized; keys only ever decrease, and extracted keys are non-decreasing
+// over the life of the peel, which is exactly the peeling invariant.
+#ifndef NUCLEUS_COMMON_BUCKET_QUEUE_H_
+#define NUCLEUS_COMMON_BUCKET_QUEUE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace nucleus {
+
+/// Bucket queue over item ids [0, n) with integer keys [0, max_key].
+/// Implemented as the classic "sorted-by-key array + position index" layout
+/// so that DecreaseKey is a swap. Memory: 3n + (max_key+2) words.
+class BucketQueue {
+ public:
+  /// Builds the queue from initial keys. O(n + max_key).
+  explicit BucketQueue(const std::vector<Degree>& keys) { Reset(keys); }
+
+  BucketQueue() = default;
+
+  /// Rebuilds from scratch.
+  void Reset(const std::vector<Degree>& keys) {
+    n_ = keys.size();
+    key_.assign(keys.begin(), keys.end());
+    Degree max_key = 0;
+    for (Degree k : keys) max_key = std::max(max_key, k);
+    // bucket_start_[k] = index in sorted_ of the first item with key >= k.
+    bucket_start_.assign(max_key + 2, 0);
+    for (Degree k : keys) ++bucket_start_[k + 1];
+    for (std::size_t k = 1; k < bucket_start_.size(); ++k) {
+      bucket_start_[k] += bucket_start_[k - 1];
+    }
+    sorted_.resize(n_);
+    pos_.resize(n_);
+    std::vector<std::size_t> cursor(bucket_start_.begin(),
+                                    bucket_start_.end() - 1);
+    for (std::size_t i = 0; i < n_; ++i) {
+      const std::size_t p = cursor[key_[i]]++;
+      sorted_[p] = static_cast<CliqueId>(i);
+      pos_[i] = p;
+    }
+    head_ = 0;
+  }
+
+  /// True when all items have been extracted.
+  bool Empty() const { return head_ >= n_; }
+
+  /// Number of items not yet extracted.
+  std::size_t Size() const { return n_ - head_; }
+
+  /// Id of the item that ExtractMin would return next.
+  CliqueId PeekMin() const {
+    assert(!Empty());
+    return sorted_[head_];
+  }
+
+  /// Key of the item that ExtractMin would return next.
+  Degree PeekMinKey() const { return key_[PeekMin()]; }
+
+  /// Extracts an item with the minimum key. Returns its id; its key at
+  /// extraction time is available via Key().
+  CliqueId ExtractMin() {
+    assert(!Empty());
+    const CliqueId item = sorted_[head_];
+    ++head_;
+    return item;
+  }
+
+  /// Current key of an item (valid also after extraction: frozen value).
+  Degree Key(CliqueId item) const { return key_[item]; }
+
+  /// True if the item has already been extracted.
+  bool Extracted(CliqueId item) const { return pos_[item] < head_; }
+
+  /// Decrements the key of a not-yet-extracted item by one, but never below
+  /// `floor`. This is the peeling update ds(R') = max(ds(R') - 1, ds(R)).
+  void DecrementKeyClamped(CliqueId item, Degree floor) {
+    assert(!Extracted(item));
+    const Degree k = key_[item];
+    if (k <= floor) return;
+    // Swap item with the first element of its bucket, then shrink bucket.
+    const std::size_t first = std::max(bucket_start_[k], head_);
+    const std::size_t p = pos_[item];
+    const CliqueId other = sorted_[first];
+    sorted_[p] = other;
+    pos_[other] = p;
+    sorted_[first] = item;
+    pos_[item] = first;
+    bucket_start_[k] = first + 1;
+    key_[item] = k - 1;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t head_ = 0;
+  std::vector<Degree> key_;
+  std::vector<CliqueId> sorted_;      // items ordered by current key
+  std::vector<std::size_t> pos_;      // item -> index in sorted_
+  std::vector<std::size_t> bucket_start_;
+};
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_COMMON_BUCKET_QUEUE_H_

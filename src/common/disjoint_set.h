@@ -1,0 +1,56 @@
+// Union-find with path halving and union by size; used by the hierarchy
+// builder and connectivity checks.
+#ifndef NUCLEUS_COMMON_DISJOINT_SET_H_
+#define NUCLEUS_COMMON_DISJOINT_SET_H_
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace nucleus {
+
+/// Classic disjoint-set forest over ids [0, n).
+class DisjointSet {
+ public:
+  explicit DisjointSet(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), CliqueId{0});
+  }
+
+  /// Finds the representative with path halving.
+  CliqueId Find(CliqueId x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Unions the sets of a and b; returns the new representative.
+  CliqueId Union(CliqueId a, CliqueId b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return a;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    return a;
+  }
+
+  /// True if a and b are in the same set.
+  bool Same(CliqueId a, CliqueId b) { return Find(a) == Find(b); }
+
+  /// Size of the set containing x.
+  std::size_t SetSize(CliqueId x) { return size_[Find(x)]; }
+
+  std::size_t size() const { return parent_.size(); }
+
+ private:
+  std::vector<CliqueId> parent_;
+  std::vector<std::size_t> size_;
+};
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_COMMON_DISJOINT_SET_H_

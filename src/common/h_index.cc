@@ -1,0 +1,48 @@
+#include "src/common/h_index.h"
+
+#include <algorithm>
+
+namespace nucleus {
+
+Degree HIndex(std::span<const Degree> values) {
+  const std::size_t n = values.size();
+  if (n == 0) return 0;
+  // counts[v] = number of items equal to v, with values clamped to n since
+  // the h-index can never exceed the number of items.
+  std::vector<std::uint32_t> counts(n + 1, 0);
+  for (Degree v : values) {
+    ++counts[std::min<std::size_t>(v, n)];
+  }
+  std::size_t at_least = 0;
+  for (std::size_t h = n; h > 0; --h) {
+    at_least += counts[h];
+    if (at_least >= h) return static_cast<Degree>(h);
+  }
+  return 0;
+}
+
+Degree HIndexBySorting(std::vector<Degree> values) {
+  std::sort(values.begin(), values.end(), std::greater<Degree>());
+  Degree h = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] >= i + 1) {
+      h = static_cast<Degree>(i + 1);
+    } else {
+      break;
+    }
+  }
+  return h;
+}
+
+bool HIndexAtLeast(std::span<const Degree> values, Degree h) {
+  if (h == 0) return true;
+  Degree seen = 0;
+  for (Degree v : values) {
+    if (v >= h) {
+      if (++seen >= h) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace nucleus

@@ -1,0 +1,105 @@
+// h-index computation (Definition 5 of the paper): H(K) is the largest h
+// such that at least h elements of K are >= h.
+#ifndef NUCLEUS_COMMON_H_INDEX_H_
+#define NUCLEUS_COMMON_H_INDEX_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace nucleus {
+
+/// Computes H(values) in O(|values|) time and O(|values|) extra space using
+/// the counting method from Section 4.4 of the paper (no sorting).
+Degree HIndex(std::span<const Degree> values);
+
+/// Reference implementation by sorting; O(n log n). Used for testing and the
+/// `bench_hindex` ablation.
+Degree HIndexBySorting(std::vector<Degree> values);
+
+/// Returns true iff H(values) >= h, short-circuiting once h witnesses with
+/// value >= h have been seen. This is the "preserve check" heuristic from
+/// Section 4.4: during non-initial iterations we only need to know whether
+/// the current tau can be kept.
+bool HIndexAtLeast(std::span<const Degree> values, Degree h);
+
+/// Reusable scratch for h-index computations in hot loops: callers append
+/// into values() and call Compute(); internal buffers are recycled so the
+/// steady state performs no allocation.
+class HIndexScratch {
+ public:
+  /// Value buffer; clear and refill between computations.
+  std::vector<Degree>& values() { return values_; }
+
+  /// H(values()), O(|values|). Leaves values() untouched.
+  Degree Compute() {
+    const std::size_t n = values_.size();
+    if (n == 0) return 0;
+    if (counts_.size() < n + 1) counts_.resize(n + 1);
+    std::fill(counts_.begin(), counts_.begin() + n + 1, 0);
+    for (Degree v : values_) {
+      ++counts_[v < n ? v : n];
+    }
+    std::size_t at_least = 0;
+    for (std::size_t h = n; h > 0; --h) {
+      at_least += counts_[h];
+      if (at_least >= h) return static_cast<Degree>(h);
+    }
+    return 0;
+  }
+
+ private:
+  std::vector<Degree> values_;
+  std::vector<std::uint32_t> counts_;
+};
+
+/// Incremental h-index accumulator: feed values one at a time, query the
+/// running h-index. Space O(cap) where cap is an upper bound on the answer
+/// (e.g. the S-degree of the r-clique). Avoids materializing the value list,
+/// which is how the SND/AND inner loops stream rho values.
+class HIndexAccumulator {
+ public:
+  /// `cap` upper-bounds the final h-index (values above cap are clamped).
+  explicit HIndexAccumulator(Degree cap) : counts_(cap + 1, 0), cap_(cap) {}
+
+  /// Adds one value to the multiset.
+  void Add(Degree value) {
+    if (value > cap_) value = cap_;
+    ++counts_[value];
+    ++total_;
+  }
+
+  /// Returns H over everything added so far. O(cap) per call.
+  Degree Value() const {
+    // Classic suffix-count scan: h is the largest value with
+    // |{x : x >= h}| >= h.
+    std::size_t at_least = 0;
+    for (Degree h = cap_; h > 0; --h) {
+      at_least += counts_[h];
+      if (at_least >= h) return h;
+    }
+    return 0;
+  }
+
+  /// Number of values added.
+  std::size_t size() const { return total_; }
+
+  /// Resets to empty, keeping capacity.
+  void Reset() {
+    std::fill(counts_.begin(), counts_.end(), 0);
+    total_ = 0;
+  }
+
+ private:
+  std::vector<std::uint32_t> counts_;
+  Degree cap_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_COMMON_H_INDEX_H_

@@ -1,0 +1,74 @@
+#include "src/common/parallel.h"
+
+#include <algorithm>
+
+namespace nucleus {
+
+int HardwareThreads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+void ParallelFor(std::size_t n, int threads,
+                 const std::function<void(std::size_t)>& body,
+                 Schedule schedule, std::size_t chunk) {
+  if (n == 0) return;
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  const std::size_t t = std::min<std::size_t>(threads, n);
+  if (schedule == Schedule::kDynamic) {
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+      for (;;) {
+        const std::size_t begin = next.fetch_add(chunk);
+        if (begin >= n) return;
+        const std::size_t end = std::min(begin + chunk, n);
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(t - 1);
+    for (std::size_t k = 1; k < t; ++k) pool.emplace_back(worker);
+    worker();
+    for (auto& th : pool) th.join();
+  } else {
+    auto worker = [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) body(i);
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(t - 1);
+    const std::size_t per = (n + t - 1) / t;
+    for (std::size_t k = 1; k < t; ++k) {
+      const std::size_t begin = std::min(k * per, n);
+      const std::size_t end = std::min(begin + per, n);
+      pool.emplace_back(worker, begin, end);
+    }
+    worker(0, std::min(per, n));
+    for (auto& th : pool) th.join();
+  }
+}
+
+void ParallelBlocks(
+    std::size_t n, int threads,
+    const std::function<void(int, std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  if (threads <= 1) {
+    body(0, 0, n);
+    return;
+  }
+  const std::size_t t = std::min<std::size_t>(threads, n);
+  const std::size_t per = (n + t - 1) / t;
+  std::vector<std::thread> pool;
+  pool.reserve(t - 1);
+  for (std::size_t k = 1; k < t; ++k) {
+    const std::size_t begin = std::min(k * per, n);
+    const std::size_t end = std::min(begin + per, n);
+    pool.emplace_back(body, static_cast<int>(k), begin, end);
+  }
+  body(0, 0, std::min(per, n));
+  for (auto& th : pool) th.join();
+}
+
+}  // namespace nucleus

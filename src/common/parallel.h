@@ -1,0 +1,42 @@
+// Minimal shared-memory parallel runtime. The paper parallelizes the
+// per-r-clique loops with OpenMP and argues (Section 4.4) for *dynamic*
+// scheduling because the notification mechanism makes per-item work highly
+// skewed. We reproduce those semantics with std::thread plus an atomic chunk
+// counter (dynamic) or precomputed ranges (static), so the scheduling
+// ablation of the paper can be run without an OpenMP dependency.
+#ifndef NUCLEUS_COMMON_PARALLEL_H_
+#define NUCLEUS_COMMON_PARALLEL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace nucleus {
+
+/// Scheduling policy for ParallelFor, mirroring OpenMP's static/dynamic.
+enum class Schedule {
+  kStatic,   // contiguous ranges, one per thread
+  kDynamic,  // atomic chunk grabbing (default in all paper algorithms)
+};
+
+/// Runs body(i) for i in [0, n) on `threads` threads. If threads <= 1 the
+/// loop runs inline. `chunk` is the dynamic grab size.
+void ParallelFor(std::size_t n, int threads,
+                 const std::function<void(std::size_t)>& body,
+                 Schedule schedule = Schedule::kDynamic,
+                 std::size_t chunk = 256);
+
+/// Runs body(thread_index, begin, end) over a blocked partition of [0, n).
+/// Useful when the body wants thread-local scratch state.
+void ParallelBlocks(std::size_t n, int threads,
+                    const std::function<void(int, std::size_t, std::size_t)>&
+                        body);
+
+/// Number of hardware threads, at least 1.
+int HardwareThreads();
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_COMMON_PARALLEL_H_

@@ -1,0 +1,22 @@
+#include "src/common/rng.h"
+
+#include <numeric>
+
+namespace nucleus {
+
+std::vector<std::size_t> Rng::SampleWithoutReplacement(std::size_t n,
+                                                       std::size_t k) {
+  // Floyd's algorithm would be O(k), but k ~ n in our benches; partial
+  // Fisher-Yates over an index vector is simple and O(n).
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  if (k > n) k = n;
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t j = i + UniformInt(0, n - 1 - i);
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace nucleus

@@ -1,0 +1,54 @@
+// Deterministic random number generation helpers. All generators and
+// randomized benches take explicit seeds so every experiment is exactly
+// reproducible.
+#ifndef NUCLEUS_COMMON_RNG_H_
+#define NUCLEUS_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace nucleus {
+
+/// Thin wrapper over a 64-bit Mersenne Twister with convenience draws.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t UniformInt(std::uint64_t lo, std::uint64_t hi) {
+    std::uniform_int_distribution<std::uint64_t> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformReal() {
+    std::uniform_real_distribution<double> d(0.0, 1.0);
+    return d(engine_);
+  }
+
+  /// Bernoulli draw.
+  bool Flip(double p) { return UniformReal() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (std::size_t i = v->size(); i > 1; --i) {
+      std::size_t j = UniformInt(0, i - 1);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// k distinct indices sampled uniformly from [0, n) (k <= n).
+  std::vector<std::size_t> SampleWithoutReplacement(std::size_t n,
+                                                    std::size_t k);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_COMMON_RNG_H_

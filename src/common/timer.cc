@@ -1,0 +1,3 @@
+#include "src/common/timer.h"
+
+// Header-only; this TU anchors the target.

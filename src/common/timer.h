@@ -1,0 +1,32 @@
+// Wall-clock timer for benches and examples.
+#ifndef NUCLEUS_COMMON_TIMER_H_
+#define NUCLEUS_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace nucleus {
+
+/// Simple monotonic stopwatch.
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_COMMON_TIMER_H_

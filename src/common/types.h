@@ -1,0 +1,40 @@
+// Core integer types and small helpers shared across the library.
+#ifndef NUCLEUS_COMMON_TYPES_H_
+#define NUCLEUS_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace nucleus {
+
+/// Vertex identifier. Graphs are relabeled to a dense [0, n) range.
+using VertexId = std::uint32_t;
+
+/// Edge identifier into the canonical (u < v) edge array.
+using EdgeId = std::uint32_t;
+
+/// Triangle identifier into the canonical sorted-triple triangle array.
+using TriangleId = std::uint32_t;
+
+/// Generic r-clique identifier used by the (r,s)-generic engines. Depending
+/// on r it aliases VertexId (r=1), EdgeId (r=2) or TriangleId (r=3).
+using CliqueId = std::uint32_t;
+
+/// Degree / S-degree / kappa values. 32 bits is ample: an S-degree is bounded
+/// by the number of s-cliques containing one r-clique.
+using Degree = std::uint32_t;
+
+/// Counts of cliques can exceed 2^32 on large graphs (e.g. K4 counts).
+using Count = std::uint64_t;
+
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+inline constexpr TriangleId kInvalidTriangle =
+    std::numeric_limits<TriangleId>::max();
+inline constexpr CliqueId kInvalidClique =
+    std::numeric_limits<CliqueId>::max();
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_COMMON_TYPES_H_

@@ -1,0 +1,208 @@
+#include "src/core/densest.h"
+
+#include <algorithm>
+
+#include "src/common/bucket_queue.h"
+#include "src/metrics/accuracy.h"
+
+namespace nucleus {
+
+namespace {
+
+// Shared greedy scan: peel by the given per-vertex score (degree or
+// triangle count), tracking the per-step objective decrement via
+// `on_remove(v, alive)` which must return how much objective mass the
+// removal destroys. Returns the suffix (as an alive-set snapshot) with the
+// best objective / |S| ratio.
+// For degrees the objective is |E(S)|; removal of v destroys its alive
+// degree. For triangles the objective is |T(S)|; removal destroys the
+// triangles through v among alive vertices.
+template <typename ScoreFn, typename RemoveCost>
+std::pair<std::vector<VertexId>, double> GreedyBestSuffix(
+    const Graph& g, double initial_objective, ScoreFn&& score,
+    RemoveCost&& removal_cost) {
+  const std::size_t n = g.NumVertices();
+  std::vector<Degree> keys(n);
+  for (VertexId v = 0; v < n; ++v) keys[v] = score(v);
+  BucketQueue queue(keys);
+  std::vector<bool> alive(n, true);
+
+  double objective = initial_objective;
+  double best_ratio = n > 0 ? objective / static_cast<double>(n) : 0.0;
+  std::size_t best_prefix = 0;  // vertices removed before the best suffix
+
+  std::vector<VertexId> removal_order;
+  removal_order.reserve(n);
+  for (std::size_t removed = 0; removed + 1 < n; ++removed) {
+    const VertexId v = queue.ExtractMin();
+    removal_order.push_back(v);
+    objective -= removal_cost(v, alive, &queue);
+    alive[v] = false;
+    const double ratio = objective / static_cast<double>(n - removed - 1);
+    if (ratio > best_ratio) {
+      best_ratio = ratio;
+      best_prefix = removed + 1;
+    }
+  }
+
+  std::vector<bool> in_best(n, n > 0);
+  for (std::size_t i = 0; i < best_prefix; ++i) {
+    in_best[removal_order[i]] = false;
+  }
+  std::vector<VertexId> vertices;
+  for (VertexId v = 0; v < n; ++v) {
+    if (in_best[v]) vertices.push_back(v);
+  }
+  return {std::move(vertices), best_ratio};
+}
+
+}  // namespace
+
+DensestSubgraphResult ApproxDensestSubgraph(const Graph& g) {
+  DensestSubgraphResult result;
+  if (g.NumVertices() == 0) return result;
+  auto [vertices, ratio] = GreedyBestSuffix(
+      g, static_cast<double>(g.NumEdges()),
+      [&](VertexId v) { return g.GetDegree(v); },
+      [&](VertexId v, const std::vector<bool>& alive, BucketQueue* queue) {
+        // alive[u] implies u is still in the queue (v itself is never its
+        // own neighbor), so each alive neighbor loses one degree and one
+        // edge leaves the objective.
+        double destroyed = 0;
+        for (VertexId u : g.Neighbors(v)) {
+          if (alive[u]) {
+            queue->DecrementKeyClamped(u, 0);
+            destroyed += 1;
+          }
+        }
+        return destroyed;
+      });
+  result.vertices = std::move(vertices);
+  result.avg_degree_density = ratio;
+  // Count edges inside the chosen set.
+  std::vector<bool> in(g.NumVertices(), false);
+  for (VertexId v : result.vertices) in[v] = true;
+  for (VertexId v : result.vertices) {
+    for (VertexId u : g.Neighbors(v)) {
+      if (u > v && in[u]) ++result.num_edges;
+    }
+  }
+  result.edge_density =
+      SubgraphDensity(result.vertices.size(), result.num_edges);
+  return result;
+}
+
+TriangleDensestResult ApproxTriangleDensestSubgraph(const Graph& g) {
+  TriangleDensestResult result;
+  const std::size_t n = g.NumVertices();
+  if (n == 0) return result;
+  // Per-vertex triangle counts (in the full graph).
+  std::vector<Degree> tri(n, 0);
+  Count total = 0;
+  // Count via adjacency intersections per edge (u < v), attributing to all
+  // three corners.
+  for (VertexId u = 0; u < n; ++u) {
+    const auto nb_u = g.Neighbors(u);
+    for (VertexId v : nb_u) {
+      if (v < u) continue;
+      const auto nb_v = g.Neighbors(v);
+      std::size_t i = 0, j = 0;
+      while (i < nb_u.size() && j < nb_v.size()) {
+        if (nb_u[i] < nb_v[j]) {
+          ++i;
+        } else if (nb_v[j] < nb_u[i]) {
+          ++j;
+        } else {
+          if (nb_u[i] > v) {  // w > v > u: count each triangle once
+            ++tri[u];
+            ++tri[v];
+            ++tri[nb_u[i]];
+            ++total;
+          }
+          ++i;
+          ++j;
+        }
+      }
+    }
+  }
+
+  auto [vertices, ratio] = GreedyBestSuffix(
+      g, static_cast<double>(total),
+      [&](VertexId v) { return tri[v]; },
+      [&](VertexId v, const std::vector<bool>& alive, BucketQueue* queue) {
+        // Triangles destroyed: alive triangles through v. Also decrement
+        // the other two corners' keys per destroyed triangle.
+        double destroyed = 0;
+        const auto nb_v = g.Neighbors(v);
+        for (std::size_t a = 0; a < nb_v.size(); ++a) {
+          const VertexId x = nb_v[a];
+          if (!alive[x]) continue;
+          const auto nb_x = g.Neighbors(x);
+          // intersect suffixes to see each triangle once: require y > x.
+          std::size_t i = a + 1, j = 0;
+          while (i < nb_v.size() && j < nb_x.size()) {
+            if (nb_v[i] < nb_x[j]) {
+              ++i;
+            } else if (nb_x[j] < nb_v[i]) {
+              ++j;
+            } else {
+              const VertexId y = nb_v[i];
+              if (alive[y]) {
+                destroyed += 1;
+                if (!queue->Extracted(x)) queue->DecrementKeyClamped(x, 0);
+                if (!queue->Extracted(y)) queue->DecrementKeyClamped(y, 0);
+              }
+              ++i;
+              ++j;
+            }
+          }
+        }
+        return destroyed;
+      });
+  result.vertices = std::move(vertices);
+  result.triangle_density = ratio;
+  // Count triangles inside the chosen set.
+  std::vector<bool> in(n, false);
+  for (VertexId v : result.vertices) in[v] = true;
+  Count inside = 0;
+  for (VertexId u : result.vertices) {
+    const auto nb_u = g.Neighbors(u);
+    for (VertexId v : nb_u) {
+      if (v <= u || !in[v]) continue;
+      const auto nb_v = g.Neighbors(v);
+      std::size_t i = 0, j = 0;
+      while (i < nb_u.size() && j < nb_v.size()) {
+        if (nb_u[i] < nb_v[j]) {
+          ++i;
+        } else if (nb_v[j] < nb_u[i]) {
+          ++j;
+        } else {
+          if (nb_u[i] > v && in[nb_u[i]]) ++inside;
+          ++i;
+          ++j;
+        }
+      }
+    }
+  }
+  result.num_triangles = inside;
+  return result;
+}
+
+double ExactDensestAvgDegree(const Graph& g) {
+  const std::size_t n = g.NumVertices();
+  double best = 0.0;
+  for (std::uint64_t mask = 1; mask < (std::uint64_t{1} << n); ++mask) {
+    std::size_t vertices = 0, edges = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (!(mask >> v & 1)) continue;
+      ++vertices;
+      for (VertexId u : g.Neighbors(v)) {
+        if (u > v && (mask >> u & 1)) ++edges;
+      }
+    }
+    best = std::max(best, static_cast<double>(edges) / vertices);
+  }
+  return best;
+}
+
+}  // namespace nucleus

@@ -1,0 +1,49 @@
+// Densest-subgraph approximation on top of the peeling substrate — one of
+// the dense-subgraph applications motivating the paper (intro §1). The
+// classic observation: Charikar's greedy 1/2-approximation for maximum
+// average-degree density removes a minimum-degree vertex at each step,
+// which is exactly the k-core peel order; the best suffix of the peel
+// order is the answer. The triangle variant (remove min-triangle-count
+// vertex, 1/3-approximation of triangle density) reuses the same scan.
+#ifndef NUCLEUS_CORE_DENSEST_H_
+#define NUCLEUS_CORE_DENSEST_H_
+
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/graph/graph.h"
+
+namespace nucleus {
+
+/// Result of a densest-subgraph search.
+struct DensestSubgraphResult {
+  /// Vertices of the chosen subgraph, ascending.
+  std::vector<VertexId> vertices;
+  /// Edges inside the subgraph.
+  std::size_t num_edges = 0;
+  /// Average-degree density |E(S)| / |S| (Charikar's objective).
+  double avg_degree_density = 0.0;
+  /// Normalized edge density 2|E(S)| / (|S| (|S|-1)).
+  double edge_density = 0.0;
+};
+
+/// Greedy peel 1/2-approximation of the maximum |E(S)|/|S| subgraph.
+/// O(E) after the peel itself.
+DensestSubgraphResult ApproxDensestSubgraph(const Graph& g);
+
+/// Triangle-densest variant: maximizes |T(S)|/|S| (T = triangles), greedy
+/// peel on vertex triangle counts, 1/3-approximation (Tsourakakis 2014).
+struct TriangleDensestResult {
+  std::vector<VertexId> vertices;
+  Count num_triangles = 0;
+  double triangle_density = 0.0;  // |T(S)| / |S|
+};
+TriangleDensestResult ApproxTriangleDensestSubgraph(const Graph& g);
+
+/// Exact maximum |E(S)|/|S| over all non-empty subsets by exhaustive
+/// search; exponential, for testing only (n <= ~20).
+double ExactDensestAvgDegree(const Graph& g);
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_CORE_DENSEST_H_

@@ -1,0 +1,35 @@
+#include "src/core/generic_rs.h"
+
+#include "src/local/and_impl.h"
+#include "src/local/degree_levels_impl.h"
+#include "src/local/snd_impl.h"
+#include "src/peel/hierarchy_impl.h"
+
+namespace nucleus {
+
+PeelResult PeelRS(const Graph& g, const KCliqueIndex& r_index, int s) {
+  return PeelDecomposition(GenericRsSpace(g, r_index, s));
+}
+
+LocalResult SndRS(const Graph& g, const KCliqueIndex& r_index, int s,
+                  const LocalOptions& options) {
+  return SndGeneric(GenericRsSpace(g, r_index, s), options);
+}
+
+LocalResult AndRS(const Graph& g, const KCliqueIndex& r_index, int s,
+                  const AndOptions& options) {
+  return AndGeneric(GenericRsSpace(g, r_index, s), options);
+}
+
+DegreeLevels RSDegreeLevels(const Graph& g, const KCliqueIndex& r_index,
+                            int s) {
+  return ComputeDegreeLevels(GenericRsSpace(g, r_index, s));
+}
+
+NucleusHierarchy BuildRSHierarchy(const Graph& g,
+                                  const KCliqueIndex& r_index, int s,
+                                  const std::vector<Degree>& kappa) {
+  return BuildHierarchy(GenericRsSpace(g, r_index, s), kappa);
+}
+
+}  // namespace nucleus

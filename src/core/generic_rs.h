@@ -1,0 +1,42 @@
+// Arbitrary-(r,s) nucleus decomposition — the full generality of the
+// paper's framework (any r < s), powered by the generic clique space.
+// Costs grow steeply with r and s (the paper: "only affordable for small
+// networks" beyond (3,4)); intended for moderate graphs.
+#ifndef NUCLEUS_CORE_GENERIC_RS_H_
+#define NUCLEUS_CORE_GENERIC_RS_H_
+
+#include <vector>
+
+#include "src/clique/generic_space.h"
+#include "src/clique/kclique.h"
+#include "src/local/and.h"
+#include "src/local/degree_levels.h"
+#include "src/local/snd.h"
+#include "src/peel/generic_peel.h"
+#include "src/peel/hierarchy.h"
+
+namespace nucleus {
+
+/// Exact (r,s) decomposition by peeling. kappa indexed by KCliqueIndex id.
+PeelResult PeelRS(const Graph& g, const KCliqueIndex& r_index, int s);
+
+/// (r,s) decomposition by SND.
+LocalResult SndRS(const Graph& g, const KCliqueIndex& r_index, int s,
+                  const LocalOptions& options = {});
+
+/// (r,s) decomposition by AND.
+LocalResult AndRS(const Graph& g, const KCliqueIndex& r_index, int s,
+                  const AndOptions& options = {});
+
+/// Degree levels for (r,s) (iteration-count bound).
+DegreeLevels RSDegreeLevels(const Graph& g, const KCliqueIndex& r_index,
+                            int s);
+
+/// (r,s) nucleus hierarchy from precomputed kappa values.
+NucleusHierarchy BuildRSHierarchy(const Graph& g,
+                                  const KCliqueIndex& r_index, int s,
+                                  const std::vector<Degree>& kappa);
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_CORE_GENERIC_RS_H_

@@ -1,0 +1,96 @@
+#include "src/core/nucleus_decomposition.h"
+
+#include "src/common/timer.h"
+#include "src/peel/generic_peel.h"
+
+namespace nucleus {
+
+namespace {
+
+template <typename Space>
+DecomposeResult RunWithSpace(const Space& space,
+                             const DecomposeOptions& options) {
+  DecomposeResult out;
+  out.num_r_cliques = space.NumRCliques();
+  Timer timer;
+  switch (options.method) {
+    case Method::kPeeling: {
+      PeelResult peel = PeelDecomposition(space);
+      out.kappa = std::move(peel.kappa);
+      out.exact = true;
+      break;
+    }
+    case Method::kSnd: {
+      LocalOptions local;
+      local.threads = options.threads;
+      local.max_iterations = options.max_iterations;
+      local.trace = options.trace;
+      LocalResult r = SndGeneric(space, local);
+      out.kappa = std::move(r.tau);
+      out.iterations = r.iterations;
+      out.exact = r.converged;
+      break;
+    }
+    case Method::kAnd: {
+      AndOptions opts;
+      opts.local.threads = options.threads;
+      opts.local.max_iterations = options.max_iterations;
+      opts.local.trace = options.trace;
+      opts.order = options.order;
+      opts.use_notification = options.use_notification;
+      LocalResult r = AndGeneric(space, opts);
+      out.kappa = std::move(r.tau);
+      out.iterations = r.iterations;
+      out.exact = r.converged;
+      break;
+    }
+  }
+  out.seconds = timer.Seconds();
+  return out;
+}
+
+}  // namespace
+
+DecomposeResult Decompose(const Graph& g, DecompositionKind kind,
+                          const DecomposeOptions& options) {
+  switch (kind) {
+    case DecompositionKind::kCore:
+      return RunWithSpace(CoreSpace(g), options);
+    case DecompositionKind::kTruss: {
+      Timer timer;
+      const EdgeIndex edges(g);
+      const double idx_s = timer.Seconds();
+      DecomposeResult out = RunWithSpace(TrussSpace(g, edges), options);
+      out.index_seconds = idx_s;
+      return out;
+    }
+    case DecompositionKind::kNucleus34: {
+      Timer timer;
+      const TriangleIndex tris(g);
+      const double idx_s = timer.Seconds();
+      DecomposeResult out = RunWithSpace(Nucleus34Space(g, tris), options);
+      out.index_seconds = idx_s;
+      return out;
+    }
+  }
+  return {};
+}
+
+NucleusHierarchy DecomposeHierarchy(const Graph& g, DecompositionKind kind,
+                                    const std::vector<Degree>& kappa) {
+  switch (kind) {
+    case DecompositionKind::kCore:
+      return BuildCoreHierarchy(g, kappa);
+    case DecompositionKind::kTruss: {
+      const EdgeIndex edges(g);
+      return BuildTrussHierarchy(g, edges, kappa);
+    }
+    case DecompositionKind::kNucleus34: {
+      const TriangleIndex tris(g);
+      return BuildNucleus34Hierarchy(g, tris, kappa);
+    }
+  }
+  return {};
+}
+
+}  // namespace nucleus

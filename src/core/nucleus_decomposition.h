@@ -1,0 +1,81 @@
+// Public facade of the library: one entry point that runs any of the three
+// decompositions ((1,2) core, (2,3) truss, (3,4) nucleus) with any of the
+// three methods (exact peeling, SND, AND), plus hierarchy extraction.
+//
+// Quickstart:
+//   Graph g = LoadEdgeListText("graph.txt");
+//   auto result = Decompose(g, DecompositionKind::kTruss,
+//                           {.method = Method::kAnd, .threads = 8});
+//   // result.kappa[e] = truss number of edge e (EdgeIndex id order)
+#ifndef NUCLEUS_CORE_NUCLEUS_DECOMPOSITION_H_
+#define NUCLEUS_CORE_NUCLEUS_DECOMPOSITION_H_
+
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/graph/graph.h"
+#include "src/local/and.h"
+#include "src/local/snd.h"
+#include "src/peel/hierarchy.h"
+
+namespace nucleus {
+
+/// Which (r,s) instance to run.
+enum class DecompositionKind {
+  kCore,       // (1, 2): kappa over vertices
+  kTruss,      // (2, 3): kappa over edges
+  kNucleus34,  // (3, 4): kappa over triangles
+};
+
+/// Which algorithm computes the kappa values.
+enum class Method {
+  kPeeling,  // exact, sequential, global (Algorithm 1)
+  kSnd,      // local synchronous iteration (Algorithm 2)
+  kAnd,      // local asynchronous iteration (Algorithm 3)
+};
+
+/// Facade options; a superset of the per-algorithm options.
+struct DecomposeOptions {
+  Method method = Method::kAnd;
+  int threads = 1;
+  /// 0 = run local methods to convergence; otherwise truncate (approx mode).
+  int max_iterations = 0;
+  /// AND processing order.
+  AndOrder order = AndOrder::kNatural;
+  /// AND notification mechanism.
+  bool use_notification = true;
+  /// Optional trace sink for the local methods.
+  ConvergenceTrace* trace = nullptr;
+};
+
+/// Facade result.
+struct DecomposeResult {
+  /// kappa (or tau, if truncated) per r-clique. Index meaning depends on
+  /// the kind: vertex id / EdgeIndex id / TriangleIndex id.
+  std::vector<Degree> kappa;
+  /// Number of r-cliques.
+  std::size_t num_r_cliques = 0;
+  /// Sweeps used by the local methods (0 for peeling).
+  int iterations = 0;
+  /// True for peeling and for converged local runs.
+  bool exact = true;
+  /// Wall-clock seconds of the decomposition proper (excludes the r-clique
+  /// index construction, reported separately below).
+  double seconds = 0.0;
+  /// Seconds spent building the edge/triangle index (0 for kCore).
+  double index_seconds = 0.0;
+};
+
+/// Runs a decomposition end to end (builds whatever edge/triangle index the
+/// kind requires internally).
+DecomposeResult Decompose(const Graph& g, DecompositionKind kind,
+                          const DecomposeOptions& options = {});
+
+/// Builds the nucleus hierarchy for kappa values previously computed with
+/// the same kind on the same graph.
+NucleusHierarchy DecomposeHierarchy(const Graph& g, DecompositionKind kind,
+                                    const std::vector<Degree>& kappa);
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_CORE_NUCLEUS_DECOMPOSITION_H_

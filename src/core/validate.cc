@@ -1,0 +1,19 @@
+#include "src/core/validate.h"
+
+namespace nucleus {
+
+bool ValidateCoreNumbers(const Graph& g, const std::vector<Degree>& kappa) {
+  return ValidateKappa(CoreSpace(g), kappa);
+}
+
+bool ValidateTrussNumbers(const Graph& g, const EdgeIndex& edges,
+                          const std::vector<Degree>& kappa) {
+  return ValidateKappa(TrussSpace(g, edges), kappa);
+}
+
+bool ValidateNucleus34Numbers(const Graph& g, const TriangleIndex& tris,
+                              const std::vector<Degree>& kappa) {
+  return ValidateKappa(Nucleus34Space(g, tris), kappa);
+}
+
+}  // namespace nucleus

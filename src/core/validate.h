@@ -1,0 +1,79 @@
+// Validation of decomposition results — lets downstream users (and our
+// tests) certify a kappa vector without re-running a full decomposition.
+//
+// Checks offered:
+//  (1) fixed point: kappa == U(kappa) (Definition 6). The exact kappa is a
+//      fixed point of the update operator; any tau that still moves is not
+//      converged.
+//  (2) level consistency: for every k, the r-cliques with kappa >= k form
+//      a sub-hypergraph where each has S-degree >= k (the defining k-(r,s)
+//      nucleus property, Definition 3).
+// Exact kappa satisfies both; a truncated run typically fails (1).
+// Together with "tau >= exact" (guaranteed by Theorem 1 for any run of the
+// local algorithms) a passing pair of checks certifies exactness in
+// practice; see validate_test.cc for adversarial counterexamples.
+#ifndef NUCLEUS_CORE_VALIDATE_H_
+#define NUCLEUS_CORE_VALIDATE_H_
+
+#include <vector>
+
+#include "src/clique/spaces.h"
+#include "src/common/h_index.h"
+#include "src/common/types.h"
+
+namespace nucleus {
+
+/// Returns true iff tau is a fixed point of the update operator U.
+template <typename Space>
+bool IsFixedPoint(const Space& space, const std::vector<Degree>& tau) {
+  HIndexScratch scratch;
+  for (CliqueId r = 0; r < space.NumRCliques(); ++r) {
+    auto& rhos = scratch.values();
+    rhos.clear();
+    space.ForEachSClique(r, [&](std::span<const CliqueId> co) {
+      Degree rho = tau[co[0]];
+      for (std::size_t i = 1; i < co.size(); ++i) {
+        rho = std::min(rho, tau[co[i]]);
+      }
+      rhos.push_back(rho);
+    });
+    if (scratch.Compute() != tau[r]) return false;
+  }
+  return true;
+}
+
+/// Returns true iff every level set {kappa >= k} has min S-degree >= k in
+/// the induced sub-hypergraph (s-cliques fully inside the level).
+template <typename Space>
+bool LevelsAreNuclei(const Space& space, const std::vector<Degree>& kappa) {
+  for (CliqueId r = 0; r < space.NumRCliques(); ++r) {
+    const Degree k = kappa[r];
+    if (k == 0) continue;
+    Degree inside = 0;
+    space.ForEachSClique(r, [&](std::span<const CliqueId> co) {
+      for (CliqueId c : co) {
+        if (kappa[c] < k) return;
+      }
+      ++inside;
+    });
+    if (inside < k) return false;
+  }
+  return true;
+}
+
+/// Convenience: both checks.
+template <typename Space>
+bool ValidateKappa(const Space& space, const std::vector<Degree>& kappa) {
+  return LevelsAreNuclei(space, kappa) && IsFixedPoint(space, kappa);
+}
+
+// Non-template wrappers for the canonical instances.
+bool ValidateCoreNumbers(const Graph& g, const std::vector<Degree>& kappa);
+bool ValidateTrussNumbers(const Graph& g, const EdgeIndex& edges,
+                          const std::vector<Degree>& kappa);
+bool ValidateNucleus34Numbers(const Graph& g, const TriangleIndex& tris,
+                              const std::vector<Degree>& kappa);
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_CORE_VALIDATE_H_

@@ -1,0 +1,82 @@
+#include "src/graph/builder.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nucleus {
+
+VertexId GraphBuilder::DenseId(std::uint64_t raw) {
+  auto [it, inserted] =
+      dense_of_raw_.try_emplace(raw, static_cast<VertexId>(original_ids_.size()));
+  if (inserted) original_ids_.push_back(raw);
+  return it->second;
+}
+
+void GraphBuilder::AddVertex(std::uint64_t v) {
+  saw_vertex_ = true;
+  if (relabel_) {
+    DenseId(v);
+  } else {
+    max_raw_id_ = std::max(max_raw_id_, v);
+  }
+}
+
+void GraphBuilder::AddEdge(std::uint64_t u, std::uint64_t v) {
+  if (u == v) return;  // drop self loops
+  saw_vertex_ = true;
+  VertexId du, dv;
+  if (relabel_) {
+    du = DenseId(u);
+    dv = DenseId(v);
+  } else {
+    max_raw_id_ = std::max({max_raw_id_, u, v});
+    du = static_cast<VertexId>(u);
+    dv = static_cast<VertexId>(v);
+  }
+  if (du > dv) std::swap(du, dv);
+  edges_.emplace_back(du, dv);
+}
+
+void GraphBuilder::AddEdges(const std::vector<RawEdge>& edges) {
+  for (const auto& [u, v] : edges) AddEdge(u, v);
+}
+
+Graph GraphBuilder::Build() {
+  const std::size_t n =
+      relabel_ ? original_ids_.size()
+               : (saw_vertex_ ? static_cast<std::size_t>(max_raw_id_) + 1 : 0);
+  // Canonicalize: sort and dedup the (u < v) pairs.
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  std::vector<std::size_t> offsets(n + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++offsets[u + 1];
+    ++offsets[v + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) offsets[i] += offsets[i - 1];
+  std::vector<VertexId> neighbors(offsets[n]);
+  std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const auto& [u, v] : edges_) {
+    neighbors[cursor[u]++] = v;
+    neighbors[cursor[v]++] = u;
+  }
+  // Each adjacency list must be sorted; edges_ was sorted by (u, v) so the
+  // u -> v entries are in order, but the v -> u side is not. Sort per list.
+  for (std::size_t v = 0; v < n; ++v) {
+    std::sort(neighbors.begin() + offsets[v], neighbors.begin() + offsets[v + 1]);
+  }
+  edges_.clear();
+  return Graph(std::move(offsets), std::move(neighbors));
+}
+
+Graph BuildGraphFromEdges(
+    std::size_t num_vertices,
+    const std::vector<std::pair<VertexId, VertexId>>& edges) {
+  GraphBuilder b(/*relabel=*/false);
+  if (num_vertices > 0) b.AddVertex(num_vertices - 1);
+  for (const auto& [u, v] : edges) b.AddEdge(u, v);
+  return b.Build();
+}
+
+}  // namespace nucleus

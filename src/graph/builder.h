@@ -1,0 +1,66 @@
+// Builds Graph objects from arbitrary edge lists: deduplicates, drops self
+// loops, optionally compacts vertex ids.
+#ifndef NUCLEUS_GRAPH_BUILDER_H_
+#define NUCLEUS_GRAPH_BUILDER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace nucleus {
+
+/// An unordered edge as read from input; may contain duplicates, loops, and
+/// both orientations.
+using RawEdge = std::pair<std::uint64_t, std::uint64_t>;
+
+/// Accumulates edges and produces a canonical Graph.
+class GraphBuilder {
+ public:
+  /// If relabel is true, input vertex ids are mapped to a dense [0, n)
+  /// range in first-appearance order; otherwise ids must already be dense
+  /// (n becomes max_id + 1, including isolated vertices below it).
+  explicit GraphBuilder(bool relabel = true) : relabel_(relabel) {}
+
+  /// Adds one undirected edge. Self loops are silently dropped.
+  void AddEdge(std::uint64_t u, std::uint64_t v);
+
+  /// Adds many edges.
+  void AddEdges(const std::vector<RawEdge>& edges);
+
+  /// Ensures a vertex exists even if isolated.
+  void AddVertex(std::uint64_t v);
+
+  /// Number of edges added so far (before dedup).
+  std::size_t PendingEdges() const { return edges_.size(); }
+
+  /// Builds the graph, consuming the accumulated edges.
+  Graph Build();
+
+  /// When relabeling: original id of each dense vertex. Valid after Build().
+  const std::vector<std::uint64_t>& OriginalIds() const {
+    return original_ids_;
+  }
+
+ private:
+  VertexId DenseId(std::uint64_t raw);
+
+  bool relabel_;
+  std::vector<std::pair<VertexId, VertexId>> edges_;
+  std::vector<std::uint64_t> original_ids_;
+  std::unordered_map<std::uint64_t, VertexId> dense_of_raw_;
+  std::uint64_t max_raw_id_ = 0;
+  bool saw_vertex_ = false;
+};
+
+/// Convenience: builds a graph directly from a list of (u, v) pairs with
+/// dense ids already (no relabeling). num_vertices must exceed every id.
+Graph BuildGraphFromEdges(
+    std::size_t num_vertices,
+    const std::vector<std::pair<VertexId, VertexId>>& edges);
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_GRAPH_BUILDER_H_

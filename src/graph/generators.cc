@@ -1,0 +1,228 @@
+#include "src/graph/generators.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/graph/builder.h"
+
+namespace nucleus {
+
+Graph GenerateErdosRenyi(std::size_t n, std::size_t m, std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t max_edges = n < 2 ? 0 : n * (n - 1) / 2;
+  m = std::min(m, max_edges);
+  std::set<std::pair<VertexId, VertexId>> chosen;
+  while (chosen.size() < m) {
+    VertexId u = static_cast<VertexId>(rng.UniformInt(0, n - 1));
+    VertexId v = static_cast<VertexId>(rng.UniformInt(0, n - 1));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    chosen.emplace(u, v);
+  }
+  std::vector<std::pair<VertexId, VertexId>> edges(chosen.begin(),
+                                                   chosen.end());
+  return BuildGraphFromEdges(n, edges);
+}
+
+Graph GenerateBarabasiAlbert(std::size_t n, std::size_t attach,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  if (attach == 0) attach = 1;
+  if (n < attach + 1) n = attach + 1;
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  // Endpoint multiset: sampling uniformly from it is degree-proportional.
+  std::vector<VertexId> endpoints;
+  // Seed clique over the first attach+1 vertices.
+  for (VertexId u = 0; u <= attach; ++u) {
+    for (VertexId v = u + 1; v <= attach; ++v) {
+      edges.emplace_back(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  for (VertexId v = static_cast<VertexId>(attach + 1); v < n; ++v) {
+    std::set<VertexId> targets;
+    while (targets.size() < attach) {
+      const VertexId t =
+          endpoints[rng.UniformInt(0, endpoints.size() - 1)];
+      if (t != v) targets.insert(t);
+    }
+    for (VertexId t : targets) {
+      edges.emplace_back(t, v);
+      endpoints.push_back(t);
+      endpoints.push_back(v);
+    }
+  }
+  return BuildGraphFromEdges(n, edges);
+}
+
+Graph GenerateRmat(int scale, std::size_t edge_factor, std::uint64_t seed,
+                   double a, double b, double c) {
+  Rng rng(seed);
+  const std::size_t n = std::size_t{1} << scale;
+  const std::size_t samples = edge_factor * n;
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    std::size_t u = 0, v = 0;
+    for (int bit = 0; bit < scale; ++bit) {
+      const double r = rng.UniformReal();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left quadrant: no bits set
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u == v) continue;
+    edges.emplace_back(static_cast<VertexId>(u), static_cast<VertexId>(v));
+  }
+  return BuildGraphFromEdges(n, edges);  // builder dedups
+}
+
+Graph GeneratePlantedPartition(std::size_t blocks, std::size_t block_size,
+                               double p_in, double p_out,
+                               std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t n = blocks * block_size;
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      const bool same = (u / block_size) == (v / block_size);
+      if (rng.Flip(same ? p_in : p_out)) edges.emplace_back(u, v);
+    }
+  }
+  return BuildGraphFromEdges(n, edges);
+}
+
+Graph GenerateWattsStrogatz(std::size_t n, std::size_t k, double beta,
+                            std::uint64_t seed) {
+  Rng rng(seed);
+  if (k % 2 == 1) ++k;  // k nearest neighbors means k/2 on each side
+  std::set<std::pair<VertexId, VertexId>> chosen;
+  auto add = [&](VertexId u, VertexId v) {
+    if (u == v) return;
+    if (u > v) std::swap(u, v);
+    chosen.emplace(u, v);
+  };
+  for (VertexId u = 0; u < n; ++u) {
+    for (std::size_t j = 1; j <= k / 2; ++j) {
+      const VertexId v = static_cast<VertexId>((u + j) % n);
+      if (rng.Flip(beta)) {
+        // Rewire to a uniform random target.
+        VertexId t;
+        do {
+          t = static_cast<VertexId>(rng.UniformInt(0, n - 1));
+        } while (t == u);
+        add(u, t);
+      } else {
+        add(u, v);
+      }
+    }
+  }
+  std::vector<std::pair<VertexId, VertexId>> edges(chosen.begin(),
+                                                   chosen.end());
+  return BuildGraphFromEdges(n, edges);
+}
+
+Graph GenerateNestedCliques(std::size_t levels, std::size_t base,
+                            std::size_t step, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  VertexId next = 0;
+  std::vector<VertexId> prev_members;
+  const std::size_t overlap = 2;
+  for (std::size_t level = 0; level < levels; ++level) {
+    const std::size_t size = base + level * step;
+    std::vector<VertexId> members;
+    // Share `overlap` vertices with the previous level's clique so the
+    // denser clique nests inside the sparser region's connectivity.
+    for (std::size_t i = 0; i < overlap && i < prev_members.size(); ++i) {
+      members.push_back(prev_members[i]);
+    }
+    while (members.size() < size) members.push_back(next++);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        edges.emplace_back(std::min(members[i], members[j]),
+                           std::max(members[i], members[j]));
+      }
+    }
+    prev_members = std::move(members);
+  }
+  // Sparse backbone: a few random chords to keep everything connected and
+  // give low-kappa fringe.
+  const std::size_t n = next;
+  for (std::size_t i = 0; i + 1 < n; i += 3) {
+    edges.emplace_back(static_cast<VertexId>(i),
+                       static_cast<VertexId>(
+                           rng.UniformInt(0, n - 1)));
+  }
+  return BuildGraphFromEdges(n, edges);
+}
+
+Graph GenerateComplete(std::size_t n) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+  }
+  return BuildGraphFromEdges(n, edges);
+}
+
+Graph GenerateCycle(std::size_t n) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  if (n >= 3) {
+    for (VertexId u = 0; u < n; ++u) {
+      edges.emplace_back(u, static_cast<VertexId>((u + 1) % n));
+    }
+  }
+  return BuildGraphFromEdges(n, edges);
+}
+
+Graph GeneratePath(std::size_t n) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId u = 0; u + 1 < n; ++u) {
+    edges.emplace_back(u, static_cast<VertexId>(u + 1));
+  }
+  return BuildGraphFromEdges(n, edges);
+}
+
+Graph GenerateStar(std::size_t n) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId v = 1; v < n; ++v) edges.emplace_back(0, v);
+  return BuildGraphFromEdges(n, edges);
+}
+
+Graph GenerateCompleteBipartite(std::size_t a, std::size_t b) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId u = 0; u < a; ++u) {
+    for (VertexId v = 0; v < b; ++v) {
+      edges.emplace_back(u, static_cast<VertexId>(a + v));
+    }
+  }
+  return BuildGraphFromEdges(a + b, edges);
+}
+
+Graph GenerateGrid(std::size_t rows, std::size_t cols) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<VertexId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) edges.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  return BuildGraphFromEdges(rows * cols, edges);
+}
+
+}  // namespace nucleus

@@ -1,0 +1,67 @@
+// Synthetic graph generators. These stand in for the paper's SNAP/KONECT
+// datasets (see DESIGN.md section 3): power-law RMAT and Barabasi-Albert for
+// web/social shape, planted partition for community structure, Watts-Strogatz
+// for high clustering, plus deterministic reference families used in tests.
+#ifndef NUCLEUS_GRAPH_GENERATORS_H_
+#define NUCLEUS_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "src/graph/graph.h"
+
+namespace nucleus {
+
+/// G(n, m): m distinct uniform random edges.
+Graph GenerateErdosRenyi(std::size_t n, std::size_t m, std::uint64_t seed);
+
+/// Barabasi-Albert preferential attachment: each new vertex attaches to
+/// `attach` existing vertices proportionally to degree. Produces power-law
+/// degrees and a dense early core.
+Graph GenerateBarabasiAlbert(std::size_t n, std::size_t attach,
+                             std::uint64_t seed);
+
+/// RMAT / Kronecker-style generator: 2^scale vertices, edge_factor * 2^scale
+/// edge samples with quadrant probabilities (a, b, c; d = 1-a-b-c).
+/// Defaults follow Graph500 (0.57, 0.19, 0.19).
+Graph GenerateRmat(int scale, std::size_t edge_factor, std::uint64_t seed,
+                   double a = 0.57, double b = 0.19, double c = 0.19);
+
+/// Planted partition: `blocks` communities of `block_size` vertices;
+/// within-community edge probability p_in, across p_out. High p_in plants
+/// dense nuclei, the hierarchy of which the examples explore.
+Graph GeneratePlantedPartition(std::size_t blocks, std::size_t block_size,
+                               double p_in, double p_out, std::uint64_t seed);
+
+/// Watts-Strogatz small world: ring of n vertices, each tied to k nearest
+/// neighbors, each edge rewired with probability beta.
+Graph GenerateWattsStrogatz(std::size_t n, std::size_t k, double beta,
+                            std::uint64_t seed);
+
+/// Hierarchically nested cliques: levels of cliques where level i is a
+/// K_{base + i*step} sharing `overlap` vertices with its parent, plus a
+/// sparse backbone. Deterministic; produces a known nucleus hierarchy, used
+/// by tests and the community_hierarchy example.
+Graph GenerateNestedCliques(std::size_t levels, std::size_t base,
+                            std::size_t step, std::uint64_t seed);
+
+/// Complete graph K_n (deterministic).
+Graph GenerateComplete(std::size_t n);
+
+/// Cycle C_n (deterministic).
+Graph GenerateCycle(std::size_t n);
+
+/// Path P_n (deterministic).
+Graph GeneratePath(std::size_t n);
+
+/// Star with n-1 leaves (deterministic).
+Graph GenerateStar(std::size_t n);
+
+/// Complete bipartite K_{a,b} (deterministic; triangle-free).
+Graph GenerateCompleteBipartite(std::size_t a, std::size_t b);
+
+/// 2D grid graph (deterministic; triangle-free).
+Graph GenerateGrid(std::size_t rows, std::size_t cols);
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_GRAPH_GENERATORS_H_

@@ -1,0 +1,31 @@
+#include "src/graph/graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nucleus {
+
+Graph::Graph(std::vector<std::size_t> offsets, std::vector<VertexId> neighbors)
+    : num_vertices_(offsets.empty() ? 0 : offsets.size() - 1),
+      offsets_(std::move(offsets)),
+      neighbors_(std::move(neighbors)) {
+  assert(!offsets_.empty());
+  assert(offsets_.back() == neighbors_.size());
+}
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  if (u >= num_vertices_ || v >= num_vertices_ || u == v) return false;
+  if (GetDegree(u) > GetDegree(v)) std::swap(u, v);
+  const auto nb = Neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+Degree Graph::MaxDegree() const {
+  Degree best = 0;
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    best = std::max(best, GetDegree(v));
+  }
+  return best;
+}
+
+}  // namespace nucleus

@@ -1,0 +1,60 @@
+// Immutable undirected graph in CSR (compressed sparse row) form.
+#ifndef NUCLEUS_GRAPH_GRAPH_H_
+#define NUCLEUS_GRAPH_GRAPH_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace nucleus {
+
+/// Simple undirected graph: no self loops, no parallel edges, adjacency
+/// lists sorted ascending. Built via GraphBuilder (builder.h) or the
+/// generators; the invariants above are enforced at build time.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Takes ownership of CSR arrays. offsets.size() == n+1,
+  /// neighbors.size() == offsets[n] == 2m. Callers must guarantee the
+  /// class invariants (sorted, deduped, loop-free); GraphBuilder does.
+  Graph(std::vector<std::size_t> offsets, std::vector<VertexId> neighbors);
+
+  /// Number of vertices.
+  std::size_t NumVertices() const { return num_vertices_; }
+
+  /// Number of undirected edges.
+  std::size_t NumEdges() const { return neighbors_.size() / 2; }
+
+  /// Degree of v.
+  Degree GetDegree(VertexId v) const {
+    return static_cast<Degree>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Sorted neighbor list of v.
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    return {neighbors_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  /// True iff the edge {u, v} exists. O(log deg) via binary search on the
+  /// smaller endpoint's list.
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// Maximum degree over all vertices (0 for the empty graph).
+  Degree MaxDegree() const;
+
+  /// CSR internals, exposed for the clique enumerators.
+  const std::vector<std::size_t>& Offsets() const { return offsets_; }
+  const std::vector<VertexId>& NeighborArray() const { return neighbors_; }
+
+ private:
+  std::size_t num_vertices_ = 0;
+  std::vector<std::size_t> offsets_{0};
+  std::vector<VertexId> neighbors_;
+};
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_GRAPH_GRAPH_H_

@@ -1,0 +1,89 @@
+#include "src/graph/io.h"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/graph/builder.h"
+
+namespace nucleus {
+
+namespace {
+constexpr std::uint64_t kBinaryMagic = 0x4e55434c45555347ull;  // "NUCLEUSG"
+}  // namespace
+
+Graph LoadEdgeListText(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open graph file: " + path);
+  GraphBuilder builder(/*relabel=*/true);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ss(line);
+    std::uint64_t u, v;
+    if (!(ss >> u >> v)) {
+      throw std::runtime_error("malformed edge at " + path + ":" +
+                               std::to_string(lineno));
+    }
+    builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+void SaveEdgeListText(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write graph file: " + path);
+  out << "# nucleus edge list: " << g.NumVertices() << " vertices, "
+      << g.NumEdges() << " edges\n";
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    for (VertexId v : g.Neighbors(u)) {
+      if (u < v) out << u << ' ' << v << '\n';
+    }
+  }
+}
+
+void SaveBinary(const Graph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write graph file: " + path);
+  auto put64 = [&](std::uint64_t x) {
+    out.write(reinterpret_cast<const char*>(&x), sizeof(x));
+  };
+  put64(kBinaryMagic);
+  put64(g.NumVertices());
+  put64(g.NeighborArray().size());
+  for (std::size_t off : g.Offsets()) put64(off);
+  out.write(reinterpret_cast<const char*>(g.NeighborArray().data()),
+            static_cast<std::streamsize>(g.NeighborArray().size() *
+                                         sizeof(VertexId)));
+}
+
+Graph LoadBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open graph file: " + path);
+  auto get64 = [&] {
+    std::uint64_t x = 0;
+    in.read(reinterpret_cast<char*>(&x), sizeof(x));
+    if (!in) throw std::runtime_error("truncated graph file: " + path);
+    return x;
+  };
+  if (get64() != kBinaryMagic) {
+    throw std::runtime_error("bad magic in graph file: " + path);
+  }
+  const std::size_t n = get64();
+  const std::size_t deg_sum = get64();
+  std::vector<std::size_t> offsets(n + 1);
+  for (auto& off : offsets) off = get64();
+  if (offsets.back() != deg_sum) {
+    throw std::runtime_error("inconsistent CSR in graph file: " + path);
+  }
+  std::vector<VertexId> neighbors(deg_sum);
+  in.read(reinterpret_cast<char*>(neighbors.data()),
+          static_cast<std::streamsize>(deg_sum * sizeof(VertexId)));
+  if (!in) throw std::runtime_error("truncated graph file: " + path);
+  return Graph(std::move(offsets), std::move(neighbors));
+}
+
+}  // namespace nucleus

@@ -1,0 +1,25 @@
+// Edge-list I/O. Text format is SNAP-compatible: one "u v" pair per line,
+// '#' or '%' comment lines ignored. Binary format is a compact CSR dump.
+#ifndef NUCLEUS_GRAPH_IO_H_
+#define NUCLEUS_GRAPH_IO_H_
+
+#include <string>
+
+#include "src/graph/graph.h"
+
+namespace nucleus {
+
+/// Loads a SNAP-style text edge list. Vertex ids are relabeled densely.
+/// Throws std::runtime_error on unreadable files or malformed lines.
+Graph LoadEdgeListText(const std::string& path);
+
+/// Writes "u v" lines (canonical u < v orientation), with a header comment.
+void SaveEdgeListText(const Graph& g, const std::string& path);
+
+/// Binary CSR round-trip: magic + n + offsets + neighbors, little endian.
+void SaveBinary(const Graph& g, const std::string& path);
+Graph LoadBinary(const std::string& path);
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_GRAPH_IO_H_

@@ -1,0 +1,63 @@
+#include "src/graph/ordering.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/bucket_queue.h"
+
+namespace nucleus {
+
+std::vector<VertexId> DegreeOrderRanks(const Graph& g) {
+  const std::size_t n = g.NumVertices();
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), VertexId{0});
+  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    const Degree da = g.GetDegree(a), db = g.GetDegree(b);
+    return da != db ? da < db : a < b;
+  });
+  std::vector<VertexId> rank(n);
+  for (std::size_t i = 0; i < n; ++i) rank[order[i]] = static_cast<VertexId>(i);
+  return rank;
+}
+
+std::vector<VertexId> DegeneracyOrderRanks(const Graph& g,
+                                           Degree* out_degeneracy) {
+  const std::size_t n = g.NumVertices();
+  std::vector<Degree> deg(n);
+  for (VertexId v = 0; v < n; ++v) deg[v] = g.GetDegree(v);
+  BucketQueue queue(deg);
+  std::vector<VertexId> rank(n);
+  Degree degeneracy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const VertexId v = queue.ExtractMin();
+    degeneracy = std::max(degeneracy, queue.Key(v));
+    rank[v] = static_cast<VertexId>(i);
+    for (VertexId w : g.Neighbors(v)) {
+      if (!queue.Extracted(w)) queue.DecrementKeyClamped(w, 0);
+    }
+  }
+  if (out_degeneracy != nullptr) *out_degeneracy = degeneracy;
+  return rank;
+}
+
+OrientedGraph::OrientedGraph(const Graph& g,
+                             const std::vector<VertexId>& ranks) {
+  const std::size_t n = g.NumVertices();
+  offsets_.assign(n + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId w : g.Neighbors(v)) {
+      if (ranks[v] < ranks[w]) ++offsets_[v + 1];
+    }
+  }
+  for (std::size_t i = 1; i <= n; ++i) offsets_[i] += offsets_[i - 1];
+  out_.resize(offsets_[n]);
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId w : g.Neighbors(v)) {
+      if (ranks[v] < ranks[w]) out_[cursor[v]++] = w;
+    }
+  }
+  // Neighbors(v) is sorted by id, so each out list is already id-sorted.
+}
+
+}  // namespace nucleus

@@ -1,0 +1,46 @@
+// Vertex orderings used to orient clique enumeration and to drive AND
+// processing-order experiments.
+#ifndef NUCLEUS_GRAPH_ORDERING_H_
+#define NUCLEUS_GRAPH_ORDERING_H_
+
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace nucleus {
+
+/// rank[v] = position of v in ascending-degree order (ties by id).
+/// Enumerating each edge/triangle from its lowest-ranked vertex bounds work
+/// by the degeneracy-like quantity sum of min-degrees.
+std::vector<VertexId> DegreeOrderRanks(const Graph& g);
+
+/// Smallest-last (degeneracy) ordering. Returns rank[v]; also reports the
+/// graph degeneracy if out_degeneracy is non-null. Computed with the same
+/// bucket structure as k-core peeling.
+std::vector<VertexId> DegeneracyOrderRanks(const Graph& g,
+                                           Degree* out_degeneracy);
+
+/// Orientation view: out-neighbors of v are neighbors with higher rank.
+/// Materialized as a CSR of the DAG, used by triangle/4-clique enumerators.
+class OrientedGraph {
+ public:
+  OrientedGraph(const Graph& g, const std::vector<VertexId>& ranks);
+
+  std::size_t NumVertices() const { return offsets_.size() - 1; }
+
+  std::span<const VertexId> OutNeighbors(VertexId v) const {
+    return {out_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  Degree OutDegree(VertexId v) const {
+    return static_cast<Degree>(offsets_[v + 1] - offsets_[v]);
+  }
+
+ private:
+  std::vector<std::size_t> offsets_;
+  std::vector<VertexId> out_;  // sorted ascending within each list
+};
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_GRAPH_ORDERING_H_

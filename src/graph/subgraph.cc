@@ -1,0 +1,102 @@
+#include "src/graph/subgraph.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/graph/builder.h"
+
+namespace nucleus {
+
+InducedSubgraph BuildInducedSubgraph(const Graph& g,
+                                     std::span<const VertexId> vertices) {
+  InducedSubgraph out;
+  out.mapping.assign(vertices.begin(), vertices.end());
+  std::sort(out.mapping.begin(), out.mapping.end());
+  out.mapping.erase(std::unique(out.mapping.begin(), out.mapping.end()),
+                    out.mapping.end());
+  std::vector<VertexId> new_id(g.NumVertices(), kInvalidVertex);
+  for (std::size_t i = 0; i < out.mapping.size(); ++i) {
+    new_id[out.mapping[i]] = static_cast<VertexId>(i);
+  }
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId old_u : out.mapping) {
+    for (VertexId old_v : g.Neighbors(old_u)) {
+      if (old_v > old_u && new_id[old_v] != kInvalidVertex) {
+        edges.emplace_back(new_id[old_u], new_id[old_v]);
+      }
+    }
+  }
+  out.graph = BuildGraphFromEdges(out.mapping.size(), edges);
+  return out;
+}
+
+std::vector<VertexId> ConnectedComponents(const Graph& g,
+                                          std::size_t* num_components) {
+  const std::size_t n = g.NumVertices();
+  std::vector<VertexId> comp(n, kInvalidVertex);
+  VertexId next = 0;
+  std::queue<VertexId> q;
+  for (VertexId s = 0; s < n; ++s) {
+    if (comp[s] != kInvalidVertex) continue;
+    comp[s] = next;
+    q.push(s);
+    while (!q.empty()) {
+      const VertexId v = q.front();
+      q.pop();
+      for (VertexId u : g.Neighbors(v)) {
+        if (comp[u] == kInvalidVertex) {
+          comp[u] = next;
+          q.push(u);
+        }
+      }
+    }
+    ++next;
+  }
+  if (num_components != nullptr) *num_components = next;
+  return comp;
+}
+
+std::vector<std::uint32_t> BfsDistances(const Graph& g,
+                                        std::span<const VertexId> sources) {
+  std::vector<std::uint32_t> dist(g.NumVertices(), kUnreachable);
+  std::queue<VertexId> q;
+  for (VertexId s : sources) {
+    if (dist[s] != kUnreachable) continue;
+    dist[s] = 0;
+    q.push(s);
+  }
+  while (!q.empty()) {
+    const VertexId v = q.front();
+    q.pop();
+    for (VertexId u : g.Neighbors(v)) {
+      if (dist[u] == kUnreachable) {
+        dist[u] = dist[v] + 1;
+        q.push(u);
+      }
+    }
+  }
+  return dist;
+}
+
+std::uint32_t DoubleSweepDiameter(const Graph& g) {
+  if (g.NumVertices() == 0) return 0;
+  auto farthest = [&](VertexId s) {
+    const VertexId src[1] = {s};
+    const auto dist = BfsDistances(g, src);
+    VertexId best = s;
+    std::uint32_t best_d = 0;
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      if (dist[v] != kUnreachable && dist[v] > best_d) {
+        best = v;
+        best_d = dist[v];
+      }
+    }
+    return std::pair{best, best_d};
+  };
+  const auto [far1, d1] = farthest(0);
+  const auto [far2, d2] = farthest(far1);
+  (void)far2;
+  return std::max(d1, d2);
+}
+
+}  // namespace nucleus

@@ -1,0 +1,37 @@
+// Subgraph and connectivity utilities used by the hierarchy consumers and
+// examples: induced subgraphs, connected components, BFS distances.
+#ifndef NUCLEUS_GRAPH_SUBGRAPH_H_
+#define NUCLEUS_GRAPH_SUBGRAPH_H_
+
+#include <span>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace nucleus {
+
+/// The subgraph induced by `vertices` (need not be sorted; duplicates
+/// ignored). Vertex i of the result corresponds to mapping[i] in g.
+struct InducedSubgraph {
+  Graph graph;
+  std::vector<VertexId> mapping;  // new id -> old id
+};
+InducedSubgraph BuildInducedSubgraph(const Graph& g,
+                                     std::span<const VertexId> vertices);
+
+/// Connected components; returns component id per vertex (dense, 0-based)
+/// and the number of components via out param.
+std::vector<VertexId> ConnectedComponents(const Graph& g,
+                                          std::size_t* num_components);
+
+/// BFS distances from a set of sources; unreachable = kUnreachable.
+inline constexpr std::uint32_t kUnreachable = 0xffffffffu;
+std::vector<std::uint32_t> BfsDistances(const Graph& g,
+                                        std::span<const VertexId> sources);
+
+/// Graph diameter lower bound via double-sweep BFS (exact on trees).
+std::uint32_t DoubleSweepDiameter(const Graph& g);
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_GRAPH_SUBGRAPH_H_

@@ -1,0 +1,28 @@
+#include "src/local/and.h"
+
+#include "src/local/and_impl.h"
+
+namespace nucleus {
+
+template LocalResult AndGeneric<CoreSpace>(const CoreSpace&,
+                                           const AndOptions&);
+template LocalResult AndGeneric<TrussSpace>(const TrussSpace&,
+                                            const AndOptions&);
+template LocalResult AndGeneric<Nucleus34Space>(const Nucleus34Space&,
+                                                const AndOptions&);
+
+LocalResult AndCore(const Graph& g, const AndOptions& options) {
+  return AndGeneric(CoreSpace(g), options);
+}
+
+LocalResult AndTruss(const Graph& g, const EdgeIndex& edges,
+                     const AndOptions& options) {
+  return AndGeneric(TrussSpace(g, edges), options);
+}
+
+LocalResult AndNucleus34(const Graph& g, const TriangleIndex& tris,
+                         const AndOptions& options) {
+  return AndGeneric(Nucleus34Space(g, tris), options);
+}
+
+}  // namespace nucleus

@@ -1,0 +1,59 @@
+// AND — Asynchronous Nucleus Decomposition (Algorithm 3 of the paper).
+// Like SND but updates tau in place (Gauss-Seidel style): each r-clique
+// reads the *freshest* available tau of its neighbors, so information
+// propagates within a sweep and convergence needs fewer iterations.
+// Theorem 4: processed in non-decreasing final-kappa order, AND converges
+// in a single iteration. The notification mechanism (Section 4.2.1) skips
+// r-cliques whose neighborhoods are unchanged, eliminating plateau work.
+#ifndef NUCLEUS_LOCAL_AND_H_
+#define NUCLEUS_LOCAL_AND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/local/snd.h"
+
+namespace nucleus {
+
+/// Processing order of the r-cliques within each AND sweep.
+enum class AndOrder {
+  kNatural,     // id order (lexicographic for edges/triangles)
+  kDegree,      // non-decreasing initial S-degree
+  kRandom,      // seeded shuffle
+  kGiven,       // caller-provided permutation (e.g. the peel order)
+};
+
+/// AND-specific options.
+struct AndOptions {
+  LocalOptions local;
+  AndOrder order = AndOrder::kNatural;
+  /// Used when order == kGiven; must be a permutation of [0, n).
+  std::vector<CliqueId> given_order;
+  /// Seed for order == kRandom.
+  std::uint64_t seed = 1;
+  /// Notification mechanism: process an r-clique only when a neighbor's tau
+  /// changed since its last processing. Pure optimization (Section 4.2.1);
+  /// disable for the ablation bench.
+  bool use_notification = true;
+};
+
+/// Generic AND over any clique space. Thread-safe with options.local.threads
+/// > 1: tau cells are accessed with relaxed atomics; stale reads only delay
+/// convergence (they can never push tau below kappa).
+template <typename Space>
+LocalResult AndGeneric(const Space& space, const AndOptions& options);
+
+/// k-core instance ((1,2)).
+LocalResult AndCore(const Graph& g, const AndOptions& options = {});
+
+/// k-truss instance ((2,3)).
+LocalResult AndTruss(const Graph& g, const EdgeIndex& edges,
+                     const AndOptions& options = {});
+
+/// (3,4) instance.
+LocalResult AndNucleus34(const Graph& g, const TriangleIndex& tris,
+                         const AndOptions& options = {});
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_LOCAL_AND_H_

@@ -1,0 +1,142 @@
+// AndGeneric template definition. Include this (not and.h) when
+// instantiating AND for a clique space beyond the three canonical ones
+// (see core/generic_rs.cc). Regular users include and.h.
+#ifndef NUCLEUS_LOCAL_AND_IMPL_H_
+#define NUCLEUS_LOCAL_AND_IMPL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+
+#include "src/common/h_index.h"
+#include "src/common/rng.h"
+#include "src/local/and.h"
+
+namespace nucleus {
+
+namespace internal {
+
+template <typename Space>
+std::vector<CliqueId> MakeAndOrder(const Space& space,
+                                   const std::vector<Degree>& initial,
+                                   const AndOptions& options) {
+  const std::size_t n = space.NumRCliques();
+  std::vector<CliqueId> order(n);
+  std::iota(order.begin(), order.end(), CliqueId{0});
+  switch (options.order) {
+    case AndOrder::kNatural:
+      break;
+    case AndOrder::kDegree:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](CliqueId a, CliqueId b) {
+                         return initial[a] < initial[b];
+                       });
+      break;
+    case AndOrder::kRandom: {
+      Rng rng(options.seed);
+      rng.Shuffle(&order);
+      break;
+    }
+    case AndOrder::kGiven:
+      order = options.given_order;
+      break;
+  }
+  return order;
+}
+
+}  // namespace internal
+
+template <typename Space>
+LocalResult AndGeneric(const Space& space, const AndOptions& options) {
+  const LocalOptions& local = options.local;
+  const std::size_t n = space.NumRCliques();
+  LocalResult result;
+  result.tau = space.InitialDegrees(local.threads);
+  const std::vector<CliqueId> order =
+      internal::MakeAndOrder(space, result.tau, options);
+
+  // tau cells are plain Degree accessed through atomic_ref: concurrent
+  // sweeps read possibly-stale (higher) values, which by the monotone
+  // lower-bound argument of the paper only postpones convergence.
+  std::vector<Degree>& tau = result.tau;
+  auto load_tau = [&](CliqueId c) {
+    return std::atomic_ref<const Degree>(tau[c])
+        .load(std::memory_order_relaxed);
+  };
+
+  // Notification flags: c(R) of Algorithm 3.
+  std::vector<char> active(n, 1);
+
+  if (local.trace != nullptr) {
+    local.trace->Clear();
+    if (local.trace->record_snapshots) {
+      local.trace->snapshots.push_back(tau);  // tau_0
+    }
+  }
+
+  for (int iter = 0; local.max_iterations == 0 || iter < local.max_iterations;
+       ++iter) {
+    std::atomic<std::size_t> updates{0};
+    ParallelFor(
+        n, local.threads,
+        [&](std::size_t idx) {
+          const CliqueId r = order[idx];
+          if (options.use_notification) {
+            std::atomic_ref<char> flag(active[r]);
+            if (!flag.load(std::memory_order_relaxed)) return;
+            // Mark idle *before* reading neighbors: a concurrent neighbor
+            // update re-arms the flag and the next sweep re-processes r.
+            flag.store(0, std::memory_order_relaxed);
+          }
+          const Degree old_tau = load_tau(r);
+          if (old_tau == 0) return;
+          static thread_local HIndexScratch scratch;
+          auto& rhos = scratch.values();
+          rhos.clear();
+          Degree at_least_old = 0;
+          space.ForEachSClique(r, [&](std::span<const CliqueId> co) {
+            Degree rho = load_tau(co[0]);
+            for (std::size_t i = 1; i < co.size(); ++i) {
+              rho = std::min(rho, load_tau(co[i]));
+            }
+            if (rho >= old_tau) ++at_least_old;
+            rhos.push_back(rho);
+          });
+          if (local.use_preserve_check && at_least_old >= old_tau) return;
+          const Degree new_tau = std::min(scratch.Compute(), old_tau);
+          if (new_tau == old_tau) return;
+          std::atomic_ref<Degree>(tau[r]).store(new_tau,
+                                                std::memory_order_relaxed);
+          updates.fetch_add(1, std::memory_order_relaxed);
+          if (options.use_notification) {
+            // Wake every neighbor: their h-index may drop now.
+            space.ForEachSClique(r, [&](std::span<const CliqueId> co) {
+              for (CliqueId c : co) {
+                std::atomic_ref<char>(active[c])
+                    .store(1, std::memory_order_relaxed);
+              }
+            });
+          }
+        },
+        local.schedule);
+
+    const std::size_t u = updates.load();
+    if (local.trace != nullptr) {
+      local.trace->updates_per_iteration.push_back(u);
+      if (local.trace->record_snapshots) {
+        local.trace->snapshots.push_back(tau);
+      }
+    }
+    if (u == 0) {
+      result.converged = true;
+      break;
+    }
+    result.total_updates += u;
+    ++result.iterations;
+  }
+  return result;
+}
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_LOCAL_AND_IMPL_H_

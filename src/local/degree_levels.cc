@@ -1,0 +1,25 @@
+#include "src/local/degree_levels.h"
+
+#include "src/local/degree_levels_impl.h"
+
+namespace nucleus {
+
+template DegreeLevels ComputeDegreeLevels<CoreSpace>(const CoreSpace&);
+template DegreeLevels ComputeDegreeLevels<TrussSpace>(const TrussSpace&);
+template DegreeLevels ComputeDegreeLevels<Nucleus34Space>(
+    const Nucleus34Space&);
+
+DegreeLevels CoreDegreeLevels(const Graph& g) {
+  return ComputeDegreeLevels(CoreSpace(g));
+}
+
+DegreeLevels TrussDegreeLevels(const Graph& g, const EdgeIndex& edges) {
+  return ComputeDegreeLevels(TrussSpace(g, edges));
+}
+
+DegreeLevels Nucleus34DegreeLevels(const Graph& g,
+                                   const TriangleIndex& tris) {
+  return ComputeDegreeLevels(Nucleus34Space(g, tris));
+}
+
+}  // namespace nucleus

@@ -1,0 +1,35 @@
+// Degree levels (Definition 7 of the paper): L_0 is the set of r-cliques of
+// minimum S-degree; L_i is the set of minimum S-degree after all earlier
+// levels (and the s-cliques they touch) are removed. Theorem 3: the tau of
+// every r-clique in L_i converges to kappa within i SND iterations, so the
+// number of levels upper-bounds the iteration count (Lemma 2).
+#ifndef NUCLEUS_LOCAL_DEGREE_LEVELS_H_
+#define NUCLEUS_LOCAL_DEGREE_LEVELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/clique/spaces.h"
+#include "src/common/types.h"
+
+namespace nucleus {
+
+/// Per-r-clique level assignment.
+struct DegreeLevels {
+  std::vector<std::uint32_t> level;
+  std::size_t num_levels = 0;
+};
+
+/// Computes the degree levels of a clique space by simultaneous batch
+/// peeling (all current minima removed together per round).
+template <typename Space>
+DegreeLevels ComputeDegreeLevels(const Space& space);
+
+/// Instance wrappers.
+DegreeLevels CoreDegreeLevels(const Graph& g);
+DegreeLevels TrussDegreeLevels(const Graph& g, const EdgeIndex& edges);
+DegreeLevels Nucleus34DegreeLevels(const Graph& g, const TriangleIndex& tris);
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_LOCAL_DEGREE_LEVELS_H_

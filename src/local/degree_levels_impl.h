@@ -1,0 +1,60 @@
+// ComputeDegreeLevels template definition; include to instantiate for
+// clique spaces beyond the canonical three (see core/generic_rs.cc).
+#ifndef NUCLEUS_LOCAL_DEGREE_LEVELS_IMPL_H_
+#define NUCLEUS_LOCAL_DEGREE_LEVELS_IMPL_H_
+
+#include "src/common/bucket_queue.h"
+#include "src/local/degree_levels.h"
+
+namespace nucleus {
+
+template <typename Space>
+DegreeLevels ComputeDegreeLevels(const Space& space) {
+  const std::size_t n = space.NumRCliques();
+  DegreeLevels result;
+  result.level.assign(n, 0);
+  if (n == 0) return result;
+
+  std::vector<Degree> ds = space.InitialDegrees();
+  BucketQueue queue(ds);
+  std::vector<bool> extracted(n, false);
+  std::vector<CliqueId> batch;
+  std::uint32_t level = 0;
+  while (!queue.Empty()) {
+    // All items tied at the current minimum form one level; keys are
+    // untouched during batch collection, so this is exactly Definition 7.
+    const Degree m = queue.PeekMinKey();
+    batch.clear();
+    while (!queue.Empty() && queue.PeekMinKey() == m) {
+      const CliqueId r = queue.ExtractMin();
+      batch.push_back(r);
+      extracted[r] = true;
+      result.level[r] = level;
+    }
+    // Removal step: each s-clique that dies with this batch decrements its
+    // surviving co-members exactly once. An s-clique is processed only from
+    // its "first" removed member (earlier level, or same level with the
+    // smaller id) to avoid double-decrements.
+    for (CliqueId r : batch) {
+      space.ForEachSClique(r, [&](std::span<const CliqueId> co) {
+        for (CliqueId c : co) {
+          if (extracted[c] &&
+              (result.level[c] < level ||
+               (result.level[c] == level && c < r))) {
+            return;  // already handled from c's side
+          }
+        }
+        for (CliqueId c : co) {
+          if (!extracted[c]) queue.DecrementKeyClamped(c, 0);
+        }
+      });
+    }
+    ++level;
+  }
+  result.num_levels = level;
+  return result;
+}
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_LOCAL_DEGREE_LEVELS_IMPL_H_

@@ -1,0 +1,135 @@
+#include "src/local/dynamic.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/common/h_index.h"
+#include "src/peel/kcore.h"
+
+namespace nucleus {
+
+DynamicCoreMaintainer::DynamicCoreMaintainer(const Graph& g)
+    : adj_(g.NumVertices()), num_edges_(g.NumEdges()) {
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    adj_[v].assign(g.Neighbors(v).begin(), g.Neighbors(v).end());
+  }
+  kappa_ = CoreNumbers(g);
+}
+
+DynamicCoreMaintainer::DynamicCoreMaintainer(std::size_t n)
+    : adj_(n), kappa_(n, 0) {}
+
+bool DynamicCoreMaintainer::HasEdgeInternal(VertexId u, VertexId v) const {
+  const auto& a = adj_[u].size() <= adj_[v].size() ? adj_[u] : adj_[v];
+  const VertexId target = adj_[u].size() <= adj_[v].size() ? v : u;
+  return std::binary_search(a.begin(), a.end(), target);
+}
+
+bool DynamicCoreMaintainer::InsertEdge(VertexId u, VertexId v) {
+  if (u == v || u >= adj_.size() || v >= adj_.size()) return false;
+  if (HasEdgeInternal(u, v)) return false;
+  adj_[u].insert(std::lower_bound(adj_[u].begin(), adj_[u].end(), v), v);
+  adj_[v].insert(std::lower_bound(adj_[v].begin(), adj_[v].end(), u), u);
+  ++num_edges_;
+
+  // Only the k-subcore reachable from the endpoints through kappa == k
+  // vertices (k = min endpoint kappa) can rise, and by at most one. Build
+  // the new upper bound by bumping exactly that region.
+  const Degree k = std::min(kappa_[u], kappa_[v]);
+  std::vector<VertexId> region;
+  std::vector<bool> in_region(adj_.size(), false);
+  std::queue<VertexId> frontier;
+  for (VertexId s : {u, v}) {
+    if (kappa_[s] == k && !in_region[s]) {
+      in_region[s] = true;
+      frontier.push(s);
+      region.push_back(s);
+    }
+  }
+  while (!frontier.empty()) {
+    const VertexId x = frontier.front();
+    frontier.pop();
+    for (VertexId y : adj_[x]) {
+      if (kappa_[y] == k && !in_region[y]) {
+        in_region[y] = true;
+        frontier.push(y);
+        region.push_back(y);
+      }
+    }
+  }
+  for (VertexId x : region) {
+    kappa_[x] = std::min<Degree>(static_cast<Degree>(adj_[x].size()),
+                                 kappa_[x] + 1);
+  }
+  Repair(std::move(region));
+  return true;
+}
+
+bool DynamicCoreMaintainer::RemoveEdge(VertexId u, VertexId v) {
+  if (u == v || u >= adj_.size() || v >= adj_.size()) return false;
+  if (!HasEdgeInternal(u, v)) return false;
+  adj_[u].erase(std::lower_bound(adj_[u].begin(), adj_[u].end(), v));
+  adj_[v].erase(std::lower_bound(adj_[v].begin(), adj_[v].end(), u));
+  --num_edges_;
+
+  // Deletion can only lower kappa; the old values clamped to the new
+  // degrees are a valid upper bound to repair from.
+  for (VertexId s : {u, v}) {
+    kappa_[s] =
+        std::min<Degree>(kappa_[s], static_cast<Degree>(adj_[s].size()));
+  }
+  Repair({u, v});
+  return true;
+}
+
+void DynamicCoreMaintainer::Repair(std::vector<VertexId> seeds) {
+  last_repair_work_ = 0;
+  std::vector<bool> queued(adj_.size(), false);
+  std::queue<VertexId> work;
+  auto push = [&](VertexId x) {
+    if (!queued[x]) {
+      queued[x] = true;
+      work.push(x);
+    }
+  };
+  for (VertexId s : seeds) push(s);
+  // Also the seeds' neighbors: their h-index inputs changed.
+  for (VertexId s : seeds) {
+    for (VertexId y : adj_[s]) push(y);
+  }
+  HIndexScratch scratch;
+  while (!work.empty()) {
+    const VertexId x = work.front();
+    work.pop();
+    queued[x] = false;
+    ++last_repair_work_;
+    auto& rhos = scratch.values();
+    rhos.clear();
+    for (VertexId y : adj_[x]) {
+      rhos.push_back(std::min(kappa_[y], kappa_[x]));
+    }
+    // For the core instance rho(edge {x,y}) = tau(y); clamping by tau(x)
+    // inside the list does not change H because H <= tau(x) candidates
+    // only. New value can only be <= current (monotone repair).
+    const Degree h = std::min<Degree>(scratch.Compute(), kappa_[x]);
+    if (h != kappa_[x]) {
+      kappa_[x] = h;
+      for (VertexId y : adj_[x]) push(y);
+    }
+  }
+}
+
+Graph DynamicCoreMaintainer::ToGraph() const {
+  std::vector<std::size_t> offsets(adj_.size() + 1, 0);
+  for (std::size_t v = 0; v < adj_.size(); ++v) {
+    offsets[v + 1] = offsets[v] + adj_[v].size();
+  }
+  std::vector<VertexId> neighbors;
+  neighbors.reserve(offsets.back());
+  for (const auto& a : adj_) {
+    neighbors.insert(neighbors.end(), a.begin(), a.end());
+  }
+  return Graph(std::move(offsets), std::move(neighbors));
+}
+
+}  // namespace nucleus

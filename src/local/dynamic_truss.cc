@@ -1,0 +1,197 @@
+#include "src/local/dynamic_truss.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+
+#include "src/clique/edge_index.h"
+#include "src/clique/intersect.h"
+#include "src/common/h_index.h"
+#include "src/peel/ktruss.h"
+
+namespace nucleus {
+
+namespace {
+
+// Sorted-vector intersection shared by the member functions.
+template <typename Fn>
+void CommonNeighbors(const std::vector<VertexId>& a,
+                     const std::vector<VertexId>& b, Fn&& fn) {
+  ForEachCommon(std::span<const VertexId>(a.data(), a.size()),
+                std::span<const VertexId>(b.data(), b.size()),
+                std::forward<Fn>(fn));
+}
+
+}  // namespace
+
+DynamicTrussMaintainer::DynamicTrussMaintainer(const Graph& g)
+    : adj_(g.NumVertices()), num_edges_(g.NumEdges()) {
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    adj_[v].assign(g.Neighbors(v).begin(), g.Neighbors(v).end());
+  }
+  const EdgeIndex edges(g);
+  const auto truss = TrussNumbers(g, edges);
+  kappa_.reserve(edges.NumEdges() * 2);
+  for (EdgeId e = 0; e < edges.NumEdges(); ++e) {
+    const auto [u, v] = edges.Endpoints(e);
+    kappa_[Key(u, v)] = truss[e];
+  }
+}
+
+DynamicTrussMaintainer::DynamicTrussMaintainer(std::size_t n) : adj_(n) {}
+
+bool DynamicTrussMaintainer::HasEdgeInternal(VertexId u, VertexId v) const {
+  const auto& a = adj_[u].size() <= adj_[v].size() ? adj_[u] : adj_[v];
+  const VertexId target = adj_[u].size() <= adj_[v].size() ? v : u;
+  return std::binary_search(a.begin(), a.end(), target);
+}
+
+Degree DynamicTrussMaintainer::TriangleCount(VertexId u, VertexId v) const {
+  Degree c = 0;
+  CommonNeighbors(adj_[u], adj_[v], [&](VertexId) { ++c; });
+  return c;
+}
+
+Degree DynamicTrussMaintainer::TrussNumberOf(VertexId u, VertexId v) const {
+  const auto it = kappa_.find(Key(u, v));
+  return it == kappa_.end() ? kInvalidClique : it->second;
+}
+
+bool DynamicTrussMaintainer::InsertEdge(VertexId u, VertexId v) {
+  if (u == v || u >= adj_.size() || v >= adj_.size()) return false;
+  if (HasEdgeInternal(u, v)) return false;
+  adj_[u].insert(std::lower_bound(adj_[u].begin(), adj_[u].end(), v), v);
+  adj_[v].insert(std::lower_bound(adj_[v].begin(), adj_[v].end(), u), u);
+  ++num_edges_;
+
+  // The new edge starts from its triangle count (valid upper bound).
+  const Degree d3_e0 = TriangleCount(u, v);
+  const std::uint64_t key0 = Key(u, v);
+  kappa_[key0] = d3_e0;
+
+  // Per-level triangle-BFS from e0: at level m, traverse triangles whose
+  // edges all have old kappa >= m; edges with old kappa == m found this
+  // way are the only candidates that may rise to m+1. Bumps are recorded
+  // first (BFS must see the *old* values) and applied afterwards.
+  std::unordered_set<std::uint64_t> bumped;
+  for (Degree m = 0; m < d3_e0; ++m) {
+    std::unordered_set<std::uint64_t> visited = {key0};
+    std::queue<std::pair<VertexId, VertexId>> frontier;
+    frontier.emplace(u, v);
+    while (!frontier.empty()) {
+      const auto [a, b] = frontier.front();
+      frontier.pop();
+      CommonNeighbors(adj_[a], adj_[b], [&](VertexId w) {
+        const std::uint64_t k1 = Key(a, w);
+        const std::uint64_t k2 = Key(b, w);
+        // Traverse this triangle only if both co-edges still qualify
+        // (old kappa >= m); the new edge itself always qualifies.
+        const Degree t1 = kappa_.at(k1);
+        const Degree t2 = kappa_.at(k2);
+        if (t1 < m || t2 < m) return;
+        for (const auto& [kk, x, y] :
+             {std::tuple{k1, a, w}, std::tuple{k2, b, w}}) {
+          if (visited.insert(kk).second) {
+            if (kappa_.at(kk) == m) bumped.insert(kk);
+            // Continue through edges that stay >= m.
+            frontier.emplace(x, y);
+          }
+        }
+      });
+    }
+  }
+  std::vector<std::uint64_t> seeds = {key0};
+  for (std::uint64_t kk : bumped) {
+    auto& val = kappa_[kk];
+    const VertexId a = static_cast<VertexId>(kk >> 32);
+    const VertexId b = static_cast<VertexId>(kk & 0xffffffffu);
+    val = std::min<Degree>(val + 1, TriangleCount(a, b));
+    seeds.push_back(kk);
+  }
+  // The co-edges of the new triangles also gained an input.
+  CommonNeighbors(adj_[u], adj_[v], [&](VertexId w) {
+    seeds.push_back(Key(u, w));
+    seeds.push_back(Key(v, w));
+  });
+  Repair(std::move(seeds));
+  return true;
+}
+
+bool DynamicTrussMaintainer::RemoveEdge(VertexId u, VertexId v) {
+  if (u == v || u >= adj_.size() || v >= adj_.size()) return false;
+  if (!HasEdgeInternal(u, v)) return false;
+  // Seeds: edges of the triangles being destroyed.
+  std::vector<std::uint64_t> seeds;
+  CommonNeighbors(adj_[u], adj_[v], [&](VertexId w) {
+    seeds.push_back(Key(u, w));
+    seeds.push_back(Key(v, w));
+  });
+  adj_[u].erase(std::lower_bound(adj_[u].begin(), adj_[u].end(), v));
+  adj_[v].erase(std::lower_bound(adj_[v].begin(), adj_[v].end(), u));
+  --num_edges_;
+  kappa_.erase(Key(u, v));
+  Repair(std::move(seeds));
+  return true;
+}
+
+void DynamicTrussMaintainer::Repair(std::vector<std::uint64_t> seeds) {
+  last_repair_work_ = 0;
+  std::unordered_set<std::uint64_t> queued;
+  std::queue<std::uint64_t> work;
+  auto push = [&](std::uint64_t k) {
+    if (queued.insert(k).second) work.push(k);
+  };
+  for (std::uint64_t s : seeds) push(s);
+  HIndexScratch scratch;
+  while (!work.empty()) {
+    const std::uint64_t k = work.front();
+    work.pop();
+    queued.erase(k);
+    const auto it = kappa_.find(k);
+    if (it == kappa_.end()) continue;  // edge deleted meanwhile
+    ++last_repair_work_;
+    const VertexId a = static_cast<VertexId>(k >> 32);
+    const VertexId b = static_cast<VertexId>(k & 0xffffffffu);
+    auto& rhos = scratch.values();
+    rhos.clear();
+    CommonNeighbors(adj_[a], adj_[b], [&](VertexId w) {
+      rhos.push_back(std::min(kappa_.at(Key(a, w)), kappa_.at(Key(b, w))));
+    });
+    const Degree h = std::min<Degree>(scratch.Compute(), it->second);
+    if (h != it->second) {
+      it->second = h;
+      // Wake the triangle neighbors.
+      CommonNeighbors(adj_[a], adj_[b], [&](VertexId w) {
+        push(Key(a, w));
+        push(Key(b, w));
+      });
+    }
+  }
+}
+
+Graph DynamicTrussMaintainer::ToGraph() const {
+  std::vector<std::size_t> offsets(adj_.size() + 1, 0);
+  for (std::size_t v = 0; v < adj_.size(); ++v) {
+    offsets[v + 1] = offsets[v] + adj_[v].size();
+  }
+  std::vector<VertexId> neighbors;
+  neighbors.reserve(offsets.back());
+  for (const auto& a : adj_) {
+    neighbors.insert(neighbors.end(), a.begin(), a.end());
+  }
+  return Graph(std::move(offsets), std::move(neighbors));
+}
+
+std::vector<Degree> DynamicTrussMaintainer::TrussNumbersInIndexOrder()
+    const {
+  std::vector<Degree> out;
+  out.reserve(num_edges_);
+  for (VertexId u = 0; u < adj_.size(); ++u) {
+    for (VertexId v : adj_[u]) {
+      if (v > u) out.push_back(kappa_.at(Key(u, v)));
+    }
+  }
+  return out;
+}
+
+}  // namespace nucleus

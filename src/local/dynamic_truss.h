@@ -1,0 +1,76 @@
+// Incremental k-truss maintenance under edge insertions/deletions,
+// companion to DynamicCoreMaintainer (dynamic.h). Same recipe: after a
+// mutation, rebuild a certified upper bound of the new truss numbers, then
+// run the local h-index repair to the fixed point.
+//
+// Upper-bound construction for insertion of e0 = {u,v} relies on the
+// classical single-edge k-truss update bound (truss numbers change by at
+// most 1) plus a reachability argument: an edge f with old truss m can
+// only rise to m+1 if it is triangle-connected to e0 through edges of old
+// truss >= m, and m < d3(e0). We therefore bump exactly the edges found by
+// a per-level triangle-BFS from e0 and repair from there. Deletion needs
+// no theorem: old values are upper bounds, clamped at the seeds.
+// Exactness of the repaired values follows from the fixed-point sandwich
+// (see dynamic.h) and is asserted against full recomputation in
+// dynamic_truss_test.cc over hundreds of random mutations.
+#ifndef NUCLEUS_LOCAL_DYNAMIC_TRUSS_H_
+#define NUCLEUS_LOCAL_DYNAMIC_TRUSS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/graph/graph.h"
+
+namespace nucleus {
+
+/// Maintains exact truss numbers of a mutable simple graph. Edges are
+/// keyed by their endpoint pair (stable across mutations, unlike dense
+/// EdgeIndex ids).
+class DynamicTrussMaintainer {
+ public:
+  explicit DynamicTrussMaintainer(const Graph& g);
+  explicit DynamicTrussMaintainer(std::size_t n);
+
+  /// Inserts {u, v}; false if present or invalid. Repairs truss numbers.
+  bool InsertEdge(VertexId u, VertexId v);
+
+  /// Removes {u, v}; false if absent.
+  bool RemoveEdge(VertexId u, VertexId v);
+
+  /// Truss number of {u, v}; kInvalidClique if the edge is absent.
+  Degree TrussNumberOf(VertexId u, VertexId v) const;
+
+  std::size_t NumVertices() const { return adj_.size(); }
+  std::size_t NumEdges() const { return num_edges_; }
+
+  /// Edges recomputed during the last mutation (work measure).
+  std::size_t LastRepairWork() const { return last_repair_work_; }
+
+  /// Materializes the current graph (for testing / interop).
+  Graph ToGraph() const;
+
+  /// Truss numbers in EdgeIndex id order of ToGraph() (for testing).
+  std::vector<Degree> TrussNumbersInIndexOrder() const;
+
+ private:
+  static std::uint64_t Key(VertexId u, VertexId v) {
+    if (u > v) std::swap(u, v);
+    return (static_cast<std::uint64_t>(u) << 32) | v;
+  }
+  bool HasEdgeInternal(VertexId u, VertexId v) const;
+  Degree TriangleCount(VertexId u, VertexId v) const;
+  // Worklist repair; seeds are edge keys whose inputs changed. kappa_ must
+  // hold a valid upper bound on entry.
+  void Repair(std::vector<std::uint64_t> seeds);
+
+  std::vector<std::vector<VertexId>> adj_;
+  std::unordered_map<std::uint64_t, Degree> kappa_;
+  std::size_t num_edges_ = 0;
+  std::size_t last_repair_work_ = 0;
+};
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_LOCAL_DYNAMIC_TRUSS_H_

@@ -1,0 +1,180 @@
+#include "src/local/query.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "src/clique/intersect.h"
+#include "src/common/h_index.h"
+
+namespace nucleus {
+
+namespace {
+
+// BFS ball of the given radius around the seed vertices. Returns the list
+// of vertices in the ball; dist is sized n with kInvalidVertex as infinity.
+std::vector<VertexId> VertexBall(const Graph& g,
+                                 std::span<const VertexId> seeds, int radius,
+                                 std::vector<std::uint32_t>* dist_out) {
+  constexpr std::uint32_t kInf = 0xffffffffu;
+  std::vector<std::uint32_t> dist(g.NumVertices(), kInf);
+  std::vector<VertexId> ball;
+  std::queue<VertexId> frontier;
+  for (VertexId s : seeds) {
+    if (dist[s] != kInf) continue;
+    dist[s] = 0;
+    frontier.push(s);
+    ball.push_back(s);
+  }
+  while (!frontier.empty()) {
+    const VertexId v = frontier.front();
+    frontier.pop();
+    if (dist[v] == static_cast<std::uint32_t>(radius)) continue;
+    for (VertexId u : g.Neighbors(v)) {
+      if (dist[u] == kInf) {
+        dist[u] = dist[v] + 1;
+        frontier.push(u);
+        ball.push_back(u);
+      }
+    }
+  }
+  if (dist_out != nullptr) *dist_out = std::move(dist);
+  return ball;
+}
+
+}  // namespace
+
+QueryEstimate EstimateCoreNumbers(const Graph& g,
+                                  std::span<const VertexId> queries,
+                                  const QueryOptions& options) {
+  QueryEstimate result;
+  std::vector<std::uint32_t> dist;
+  const std::vector<VertexId> region =
+      VertexBall(g, queries, options.radius, &dist);
+  result.region_size = region.size();
+
+  // Sparse tau: only region vertices iterate; any vertex read that is not
+  // in the map contributes its degree (tau_0), which is the correct frozen
+  // boundary value.
+  std::unordered_map<VertexId, Degree> tau;
+  tau.reserve(region.size() * 2);
+  for (VertexId v : region) tau[v] = g.GetDegree(v);
+  auto tau_of = [&](VertexId v) {
+    auto it = tau.find(v);
+    return it == tau.end() ? g.GetDegree(v) : it->second;
+  };
+
+  HIndexScratch scratch;
+  for (int iter = 0;
+       options.max_iterations == 0 || iter < options.max_iterations; ++iter) {
+    // Synchronous sweep over the region (Jacobi), small enough to copy.
+    std::unordered_map<VertexId, Degree> prev = tau;
+    auto prev_of = [&](VertexId v) {
+      auto it = prev.find(v);
+      return it == prev.end() ? g.GetDegree(v) : it->second;
+    };
+    std::size_t updates = 0;
+    for (VertexId v : region) {
+      auto& rhos = scratch.values();
+      rhos.clear();
+      for (VertexId u : g.Neighbors(v)) rhos.push_back(prev_of(u));
+      const Degree new_tau = std::min<Degree>(scratch.Compute(), prev_of(v));
+      if (new_tau != prev_of(v)) {
+        tau[v] = new_tau;
+        ++updates;
+      }
+    }
+    ++result.iterations;
+    if (updates == 0) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.estimates.reserve(queries.size());
+  for (VertexId q : queries) result.estimates.push_back(tau_of(q));
+  return result;
+}
+
+QueryEstimate EstimateTrussNumbers(const Graph& g, const EdgeIndex& edges,
+                                   std::span<const EdgeId> queries,
+                                   const QueryOptions& options) {
+  QueryEstimate result;
+  // Vertex ball around all query endpoints; the iterated edges are those
+  // with both endpoints inside the ball.
+  std::vector<VertexId> seeds;
+  seeds.reserve(queries.size() * 2);
+  for (EdgeId e : queries) {
+    const auto [u, v] = edges.Endpoints(e);
+    seeds.push_back(u);
+    seeds.push_back(v);
+  }
+  std::vector<std::uint32_t> dist;
+  const std::vector<VertexId> ball =
+      VertexBall(g, seeds, options.radius, &dist);
+  constexpr std::uint32_t kInf = 0xffffffffu;
+
+  // Region edges + lazily computed boundary triangle counts.
+  std::unordered_map<EdgeId, Degree> tau;
+  std::unordered_map<EdgeId, Degree> d3_cache;
+  auto d3_of = [&](EdgeId e) {
+    auto it = d3_cache.find(e);
+    if (it != d3_cache.end()) return it->second;
+    const auto [u, v] = edges.Endpoints(e);
+    const Degree c =
+        static_cast<Degree>(CountCommon(g.Neighbors(u), g.Neighbors(v)));
+    d3_cache.emplace(e, c);
+    return c;
+  };
+  std::vector<EdgeId> region;
+  for (VertexId u : ball) {
+    for (VertexId v : g.Neighbors(u)) {
+      if (u < v && dist[v] != kInf) {
+        const EdgeId e = edges.EdgeIdOf(u, v);
+        region.push_back(e);
+        tau.emplace(e, d3_of(e));
+      }
+    }
+  }
+  result.region_size = region.size();
+
+  auto tau_of = [&](EdgeId e) {
+    auto it = tau.find(e);
+    return it == tau.end() ? d3_of(e) : it->second;
+  };
+
+  HIndexScratch scratch;
+  for (int iter = 0;
+       options.max_iterations == 0 || iter < options.max_iterations; ++iter) {
+    std::unordered_map<EdgeId, Degree> prev = tau;
+    auto prev_of = [&](EdgeId e) {
+      auto it = prev.find(e);
+      return it == prev.end() ? d3_of(e) : it->second;
+    };
+    std::size_t updates = 0;
+    for (EdgeId e : region) {
+      const auto [u, v] = edges.Endpoints(e);
+      auto& rhos = scratch.values();
+      rhos.clear();
+      ForEachCommon(g.Neighbors(u), g.Neighbors(v), [&](VertexId w) {
+        const Degree a = prev_of(edges.EdgeIdOf(u, w));
+        const Degree b = prev_of(edges.EdgeIdOf(v, w));
+        rhos.push_back(std::min(a, b));
+      });
+      const Degree new_tau = std::min<Degree>(scratch.Compute(), prev_of(e));
+      if (new_tau != prev_of(e)) {
+        tau[e] = new_tau;
+        ++updates;
+      }
+    }
+    ++result.iterations;
+    if (updates == 0) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.estimates.reserve(queries.size());
+  for (EdgeId q : queries) result.estimates.push_back(tau_of(q));
+  return result;
+}
+
+}  // namespace nucleus

@@ -1,0 +1,53 @@
+// Query-driven estimation (Section 1.2 / experiments): the local algorithms
+// can estimate the core/truss numbers of a handful of query vertices/edges
+// without touching the whole graph. We run the iterated h-index updates only
+// inside a bounded-radius neighborhood of the queries; everything on the
+// boundary keeps its S-degree as a (valid, upper-bounding) tau. Estimates
+// are always >= kappa and improve monotonically with the radius.
+#ifndef NUCLEUS_LOCAL_QUERY_H_
+#define NUCLEUS_LOCAL_QUERY_H_
+
+#include <span>
+#include <vector>
+
+#include "src/clique/edge_index.h"
+#include "src/common/types.h"
+#include "src/graph/graph.h"
+
+namespace nucleus {
+
+/// Options for query-driven estimation.
+struct QueryOptions {
+  /// BFS radius (in hops) of the region around the queries that is allowed
+  /// to iterate. Radius 0 = only the queried items themselves.
+  int radius = 2;
+  /// Cap on the number of h-index sweeps inside the region; 0 = until the
+  /// region converges.
+  int max_iterations = 0;
+};
+
+/// Result of a query estimation.
+struct QueryEstimate {
+  /// estimates[i] corresponds to queries[i]; always >= the true kappa.
+  std::vector<Degree> estimates;
+  /// r-cliques inside the iterated region (work measure).
+  std::size_t region_size = 0;
+  /// Sweeps executed.
+  int iterations = 0;
+  /// Whether the region reached its fixed point.
+  bool converged = false;
+};
+
+/// Estimates core numbers kappa_2 of the query vertices.
+QueryEstimate EstimateCoreNumbers(const Graph& g,
+                                  std::span<const VertexId> queries,
+                                  const QueryOptions& options = {});
+
+/// Estimates truss numbers kappa_3 of the query edges (EdgeIndex ids).
+QueryEstimate EstimateTrussNumbers(const Graph& g, const EdgeIndex& edges,
+                                   std::span<const EdgeId> queries,
+                                   const QueryOptions& options = {});
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_LOCAL_QUERY_H_

@@ -1,0 +1,28 @@
+#include "src/local/snd.h"
+
+#include "src/local/snd_impl.h"
+
+namespace nucleus {
+
+template LocalResult SndGeneric<CoreSpace>(const CoreSpace&,
+                                           const LocalOptions&);
+template LocalResult SndGeneric<TrussSpace>(const TrussSpace&,
+                                            const LocalOptions&);
+template LocalResult SndGeneric<Nucleus34Space>(const Nucleus34Space&,
+                                                const LocalOptions&);
+
+LocalResult SndCore(const Graph& g, const LocalOptions& options) {
+  return SndGeneric(CoreSpace(g), options);
+}
+
+LocalResult SndTruss(const Graph& g, const EdgeIndex& edges,
+                     const LocalOptions& options) {
+  return SndGeneric(TrussSpace(g, edges), options);
+}
+
+LocalResult SndNucleus34(const Graph& g, const TriangleIndex& tris,
+                         const LocalOptions& options) {
+  return SndGeneric(Nucleus34Space(g, tris), options);
+}
+
+}  // namespace nucleus

@@ -1,0 +1,48 @@
+#include "src/local/trace.h"
+
+#include "src/metrics/kendall.h"
+
+namespace nucleus {
+
+std::vector<double> KendallTrajectory(const ConvergenceTrace& trace,
+                                      const std::vector<Degree>& exact) {
+  std::vector<double> out;
+  out.reserve(trace.snapshots.size());
+  for (const auto& snap : trace.snapshots) {
+    out.push_back(KendallTauB(snap, exact));
+  }
+  return out;
+}
+
+std::vector<double> ConvergedFractionTrajectory(
+    const ConvergenceTrace& trace, const std::vector<Degree>& exact) {
+  std::vector<double> out;
+  out.reserve(trace.snapshots.size());
+  for (const auto& snap : trace.snapshots) {
+    std::size_t match = 0;
+    for (std::size_t i = 0; i < snap.size(); ++i) {
+      if (snap[i] == exact[i]) ++match;
+    }
+    out.push_back(snap.empty() ? 1.0
+                               : static_cast<double>(match) / snap.size());
+  }
+  return out;
+}
+
+std::vector<int> ConvergenceIteration(const ConvergenceTrace& trace) {
+  if (trace.snapshots.empty()) return {};
+  const std::size_t n = trace.snapshots.front().size();
+  const std::size_t T = trace.snapshots.size();
+  std::vector<int> first(n, 0);
+  // Walk backwards: the plateau start is the first index t such that
+  // snapshots[t..T-1] all agree with the final value.
+  for (std::size_t i = 0; i < n; ++i) {
+    const Degree final_value = trace.snapshots[T - 1][i];
+    int t = static_cast<int>(T) - 1;
+    while (t > 0 && trace.snapshots[t - 1][i] == final_value) --t;
+    first[i] = t;
+  }
+  return first;
+}
+
+}  // namespace nucleus

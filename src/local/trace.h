@@ -1,0 +1,43 @@
+// Convergence instrumentation for the local algorithms: per-iteration tau
+// snapshots and update counts, from which the convergence figures of the
+// paper (Kendall-tau trajectories, converged fractions, plateau plots) are
+// derived.
+#ifndef NUCLEUS_LOCAL_TRACE_H_
+#define NUCLEUS_LOCAL_TRACE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace nucleus {
+
+/// Attach to LocalOptions::trace to record per-iteration state.
+/// snapshots[t] is tau after iteration t+1 (tau_0, the initial S-degrees,
+/// is stored first when record_snapshots is set).
+struct ConvergenceTrace {
+  bool record_snapshots = false;
+  std::vector<std::vector<Degree>> snapshots;
+  std::vector<std::size_t> updates_per_iteration;
+
+  void Clear() {
+    snapshots.clear();
+    updates_per_iteration.clear();
+  }
+};
+
+/// Kendall tau-b of each snapshot against the exact kappa.
+std::vector<double> KendallTrajectory(const ConvergenceTrace& trace,
+                                      const std::vector<Degree>& exact);
+
+/// Fraction of r-cliques whose tau equals kappa, per snapshot.
+std::vector<double> ConvergedFractionTrajectory(
+    const ConvergenceTrace& trace, const std::vector<Degree>& exact);
+
+/// For each r-clique: the first snapshot index after which tau never
+/// changes again (its plateau start). Needs >= 1 snapshot.
+std::vector<int> ConvergenceIteration(const ConvergenceTrace& trace);
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_LOCAL_TRACE_H_

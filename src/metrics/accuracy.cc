@@ -1,0 +1,38 @@
+#include "src/metrics/accuracy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+namespace nucleus {
+
+AccuracyStats ComputeAccuracy(const std::vector<Degree>& tau,
+                              const std::vector<Degree>& kappa) {
+  assert(tau.size() == kappa.size());
+  AccuracyStats stats;
+  if (tau.empty()) return stats;
+  std::size_t exact = 0;
+  double abs_sum = 0.0, rel_sum = 0.0;
+  for (std::size_t i = 0; i < tau.size(); ++i) {
+    const Degree hi = std::max(tau[i], kappa[i]);
+    const Degree lo = std::min(tau[i], kappa[i]);
+    const Degree err = hi - lo;
+    if (err == 0) ++exact;
+    abs_sum += err;
+    rel_sum += static_cast<double>(err) / std::max<Degree>(kappa[i], 1);
+    stats.max_error = std::max(stats.max_error, err);
+  }
+  stats.exact_fraction = static_cast<double>(exact) / tau.size();
+  stats.mean_abs_error = abs_sum / tau.size();
+  stats.mean_rel_error = rel_sum / tau.size();
+  return stats;
+}
+
+double SubgraphDensity(std::size_t num_vertices, std::size_t num_edges) {
+  if (num_vertices < 2) return 0.0;
+  return 2.0 * static_cast<double>(num_edges) /
+         (static_cast<double>(num_vertices) *
+          static_cast<double>(num_vertices - 1));
+}
+
+}  // namespace nucleus

@@ -1,0 +1,36 @@
+// Point-accuracy metrics between an approximate tau vector and the exact
+// kappa vector, used in the time/quality trade-off experiments.
+#ifndef NUCLEUS_METRICS_ACCURACY_H_
+#define NUCLEUS_METRICS_ACCURACY_H_
+
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace nucleus {
+
+/// Summary statistics of tau vs kappa. tau[i] >= kappa[i] always holds for
+/// the local algorithms (lower-bound theorem), so errors are one-sided.
+struct AccuracyStats {
+  /// Fraction of entries with tau == kappa.
+  double exact_fraction = 1.0;
+  /// Mean of tau - kappa.
+  double mean_abs_error = 0.0;
+  /// Mean of (tau - kappa) / max(kappa, 1).
+  double mean_rel_error = 0.0;
+  /// Max of tau - kappa.
+  Degree max_error = 0;
+};
+
+/// Computes the stats; vectors must be the same length.
+AccuracyStats ComputeAccuracy(const std::vector<Degree>& tau,
+                              const std::vector<Degree>& kappa);
+
+/// Graph density 2|E| / (|V| * (|V|-1)) of a vertex subset, the paper's
+/// dense-subgraph quality measure. `degree_within` must give, for each
+/// chosen vertex, its number of neighbors inside the subset.
+double SubgraphDensity(std::size_t num_vertices, std::size_t num_edges);
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_METRICS_ACCURACY_H_

@@ -1,0 +1,130 @@
+#include "src/metrics/kendall.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+
+namespace nucleus {
+
+namespace {
+
+// Counts inversions in v (pairs i < j with v[i] > v[j]) by merge sort.
+std::uint64_t CountInversions(std::vector<Degree>* v,
+                              std::vector<Degree>* scratch,
+                              std::size_t lo, std::size_t hi) {
+  if (hi - lo < 2) return 0;
+  const std::size_t mid = lo + (hi - lo) / 2;
+  std::uint64_t inv = CountInversions(v, scratch, lo, mid) +
+                      CountInversions(v, scratch, mid, hi);
+  std::size_t i = lo, j = mid, k = lo;
+  while (i < mid && j < hi) {
+    if ((*v)[i] <= (*v)[j]) {
+      (*scratch)[k++] = (*v)[i++];
+    } else {
+      inv += mid - i;
+      (*scratch)[k++] = (*v)[j++];
+    }
+  }
+  while (i < mid) (*scratch)[k++] = (*v)[i++];
+  while (j < hi) (*scratch)[k++] = (*v)[j++];
+  std::copy(scratch->begin() + lo, scratch->begin() + hi, v->begin() + lo);
+  return inv;
+}
+
+// Sum over tie groups of t*(t-1)/2 for consecutive equal keys; `key` must
+// be sorted by the grouping criterion already.
+template <typename EqualFn>
+std::uint64_t TiePairs(std::size_t n, EqualFn&& equal) {
+  std::uint64_t total = 0;
+  std::size_t run = 1;
+  for (std::size_t i = 1; i <= n; ++i) {
+    if (i < n && equal(i - 1, i)) {
+      ++run;
+    } else {
+      total += static_cast<std::uint64_t>(run) * (run - 1) / 2;
+      run = 1;
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+double KendallTauB(const std::vector<Degree>& x,
+                   const std::vector<Degree>& y) {
+  assert(x.size() == y.size());
+  const std::size_t n = x.size();
+  if (n < 2) return 1.0;
+
+  // Sort indices by (x, y).
+  std::vector<std::uint32_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0u);
+  std::sort(idx.begin(), idx.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return x[a] != x[b] ? x[a] < x[b] : y[a] < y[b];
+  });
+
+  const std::uint64_t n0 = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  // Ties in x (n1), joint ties (n3).
+  const std::uint64_t n1 = TiePairs(
+      n, [&](std::size_t a, std::size_t b) { return x[idx[a]] == x[idx[b]]; });
+  const std::uint64_t n3 = TiePairs(n, [&](std::size_t a, std::size_t b) {
+    return x[idx[a]] == x[idx[b]] && y[idx[a]] == y[idx[b]];
+  });
+
+  // y in x-order; discordant pairs = inversions (strict), because within
+  // x-tie groups y is sorted ascending and contributes no inversions.
+  std::vector<Degree> ys(n);
+  for (std::size_t i = 0; i < n; ++i) ys[i] = y[idx[i]];
+  std::vector<Degree> scratch(n);
+  const std::uint64_t discordant = CountInversions(&ys, &scratch, 0, n);
+
+  // Ties in y (n2) from a sort of y alone.
+  std::sort(ys.begin(), ys.end());
+  const std::uint64_t n2 =
+      TiePairs(n, [&](std::size_t a, std::size_t b) { return ys[a] == ys[b]; });
+
+  const double denom = std::sqrt(static_cast<double>(n0 - n1)) *
+                       std::sqrt(static_cast<double>(n0 - n2));
+  if (denom == 0.0) return 1.0;  // a constant ranking carries no order info
+  // Total comparable pairs: n0 - n1 - n2 + n3 = C + D.
+  const std::uint64_t comparable = n0 - n1 - n2 + n3;
+  const double concordant =
+      static_cast<double>(comparable) - static_cast<double>(discordant);
+  return (concordant - static_cast<double>(discordant)) / denom;
+}
+
+double KendallTauBNaive(const std::vector<Degree>& x,
+                        const std::vector<Degree>& y) {
+  assert(x.size() == y.size());
+  const std::size_t n = x.size();
+  if (n < 2) return 1.0;
+  std::int64_t concordant = 0, discordant = 0;
+  std::uint64_t ties_x = 0, ties_y = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const int sx = (x[i] < x[j]) - (x[i] > x[j]);
+      const int sy = (y[i] < y[j]) - (y[i] > y[j]);
+      if (sx == 0 && sy == 0) {
+        ++ties_x;
+        ++ties_y;
+      } else if (sx == 0) {
+        ++ties_x;
+      } else if (sy == 0) {
+        ++ties_y;
+      } else if (sx == sy) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  const std::uint64_t n0 = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  const double denom = std::sqrt(static_cast<double>(n0 - ties_x)) *
+                       std::sqrt(static_cast<double>(n0 - ties_y));
+  if (denom == 0.0) return 1.0;
+  return static_cast<double>(concordant - discordant) / denom;
+}
+
+}  // namespace nucleus

@@ -1,0 +1,26 @@
+// Kendall rank correlation (tau-b, tie-aware), the paper's accuracy metric
+// for comparing an approximate decomposition against the exact kappa values
+// (Figure 1a and the convergence-rate experiments).
+#ifndef NUCLEUS_METRICS_KENDALL_H_
+#define NUCLEUS_METRICS_KENDALL_H_
+
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace nucleus {
+
+/// Kendall tau-b of two equal-length rankings, in O(n log n) via Knight's
+/// merge-sort inversion counting with tie corrections. Returns 1.0 for
+/// identical rankings, -1.0 for reversed, and 1.0 by convention for inputs
+/// of size < 2 or when either ranking is constant (no information).
+double KendallTauB(const std::vector<Degree>& x,
+                   const std::vector<Degree>& y);
+
+/// O(n^2) reference implementation for testing.
+double KendallTauBNaive(const std::vector<Degree>& x,
+                        const std::vector<Degree>& y);
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_METRICS_KENDALL_H_

@@ -1,0 +1,17 @@
+#include "src/peel/generic_peel.h"
+
+namespace nucleus {
+
+PeelResult PeelCore(const Graph& g) {
+  return PeelDecomposition(CoreSpace(g));
+}
+
+PeelResult PeelTruss(const Graph& g, const EdgeIndex& edges) {
+  return PeelDecomposition(TrussSpace(g, edges));
+}
+
+PeelResult PeelNucleus34(const Graph& g, const TriangleIndex& tris) {
+  return PeelDecomposition(Nucleus34Space(g, tris));
+}
+
+}  // namespace nucleus

@@ -1,0 +1,49 @@
+#include "src/peel/hierarchy.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "src/peel/hierarchy_impl.h"
+
+namespace nucleus {
+
+std::size_t NucleusHierarchy::Depth() const {
+  if (nodes.empty()) return 0;
+  std::size_t best = 0;
+  // Iterative DFS with explicit depth stack.
+  std::vector<std::pair<int, std::size_t>> stack;
+  for (int r : roots) stack.emplace_back(r, 1);
+  while (!stack.empty()) {
+    auto [id, d] = stack.back();
+    stack.pop_back();
+    best = std::max(best, d);
+    for (int c : nodes[id].children) stack.emplace_back(c, d + 1);
+  }
+  return best;
+}
+
+template NucleusHierarchy BuildHierarchy<CoreSpace>(
+    const CoreSpace&, const std::vector<Degree>&);
+template NucleusHierarchy BuildHierarchy<TrussSpace>(
+    const TrussSpace&, const std::vector<Degree>&);
+template NucleusHierarchy BuildHierarchy<Nucleus34Space>(
+    const Nucleus34Space&, const std::vector<Degree>&);
+
+NucleusHierarchy BuildCoreHierarchy(const Graph& g,
+                                    const std::vector<Degree>& kappa) {
+  return BuildHierarchy(CoreSpace(g), kappa);
+}
+
+NucleusHierarchy BuildTrussHierarchy(const Graph& g, const EdgeIndex& edges,
+                                     const std::vector<Degree>& kappa) {
+  return BuildHierarchy(TrussSpace(g, edges), kappa);
+}
+
+NucleusHierarchy BuildNucleus34Hierarchy(const Graph& g,
+                                         const TriangleIndex& tris,
+                                         const std::vector<Degree>& kappa) {
+  return BuildHierarchy(Nucleus34Space(g, tris), kappa);
+}
+
+}  // namespace nucleus

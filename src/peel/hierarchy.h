@@ -1,0 +1,63 @@
+// Nucleus hierarchy (forest) construction. Given the kappa indices of the
+// r-cliques, the k-(r,s) nuclei for all k form a laminar family under
+// S-connectivity: each k-nucleus is contained in exactly one (k-1)-nucleus.
+// We build that forest with a union-find sweep over decreasing kappa:
+// an s-clique becomes "alive" at level k = min kappa of its members, at
+// which point it S-connects its members. Every component that gains members
+// or merges at level k becomes a hierarchy node with the previously built
+// nodes as children.
+#ifndef NUCLEUS_PEEL_HIERARCHY_H_
+#define NUCLEUS_PEEL_HIERARCHY_H_
+
+#include <vector>
+
+#include "src/clique/spaces.h"
+#include "src/common/types.h"
+
+namespace nucleus {
+
+/// The nucleus forest. Node ids index `nodes`; parents have strictly
+/// smaller k than children... (parents are the *sparser*, enclosing nuclei).
+struct NucleusHierarchy {
+  struct Node {
+    /// The k of this k-(r,s) nucleus.
+    Degree k = 0;
+    /// Parent node id, or -1 for forest roots.
+    int parent = -1;
+    /// Children node ids (denser sub-nuclei).
+    std::vector<int> children;
+    /// r-cliques whose kappa equals k and that first appear in this node.
+    std::vector<CliqueId> new_members;
+    /// Total r-cliques in the nucleus (this node + descendants).
+    std::size_t size = 0;
+  };
+
+  std::vector<Node> nodes;
+  /// Ids of forest roots (k-minimal nuclei / isolated r-cliques).
+  std::vector<int> roots;
+  /// For each r-clique: the node in which it first appears (its maximum
+  /// nucleus; Definition: the maximal subgraph around it of >= kappa).
+  std::vector<int> node_of_clique;
+
+  /// Depth of the forest (number of nodes on the longest root-leaf path).
+  std::size_t Depth() const;
+};
+
+/// Builds the hierarchy for any clique space from precomputed kappa values
+/// (from peeling or converged SND/AND).
+template <typename Space>
+NucleusHierarchy BuildHierarchy(const Space& space,
+                                const std::vector<Degree>& kappa);
+
+// Explicitly instantiated wrappers.
+NucleusHierarchy BuildCoreHierarchy(const Graph& g,
+                                    const std::vector<Degree>& kappa);
+NucleusHierarchy BuildTrussHierarchy(const Graph& g, const EdgeIndex& edges,
+                                     const std::vector<Degree>& kappa);
+NucleusHierarchy BuildNucleus34Hierarchy(const Graph& g,
+                                         const TriangleIndex& tris,
+                                         const std::vector<Degree>& kappa);
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_PEEL_HIERARCHY_H_

@@ -1,0 +1,49 @@
+#include "src/peel/hierarchy_export.h"
+
+#include <sstream>
+#include <vector>
+
+namespace nucleus {
+
+void ExportHierarchyDot(const NucleusHierarchy& h, std::ostream& os,
+                        const DotExportOptions& options) {
+  os << "digraph " << options.name << " {\n";
+  os << "  rankdir=TB;\n  node [shape=box, style=rounded];\n";
+  std::vector<bool> kept(h.nodes.size(), false);
+  for (std::size_t id = 0; id < h.nodes.size(); ++id) {
+    if (h.nodes[id].size >= options.min_size) {
+      kept[id] = true;
+      os << "  n" << id << " [label=\"k=" << h.nodes[id].k
+         << "\\nsize=" << h.nodes[id].size << "\"];\n";
+    }
+  }
+  for (std::size_t id = 0; id < h.nodes.size(); ++id) {
+    if (!kept[id]) continue;
+    // Attach to the nearest kept ancestor so filtering keeps the tree
+    // connected.
+    int p = h.nodes[id].parent;
+    while (p != -1 && !kept[p]) p = h.nodes[p].parent;
+    if (p != -1) {
+      os << "  n" << p << " -> n" << id << ";\n";
+    }
+  }
+  os << "}\n";
+}
+
+void ExportHierarchyTsv(const NucleusHierarchy& h, std::ostream& os) {
+  os << "id\tk\tparent\tsize\tnew_members\n";
+  for (std::size_t id = 0; id < h.nodes.size(); ++id) {
+    const auto& node = h.nodes[id];
+    os << id << '\t' << node.k << '\t' << node.parent << '\t' << node.size
+       << '\t' << node.new_members.size() << '\n';
+  }
+}
+
+std::string HierarchyToDot(const NucleusHierarchy& h,
+                           const DotExportOptions& options) {
+  std::ostringstream os;
+  ExportHierarchyDot(h, os, options);
+  return os.str();
+}
+
+}  // namespace nucleus

@@ -1,0 +1,35 @@
+// Serialization of nucleus hierarchies: Graphviz DOT for visualization and
+// a line-oriented TSV for downstream analysis.
+#ifndef NUCLEUS_PEEL_HIERARCHY_EXPORT_H_
+#define NUCLEUS_PEEL_HIERARCHY_EXPORT_H_
+
+#include <ostream>
+#include <string>
+
+#include "src/peel/hierarchy.h"
+
+namespace nucleus {
+
+/// Options controlling the DOT rendering.
+struct DotExportOptions {
+  /// Skip nodes whose nucleus has fewer r-cliques than this (fringe noise).
+  std::size_t min_size = 1;
+  /// Graph name in the DOT header.
+  std::string name = "nucleus_hierarchy";
+};
+
+/// Writes a Graphviz DOT tree: one box per nucleus labeled "k=<k> n=<size>",
+/// edges from parent (sparser) to child (denser).
+void ExportHierarchyDot(const NucleusHierarchy& h, std::ostream& os,
+                        const DotExportOptions& options = {});
+
+/// Writes one line per node: id, k, parent, size, new_member_count.
+void ExportHierarchyTsv(const NucleusHierarchy& h, std::ostream& os);
+
+/// Convenience: DOT to a string.
+std::string HierarchyToDot(const NucleusHierarchy& h,
+                           const DotExportOptions& options = {});
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_PEEL_HIERARCHY_EXPORT_H_

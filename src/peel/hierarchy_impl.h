@@ -1,0 +1,119 @@
+// BuildHierarchy template definition; include to instantiate for clique
+// spaces beyond the canonical three (see core/generic_rs.cc).
+#ifndef NUCLEUS_PEEL_HIERARCHY_IMPL_H_
+#define NUCLEUS_PEEL_HIERARCHY_IMPL_H_
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/common/disjoint_set.h"
+#include "src/peel/hierarchy.h"
+
+namespace nucleus {
+
+template <typename Space>
+NucleusHierarchy BuildHierarchy(const Space& space,
+                                const std::vector<Degree>& kappa) {
+  const std::size_t n = space.NumRCliques();
+  NucleusHierarchy h;
+  h.node_of_clique.assign(n, -1);
+  if (n == 0) return h;
+
+  // Group r-cliques by kappa, processed from the largest level down.
+  Degree kmax = 0;
+  for (Degree k : kappa) kmax = std::max(kmax, k);
+  std::vector<std::vector<CliqueId>> by_level(kmax + 1);
+  for (CliqueId r = 0; r < n; ++r) by_level[kappa[r]].push_back(r);
+
+  DisjointSet dsu(n);
+  std::vector<bool> active(n, false);
+  // node_of_root[x]: hierarchy node currently topping the component whose
+  // DSU representative is x; -1 if the component is new this level.
+  std::vector<int> node_of_root(n, -1);
+
+  for (Degree level = kmax + 1; level-- > 0;) {
+    const auto& newly = by_level[level];
+    if (newly.empty()) continue;
+    for (CliqueId r : newly) active[r] = true;
+
+    // Union step: an s-clique is alive at this level iff all of its
+    // r-cliques are active (kappa >= level). Every s-clique that first
+    // becomes alive now contains at least one member of `newly`, so
+    // enumerating from `newly` finds all of them. Track the old top nodes
+    // that get merged so they become children of the new node.
+    std::unordered_map<CliqueId, std::vector<int>> pending_children;
+    auto absorb = [&](CliqueId root, std::vector<int>* out) {
+      if (node_of_root[root] != -1) {
+        out->push_back(node_of_root[root]);
+        node_of_root[root] = -1;
+      }
+      auto it = pending_children.find(root);
+      if (it != pending_children.end()) {
+        out->insert(out->end(), it->second.begin(), it->second.end());
+        pending_children.erase(it);
+      }
+    };
+    for (CliqueId r : newly) {
+      space.ForEachSClique(r, [&](std::span<const CliqueId> co) {
+        for (CliqueId c : co) {
+          if (!active[c]) return;  // s-clique not alive yet
+        }
+        for (CliqueId c : co) {
+          const CliqueId ra = dsu.Find(r);
+          const CliqueId rb = dsu.Find(c);
+          if (ra == rb) continue;
+          std::vector<int> children;
+          absorb(ra, &children);
+          absorb(rb, &children);
+          const CliqueId merged = dsu.Union(ra, rb);
+          if (!children.empty()) {
+            auto& vec = pending_children[merged];
+            vec.insert(vec.end(), children.begin(), children.end());
+          }
+        }
+      });
+    }
+
+    // Node creation step: one node per distinct component that contains a
+    // member of `newly`.
+    std::unordered_map<CliqueId, int> node_for;
+    for (CliqueId r : newly) {
+      const CliqueId root = dsu.Find(r);
+      auto [it, inserted] = node_for.try_emplace(root, -1);
+      if (inserted) {
+        const int id = static_cast<int>(h.nodes.size());
+        h.nodes.emplace_back();
+        NucleusHierarchy::Node& node = h.nodes.back();
+        node.k = level;
+        std::vector<int> children;
+        absorb(root, &children);
+        std::sort(children.begin(), children.end());
+        children.erase(std::unique(children.begin(), children.end()),
+                       children.end());
+        node.children = std::move(children);
+        for (int c : node.children) h.nodes[c].parent = id;
+        node_of_root[root] = id;
+        it->second = id;
+      }
+      h.nodes[it->second].new_members.push_back(r);
+      h.node_of_clique[r] = it->second;
+    }
+  }
+
+  // Sizes: new members plus descendant sizes. Children are created at a
+  // higher level, hence earlier, so every child id < its parent id and one
+  // forward pass accumulates bottom-up.
+  for (auto& node : h.nodes) node.size = node.new_members.size();
+  for (std::size_t id = 0; id < h.nodes.size(); ++id) {
+    const int p = h.nodes[id].parent;
+    if (p >= 0) h.nodes[p].size += h.nodes[id].size;
+  }
+  for (std::size_t id = 0; id < h.nodes.size(); ++id) {
+    if (h.nodes[id].parent == -1) h.roots.push_back(static_cast<int>(id));
+  }
+  return h;
+}
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_PEEL_HIERARCHY_IMPL_H_

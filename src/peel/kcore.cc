@@ -1,0 +1,42 @@
+#include "src/peel/kcore.h"
+
+#include <algorithm>
+
+#include "src/common/bucket_queue.h"
+
+namespace nucleus {
+
+std::vector<Degree> CoreNumbers(const Graph& g) {
+  const std::size_t n = g.NumVertices();
+  std::vector<Degree> deg(n);
+  for (VertexId v = 0; v < n; ++v) deg[v] = g.GetDegree(v);
+  BucketQueue queue(deg);
+  std::vector<Degree> core(n, 0);
+  while (!queue.Empty()) {
+    const VertexId v = queue.ExtractMin();
+    const Degree k = queue.Key(v);
+    core[v] = k;
+    for (VertexId u : g.Neighbors(v)) {
+      if (!queue.Extracted(u)) queue.DecrementKeyClamped(u, k);
+    }
+  }
+  return core;
+}
+
+std::vector<VertexId> KCoreVertices(const Graph& g,
+                                    const std::vector<Degree>& core_numbers,
+                                    Degree k) {
+  std::vector<VertexId> vertices;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (core_numbers[v] >= k) vertices.push_back(v);
+  }
+  return vertices;
+}
+
+Degree Degeneracy(const std::vector<Degree>& core_numbers) {
+  Degree best = 0;
+  for (Degree k : core_numbers) best = std::max(best, k);
+  return best;
+}
+
+}  // namespace nucleus

@@ -1,0 +1,28 @@
+// Specialized k-core peeling (Batagelj-Zaversnik): O(n + m) direct
+// implementation, used as a fast path and as a cross-check for the generic
+// engine.
+#ifndef NUCLEUS_PEEL_KCORE_H_
+#define NUCLEUS_PEEL_KCORE_H_
+
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/graph/graph.h"
+
+namespace nucleus {
+
+/// Core numbers kappa_2 for every vertex.
+std::vector<Degree> CoreNumbers(const Graph& g);
+
+/// Vertices of the maximal k-core (possibly disconnected union of k-cores),
+/// i.e. vertices with core number >= k.
+std::vector<VertexId> KCoreVertices(const Graph& g,
+                                    const std::vector<Degree>& core_numbers,
+                                    Degree k);
+
+/// Degeneracy = max core number (0 for the empty graph).
+Degree Degeneracy(const std::vector<Degree>& core_numbers);
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_PEEL_KCORE_H_

@@ -1,0 +1,45 @@
+#include "src/peel/ktruss.h"
+
+#include <algorithm>
+
+#include "src/clique/spaces.h"
+#include "src/common/bucket_queue.h"
+
+namespace nucleus {
+
+std::vector<Degree> TrussNumbers(const Graph& g, const EdgeIndex& edges,
+                                 int count_threads) {
+  const TrussSpace space(g, edges);
+  std::vector<Degree> ds = space.InitialDegrees(count_threads);
+  BucketQueue queue(ds);
+  std::vector<Degree> kappa(edges.NumEdges(), 0);
+  while (!queue.Empty()) {
+    const EdgeId e = queue.ExtractMin();
+    const Degree k = queue.Key(e);
+    kappa[e] = k;
+    space.ForEachSClique(e, [&](std::span<const CliqueId> co) {
+      for (CliqueId c : co) {
+        if (queue.Extracted(c)) return;
+      }
+      for (CliqueId c : co) queue.DecrementKeyClamped(c, k);
+    });
+  }
+  return kappa;
+}
+
+std::vector<EdgeId> KTrussEdges(const std::vector<Degree>& truss_numbers,
+                                Degree k) {
+  std::vector<EdgeId> ids;
+  for (EdgeId e = 0; e < truss_numbers.size(); ++e) {
+    if (truss_numbers[e] >= k) ids.push_back(e);
+  }
+  return ids;
+}
+
+Degree MaxTruss(const std::vector<Degree>& truss_numbers) {
+  Degree best = 0;
+  for (Degree k : truss_numbers) best = std::max(best, k);
+  return best;
+}
+
+}  // namespace nucleus

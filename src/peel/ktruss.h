@@ -1,0 +1,31 @@
+// k-truss peeling pipeline: parallel triangle counting followed by the
+// sequential peel. This is the paper's "partially parallel peeling"
+// baseline (Figure 1b): only the s-degree computation parallelizes, the
+// peel itself is inherently sequential.
+#ifndef NUCLEUS_PEEL_KTRUSS_H_
+#define NUCLEUS_PEEL_KTRUSS_H_
+
+#include <vector>
+
+#include "src/clique/edge_index.h"
+#include "src/common/types.h"
+#include "src/graph/graph.h"
+
+namespace nucleus {
+
+/// Truss numbers kappa_3 per edge id. Triangle counting uses
+/// `count_threads`; the peel is sequential. Paper convention: an edge of a
+/// k-truss is in >= k triangles (not k-2).
+std::vector<Degree> TrussNumbers(const Graph& g, const EdgeIndex& edges,
+                                 int count_threads = 1);
+
+/// Edge ids of the maximal k-truss (edges with truss number >= k).
+std::vector<EdgeId> KTrussEdges(const std::vector<Degree>& truss_numbers,
+                                Degree k);
+
+/// Max truss number (0 when there are no edges).
+Degree MaxTruss(const std::vector<Degree>& truss_numbers);
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_PEEL_KTRUSS_H_

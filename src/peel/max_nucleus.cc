@@ -1,0 +1,24 @@
+#include "src/peel/max_nucleus.h"
+
+namespace nucleus {
+
+std::vector<VertexId> MaxCoreOf(const Graph& g,
+                                const std::vector<Degree>& core_numbers,
+                                VertexId v) {
+  return MaxNucleusOf(CoreSpace(g), core_numbers, v);
+}
+
+std::vector<EdgeId> MaxTrussOf(const Graph& g, const EdgeIndex& edges,
+                               const std::vector<Degree>& truss_numbers,
+                               EdgeId e) {
+  return MaxNucleusOf(TrussSpace(g, edges), truss_numbers, e);
+}
+
+std::vector<TriangleId> MaxNucleus34Of(const Graph& g,
+                                       const TriangleIndex& tris,
+                                       const std::vector<Degree>& kappa,
+                                       TriangleId t) {
+  return MaxNucleusOf(Nucleus34Space(g, tris), kappa, t);
+}
+
+}  // namespace nucleus

@@ -1,0 +1,69 @@
+// "Maximum nucleus of an r-clique" extraction (Section 2 of the paper:
+// the maximal subgraph around a vertex/edge containing items with equal or
+// larger kappa, found by a traversal). Generic over clique spaces: BFS
+// from the seed over s-cliques that are fully inside the kappa(seed) level.
+#ifndef NUCLEUS_PEEL_MAX_NUCLEUS_H_
+#define NUCLEUS_PEEL_MAX_NUCLEUS_H_
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "src/clique/spaces.h"
+#include "src/common/types.h"
+
+namespace nucleus {
+
+/// All r-cliques of the maximum kappa(seed)-(r,s) nucleus containing
+/// `seed`: S-connected to the seed through s-cliques whose members all
+/// have kappa >= kappa(seed). Sorted ascending.
+template <typename Space>
+std::vector<CliqueId> MaxNucleusOf(const Space& space,
+                                   const std::vector<Degree>& kappa,
+                                   CliqueId seed) {
+  const Degree k = kappa[seed];
+  std::vector<bool> visited(space.NumRCliques(), false);
+  std::vector<CliqueId> members;
+  std::queue<CliqueId> frontier;
+  visited[seed] = true;
+  frontier.push(seed);
+  members.push_back(seed);
+  while (!frontier.empty()) {
+    const CliqueId r = frontier.front();
+    frontier.pop();
+    space.ForEachSClique(r, [&](std::span<const CliqueId> co) {
+      for (CliqueId c : co) {
+        if (kappa[c] < k) return;  // s-clique leaves the k-nucleus
+      }
+      for (CliqueId c : co) {
+        if (!visited[c]) {
+          visited[c] = true;
+          members.push_back(c);
+          frontier.push(c);
+        }
+      }
+    });
+  }
+  std::sort(members.begin(), members.end());
+  return members;
+}
+
+/// Vertex set of the maximum core of `v` (kappa_2(v)-core containing v).
+std::vector<VertexId> MaxCoreOf(const Graph& g,
+                                const std::vector<Degree>& core_numbers,
+                                VertexId v);
+
+/// Edge-id set of the maximum (triangle-connected) truss of edge `e`.
+std::vector<EdgeId> MaxTrussOf(const Graph& g, const EdgeIndex& edges,
+                               const std::vector<Degree>& truss_numbers,
+                               EdgeId e);
+
+/// Triangle-id set of the maximum (3,4)-nucleus of triangle `t`.
+std::vector<TriangleId> MaxNucleus34Of(const Graph& g,
+                                       const TriangleIndex& tris,
+                                       const std::vector<Degree>& kappa,
+                                       TriangleId t);
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_PEEL_MAX_NUCLEUS_H_

@@ -1,0 +1,37 @@
+#include "src/peel/nucleus34.h"
+
+#include <algorithm>
+
+#include "src/clique/spaces.h"
+#include "src/common/bucket_queue.h"
+
+namespace nucleus {
+
+std::vector<Degree> Nucleus34Numbers(const Graph& g,
+                                     const TriangleIndex& tris,
+                                     int count_threads) {
+  const Nucleus34Space space(g, tris);
+  std::vector<Degree> ds = space.InitialDegrees(count_threads);
+  BucketQueue queue(ds);
+  std::vector<Degree> kappa(tris.NumTriangles(), 0);
+  while (!queue.Empty()) {
+    const TriangleId t = queue.ExtractMin();
+    const Degree k = queue.Key(t);
+    kappa[t] = k;
+    space.ForEachSClique(t, [&](std::span<const CliqueId> co) {
+      for (CliqueId c : co) {
+        if (queue.Extracted(c)) return;
+      }
+      for (CliqueId c : co) queue.DecrementKeyClamped(c, k);
+    });
+  }
+  return kappa;
+}
+
+Degree MaxNucleus34(const std::vector<Degree>& kappa) {
+  Degree best = 0;
+  for (Degree k : kappa) best = std::max(best, k);
+  return best;
+}
+
+}  // namespace nucleus

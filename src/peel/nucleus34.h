@@ -1,0 +1,25 @@
+// (3,4)-nucleus peeling pipeline: parallel per-triangle K4 counting followed
+// by the sequential peel over triangles.
+#ifndef NUCLEUS_PEEL_NUCLEUS34_H_
+#define NUCLEUS_PEEL_NUCLEUS34_H_
+
+#include <vector>
+
+#include "src/clique/triangles.h"
+#include "src/common/types.h"
+#include "src/graph/graph.h"
+
+namespace nucleus {
+
+/// kappa_4 per triangle id. K4 counting uses `count_threads`; the peel is
+/// sequential.
+std::vector<Degree> Nucleus34Numbers(const Graph& g,
+                                     const TriangleIndex& tris,
+                                     int count_threads = 1);
+
+/// Max kappa_4 (0 when there are no triangles).
+Degree MaxNucleus34(const std::vector<Degree>& kappa);
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_PEEL_NUCLEUS34_H_

@@ -1,0 +1,54 @@
+#include "src/metrics/accuracy.h"
+
+#include <gtest/gtest.h>
+
+namespace nucleus {
+namespace {
+
+TEST(Accuracy, PerfectMatch) {
+  std::vector<Degree> v = {1, 2, 3};
+  const auto s = ComputeAccuracy(v, v);
+  EXPECT_DOUBLE_EQ(s.exact_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(s.mean_abs_error, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean_rel_error, 0.0);
+  EXPECT_EQ(s.max_error, 0u);
+}
+
+TEST(Accuracy, EmptyVectorsAreTriviallyPerfect) {
+  const auto s = ComputeAccuracy({}, {});
+  EXPECT_DOUBLE_EQ(s.exact_fraction, 1.0);
+}
+
+TEST(Accuracy, OneSidedErrors) {
+  std::vector<Degree> tau = {5, 2, 3, 9};
+  std::vector<Degree> kappa = {4, 2, 1, 9};
+  const auto s = ComputeAccuracy(tau, kappa);
+  EXPECT_DOUBLE_EQ(s.exact_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(s.mean_abs_error, (1 + 0 + 2 + 0) / 4.0);
+  EXPECT_DOUBLE_EQ(s.mean_rel_error, (1.0 / 4 + 0 + 2.0 / 1 + 0) / 4.0);
+  EXPECT_EQ(s.max_error, 2u);
+}
+
+TEST(Accuracy, ZeroKappaUsesFloorOne) {
+  std::vector<Degree> tau = {3};
+  std::vector<Degree> kappa = {0};
+  const auto s = ComputeAccuracy(tau, kappa);
+  EXPECT_DOUBLE_EQ(s.mean_rel_error, 3.0);
+}
+
+TEST(Density, CompleteGraphIsOne) {
+  EXPECT_DOUBLE_EQ(SubgraphDensity(5, 10), 1.0);
+}
+
+TEST(Density, EmptyAndTiny) {
+  EXPECT_DOUBLE_EQ(SubgraphDensity(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(SubgraphDensity(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(SubgraphDensity(2, 1), 1.0);
+}
+
+TEST(Density, HalfDense) {
+  EXPECT_DOUBLE_EQ(SubgraphDensity(5, 5), 0.5);
+}
+
+}  // namespace
+}  // namespace nucleus

@@ -1,0 +1,223 @@
+#include "src/local/and.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/builder.h"
+#include "src/graph/generators.h"
+#include "src/peel/generic_peel.h"
+
+namespace nucleus {
+namespace {
+
+Graph PaperFigure2Graph() {
+  return BuildGraphFromEdges(6, {{0, 1}, {0, 4}, {1, 2}, {1, 3}, {2, 3},
+                                 {4, 5}});
+}
+
+TEST(AndCore, PaperFigure2KappaOrderConvergesInOneIteration) {
+  // Theorem 4 walk-through: processing in {f,e,a,b,c,d} order (ids
+  // {5,4,0,1,2,3}), a non-decreasing kappa order, converges in a single
+  // updating iteration.
+  const Graph g = PaperFigure2Graph();
+  AndOptions opt;
+  opt.order = AndOrder::kGiven;
+  opt.given_order = {5, 4, 0, 1, 2, 3};
+  const LocalResult r = AndCore(g, opt);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 1);
+  EXPECT_EQ(r.tau, (std::vector<Degree>{1, 2, 2, 2, 1, 1}));
+}
+
+TEST(AndCore, PaperFigure2AlphabeticalTakesTwoIterations) {
+  // The paper: alphabetical order {a..f} = natural ids needs two
+  // iterations (vertex a only reaches kappa in the second).
+  const Graph g = PaperFigure2Graph();
+  AndOptions opt;
+  opt.order = AndOrder::kNatural;
+  const LocalResult r = AndCore(g, opt);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 2);
+  EXPECT_EQ(r.tau, (std::vector<Degree>{1, 2, 2, 2, 1, 1}));
+}
+
+TEST(AndCore, MatchesPeelingAllOrders) {
+  for (int seed = 0; seed < 6; ++seed) {
+    const Graph g = GenerateErdosRenyi(60, 200, seed);
+    const auto kappa = PeelCore(g).kappa;
+    for (AndOrder order : {AndOrder::kNatural, AndOrder::kDegree,
+                           AndOrder::kRandom}) {
+      AndOptions opt;
+      opt.order = order;
+      opt.seed = seed + 100;
+      EXPECT_EQ(AndCore(g, opt).tau, kappa)
+          << "seed " << seed << " order " << static_cast<int>(order);
+    }
+  }
+}
+
+TEST(AndCore, TheoremFourOnRandomGraphs) {
+  // Processing in the exact peel order (non-decreasing kappa) must converge
+  // in one updating iteration, for all three decompositions.
+  for (int seed = 0; seed < 6; ++seed) {
+    const Graph g = GenerateErdosRenyi(50, 170, seed);
+    const PeelResult peel = PeelCore(g);
+    AndOptions opt;
+    opt.order = AndOrder::kGiven;
+    opt.given_order = peel.order;
+    const LocalResult r = AndCore(g, opt);
+    EXPECT_EQ(r.tau, peel.kappa);
+    EXPECT_LE(r.iterations, 1) << "seed " << seed;
+  }
+}
+
+TEST(AndTruss, TheoremFour) {
+  const Graph g = GenerateErdosRenyi(35, 140, 3);
+  const EdgeIndex edges(g);
+  const PeelResult peel = PeelTruss(g, edges);
+  AndOptions opt;
+  opt.order = AndOrder::kGiven;
+  opt.given_order = peel.order;
+  const LocalResult r = AndTruss(g, edges, opt);
+  EXPECT_EQ(r.tau, peel.kappa);
+  EXPECT_LE(r.iterations, 1);
+}
+
+TEST(AndNucleus34, TheoremFour) {
+  const Graph g = GenerateErdosRenyi(20, 90, 5);
+  const TriangleIndex tris(g);
+  const PeelResult peel = PeelNucleus34(g, tris);
+  AndOptions opt;
+  opt.order = AndOrder::kGiven;
+  opt.given_order = peel.order;
+  const LocalResult r = AndNucleus34(g, tris, opt);
+  EXPECT_EQ(r.tau, peel.kappa);
+  EXPECT_LE(r.iterations, 1);
+}
+
+TEST(AndTruss, MatchesPeeling) {
+  for (int seed = 0; seed < 6; ++seed) {
+    const Graph g = GenerateErdosRenyi(40, 160, seed);
+    const EdgeIndex edges(g);
+    EXPECT_EQ(AndTruss(g, edges).tau, PeelTruss(g, edges).kappa)
+        << "seed " << seed;
+  }
+}
+
+TEST(AndNucleus34, MatchesPeeling) {
+  for (int seed = 0; seed < 5; ++seed) {
+    const Graph g = GenerateErdosRenyi(22, 100, seed);
+    const TriangleIndex tris(g);
+    EXPECT_EQ(AndNucleus34(g, tris).tau, PeelNucleus34(g, tris).kappa)
+        << "seed " << seed;
+  }
+}
+
+TEST(And, NotificationOnOffSameResult) {
+  const Graph g = GenerateBarabasiAlbert(150, 4, 11);
+  AndOptions with, without;
+  without.use_notification = false;
+  EXPECT_EQ(AndCore(g, with).tau, AndCore(g, without).tau);
+  const EdgeIndex edges(g);
+  EXPECT_EQ(AndTruss(g, edges, with).tau, AndTruss(g, edges, without).tau);
+}
+
+TEST(And, ParallelMatchesSequentialResult) {
+  // Concurrent sweeps may take different paths but must reach the same
+  // fixed point (kappa).
+  const Graph g = GenerateRmat(9, 6, 13);
+  const auto kappa = PeelCore(g).kappa;
+  for (int threads : {1, 2, 4, 8}) {
+    AndOptions opt;
+    opt.local.threads = threads;
+    EXPECT_EQ(AndCore(g, opt).tau, kappa) << threads << " threads";
+  }
+}
+
+TEST(And, ParallelTrussMatchesPeel) {
+  const Graph g = GenerateBarabasiAlbert(100, 4, 17);
+  const EdgeIndex edges(g);
+  const auto kappa = PeelTruss(g, edges).kappa;
+  for (int threads : {2, 4}) {
+    AndOptions opt;
+    opt.local.threads = threads;
+    EXPECT_EQ(AndTruss(g, edges, opt).tau, kappa);
+  }
+}
+
+TEST(And, ConvergesAtMostSndIterationsSequentialNatural) {
+  // The worst case for AND is seeing only previous-iteration values, which
+  // is exactly SND; with in-place sequential updates it can only be faster
+  // or equal.
+  for (int seed = 0; seed < 6; ++seed) {
+    const Graph g = GenerateErdosRenyi(50, 170, seed + 40);
+    const LocalResult snd = SndCore(g);
+    AndOptions opt;
+    const LocalResult and_r = AndCore(g, opt);
+    EXPECT_LE(and_r.iterations, snd.iterations) << "seed " << seed;
+  }
+}
+
+TEST(And, TruncatedRunIsUpperBound) {
+  const Graph g = GenerateBarabasiAlbert(120, 3, 21);
+  const auto kappa = PeelCore(g).kappa;
+  AndOptions opt;
+  opt.local.max_iterations = 1;
+  const LocalResult r = AndCore(g, opt);
+  for (std::size_t v = 0; v < kappa.size(); ++v) {
+    EXPECT_GE(r.tau[v], kappa[v]);
+  }
+}
+
+TEST(And, GivenOrderValidatedByResult) {
+  // A reversed (non-increasing kappa) order is a bad order but must still
+  // converge to kappa.
+  const Graph g = GenerateErdosRenyi(40, 130, 9);
+  const PeelResult peel = PeelCore(g);
+  AndOptions opt;
+  opt.order = AndOrder::kGiven;
+  opt.given_order.assign(peel.order.rbegin(), peel.order.rend());
+  EXPECT_EQ(AndCore(g, opt).tau, peel.kappa);
+}
+
+TEST(And, TraceRecordsMonotoneSnapshots) {
+  const Graph g = GenerateErdosRenyi(50, 170, 15);
+  ConvergenceTrace trace;
+  trace.record_snapshots = true;
+  AndOptions opt;
+  opt.local.trace = &trace;
+  const LocalResult r = AndCore(g, opt);
+  ASSERT_TRUE(r.converged);
+  ASSERT_GE(trace.snapshots.size(), 2u);
+  // tau_0 = degrees; snapshots non-increasing; last equals result.
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(trace.snapshots.front()[v], g.GetDegree(v));
+  }
+  for (std::size_t t = 1; t < trace.snapshots.size(); ++t) {
+    for (std::size_t i = 0; i < trace.snapshots[t].size(); ++i) {
+      EXPECT_LE(trace.snapshots[t][i], trace.snapshots[t - 1][i]);
+    }
+  }
+  EXPECT_EQ(trace.snapshots.back(), r.tau);
+  EXPECT_EQ(trace.updates_per_iteration.back(), 0u);
+}
+
+TEST(And, TotalUpdatesMatchesTraceSum) {
+  const Graph g = GenerateBarabasiAlbert(100, 3, 23);
+  ConvergenceTrace trace;
+  AndOptions opt;
+  opt.local.trace = &trace;
+  const LocalResult r = AndCore(g, opt);
+  std::size_t sum = 0;
+  for (std::size_t u : trace.updates_per_iteration) sum += u;
+  EXPECT_EQ(sum, r.total_updates);
+}
+
+TEST(And, EmptyGraph) {
+  const Graph g;
+  const LocalResult r = AndCore(g);
+  EXPECT_TRUE(r.converged);
+  EXPECT_TRUE(r.tau.empty());
+}
+
+}  // namespace
+}  // namespace nucleus

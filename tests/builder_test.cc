@@ -1,0 +1,85 @@
+#include "src/graph/builder.h"
+
+#include <gtest/gtest.h>
+
+namespace nucleus {
+namespace {
+
+TEST(GraphBuilder, DropsSelfLoops) {
+  GraphBuilder b(/*relabel=*/false);
+  b.AddEdge(0, 0);
+  b.AddEdge(0, 1);
+  const Graph g = b.Build();
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_FALSE(g.HasEdge(0, 0));
+}
+
+TEST(GraphBuilder, DeduplicatesParallelEdges) {
+  GraphBuilder b(/*relabel=*/false);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 0);
+  b.AddEdge(0, 1);
+  const Graph g = b.Build();
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_EQ(g.GetDegree(0), 1u);
+  EXPECT_EQ(g.GetDegree(1), 1u);
+}
+
+TEST(GraphBuilder, RelabelsSparseIds) {
+  GraphBuilder b(/*relabel=*/true);
+  b.AddEdge(1000000, 5);
+  b.AddEdge(5, 42);
+  const Graph g = b.Build();
+  EXPECT_EQ(g.NumVertices(), 3u);
+  EXPECT_EQ(g.NumEdges(), 2u);
+  // First-appearance order: 1000000 -> 0, 5 -> 1, 42 -> 2.
+  EXPECT_EQ(b.OriginalIds(),
+            (std::vector<std::uint64_t>{1000000, 5, 42}));
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+}
+
+TEST(GraphBuilder, NoRelabelKeepsDenseIds) {
+  GraphBuilder b(/*relabel=*/false);
+  b.AddEdge(0, 3);
+  const Graph g = b.Build();
+  EXPECT_EQ(g.NumVertices(), 4u);  // max id + 1, with 1 and 2 isolated
+  EXPECT_EQ(g.GetDegree(1), 0u);
+}
+
+TEST(GraphBuilder, AddVertexCreatesIsolated) {
+  GraphBuilder b(/*relabel=*/false);
+  b.AddVertex(9);
+  const Graph g = b.Build();
+  EXPECT_EQ(g.NumVertices(), 10u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+}
+
+TEST(GraphBuilder, EmptyBuild) {
+  GraphBuilder b;
+  const Graph g = b.Build();
+  EXPECT_EQ(g.NumVertices(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+}
+
+TEST(GraphBuilder, AddEdgesBulk) {
+  GraphBuilder b(/*relabel=*/false);
+  b.AddEdges({{0, 1}, {1, 2}, {2, 3}});
+  const Graph g = b.Build();
+  EXPECT_EQ(g.NumEdges(), 3u);
+}
+
+TEST(BuildGraphFromEdges, PreservesVertexCount) {
+  const Graph g = BuildGraphFromEdges(10, {{0, 1}});
+  EXPECT_EQ(g.NumVertices(), 10u);
+  EXPECT_EQ(g.NumEdges(), 1u);
+}
+
+TEST(BuildGraphFromEdges, ZeroVertices) {
+  const Graph g = BuildGraphFromEdges(0, {});
+  EXPECT_EQ(g.NumVertices(), 0u);
+}
+
+}  // namespace
+}  // namespace nucleus

@@ -1,0 +1,130 @@
+#include "src/local/degree_levels.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/builder.h"
+#include "src/graph/generators.h"
+#include "src/local/snd.h"
+#include "src/peel/generic_peel.h"
+
+namespace nucleus {
+namespace {
+
+Graph PaperFigure2Graph() {
+  return BuildGraphFromEdges(6, {{0, 1}, {0, 4}, {1, 2}, {1, 3}, {2, 3},
+                                 {4, 5}});
+}
+
+TEST(DegreeLevels, PaperFigure2Levels) {
+  // Degrees (2,3,2,2,2,1): L0={f}, removing f leaves e with degree 1 ->
+  // L1={e}, then a with degree 1 -> L2={a}, then L3={b,c,d}.
+  const auto levels = CoreDegreeLevels(PaperFigure2Graph());
+  EXPECT_EQ(levels.num_levels, 4u);
+  EXPECT_EQ(levels.level[5], 0u);  // f
+  EXPECT_EQ(levels.level[4], 1u);  // e
+  EXPECT_EQ(levels.level[0], 2u);  // a
+  EXPECT_EQ(levels.level[1], 3u);  // b
+  EXPECT_EQ(levels.level[2], 3u);  // c
+  EXPECT_EQ(levels.level[3], 3u);  // d
+}
+
+TEST(DegreeLevels, Figure4StyleExample) {
+  // The paper's Figure 4 shape: L0={a}, L1={b}, L2={c,g}, L3={d,e,f}.
+  // Construct (a=0,b=1,c=2,d=3,e=4,f=5,g=6): a-b; b-c, b-g; c-d, c-e;
+  // g-e, g-f; triangle d-e, d-f, e-f. Removing a leaves b at degree 2;
+  // removing b ties c and g at degree 2; removing both leaves the triangle.
+  const Graph g = BuildGraphFromEdges(
+      7, {{0, 1}, {1, 2}, {1, 6}, {2, 3}, {2, 4}, {6, 4}, {6, 5}, {3, 4},
+          {3, 5}, {4, 5}});
+  const auto levels = CoreDegreeLevels(g);
+  EXPECT_EQ(levels.num_levels, 4u);
+  EXPECT_EQ(levels.level[0], 0u);                       // a
+  EXPECT_EQ(levels.level[1], 1u);                       // b
+  EXPECT_EQ(levels.level[2], 2u);                       // c
+  EXPECT_EQ(levels.level[6], 2u);                       // g
+  EXPECT_EQ(levels.level[3], 3u);                       // d
+  EXPECT_EQ(levels.level[4], 3u);                       // e
+  EXPECT_EQ(levels.level[5], 3u);                       // f
+}
+
+TEST(DegreeLevels, CompleteGraphSingleLevel) {
+  const auto levels = CoreDegreeLevels(GenerateComplete(8));
+  EXPECT_EQ(levels.num_levels, 1u);
+  for (auto l : levels.level) EXPECT_EQ(l, 0u);
+}
+
+TEST(DegreeLevels, RegularGraphSingleLevel) {
+  const auto levels = CoreDegreeLevels(GenerateCycle(12));
+  EXPECT_EQ(levels.num_levels, 1u);
+}
+
+TEST(DegreeLevels, PathLevelsPeelFromEnds) {
+  // P5: ends are L0; removing them exposes next pair as min... P5 vertices
+  // 0-1-2-3-4. L0 = {0,4} (degree 1). After removal 1 and 3 have degree 1,
+  // 2 has 2 -> L1 = {1,3}. Then L2 = {2}.
+  const auto levels = CoreDegreeLevels(GeneratePath(5));
+  EXPECT_EQ(levels.num_levels, 3u);
+  EXPECT_EQ(levels.level[0], 0u);
+  EXPECT_EQ(levels.level[4], 0u);
+  EXPECT_EQ(levels.level[1], 1u);
+  EXPECT_EQ(levels.level[3], 1u);
+  EXPECT_EQ(levels.level[2], 2u);
+}
+
+TEST(DegreeLevels, KappaNonDecreasingAcrossLevels) {
+  // Theorem 2: i <= j implies kappa(L_i) <= kappa(L_j).
+  for (int seed = 0; seed < 6; ++seed) {
+    const Graph g = GenerateErdosRenyi(50, 170, seed);
+    const auto levels = CoreDegreeLevels(g);
+    const auto kappa = PeelCore(g).kappa;
+    std::vector<Degree> max_kappa_at(levels.num_levels, 0);
+    std::vector<Degree> min_kappa_at(levels.num_levels, kInvalidClique);
+    for (CliqueId v = 0; v < kappa.size(); ++v) {
+      auto& mx = max_kappa_at[levels.level[v]];
+      auto& mn = min_kappa_at[levels.level[v]];
+      mx = std::max(mx, kappa[v]);
+      mn = std::min(mn, kappa[v]);
+    }
+    for (std::size_t i = 1; i < levels.num_levels; ++i) {
+      EXPECT_LE(max_kappa_at[i - 1], min_kappa_at[i]) << "seed " << seed;
+    }
+  }
+}
+
+TEST(DegreeLevels, TrussLevelsBoundSndIterations) {
+  const Graph g = GenerateErdosRenyi(30, 120, 7);
+  const EdgeIndex edges(g);
+  const auto levels = TrussDegreeLevels(g, edges);
+  const LocalResult snd = SndTruss(g, edges);
+  EXPECT_LE(snd.iterations, static_cast<int>(levels.num_levels));
+}
+
+TEST(DegreeLevels, Nucleus34Levels) {
+  const Graph g = GenerateErdosRenyi(18, 80, 3);
+  const TriangleIndex tris(g);
+  const auto levels = Nucleus34DegreeLevels(g, tris);
+  EXPECT_EQ(levels.level.size(), tris.NumTriangles());
+  const LocalResult snd = SndNucleus34(g, tris);
+  EXPECT_LE(snd.iterations, static_cast<int>(levels.num_levels));
+}
+
+TEST(DegreeLevels, LevelsArePackedFromZero) {
+  const Graph g = GenerateBarabasiAlbert(100, 3, 5);
+  const auto levels = CoreDegreeLevels(g);
+  std::vector<bool> present(levels.num_levels, false);
+  for (auto l : levels.level) {
+    ASSERT_LT(l, levels.num_levels);
+    present[l] = true;
+  }
+  for (bool p : present) EXPECT_TRUE(p);
+}
+
+TEST(DegreeLevels, EmptyGraph) {
+  const Graph g;
+  const auto levels = CoreDegreeLevels(g);
+  EXPECT_EQ(levels.num_levels, 0u);
+  EXPECT_TRUE(levels.level.empty());
+}
+
+}  // namespace
+}  // namespace nucleus

@@ -1,0 +1,128 @@
+#include "src/core/densest.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/graph/builder.h"
+#include "src/graph/generators.h"
+
+namespace nucleus {
+namespace {
+
+TEST(Densest, CompleteGraphIsItsOwnDensest) {
+  const Graph g = GenerateComplete(8);
+  const auto r = ApproxDensestSubgraph(g);
+  EXPECT_EQ(r.vertices.size(), 8u);
+  EXPECT_DOUBLE_EQ(r.avg_degree_density, 28.0 / 8);
+  EXPECT_DOUBLE_EQ(r.edge_density, 1.0);
+}
+
+TEST(Densest, EmptyAndTinyGraphs) {
+  EXPECT_TRUE(ApproxDensestSubgraph(Graph{}).vertices.empty());
+  const Graph one = BuildGraphFromEdges(1, {});
+  const auto r = ApproxDensestSubgraph(one);
+  EXPECT_EQ(r.vertices.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.avg_degree_density, 0.0);
+}
+
+TEST(Densest, FindsPlantedClique) {
+  // K10 planted in a sparse 200-vertex ER background.
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId u = 0; u < 10; ++u) {
+    for (VertexId v = u + 1; v < 10; ++v) edges.emplace_back(u, v);
+  }
+  const Graph noise = GenerateErdosRenyi(200, 150, 3);
+  for (VertexId u = 0; u < noise.NumVertices(); ++u) {
+    for (VertexId v : noise.Neighbors(u)) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  const Graph g = BuildGraphFromEdges(200, edges);
+  const auto r = ApproxDensestSubgraph(g);
+  // The found subgraph must be at least half as dense as the clique
+  // (Charikar guarantee: clique density = 4.5).
+  EXPECT_GE(r.avg_degree_density, 4.5 / 2);
+  // And the clique vertices should dominate the answer.
+  std::size_t clique_members = 0;
+  for (VertexId v : r.vertices) {
+    if (v < 10) ++clique_members;
+  }
+  EXPECT_EQ(clique_members, 10u);
+}
+
+TEST(Densest, HalfApproximationGuaranteeOnRandomGraphs) {
+  for (int seed = 0; seed < 8; ++seed) {
+    const Graph g = GenerateErdosRenyi(12, 30, seed);
+    const double exact = ExactDensestAvgDegree(g);
+    const auto r = ApproxDensestSubgraph(g);
+    EXPECT_GE(r.avg_degree_density + 1e-9, exact / 2) << "seed " << seed;
+    EXPECT_LE(r.avg_degree_density, exact + 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(Densest, ReportedCountsConsistent) {
+  const Graph g = GenerateBarabasiAlbert(100, 4, 7);
+  const auto r = ApproxDensestSubgraph(g);
+  EXPECT_DOUBLE_EQ(r.avg_degree_density,
+                   static_cast<double>(r.num_edges) / r.vertices.size());
+  EXPECT_TRUE(std::is_sorted(r.vertices.begin(), r.vertices.end()));
+}
+
+TEST(TriangleDensest, CompleteGraph) {
+  const Graph g = GenerateComplete(6);
+  const auto r = ApproxTriangleDensestSubgraph(g);
+  EXPECT_EQ(r.vertices.size(), 6u);
+  EXPECT_EQ(r.num_triangles, 20u);
+  EXPECT_DOUBLE_EQ(r.triangle_density, 20.0 / 6);
+}
+
+TEST(TriangleDensest, TriangleFreeGraphIsZero) {
+  const Graph g = GenerateCompleteBipartite(5, 5);
+  const auto r = ApproxTriangleDensestSubgraph(g);
+  EXPECT_EQ(r.num_triangles, 0u);
+  EXPECT_DOUBLE_EQ(r.triangle_density, 0.0);
+}
+
+TEST(TriangleDensest, FindsPlantedCliqueAgainstTriangleNoise) {
+  // Clique K8 + sparse background: triangle density concentrates in the
+  // clique even more than edge density.
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId u = 0; u < 8; ++u) {
+    for (VertexId v = u + 1; v < 8; ++v) edges.emplace_back(u, v);
+  }
+  const Graph noise = GenerateErdosRenyi(120, 240, 9);
+  for (VertexId u = 0; u < noise.NumVertices(); ++u) {
+    for (VertexId v : noise.Neighbors(u)) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  const Graph g = BuildGraphFromEdges(120, edges);
+  const auto r = ApproxTriangleDensestSubgraph(g);
+  // K8 has C(8,3)=56 triangles, density 7. Guarantee: >= 7/3.
+  EXPECT_GE(r.triangle_density, 7.0 / 3);
+  std::size_t clique_members = 0;
+  for (VertexId v : r.vertices) {
+    if (v < 8) ++clique_members;
+  }
+  EXPECT_EQ(clique_members, 8u);
+}
+
+TEST(TriangleDensest, CountsConsistent) {
+  const Graph g = GenerateErdosRenyi(40, 180, 5);
+  const auto r = ApproxTriangleDensestSubgraph(g);
+  if (!r.vertices.empty()) {
+    EXPECT_DOUBLE_EQ(r.triangle_density,
+                     static_cast<double>(r.num_triangles) /
+                         r.vertices.size());
+  }
+}
+
+TEST(ExactDensest, SmallKnownValues) {
+  EXPECT_DOUBLE_EQ(ExactDensestAvgDegree(GenerateComplete(4)), 6.0 / 4);
+  EXPECT_DOUBLE_EQ(ExactDensestAvgDegree(GenerateCycle(5)), 1.0);
+  EXPECT_DOUBLE_EQ(ExactDensestAvgDegree(GeneratePath(4)), 0.75);
+}
+
+}  // namespace
+}  // namespace nucleus

@@ -1,0 +1,64 @@
+#include "src/common/disjoint_set.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace nucleus {
+namespace {
+
+TEST(DisjointSet, InitiallySingletons) {
+  DisjointSet d(5);
+  for (CliqueId i = 0; i < 5; ++i) {
+    EXPECT_EQ(d.Find(i), i);
+    EXPECT_EQ(d.SetSize(i), 1u);
+  }
+  EXPECT_FALSE(d.Same(0, 1));
+}
+
+TEST(DisjointSet, UnionMergesAndTracksSize) {
+  DisjointSet d(6);
+  d.Union(0, 1);
+  EXPECT_TRUE(d.Same(0, 1));
+  EXPECT_EQ(d.SetSize(0), 2u);
+  d.Union(2, 3);
+  d.Union(0, 3);
+  EXPECT_TRUE(d.Same(1, 2));
+  EXPECT_EQ(d.SetSize(3), 4u);
+  EXPECT_FALSE(d.Same(0, 5));
+}
+
+TEST(DisjointSet, UnionIsIdempotent) {
+  DisjointSet d(3);
+  const CliqueId r1 = d.Union(0, 1);
+  const CliqueId r2 = d.Union(0, 1);
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(d.SetSize(0), 2u);
+}
+
+TEST(DisjointSet, RandomizedAgainstNaive) {
+  Rng rng(11);
+  const std::size_t n = 64;
+  DisjointSet d(n);
+  std::vector<int> label(n);
+  for (std::size_t i = 0; i < n; ++i) label[i] = static_cast<int>(i);
+  for (int step = 0; step < 200; ++step) {
+    const CliqueId a = static_cast<CliqueId>(rng.UniformInt(0, n - 1));
+    const CliqueId b = static_cast<CliqueId>(rng.UniformInt(0, n - 1));
+    d.Union(a, b);
+    const int la = label[a], lb = label[b];
+    for (auto& l : label) {
+      if (l == lb) l = la;
+    }
+    // Verify equivalence relation matches on a random sample.
+    for (int probe = 0; probe < 5; ++probe) {
+      const std::size_t x = rng.UniformInt(0, n - 1);
+      const std::size_t y = rng.UniformInt(0, n - 1);
+      EXPECT_EQ(d.Same(static_cast<CliqueId>(x), static_cast<CliqueId>(y)),
+                label[x] == label[y]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nucleus

@@ -1,0 +1,143 @@
+#include "src/local/dynamic_truss.h"
+
+#include <gtest/gtest.h>
+
+#include "src/clique/edge_index.h"
+#include "src/common/rng.h"
+#include "src/graph/builder.h"
+#include "src/graph/generators.h"
+#include "src/peel/ktruss.h"
+
+namespace nucleus {
+namespace {
+
+std::vector<Degree> Recompute(const Graph& g) {
+  const EdgeIndex edges(g);
+  return TrussNumbers(g, edges);
+}
+
+TEST(DynamicTruss, StartsFromExactTrussNumbers) {
+  const Graph g = GenerateErdosRenyi(30, 120, 1);
+  DynamicTrussMaintainer m(g);
+  EXPECT_EQ(m.TrussNumbersInIndexOrder(), Recompute(g));
+  EXPECT_EQ(m.NumEdges(), g.NumEdges());
+}
+
+TEST(DynamicTruss, BuildK4EdgeByEdge) {
+  DynamicTrussMaintainer m(std::size_t{4});
+  const std::pair<VertexId, VertexId> edges[] = {{0, 1}, {0, 2}, {1, 2},
+                                                 {0, 3}, {1, 3}, {2, 3}};
+  for (const auto& [u, v] : edges) {
+    ASSERT_TRUE(m.InsertEdge(u, v));
+    EXPECT_EQ(m.TrussNumbersInIndexOrder(), Recompute(m.ToGraph()));
+  }
+  // Complete K4: every edge in 2 triangles.
+  EXPECT_EQ(m.TrussNumberOf(0, 3), 2u);
+}
+
+TEST(DynamicTruss, RemoveFromK4) {
+  DynamicTrussMaintainer m(GenerateComplete(4));
+  ASSERT_TRUE(m.RemoveEdge(0, 1));
+  EXPECT_EQ(m.TrussNumbersInIndexOrder(), Recompute(m.ToGraph()));
+  EXPECT_EQ(m.TrussNumberOf(2, 3), 1u);
+  EXPECT_EQ(m.TrussNumberOf(0, 1), kInvalidClique + 0u);
+}
+
+TEST(DynamicTruss, RejectsInvalidOperations) {
+  DynamicTrussMaintainer m(std::size_t{3});
+  EXPECT_FALSE(m.InsertEdge(0, 0));
+  EXPECT_FALSE(m.InsertEdge(0, 7));
+  EXPECT_TRUE(m.InsertEdge(0, 1));
+  EXPECT_FALSE(m.InsertEdge(1, 0));
+  EXPECT_FALSE(m.RemoveEdge(1, 2));
+}
+
+TEST(DynamicTruss, InsertionSequenceMatchesRecompute) {
+  const Graph target = GenerateErdosRenyi(24, 110, 7);
+  DynamicTrussMaintainer m(target.NumVertices());
+  for (VertexId u = 0; u < target.NumVertices(); ++u) {
+    for (VertexId v : target.Neighbors(u)) {
+      if (v < u) continue;
+      ASSERT_TRUE(m.InsertEdge(u, v));
+      ASSERT_EQ(m.TrussNumbersInIndexOrder(), Recompute(m.ToGraph()))
+          << "after (" << u << "," << v << ")";
+    }
+  }
+}
+
+TEST(DynamicTruss, MixedChurnMatchesRecompute) {
+  Rng rng(3);
+  const std::size_t n = 18;
+  DynamicTrussMaintainer m(n);
+  for (int step = 0; step < 300; ++step) {
+    const VertexId u = static_cast<VertexId>(rng.UniformInt(0, n - 1));
+    const VertexId v = static_cast<VertexId>(rng.UniformInt(0, n - 1));
+    if (rng.Flip(0.7)) {
+      m.InsertEdge(u, v);
+    } else {
+      m.RemoveEdge(u, v);
+    }
+    ASSERT_EQ(m.TrussNumbersInIndexOrder(), Recompute(m.ToGraph()))
+        << "step " << step;
+  }
+}
+
+TEST(DynamicTruss, DenseCommunityChurn) {
+  // Dense planted block: the stress case for the bump region logic.
+  const Graph g = GeneratePlantedPartition(2, 10, 0.8, 0.1, 5);
+  DynamicTrussMaintainer m(g);
+  Rng rng(11);
+  for (int step = 0; step < 150; ++step) {
+    const VertexId u = static_cast<VertexId>(rng.UniformInt(0, 19));
+    const VertexId v = static_cast<VertexId>(rng.UniformInt(0, 19));
+    if (rng.Flip(0.5)) {
+      m.InsertEdge(u, v);
+    } else {
+      m.RemoveEdge(u, v);
+    }
+    ASSERT_EQ(m.TrussNumbersInIndexOrder(), Recompute(m.ToGraph()))
+        << "step " << step;
+  }
+}
+
+TEST(DynamicTruss, DeletionSequenceMatchesRecompute) {
+  const Graph g = GenerateBarabasiAlbert(20, 4, 13);
+  DynamicTrussMaintainer m(g);
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    for (VertexId v : g.Neighbors(u)) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  Rng rng(5);
+  rng.Shuffle(&edges);
+  for (const auto& [u, v] : edges) {
+    ASSERT_TRUE(m.RemoveEdge(u, v));
+    ASSERT_EQ(m.TrussNumbersInIndexOrder(), Recompute(m.ToGraph()));
+  }
+  EXPECT_EQ(m.NumEdges(), 0u);
+}
+
+TEST(DynamicTruss, TriangleFreeStaysZero) {
+  DynamicTrussMaintainer m(GenerateGrid(4, 4));
+  m.InsertEdge(0, 15);  // a chord; still no triangle through most edges
+  for (Degree k : m.TrussNumbersInIndexOrder()) EXPECT_LE(k, 1u);
+}
+
+TEST(DynamicTruss, WorkIsBoundedByGraph) {
+  const Graph g = GenerateErdosRenyi(60, 280, 9);
+  DynamicTrussMaintainer m(g);
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    const VertexId u = static_cast<VertexId>(rng.UniformInt(0, 59));
+    const VertexId v = static_cast<VertexId>(rng.UniformInt(0, 59));
+    if (m.InsertEdge(u, v)) {
+      // Work counts processings, not distinct edges; a few re-visits per
+      // edge are possible while the worklist drains.
+      EXPECT_LE(m.LastRepairWork(), 5 * (g.NumEdges() + 1));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nucleus

@@ -1,0 +1,73 @@
+#include "src/clique/edge_index.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/builder.h"
+#include "src/graph/generators.h"
+
+namespace nucleus {
+namespace {
+
+TEST(EdgeIndex, CountsMatchGraph) {
+  const Graph g = GenerateErdosRenyi(50, 200, 1);
+  const EdgeIndex idx(g);
+  EXPECT_EQ(idx.NumEdges(), g.NumEdges());
+}
+
+TEST(EdgeIndex, EndpointsOrderedAndLexicographic) {
+  const Graph g = GenerateErdosRenyi(30, 100, 2);
+  const EdgeIndex idx(g);
+  std::pair<VertexId, VertexId> prev = {0, 0};
+  for (EdgeId e = 0; e < idx.NumEdges(); ++e) {
+    const auto [u, v] = idx.Endpoints(e);
+    EXPECT_LT(u, v);
+    if (e > 0) {
+      EXPECT_LT(prev, std::make_pair(u, v));
+    }
+    prev = {u, v};
+  }
+}
+
+TEST(EdgeIndex, RoundTripIdLookup) {
+  const Graph g = GenerateBarabasiAlbert(80, 3, 7);
+  const EdgeIndex idx(g);
+  for (EdgeId e = 0; e < idx.NumEdges(); ++e) {
+    const auto [u, v] = idx.Endpoints(e);
+    EXPECT_EQ(idx.EdgeIdOf(u, v), e);
+    EXPECT_EQ(idx.EdgeIdOf(v, u), e);  // order-insensitive
+  }
+}
+
+TEST(EdgeIndex, MissingEdgeIsInvalid) {
+  const Graph g = BuildGraphFromEdges(4, {{0, 1}, {2, 3}});
+  const EdgeIndex idx(g);
+  EXPECT_EQ(idx.EdgeIdOf(0, 2), kInvalidEdge);
+  EXPECT_EQ(idx.EdgeIdOf(1, 3), kInvalidEdge);
+  EXPECT_EQ(idx.EdgeIdOf(0, 0), kInvalidEdge);
+  EXPECT_EQ(idx.EdgeIdOf(0, 99), kInvalidEdge);
+}
+
+TEST(EdgeIndex, ForwardRangeCoversAllEdges) {
+  const Graph g = GenerateErdosRenyi(40, 150, 5);
+  const EdgeIndex idx(g);
+  std::size_t total = 0;
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    const auto [first, count] = idx.ForwardRange(u);
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto [a, b] = idx.Endpoints(static_cast<EdgeId>(first + i));
+      EXPECT_EQ(a, u);
+      EXPECT_GT(b, u);
+    }
+    total += count;
+  }
+  EXPECT_EQ(total, g.NumEdges());
+}
+
+TEST(EdgeIndex, EmptyGraph) {
+  const Graph g;
+  const EdgeIndex idx(g);
+  EXPECT_EQ(idx.NumEdges(), 0u);
+}
+
+}  // namespace
+}  // namespace nucleus

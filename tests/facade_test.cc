@@ -1,0 +1,109 @@
+#include "src/core/nucleus_decomposition.h"
+
+#include <gtest/gtest.h>
+
+#include "src/clique/triangles.h"
+#include "src/graph/generators.h"
+#include "src/peel/generic_peel.h"
+
+namespace nucleus {
+namespace {
+
+TEST(Facade, AllMethodsAgreeOnCore) {
+  const Graph g = GenerateBarabasiAlbert(120, 3, 1);
+  const auto peel =
+      Decompose(g, DecompositionKind::kCore, {.method = Method::kPeeling});
+  const auto snd =
+      Decompose(g, DecompositionKind::kCore, {.method = Method::kSnd});
+  const auto andr =
+      Decompose(g, DecompositionKind::kCore, {.method = Method::kAnd});
+  EXPECT_EQ(peel.kappa, snd.kappa);
+  EXPECT_EQ(peel.kappa, andr.kappa);
+  EXPECT_TRUE(peel.exact);
+  EXPECT_TRUE(snd.exact);
+  EXPECT_TRUE(andr.exact);
+  EXPECT_EQ(peel.num_r_cliques, g.NumVertices());
+}
+
+TEST(Facade, AllMethodsAgreeOnTruss) {
+  const Graph g = GenerateErdosRenyi(50, 200, 2);
+  const auto peel =
+      Decompose(g, DecompositionKind::kTruss, {.method = Method::kPeeling});
+  const auto snd =
+      Decompose(g, DecompositionKind::kTruss, {.method = Method::kSnd});
+  const auto andr =
+      Decompose(g, DecompositionKind::kTruss, {.method = Method::kAnd});
+  EXPECT_EQ(peel.kappa, snd.kappa);
+  EXPECT_EQ(peel.kappa, andr.kappa);
+  EXPECT_EQ(peel.num_r_cliques, g.NumEdges());
+}
+
+TEST(Facade, AllMethodsAgreeOnNucleus34) {
+  const Graph g = GenerateErdosRenyi(25, 110, 3);
+  const auto peel = Decompose(g, DecompositionKind::kNucleus34,
+                              {.method = Method::kPeeling});
+  const auto snd =
+      Decompose(g, DecompositionKind::kNucleus34, {.method = Method::kSnd});
+  const auto andr =
+      Decompose(g, DecompositionKind::kNucleus34, {.method = Method::kAnd});
+  EXPECT_EQ(peel.kappa, snd.kappa);
+  EXPECT_EQ(peel.kappa, andr.kappa);
+  const TriangleIndex tris(g);
+  EXPECT_EQ(peel.num_r_cliques, tris.NumTriangles());
+}
+
+TEST(Facade, TruncatedRunReportsInexact) {
+  const Graph g = GenerateBarabasiAlbert(200, 4, 5);
+  DecomposeOptions opt;
+  opt.method = Method::kSnd;
+  opt.max_iterations = 1;
+  const auto r = Decompose(g, DecompositionKind::kCore, opt);
+  // One iteration is not enough on a 200-vertex BA graph.
+  EXPECT_FALSE(r.exact);
+  EXPECT_EQ(r.iterations, 1);
+}
+
+TEST(Facade, ThreadsOption) {
+  const Graph g = GenerateRmat(8, 6, 7);
+  DecomposeOptions opt;
+  opt.method = Method::kAnd;
+  opt.threads = 4;
+  const auto r = Decompose(g, DecompositionKind::kCore, opt);
+  EXPECT_EQ(r.kappa, PeelCore(g).kappa);
+}
+
+TEST(Facade, TraceIsWired) {
+  const Graph g = GenerateErdosRenyi(40, 130, 9);
+  ConvergenceTrace trace;
+  trace.record_snapshots = true;
+  DecomposeOptions opt;
+  opt.method = Method::kSnd;
+  opt.trace = &trace;
+  Decompose(g, DecompositionKind::kCore, opt);
+  EXPECT_FALSE(trace.snapshots.empty());
+}
+
+TEST(Facade, IndexSecondsReported) {
+  const Graph g = GenerateErdosRenyi(40, 150, 11);
+  const auto core =
+      Decompose(g, DecompositionKind::kCore, {.method = Method::kPeeling});
+  EXPECT_EQ(core.index_seconds, 0.0);
+  const auto truss =
+      Decompose(g, DecompositionKind::kTruss, {.method = Method::kPeeling});
+  EXPECT_GE(truss.index_seconds, 0.0);
+}
+
+TEST(Facade, HierarchyForEachKind) {
+  const Graph g = GenerateErdosRenyi(30, 120, 13);
+  for (auto kind : {DecompositionKind::kCore, DecompositionKind::kTruss,
+                    DecompositionKind::kNucleus34}) {
+    const auto r = Decompose(g, kind, {.method = Method::kPeeling});
+    const auto h = DecomposeHierarchy(g, kind, r.kappa);
+    std::size_t total = 0;
+    for (int root : h.roots) total += h.nodes[root].size;
+    EXPECT_EQ(total, r.num_r_cliques);
+  }
+}
+
+}  // namespace
+}  // namespace nucleus

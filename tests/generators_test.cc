@@ -1,0 +1,138 @@
+#include "src/graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "src/clique/triangles.h"
+
+namespace nucleus {
+namespace {
+
+std::size_t CountComponents(const Graph& g) {
+  std::vector<bool> seen(g.NumVertices(), false);
+  std::size_t components = 0;
+  for (VertexId s = 0; s < g.NumVertices(); ++s) {
+    if (seen[s]) continue;
+    ++components;
+    std::queue<VertexId> q;
+    q.push(s);
+    seen[s] = true;
+    while (!q.empty()) {
+      const VertexId v = q.front();
+      q.pop();
+      for (VertexId u : g.Neighbors(v)) {
+        if (!seen[u]) {
+          seen[u] = true;
+          q.push(u);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+TEST(Generators, ErdosRenyiEdgeCountExact) {
+  const Graph g = GenerateErdosRenyi(100, 300, 1);
+  EXPECT_EQ(g.NumVertices(), 100u);
+  EXPECT_EQ(g.NumEdges(), 300u);
+}
+
+TEST(Generators, ErdosRenyiClampsToMaxEdges) {
+  const Graph g = GenerateErdosRenyi(5, 1000, 1);
+  EXPECT_EQ(g.NumEdges(), 10u);  // C(5,2)
+}
+
+TEST(Generators, ErdosRenyiDeterministic) {
+  const Graph a = GenerateErdosRenyi(50, 100, 77);
+  const Graph b = GenerateErdosRenyi(50, 100, 77);
+  EXPECT_EQ(a.NeighborArray(), b.NeighborArray());
+}
+
+TEST(Generators, BarabasiAlbertConnectedPowerLawish) {
+  const Graph g = GenerateBarabasiAlbert(500, 3, 2);
+  EXPECT_EQ(g.NumVertices(), 500u);
+  EXPECT_EQ(CountComponents(g), 1u);
+  // Preferential attachment: max degree well above the attachment count.
+  EXPECT_GT(g.MaxDegree(), 20u);
+}
+
+TEST(Generators, RmatShape) {
+  const Graph g = GenerateRmat(10, 8, 3);
+  EXPECT_EQ(g.NumVertices(), 1024u);
+  EXPECT_GT(g.NumEdges(), 1000u);
+  // Skew: power-law-ish max degree far above average.
+  const double avg = 2.0 * g.NumEdges() / g.NumVertices();
+  EXPECT_GT(g.MaxDegree(), 5 * avg);
+}
+
+TEST(Generators, PlantedPartitionDensity) {
+  const Graph g = GeneratePlantedPartition(4, 20, 0.8, 0.02, 9);
+  EXPECT_EQ(g.NumVertices(), 80u);
+  // Within-block density should vastly exceed across-block.
+  std::size_t within = 0, across = 0;
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    for (VertexId v : g.Neighbors(u)) {
+      if (u < v) {
+        (u / 20 == v / 20 ? within : across)++;
+      }
+    }
+  }
+  EXPECT_GT(within, 4 * across);
+}
+
+TEST(Generators, WattsStrogatzZeroBetaIsRing) {
+  const Graph g = GenerateWattsStrogatz(30, 4, 0.0, 1);
+  EXPECT_EQ(g.NumVertices(), 30u);
+  EXPECT_EQ(g.NumEdges(), 60u);  // n * k / 2
+  for (VertexId v = 0; v < 30; ++v) EXPECT_EQ(g.GetDegree(v), 4u);
+  // The k=4 ring lattice has exactly n triangles.
+  EXPECT_EQ(CountTriangles(g), 30u);
+}
+
+TEST(Generators, NestedCliquesContainsLargestClique) {
+  const Graph g = GenerateNestedCliques(3, 4, 3, 1);
+  // Largest level is a K_{4 + 2*3} = K_10 sharing 2 vertices upward.
+  EXPECT_GE(g.MaxDegree(), 9u);
+  EXPECT_EQ(CountComponents(g), 1u);
+}
+
+TEST(Generators, CompleteGraph) {
+  const Graph g = GenerateComplete(6);
+  EXPECT_EQ(g.NumEdges(), 15u);
+  EXPECT_EQ(g.MaxDegree(), 5u);
+  EXPECT_EQ(CountTriangles(g), 20u);  // C(6,3)
+}
+
+TEST(Generators, CycleAndPath) {
+  EXPECT_EQ(GenerateCycle(10).NumEdges(), 10u);
+  EXPECT_EQ(GeneratePath(10).NumEdges(), 9u);
+  EXPECT_EQ(CountTriangles(GenerateCycle(10)), 0u);
+  // Degenerate cycles.
+  EXPECT_EQ(GenerateCycle(2).NumEdges(), 0u);
+  EXPECT_EQ(GenerateCycle(3).NumEdges(), 3u);
+}
+
+TEST(Generators, StarIsTriangleFree) {
+  const Graph g = GenerateStar(20);
+  EXPECT_EQ(g.NumEdges(), 19u);
+  EXPECT_EQ(CountTriangles(g), 0u);
+}
+
+TEST(Generators, CompleteBipartiteTriangleFree) {
+  const Graph g = GenerateCompleteBipartite(4, 6);
+  EXPECT_EQ(g.NumVertices(), 10u);
+  EXPECT_EQ(g.NumEdges(), 24u);
+  EXPECT_EQ(CountTriangles(g), 0u);
+}
+
+TEST(Generators, GridShape) {
+  const Graph g = GenerateGrid(4, 5);
+  EXPECT_EQ(g.NumVertices(), 20u);
+  EXPECT_EQ(g.NumEdges(), 4u * 4 + 3u * 5);  // horizontal + vertical
+  EXPECT_EQ(CountTriangles(g), 0u);
+  EXPECT_EQ(CountComponents(g), 1u);
+}
+
+}  // namespace
+}  // namespace nucleus

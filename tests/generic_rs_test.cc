@@ -1,0 +1,140 @@
+#include "src/core/generic_rs.h"
+
+#include <gtest/gtest.h>
+
+#include "src/clique/spaces.h"
+#include "src/graph/builder.h"
+#include "src/graph/generators.h"
+#include "src/peel/generic_peel.h"
+
+namespace nucleus {
+namespace {
+
+Count Binomial(int n, int k) {
+  if (k < 0 || k > n) return 0;
+  Count r = 1;
+  for (int i = 0; i < k; ++i) r = r * (n - i) / (i + 1);
+  return r;
+}
+
+TEST(GenericRs, MatchesCanonicalCore) {
+  for (int seed = 0; seed < 4; ++seed) {
+    const Graph g = GenerateErdosRenyi(30, 110, seed);
+    const KCliqueIndex r1(g, 1);
+    EXPECT_EQ(PeelRS(g, r1, 2).kappa, PeelCore(g).kappa) << "seed " << seed;
+  }
+}
+
+TEST(GenericRs, MatchesCanonicalTruss) {
+  for (int seed = 0; seed < 3; ++seed) {
+    const Graph g = GenerateErdosRenyi(22, 90, seed);
+    const KCliqueIndex r2(g, 2);
+    const EdgeIndex edges(g);
+    // KCliqueIndex(2) ids coincide with EdgeIndex ids (both lexicographic).
+    EXPECT_EQ(PeelRS(g, r2, 3).kappa, PeelTruss(g, edges).kappa)
+        << "seed " << seed;
+  }
+}
+
+TEST(GenericRs, MatchesCanonicalNucleus34) {
+  for (int seed = 0; seed < 3; ++seed) {
+    const Graph g = GenerateErdosRenyi(16, 60, seed);
+    const KCliqueIndex r3(g, 3);
+    const TriangleIndex tris(g);
+    EXPECT_EQ(PeelRS(g, r3, 4).kappa, PeelNucleus34(g, tris).kappa)
+        << "seed " << seed;
+  }
+}
+
+TEST(GenericRs, CompleteGraphClosedForm) {
+  // On K_n every r-clique lies in C(n-r, s-r) s-cliques and symmetry gives
+  // kappa = C(n-r, s-r) for every r-clique.
+  const int n = 7;
+  const Graph g = GenerateComplete(n);
+  for (int r = 1; r <= 4; ++r) {
+    const KCliqueIndex idx(g, r);
+    for (int s = r + 1; s <= 6; ++s) {
+      const auto result = PeelRS(g, idx, s);
+      const Degree expect = static_cast<Degree>(Binomial(n - r, s - r));
+      for (Degree k : result.kappa) {
+        EXPECT_EQ(k, expect) << "(r,s)=(" << r << "," << s << ")";
+      }
+    }
+  }
+}
+
+TEST(GenericRs, SndAndAndAgreeWithPeel) {
+  const Graph g = GenerateErdosRenyi(18, 70, 11);
+  for (auto [r, s] : {std::pair{1, 3}, {2, 4}, {1, 4}, {3, 5}, {4, 5}}) {
+    const KCliqueIndex idx(g, r);
+    const auto peel = PeelRS(g, idx, s);
+    EXPECT_EQ(SndRS(g, idx, s).tau, peel.kappa)
+        << "(r,s)=(" << r << "," << s << ")";
+    EXPECT_EQ(AndRS(g, idx, s).tau, peel.kappa)
+        << "(r,s)=(" << r << "," << s << ")";
+  }
+}
+
+TEST(GenericRs, TheoremFourHoldsForExoticInstances) {
+  const Graph g = GenerateErdosRenyi(16, 62, 5);
+  for (auto [r, s] : {std::pair{1, 3}, {2, 4}}) {
+    const KCliqueIndex idx(g, r);
+    const auto peel = PeelRS(g, idx, s);
+    AndOptions opt;
+    opt.order = AndOrder::kGiven;
+    opt.given_order = peel.order;
+    const LocalResult result = AndRS(g, idx, s, opt);
+    EXPECT_EQ(result.tau, peel.kappa);
+    EXPECT_LE(result.iterations, 1);
+  }
+}
+
+TEST(GenericRs, DegreeLevelsBoundIterations) {
+  const Graph g = GenerateErdosRenyi(16, 60, 9);
+  for (auto [r, s] : {std::pair{1, 3}, {2, 4}}) {
+    const KCliqueIndex idx(g, r);
+    const auto levels = RSDegreeLevels(g, idx, s);
+    const LocalResult snd = SndRS(g, idx, s);
+    EXPECT_LE(snd.iterations, static_cast<int>(levels.num_levels));
+  }
+}
+
+TEST(GenericRs, VertexInTrianglesInstance) {
+  // (1,3): kappa of a vertex = largest k such that it sits in a subgraph
+  // where every vertex is in >= k triangles of the subgraph. On the
+  // two-triangle bowtie sharing vertex 2, every vertex is in exactly one
+  // triangle.
+  const Graph bowtie = BuildGraphFromEdges(
+      5, {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {2, 4}});
+  const KCliqueIndex r1(bowtie, 1);
+  const auto result = PeelRS(bowtie, r1, 3);
+  for (Degree k : result.kappa) EXPECT_EQ(k, 1u);
+}
+
+TEST(GenericRs, HierarchyInvariants) {
+  const Graph g = GenerateErdosRenyi(16, 60, 13);
+  const KCliqueIndex r2(g, 2);
+  const auto peel = PeelRS(g, r2, 4);  // (2,4): edges vs 4-cliques
+  const auto h = BuildRSHierarchy(g, r2, 4, peel.kappa);
+  std::vector<int> seen(r2.NumCliques(), 0);
+  for (const auto& node : h.nodes) {
+    for (CliqueId c : node.new_members) ++seen[c];
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+  std::size_t total = 0;
+  for (int root : h.roots) total += h.nodes[root].size;
+  EXPECT_EQ(total, r2.NumCliques());
+}
+
+TEST(GenericRs, SpaceDegreesMatchCanonicalSpaces) {
+  const Graph g = GenerateErdosRenyi(20, 80, 17);
+  const KCliqueIndex r2(g, 2);
+  const GenericRsSpace generic(g, r2, 3);
+  const EdgeIndex edges(g);
+  const TrussSpace canonical(g, edges);
+  EXPECT_EQ(generic.InitialDegrees(), canonical.InitialDegrees());
+  EXPECT_EQ(generic.InitialDegrees(1), generic.InitialDegrees(4));
+}
+
+}  // namespace
+}  // namespace nucleus

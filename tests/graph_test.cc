@@ -1,0 +1,75 @@
+#include "src/graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/builder.h"
+#include "src/graph/generators.h"
+
+namespace nucleus {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.NumVertices(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_EQ(g.MaxDegree(), 0u);
+}
+
+TEST(Graph, TriangleBasics) {
+  const Graph g = BuildGraphFromEdges(3, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_EQ(g.NumVertices(), 3u);
+  EXPECT_EQ(g.NumEdges(), 3u);
+  for (VertexId v = 0; v < 3; ++v) EXPECT_EQ(g.GetDegree(v), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(2, 0));
+  EXPECT_FALSE(g.HasEdge(0, 0));
+}
+
+TEST(Graph, NeighborsSorted) {
+  const Graph g =
+      BuildGraphFromEdges(6, {{3, 1}, {3, 5}, {3, 0}, {3, 4}, {3, 2}});
+  const auto nb = g.Neighbors(3);
+  ASSERT_EQ(nb.size(), 5u);
+  for (std::size_t i = 1; i < nb.size(); ++i) EXPECT_LT(nb[i - 1], nb[i]);
+}
+
+TEST(Graph, HasEdgeOutOfRange) {
+  const Graph g = BuildGraphFromEdges(2, {{0, 1}});
+  EXPECT_FALSE(g.HasEdge(0, 5));
+  EXPECT_FALSE(g.HasEdge(7, 9));
+}
+
+TEST(Graph, IsolatedVertices) {
+  const Graph g = BuildGraphFromEdges(5, {{0, 1}});
+  EXPECT_EQ(g.NumVertices(), 5u);
+  EXPECT_EQ(g.GetDegree(3), 0u);
+  EXPECT_TRUE(g.Neighbors(3).empty());
+}
+
+TEST(Graph, MaxDegreeOfStar) {
+  const Graph g = GenerateStar(10);
+  EXPECT_EQ(g.MaxDegree(), 9u);
+  EXPECT_EQ(g.GetDegree(0), 9u);
+  EXPECT_EQ(g.GetDegree(5), 1u);
+}
+
+TEST(Graph, DegreeSumIsTwiceEdges) {
+  const Graph g = GenerateErdosRenyi(50, 200, 1);
+  std::size_t sum = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) sum += g.GetDegree(v);
+  EXPECT_EQ(sum, 2 * g.NumEdges());
+}
+
+TEST(Graph, HasEdgeSymmetric) {
+  const Graph g = GenerateErdosRenyi(30, 100, 2);
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    for (VertexId v : g.Neighbors(u)) {
+      EXPECT_TRUE(g.HasEdge(u, v));
+      EXPECT_TRUE(g.HasEdge(v, u));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nucleus

@@ -1,0 +1,172 @@
+#include "src/common/h_index.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace nucleus {
+namespace {
+
+TEST(HIndex, EmptySetIsZero) {
+  EXPECT_EQ(HIndex({}), 0u);
+}
+
+TEST(HIndex, SingleZero) {
+  std::vector<Degree> v = {0};
+  EXPECT_EQ(HIndex(v), 0u);
+}
+
+TEST(HIndex, SingleLargeValueIsOne) {
+  std::vector<Degree> v = {100};
+  EXPECT_EQ(HIndex(v), 1u);
+}
+
+TEST(HIndex, ClassicExamples) {
+  // The canonical citation examples.
+  std::vector<Degree> a = {3, 0, 6, 1, 5};
+  EXPECT_EQ(HIndex(a), 3u);
+  std::vector<Degree> b = {10, 8, 5, 4, 3};
+  EXPECT_EQ(HIndex(b), 4u);
+  std::vector<Degree> c = {25, 8, 5, 3, 3};
+  EXPECT_EQ(HIndex(c), 3u);
+}
+
+TEST(HIndex, PaperFigureTwoThreeExample) {
+  // From the paper's k-core walkthrough: H({2,3}) = 2, H({2,2,2}) = 2,
+  // H({1,2}) = 1.
+  EXPECT_EQ(HIndex(std::vector<Degree>{2, 3}), 2u);
+  EXPECT_EQ(HIndex(std::vector<Degree>{2, 2, 2}), 2u);
+  EXPECT_EQ(HIndex(std::vector<Degree>{1, 2}), 1u);
+}
+
+TEST(HIndex, PaperTrussExample) {
+  // Edge ab of Figure 5: L = {4, 3, 3, 2} -> H = 3.
+  EXPECT_EQ(HIndex(std::vector<Degree>{4, 3, 3, 2}), 3u);
+}
+
+TEST(HIndex, AllEqual) {
+  std::vector<Degree> v(7, 7);
+  EXPECT_EQ(HIndex(v), 7u);
+  std::vector<Degree> w(7, 3);
+  EXPECT_EQ(HIndex(w), 3u);
+  std::vector<Degree> x(3, 7);
+  EXPECT_EQ(HIndex(x), 3u);
+}
+
+TEST(HIndex, CappedByCount) {
+  std::vector<Degree> v = {1000000, 1000000};
+  EXPECT_EQ(HIndex(v), 2u);
+}
+
+TEST(HIndex, MatchesSortingReferenceOnRandomInputs) {
+  Rng rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = rng.UniformInt(0, 50);
+    std::vector<Degree> v(n);
+    for (auto& x : v) x = static_cast<Degree>(rng.UniformInt(0, 30));
+    EXPECT_EQ(HIndex(v), HIndexBySorting(v)) << "trial " << trial;
+  }
+}
+
+TEST(HIndexAtLeast, ZeroAlwaysTrue) {
+  EXPECT_TRUE(HIndexAtLeast({}, 0));
+}
+
+TEST(HIndexAtLeast, ExactThreshold) {
+  std::vector<Degree> v = {3, 3, 3};
+  EXPECT_TRUE(HIndexAtLeast(v, 3));
+  EXPECT_FALSE(HIndexAtLeast(v, 4));
+}
+
+TEST(HIndexAtLeast, AgreesWithHIndexOnRandomInputs) {
+  Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t n = rng.UniformInt(0, 30);
+    std::vector<Degree> v(n);
+    for (auto& x : v) x = static_cast<Degree>(rng.UniformInt(0, 15));
+    const Degree h = HIndex(v);
+    for (Degree q = 0; q <= 16; ++q) {
+      EXPECT_EQ(HIndexAtLeast(v, q), q <= h) << "trial " << trial;
+    }
+  }
+}
+
+TEST(HIndexScratch, ReuseAcrossComputations) {
+  HIndexScratch scratch;
+  scratch.values() = {3, 0, 6, 1, 5};
+  EXPECT_EQ(scratch.Compute(), 3u);
+  scratch.values().clear();
+  scratch.values() = {10, 8, 5, 4, 3};
+  EXPECT_EQ(scratch.Compute(), 4u);
+  scratch.values().clear();
+  EXPECT_EQ(scratch.Compute(), 0u);
+}
+
+TEST(HIndexScratch, MatchesHIndexOnRandomInputs) {
+  Rng rng(99);
+  HIndexScratch scratch;
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = rng.UniformInt(0, 64);
+    scratch.values().clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      scratch.values().push_back(static_cast<Degree>(rng.UniformInt(0, 80)));
+    }
+    EXPECT_EQ(scratch.Compute(), HIndex(scratch.values()));
+  }
+}
+
+TEST(HIndexAccumulator, StreamingMatchesBatch) {
+  Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Degree cap = static_cast<Degree>(rng.UniformInt(1, 40));
+    const std::size_t n = rng.UniformInt(0, 60);
+    HIndexAccumulator acc(cap);
+    std::vector<Degree> values;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Degree v = static_cast<Degree>(rng.UniformInt(0, 50));
+      acc.Add(v);
+      values.push_back(std::min(v, cap));
+    }
+    // With all values clamped at cap, H never exceeds cap, so clamping
+    // preserves the answer whenever the true H <= cap.
+    const Degree expected = std::min(HIndex(values), cap);
+    EXPECT_EQ(acc.Value(), expected);
+    EXPECT_EQ(acc.size(), n);
+  }
+}
+
+TEST(HIndexAccumulator, ResetClears) {
+  HIndexAccumulator acc(10);
+  acc.Add(5);
+  acc.Add(5);
+  EXPECT_EQ(acc.Value(), 2u);
+  acc.Reset();
+  EXPECT_EQ(acc.Value(), 0u);
+  EXPECT_EQ(acc.size(), 0u);
+}
+
+// Property sweep: the defining property of H. For random multisets, verify
+// directly that >= H elements are >= H and that H+1 fails.
+class HIndexProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(HIndexProperty, DefiningProperty) {
+  Rng rng(GetParam());
+  const std::size_t n = rng.UniformInt(1, 100);
+  std::vector<Degree> v(n);
+  for (auto& x : v) x = static_cast<Degree>(rng.UniformInt(0, 60));
+  const Degree h = HIndex(v);
+  std::size_t ge_h = 0, ge_h1 = 0;
+  for (Degree x : v) {
+    if (x >= h) ++ge_h;
+    if (x >= h + 1) ++ge_h1;
+  }
+  EXPECT_GE(ge_h, h);
+  EXPECT_LT(ge_h1, h + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HIndexProperty, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace nucleus

@@ -1,0 +1,85 @@
+#include "src/peel/hierarchy_export.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/graph/builder.h"
+#include "src/graph/generators.h"
+#include "src/peel/generic_peel.h"
+
+namespace nucleus {
+namespace {
+
+NucleusHierarchy SampleHierarchy(const Graph& g) {
+  return BuildCoreHierarchy(g, PeelCore(g).kappa);
+}
+
+TEST(HierarchyExport, DotContainsAllNodesAndEdges) {
+  const Graph g = GenerateNestedCliques(3, 4, 3, 1);
+  const auto h = SampleHierarchy(g);
+  const std::string dot = HierarchyToDot(h);
+  EXPECT_NE(dot.find("digraph nucleus_hierarchy {"), std::string::npos);
+  for (std::size_t id = 0; id < h.nodes.size(); ++id) {
+    EXPECT_NE(dot.find("n" + std::to_string(id) + " [label="),
+              std::string::npos);
+  }
+  // Edge count == nodes - roots.
+  std::size_t arrows = 0;
+  for (std::size_t p = dot.find("->"); p != std::string::npos;
+       p = dot.find("->", p + 1)) {
+    ++arrows;
+  }
+  EXPECT_EQ(arrows, h.nodes.size() - h.roots.size());
+}
+
+TEST(HierarchyExport, MinSizeFilterReconnects) {
+  const Graph g = GenerateBarabasiAlbert(120, 3, 3);
+  const auto h = SampleHierarchy(g);
+  DotExportOptions opt;
+  opt.min_size = 10;
+  const std::string dot = HierarchyToDot(h, opt);
+  // Small nodes absent.
+  for (std::size_t id = 0; id < h.nodes.size(); ++id) {
+    const std::string label = "n" + std::to_string(id) + " [label=";
+    if (h.nodes[id].size < 10) {
+      EXPECT_EQ(dot.find(label), std::string::npos) << id;
+    }
+  }
+  // Still a valid digraph with a closing brace.
+  EXPECT_NE(dot.find("}\n"), std::string::npos);
+}
+
+TEST(HierarchyExport, CustomName) {
+  const Graph g = GenerateCycle(5);
+  DotExportOptions opt;
+  opt.name = "myforest";
+  EXPECT_NE(HierarchyToDot(SampleHierarchy(g), opt).find("digraph myforest"),
+            std::string::npos);
+}
+
+TEST(HierarchyExport, TsvRowsMatchNodes) {
+  const Graph g = GenerateNestedCliques(3, 4, 3, 2);
+  const auto h = SampleHierarchy(g);
+  std::ostringstream os;
+  ExportHierarchyTsv(h, os);
+  const std::string tsv = os.str();
+  std::size_t lines = 0;
+  for (char c : tsv) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, h.nodes.size() + 1);  // header + rows
+  EXPECT_EQ(tsv.rfind("id\tk\tparent\tsize\tnew_members\n", 0), 0u);
+}
+
+TEST(HierarchyExport, EmptyHierarchy) {
+  NucleusHierarchy h;
+  const std::string dot = HierarchyToDot(h);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  std::ostringstream os;
+  ExportHierarchyTsv(h, os);
+  EXPECT_EQ(os.str(), "id\tk\tparent\tsize\tnew_members\n");
+}
+
+}  // namespace
+}  // namespace nucleus

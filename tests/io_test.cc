@@ -1,0 +1,123 @@
+#include "src/graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "src/graph/generators.h"
+
+namespace nucleus {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(GraphIo, TextRoundTripStructure) {
+  const Graph g = GenerateErdosRenyi(40, 120, 3);
+  const std::string path = TempPath("roundtrip.txt");
+  SaveEdgeListText(g, path);
+  // The loader relabels vertices in first-appearance order, so ids may
+  // permute; the structure (degree multiset, edge count) must survive, and
+  // a second round-trip must be exactly stable (relabeling a relabeled
+  // graph is the identity).
+  const Graph h = LoadEdgeListText(path);
+  ASSERT_EQ(h.NumEdges(), g.NumEdges());
+  auto degree_multiset = [](const Graph& x) {
+    std::vector<Degree> d;
+    for (VertexId v = 0; v < x.NumVertices(); ++v) {
+      if (x.GetDegree(v) > 0) d.push_back(x.GetDegree(v));
+    }
+    std::sort(d.begin(), d.end());
+    return d;
+  };
+  EXPECT_EQ(degree_multiset(h), degree_multiset(g));
+
+  // Loading the same file twice is deterministic.
+  const Graph h2 = LoadEdgeListText(path);
+  EXPECT_EQ(h2.Offsets(), h.Offsets());
+  EXPECT_EQ(h2.NeighborArray(), h.NeighborArray());
+}
+
+TEST(GraphIo, LoadSkipsComments) {
+  const std::string path = TempPath("comments.txt");
+  {
+    std::ofstream out(path);
+    out << "# comment line\n% another\n0 1\n1 2\n";
+  }
+  const Graph g = LoadEdgeListText(path);
+  EXPECT_EQ(g.NumVertices(), 3u);
+  EXPECT_EQ(g.NumEdges(), 2u);
+}
+
+TEST(GraphIo, LoadMalformedThrows) {
+  const std::string path = TempPath("malformed.txt");
+  {
+    std::ofstream out(path);
+    out << "0 1\nnot an edge\n";
+  }
+  EXPECT_THROW(LoadEdgeListText(path), std::runtime_error);
+}
+
+TEST(GraphIo, LoadMissingFileThrows) {
+  EXPECT_THROW(LoadEdgeListText(TempPath("does_not_exist.txt")),
+               std::runtime_error);
+}
+
+TEST(GraphIo, BinaryRoundTripExact) {
+  const Graph g = GenerateBarabasiAlbert(100, 3, 5);
+  const std::string path = TempPath("roundtrip.bin");
+  SaveBinary(g, path);
+  const Graph h = LoadBinary(path);
+  ASSERT_EQ(h.NumVertices(), g.NumVertices());
+  ASSERT_EQ(h.NumEdges(), g.NumEdges());
+  EXPECT_EQ(h.Offsets(), g.Offsets());
+  EXPECT_EQ(h.NeighborArray(), g.NeighborArray());
+}
+
+TEST(GraphIo, BinaryBadMagicThrows) {
+  const std::string path = TempPath("bad_magic.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    const char junk[32] = {0};
+    out.write(junk, sizeof(junk));
+  }
+  EXPECT_THROW(LoadBinary(path), std::runtime_error);
+}
+
+TEST(GraphIo, BinaryTruncatedThrows) {
+  const Graph g = GenerateCycle(10);
+  const std::string path = TempPath("truncated.bin");
+  SaveBinary(g, path);
+  // Truncate the file to half.
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  const auto size = in.tellg();
+  in.close();
+  std::string contents(static_cast<std::size_t>(size) / 2, '\0');
+  {
+    std::ifstream again(path, std::ios::binary);
+    again.read(contents.data(),
+               static_cast<std::streamsize>(contents.size()));
+  }
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+  }
+  EXPECT_THROW(LoadBinary(path), std::runtime_error);
+}
+
+TEST(GraphIo, EmptyGraphRoundTrip) {
+  const Graph g;
+  const std::string path = TempPath("empty.bin");
+  SaveBinary(g, path);
+  const Graph h = LoadBinary(path);
+  EXPECT_EQ(h.NumVertices(), 0u);
+  EXPECT_EQ(h.NumEdges(), 0u);
+}
+
+}  // namespace
+}  // namespace nucleus

@@ -1,0 +1,123 @@
+#include "src/clique/kclique.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/clique/four_cliques.h"
+#include "src/clique/triangles.h"
+#include "src/graph/builder.h"
+#include "src/graph/generators.h"
+
+namespace nucleus {
+namespace {
+
+Count Binomial(int n, int k) {
+  if (k < 0 || k > n) return 0;
+  Count r = 1;
+  for (int i = 0; i < k; ++i) r = r * (n - i) / (i + 1);
+  return r;
+}
+
+TEST(KClique, CompleteGraphCounts) {
+  const Graph g = GenerateComplete(8);
+  for (int k = 1; k <= 8; ++k) {
+    EXPECT_EQ(CountKCliques(g, k), Binomial(8, k)) << "k=" << k;
+  }
+  EXPECT_EQ(CountKCliques(g, 9), 0u);
+}
+
+TEST(KClique, MatchesSpecializedEnumerators) {
+  for (int seed = 0; seed < 4; ++seed) {
+    const Graph g = GenerateErdosRenyi(25, 110, seed);
+    EXPECT_EQ(CountKCliques(g, 1), g.NumVertices());
+    EXPECT_EQ(CountKCliques(g, 2), g.NumEdges());
+    EXPECT_EQ(CountKCliques(g, 3), CountTriangles(g));
+    EXPECT_EQ(CountKCliques(g, 4), CountFourCliques(g));
+  }
+}
+
+TEST(KClique, EnumeratesEachOnceSorted) {
+  const Graph g = GenerateErdosRenyi(18, 70, 7);
+  for (int k = 2; k <= 5; ++k) {
+    std::set<std::vector<VertexId>> seen;
+    ForEachKClique(g, k, [&](std::span<const VertexId> vs) {
+      ASSERT_EQ(vs.size(), static_cast<std::size_t>(k));
+      for (std::size_t i = 1; i < vs.size(); ++i) {
+        EXPECT_LT(vs[i - 1], vs[i]);
+      }
+      for (std::size_t i = 0; i < vs.size(); ++i) {
+        for (std::size_t j = i + 1; j < vs.size(); ++j) {
+          EXPECT_TRUE(g.HasEdge(vs[i], vs[j]));
+        }
+      }
+      const auto [it, inserted] =
+          seen.insert(std::vector<VertexId>(vs.begin(), vs.end()));
+      EXPECT_TRUE(inserted);
+    });
+    EXPECT_EQ(seen.size(), CountKCliques(g, k));
+  }
+}
+
+TEST(KClique, TriangleFreeGraphHasNoTriangles) {
+  const Graph g = GenerateCompleteBipartite(5, 5);
+  EXPECT_EQ(CountKCliques(g, 3), 0u);
+  EXPECT_EQ(CountKCliques(g, 4), 0u);
+}
+
+TEST(KClique, KZeroAndNegativeAreEmpty) {
+  const Graph g = GenerateComplete(4);
+  EXPECT_EQ(CountKCliques(g, 0), 0u);
+  EXPECT_EQ(CountKCliques(g, -1), 0u);
+}
+
+TEST(KCliqueIndex, IdsLexicographicAndRoundTrip) {
+  const Graph g = GenerateErdosRenyi(20, 90, 3);
+  for (int k = 1; k <= 4; ++k) {
+    const KCliqueIndex idx(g, k);
+    EXPECT_EQ(idx.NumCliques(), CountKCliques(g, k));
+    for (CliqueId id = 0; id < idx.NumCliques(); ++id) {
+      const auto vs = idx.Vertices(id);
+      EXPECT_EQ(idx.IdOf(vs), id);
+      if (id > 0) {
+        const auto prev = idx.Vertices(id - 1);
+        EXPECT_TRUE(std::lexicographical_compare(prev.begin(), prev.end(),
+                                                 vs.begin(), vs.end()));
+      }
+    }
+  }
+}
+
+TEST(KCliqueIndex, MissingLookupInvalid) {
+  const Graph g = GenerateCycle(6);
+  const KCliqueIndex idx(g, 2);
+  const std::vector<VertexId> absent = {0, 3};
+  EXPECT_EQ(idx.IdOf(absent), kInvalidClique);
+  const std::vector<VertexId> wrong_size = {0};
+  EXPECT_EQ(idx.IdOf(wrong_size), kInvalidClique);
+}
+
+TEST(KCliqueIndex, AgreesWithEdgeAndTriangleIndices) {
+  const Graph g = GenerateBarabasiAlbert(40, 4, 5);
+  const KCliqueIndex k2(g, 2);
+  const EdgeIndex edges(g);
+  ASSERT_EQ(k2.NumCliques(), edges.NumEdges());
+  // Both are lexicographic on (u, v), so ids coincide.
+  for (EdgeId e = 0; e < edges.NumEdges(); ++e) {
+    const auto [u, v] = edges.Endpoints(e);
+    const std::vector<VertexId> key = {u, v};
+    EXPECT_EQ(k2.IdOf(key), e);
+  }
+  const KCliqueIndex k3(g, 3);
+  const TriangleIndex tris(g);
+  ASSERT_EQ(k3.NumCliques(), tris.NumTriangles());
+  for (TriangleId t = 0; t < tris.NumTriangles(); ++t) {
+    const auto& v = tris.Vertices(t);
+    const std::vector<VertexId> key = {v[0], v[1], v[2]};
+    EXPECT_EQ(k3.IdOf(key), t);
+  }
+}
+
+}  // namespace
+}  // namespace nucleus

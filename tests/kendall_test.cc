@@ -1,0 +1,106 @@
+#include "src/metrics/kendall.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+
+namespace nucleus {
+namespace {
+
+TEST(KendallTauB, IdenticalRankingsAreOne) {
+  std::vector<Degree> x = {3, 1, 4, 1, 5, 9, 2, 6};
+  EXPECT_DOUBLE_EQ(KendallTauB(x, x), 1.0);
+}
+
+TEST(KendallTauB, ReversedRankingIsMinusOne) {
+  std::vector<Degree> x = {1, 2, 3, 4, 5};
+  std::vector<Degree> y = {5, 4, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(KendallTauB(x, y), -1.0);
+}
+
+TEST(KendallTauB, TinyInputsAreOneByConvention) {
+  EXPECT_DOUBLE_EQ(KendallTauB({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(KendallTauB({7}, {3}), 1.0);
+}
+
+TEST(KendallTauB, ConstantRankingIsOneByConvention) {
+  std::vector<Degree> x = {2, 2, 2, 2};
+  std::vector<Degree> y = {1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(KendallTauB(x, y), 1.0);
+}
+
+TEST(KendallTauB, KnownSmallExample) {
+  // x = (1,2,3), y = (1,3,2): one discordant pair of three -> tau = 1/3.
+  std::vector<Degree> x = {1, 2, 3};
+  std::vector<Degree> y = {1, 3, 2};
+  EXPECT_NEAR(KendallTauB(x, y), 1.0 / 3.0, 1e-12);
+}
+
+TEST(KendallTauB, TiesHandledLikeTauB) {
+  // x = (1,1,2), y = (1,2,2): n0=3, n1=1, n2=1, one concordant comparable
+  // pair -> tau_b = 1 / sqrt(2*2) = 0.5.
+  std::vector<Degree> x = {1, 1, 2};
+  std::vector<Degree> y = {1, 2, 2};
+  EXPECT_NEAR(KendallTauB(x, y), 0.5, 1e-12);
+}
+
+TEST(KendallTauB, SymmetricInArguments) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2 + rng.UniformInt(0, 40);
+    std::vector<Degree> x(n), y(n);
+    for (auto& v : x) v = static_cast<Degree>(rng.UniformInt(0, 8));
+    for (auto& v : y) v = static_cast<Degree>(rng.UniformInt(0, 8));
+    EXPECT_NEAR(KendallTauB(x, y), KendallTauB(y, x), 1e-12);
+  }
+}
+
+TEST(KendallTauB, MatchesNaiveOnRandomInputs) {
+  Rng rng(17);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t n = 2 + rng.UniformInt(0, 60);
+    std::vector<Degree> x(n), y(n);
+    for (auto& v : x) v = static_cast<Degree>(rng.UniformInt(0, 10));
+    for (auto& v : y) v = static_cast<Degree>(rng.UniformInt(0, 10));
+    const double fast = KendallTauB(x, y);
+    const double naive = KendallTauBNaive(x, y);
+    EXPECT_NEAR(fast, naive, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(KendallTauB, InUnitInterval) {
+  Rng rng(23);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 2 + rng.UniformInt(0, 100);
+    std::vector<Degree> x(n), y(n);
+    for (auto& v : x) v = static_cast<Degree>(rng.UniformInt(0, 5));
+    for (auto& v : y) v = static_cast<Degree>(rng.UniformInt(0, 5));
+    const double t = KendallTauB(x, y);
+    EXPECT_GE(t, -1.0 - 1e-12);
+    EXPECT_LE(t, 1.0 + 1e-12);
+  }
+}
+
+TEST(KendallTauB, PerturbationLowersScore) {
+  // Degrading a ranking monotonically lowers tau against the original.
+  std::vector<Degree> base(100);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    base[i] = static_cast<Degree>(i / 5);
+  }
+  std::vector<Degree> mild = base, severe = base;
+  Rng rng(3);
+  for (int i = 0; i < 5; ++i) {
+    mild[rng.UniformInt(0, 99)] = static_cast<Degree>(rng.UniformInt(0, 19));
+  }
+  for (int i = 0; i < 60; ++i) {
+    severe[rng.UniformInt(0, 99)] =
+        static_cast<Degree>(rng.UniformInt(0, 19));
+  }
+  EXPECT_GT(KendallTauB(base, mild), KendallTauB(base, severe));
+  EXPECT_LT(KendallTauB(base, mild), 1.0);
+}
+
+}  // namespace
+}  // namespace nucleus

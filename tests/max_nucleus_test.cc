@@ -1,0 +1,169 @@
+#include "src/peel/max_nucleus.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/builder.h"
+#include "src/graph/generators.h"
+#include "src/peel/generic_peel.h"
+#include "src/peel/hierarchy.h"
+
+namespace nucleus {
+namespace {
+
+// Two K5 blocks joined by a path (see hierarchy_test).
+Graph TwoCliquesWithBridge() {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId u = 0; u < 5; ++u) {
+    for (VertexId v = u + 1; v < 5; ++v) edges.emplace_back(u, v);
+  }
+  for (VertexId u = 8; u < 13; ++u) {
+    for (VertexId v = u + 1; v < 13; ++v) edges.emplace_back(u, v);
+  }
+  edges.emplace_back(4, 5);
+  edges.emplace_back(5, 6);
+  edges.emplace_back(6, 7);
+  edges.emplace_back(7, 8);
+  return BuildGraphFromEdges(13, edges);
+}
+
+TEST(MaxCore, SeedInDenseBlockGetsOnlyThatBlock) {
+  const Graph g = TwoCliquesWithBridge();
+  const auto kappa = PeelCore(g).kappa;
+  const auto nucleus = MaxCoreOf(g, kappa, 0);  // inside first K5
+  EXPECT_EQ(nucleus, (std::vector<CliqueId>{0, 1, 2, 3, 4}));
+}
+
+TEST(MaxCore, SeedOnBridgeGetsWholeTwoCore) {
+  const Graph g = TwoCliquesWithBridge();
+  const auto kappa = PeelCore(g).kappa;
+  const auto nucleus = MaxCoreOf(g, kappa, 5);  // path vertex, kappa = 2
+  EXPECT_EQ(nucleus.size(), 13u);  // whole graph is the 2-core
+}
+
+TEST(MaxCore, MembersHaveKappaAtLeastSeed) {
+  const Graph g = GenerateBarabasiAlbert(150, 3, 9);
+  const auto kappa = PeelCore(g).kappa;
+  for (VertexId seed : {VertexId{0}, VertexId{50}, VertexId{149}}) {
+    const auto members = MaxNucleusOf(CoreSpace(g), kappa, seed);
+    for (CliqueId m : members) EXPECT_GE(kappa[m], kappa[seed]);
+    EXPECT_TRUE(std::binary_search(members.begin(), members.end(), seed));
+  }
+}
+
+TEST(MaxCore, ConsistentWithHierarchyMembership) {
+  // MaxNucleusOf(seed) should equal the union of the hierarchy subtree at
+  // the node where the seed lives... restricted to k >= kappa(seed) and
+  // S-connectivity, which is exactly the node's subtree r-cliques.
+  const Graph g = TwoCliquesWithBridge();
+  const auto kappa = PeelCore(g).kappa;
+  const auto nucleus = MaxCoreOf(g, kappa, 1);
+  // From the hierarchy test we know the K5 block {0..4} is one 4-core.
+  EXPECT_EQ(nucleus.size(), 5u);
+}
+
+TEST(MaxTruss, TriangleConnectivityRespected) {
+  // Two triangles sharing exactly one vertex: not triangle-connected, so
+  // the max truss of an edge contains only its own triangle.
+  const Graph g = BuildGraphFromEdges(
+      5, {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {2, 4}});
+  const EdgeIndex edges(g);
+  const auto kappa = PeelTruss(g, edges).kappa;
+  const EdgeId e01 = edges.EdgeIdOf(0, 1);
+  const auto nucleus = MaxTrussOf(g, edges, kappa, e01);
+  EXPECT_EQ(nucleus.size(), 3u);
+  for (EdgeId e : nucleus) {
+    const auto [a, b] = edges.Endpoints(e);
+    EXPECT_LT(a, 3u);
+    EXPECT_LT(b, 3u);
+  }
+}
+
+TEST(MaxTruss, CompleteGraphIsOneNucleus) {
+  const Graph g = GenerateComplete(6);
+  const EdgeIndex edges(g);
+  const auto kappa = PeelTruss(g, edges).kappa;
+  const auto nucleus = MaxTrussOf(g, edges, kappa, 0);
+  EXPECT_EQ(nucleus.size(), g.NumEdges());
+}
+
+TEST(MaxNucleus34, K5TrianglesConnected) {
+  const Graph g = GenerateComplete(5);
+  const TriangleIndex tris(g);
+  const auto kappa = PeelNucleus34(g, tris).kappa;
+  const auto nucleus = MaxNucleus34Of(g, tris, kappa, 0);
+  EXPECT_EQ(nucleus.size(), tris.NumTriangles());
+}
+
+TEST(MaxNucleus34, PaperFigure3Separation) {
+  // Figure 3 of the paper: two 1-(3,4) nuclei sharing an edge {c,d} but no
+  // common 4-clique must be reported separately. Construct: K4 {a,b,c,d}
+  // and K4 {c,d,e,f} sharing edge (c,d) = (2,3).
+  const Graph g = BuildGraphFromEdges(
+      6, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3},
+          {2, 4}, {2, 5}, {3, 4}, {3, 5}, {4, 5}});
+  const TriangleIndex tris(g);
+  const auto kappa = PeelNucleus34(g, tris).kappa;
+  const TriangleId t_abc = tris.TriangleIdOf(0, 1, 2);
+  const auto nucleus = MaxNucleus34Of(g, tris, kappa, t_abc);
+  // Only the 4 triangles of the first K4 are S-connected to t_abc at k=1.
+  EXPECT_EQ(nucleus.size(), 4u);
+  for (TriangleId t : nucleus) {
+    for (VertexId v : tris.Vertices(t)) EXPECT_LT(v, 4u);
+  }
+}
+
+// Cross-module consistency: the maximum nucleus of a seed must equal the
+// set of r-cliques in the subtree of the hierarchy node where the seed
+// first appears — both define "the maximal kappa(seed)-level S-connected
+// region around the seed".
+template <typename Space>
+void CheckAgainstHierarchy(const Space& space,
+                           const std::vector<Degree>& kappa,
+                           CliqueId seed) {
+  const auto h = BuildHierarchy(space, kappa);
+  const int node = h.node_of_clique[seed];
+  ASSERT_GE(node, 0);
+  std::vector<CliqueId> subtree;
+  std::vector<int> stack = {node};
+  while (!stack.empty()) {
+    const int x = stack.back();
+    stack.pop_back();
+    subtree.insert(subtree.end(), h.nodes[x].new_members.begin(),
+                   h.nodes[x].new_members.end());
+    for (int c : h.nodes[x].children) stack.push_back(c);
+  }
+  std::sort(subtree.begin(), subtree.end());
+  EXPECT_EQ(MaxNucleusOf(space, kappa, seed), subtree);
+}
+
+TEST(MaxNucleus, AgreesWithHierarchySubtreeCore) {
+  for (int seed_graph = 0; seed_graph < 4; ++seed_graph) {
+    const Graph g = GenerateErdosRenyi(40, 140, seed_graph);
+    const auto kappa = PeelCore(g).kappa;
+    for (CliqueId seed : {CliqueId{0}, CliqueId{13}, CliqueId{39}}) {
+      CheckAgainstHierarchy(CoreSpace(g), kappa, seed);
+    }
+  }
+}
+
+TEST(MaxNucleus, AgreesWithHierarchySubtreeTruss) {
+  const Graph g = GenerateErdosRenyi(25, 100, 7);
+  const EdgeIndex edges(g);
+  const auto kappa = PeelTruss(g, edges).kappa;
+  for (CliqueId seed = 0; seed < edges.NumEdges(); seed += 7) {
+    CheckAgainstHierarchy(TrussSpace(g, edges), kappa, seed);
+  }
+}
+
+TEST(MaxNucleus, AgreesWithHierarchySubtreeNucleus34) {
+  const Graph g = GenerateErdosRenyi(18, 75, 9);
+  const TriangleIndex tris(g);
+  if (tris.NumTriangles() == 0) GTEST_SKIP();
+  const auto kappa = PeelNucleus34(g, tris).kappa;
+  for (CliqueId seed = 0; seed < tris.NumTriangles(); seed += 3) {
+    CheckAgainstHierarchy(Nucleus34Space(g, tris), kappa, seed);
+  }
+}
+
+}  // namespace
+}  // namespace nucleus

@@ -1,0 +1,101 @@
+#include "src/graph/ordering.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/graph/builder.h"
+#include "src/graph/generators.h"
+
+namespace nucleus {
+namespace {
+
+bool IsPermutation(const std::vector<VertexId>& rank) {
+  std::vector<bool> seen(rank.size(), false);
+  for (VertexId r : rank) {
+    if (r >= rank.size() || seen[r]) return false;
+    seen[r] = true;
+  }
+  return true;
+}
+
+TEST(DegreeOrder, RanksArePermutation) {
+  const Graph g = GenerateErdosRenyi(60, 150, 4);
+  EXPECT_TRUE(IsPermutation(DegreeOrderRanks(g)));
+}
+
+TEST(DegreeOrder, LowDegreeFirst) {
+  const Graph g = GenerateStar(10);
+  const auto rank = DegreeOrderRanks(g);
+  // The hub (degree 9) must come last.
+  EXPECT_EQ(rank[0], 9u);
+}
+
+TEST(DegeneracyOrder, RanksArePermutation) {
+  Degree d = 0;
+  const Graph g = GenerateBarabasiAlbert(200, 3, 4);
+  EXPECT_TRUE(IsPermutation(DegeneracyOrderRanks(g, &d)));
+  EXPECT_GE(d, 3u);
+}
+
+TEST(DegeneracyOrder, CompleteGraphDegeneracy) {
+  Degree d = 0;
+  DegeneracyOrderRanks(GenerateComplete(7), &d);
+  EXPECT_EQ(d, 6u);
+}
+
+TEST(DegeneracyOrder, TreeDegeneracyIsOne) {
+  Degree d = 0;
+  DegeneracyOrderRanks(GeneratePath(20), &d);
+  EXPECT_EQ(d, 1u);
+}
+
+TEST(DegeneracyOrder, CycleDegeneracyIsTwo) {
+  Degree d = 0;
+  DegeneracyOrderRanks(GenerateCycle(20), &d);
+  EXPECT_EQ(d, 2u);
+}
+
+TEST(DegeneracyOrder, NullDegeneracyPointerOk) {
+  EXPECT_NO_THROW(DegeneracyOrderRanks(GenerateCycle(5), nullptr));
+}
+
+TEST(OrientedGraph, EveryEdgeOrientedOnce) {
+  const Graph g = GenerateErdosRenyi(40, 120, 8);
+  const auto ranks = DegreeOrderRanks(g);
+  const OrientedGraph o(g, ranks);
+  std::size_t directed = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (VertexId w : o.OutNeighbors(v)) {
+      EXPECT_LT(ranks[v], ranks[w]);
+      EXPECT_TRUE(g.HasEdge(v, w));
+      ++directed;
+    }
+  }
+  EXPECT_EQ(directed, g.NumEdges());
+}
+
+TEST(OrientedGraph, OutListsSortedById) {
+  const Graph g = GenerateBarabasiAlbert(100, 4, 6);
+  const OrientedGraph o(g, DegreeOrderRanks(g));
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    const auto out = o.OutNeighbors(v);
+    for (std::size_t i = 1; i < out.size(); ++i) {
+      EXPECT_LT(out[i - 1], out[i]);
+    }
+    EXPECT_EQ(o.OutDegree(v), out.size());
+  }
+}
+
+TEST(OrientedGraph, DegeneracyOrientationBoundsOutDegree) {
+  Degree d = 0;
+  const Graph g = GenerateBarabasiAlbert(300, 3, 1);
+  const auto ranks = DegeneracyOrderRanks(g, &d);
+  const OrientedGraph o(g, ranks);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_LE(o.OutDegree(v), d);
+  }
+}
+
+}  // namespace
+}  // namespace nucleus

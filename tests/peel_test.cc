@@ -1,0 +1,230 @@
+#include "src/peel/generic_peel.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/builder.h"
+#include "src/graph/generators.h"
+#include "src/peel/kcore.h"
+#include "src/peel/ktruss.h"
+#include "src/peel/nucleus34.h"
+
+namespace nucleus {
+namespace {
+
+// Independent O(n^2)-ish reference: repeatedly remove a minimum-S-degree
+// r-clique with full recomputation; kappa is the running max of the minima.
+// This is the definitional peeling process with none of the bucket-queue or
+// clamping machinery, so it cross-checks the production implementation.
+template <typename Space>
+std::vector<Degree> NaiveKappa(const Space& space) {
+  const std::size_t n = space.NumRCliques();
+  std::vector<bool> alive(n, true);
+  std::vector<Degree> kappa(n, 0);
+  Degree running = 0;
+  for (std::size_t step = 0; step < n; ++step) {
+    CliqueId best = kInvalidClique;
+    Degree best_deg = 0;
+    for (CliqueId r = 0; r < n; ++r) {
+      if (!alive[r]) continue;
+      Degree deg = 0;
+      space.ForEachSClique(r, [&](std::span<const CliqueId> co) {
+        for (CliqueId c : co) {
+          if (!alive[c]) return;
+        }
+        ++deg;
+      });
+      if (best == kInvalidClique || deg < best_deg) {
+        best = r;
+        best_deg = deg;
+      }
+    }
+    running = std::max(running, best_deg);
+    kappa[best] = running;
+    alive[best] = false;
+  }
+  return kappa;
+}
+
+// The running example of the paper's Figure 2: vertices a..f =
+// 0..5 with edges a-b, a-e, b-c, b-d, c-d, e-f. Core numbers:
+// a=e=f=1, b=c=d=2.
+Graph PaperFigure2Graph() {
+  return BuildGraphFromEdges(6, {{0, 1}, {0, 4}, {1, 2}, {1, 3}, {2, 3},
+                                 {4, 5}});
+}
+
+TEST(PeelCore, PaperFigure2CoreNumbers) {
+  const Graph g = PaperFigure2Graph();
+  const auto result = PeelCore(g);
+  EXPECT_EQ(result.kappa, (std::vector<Degree>{1, 2, 2, 2, 1, 1}));
+}
+
+TEST(PeelCore, CompleteGraph) {
+  const auto result = PeelCore(GenerateComplete(7));
+  for (Degree k : result.kappa) EXPECT_EQ(k, 6u);
+}
+
+TEST(PeelCore, CycleIsTwoCore) {
+  const auto result = PeelCore(GenerateCycle(9));
+  for (Degree k : result.kappa) EXPECT_EQ(k, 2u);
+}
+
+TEST(PeelCore, PathCoreNumbers) {
+  const auto result = PeelCore(GeneratePath(6));
+  for (Degree k : result.kappa) EXPECT_EQ(k, 1u);
+}
+
+TEST(PeelCore, StarCoreNumbers) {
+  const auto result = PeelCore(GenerateStar(8));
+  for (Degree k : result.kappa) EXPECT_EQ(k, 1u);
+}
+
+TEST(PeelCore, IsolatedVertexIsZero) {
+  const Graph g = BuildGraphFromEdges(3, {{0, 1}});
+  const auto result = PeelCore(g);
+  EXPECT_EQ(result.kappa[2], 0u);
+}
+
+TEST(PeelCore, MatchesSpecializedImplementation) {
+  for (int seed = 0; seed < 8; ++seed) {
+    const Graph g = GenerateErdosRenyi(80, 240, seed);
+    EXPECT_EQ(PeelCore(g).kappa, CoreNumbers(g)) << "seed " << seed;
+  }
+}
+
+TEST(PeelCore, MatchesNaiveReference) {
+  for (int seed = 0; seed < 6; ++seed) {
+    const Graph g = GenerateErdosRenyi(30, 90, seed);
+    EXPECT_EQ(PeelCore(g).kappa, NaiveKappa(CoreSpace(g)))
+        << "seed " << seed;
+  }
+}
+
+TEST(PeelCore, OrderIsNonDecreasingKappa) {
+  const Graph g = GenerateBarabasiAlbert(150, 3, 2);
+  const auto result = PeelCore(g);
+  Degree last = 0;
+  for (CliqueId r : result.order) {
+    EXPECT_GE(result.kappa[r], last);
+    last = result.kappa[r];
+  }
+}
+
+TEST(PeelTruss, CompleteGraphTrussNumbers) {
+  // Every edge of K_n is in n-2 triangles and the whole K_n is the
+  // (n-2)-truss under the paper's convention.
+  const Graph g = GenerateComplete(6);
+  const EdgeIndex edges(g);
+  const auto result = PeelTruss(g, edges);
+  for (Degree k : result.kappa) EXPECT_EQ(k, 4u);
+}
+
+TEST(PeelTruss, TriangleFreeGraphAllZero) {
+  const Graph g = GenerateCompleteBipartite(4, 5);
+  const EdgeIndex edges(g);
+  const auto result = PeelTruss(g, edges);
+  for (Degree k : result.kappa) EXPECT_EQ(k, 0u);
+}
+
+TEST(PeelTruss, DiamondTrussNumbers) {
+  // K4 minus an edge: all edges are in >=1 triangle; peeling gives 1.
+  const Graph g =
+      BuildGraphFromEdges(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}});
+  const EdgeIndex edges(g);
+  const auto result = PeelTruss(g, edges);
+  for (Degree k : result.kappa) EXPECT_EQ(k, 1u);
+}
+
+TEST(PeelTruss, MatchesSpecializedImplementation) {
+  for (int seed = 0; seed < 6; ++seed) {
+    const Graph g = GenerateErdosRenyi(40, 160, seed);
+    const EdgeIndex edges(g);
+    EXPECT_EQ(PeelTruss(g, edges).kappa, TrussNumbers(g, edges))
+        << "seed " << seed;
+  }
+}
+
+TEST(PeelTruss, MatchesNaiveReference) {
+  for (int seed = 0; seed < 4; ++seed) {
+    const Graph g = GenerateErdosRenyi(16, 50, seed);
+    const EdgeIndex edges(g);
+    EXPECT_EQ(PeelTruss(g, edges).kappa, NaiveKappa(TrussSpace(g, edges)))
+        << "seed " << seed;
+  }
+}
+
+TEST(PeelNucleus34, CompleteGraph) {
+  // K_n triangles each have kappa_4 = n-3.
+  const Graph g = GenerateComplete(6);
+  const TriangleIndex tris(g);
+  const auto result = PeelNucleus34(g, tris);
+  for (Degree k : result.kappa) EXPECT_EQ(k, 3u);
+}
+
+TEST(PeelNucleus34, K4FreeTrianglesAreZero) {
+  const Graph diamond =
+      BuildGraphFromEdges(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}});
+  const TriangleIndex tris(diamond);
+  ASSERT_EQ(tris.NumTriangles(), 2u);
+  const auto result = PeelNucleus34(diamond, tris);
+  for (Degree k : result.kappa) EXPECT_EQ(k, 0u);
+}
+
+TEST(PeelNucleus34, MatchesNaiveReference) {
+  for (int seed = 0; seed < 4; ++seed) {
+    const Graph g = GenerateErdosRenyi(14, 45, seed);
+    const TriangleIndex tris(g);
+    EXPECT_EQ(PeelNucleus34(g, tris).kappa,
+              NaiveKappa(Nucleus34Space(g, tris)))
+        << "seed " << seed;
+  }
+}
+
+TEST(PeelNucleus34, MatchesSpecializedImplementation) {
+  for (int seed = 0; seed < 4; ++seed) {
+    const Graph g = GenerateErdosRenyi(25, 110, seed);
+    const TriangleIndex tris(g);
+    EXPECT_EQ(PeelNucleus34(g, tris).kappa, Nucleus34Numbers(g, tris))
+        << "seed " << seed;
+  }
+}
+
+TEST(PeelHelpers, KCoreVerticesAndDegeneracy) {
+  const Graph g = PaperFigure2Graph();
+  const auto core = CoreNumbers(g);
+  EXPECT_EQ(Degeneracy(core), 2u);
+  const auto two_core = KCoreVertices(g, core, 2);
+  EXPECT_EQ(two_core, (std::vector<VertexId>{1, 2, 3}));
+  const auto one_core = KCoreVertices(g, core, 1);
+  EXPECT_EQ(one_core.size(), 6u);
+}
+
+TEST(PeelHelpers, KTrussEdgesAndMax) {
+  const Graph g = GenerateComplete(5);
+  const EdgeIndex edges(g);
+  const auto truss = TrussNumbers(g, edges);
+  EXPECT_EQ(MaxTruss(truss), 3u);
+  EXPECT_EQ(KTrussEdges(truss, 3).size(), 10u);
+  EXPECT_EQ(KTrussEdges(truss, 4).size(), 0u);
+}
+
+TEST(PeelHelpers, MaxNucleus34) {
+  const Graph g = GenerateComplete(5);
+  const TriangleIndex tris(g);
+  EXPECT_EQ(MaxNucleus34(Nucleus34Numbers(g, tris)), 2u);
+}
+
+// Nestedness sanity: kappa values from a denser planted block dominate the
+// sparse background.
+TEST(Peel, PlantedBlockHasHigherCore) {
+  const Graph g = GeneratePlantedPartition(2, 25, 0.9, 0.02, 5);
+  const auto core = CoreNumbers(g);
+  // Average core inside blocks is high; the background can't reach it.
+  double avg = 0;
+  for (Degree k : core) avg += k;
+  avg /= core.size();
+  EXPECT_GT(avg, 10.0);
+}
+
+}  // namespace
+}  // namespace nucleus

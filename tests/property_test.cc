@@ -1,0 +1,152 @@
+// Cross-cutting property sweeps (parameterized): for a grid of generators,
+// seeds, and decomposition instances, verify the system-level invariants
+// that tie the modules together:
+//   P1  SND tau == AND tau == peel kappa               (exactness)
+//   P2  intermediate tau >= kappa, non-increasing      (Theorem 1)
+//   P3  SND iterations <= number of degree levels      (Lemma 2)
+//   P4  AND with peel order converges in <= 1 sweep    (Theorem 4)
+//   P5  kappa <= initial S-degree                      (definition)
+//   P6  hierarchy partitions the r-cliques             (laminar family)
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "src/clique/spaces.h"
+#include "src/graph/generators.h"
+#include "src/local/and.h"
+#include "src/local/degree_levels.h"
+#include "src/local/snd.h"
+#include "src/peel/generic_peel.h"
+#include "src/peel/hierarchy.h"
+
+namespace nucleus {
+namespace {
+
+enum class Gen { kEr, kBa, kRmat, kPlanted, kWs, kNested };
+
+Graph MakeGraph(Gen gen, int seed) {
+  switch (gen) {
+    case Gen::kEr:
+      return GenerateErdosRenyi(45, 160, seed);
+    case Gen::kBa:
+      return GenerateBarabasiAlbert(60, 3, seed);
+    case Gen::kRmat:
+      return GenerateRmat(6, 6, seed);
+    case Gen::kPlanted:
+      return GeneratePlantedPartition(3, 12, 0.65, 0.05, seed);
+    case Gen::kWs:
+      return GenerateWattsStrogatz(50, 6, 0.2, seed);
+    case Gen::kNested:
+      return GenerateNestedCliques(3, 4, 2, seed);
+  }
+  return {};
+}
+
+std::string GenName(Gen g) {
+  switch (g) {
+    case Gen::kEr: return "ErdosRenyi";
+    case Gen::kBa: return "BarabasiAlbert";
+    case Gen::kRmat: return "Rmat";
+    case Gen::kPlanted: return "Planted";
+    case Gen::kWs: return "WattsStrogatz";
+    case Gen::kNested: return "NestedCliques";
+  }
+  return "?";
+}
+
+template <typename Space>
+void CheckAllProperties(const Space& space) {
+  const PeelResult peel = PeelDecomposition(space);
+  const auto ds = space.InitialDegrees();
+
+  // P5: kappa <= initial S-degree.
+  for (CliqueId r = 0; r < peel.kappa.size(); ++r) {
+    EXPECT_LE(peel.kappa[r], ds[r]);
+  }
+
+  // P1 + P2: SND with snapshots.
+  ConvergenceTrace trace;
+  trace.record_snapshots = true;
+  LocalOptions snd_opt;
+  snd_opt.trace = &trace;
+  const LocalResult snd = SndGeneric(space, snd_opt);
+  EXPECT_TRUE(snd.converged);
+  EXPECT_EQ(snd.tau, peel.kappa);
+  for (std::size_t t = 0; t < trace.snapshots.size(); ++t) {
+    for (CliqueId r = 0; r < peel.kappa.size(); ++r) {
+      EXPECT_GE(trace.snapshots[t][r], peel.kappa[r]);
+      if (t > 0) {
+        EXPECT_LE(trace.snapshots[t][r], trace.snapshots[t - 1][r]);
+      }
+    }
+  }
+
+  // P3: iteration bound by degree levels.
+  const DegreeLevels levels = ComputeDegreeLevels(space);
+  EXPECT_LE(snd.iterations, static_cast<int>(levels.num_levels));
+
+  // P1 for AND (natural + random order), parallel included.
+  for (int threads : {1, 4}) {
+    AndOptions and_opt;
+    and_opt.local.threads = threads;
+    EXPECT_EQ(AndGeneric(space, and_opt).tau, peel.kappa);
+  }
+  AndOptions rnd;
+  rnd.order = AndOrder::kRandom;
+  rnd.seed = 999;
+  EXPECT_EQ(AndGeneric(space, rnd).tau, peel.kappa);
+
+  // P4: Theorem 4.
+  AndOptions best;
+  best.order = AndOrder::kGiven;
+  best.given_order = peel.order;
+  const LocalResult one = AndGeneric(space, best);
+  EXPECT_EQ(one.tau, peel.kappa);
+  EXPECT_LE(one.iterations, 1);
+
+  // P6: hierarchy is a partition with consistent sizes.
+  const NucleusHierarchy h = BuildHierarchy(space, peel.kappa);
+  std::vector<int> seen(space.NumRCliques(), 0);
+  for (const auto& node : h.nodes) {
+    for (CliqueId r : node.new_members) ++seen[r];
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+  std::size_t total = 0;
+  for (int root : h.roots) total += h.nodes[root].size;
+  EXPECT_EQ(total, space.NumRCliques());
+}
+
+class DecompositionProperties
+    : public ::testing::TestWithParam<std::tuple<Gen, int>> {};
+
+TEST_P(DecompositionProperties, CoreInstance) {
+  const Graph g = MakeGraph(std::get<0>(GetParam()), std::get<1>(GetParam()));
+  CheckAllProperties(CoreSpace(g));
+}
+
+TEST_P(DecompositionProperties, TrussInstance) {
+  const Graph g = MakeGraph(std::get<0>(GetParam()), std::get<1>(GetParam()));
+  const EdgeIndex edges(g);
+  CheckAllProperties(TrussSpace(g, edges));
+}
+
+TEST_P(DecompositionProperties, Nucleus34Instance) {
+  const Graph g = MakeGraph(std::get<0>(GetParam()), std::get<1>(GetParam()));
+  const TriangleIndex tris(g);
+  CheckAllProperties(Nucleus34Space(g, tris));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GeneratorGrid, DecompositionProperties,
+    ::testing::Combine(::testing::Values(Gen::kEr, Gen::kBa, Gen::kRmat,
+                                         Gen::kPlanted, Gen::kWs,
+                                         Gen::kNested),
+                       ::testing::Values(1, 2, 3, 4)),
+    [](const ::testing::TestParamInfo<std::tuple<Gen, int>>& info) {
+      return GenName(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace nucleus

@@ -1,0 +1,151 @@
+// Differential tests against straight-line reference implementations that
+// share no code with the production engines:
+//  - a direct implementation of the U operator (Definition 6) iterated to
+//    convergence, compared snapshot-by-snapshot with SND;
+//  - relabeling invariance: decompositions commute with vertex
+//    permutations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/clique/intersect.h"
+#include "src/common/h_index.h"
+#include "src/common/rng.h"
+#include "src/graph/builder.h"
+#include "src/graph/generators.h"
+#include "src/local/snd.h"
+#include "src/peel/generic_peel.h"
+#include "src/peel/ktruss.h"
+
+namespace nucleus {
+namespace {
+
+// One application of U for the k-core instance, straight from Def. 6:
+// rho({v,u}, v) = tau(u); U tau (v) = H of the neighbor taus.
+std::vector<Degree> ApplyUCore(const Graph& g,
+                               const std::vector<Degree>& tau) {
+  std::vector<Degree> next(tau.size());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    std::vector<Degree> rhos;
+    for (VertexId u : g.Neighbors(v)) rhos.push_back(tau[u]);
+    next[v] = HIndex(rhos);
+  }
+  return next;
+}
+
+// One application of U for the k-truss instance.
+std::vector<Degree> ApplyUTruss(const Graph& g, const EdgeIndex& edges,
+                                const std::vector<Degree>& tau) {
+  std::vector<Degree> next(tau.size());
+  for (EdgeId e = 0; e < edges.NumEdges(); ++e) {
+    const auto [u, v] = edges.Endpoints(e);
+    std::vector<Degree> rhos;
+    ForEachCommon(g.Neighbors(u), g.Neighbors(v), [&](VertexId w) {
+      rhos.push_back(std::min(tau[edges.EdgeIdOf(u, w)],
+                              tau[edges.EdgeIdOf(v, w)]));
+    });
+    next[e] = HIndex(rhos);
+  }
+  return next;
+}
+
+TEST(Reference, SndCoreTrajectoryMatchesDirectU) {
+  for (int seed = 0; seed < 6; ++seed) {
+    const Graph g = GenerateErdosRenyi(40, 150, seed);
+    ConvergenceTrace trace;
+    trace.record_snapshots = true;
+    LocalOptions opt;
+    opt.trace = &trace;
+    SndCore(g, opt);
+    // Reference trajectory.
+    std::vector<Degree> tau(g.NumVertices());
+    for (VertexId v = 0; v < g.NumVertices(); ++v) tau[v] = g.GetDegree(v);
+    ASSERT_EQ(trace.snapshots.front(), tau);
+    for (std::size_t t = 1; t < trace.snapshots.size(); ++t) {
+      tau = ApplyUCore(g, tau);
+      ASSERT_EQ(trace.snapshots[t], tau) << "seed " << seed << " iter " << t;
+    }
+    // One more application changes nothing (fixed point).
+    EXPECT_EQ(ApplyUCore(g, tau), tau);
+  }
+}
+
+TEST(Reference, SndTrussTrajectoryMatchesDirectU) {
+  for (int seed = 0; seed < 4; ++seed) {
+    const Graph g = GenerateErdosRenyi(25, 100, seed);
+    const EdgeIndex edges(g);
+    ConvergenceTrace trace;
+    trace.record_snapshots = true;
+    LocalOptions opt;
+    opt.trace = &trace;
+    SndTruss(g, edges, opt);
+    std::vector<Degree> tau = trace.snapshots.front();
+    for (std::size_t t = 1; t < trace.snapshots.size(); ++t) {
+      tau = ApplyUTruss(g, edges, tau);
+      ASSERT_EQ(trace.snapshots[t], tau) << "seed " << seed << " iter " << t;
+    }
+  }
+}
+
+// Applies a random permutation pi to vertex labels.
+Graph Permute(const Graph& g, const std::vector<VertexId>& pi) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    for (VertexId v : g.Neighbors(u)) {
+      if (u < v) edges.emplace_back(pi[u], pi[v]);
+    }
+  }
+  return BuildGraphFromEdges(g.NumVertices(), edges);
+}
+
+TEST(Reference, CoreNumbersAreRelabelingInvariant) {
+  Rng rng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = GenerateBarabasiAlbert(80, 3, trial);
+    std::vector<VertexId> pi(g.NumVertices());
+    std::iota(pi.begin(), pi.end(), VertexId{0});
+    rng.Shuffle(&pi);
+    const Graph h = Permute(g, pi);
+    const auto kg = PeelCore(g).kappa;
+    const auto kh = PeelCore(h).kappa;
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      EXPECT_EQ(kg[v], kh[pi[v]]) << "trial " << trial;
+    }
+  }
+}
+
+TEST(Reference, TrussNumbersAreRelabelingInvariant) {
+  Rng rng(9);
+  const Graph g = GenerateErdosRenyi(30, 120, 3);
+  std::vector<VertexId> pi(g.NumVertices());
+  std::iota(pi.begin(), pi.end(), VertexId{0});
+  rng.Shuffle(&pi);
+  const Graph h = Permute(g, pi);
+  const EdgeIndex eg(g), eh(h);
+  const auto kg = TrussNumbers(g, eg);
+  const auto kh = TrussNumbers(h, eh);
+  for (EdgeId e = 0; e < eg.NumEdges(); ++e) {
+    const auto [u, v] = eg.Endpoints(e);
+    const EdgeId mapped = eh.EdgeIdOf(pi[u], pi[v]);
+    ASSERT_NE(mapped, kInvalidEdge);
+    EXPECT_EQ(kg[e], kh[mapped]);
+  }
+}
+
+TEST(Reference, SndAgreesWithLuEtAlSemantics) {
+  // Lu et al.'s method is exactly SND at (1,2): initial estimate = degree,
+  // iterate h-index of neighbor estimates. The converged values must obey
+  // the core-number characterization: kappa(v) = largest k such that v has
+  // >= k neighbors with kappa >= k... as an h-index fixed point.
+  const Graph g = GenerateRmat(8, 6, 11);
+  const LocalResult r = SndCore(g);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    std::vector<Degree> neighbor_kappas;
+    for (VertexId u : g.Neighbors(v)) neighbor_kappas.push_back(r.tau[u]);
+    EXPECT_EQ(HIndex(neighbor_kappas), r.tau[v]);
+  }
+}
+
+}  // namespace
+}  // namespace nucleus

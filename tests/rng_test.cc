@@ -1,0 +1,80 @@
+#include "src/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace nucleus {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000000), b.UniformInt(0, 1000000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.UniformInt(0, 1 << 30) == b.UniformInt(0, 1 << 30)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = rng.UniformInt(10, 20);
+    EXPECT_GE(x, 10u);
+    EXPECT_LE(x, 20u);
+  }
+}
+
+TEST(Rng, UniformRealInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.UniformReal();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, FlipExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Flip(0.0));
+    EXPECT_TRUE(rng.Flip(1.0));
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(9);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto w = v;
+  rng.Shuffle(&w);
+  auto sorted = w;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, v);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(13);
+  const auto s = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(s.size(), 30u);
+  std::set<std::size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 30u);
+  for (auto x : s) EXPECT_LT(x, 100u);
+}
+
+TEST(Rng, SampleMoreThanPopulationClamps) {
+  Rng rng(13);
+  const auto s = rng.SampleWithoutReplacement(5, 50);
+  EXPECT_EQ(s.size(), 5u);
+}
+
+}  // namespace
+}  // namespace nucleus

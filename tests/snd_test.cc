@@ -1,0 +1,199 @@
+#include "src/local/snd.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/builder.h"
+#include "src/graph/generators.h"
+#include "src/local/degree_levels.h"
+#include "src/peel/generic_peel.h"
+
+namespace nucleus {
+namespace {
+
+Graph PaperFigure2Graph() {
+  return BuildGraphFromEdges(6, {{0, 1}, {0, 4}, {1, 2}, {1, 3}, {2, 3},
+                                 {4, 5}});
+}
+
+TEST(SndCore, PaperFigure2WalkThrough) {
+  // The paper's SND walk-through: tau_0 = degrees (2,3,2,2,2,1),
+  // tau_1 = (2,2,2,2,1,1), tau_2 = kappa = (1,2,2,2,1,1), converging after
+  // two updating iterations.
+  const Graph g = PaperFigure2Graph();
+  ConvergenceTrace trace;
+  trace.record_snapshots = true;
+  LocalOptions opt;
+  opt.trace = &trace;
+  const LocalResult r = SndCore(g, opt);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 2);
+  EXPECT_EQ(r.tau, (std::vector<Degree>{1, 2, 2, 2, 1, 1}));
+  ASSERT_GE(trace.snapshots.size(), 3u);
+  EXPECT_EQ(trace.snapshots[0], (std::vector<Degree>{2, 3, 2, 2, 2, 1}));
+  EXPECT_EQ(trace.snapshots[1], (std::vector<Degree>{2, 2, 2, 2, 1, 1}));
+  EXPECT_EQ(trace.snapshots[2], (std::vector<Degree>{1, 2, 2, 2, 1, 1}));
+}
+
+TEST(SndCore, MatchesPeelingOnManyGraphs) {
+  for (int seed = 0; seed < 10; ++seed) {
+    const Graph g = GenerateErdosRenyi(70, 220, seed);
+    EXPECT_EQ(SndCore(g).tau, PeelCore(g).kappa) << "seed " << seed;
+  }
+}
+
+TEST(SndCore, MatchesPeelingOnStructuredGraphs) {
+  const Graph graphs[] = {
+      GenerateBarabasiAlbert(150, 3, 1), GenerateRmat(8, 8, 2),
+      GeneratePlantedPartition(3, 15, 0.7, 0.05, 3),
+      GenerateWattsStrogatz(100, 6, 0.1, 4), GenerateNestedCliques(3, 4, 3, 5),
+      GenerateComplete(12), GenerateCycle(17), GenerateStar(9),
+      GenerateCompleteBipartite(6, 9), GenerateGrid(7, 8)};
+  for (const Graph& g : graphs) {
+    EXPECT_EQ(SndCore(g).tau, PeelCore(g).kappa);
+  }
+}
+
+TEST(SndTruss, MatchesPeelingOnManyGraphs) {
+  for (int seed = 0; seed < 8; ++seed) {
+    const Graph g = GenerateErdosRenyi(40, 170, seed);
+    const EdgeIndex edges(g);
+    EXPECT_EQ(SndTruss(g, edges).tau, PeelTruss(g, edges).kappa)
+        << "seed " << seed;
+  }
+}
+
+TEST(SndTruss, CompleteGraphOneIteration) {
+  // In K_n the initial triangle counts already equal kappa, so SND does no
+  // updates at all.
+  const Graph g = GenerateComplete(8);
+  const EdgeIndex edges(g);
+  const LocalResult r = SndTruss(g, edges);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 0);
+  for (Degree t : r.tau) EXPECT_EQ(t, 6u);
+}
+
+TEST(SndNucleus34, MatchesPeelingOnManyGraphs) {
+  for (int seed = 0; seed < 6; ++seed) {
+    const Graph g = GenerateErdosRenyi(22, 100, seed);
+    const TriangleIndex tris(g);
+    EXPECT_EQ(SndNucleus34(g, tris).tau, PeelNucleus34(g, tris).kappa)
+        << "seed " << seed;
+  }
+}
+
+TEST(Snd, ParallelMatchesSequential) {
+  const Graph g = GenerateBarabasiAlbert(200, 4, 7);
+  LocalOptions seq, par;
+  par.threads = 4;
+  EXPECT_EQ(SndCore(g, seq).tau, SndCore(g, par).tau);
+  const EdgeIndex edges(g);
+  EXPECT_EQ(SndTruss(g, edges, seq).tau, SndTruss(g, edges, par).tau);
+}
+
+TEST(Snd, StaticScheduleMatchesDynamic) {
+  const Graph g = GenerateRmat(8, 6, 9);
+  LocalOptions dyn, sta;
+  dyn.threads = 4;
+  sta.threads = 4;
+  sta.schedule = Schedule::kStatic;
+  EXPECT_EQ(SndCore(g, dyn).tau, SndCore(g, sta).tau);
+}
+
+TEST(Snd, PreserveCheckDoesNotChangeResults) {
+  const Graph g = GenerateErdosRenyi(60, 220, 12);
+  LocalOptions with, without;
+  without.use_preserve_check = false;
+  EXPECT_EQ(SndCore(g, with).tau, SndCore(g, without).tau);
+  const EdgeIndex edges(g);
+  EXPECT_EQ(SndTruss(g, edges, with).tau, SndTruss(g, edges, without).tau);
+}
+
+TEST(Snd, TruncatedRunIsUpperBound) {
+  // Theorem 1 (lower bound): every intermediate tau >= kappa.
+  const Graph g = GenerateBarabasiAlbert(150, 3, 8);
+  const auto kappa = PeelCore(g).kappa;
+  for (int iters = 1; iters <= 4; ++iters) {
+    LocalOptions opt;
+    opt.max_iterations = iters;
+    const LocalResult r = SndCore(g, opt);
+    for (std::size_t v = 0; v < kappa.size(); ++v) {
+      EXPECT_GE(r.tau[v], kappa[v]);
+    }
+  }
+}
+
+TEST(Snd, MonotoneNonIncreasingSnapshots) {
+  // Theorem 1 (monotonicity): tau_{t+1} <= tau_t pointwise.
+  const Graph g = GenerateErdosRenyi(50, 180, 19);
+  ConvergenceTrace trace;
+  trace.record_snapshots = true;
+  LocalOptions opt;
+  opt.trace = &trace;
+  SndCore(g, opt);
+  for (std::size_t t = 1; t < trace.snapshots.size(); ++t) {
+    for (std::size_t v = 0; v < trace.snapshots[t].size(); ++v) {
+      EXPECT_LE(trace.snapshots[t][v], trace.snapshots[t - 1][v]);
+    }
+  }
+}
+
+TEST(Snd, IterationsBoundedByDegreeLevels) {
+  // Lemma 2: convergence within (number of levels) iterations.
+  for (int seed = 0; seed < 6; ++seed) {
+    const Graph g = GenerateErdosRenyi(45, 160, seed);
+    const auto levels = CoreDegreeLevels(g);
+    const LocalResult r = SndCore(g);
+    EXPECT_LE(r.iterations, static_cast<int>(levels.num_levels))
+        << "seed " << seed;
+  }
+}
+
+TEST(Snd, TheoremThreeLevelwiseConvergence) {
+  // Theorem 3: for R in level L_i, tau_t(R) = kappa(R) for all t >= i.
+  const Graph g = GenerateErdosRenyi(40, 140, 25);
+  const auto levels = CoreDegreeLevels(g);
+  const auto kappa = PeelCore(g).kappa;
+  ConvergenceTrace trace;
+  trace.record_snapshots = true;
+  LocalOptions opt;
+  opt.trace = &trace;
+  SndCore(g, opt);
+  const std::size_t T = trace.snapshots.size();
+  for (CliqueId v = 0; v < kappa.size(); ++v) {
+    for (std::size_t t = levels.level[v]; t < T; ++t) {
+      EXPECT_EQ(trace.snapshots[t][v], kappa[v])
+          << "vertex " << v << " level " << levels.level[v] << " iter " << t;
+    }
+  }
+}
+
+TEST(Snd, EmptyGraph) {
+  const Graph g;
+  const LocalResult r = SndCore(g);
+  EXPECT_TRUE(r.converged);
+  EXPECT_TRUE(r.tau.empty());
+}
+
+TEST(Snd, SingleEdge) {
+  const Graph g = BuildGraphFromEdges(2, {{0, 1}});
+  const LocalResult r = SndCore(g);
+  EXPECT_EQ(r.tau, (std::vector<Degree>{1, 1}));
+}
+
+TEST(Snd, UpdatesPerIterationDecreasesToZero) {
+  const Graph g = GenerateBarabasiAlbert(120, 3, 31);
+  ConvergenceTrace trace;
+  LocalOptions opt;
+  opt.trace = &trace;
+  const LocalResult r = SndCore(g, opt);
+  ASSERT_TRUE(r.converged);
+  ASSERT_FALSE(trace.updates_per_iteration.empty());
+  EXPECT_EQ(trace.updates_per_iteration.back(), 0u);
+  std::size_t total = 0;
+  for (std::size_t u : trace.updates_per_iteration) total += u;
+  EXPECT_EQ(total, r.total_updates);
+}
+
+}  // namespace
+}  // namespace nucleus

@@ -1,0 +1,146 @@
+#include "src/clique/spaces.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/graph/builder.h"
+#include "src/graph/generators.h"
+
+namespace nucleus {
+namespace {
+
+TEST(CoreSpace, DegreesAndEdges) {
+  const Graph g = GenerateStar(5);
+  const CoreSpace space(g);
+  EXPECT_EQ(space.NumRCliques(), 5u);
+  const auto d = space.InitialDegrees();
+  EXPECT_EQ(d[0], 4u);
+  EXPECT_EQ(d[1], 1u);
+  std::size_t incidences = 0;
+  space.ForEachSClique(0, [&](std::span<const CliqueId> co) {
+    EXPECT_EQ(co.size(), 1u);
+    ++incidences;
+  });
+  EXPECT_EQ(incidences, 4u);
+}
+
+TEST(CoreSpace, SCliqueCountMatchesDegreeEverywhere) {
+  const Graph g = GenerateErdosRenyi(40, 150, 21);
+  const CoreSpace space(g);
+  const auto d = space.InitialDegrees();
+  for (CliqueId v = 0; v < space.NumRCliques(); ++v) {
+    std::size_t c = 0;
+    space.ForEachSClique(v, [&](std::span<const CliqueId>) { ++c; });
+    EXPECT_EQ(c, d[v]);
+  }
+}
+
+TEST(TrussSpace, CoMembersAreTriangleEdges) {
+  const Graph g = GenerateComplete(4);
+  const EdgeIndex edges(g);
+  const TrussSpace space(g, edges);
+  EXPECT_EQ(space.NumRCliques(), 6u);
+  const auto d = space.InitialDegrees();
+  for (Degree x : d) EXPECT_EQ(x, 2u);  // every K4 edge in 2 triangles
+  const EdgeId e01 = edges.EdgeIdOf(0, 1);
+  std::set<std::set<EdgeId>> seen;
+  space.ForEachSClique(e01, [&](std::span<const CliqueId> co) {
+    EXPECT_EQ(co.size(), 2u);
+    for (CliqueId c : co) EXPECT_NE(c, kInvalidEdge + 0u);
+    seen.insert({co[0], co[1]});
+  });
+  // Triangles {0,1,2} and {0,1,3}: co-edges {02,12} and {03,13}.
+  EXPECT_EQ(seen.size(), 2u);
+  EXPECT_TRUE(seen.count({edges.EdgeIdOf(0, 2), edges.EdgeIdOf(1, 2)}));
+  EXPECT_TRUE(seen.count({edges.EdgeIdOf(0, 3), edges.EdgeIdOf(1, 3)}));
+}
+
+TEST(TrussSpace, SCliqueCountMatchesTriangleCount) {
+  const Graph g = GenerateErdosRenyi(30, 130, 8);
+  const EdgeIndex edges(g);
+  const TrussSpace space(g, edges);
+  const auto d = space.InitialDegrees();
+  for (CliqueId e = 0; e < space.NumRCliques(); ++e) {
+    std::size_t c = 0;
+    space.ForEachSClique(e, [&](std::span<const CliqueId> co) {
+      EXPECT_EQ(co.size(), 2u);
+      ++c;
+    });
+    EXPECT_EQ(c, d[e]);
+  }
+}
+
+TEST(Nucleus34Space, CoMembersAreFourCliqueTriangles) {
+  const Graph g = GenerateComplete(4);
+  const TriangleIndex tris(g);
+  const Nucleus34Space space(g, tris);
+  EXPECT_EQ(space.NumRCliques(), 4u);
+  const auto d = space.InitialDegrees();
+  for (Degree x : d) EXPECT_EQ(x, 1u);  // every K4 triangle in 1 K4
+  const TriangleId t = tris.TriangleIdOf(0, 1, 2);
+  std::size_t incidences = 0;
+  space.ForEachSClique(t, [&](std::span<const CliqueId> co) {
+    EXPECT_EQ(co.size(), 3u);
+    std::set<TriangleId> expect = {tris.TriangleIdOf(0, 1, 3),
+                                   tris.TriangleIdOf(0, 2, 3),
+                                   tris.TriangleIdOf(1, 2, 3)};
+    EXPECT_EQ((std::set<TriangleId>(co.begin(), co.end())), expect);
+    ++incidences;
+  });
+  EXPECT_EQ(incidences, 1u);
+}
+
+TEST(Nucleus34Space, SCliqueCountMatchesK4Count) {
+  const Graph g = GenerateErdosRenyi(20, 90, 15);
+  const TriangleIndex tris(g);
+  const Nucleus34Space space(g, tris);
+  const auto d = space.InitialDegrees();
+  for (CliqueId t = 0; t < space.NumRCliques(); ++t) {
+    std::size_t c = 0;
+    space.ForEachSClique(t, [&](std::span<const CliqueId> co) {
+      EXPECT_EQ(co.size(), 3u);
+      for (CliqueId x : co) EXPECT_NE(x, kInvalidClique + 0u);
+      ++c;
+    });
+    EXPECT_EQ(c, d[t]);
+  }
+}
+
+// Symmetry property: if R' appears as a co-member of R in some s-clique,
+// then R appears as a co-member of R' the same number of times.
+template <typename Space>
+void CheckIncidenceSymmetry(const Space& space) {
+  std::map<std::pair<CliqueId, CliqueId>, int> pair_count;
+  for (CliqueId r = 0; r < space.NumRCliques(); ++r) {
+    space.ForEachSClique(r, [&](std::span<const CliqueId> co) {
+      for (CliqueId c : co) pair_count[{r, c}]++;
+    });
+  }
+  for (const auto& [key, count] : pair_count) {
+    const auto rev = pair_count.find({key.second, key.first});
+    ASSERT_NE(rev, pair_count.end());
+    EXPECT_EQ(rev->second, count);
+  }
+}
+
+TEST(Spaces, CoreIncidenceSymmetry) {
+  const Graph g = GenerateErdosRenyi(25, 80, 31);
+  CheckIncidenceSymmetry(CoreSpace(g));
+}
+
+TEST(Spaces, TrussIncidenceSymmetry) {
+  const Graph g = GenerateErdosRenyi(20, 80, 32);
+  const EdgeIndex edges(g);
+  CheckIncidenceSymmetry(TrussSpace(g, edges));
+}
+
+TEST(Spaces, Nucleus34IncidenceSymmetry) {
+  const Graph g = GenerateErdosRenyi(16, 60, 33);
+  const TriangleIndex tris(g);
+  CheckIncidenceSymmetry(Nucleus34Space(g, tris));
+}
+
+}  // namespace
+}  // namespace nucleus

@@ -1,0 +1,108 @@
+#include "src/graph/subgraph.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/builder.h"
+#include "src/graph/generators.h"
+
+namespace nucleus {
+namespace {
+
+TEST(InducedSubgraph, PreservesInternalEdges) {
+  const Graph g = GenerateComplete(6);
+  const std::vector<VertexId> vs = {1, 3, 5};
+  const auto sub = BuildInducedSubgraph(g, vs);
+  EXPECT_EQ(sub.graph.NumVertices(), 3u);
+  EXPECT_EQ(sub.graph.NumEdges(), 3u);  // triangle
+  EXPECT_EQ(sub.mapping, vs);
+}
+
+TEST(InducedSubgraph, DropsExternalEdges) {
+  const Graph g = GeneratePath(5);  // 0-1-2-3-4
+  const std::vector<VertexId> vs = {0, 2, 4};
+  const auto sub = BuildInducedSubgraph(g, vs);
+  EXPECT_EQ(sub.graph.NumEdges(), 0u);
+}
+
+TEST(InducedSubgraph, DeduplicatesInput) {
+  const Graph g = GenerateCycle(5);
+  const std::vector<VertexId> vs = {0, 1, 1, 0};
+  const auto sub = BuildInducedSubgraph(g, vs);
+  EXPECT_EQ(sub.graph.NumVertices(), 2u);
+  EXPECT_EQ(sub.graph.NumEdges(), 1u);
+}
+
+TEST(InducedSubgraph, EmptySelection) {
+  const Graph g = GenerateCycle(5);
+  const auto sub = BuildInducedSubgraph(g, {});
+  EXPECT_EQ(sub.graph.NumVertices(), 0u);
+}
+
+TEST(InducedSubgraph, MappingConsistent) {
+  const Graph g = GenerateErdosRenyi(30, 100, 3);
+  std::vector<VertexId> vs;
+  for (VertexId v = 0; v < 30; v += 2) vs.push_back(v);
+  const auto sub = BuildInducedSubgraph(g, vs);
+  for (VertexId nu = 0; nu < sub.graph.NumVertices(); ++nu) {
+    for (VertexId nv : sub.graph.Neighbors(nu)) {
+      EXPECT_TRUE(g.HasEdge(sub.mapping[nu], sub.mapping[nv]));
+    }
+  }
+}
+
+TEST(ConnectedComponents, CountsComponents) {
+  // Two triangles + isolated vertex.
+  const Graph g = BuildGraphFromEdges(
+      7, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}});
+  std::size_t n = 0;
+  const auto comp = ConnectedComponents(g, &n);
+  EXPECT_EQ(n, 3u);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[3], comp[5]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[6], comp[0]);
+  EXPECT_NE(comp[6], comp[3]);
+}
+
+TEST(ConnectedComponents, ConnectedGraphIsOne) {
+  std::size_t n = 0;
+  ConnectedComponents(GenerateBarabasiAlbert(100, 3, 5), &n);
+  EXPECT_EQ(n, 1u);
+}
+
+TEST(ConnectedComponents, NullCountOk) {
+  EXPECT_NO_THROW(ConnectedComponents(GenerateCycle(4), nullptr));
+}
+
+TEST(BfsDistances, PathDistances) {
+  const Graph g = GeneratePath(5);
+  const VertexId src[1] = {0};
+  const auto dist = BfsDistances(g, src);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(dist[v], v);
+}
+
+TEST(BfsDistances, MultiSource) {
+  const Graph g = GeneratePath(5);
+  const VertexId src[2] = {0, 4};
+  const auto dist = BfsDistances(g, src);
+  EXPECT_EQ(dist[2], 2u);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[3], 1u);
+}
+
+TEST(BfsDistances, UnreachableMarked) {
+  const Graph g = BuildGraphFromEdges(4, {{0, 1}});
+  const VertexId src[1] = {0};
+  const auto dist = BfsDistances(g, src);
+  EXPECT_EQ(dist[2], kUnreachable);
+  EXPECT_EQ(dist[3], kUnreachable);
+}
+
+TEST(DoubleSweepDiameter, PathAndCycle) {
+  EXPECT_EQ(DoubleSweepDiameter(GeneratePath(10)), 9u);
+  EXPECT_EQ(DoubleSweepDiameter(GenerateCycle(10)), 5u);
+  EXPECT_EQ(DoubleSweepDiameter(GenerateComplete(5)), 1u);
+}
+
+}  // namespace
+}  // namespace nucleus

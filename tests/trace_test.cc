@@ -1,0 +1,92 @@
+#include "src/local/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+#include "src/local/snd.h"
+#include "src/peel/generic_peel.h"
+
+namespace nucleus {
+namespace {
+
+ConvergenceTrace RunTracedSnd(const Graph& g) {
+  ConvergenceTrace trace;
+  trace.record_snapshots = true;
+  LocalOptions opt;
+  opt.trace = &trace;
+  SndCore(g, opt);
+  return trace;
+}
+
+TEST(Trace, KendallTrajectoryEndsAtOne) {
+  const Graph g = GenerateBarabasiAlbert(150, 3, 3);
+  const auto trace = RunTracedSnd(g);
+  const auto exact = PeelCore(g).kappa;
+  const auto traj = KendallTrajectory(trace, exact);
+  ASSERT_FALSE(traj.empty());
+  EXPECT_NEAR(traj.back(), 1.0, 1e-12);
+}
+
+TEST(Trace, KendallTrajectoryNonTrivialStart) {
+  // Unless the graph is degenerate, tau_0 (degrees) is not a perfect
+  // ranking of core numbers.
+  const Graph g = GenerateErdosRenyi(100, 350, 5);
+  const auto trace = RunTracedSnd(g);
+  const auto exact = PeelCore(g).kappa;
+  const auto traj = KendallTrajectory(trace, exact);
+  EXPECT_LT(traj.front(), 1.0);
+}
+
+TEST(Trace, ConvergedFractionMonotoneToOne) {
+  const Graph g = GenerateErdosRenyi(80, 280, 7);
+  const auto trace = RunTracedSnd(g);
+  const auto exact = PeelCore(g).kappa;
+  const auto frac = ConvergedFractionTrajectory(trace, exact);
+  ASSERT_FALSE(frac.empty());
+  EXPECT_DOUBLE_EQ(frac.back(), 1.0);
+  // Monotone: once tau hits kappa it never leaves (monotone + lower bound).
+  for (std::size_t i = 1; i < frac.size(); ++i) {
+    EXPECT_GE(frac[i] + 1e-12, frac[i - 1]);
+  }
+}
+
+TEST(Trace, ConvergenceIterationConsistentWithSnapshots) {
+  const Graph g = GenerateErdosRenyi(60, 200, 9);
+  const auto trace = RunTracedSnd(g);
+  const auto first = ConvergenceIteration(trace);
+  ASSERT_EQ(first.size(), trace.snapshots.front().size());
+  const auto& final = trace.snapshots.back();
+  for (std::size_t v = 0; v < first.size(); ++v) {
+    // From `first[v]` on, the value equals the final value...
+    for (std::size_t t = first[v]; t < trace.snapshots.size(); ++t) {
+      EXPECT_EQ(trace.snapshots[t][v], final[v]);
+    }
+    // ...and just before, it differs (unless it converged at snapshot 0).
+    if (first[v] > 0) {
+      EXPECT_NE(trace.snapshots[first[v] - 1][v], final[v]);
+    }
+  }
+}
+
+TEST(Trace, ClearResets) {
+  ConvergenceTrace trace;
+  trace.snapshots.push_back({1, 2});
+  trace.updates_per_iteration.push_back(3);
+  trace.Clear();
+  EXPECT_TRUE(trace.snapshots.empty());
+  EXPECT_TRUE(trace.updates_per_iteration.empty());
+}
+
+TEST(Trace, NoSnapshotsStillCountsUpdates) {
+  const Graph g = GenerateErdosRenyi(50, 150, 2);
+  ConvergenceTrace trace;  // record_snapshots = false
+  LocalOptions opt;
+  opt.trace = &trace;
+  const LocalResult r = SndCore(g, opt);
+  EXPECT_TRUE(trace.snapshots.empty());
+  EXPECT_EQ(trace.updates_per_iteration.size(),
+            static_cast<std::size_t>(r.iterations) + 1);  // + final zero
+}
+
+}  // namespace
+}  // namespace nucleus

@@ -1,0 +1,128 @@
+#include "src/clique/triangles.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/graph/builder.h"
+#include "src/graph/generators.h"
+
+namespace nucleus {
+namespace {
+
+// O(n^3) reference triangle count.
+Count NaiveTriangleCount(const Graph& g) {
+  Count c = 0;
+  const std::size_t n = g.NumVertices();
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      if (!g.HasEdge(u, v)) continue;
+      for (VertexId w = v + 1; w < n; ++w) {
+        if (g.HasEdge(u, w) && g.HasEdge(v, w)) ++c;
+      }
+    }
+  }
+  return c;
+}
+
+TEST(Triangles, CompleteGraphCount) {
+  EXPECT_EQ(CountTriangles(GenerateComplete(5)), 10u);   // C(5,3)
+  EXPECT_EQ(CountTriangles(GenerateComplete(10)), 120u); // C(10,3)
+}
+
+TEST(Triangles, TriangleFreeGraphs) {
+  EXPECT_EQ(CountTriangles(GenerateCompleteBipartite(5, 5)), 0u);
+  EXPECT_EQ(CountTriangles(GenerateGrid(5, 5)), 0u);
+  EXPECT_EQ(CountTriangles(GeneratePath(10)), 0u);
+  EXPECT_EQ(CountTriangles(GenerateStar(10)), 0u);
+}
+
+TEST(Triangles, MatchesNaiveOnRandomGraphs) {
+  for (int seed = 0; seed < 5; ++seed) {
+    const Graph g = GenerateErdosRenyi(25, 90, seed);
+    EXPECT_EQ(CountTriangles(g), NaiveTriangleCount(g)) << "seed " << seed;
+  }
+}
+
+TEST(Triangles, ForEachEnumeratesEachOnceSorted) {
+  const Graph g = GenerateErdosRenyi(20, 70, 3);
+  std::set<std::array<VertexId, 3>> seen;
+  ForEachTriangle(g, [&](VertexId u, VertexId v, VertexId w) {
+    EXPECT_LT(u, v);
+    EXPECT_LT(v, w);
+    EXPECT_TRUE(g.HasEdge(u, v));
+    EXPECT_TRUE(g.HasEdge(u, w));
+    EXPECT_TRUE(g.HasEdge(v, w));
+    const auto [it, inserted] = seen.insert({u, v, w});
+    EXPECT_TRUE(inserted) << "duplicate triangle";
+  });
+  EXPECT_EQ(seen.size(), CountTriangles(g));
+}
+
+TEST(Triangles, PerEdgeCountsSumToThreeTimesTotal) {
+  const Graph g = GenerateBarabasiAlbert(100, 4, 9);
+  const EdgeIndex idx(g);
+  const auto counts = TriangleCountsPerEdge(g, idx);
+  Count sum = 0;
+  for (Degree c : counts) sum += c;
+  EXPECT_EQ(sum, 3 * CountTriangles(g));
+}
+
+TEST(Triangles, PerEdgeCountsParallelMatchSequential) {
+  const Graph g = GenerateErdosRenyi(60, 250, 11);
+  const EdgeIndex idx(g);
+  EXPECT_EQ(TriangleCountsPerEdge(g, idx, 1),
+            TriangleCountsPerEdge(g, idx, 4));
+}
+
+TEST(Triangles, PerEdgeCountExamples) {
+  // K4 minus one edge: the remaining "diagonal" edge is in 2 triangles.
+  const Graph g =
+      BuildGraphFromEdges(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}});
+  const EdgeIndex idx(g);
+  const auto counts = TriangleCountsPerEdge(g, idx);
+  EXPECT_EQ(counts[idx.EdgeIdOf(0, 1)], 2u);
+  EXPECT_EQ(counts[idx.EdgeIdOf(0, 2)], 1u);
+  EXPECT_EQ(counts[idx.EdgeIdOf(2, 1)], 1u);
+}
+
+TEST(TriangleIndex, IdsAreSortedTriples) {
+  const Graph g = GenerateErdosRenyi(25, 90, 2);
+  const TriangleIndex tris(g);
+  EXPECT_EQ(tris.NumTriangles(), CountTriangles(g));
+  for (TriangleId t = 0; t + 1 < tris.NumTriangles(); ++t) {
+    EXPECT_LT(tris.Vertices(t), tris.Vertices(t + 1));
+  }
+}
+
+TEST(TriangleIndex, LookupRoundTrip) {
+  const Graph g = GenerateBarabasiAlbert(60, 4, 3);
+  const TriangleIndex tris(g);
+  for (TriangleId t = 0; t < tris.NumTriangles(); ++t) {
+    const auto& v = tris.Vertices(t);
+    EXPECT_EQ(tris.TriangleIdOf(v[0], v[1], v[2]), t);
+    EXPECT_EQ(tris.TriangleIdOf(v[2], v[0], v[1]), t);  // any order
+  }
+}
+
+TEST(TriangleIndex, MissingTriangleInvalid) {
+  const Graph g = GenerateCycle(6);
+  const TriangleIndex tris(g);
+  EXPECT_EQ(tris.NumTriangles(), 0u);
+  EXPECT_EQ(tris.TriangleIdOf(0, 1, 2), kInvalidTriangle);
+}
+
+TEST(TriangleIndex, ForEachTriangleOfEdge) {
+  const Graph g = GenerateComplete(5);
+  const TriangleIndex tris(g);
+  std::size_t count = 0;
+  tris.ForEachTriangleOfEdge(g, 0, 1, [&](TriangleId t, VertexId w) {
+    EXPECT_NE(t, kInvalidTriangle);
+    EXPECT_GT(w, 1u);
+    ++count;
+  });
+  EXPECT_EQ(count, 3u);  // K5: edge {0,1} in triangles with 2, 3, 4
+}
+
+}  // namespace
+}  // namespace nucleus

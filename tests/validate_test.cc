@@ -1,0 +1,94 @@
+#include "src/core/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/graph/generators.h"
+#include "src/local/snd.h"
+#include "src/peel/generic_peel.h"
+
+namespace nucleus {
+namespace {
+
+TEST(Validate, ExactKappaPasses) {
+  for (int seed = 0; seed < 5; ++seed) {
+    const Graph g = GenerateErdosRenyi(40, 150, seed);
+    EXPECT_TRUE(ValidateCoreNumbers(g, PeelCore(g).kappa));
+    const EdgeIndex edges(g);
+    EXPECT_TRUE(ValidateTrussNumbers(g, edges, PeelTruss(g, edges).kappa));
+    const TriangleIndex tris(g);
+    EXPECT_TRUE(
+        ValidateNucleus34Numbers(g, tris, PeelNucleus34(g, tris).kappa));
+  }
+}
+
+TEST(Validate, TruncatedRunFailsFixedPoint) {
+  const Graph g = GenerateBarabasiAlbert(200, 4, 7);
+  LocalOptions opt;
+  opt.max_iterations = 1;
+  const LocalResult r = SndCore(g, opt);
+  // After 1 iteration tau has not converged on this graph.
+  ASSERT_FALSE(r.converged);
+  EXPECT_FALSE(IsFixedPoint(CoreSpace(g), r.tau));
+}
+
+TEST(Validate, InflatedValueFails) {
+  const Graph g = GenerateErdosRenyi(40, 150, 3);
+  auto kappa = PeelCore(g).kappa;
+  // Bump a random vertex above its true value.
+  Rng rng(1);
+  const CliqueId victim = static_cast<CliqueId>(rng.UniformInt(0, 39));
+  kappa[victim] += 1;
+  EXPECT_FALSE(ValidateCoreNumbers(g, kappa));
+}
+
+TEST(Validate, DeflatedValueFailsFixedPoint) {
+  const Graph g = GenerateComplete(6);  // kappa all 5
+  auto kappa = PeelCore(g).kappa;
+  kappa[0] = 3;
+  // Level check may still hold for lowered values, but the fixed point
+  // breaks: H at vertex 0 is 5, not 3.
+  EXPECT_FALSE(IsFixedPoint(CoreSpace(g), kappa));
+  EXPECT_FALSE(ValidateCoreNumbers(g, kappa));
+}
+
+TEST(Validate, AllZerosIsAFixedPointButNotLevels) {
+  // The degenerate all-zero vector is a fixed point of U (this is why the
+  // fixed-point check alone cannot certify exactness) ...
+  const Graph g = GenerateComplete(5);
+  const std::vector<Degree> zeros(g.NumVertices(), 0);
+  EXPECT_TRUE(IsFixedPoint(CoreSpace(g), zeros));
+  // ... and LevelsAreNuclei trivially passes too (no k > 0 constraints),
+  // which is exactly why validation must be paired with the tau >= kappa
+  // guarantee of the local algorithms (Theorem 1).
+  EXPECT_TRUE(LevelsAreNuclei(CoreSpace(g), zeros));
+}
+
+TEST(Validate, RandomPerturbationsDetected) {
+  const Graph g = GenerateErdosRenyi(50, 190, 9);
+  const auto exact = PeelCore(g).kappa;
+  Rng rng(13);
+  int detected = 0, trials = 0;
+  for (int i = 0; i < 30; ++i) {
+    auto kappa = exact;
+    const CliqueId v = static_cast<CliqueId>(rng.UniformInt(0, 49));
+    const int delta = rng.Flip(0.5) ? 1 : -1;
+    if (delta < 0 && kappa[v] == 0) continue;
+    kappa[v] += delta;
+    ++trials;
+    if (!ValidateCoreNumbers(g, kappa)) ++detected;
+  }
+  // Single-entry perturbations of an exact decomposition are always
+  // inconsistent (the perturbed vertex violates the fixed point).
+  EXPECT_EQ(detected, trials);
+}
+
+TEST(Validate, ConvergedSndPasses) {
+  const Graph g = GenerateRmat(7, 6, 5);
+  const LocalResult r = SndCore(g);
+  ASSERT_TRUE(r.converged);
+  EXPECT_TRUE(ValidateCoreNumbers(g, r.tau));
+}
+
+}  // namespace
+}  // namespace nucleus
