@@ -1,0 +1,43 @@
+# Provides GTest::gtest / GTest::gtest_main for the test suites.
+#
+# Resolution order:
+#   1. An installed GoogleTest (find_package) — the common case on CI images
+#      and dev boxes with libgtest-dev.
+#   2. A vendored/system source tree (GTEST_SOURCE_DIR, /usr/src/googletest)
+#      built via add_subdirectory — works fully offline.
+#   3. FetchContent from GitHub — last resort, needs network.
+
+find_package(GTest QUIET)
+if(GTest_FOUND)
+  message(STATUS "nucleus: using installed GoogleTest")
+  return()
+endif()
+
+set(GTEST_SOURCE_DIR "" CACHE PATH "Path to a GoogleTest source tree to build in-tree")
+set(_nucleus_gtest_src_candidates
+  "${GTEST_SOURCE_DIR}"
+  "${PROJECT_SOURCE_DIR}/third_party/googletest"
+  "/usr/src/googletest")
+foreach(_cand IN LISTS _nucleus_gtest_src_candidates)
+  if(_cand AND EXISTS "${_cand}/CMakeLists.txt")
+    message(STATUS "nucleus: building GoogleTest from ${_cand}")
+    set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+    set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+    add_subdirectory("${_cand}" "${CMAKE_BINARY_DIR}/_deps/googletest" EXCLUDE_FROM_ALL)
+    if(NOT TARGET GTest::gtest_main)
+      add_library(GTest::gtest ALIAS gtest)
+      add_library(GTest::gtest_main ALIAS gtest_main)
+    endif()
+    return()
+  endif()
+endforeach()
+
+message(STATUS "nucleus: fetching GoogleTest from upstream")
+include(FetchContent)
+FetchContent_Declare(
+  googletest
+  URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.zip
+  URL_HASH SHA256=1f357c27ca988c3f7c6b4bf68a9395005ac6761f034046e9dde0896e3aba00e4)
+set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+FetchContent_MakeAvailable(googletest)

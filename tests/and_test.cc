@@ -5,14 +5,12 @@
 #include "src/graph/builder.h"
 #include "src/graph/generators.h"
 #include "src/peel/generic_peel.h"
+#include "tests/testlib/fixtures.h"
 
 namespace nucleus {
 namespace {
 
-Graph PaperFigure2Graph() {
-  return BuildGraphFromEdges(6, {{0, 1}, {0, 4}, {1, 2}, {1, 3}, {2, 3},
-                                 {4, 5}});
-}
+using testlib::PaperFigure2Graph;
 
 TEST(AndCore, PaperFigure2KappaOrderConvergesInOneIteration) {
   // Theorem 4 walk-through: processing in {f,e,a,b,c,d} order (ids

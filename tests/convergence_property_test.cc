@@ -1,0 +1,140 @@
+// Satellite property suite: on random graphs, every configuration of the
+// local algorithms — SND and AND with every AndOrder, notification on/off,
+// 1 and 4 threads — converges to the exact peeling kappa for all three
+// spaces (Theorems 1-3 say the fixed point is kappa regardless of order,
+// asynchrony, or parallel schedule).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/clique/edge_index.h"
+#include "src/clique/triangles.h"
+#include "src/local/and.h"
+#include "src/local/snd.h"
+#include "src/peel/generic_peel.h"
+#include "tests/testlib/fixtures.h"
+#include "tests/testlib/reference_checker.h"
+
+namespace nucleus {
+namespace {
+
+using testlib::ExpectMatchesPeeling;
+
+constexpr int kThreadCounts[] = {1, 4};
+constexpr AndOrder kAllOrders[] = {AndOrder::kNatural, AndOrder::kDegree,
+                                   AndOrder::kRandom, AndOrder::kGiven};
+
+const char* OrderName(AndOrder order) {
+  switch (order) {
+    case AndOrder::kNatural: return "natural";
+    case AndOrder::kDegree: return "degree";
+    case AndOrder::kRandom: return "random";
+    case AndOrder::kGiven: return "given";
+  }
+  return "?";
+}
+
+std::string Context(const char* algo, const char* space, int graph_index,
+                    int threads, AndOrder order = AndOrder::kNatural,
+                    bool notify = true) {
+  std::ostringstream os;
+  os << algo << "/" << space << "/graph=" << graph_index
+     << "/threads=" << threads;
+  if (std::string(algo) == "AND") {
+    os << "/order=" << OrderName(order)
+       << "/notify=" << (notify ? "on" : "off");
+  }
+  return os.str();
+}
+
+// Runs the full SND x AND configuration sweep for one space. RunSnd and
+// RunAnd adapt the per-space entry points; given_order is the peel order
+// (the certified best case of Theorem 4) used for AndOrder::kGiven.
+template <typename RunSnd, typename RunAnd>
+void CheckAllConfigs(const Graph& g, DecompositionKind kind,
+                     const char* space, int graph_index,
+                     const std::vector<CliqueId>& given_order,
+                     RunSnd run_snd, RunAnd run_and) {
+  for (int threads : kThreadCounts) {
+    LocalOptions snd_opt;
+    snd_opt.threads = threads;
+    const LocalResult snd = run_snd(snd_opt);
+    EXPECT_TRUE(snd.converged) << Context("SND", space, graph_index, threads);
+    ExpectMatchesPeeling(g, kind, snd.tau,
+                         Context("SND", space, graph_index, threads));
+
+    for (AndOrder order : kAllOrders) {
+      for (bool notify : {true, false}) {
+        AndOptions and_opt;
+        and_opt.local.threads = threads;
+        and_opt.order = order;
+        and_opt.use_notification = notify;
+        and_opt.seed = 7 + graph_index;
+        if (order == AndOrder::kGiven) and_opt.given_order = given_order;
+        const LocalResult result = run_and(and_opt);
+        EXPECT_TRUE(result.converged)
+            << Context("AND", space, graph_index, threads, order, notify);
+        ExpectMatchesPeeling(
+            g, kind, result.tau,
+            Context("AND", space, graph_index, threads, order, notify));
+      }
+    }
+  }
+}
+
+TEST(ConvergenceProperty, CoreAllConfigsReachPeelingKappa) {
+  const auto graphs = testlib::RandomGraphBatch(6, /*base_seed=*/101);
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const Graph& g = graphs[i];
+    const auto peel = PeelCore(g);
+    CheckAllConfigs(
+        g, DecompositionKind::kCore, "core", static_cast<int>(i), peel.order,
+        [&](const LocalOptions& opt) { return SndCore(g, opt); },
+        [&](const AndOptions& opt) { return AndCore(g, opt); });
+  }
+}
+
+TEST(ConvergenceProperty, TrussAllConfigsReachPeelingKappa) {
+  const auto graphs = testlib::RandomGraphBatch(4, /*base_seed=*/202);
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const Graph& g = graphs[i];
+    const EdgeIndex edges(g);
+    const auto peel = PeelTruss(g, edges);
+    CheckAllConfigs(
+        g, DecompositionKind::kTruss, "truss", static_cast<int>(i),
+        peel.order,
+        [&](const LocalOptions& opt) { return SndTruss(g, edges, opt); },
+        [&](const AndOptions& opt) { return AndTruss(g, edges, opt); });
+  }
+}
+
+TEST(ConvergenceProperty, Nucleus34AllConfigsReachPeelingKappa) {
+  const auto graphs = testlib::RandomGraphBatch(4, /*base_seed=*/303);
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const Graph& g = graphs[i];
+    const TriangleIndex tris(g);
+    if (tris.NumTriangles() == 0) continue;
+    const auto peel = PeelNucleus34(g, tris);
+    CheckAllConfigs(
+        g, DecompositionKind::kNucleus34, "n34", static_cast<int>(i),
+        peel.order,
+        [&](const LocalOptions& opt) { return SndNucleus34(g, tris, opt); },
+        [&](const AndOptions& opt) { return AndNucleus34(g, tris, opt); });
+  }
+}
+
+// The paper's Figure 2 example as a smoke instance: small enough to reason
+// about by hand, still exercises every configuration.
+TEST(ConvergenceProperty, PaperFigure2AllConfigs) {
+  const Graph g = testlib::PaperFigure2Graph();
+  const auto peel = PeelCore(g);
+  CheckAllConfigs(
+      g, DecompositionKind::kCore, "core", /*graph_index=*/-1, peel.order,
+      [&](const LocalOptions& opt) { return SndCore(g, opt); },
+      [&](const AndOptions& opt) { return AndCore(g, opt); });
+}
+
+}  // namespace
+}  // namespace nucleus

@@ -6,14 +6,12 @@
 #include "src/graph/generators.h"
 #include "src/local/snd.h"
 #include "src/peel/generic_peel.h"
+#include "tests/testlib/fixtures.h"
 
 namespace nucleus {
 namespace {
 
-Graph PaperFigure2Graph() {
-  return BuildGraphFromEdges(6, {{0, 1}, {0, 4}, {1, 2}, {1, 3}, {2, 3},
-                                 {4, 5}});
-}
+using testlib::PaperFigure2Graph;
 
 TEST(DegreeLevels, PaperFigure2Levels) {
   // Degrees (2,3,2,2,2,1): L0={f}, removing f leaves e with degree 1 ->

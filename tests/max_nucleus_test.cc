@@ -6,6 +6,7 @@
 #include "src/graph/generators.h"
 #include "src/peel/generic_peel.h"
 #include "src/peel/hierarchy.h"
+#include "tests/testlib/fixtures.h"
 
 namespace nucleus {
 namespace {
@@ -98,9 +99,7 @@ TEST(MaxNucleus34, PaperFigure3Separation) {
   // Figure 3 of the paper: two 1-(3,4) nuclei sharing an edge {c,d} but no
   // common 4-clique must be reported separately. Construct: K4 {a,b,c,d}
   // and K4 {c,d,e,f} sharing edge (c,d) = (2,3).
-  const Graph g = BuildGraphFromEdges(
-      6, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3},
-          {2, 4}, {2, 5}, {3, 4}, {3, 5}, {4, 5}});
+  const Graph g = testlib::PaperFigure3TwoK4Graph();
   const TriangleIndex tris(g);
   const auto kappa = PeelNucleus34(g, tris).kappa;
   const TriangleId t_abc = tris.TriangleIdOf(0, 1, 2);

@@ -7,6 +7,7 @@
 #include "src/peel/kcore.h"
 #include "src/peel/ktruss.h"
 #include "src/peel/nucleus34.h"
+#include "tests/testlib/fixtures.h"
 
 namespace nucleus {
 namespace {
@@ -45,13 +46,7 @@ std::vector<Degree> NaiveKappa(const Space& space) {
   return kappa;
 }
 
-// The running example of the paper's Figure 2: vertices a..f =
-// 0..5 with edges a-b, a-e, b-c, b-d, c-d, e-f. Core numbers:
-// a=e=f=1, b=c=d=2.
-Graph PaperFigure2Graph() {
-  return BuildGraphFromEdges(6, {{0, 1}, {0, 4}, {1, 2}, {1, 3}, {2, 3},
-                                 {4, 5}});
-}
+using testlib::PaperFigure2Graph;
 
 TEST(PeelCore, PaperFigure2CoreNumbers) {
   const Graph g = PaperFigure2Graph();

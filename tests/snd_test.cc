@@ -6,14 +6,12 @@
 #include "src/graph/generators.h"
 #include "src/local/degree_levels.h"
 #include "src/peel/generic_peel.h"
+#include "tests/testlib/fixtures.h"
 
 namespace nucleus {
 namespace {
 
-Graph PaperFigure2Graph() {
-  return BuildGraphFromEdges(6, {{0, 1}, {0, 4}, {1, 2}, {1, 3}, {2, 3},
-                                 {4, 5}});
-}
+using testlib::PaperFigure2Graph;
 
 TEST(SndCore, PaperFigure2WalkThrough) {
   // The paper's SND walk-through: tau_0 = degrees (2,3,2,2,2,1),

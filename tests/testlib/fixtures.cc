@@ -1,0 +1,50 @@
+#include "tests/testlib/fixtures.h"
+
+#include "src/graph/builder.h"
+#include "src/graph/generators.h"
+
+namespace nucleus {
+namespace testlib {
+
+Graph PaperFigure2Graph() {
+  return BuildGraphFromEdges(
+      6, {{0, 1}, {0, 4}, {1, 2}, {1, 3}, {2, 3}, {4, 5}});
+}
+
+Graph PaperFigure3TwoK4Graph() {
+  return BuildGraphFromEdges(
+      6, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3},
+          {2, 4}, {2, 5}, {3, 4}, {3, 5}, {4, 5}});
+}
+
+Graph TwoCliquesBridgedGraph(std::size_t a, std::size_t b) {
+  GraphBuilder builder(/*relabel=*/false);
+  for (std::size_t u = 0; u < a; ++u) {
+    for (std::size_t v = u + 1; v < a; ++v) builder.AddEdge(u, v);
+  }
+  for (std::size_t u = 0; u < b; ++u) {
+    for (std::size_t v = u + 1; v < b; ++v) builder.AddEdge(a + u, a + v);
+  }
+  builder.AddEdge(0, a);  // the bridge
+  return builder.Build();
+}
+
+Graph RandomGraph(std::size_t n, std::size_t m, std::uint64_t seed) {
+  return GenerateErdosRenyi(n, m, seed);
+}
+
+std::vector<Graph> RandomGraphBatch(int count, std::uint64_t base_seed) {
+  std::vector<Graph> graphs;
+  graphs.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    // Cycle through sparse, medium, and dense shapes so each batch probes
+    // graphs with few triangles as well as ones with many K4s.
+    const std::size_t n = 16 + 8 * (i % 3);
+    const std::size_t m = n * (2 + i % 4);
+    graphs.push_back(RandomGraph(n, m, base_seed + i));
+  }
+  return graphs;
+}
+
+}  // namespace testlib
+}  // namespace nucleus

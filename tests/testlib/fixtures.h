@@ -1,0 +1,41 @@
+// Shared graph fixtures for the test suites: the paper's running examples,
+// small deterministic clique constructions, and seeded random graphs. Using
+// these instead of per-suite copies keeps every suite's notion of "the
+// Figure 2 graph" literally identical.
+#ifndef NUCLEUS_TESTS_TESTLIB_FIXTURES_H_
+#define NUCLEUS_TESTS_TESTLIB_FIXTURES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace nucleus {
+namespace testlib {
+
+/// The running example of the paper's Figure 2: vertices a..f = 0..5 with
+/// edges a-b, a-e, b-c, b-d, c-d, e-f. Core numbers: a=e=f=1, b=c=d=2.
+Graph PaperFigure2Graph();
+
+/// Figure 3 of the paper: two K4s {a,b,c,d} and {c,d,e,f} sharing edge
+/// (c,d). Every triangle has kappa_4 = 1, but the two 1-(3,4) nuclei are
+/// distinct because the K4s share only an edge, not a 4-clique.
+Graph PaperFigure3TwoK4Graph();
+
+/// K_a and K_b joined by a single bridge edge; nested dense regions with a
+/// known hierarchy (the K_max core dominates).
+Graph TwoCliquesBridgedGraph(std::size_t a, std::size_t b);
+
+/// Seeded Erdos-Renyi G(n, m) — thin wrapper over GenerateErdosRenyi so
+/// property tests share one spelling of "a random graph".
+Graph RandomGraph(std::size_t n, std::size_t m, std::uint64_t seed);
+
+/// A batch of seeded random graphs of assorted density, for property tests
+/// that loop over instances. Sizes stay small enough that the O(n^2)-ish
+/// reference peelers remain fast.
+std::vector<Graph> RandomGraphBatch(int count, std::uint64_t base_seed);
+
+}  // namespace testlib
+}  // namespace nucleus
+
+#endif  // NUCLEUS_TESTS_TESTLIB_FIXTURES_H_

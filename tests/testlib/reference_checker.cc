@@ -1,0 +1,90 @@
+#include "tests/testlib/reference_checker.h"
+
+#include <gtest/gtest.h>
+
+#include "src/clique/edge_index.h"
+#include "src/clique/triangles.h"
+#include "src/peel/kcore.h"
+#include "src/peel/ktruss.h"
+#include "src/peel/nucleus34.h"
+
+namespace nucleus {
+namespace testlib {
+namespace {
+
+// Cap on per-failure detail so a wholly-wrong vector doesn't flood logs.
+constexpr int kMaxReportedMismatches = 5;
+
+}  // namespace
+
+std::vector<Degree> PeelingKappa(const Graph& g, DecompositionKind kind) {
+  switch (kind) {
+    case DecompositionKind::kCore:
+      return CoreNumbers(g);
+    case DecompositionKind::kTruss: {
+      const EdgeIndex edges(g);
+      return TrussNumbers(g, edges);
+    }
+    case DecompositionKind::kNucleus34: {
+      const TriangleIndex tris(g);
+      return Nucleus34Numbers(g, tris);
+    }
+  }
+  ADD_FAILURE() << "unknown DecompositionKind";
+  return {};
+}
+
+void ExpectMatchesPeeling(const Graph& g, DecompositionKind kind,
+                          const std::vector<Degree>& tau,
+                          const std::string& context) {
+  const std::vector<Degree> kappa = PeelingKappa(g, kind);
+  ASSERT_EQ(tau.size(), kappa.size()) << context;
+  int reported = 0;
+  for (std::size_t r = 0; r < kappa.size(); ++r) {
+    if (tau[r] == kappa[r]) continue;
+    if (++reported > kMaxReportedMismatches) {
+      ADD_FAILURE() << context << ": ... further mismatches suppressed";
+      return;
+    }
+    ADD_FAILURE() << context << ": r-clique " << r << " has tau " << tau[r]
+                  << " but peeling kappa " << kappa[r];
+  }
+}
+
+void ExpectUpperBoundsPeeling(const Graph& g, DecompositionKind kind,
+                              const std::vector<Degree>& tau,
+                              const std::string& context) {
+  const std::vector<Degree> kappa = PeelingKappa(g, kind);
+  ASSERT_EQ(tau.size(), kappa.size()) << context;
+  int reported = 0;
+  for (std::size_t r = 0; r < kappa.size(); ++r) {
+    if (tau[r] >= kappa[r]) continue;
+    if (++reported > kMaxReportedMismatches) {
+      ADD_FAILURE() << context << ": ... further violations suppressed";
+      return;
+    }
+    ADD_FAILURE() << context << ": r-clique " << r << " has tau " << tau[r]
+                  << " below exact kappa " << kappa[r]
+                  << " (violates Theorem 1)";
+  }
+}
+
+void ExpectMonotoneNonIncreasing(const std::vector<Degree>& before,
+                                 const std::vector<Degree>& after,
+                                 const std::string& context) {
+  ASSERT_EQ(before.size(), after.size()) << context;
+  int reported = 0;
+  for (std::size_t r = 0; r < before.size(); ++r) {
+    if (after[r] <= before[r]) continue;
+    if (++reported > kMaxReportedMismatches) {
+      ADD_FAILURE() << context << ": ... further violations suppressed";
+      return;
+    }
+    ADD_FAILURE() << context << ": r-clique " << r << " rose from "
+                  << before[r] << " to " << after[r]
+                  << " (tau must be non-increasing)";
+  }
+}
+
+}  // namespace testlib
+}  // namespace nucleus

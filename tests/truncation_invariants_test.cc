@@ -1,0 +1,187 @@
+// Satellite suite for truncated (approximate) runs: with max_iterations = k
+// the local algorithms stop early, and Theorems 1-3 still guarantee
+//   (a) tau >= kappa elementwise (tau never undershoots the exact answer),
+//   (b) tau is monotone non-increasing across sweeps,
+//   (c) tau_0 is exactly the initial S-degrees.
+// These invariants are what make truncation a usable approximation mode:
+// any prefix of the iteration is a certified upper bound.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/clique/edge_index.h"
+#include "src/clique/spaces.h"
+#include "src/clique/triangles.h"
+#include "src/local/and.h"
+#include "src/local/snd.h"
+#include "src/local/trace.h"
+#include "tests/testlib/fixtures.h"
+#include "tests/testlib/reference_checker.h"
+
+namespace nucleus {
+namespace {
+
+using testlib::ExpectMonotoneNonIncreasing;
+using testlib::ExpectUpperBoundsPeeling;
+
+std::string Context(const char* algo, const char* space, int graph_index,
+                    int k) {
+  std::ostringstream os;
+  os << algo << "/" << space << "/graph=" << graph_index << "/max_iter=" << k;
+  return os.str();
+}
+
+// Runs `run` truncated at k = 1..4 sweeps, recording snapshots, and checks
+// the upper-bound and monotonicity invariants on every prefix, plus that
+// the trajectory starts from the initial S-degrees.
+template <typename Run>
+void CheckTruncatedRuns(const Graph& g, DecompositionKind kind,
+                        const char* algo, const char* space, int graph_index,
+                        const std::vector<Degree>& initial_degrees, Run run) {
+  for (int k = 1; k <= 4; ++k) {
+    ConvergenceTrace trace;
+    trace.record_snapshots = true;
+    const LocalResult result = run(k, &trace);
+    const std::string ctx = Context(algo, space, graph_index, k);
+
+    // Truncation must be honored: no more than k sweeps ran.
+    EXPECT_LE(result.iterations, k) << ctx;
+
+    // Final tau is an elementwise upper bound on the exact kappa.
+    ExpectUpperBoundsPeeling(g, kind, result.tau, ctx);
+
+    // Every intermediate snapshot is also an upper bound, and the
+    // trajectory only ever moves down, starting from tau_0 = S-degrees.
+    ASSERT_FALSE(trace.snapshots.empty()) << ctx;
+    EXPECT_EQ(trace.snapshots.front(), initial_degrees) << ctx;
+    for (std::size_t t = 0; t < trace.snapshots.size(); ++t) {
+      std::ostringstream snap_ctx;
+      snap_ctx << ctx << "/snapshot=" << t;
+      ExpectUpperBoundsPeeling(g, kind, trace.snapshots[t], snap_ctx.str());
+      if (t > 0) {
+        ExpectMonotoneNonIncreasing(trace.snapshots[t - 1],
+                                    trace.snapshots[t], snap_ctx.str());
+      }
+    }
+  }
+}
+
+TEST(TruncationInvariants, SndCore) {
+  const auto graphs = testlib::RandomGraphBatch(4, /*base_seed=*/11);
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const Graph& g = graphs[i];
+    CheckTruncatedRuns(g, DecompositionKind::kCore, "SND", "core",
+                       static_cast<int>(i), CoreSpace(g).InitialDegrees(),
+                       [&](int k, ConvergenceTrace* t) {
+                         LocalOptions opt;
+                         opt.max_iterations = k;
+                         opt.trace = t;
+                         return SndCore(g, opt);
+                       });
+  }
+}
+
+TEST(TruncationInvariants, AndCore) {
+  const auto graphs = testlib::RandomGraphBatch(4, /*base_seed=*/22);
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const Graph& g = graphs[i];
+    CheckTruncatedRuns(g, DecompositionKind::kCore, "AND", "core",
+                       static_cast<int>(i), CoreSpace(g).InitialDegrees(),
+                       [&](int k, ConvergenceTrace* t) {
+                         AndOptions opt;
+                         opt.local.max_iterations = k;
+                         opt.local.trace = t;
+                         return AndCore(g, opt);
+                       });
+  }
+}
+
+TEST(TruncationInvariants, SndTruss) {
+  const auto graphs = testlib::RandomGraphBatch(3, /*base_seed=*/33);
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const Graph& g = graphs[i];
+    const EdgeIndex edges(g);
+    CheckTruncatedRuns(g, DecompositionKind::kTruss, "SND", "truss",
+                       static_cast<int>(i),
+                       TrussSpace(g, edges).InitialDegrees(),
+                       [&](int k, ConvergenceTrace* t) {
+                         LocalOptions opt;
+                         opt.max_iterations = k;
+                         opt.trace = t;
+                         return SndTruss(g, edges, opt);
+                       });
+  }
+}
+
+TEST(TruncationInvariants, AndTruss) {
+  const auto graphs = testlib::RandomGraphBatch(3, /*base_seed=*/44);
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const Graph& g = graphs[i];
+    const EdgeIndex edges(g);
+    CheckTruncatedRuns(g, DecompositionKind::kTruss, "AND", "truss",
+                       static_cast<int>(i),
+                       TrussSpace(g, edges).InitialDegrees(),
+                       [&](int k, ConvergenceTrace* t) {
+                         AndOptions opt;
+                         opt.local.max_iterations = k;
+                         opt.local.trace = t;
+                         return AndTruss(g, edges, opt);
+                       });
+  }
+}
+
+TEST(TruncationInvariants, SndNucleus34) {
+  const auto graphs = testlib::RandomGraphBatch(3, /*base_seed=*/55);
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const Graph& g = graphs[i];
+    const TriangleIndex tris(g);
+    if (tris.NumTriangles() == 0) continue;
+    CheckTruncatedRuns(g, DecompositionKind::kNucleus34, "SND", "n34",
+                       static_cast<int>(i),
+                       Nucleus34Space(g, tris).InitialDegrees(),
+                       [&](int k, ConvergenceTrace* t) {
+                         LocalOptions opt;
+                         opt.max_iterations = k;
+                         opt.trace = t;
+                         return SndNucleus34(g, tris, opt);
+                       });
+  }
+}
+
+TEST(TruncationInvariants, AndNucleus34) {
+  const auto graphs = testlib::RandomGraphBatch(3, /*base_seed=*/66);
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const Graph& g = graphs[i];
+    const TriangleIndex tris(g);
+    if (tris.NumTriangles() == 0) continue;
+    CheckTruncatedRuns(g, DecompositionKind::kNucleus34, "AND", "n34",
+                       static_cast<int>(i),
+                       Nucleus34Space(g, tris).InitialDegrees(),
+                       [&](int k, ConvergenceTrace* t) {
+                         AndOptions opt;
+                         opt.local.max_iterations = k;
+                         opt.local.trace = t;
+                         return AndNucleus34(g, tris, opt);
+                       });
+  }
+}
+
+// A converged run followed by a fresh truncated run at the recorded
+// iteration count must produce the same tau — truncation at the
+// convergence point is exact.
+TEST(TruncationInvariants, TruncationAtConvergenceIsExact) {
+  const Graph g = testlib::TwoCliquesBridgedGraph(6, 4);
+  LocalOptions full;
+  const LocalResult converged = SndCore(g, full);
+  ASSERT_TRUE(converged.converged);
+
+  LocalOptions truncated;
+  truncated.max_iterations = converged.iterations + 1;
+  const LocalResult rerun = SndCore(g, truncated);
+  EXPECT_EQ(rerun.tau, converged.tau);
+}
+
+}  // namespace
+}  // namespace nucleus
