@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <sstream>
 
 #include "src/graph/generators.h"
@@ -60,6 +61,34 @@ std::string Fmt(double x, int precision) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", precision, x);
   return buf;
+}
+
+bool WriteBenchJson(const std::string& path, const std::string& bench,
+                    bool fast, const std::vector<BenchRecord>& records) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << "{\n  \"bench\": \"" << bench << "\",\n  \"fast\": "
+      << (fast ? "true" : "false") << ",\n  \"records\": [";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"graph\": \"" << r.graph << "\", \"vertices\": "
+        << r.vertices << ", \"edges\": " << r.edges << ", \"space\": \""
+        << r.space << "\", \"method\": \"" << r.method
+        << "\", \"threads\": " << r.threads << ", \"materialized\": "
+        << (r.materialized ? "true" : "false") << ", \"wall_ms\": "
+        << Fmt(r.wall_ms, 3) << ", \"iterations\": " << r.iterations
+        << ", \"speedup_vs_onthefly\": "
+        << (r.speedup_vs_onthefly > 0 ? Fmt(r.speedup_vs_onthefly, 2)
+                                      : std::string("null"))
+        << ", \"check\": \"" << (r.check_ok ? "ok" : "MISMATCH")
+        << "\"}";
+  }
+  out << "\n  ]\n}\n";
+  return static_cast<bool>(out);
 }
 
 void Header(const std::string& title, const std::string& subtitle) {

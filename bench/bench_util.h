@@ -38,6 +38,30 @@ std::string Fmt(double x, int precision = 3);
 /// Prints a horizontal rule and a title.
 void Header(const std::string& title, const std::string& subtitle = "");
 
+/// One measurement row of a machine-readable bench run (the BENCH_*.json
+/// perf trajectory that future perf PRs are compared against).
+struct BenchRecord {
+  std::string graph;
+  std::size_t vertices = 0;
+  std::size_t edges = 0;
+  std::string space;    // "core" | "truss" | "nucleus34"
+  std::string method;   // "peel" | "snd" | "and"
+  int threads = 1;
+  bool materialized = false;
+  double wall_ms = 0.0;
+  int iterations = 0;
+  /// Ratio of the matching on-the-fly wall time to this run's wall time;
+  /// <= 0 means not applicable (emitted as null).
+  double speedup_vs_onthefly = 0.0;
+  bool check_ok = true;
+};
+
+/// Writes records as pretty-printed JSON ({"bench":…, "fast":…,
+/// "records":[…]}) to path. Returns false (and prints to stderr) on I/O
+/// failure.
+bool WriteBenchJson(const std::string& path, const std::string& bench,
+                    bool fast, const std::vector<BenchRecord>& records);
+
 }  // namespace nucleus::bench
 
 #endif  // NUCLEUS_BENCH_BENCH_UTIL_H_

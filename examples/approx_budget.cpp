@@ -45,6 +45,9 @@ int main() {
   for (int budget : {1, 2, 3, 5, 8, 0}) {
     LocalOptions opt;
     opt.max_iterations = budget;
+    // Truncated runs sweep only a few times, so the CSR materialization
+    // pass wouldn't amortize; keep the space on the fly.
+    opt.materialize = Materialize::kOff;
     t.Restart();
     const LocalResult r = SndTruss(g, edges, opt);
     const double secs = t.Seconds();

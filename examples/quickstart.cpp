@@ -38,6 +38,11 @@ int main(int argc, char** argv) {
   for (const auto& k : kinds) {
     DecomposeOptions opt;
     opt.method = Method::kAnd;  // local, asynchronous, notification on
+    // Materialize::kAuto (the default) builds a flat CSR arena of all
+    // s-clique co-member lists when it fits the memory budget, so the
+    // AND sweeps scan instead of re-intersecting; kOff forces the paper's
+    // pure on-the-fly enumeration.
+    opt.materialize = Materialize::kAuto;
     const DecomposeResult r = Decompose(g, k.kind, opt);
     Degree max_k = 0;
     double mean = 0;

@@ -1,0 +1,208 @@
+#include "src/clique/csr_space.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+
+#include "src/clique/four_cliques.h"
+#include "src/clique/triangles.h"
+
+namespace nucleus {
+
+namespace {
+
+// Computes arena offsets from per-r-clique s-clique counts and sizes the
+// co-member array. Returns a scatter-cursor array initialized to the
+// offsets.
+std::vector<std::uint64_t> PrepareArena(const std::vector<Degree>& counts,
+                                        int arity,
+                                        internal::CsrArena* arena) {
+  const std::size_t n = counts.size();
+  arena->offsets.assign(n + 1, 0);
+  for (std::size_t r = 0; r < n; ++r) {
+    arena->offsets[r + 1] =
+        arena->offsets[r] + static_cast<std::uint64_t>(counts[r]) * arity;
+  }
+  arena->co_members.resize(arena->offsets[n]);
+  return std::vector<std::uint64_t>(arena->offsets.begin(),
+                                    arena->offsets.end() - 1);
+}
+
+}  // namespace
+
+int CoMemberArity(const GenericRsSpace& space) {
+  // C(s, r) - 1 co-members per s-clique.
+  const int r = space.enumerator().r();
+  const int s = space.enumerator().s();
+  std::uint64_t c = 1;
+  for (int i = 1; i <= r; ++i) {
+    c = c * static_cast<std::uint64_t>(s - r + i) / i;
+  }
+  return static_cast<int>(c) - 1;
+}
+
+bool BuildCsrArena(const CoreSpace& space, int threads,
+                   std::uint64_t budget_bytes, int arity,
+                   internal::CsrArena* arena) {
+  return internal::GenericBuildCsrArena(space, threads, budget_bytes, arity,
+                                        arena);
+}
+
+bool BuildCsrArena(const GenericRsSpace& space, int threads,
+                   std::uint64_t budget_bytes, int arity,
+                   internal::CsrArena* arena) {
+  return internal::GenericBuildCsrArena(space, threads, budget_bytes, arity,
+                                        arena);
+}
+
+// (2,3): one blocked oriented triangle enumeration records each triangle's
+// three edge ids (3 binary searches per triangle, total — the on-the-fly
+// space pays 2 per triangle *per edge per sweep* on top of the adjacency
+// intersections). Counting and scattering then run over the compact triple
+// buffers.
+bool BuildCsrArena(const TrussSpace& space, int threads,
+                   std::uint64_t budget_bytes, int arity,
+                   internal::CsrArena* arena) {
+  const Graph& g = space.graph();
+  const EdgeIndex& edges = space.edges();
+  const std::size_t m = edges.NumEdges();
+  const int t = threads <= 1 ? 1 : threads;
+
+  // Budgeted builds must decide BEFORE any O(#triangles) allocation (the
+  // triple buffer below is ~half the arena). The O(m) wedge bound
+  // (#triangles <= sum_e min(deg u, deg v) / 3) settles the common
+  // comfortably-fits case for free; only graphs near the budget pay an
+  // exact count-only pre-pass. Rejection still fulfills the degrees
+  // contract via the standard per-edge intersections.
+  if (budget_bytes != std::numeric_limits<std::uint64_t>::max()) {
+    std::uint64_t wedge_bound = 0;
+    for (std::size_t e = 0; e < m; ++e) {
+      const auto [u, v] = edges.Endpoints(static_cast<EdgeId>(e));
+      wedge_bound += std::min(g.GetDegree(u), g.GetDegree(v));
+    }
+    if (internal::CsrArenaBytes(m, wedge_bound, arity) > budget_bytes) {
+      const Count total = CountTriangles(g, t);
+      if (internal::CsrArenaBytes(m, 3 * total, arity) > budget_bytes) {
+        arena->degrees = space.InitialDegrees(t);
+        return false;
+      }
+    }
+  }
+
+  std::vector<std::vector<std::array<EdgeId, 3>>> parts(t);
+  ForEachTriangleBlocks(g, t,
+                        [&](int block, VertexId u, VertexId v, VertexId w) {
+                          parts[block].push_back({edges.EdgeIdOf(u, v),
+                                                  edges.EdgeIdOf(u, w),
+                                                  edges.EdgeIdOf(v, w)});
+                        });
+
+  arena->degrees.assign(m, 0);
+  // One block per worker: static schedule, not the chunked dynamic default
+  // (whose 256-wide grabs would hand all t blocks to one thread).
+  ParallelFor(
+      static_cast<std::size_t>(t), t,
+      [&](std::size_t b) {
+        for (const auto& tri : parts[b]) {
+          for (EdgeId e : tri) {
+            std::atomic_ref<Degree>(arena->degrees[e])
+                .fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      },
+      Schedule::kStatic);
+
+  std::vector<std::uint64_t> cursor =
+      PrepareArena(arena->degrees, arity, arena);
+  ParallelFor(
+      static_cast<std::size_t>(t), t,
+      [&](std::size_t b) {
+        for (const auto& tri : parts[b]) {
+          for (int i = 0; i < 3; ++i) {
+            const std::uint64_t pos =
+                std::atomic_ref<std::uint64_t>(cursor[tri[i]])
+                    .fetch_add(2, std::memory_order_relaxed);
+            arena->co_members[pos] = tri[(i + 1) % 3];
+            arena->co_members[pos + 1] = tri[(i + 2) % 3];
+          }
+        }
+      },
+      Schedule::kStatic);
+  return true;
+}
+
+// (3,4): one blocked oriented 4-clique enumeration records each K4's four
+// triangle ids (4 binary searches per K4, total — the on-the-fly space pays
+// 3 per K4 *per triangle per sweep* on top of the 3-way intersections).
+bool BuildCsrArena(const Nucleus34Space& space, int threads,
+                   std::uint64_t budget_bytes, int arity,
+                   internal::CsrArena* arena) {
+  const Graph& g = space.graph();
+  const TriangleIndex& tris = space.triangles();
+  const std::size_t nt = tris.NumTriangles();
+  const int t = threads <= 1 ? 1 : threads;
+
+  // Budget decision before any O(#K4) allocation, as in the truss builder.
+  // 4 * #K4 <= sum over triangles of min(deg of its vertices), an O(#tri)
+  // bound that settles the comfortably-fits case without enumerating;
+  // borderline graphs pay an exact count-only pre-pass.
+  if (budget_bytes != std::numeric_limits<std::uint64_t>::max()) {
+    std::uint64_t slot_bound = 0;
+    for (std::size_t ti = 0; ti < nt; ++ti) {
+      const auto& v = tris.Vertices(static_cast<TriangleId>(ti));
+      slot_bound += std::min(
+          {g.GetDegree(v[0]), g.GetDegree(v[1]), g.GetDegree(v[2])});
+    }
+    if (internal::CsrArenaBytes(nt, slot_bound, arity) > budget_bytes) {
+      const Count total = CountFourCliques(g, t);
+      if (internal::CsrArenaBytes(nt, 4 * total, arity) > budget_bytes) {
+        arena->degrees = space.InitialDegrees(t);
+        return false;
+      }
+    }
+  }
+
+  std::vector<std::vector<std::array<TriangleId, 4>>> parts(t);
+  ForEachFourCliqueBlocks(
+      g, t,
+      [&](int block, VertexId a, VertexId b, VertexId c, VertexId d) {
+        parts[block].push_back({tris.TriangleIdOf(a, b, c),
+                                tris.TriangleIdOf(a, b, d),
+                                tris.TriangleIdOf(a, c, d),
+                                tris.TriangleIdOf(b, c, d)});
+      });
+
+  arena->degrees.assign(nt, 0);
+  ParallelFor(
+      static_cast<std::size_t>(t), t,
+      [&](std::size_t b) {
+        for (const auto& quad : parts[b]) {
+          for (TriangleId tri : quad) {
+            std::atomic_ref<Degree>(arena->degrees[tri])
+                .fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      },
+      Schedule::kStatic);
+
+  std::vector<std::uint64_t> cursor =
+      PrepareArena(arena->degrees, arity, arena);
+  ParallelFor(
+      static_cast<std::size_t>(t), t,
+      [&](std::size_t b) {
+        for (const auto& quad : parts[b]) {
+          for (int i = 0; i < 4; ++i) {
+            const std::uint64_t pos =
+                std::atomic_ref<std::uint64_t>(cursor[quad[i]])
+                    .fetch_add(3, std::memory_order_relaxed);
+            arena->co_members[pos] = quad[(i + 1) & 3];
+            arena->co_members[pos + 1] = quad[(i + 2) & 3];
+            arena->co_members[pos + 2] = quad[(i + 3) & 3];
+          }
+        }
+      },
+      Schedule::kStatic);
+  return true;
+}
+
+}  // namespace nucleus

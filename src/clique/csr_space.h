@@ -1,0 +1,262 @@
+// Materialized clique-space adapter. The on-the-fly spaces (spaces.h,
+// generic_space.h) re-derive s-clique membership from adjacency
+// intersections on every sweep of every SND/AND iteration — the paper's
+// Section 5 design. CsrSpace<Space> trades memory for that compute: one
+// parallel build pass enumerates every s-clique once and stores all
+// co-member lists in a flat CSR arena (offsets[] + co_members[], fixed
+// arity = C(s,r)-1 ids per s-clique), so each subsequent sweep is a
+// contiguous, branch-light scan. The adapter models the same
+// NumRCliques/InitialDegrees/ForEachSClique concept, so every generic
+// engine (peeling, SND, AND, degree levels, hierarchy) consumes it
+// unchanged. The local engines materialize automatically behind
+// LocalOptions::materialize (auto/on/off with a memory budget).
+#ifndef NUCLEUS_CLIQUE_CSR_SPACE_H_
+#define NUCLEUS_CLIQUE_CSR_SPACE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "src/clique/generic_space.h"
+#include "src/clique/spaces.h"
+#include "src/common/parallel.h"
+#include "src/common/types.h"
+
+namespace nucleus {
+
+/// Materialization policy for the local engines (LocalOptions::materialize).
+enum class Materialize {
+  kAuto,  // materialize when the arena fits the memory budget (default)
+  kOn,    // always materialize, ignoring the budget
+  kOff,   // always enumerate on the fly (the paper's Section 5 behavior)
+};
+
+/// Co-member arity of a space: every s-clique of an r-clique is reported as
+/// C(s,r) - 1 co-member ids.
+inline int CoMemberArity(const CoreSpace&) { return 1; }
+inline int CoMemberArity(const TrussSpace&) { return 2; }
+inline int CoMemberArity(const Nucleus34Space&) { return 3; }
+int CoMemberArity(const GenericRsSpace& space);
+
+namespace internal {
+
+/// The flat storage built by the space-specific builders: degrees (d_s per
+/// r-clique, a build by-product), offsets in co-member units, and the
+/// co-member arena (arity consecutive ids per s-clique).
+struct CsrArena {
+  std::vector<Degree> degrees;
+  std::vector<std::uint64_t> offsets;
+  std::vector<CliqueId> co_members;
+};
+
+/// Estimated resident bytes of the arena for n r-cliques whose s-clique
+/// count sums to total_s.
+inline std::uint64_t CsrArenaBytes(std::size_t n, std::uint64_t total_s,
+                                   int arity) {
+  return total_s * static_cast<std::uint64_t>(arity) * sizeof(CliqueId) +
+         (n + 1) * sizeof(std::uint64_t);
+}
+
+/// Generic two-pass builder over any space: counts via InitialDegrees, then
+/// re-enumerates per r-clique into the arena. Returns false (leaving the
+/// counted degrees in arena->degrees) when the arena would exceed
+/// budget_bytes. The canonical spaces have cheaper specialized overloads in
+/// csr_space.cc that enumerate each s-clique globally once instead of once
+/// per member.
+template <typename Space>
+bool GenericBuildCsrArena(const Space& space, int threads,
+                          std::uint64_t budget_bytes, int arity,
+                          CsrArena* arena) {
+  const std::size_t n = space.NumRCliques();
+  arena->degrees = space.InitialDegrees(threads);
+  std::uint64_t total_s = 0;
+  for (Degree d : arena->degrees) total_s += d;
+  if (CsrArenaBytes(n, total_s, arity) > budget_bytes) return false;
+  arena->offsets.assign(n + 1, 0);
+  for (std::size_t r = 0; r < n; ++r) {
+    arena->offsets[r + 1] =
+        arena->offsets[r] +
+        static_cast<std::uint64_t>(arena->degrees[r]) * arity;
+  }
+  arena->co_members.resize(arena->offsets[n]);
+  ParallelFor(n, threads, [&](std::size_t r) {
+    std::uint64_t pos = arena->offsets[r];
+    space.ForEachSClique(static_cast<CliqueId>(r),
+                         [&](std::span<const CliqueId> co) {
+                           assert(static_cast<int>(co.size()) == arity);
+                           for (CliqueId c : co) arena->co_members[pos++] = c;
+                         });
+  });
+  return true;
+}
+
+}  // namespace internal
+
+// Specialized arena builders (csr_space.cc). The truss and (3,4) builders
+// enumerate triangles / 4-cliques globally once (oriented enumeration) and
+// scatter, instead of intersecting adjacency lists per r-clique, which also
+// yields the initial degrees for free.
+bool BuildCsrArena(const CoreSpace& space, int threads,
+                   std::uint64_t budget_bytes, int arity,
+                   internal::CsrArena* arena);
+bool BuildCsrArena(const TrussSpace& space, int threads,
+                   std::uint64_t budget_bytes, int arity,
+                   internal::CsrArena* arena);
+bool BuildCsrArena(const Nucleus34Space& space, int threads,
+                   std::uint64_t budget_bytes, int arity,
+                   internal::CsrArena* arena);
+bool BuildCsrArena(const GenericRsSpace& space, int threads,
+                   std::uint64_t budget_bytes, int arity,
+                   internal::CsrArena* arena);
+
+/// Fallback for user-defined spaces modeling the clique-space concept.
+template <typename Space>
+bool BuildCsrArena(const Space& space, int threads,
+                   std::uint64_t budget_bytes, int arity,
+                   internal::CsrArena* arena) {
+  return internal::GenericBuildCsrArena(space, threads, budget_bytes, arity,
+                                        arena);
+}
+
+/// Arity for unknown spaces: probe the first non-empty r-clique. Spaces
+/// with a known (r,s) should provide a CoMemberArity overload instead.
+template <typename Space>
+int CoMemberArity(const Space& space) {
+  int arity = 1;
+  for (std::size_t r = 0; r < space.NumRCliques(); ++r) {
+    bool found = false;
+    space.ForEachSClique(static_cast<CliqueId>(r),
+                         [&](std::span<const CliqueId> co) {
+                           arity = static_cast<int>(co.size());
+                           found = true;
+                         });
+    if (found) return arity;
+  }
+  return arity;
+}
+
+template <typename Space>
+class CsrSpace {
+ public:
+  /// Builds the arena unconditionally (no memory budget).
+  explicit CsrSpace(const Space& base, int threads = 1) : base_(&base) {
+    arity_ = CoMemberArity(base);
+    internal::CsrArena arena;
+    const bool ok =
+        BuildCsrArena(base, threads,
+                      std::numeric_limits<std::uint64_t>::max(), arity_,
+                      &arena);
+    assert(ok);
+    (void)ok;
+    Adopt(std::move(arena));
+  }
+
+  /// Budget-checked build. Returns std::nullopt when the arena would exceed
+  /// budget_bytes; the s-clique counts computed during the attempt (== the
+  /// space's InitialDegrees) are left in *degrees_out so the caller can
+  /// reuse them instead of re-counting.
+  static std::optional<CsrSpace> TryBuild(const Space& base, int threads,
+                                          std::uint64_t budget_bytes,
+                                          std::vector<Degree>* degrees_out) {
+    CsrSpace space(&base, CoMemberArity(base));
+    internal::CsrArena arena;
+    if (!BuildCsrArena(base, threads, budget_bytes, space.arity_, &arena)) {
+      if (degrees_out != nullptr) *degrees_out = std::move(arena.degrees);
+      return std::nullopt;
+    }
+    space.Adopt(std::move(arena));
+    return space;
+  }
+
+  std::size_t NumRCliques() const { return degrees_.size(); }
+
+  /// d_s per r-clique — cached from the build, so this is free.
+  std::vector<Degree> InitialDegrees(int /*threads*/ = 1) const {
+    return degrees_;
+  }
+
+  /// Contiguous scan over the materialized co-member arena: one span of
+  /// arity() ids per s-clique, no intersections, no id lookups.
+  template <typename Fn>
+  void ForEachSClique(CliqueId r, Fn&& fn) const {
+    const CliqueId* base = co_members_.data();
+    const std::uint64_t end = offsets_[r + 1];
+    for (std::uint64_t p = offsets_[r]; p < end;
+         p += static_cast<std::uint64_t>(arity_)) {
+      fn(std::span<const CliqueId>(base + p, static_cast<std::size_t>(arity_)));
+    }
+  }
+
+  /// Ids per s-clique (C(s,r) - 1).
+  int arity() const { return arity_; }
+
+  /// Resident bytes of the materialized arena.
+  std::uint64_t MemoryBytes() const {
+    return internal::CsrArenaBytes(degrees_.size(),
+                                   co_members_.size() /
+                                       static_cast<std::uint64_t>(arity_),
+                                   arity_);
+  }
+
+  /// The wrapped on-the-fly space.
+  const Space& base() const { return *base_; }
+
+ private:
+  CsrSpace(const Space* base, int arity) : base_(base), arity_(arity) {}
+
+  void Adopt(internal::CsrArena arena) {
+    degrees_ = std::move(arena.degrees);
+    offsets_ = std::move(arena.offsets);
+    co_members_ = std::move(arena.co_members);
+  }
+
+  const Space* base_;
+  int arity_ = 1;
+  std::vector<Degree> degrees_;
+  std::vector<std::uint64_t> offsets_;
+  std::vector<CliqueId> co_members_;
+};
+
+namespace internal {
+
+/// Trait: is this space already a materialized adapter? Stops the engines
+/// from re-wrapping.
+template <typename T>
+struct IsCsrSpace : std::false_type {};
+template <typename S>
+struct IsCsrSpace<CsrSpace<S>> : std::true_type {};
+
+/// Auto-mode default per space. CoreSpace co-members are the adjacency list
+/// itself (already one contiguous scan), so materializing buys nothing;
+/// every other space pays intersections or id lookups per sweep and
+/// defaults to materialized.
+template <typename T>
+struct MaterializeByDefault : std::true_type {};
+template <>
+struct MaterializeByDefault<CoreSpace> : std::false_type {};
+
+/// Resolves the engines' materialization decision for a space type.
+template <typename Space>
+bool WantMaterialize(Materialize mode) {
+  if (mode == Materialize::kOn) return true;
+  if (mode == Materialize::kOff) return false;
+  return MaterializeByDefault<Space>::value;
+}
+
+/// kOn ignores the budget; kAuto honors it.
+inline std::uint64_t EffectiveBudget(Materialize mode,
+                                     std::uint64_t budget_bytes) {
+  return mode == Materialize::kOn
+             ? std::numeric_limits<std::uint64_t>::max()
+             : budget_bytes;
+}
+
+}  // namespace internal
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_CLIQUE_CSR_SPACE_H_

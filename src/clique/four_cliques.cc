@@ -14,30 +14,35 @@ namespace {
 // rank-minimum and w the rank-minimum of the rest: then w, x, y are all in
 // out(v), and x, y are in out(w), and the x-y edge is oriented one way.
 // Enumerating (v, w, common = out(v) cap out(w), then pairs of common joined
-// by an oriented edge) therefore hits each 4-clique exactly once.
+// by an oriented edge) therefore hits each 4-clique exactly once. Blocks
+// partition the vertex range; fn gets rank-ordered (not id-ordered)
+// vertices.
 template <typename Fn>
-void EnumerateFourCliques(const Graph& g, Fn&& fn) {
-  const auto ranks = DegreeOrderRanks(g);
-  const OrientedGraph oriented(g, ranks);
-  const std::size_t n = g.NumVertices();
-  std::vector<VertexId> common;
-  for (VertexId v = 0; v < n; ++v) {
-    const auto out_v = oriented.OutNeighbors(v);
-    for (VertexId w : out_v) {
-      common.clear();
-      ForEachCommon(out_v, oriented.OutNeighbors(w),
-                    [&](VertexId x) { common.push_back(x); });
-      // common is sorted by vertex id. For each x in common, every
-      // y in out(x) cap common closes the clique; orientation of the x-y
-      // edge makes each unordered pair appear exactly once.
-      const std::span<const VertexId> common_span(common.data(),
-                                                  common.size());
-      for (VertexId x : common) {
-        ForEachCommon(common_span, oriented.OutNeighbors(x),
-                      [&](VertexId y) { fn(v, w, x, y); });
-      }
-    }
-  }
+void BlockedFourCliques(const Graph& g, const OrientedGraph& oriented,
+                        int threads, Fn&& fn) {
+  ParallelBlocks(
+      g.NumVertices(), threads,
+      [&](int block, std::size_t begin, std::size_t end) {
+        std::vector<VertexId> common;
+        for (std::size_t vi = begin; vi < end; ++vi) {
+          const VertexId v = static_cast<VertexId>(vi);
+          const auto out_v = oriented.OutNeighbors(v);
+          for (VertexId w : out_v) {
+            common.clear();
+            ForEachCommon(out_v, oriented.OutNeighbors(w),
+                          [&](VertexId x) { common.push_back(x); });
+            // common is sorted by vertex id. For each x in common, every
+            // y in out(x) cap common closes the clique; orientation of the
+            // x-y edge makes each unordered pair appear exactly once.
+            const std::span<const VertexId> common_span(common.data(),
+                                                        common.size());
+            for (VertexId x : common) {
+              ForEachCommon(common_span, oriented.OutNeighbors(x),
+                            [&](VertexId y) { fn(block, v, w, x, y); });
+            }
+          }
+        }
+      });
 }
 
 }  // namespace
@@ -45,18 +50,43 @@ void EnumerateFourCliques(const Graph& g, Fn&& fn) {
 void ForEachFourClique(
     const Graph& g,
     const std::function<void(VertexId, VertexId, VertexId, VertexId)>& fn) {
-  EnumerateFourCliques(g, [&](VertexId a, VertexId b, VertexId c,
-                              VertexId d) {
-    VertexId q[4] = {a, b, c, d};
-    std::sort(q, q + 4);
-    fn(q[0], q[1], q[2], q[3]);
-  });
+  const auto ranks = DegreeOrderRanks(g);
+  const OrientedGraph oriented(g, ranks);
+  BlockedFourCliques(g, oriented, 1,
+                     [&](int, VertexId a, VertexId b, VertexId c,
+                         VertexId d) {
+                       VertexId q[4] = {a, b, c, d};
+                       std::sort(q, q + 4);
+                       fn(q[0], q[1], q[2], q[3]);
+                     });
 }
 
-Count CountFourCliques(const Graph& g) {
+void ForEachFourCliqueBlocks(
+    const Graph& g, int threads,
+    const std::function<void(int, VertexId, VertexId, VertexId, VertexId)>&
+        fn) {
+  const auto ranks = DegreeOrderRanks(g);
+  const OrientedGraph oriented(g, ranks);
+  BlockedFourCliques(g, oriented, threads,
+                     [&](int block, VertexId a, VertexId b, VertexId c,
+                         VertexId d) {
+                       VertexId q[4] = {a, b, c, d};
+                       std::sort(q, q + 4);
+                       fn(block, q[0], q[1], q[2], q[3]);
+                     });
+}
+
+Count CountFourCliques(const Graph& g, int threads) {
+  const auto ranks = DegreeOrderRanks(g);
+  const OrientedGraph oriented(g, ranks);
+  const int t = threads <= 1 ? 1 : threads;
+  std::vector<Count> partial(t, 0);
+  BlockedFourCliques(g, oriented, t,
+                     [&](int block, VertexId, VertexId, VertexId, VertexId) {
+                       ++partial[block];
+                     });
   Count total = 0;
-  EnumerateFourCliques(
-      g, [&](VertexId, VertexId, VertexId, VertexId) { ++total; });
+  for (Count c : partial) total += c;
   return total;
 }
 

@@ -17,8 +17,18 @@ void ForEachFourClique(
     const Graph& g,
     const std::function<void(VertexId, VertexId, VertexId, VertexId)>& fn);
 
-/// Total 4-clique count (Table 3 statistic).
-Count CountFourCliques(const Graph& g);
+/// Parallel driver: partitions vertices into <= threads contiguous blocks
+/// and calls fn(block, a, b, c, d) with a < b < c < d exactly once per
+/// 4-clique, from the block's worker thread. fn must be safe to call
+/// concurrently for distinct blocks.
+void ForEachFourCliqueBlocks(
+    const Graph& g, int threads,
+    const std::function<void(int, VertexId, VertexId, VertexId, VertexId)>&
+        fn);
+
+/// Total 4-clique count (Table 3 statistic). `threads` parallelizes over
+/// vertices with per-thread accumulation.
+Count CountFourCliques(const Graph& g, int threads = 1);
 
 /// Per-triangle 4-clique counts indexed by TriangleIndex ids; this is d_4,
 /// the initial tau of the (3,4) decomposition. A triangle's 4-cliques are

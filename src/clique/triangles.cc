@@ -9,35 +9,76 @@
 
 namespace nucleus {
 
+namespace {
+
+// Branchless ascending sort of a 3-vertex key: min/max compile to
+// conditional moves and the XOR identity recovers the middle element, so
+// per-lookup cost has no data-dependent branches (the old std::sort did).
+inline std::array<VertexId, 3> SortedTriple(VertexId u, VertexId v,
+                                            VertexId w) {
+  const VertexId lo = std::min(std::min(u, v), w);
+  const VertexId hi = std::max(std::max(u, v), w);
+  const VertexId mid = u ^ v ^ w ^ lo ^ hi;
+  return {lo, mid, hi};
+}
+
+// Shared blocked driver: calls fn(block, a, b, c) once per triangle with
+// vertices in rank order (NOT id order); blocks partition the vertex range.
+template <typename Fn>
+void BlockedTriangles(const Graph& g, const OrientedGraph& oriented,
+                      int threads, Fn&& fn) {
+  ParallelBlocks(g.NumVertices(), threads,
+                 [&](int block, std::size_t begin, std::size_t end) {
+                   for (std::size_t v = begin; v < end; ++v) {
+                     const auto out_v =
+                         oriented.OutNeighbors(static_cast<VertexId>(v));
+                     for (std::size_t i = 0; i < out_v.size(); ++i) {
+                       const VertexId w = out_v[i];
+                       ForEachCommon(out_v, oriented.OutNeighbors(w),
+                                     [&](VertexId x) {
+                                       fn(block, static_cast<VertexId>(v), w,
+                                          x);
+                                     });
+                     }
+                   }
+                 });
+}
+
+}  // namespace
+
 void ForEachTriangle(
     const Graph& g,
     const std::function<void(VertexId, VertexId, VertexId)>& fn) {
   const auto ranks = DegreeOrderRanks(g);
   const OrientedGraph oriented(g, ranks);
-  const std::size_t n = g.NumVertices();
-  for (VertexId v = 0; v < n; ++v) {
-    const auto out_v = oriented.OutNeighbors(v);
-    for (std::size_t i = 0; i < out_v.size(); ++i) {
-      const VertexId w = out_v[i];
-      ForEachCommon(out_v, oriented.OutNeighbors(w), [&](VertexId x) {
-        VertexId t[3] = {v, w, x};
-        std::sort(t, t + 3);
-        fn(t[0], t[1], t[2]);
-      });
-    }
-  }
+  BlockedTriangles(g, oriented, 1,
+                   [&](int, VertexId a, VertexId b, VertexId c) {
+                     const auto t = SortedTriple(a, b, c);
+                     fn(t[0], t[1], t[2]);
+                   });
 }
 
-Count CountTriangles(const Graph& g) {
+void ForEachTriangleBlocks(
+    const Graph& g, int threads,
+    const std::function<void(int, VertexId, VertexId, VertexId)>& fn) {
   const auto ranks = DegreeOrderRanks(g);
   const OrientedGraph oriented(g, ranks);
+  BlockedTriangles(g, oriented, threads,
+                   [&](int block, VertexId a, VertexId b, VertexId c) {
+                     const auto t = SortedTriple(a, b, c);
+                     fn(block, t[0], t[1], t[2]);
+                   });
+}
+
+Count CountTriangles(const Graph& g, int threads) {
+  const auto ranks = DegreeOrderRanks(g);
+  const OrientedGraph oriented(g, ranks);
+  const int t = threads <= 1 ? 1 : threads;
+  std::vector<Count> partial(t, 0);
+  BlockedTriangles(g, oriented, t, [&](int block, VertexId, VertexId,
+                                       VertexId) { ++partial[block]; });
   Count total = 0;
-  for (VertexId v = 0; v < g.NumVertices(); ++v) {
-    const auto out_v = oriented.OutNeighbors(v);
-    for (VertexId w : out_v) {
-      total += CountCommon(out_v, oriented.OutNeighbors(w));
-    }
-  }
+  for (Count c : partial) total += c;
   return total;
 }
 
@@ -53,17 +94,35 @@ std::vector<Degree> TriangleCountsPerEdge(const Graph& g,
   return counts;
 }
 
-TriangleIndex::TriangleIndex(const Graph& g) {
-  ForEachTriangle(g, [&](VertexId u, VertexId v, VertexId w) {
-    triangles_.push_back({u, v, w});
-  });
+TriangleIndex::TriangleIndex(const Graph& g, int threads) {
+  const auto ranks = DegreeOrderRanks(g);
+  const OrientedGraph oriented(g, ranks);
+  const int t = threads <= 1 ? 1 : threads;
+  // Counting pre-pass: exact per-block totals, so the triple array is
+  // allocated once at its final size (the old ctor grew a vector through
+  // repeated reallocation).
+  std::vector<std::size_t> block_count(t, 0);
+  BlockedTriangles(g, oriented, t, [&](int block, VertexId, VertexId,
+                                       VertexId) { ++block_count[block]; });
+  std::vector<std::size_t> block_offset(t + 1, 0);
+  for (int b = 0; b < t; ++b) {
+    block_offset[b + 1] = block_offset[b] + block_count[b];
+  }
+  triangles_.resize(block_offset[t]);
+  // Fill pass: ParallelBlocks partitions deterministically for fixed (n,
+  // threads), so each block writes exactly its counted slice.
+  std::vector<std::size_t> cursor(block_offset.begin(),
+                                  block_offset.end() - 1);
+  BlockedTriangles(g, oriented, t,
+                   [&](int block, VertexId a, VertexId b, VertexId c) {
+                     triangles_[cursor[block]++] = SortedTriple(a, b, c);
+                   });
   std::sort(triangles_.begin(), triangles_.end());
 }
 
 TriangleId TriangleIndex::TriangleIdOf(VertexId u, VertexId v,
                                        VertexId w) const {
-  std::array<VertexId, 3> key = {u, v, w};
-  std::sort(key.begin(), key.end());
+  const std::array<VertexId, 3> key = SortedTriple(u, v, w);
   auto it = std::lower_bound(triangles_.begin(), triangles_.end(), key);
   if (it == triangles_.end() || *it != key) return kInvalidTriangle;
   return static_cast<TriangleId>(it - triangles_.begin());
@@ -75,6 +134,51 @@ void TriangleIndex::ForEachTriangleOfEdge(
   ForEachCommon(g.Neighbors(u), g.Neighbors(v), [&](VertexId w) {
     const TriangleId t = TriangleIdOf(u, v, w);
     fn(t, w);
+  });
+}
+
+EdgeTriangleCsr::EdgeTriangleCsr(const EdgeIndex& edges,
+                                 const TriangleIndex& tris, int threads) {
+  const std::size_t m = edges.NumEdges();
+  const std::size_t nt = tris.NumTriangles();
+  // Pass 1: per-edge triangle counts (relaxed atomic increments; each
+  // triangle touches its three edges).
+  std::vector<Degree> counts(m, 0);
+  ParallelFor(nt, threads, [&](std::size_t ti) {
+    const auto& v = tris.Vertices(static_cast<TriangleId>(ti));
+    const EdgeId ids[3] = {edges.EdgeIdOf(v[0], v[1]),
+                           edges.EdgeIdOf(v[0], v[2]),
+                           edges.EdgeIdOf(v[1], v[2])};
+    for (EdgeId e : ids) {
+      std::atomic_ref<Degree>(counts[e]).fetch_add(
+          1, std::memory_order_relaxed);
+    }
+  });
+  offsets_.assign(m + 1, 0);
+  for (std::size_t e = 0; e < m; ++e) {
+    offsets_[e + 1] = offsets_[e] + counts[e];
+  }
+  entries_.resize(offsets_[m]);
+  // Pass 2: scatter through per-edge atomic cursors.
+  std::vector<std::uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  ParallelFor(nt, threads, [&](std::size_t ti) {
+    const auto& v = tris.Vertices(static_cast<TriangleId>(ti));
+    const EdgeId ids[3] = {edges.EdgeIdOf(v[0], v[1]),
+                           edges.EdgeIdOf(v[0], v[2]),
+                           edges.EdgeIdOf(v[1], v[2])};
+    const VertexId opposite[3] = {v[2], v[1], v[0]};
+    for (int i = 0; i < 3; ++i) {
+      const std::uint64_t pos =
+          std::atomic_ref<std::uint64_t>(cursor[ids[i]])
+              .fetch_add(1, std::memory_order_relaxed);
+      entries_[pos] = {static_cast<TriangleId>(ti), opposite[i]};
+    }
+  });
+  // Deterministic ascending-id order within each edge regardless of thread
+  // interleaving.
+  ParallelFor(m, threads, [&](std::size_t e) {
+    std::sort(entries_.begin() + static_cast<std::ptrdiff_t>(offsets_[e]),
+              entries_.begin() + static_cast<std::ptrdiff_t>(offsets_[e + 1]));
   });
 }
 

@@ -7,6 +7,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "src/clique/edge_index.h"
@@ -22,8 +23,17 @@ void ForEachTriangle(const Graph& g,
                      const std::function<void(VertexId, VertexId, VertexId)>&
                          fn);
 
-/// Total triangle count (Table 3 statistic).
-Count CountTriangles(const Graph& g);
+/// Parallel driver: partitions vertices into <= threads contiguous blocks
+/// and calls fn(block, u, v, w) with u < v < w exactly once per triangle,
+/// from the block's worker thread. fn must be safe to call concurrently for
+/// distinct blocks (e.g. append to per-block buffers, or use atomics).
+void ForEachTriangleBlocks(
+    const Graph& g, int threads,
+    const std::function<void(int, VertexId, VertexId, VertexId)>& fn);
+
+/// Total triangle count (Table 3 statistic). `threads` parallelizes over
+/// vertices with per-thread accumulation.
+Count CountTriangles(const Graph& g, int threads = 1);
 
 /// Per-edge triangle counts indexed by EdgeIndex ids; this is d_3, the
 /// initial tau of the (2,3) decomposition. `threads` parallelizes over
@@ -36,7 +46,9 @@ std::vector<Degree> TriangleCountsPerEdge(const Graph& g,
 /// lexicographic order so ids are stable and lookup is a binary search.
 class TriangleIndex {
  public:
-  explicit TriangleIndex(const Graph& g);
+  /// Builds the index with a counting pre-pass (one exact allocation, no
+  /// push_back growth); `threads` parallelizes both the count and the fill.
+  explicit TriangleIndex(const Graph& g, int threads = 1);
 
   std::size_t NumTriangles() const { return triangles_.size(); }
 
@@ -50,13 +62,45 @@ class TriangleIndex {
 
   /// All triangle ids containing edge (u, v): provided via callback to
   /// avoid allocation. Triangles containing an edge share its two vertices,
-  /// so they are the common neighbors of u and v.
+  /// so they are the common neighbors of u and v. Each hit costs one
+  /// intersection step plus a binary-search id lookup; build an
+  /// EdgeTriangleCsr when querying many edges repeatedly.
   void ForEachTriangleOfEdge(
       const Graph& g, VertexId u, VertexId v,
       const std::function<void(TriangleId, VertexId)>& fn) const;
 
  private:
   std::vector<std::array<VertexId, 3>> triangles_;
+};
+
+/// Per-edge triangle adjacency materialized as a CSR over edge ids: for
+/// each edge, the triangles containing it together with the opposite
+/// vertex. Built in two parallel passes over the TriangleIndex; lookups are
+/// then a flat scan with no re-intersection and no binary searches.
+class EdgeTriangleCsr {
+ public:
+  EdgeTriangleCsr(const EdgeIndex& edges, const TriangleIndex& tris,
+                  int threads = 1);
+
+  std::size_t NumEdges() const { return offsets_.size() - 1; }
+
+  /// Number of triangles containing edge e (== d_3[e]).
+  Degree TriangleCount(EdgeId e) const {
+    return static_cast<Degree>(offsets_[e + 1] - offsets_[e]);
+  }
+
+  /// Calls fn(t, w) for every triangle t containing e, with w the vertex of
+  /// t opposite e. Triangles are reported in ascending id order.
+  template <typename Fn>
+  void ForEachTriangleOfEdge(EdgeId e, Fn&& fn) const {
+    for (std::uint64_t p = offsets_[e]; p < offsets_[e + 1]; ++p) {
+      fn(entries_[p].first, entries_[p].second);
+    }
+  }
+
+ private:
+  std::vector<std::uint64_t> offsets_;
+  std::vector<std::pair<TriangleId, VertexId>> entries_;
 };
 
 }  // namespace nucleus

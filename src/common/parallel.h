@@ -1,17 +1,20 @@
 // Minimal shared-memory parallel runtime. The paper parallelizes the
 // per-r-clique loops with OpenMP and argues (Section 4.4) for *dynamic*
 // scheduling because the notification mechanism makes per-item work highly
-// skewed. We reproduce those semantics with std::thread plus an atomic chunk
-// counter (dynamic) or precomputed ranges (static), so the scheduling
-// ablation of the paper can be run without an OpenMP dependency.
+// skewed. We reproduce those semantics on top of a persistent ThreadPool
+// (thread_pool.h): the pool's workers are spawned once and reused across
+// every sweep of every iteration, and the loop body is a template parameter,
+// so per-item dispatch is a direct call — no std::function, no per-call
+// thread spawn.
 #ifndef NUCLEUS_COMMON_PARALLEL_H_
 #define NUCLEUS_COMMON_PARALLEL_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
-#include <functional>
-#include <thread>
-#include <vector>
+#include <type_traits>
+
+#include "src/common/thread_pool.h"
 
 namespace nucleus {
 
@@ -21,21 +24,93 @@ enum class Schedule {
   kDynamic,  // atomic chunk grabbing (default in all paper algorithms)
 };
 
-/// Runs body(i) for i in [0, n) on `threads` threads. If threads <= 1 the
-/// loop runs inline. `chunk` is the dynamic grab size.
-void ParallelFor(std::size_t n, int threads,
-                 const std::function<void(std::size_t)>& body,
+/// Runs body(i) for i in [0, n) on `threads` workers drawn from the
+/// persistent pool (the caller participates as worker 0). If threads <= 1,
+/// or when called from inside another parallel region, the loop runs
+/// inline. `chunk` is the dynamic grab size.
+template <typename Body>
+void ParallelFor(std::size_t n, int threads, Body&& body,
                  Schedule schedule = Schedule::kDynamic,
-                 std::size_t chunk = 256);
+                 std::size_t chunk = 256) {
+  if (n == 0) return;
+  const std::size_t t =
+      threads <= 1 ? 1 : std::min<std::size_t>(static_cast<std::size_t>(threads), n);
+  if (t <= 1 || ThreadPool::InWorker()) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  using B = std::remove_reference_t<Body>;
+  if (schedule == Schedule::kDynamic) {
+    struct Ctx {
+      std::atomic<std::size_t> next{0};
+      std::size_t n;
+      std::size_t chunk;
+      B* body;
+    } ctx;
+    ctx.n = n;
+    ctx.chunk = chunk == 0 ? 1 : chunk;
+    ctx.body = &body;
+    ThreadPool::Get().Dispatch(
+        static_cast<int>(t),
+        [](void* p, int /*worker*/) {
+          auto* c = static_cast<Ctx*>(p);
+          for (;;) {
+            const std::size_t begin =
+                c->next.fetch_add(c->chunk, std::memory_order_relaxed);
+            if (begin >= c->n) return;
+            const std::size_t end = std::min(begin + c->chunk, c->n);
+            for (std::size_t i = begin; i < end; ++i) (*c->body)(i);
+          }
+        },
+        &ctx);
+  } else {
+    struct Ctx {
+      std::size_t n;
+      std::size_t per;
+      B* body;
+    } ctx{n, (n + t - 1) / t, &body};
+    ThreadPool::Get().Dispatch(
+        static_cast<int>(t),
+        [](void* p, int worker) {
+          auto* c = static_cast<Ctx*>(p);
+          const std::size_t begin =
+              std::min(static_cast<std::size_t>(worker) * c->per, c->n);
+          const std::size_t end = std::min(begin + c->per, c->n);
+          for (std::size_t i = begin; i < end; ++i) (*c->body)(i);
+        },
+        &ctx);
+  }
+}
 
-/// Runs body(thread_index, begin, end) over a blocked partition of [0, n).
-/// Useful when the body wants thread-local scratch state.
-void ParallelBlocks(std::size_t n, int threads,
-                    const std::function<void(int, std::size_t, std::size_t)>&
-                        body);
-
-/// Number of hardware threads, at least 1.
-int HardwareThreads();
+/// Runs body(thread_index, begin, end) over a blocked partition of [0, n)
+/// into min(threads, n) contiguous blocks. Useful when the body wants
+/// thread-local scratch state indexed by thread_index.
+template <typename Body>
+void ParallelBlocks(std::size_t n, int threads, Body&& body) {
+  if (n == 0) return;
+  const std::size_t t =
+      threads <= 1 ? 1 : std::min<std::size_t>(static_cast<std::size_t>(threads), n);
+  if (t <= 1 || ThreadPool::InWorker()) {
+    body(0, std::size_t{0}, n);
+    return;
+  }
+  using B = std::remove_reference_t<Body>;
+  struct Ctx {
+    std::size_t n;
+    std::size_t per;
+    B* body;
+  } ctx{n, (n + t - 1) / t, &body};
+  ThreadPool::Get().Dispatch(
+      static_cast<int>(t),
+      [](void* p, int worker) {
+        auto* c = static_cast<Ctx*>(p);
+        const std::size_t begin =
+            std::min(static_cast<std::size_t>(worker) * c->per, c->n);
+        const std::size_t end = std::min(begin + c->per, c->n);
+        (*c->body)(worker, begin, end);
+      },
+      &ctx);
+}
 
 }  // namespace nucleus
 

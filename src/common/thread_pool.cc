@@ -1,0 +1,98 @@
+#include "src/common/thread_pool.h"
+
+namespace nucleus {
+
+namespace {
+thread_local bool tls_in_worker = false;
+}  // namespace
+
+int HardwareThreads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+ThreadPool& ThreadPool::Get() {
+  static ThreadPool pool;
+  return pool;
+}
+
+bool ThreadPool::InWorker() { return tls_in_worker; }
+
+void ThreadPool::EnsureWorkersLocked(int count) {
+  while (static_cast<int>(threads_.size()) < count) {
+    const int index = static_cast<int>(threads_.size()) + 1;
+    // A worker spawned mid-dispatch must still see the job published in the
+    // same critical section, so it starts with the pre-bump epoch.
+    threads_.emplace_back(&ThreadPool::WorkerLoop, this, index, epoch_);
+  }
+}
+
+void ThreadPool::WorkerLoop(int index, std::uint64_t seen_epoch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+    if (stop_) return;
+    seen_epoch = epoch_;
+    if (index < job_workers_) {
+      auto* fn = job_fn_;
+      void* ctx = job_ctx_;
+      lock.unlock();
+      tls_in_worker = true;
+      fn(ctx, index);
+      tls_in_worker = false;
+      lock.lock();
+      if (--pending_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::Dispatch(int workers, void (*fn)(void*, int), void* ctx) {
+  if (workers <= 1) {
+    fn(ctx, 0);
+    return;
+  }
+  std::lock_guard<std::mutex> region(dispatch_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    EnsureWorkersLocked(workers - 1);
+    job_fn_ = fn;
+    job_ctx_ = ctx;
+    job_workers_ = workers;
+    pending_ = workers - 1;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  // The guard runs even if fn throws on this thread: Dispatch must never
+  // return (unwinding the caller's job context that workers still
+  // dereference) before every worker has finished, and the in-worker flag
+  // must not stay stuck.
+  struct RegionGuard {
+    ThreadPool* pool;
+    ~RegionGuard() {
+      tls_in_worker = false;
+      std::unique_lock<std::mutex> lock(pool->mu_);
+      pool->done_cv_.wait(lock, [&] { return pool->pending_ == 0; });
+    }
+  } guard{this};
+  // The caller's inline share counts as being inside a parallel region:
+  // a nested ParallelFor from this body must run inline (see parallel.h),
+  // not re-enter Dispatch and relock dispatch_mu_ on the same thread.
+  tls_in_worker = true;
+  fn(ctx, 0);
+}
+
+std::size_t ThreadPool::ThreadsCreated() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return threads_.size();
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+}  // namespace nucleus

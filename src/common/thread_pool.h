@@ -1,0 +1,80 @@
+// Persistent worker-thread pool behind ParallelFor/ParallelBlocks. The
+// local algorithms run dozens of parallel sweeps per decomposition; spawning
+// std::threads per sweep (the old ParallelFor) costs a syscall storm and
+// cold stacks every iteration. The pool spawns each worker once, parks it on
+// a condition variable between parallel regions, and hands out *region*
+// granularity jobs as a raw function pointer + context — the per-item loop
+// stays in the caller's templated code (see parallel.h), so item dispatch
+// costs no std::function indirection.
+#ifndef NUCLEUS_COMMON_THREAD_POOL_H_
+#define NUCLEUS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nucleus {
+
+class ThreadPool {
+ public:
+  /// The process-wide pool, created (empty) on first use. Workers are
+  /// spawned lazily by Dispatch and live until process exit.
+  static ThreadPool& Get();
+
+  /// True when the calling thread is executing inside a parallel region —
+  /// either as a pool worker or as the dispatching caller running its
+  /// inline share. Used by ParallelFor to run nested parallel regions
+  /// inline instead of deadlocking on the pool.
+  static bool InWorker();
+
+  /// Runs fn(ctx, w) for worker indices w = 1 .. workers-1 on pool threads
+  /// while the caller runs fn(ctx, 0) inline; returns once all calls have
+  /// finished. Grows the pool to workers-1 threads if needed (never
+  /// shrinks). Concurrent Dispatch calls from distinct threads serialize.
+  /// Must not be called from inside a pool job (callers check InWorker()).
+  void Dispatch(int workers, void (*fn)(void* ctx, int worker), void* ctx);
+
+  /// Total worker threads spawned over the pool's lifetime. After warm-up
+  /// this is stable: re-dispatching never creates threads (asserted by
+  /// thread_pool_test).
+  std::size_t ThreadsCreated() const;
+
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+ private:
+  ThreadPool() = default;
+
+  // Spawns workers until at least `count` exist. Caller holds mu_.
+  void EnsureWorkersLocked(int count);
+  void WorkerLoop(int index, std::uint64_t seen_epoch);
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> threads_;
+
+  // Serializes whole parallel regions so one job owns the pool at a time.
+  std::mutex dispatch_mu_;
+
+  // Current job, published under mu_. epoch_ bumps once per Dispatch;
+  // workers with index < job_workers_ participate.
+  std::uint64_t epoch_ = 0;
+  void (*job_fn_)(void*, int) = nullptr;
+  void* job_ctx_ = nullptr;
+  int job_workers_ = 0;
+  int pending_ = 0;
+  bool stop_ = false;
+};
+
+/// Number of hardware threads, at least 1.
+int HardwareThreads();
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_COMMON_THREAD_POOL_H_

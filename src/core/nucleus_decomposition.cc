@@ -15,7 +15,13 @@ DecomposeResult RunWithSpace(const Space& space,
   Timer timer;
   switch (options.method) {
     case Method::kPeeling: {
-      PeelResult peel = PeelDecomposition(space);
+      // Peeling visits each s-clique about once, so auto mode leaves it on
+      // the fly (the CSR build would cost a comparable enumeration); kOn
+      // forces materialization here too.
+      PeelResult peel = options.materialize == Materialize::kOn
+                            ? PeelDecomposition(
+                                  CsrSpace<Space>(space, options.threads))
+                            : PeelDecomposition(space);
       out.kappa = std::move(peel.kappa);
       out.exact = true;
       break;
@@ -24,6 +30,8 @@ DecomposeResult RunWithSpace(const Space& space,
       LocalOptions local;
       local.threads = options.threads;
       local.max_iterations = options.max_iterations;
+      local.materialize = options.materialize;
+      local.materialize_budget_bytes = options.materialize_budget_bytes;
       local.trace = options.trace;
       LocalResult r = SndGeneric(space, local);
       out.kappa = std::move(r.tau);
@@ -35,6 +43,8 @@ DecomposeResult RunWithSpace(const Space& space,
       AndOptions opts;
       opts.local.threads = options.threads;
       opts.local.max_iterations = options.max_iterations;
+      opts.local.materialize = options.materialize;
+      opts.local.materialize_budget_bytes = options.materialize_budget_bytes;
       opts.local.trace = options.trace;
       opts.order = options.order;
       opts.use_notification = options.use_notification;
@@ -66,7 +76,7 @@ DecomposeResult Decompose(const Graph& g, DecompositionKind kind,
     }
     case DecompositionKind::kNucleus34: {
       Timer timer;
-      const TriangleIndex tris(g);
+      const TriangleIndex tris(g, options.threads);
       const double idx_s = timer.Seconds();
       DecomposeResult out = RunWithSpace(Nucleus34Space(g, tris), options);
       out.index_seconds = idx_s;

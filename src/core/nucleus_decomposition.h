@@ -10,6 +10,7 @@
 #ifndef NUCLEUS_CORE_NUCLEUS_DECOMPOSITION_H_
 #define NUCLEUS_CORE_NUCLEUS_DECOMPOSITION_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "src/common/types.h"
@@ -44,6 +45,13 @@ struct DecomposeOptions {
   AndOrder order = AndOrder::kNatural;
   /// AND notification mechanism.
   bool use_notification = true;
+  /// Materialize the clique space into a flat CSR arena (csr_space.h)
+  /// before running. kAuto materializes for the local methods when the
+  /// arena fits the budget; kOn forces it for every method including
+  /// peeling; kOff always enumerates on the fly.
+  Materialize materialize = Materialize::kAuto;
+  /// Memory budget for kAuto (see LocalOptions::materialize_budget_bytes).
+  std::uint64_t materialize_budget_bytes = std::uint64_t{512} << 20;
   /// Optional trace sink for the local methods.
   ConvergenceTrace* trace = nullptr;
 };

@@ -10,6 +10,13 @@ template LocalResult AndGeneric<TrussSpace>(const TrussSpace&,
                                             const AndOptions&);
 template LocalResult AndGeneric<Nucleus34Space>(const Nucleus34Space&,
                                                 const AndOptions&);
+// Pre-materialized adapters, for callers that built a CsrSpace themselves.
+template LocalResult AndGeneric<CsrSpace<CoreSpace>>(
+    const CsrSpace<CoreSpace>&, const AndOptions&);
+template LocalResult AndGeneric<CsrSpace<TrussSpace>>(
+    const CsrSpace<TrussSpace>&, const AndOptions&);
+template LocalResult AndGeneric<CsrSpace<Nucleus34Space>>(
+    const CsrSpace<Nucleus34Space>&, const AndOptions&);
 
 LocalResult AndCore(const Graph& g, const AndOptions& options) {
   return AndGeneric(CoreSpace(g), options);

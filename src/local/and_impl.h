@@ -7,6 +7,8 @@
 #include <algorithm>
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <utility>
 
 #include "src/common/h_index.h"
 #include "src/common/rng.h"
@@ -37,21 +39,38 @@ std::vector<CliqueId> MakeAndOrder(const Space& space,
       rng.Shuffle(&order);
       break;
     }
-    case AndOrder::kGiven:
+    case AndOrder::kGiven: {
+      // Reject malformed orders up front: a wrong-sized or non-permutation
+      // order used to walk out of bounds / skip r-cliques silently.
+      if (options.given_order.size() != n) {
+        throw std::invalid_argument(
+            "AndOptions::given_order must have exactly NumRCliques() "
+            "entries");
+      }
+      std::vector<char> seen(n, 0);
+      for (CliqueId c : options.given_order) {
+        if (c >= n || seen[c]) {
+          throw std::invalid_argument(
+              "AndOptions::given_order is not a permutation of [0, n)");
+        }
+        seen[c] = 1;
+      }
       order = options.given_order;
       break;
+    }
   }
   return order;
 }
 
-}  // namespace internal
-
+/// The sweep loop proper, with tau_0 handed in (a by-product of both the
+/// on-the-fly decision path and the CSR build).
 template <typename Space>
-LocalResult AndGeneric(const Space& space, const AndOptions& options) {
+LocalResult AndSweeps(const Space& space, const AndOptions& options,
+                      std::vector<Degree> initial) {
   const LocalOptions& local = options.local;
   const std::size_t n = space.NumRCliques();
   LocalResult result;
-  result.tau = space.InitialDegrees(local.threads);
+  result.tau = std::move(initial);
   const std::vector<CliqueId> order =
       internal::MakeAndOrder(space, result.tau, options);
 
@@ -135,6 +154,29 @@ LocalResult AndGeneric(const Space& space, const AndOptions& options) {
     ++result.iterations;
   }
   return result;
+}
+
+}  // namespace internal
+
+template <typename Space>
+LocalResult AndGeneric(const Space& space, const AndOptions& options) {
+  const LocalOptions& local = options.local;
+  if constexpr (!internal::IsCsrSpace<Space>::value) {
+    if (internal::WantMaterialize<Space>(local.materialize)) {
+      std::vector<Degree> degrees;
+      if (auto csr = CsrSpace<Space>::TryBuild(
+              space, local.threads,
+              internal::EffectiveBudget(local.materialize,
+                                        local.materialize_budget_bytes),
+              &degrees)) {
+        return internal::AndSweeps(*csr, options, csr->InitialDegrees());
+      }
+      // Over budget: the counting attempt already produced tau_0.
+      return internal::AndSweeps(space, options, std::move(degrees));
+    }
+  }
+  return internal::AndSweeps(space, options,
+                             space.InitialDegrees(local.threads));
 }
 
 }  // namespace nucleus

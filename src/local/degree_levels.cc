@@ -1,5 +1,6 @@
 #include "src/local/degree_levels.h"
 
+#include "src/clique/csr_space.h"
 #include "src/local/degree_levels_impl.h"
 
 namespace nucleus {
@@ -8,6 +9,13 @@ template DegreeLevels ComputeDegreeLevels<CoreSpace>(const CoreSpace&);
 template DegreeLevels ComputeDegreeLevels<TrussSpace>(const TrussSpace&);
 template DegreeLevels ComputeDegreeLevels<Nucleus34Space>(
     const Nucleus34Space&);
+// Pre-materialized adapters, for callers that built a CsrSpace themselves.
+template DegreeLevels ComputeDegreeLevels<CsrSpace<CoreSpace>>(
+    const CsrSpace<CoreSpace>&);
+template DegreeLevels ComputeDegreeLevels<CsrSpace<TrussSpace>>(
+    const CsrSpace<TrussSpace>&);
+template DegreeLevels ComputeDegreeLevels<CsrSpace<Nucleus34Space>>(
+    const CsrSpace<Nucleus34Space>&);
 
 DegreeLevels CoreDegreeLevels(const Graph& g) {
   return ComputeDegreeLevels(CoreSpace(g));

@@ -10,6 +10,13 @@ template LocalResult SndGeneric<TrussSpace>(const TrussSpace&,
                                             const LocalOptions&);
 template LocalResult SndGeneric<Nucleus34Space>(const Nucleus34Space&,
                                                 const LocalOptions&);
+// Pre-materialized adapters, for callers that built a CsrSpace themselves.
+template LocalResult SndGeneric<CsrSpace<CoreSpace>>(
+    const CsrSpace<CoreSpace>&, const LocalOptions&);
+template LocalResult SndGeneric<CsrSpace<TrussSpace>>(
+    const CsrSpace<TrussSpace>&, const LocalOptions&);
+template LocalResult SndGeneric<CsrSpace<Nucleus34Space>>(
+    const CsrSpace<Nucleus34Space>&, const LocalOptions&);
 
 LocalResult SndCore(const Graph& g, const LocalOptions& options) {
   return SndGeneric(CoreSpace(g), options);

@@ -7,8 +7,10 @@
 #ifndef NUCLEUS_LOCAL_SND_H_
 #define NUCLEUS_LOCAL_SND_H_
 
+#include <cstdint>
 #include <vector>
 
+#include "src/clique/csr_space.h"
 #include "src/clique/spaces.h"
 #include "src/common/parallel.h"
 #include "src/common/types.h"
@@ -29,6 +31,14 @@ struct LocalOptions {
   bool use_preserve_check = true;
   /// Loop scheduling; the paper argues for dynamic (Section 4.4).
   Schedule schedule = Schedule::kDynamic;
+  /// Materialize s-clique co-member lists into a flat CSR arena before
+  /// iterating (csr_space.h), turning every sweep into a contiguous scan.
+  /// kAuto materializes when the arena fits materialize_budget_bytes
+  /// (except for CoreSpace, whose on-the-fly scan is already contiguous);
+  /// kOff reproduces the paper's pure on-the-fly Section 5 behavior.
+  Materialize materialize = Materialize::kAuto;
+  /// Memory budget for kAuto; arenas estimated above this stay on the fly.
+  std::uint64_t materialize_budget_bytes = std::uint64_t{512} << 20;
   /// Optional instrumentation sink.
   ConvergenceTrace* trace = nullptr;
 };

@@ -6,17 +6,24 @@
 
 #include <algorithm>
 #include <atomic>
+#include <utility>
 
 #include "src/common/h_index.h"
 #include "src/local/snd.h"
 
 namespace nucleus {
 
+namespace internal {
+
+/// The sweep loop proper, with tau_0 handed in (it is a by-product of both
+/// the on-the-fly decision path and the CSR build, so it is never computed
+/// twice).
 template <typename Space>
-LocalResult SndGeneric(const Space& space, const LocalOptions& options) {
+LocalResult SndSweeps(const Space& space, const LocalOptions& options,
+                      std::vector<Degree> initial) {
   const std::size_t n = space.NumRCliques();
   LocalResult result;
-  result.tau = space.InitialDegrees(options.threads);
+  result.tau = std::move(initial);
   std::vector<Degree> tau_prev(n);
 
   if (options.trace != nullptr) {
@@ -75,6 +82,28 @@ LocalResult SndGeneric(const Space& space, const LocalOptions& options) {
     ++result.iterations;
   }
   return result;
+}
+
+}  // namespace internal
+
+template <typename Space>
+LocalResult SndGeneric(const Space& space, const LocalOptions& options) {
+  if constexpr (!internal::IsCsrSpace<Space>::value) {
+    if (internal::WantMaterialize<Space>(options.materialize)) {
+      std::vector<Degree> degrees;
+      if (auto csr = CsrSpace<Space>::TryBuild(
+              space, options.threads,
+              internal::EffectiveBudget(options.materialize,
+                                        options.materialize_budget_bytes),
+              &degrees)) {
+        return internal::SndSweeps(*csr, options, csr->InitialDegrees());
+      }
+      // Over budget: the counting attempt already produced tau_0.
+      return internal::SndSweeps(space, options, std::move(degrees));
+    }
+  }
+  return internal::SndSweeps(space, options,
+                             space.InitialDegrees(options.threads));
 }
 
 }  // namespace nucleus

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "src/graph/builder.h"
 #include "src/graph/generators.h"
 #include "src/peel/generic_peel.h"
@@ -215,6 +217,30 @@ TEST(And, EmptyGraph) {
   const LocalResult r = AndCore(g);
   EXPECT_TRUE(r.converged);
   EXPECT_TRUE(r.tau.empty());
+}
+
+TEST(And, GivenOrderWrongSizeThrows) {
+  const Graph g = PaperFigure2Graph();  // 6 vertices
+  AndOptions opt;
+  opt.order = AndOrder::kGiven;
+  opt.given_order = {0, 1, 2};
+  EXPECT_THROW(AndCore(g, opt), std::invalid_argument);
+}
+
+TEST(And, GivenOrderOutOfRangeThrows) {
+  const Graph g = PaperFigure2Graph();
+  AndOptions opt;
+  opt.order = AndOrder::kGiven;
+  opt.given_order = {0, 1, 2, 3, 4, 99};
+  EXPECT_THROW(AndCore(g, opt), std::invalid_argument);
+}
+
+TEST(And, GivenOrderDuplicateThrows) {
+  const Graph g = PaperFigure2Graph();
+  AndOptions opt;
+  opt.order = AndOrder::kGiven;
+  opt.given_order = {0, 1, 2, 3, 4, 4};
+  EXPECT_THROW(AndCore(g, opt), std::invalid_argument);
 }
 
 }  // namespace

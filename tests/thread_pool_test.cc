@@ -1,0 +1,123 @@
+#include "src/common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/common/parallel.h"
+
+namespace nucleus {
+namespace {
+
+TEST(ThreadPool, ReusesWorkersAfterWarmUp) {
+  // Warm up with the widest region this test will request.
+  ParallelFor(1000, 4, [](std::size_t) {});
+  const std::size_t created = ThreadPool::Get().ThreadsCreated();
+  EXPECT_GE(created, 3u);  // caller participates, so 4-way needs 3 workers
+  // The convergence loops re-enter ParallelFor dozens of times per run;
+  // none of those regions may spawn a thread.
+  for (int sweep = 0; sweep < 100; ++sweep) {
+    std::atomic<std::size_t> sum{0};
+    ParallelFor(512, 4, [&](std::size_t i) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 512u * 511 / 2);
+    ParallelBlocks(512, 4, [](int, std::size_t, std::size_t) {});
+  }
+  EXPECT_EQ(ThreadPool::Get().ThreadsCreated(), created);
+}
+
+TEST(ThreadPool, GrowsOnDemandAndNeverShrinks) {
+  ParallelFor(100, 2, [](std::size_t) {});
+  const std::size_t before = ThreadPool::Get().ThreadsCreated();
+  ParallelFor(100, 8, [](std::size_t) {});
+  const std::size_t after = ThreadPool::Get().ThreadsCreated();
+  EXPECT_GE(after, 7u);
+  EXPECT_GE(after, before);
+  // Narrow regions keep the extra workers parked, not destroyed.
+  ParallelFor(100, 2, [](std::size_t) {});
+  EXPECT_EQ(ThreadPool::Get().ThreadsCreated(), after);
+}
+
+TEST(ThreadPool, DynamicScheduleCoversEveryIndexOnce) {
+  std::vector<std::atomic<int>> hits(10007);
+  ParallelFor(
+      hits.size(), 4, [&](std::size_t i) { hits[i].fetch_add(1); },
+      Schedule::kDynamic, 13);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, StaticScheduleCoversEveryIndexOnce) {
+  std::vector<std::atomic<int>> hits(10007);
+  ParallelFor(
+      hits.size(), 4, [&](std::size_t i) { hits[i].fetch_add(1); },
+      Schedule::kStatic);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  // A parallel region launched from inside a pool job must not dead-wait on
+  // the (busy) pool; it runs inline on the calling worker.
+  std::atomic<int> outer{0};
+  std::atomic<int> inner{0};
+  ParallelFor(8, 4, [&](std::size_t) {
+    outer.fetch_add(1);
+    ParallelFor(16, 4, [&](std::size_t) { inner.fetch_add(1); });
+  });
+  EXPECT_EQ(outer.load(), 8);
+  EXPECT_EQ(inner.load(), 8 * 16);
+}
+
+TEST(ThreadPool, InWorkerFlagIsScopedToJobs) {
+  EXPECT_FALSE(ThreadPool::InWorker());
+  std::atomic<int> in_worker_true{0};
+  ParallelBlocks(4, 4, [&](int, std::size_t, std::size_t) {
+    if (ThreadPool::InWorker()) in_worker_true.fetch_add(1);
+  });
+  // Every participant sees the flag — including the dispatching caller
+  // (worker 0), whose nested regions must run inline too.
+  EXPECT_EQ(in_worker_true.load(), 4);
+  EXPECT_FALSE(ThreadPool::InWorker());
+}
+
+TEST(ThreadPool, ConcurrentDispatchersSerializeCorrectly) {
+  // Two external threads race whole parallel regions; the pool serializes
+  // regions, and both must observe exact coverage.
+  std::atomic<long long> sums[2] = {{0}, {0}};
+  std::vector<std::thread> drivers;
+  for (int d = 0; d < 2; ++d) {
+    drivers.emplace_back([&, d] {
+      for (int round = 0; round < 20; ++round) {
+        std::atomic<long long> local{0};
+        ParallelFor(1000, 3, [&](std::size_t i) {
+          local.fetch_add(static_cast<long long>(i),
+                          std::memory_order_relaxed);
+        });
+        sums[d].fetch_add(local.load());
+      }
+    });
+  }
+  for (auto& t : drivers) t.join();
+  const long long per_round = 1000LL * 999 / 2;
+  EXPECT_EQ(sums[0].load(), 20 * per_round);
+  EXPECT_EQ(sums[1].load(), 20 * per_round);
+}
+
+TEST(ThreadPool, BlocksPartitionMatchesThreadCount) {
+  std::set<int> blocks;
+  std::mutex mu;
+  ParallelBlocks(4000, 4, [&](int b, std::size_t begin, std::size_t end) {
+    EXPECT_LT(begin, end);
+    std::lock_guard<std::mutex> lock(mu);
+    blocks.insert(b);
+  });
+  EXPECT_EQ(blocks.size(), 4u);
+  EXPECT_EQ(*blocks.begin(), 0);
+  EXPECT_EQ(*blocks.rbegin(), 3);
+}
+
+}  // namespace
+}  // namespace nucleus

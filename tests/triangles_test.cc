@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "src/graph/builder.h"
 #include "src/graph/generators.h"
@@ -122,6 +126,79 @@ TEST(TriangleIndex, ForEachTriangleOfEdge) {
     ++count;
   });
   EXPECT_EQ(count, 3u);  // K5: edge {0,1} in triangles with 2, 3, 4
+}
+
+TEST(TriangleIndex, ParallelBuildMatchesSerial) {
+  const Graph g = GenerateBarabasiAlbert(200, 5, 11);
+  const TriangleIndex serial(g, 1);
+  const TriangleIndex parallel(g, 4);
+  ASSERT_EQ(parallel.NumTriangles(), serial.NumTriangles());
+  for (TriangleId t = 0; t < serial.NumTriangles(); ++t) {
+    EXPECT_EQ(parallel.Vertices(t), serial.Vertices(t));
+  }
+}
+
+TEST(CountTriangles, ParallelMatchesSerial) {
+  const Graph g = GenerateBarabasiAlbert(300, 4, 17);
+  EXPECT_EQ(CountTriangles(g, 4), CountTriangles(g));
+}
+
+TEST(ForEachTriangleBlocks, CoversEveryTriangleOnce) {
+  const Graph g = GenerateBarabasiAlbert(150, 4, 19);
+  std::vector<std::array<VertexId, 3>> serial;
+  ForEachTriangle(g, [&](VertexId u, VertexId v, VertexId w) {
+    serial.push_back({u, v, w});
+  });
+  std::sort(serial.begin(), serial.end());
+  const int threads = 4;
+  std::vector<std::vector<std::array<VertexId, 3>>> parts(threads);
+  ForEachTriangleBlocks(g, threads,
+                        [&](int b, VertexId u, VertexId v, VertexId w) {
+                          EXPECT_LT(u, v);
+                          EXPECT_LT(v, w);
+                          parts[b].push_back({u, v, w});
+                        });
+  std::vector<std::array<VertexId, 3>> merged;
+  for (const auto& p : parts) merged.insert(merged.end(), p.begin(), p.end());
+  std::sort(merged.begin(), merged.end());
+  EXPECT_EQ(merged, serial);
+}
+
+TEST(EdgeTriangleCsr, MatchesOnTheFlyLookups) {
+  const Graph g = GenerateBarabasiAlbert(120, 5, 23);
+  const EdgeIndex edges(g);
+  const TriangleIndex tris(g);
+  for (const int threads : {1, 4}) {
+    const EdgeTriangleCsr csr(edges, tris, threads);
+    ASSERT_EQ(csr.NumEdges(), edges.NumEdges());
+    for (EdgeId e = 0; e < edges.NumEdges(); ++e) {
+      const auto [u, v] = edges.Endpoints(e);
+      std::vector<std::pair<TriangleId, VertexId>> expect;
+      tris.ForEachTriangleOfEdge(g, u, v, [&](TriangleId t, VertexId w) {
+        expect.emplace_back(t, w);
+      });
+      std::sort(expect.begin(), expect.end());
+      std::vector<std::pair<TriangleId, VertexId>> got;
+      csr.ForEachTriangleOfEdge(e, [&](TriangleId t, VertexId w) {
+        got.emplace_back(t, w);
+      });
+      // CSR reports ascending ids already; sort defensively for the diff.
+      std::sort(got.begin(), got.end());
+      EXPECT_EQ(got, expect) << "edge " << e;
+      EXPECT_EQ(csr.TriangleCount(e), expect.size());
+    }
+  }
+}
+
+TEST(EdgeTriangleCsr, CountsEqualPerEdgeTriangleCounts) {
+  const Graph g = GenerateBarabasiAlbert(100, 4, 29);
+  const EdgeIndex edges(g);
+  const TriangleIndex tris(g);
+  const EdgeTriangleCsr csr(edges, tris, 2);
+  const auto d3 = TriangleCountsPerEdge(g, edges);
+  for (EdgeId e = 0; e < edges.NumEdges(); ++e) {
+    EXPECT_EQ(csr.TriangleCount(e), d3[e]);
+  }
 }
 
 }  // namespace

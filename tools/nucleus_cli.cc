@@ -13,6 +13,7 @@
 //               [--kind core|truss]
 //
 // Input is a SNAP-style edge list ("u v" per line, '#' comments).
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -77,6 +78,14 @@ Method ParseMethod(const std::string& s) {
                            " (expected peel|snd|and)");
 }
 
+Materialize ParseMaterialize(const std::string& s) {
+  if (s == "auto") return Materialize::kAuto;
+  if (s == "on") return Materialize::kOn;
+  if (s == "off") return Materialize::kOff;
+  throw std::runtime_error("unknown --materialize: " + s +
+                           " (expected auto|on|off)");
+}
+
 int CmdStats(const Args& args) {
   const Graph g = LoadEdgeListText(args.Get("input"));
   Timer t;
@@ -97,6 +106,15 @@ int CmdDecompose(const Args& args) {
   opt.method = ParseMethod(args.Get("method", "and"));
   opt.threads = args.GetInt("threads", 1);
   opt.max_iterations = args.GetInt("max-iters", 0);
+  opt.materialize = ParseMaterialize(args.Get("materialize", "auto"));
+  if (args.Has("materialize-budget-mb")) {
+    const int budget_mb = args.GetInt("materialize-budget-mb", 512);
+    if (budget_mb < 0) {
+      throw std::runtime_error("--materialize-budget-mb must be >= 0");
+    }
+    opt.materialize_budget_bytes = static_cast<std::uint64_t>(budget_mb)
+                                   << 20;
+  }
   const DecompositionKind kind = ParseKind(args.Get("kind", "core"));
   const DecomposeResult r = Decompose(g, kind, opt);
   std::fprintf(stderr,
@@ -238,7 +256,9 @@ int Usage() {
                "usage: nucleus_cli <decompose|hierarchy|stats> --input "
                "FILE [options]\n"
                "  decompose: --kind core|truss|nucleus34  --method "
-               "peel|snd|and  --threads N  --max-iters N  --output FILE\n"
+               "peel|snd|and  --threads N  --max-iters N\n"
+               "             --materialize auto|on|off  "
+               "--materialize-budget-mb N  --output FILE\n"
                "  hierarchy: --kind ...  --dot FILE  --tsv FILE  "
                "--min-size N\n"
                "  stats:     (prints V/E/triangle/K4 counts)\n"
