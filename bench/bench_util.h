@@ -50,8 +50,10 @@ struct BenchRecord {
   bool materialized = false;
   double wall_ms = 0.0;
   int iterations = 0;
-  /// Ratio of the matching on-the-fly wall time to this run's wall time;
-  /// <= 0 means not applicable (emitted as null).
+  /// Ratio of the matching baseline wall time to this run's wall time:
+  /// the on-the-fly run for materialized records, the session's cold first
+  /// call for "session-warm" records. <= 0 means not applicable (emitted
+  /// as null).
   double speedup_vs_onthefly = 0.0;
   bool check_ok = true;
 };

@@ -1,16 +1,17 @@
 // Hierarchical dense-subgraph discovery — the paper's headline use case.
 //
-// Generates a graph with planted communities, runs the (2,3) (k-truss)
-// decomposition with the local AND algorithm, builds the nucleus hierarchy,
-// and prints the forest of dense subgraphs with their density — the way
-// Sariyuce et al. analyze citation networks (a broad area containing denser
-// subareas containing dense cliques of papers).
+// Generates a graph with planted communities and asks one NucleusSession
+// for the (2,3) (k-truss) hierarchy: the session runs the AND
+// decomposition, caches kappa, builds the nucleus forest once, and keeps
+// both cached for any further request. Prints the forest of dense
+// subgraphs with their density — the way Sariyuce et al. analyze citation
+// networks (a broad area containing denser subareas containing dense
+// cliques of papers).
 #include <algorithm>
 #include <cstdio>
 #include <vector>
 
-#include "src/core/nucleus_decomposition.h"
-#include "src/clique/edge_index.h"
+#include "src/core/session.h"
 #include "src/graph/generators.h"
 #include "src/metrics/accuracy.h"
 
@@ -76,28 +77,40 @@ int main() {
   // of which may contain an even denser kernel.
   std::printf("generating planted communities "
               "(6 blocks x 30 vertices, p_in=0.45, p_out=0.01)...\n");
-  const Graph g = GeneratePlantedPartition(6, 30, 0.45, 0.01, 7);
+  Graph g = GeneratePlantedPartition(6, 30, 0.45, 0.01, 7);
   std::printf("graph: %zu vertices, %zu edges\n\n", g.NumVertices(),
               g.NumEdges());
 
-  DecomposeOptions opt;
-  opt.method = Method::kAnd;
-  const DecomposeResult r = Decompose(g, DecompositionKind::kTruss, opt);
-  std::printf("k-truss decomposition via AND: %d iterations, %.3fs\n",
-              r.iterations, r.seconds);
+  NucleusSession session(std::move(g));
 
-  const EdgeIndex edges(g);
-  const NucleusHierarchy h =
-      DecomposeHierarchy(g, DecompositionKind::kTruss, r.kappa);
-  std::printf("hierarchy: %zu nuclei, %zu roots, depth %zu\n\n",
-              h.nodes.size(), h.roots.size(), h.Depth());
+  // Explicit decomposition first, to show the iteration count; Hierarchy()
+  // below reuses its cached kappa instead of decomposing again.
+  auto r = session.Decompose(DecompositionKind::kTruss,
+                             {.method = Method::kAnd});
+  if (!r.ok()) {
+    std::printf("decompose failed: %s\n", r.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("k-truss decomposition via AND: %d iterations, %.3fs\n",
+              r->iterations, r->seconds);
+
+  auto h = session.Hierarchy(DecompositionKind::kTruss);
+  if (!h.ok()) {
+    std::printf("hierarchy failed: %s\n", h.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("hierarchy: %zu nuclei, %zu roots, depth %zu "
+              "(kappa served from the session cache)\n\n",
+              (*h)->nodes.size(), (*h)->roots.size(), (*h)->Depth());
 
   std::printf("nucleus forest (k = truss level; density = 2|E|/|V|(|V|-1)):\n");
-  std::vector<int> roots = h.roots;
+  std::vector<int> roots = (*h)->roots;
   std::sort(roots.begin(), roots.end(), [&](int a, int b) {
-    return h.nodes[a].size > h.nodes[b].size;
+    return (*h)->nodes[a].size > (*h)->nodes[b].size;
   });
-  for (int root : roots) PrintTree(g, edges, h, root, 0);
+  for (int root : roots) {
+    PrintTree(session.graph(), session.Edges(), **h, root, 0);
+  }
 
   std::printf("\nreading the tree: denser (higher-k) nuclei are nested "
               "inside sparser ones; the planted communities appear as "

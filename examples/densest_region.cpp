@@ -3,14 +3,13 @@
 // motifs, DNA motifs). Compares three lenses on the same graph:
 //   1. greedy densest subgraph (edge density, 1/2-approx = peel order),
 //   2. triangle-densest subgraph (1/3-approx),
-//   3. the innermost k-truss nucleus from the hierarchy.
+//   3. the innermost k-truss nucleus from the session's cached hierarchy.
 #include <algorithm>
 #include <cstdio>
 
-#include "src/clique/edge_index.h"
 #include "src/common/rng.h"
 #include "src/core/densest.h"
-#include "src/core/nucleus_decomposition.h"
+#include "src/core/session.h"
 #include "src/graph/builder.h"
 #include "src/graph/generators.h"
 
@@ -38,7 +37,7 @@ int main() {
   for (VertexId u = 0; u < 16; ++u) {
     edges.emplace_back(3000 + u, static_cast<VertexId>(u * 131 % 3000));
   }
-  const Graph g = BuildGraphFromEdges(3016, edges);
+  Graph g = BuildGraphFromEdges(3016, edges);
   std::printf("graph: %zu vertices, %zu edges\n\n", g.NumVertices(),
               g.NumEdges());
 
@@ -64,11 +63,18 @@ int main() {
               tri.triangle_density);
   report_overlap(tri.vertices);
 
-  // 3. Innermost truss nucleus.
-  const auto r =
-      Decompose(g, DecompositionKind::kTruss, {.method = Method::kAnd});
-  const auto h = DecomposeHierarchy(g, DecompositionKind::kTruss, r.kappa);
-  const EdgeIndex eidx(g);
+  // 3. Innermost truss nucleus. The session computes the AND
+  // decomposition, caches kappa, and builds the hierarchy from it; its
+  // EdgeIndex is the same one the decomposition used.
+  NucleusSession session(std::move(g));
+  auto hs = session.Hierarchy(DecompositionKind::kTruss,
+                              {.method = Method::kAnd});
+  if (!hs.ok()) {
+    std::printf("hierarchy failed: %s\n", hs.status().ToString().c_str());
+    return 1;
+  }
+  const NucleusHierarchy& h = **hs;
+  const EdgeIndex& eidx = session.Edges();
   int deepest = -1;
   for (std::size_t id = 0; id < h.nodes.size(); ++id) {
     if (deepest == -1 || h.nodes[id].k > h.nodes[deepest].k) {
@@ -77,7 +83,7 @@ int main() {
   }
   std::vector<VertexId> nucleus_vertices;
   {
-    std::vector<bool> in(g.NumVertices(), false);
+    std::vector<bool> in(session.graph().NumVertices(), false);
     std::vector<int> stack = {deepest};
     while (!stack.empty()) {
       const int x = stack.back();
@@ -88,7 +94,7 @@ int main() {
       }
       for (int c : h.nodes[x].children) stack.push_back(c);
     }
-    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (VertexId v = 0; v < session.graph().NumVertices(); ++v) {
       if (in[v]) nucleus_vertices.push_back(v);
     }
   }

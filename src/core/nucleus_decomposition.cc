@@ -1,106 +1,24 @@
 #include "src/core/nucleus_decomposition.h"
 
-#include "src/common/timer.h"
-#include "src/peel/generic_peel.h"
+#include <stdexcept>
+#include <utility>
 
 namespace nucleus {
 
-namespace {
-
-template <typename Space>
-DecomposeResult RunWithSpace(const Space& space,
-                             const DecomposeOptions& options) {
-  DecomposeResult out;
-  out.num_r_cliques = space.NumRCliques();
-  Timer timer;
-  switch (options.method) {
-    case Method::kPeeling: {
-      // Peeling visits each s-clique about once, so auto mode leaves it on
-      // the fly (the CSR build would cost a comparable enumeration); kOn
-      // forces materialization here too.
-      PeelResult peel = options.materialize == Materialize::kOn
-                            ? PeelDecomposition(
-                                  CsrSpace<Space>(space, options.threads))
-                            : PeelDecomposition(space);
-      out.kappa = std::move(peel.kappa);
-      out.exact = true;
-      break;
-    }
-    case Method::kSnd: {
-      LocalOptions local;
-      local.threads = options.threads;
-      local.max_iterations = options.max_iterations;
-      local.materialize = options.materialize;
-      local.materialize_budget_bytes = options.materialize_budget_bytes;
-      local.trace = options.trace;
-      LocalResult r = SndGeneric(space, local);
-      out.kappa = std::move(r.tau);
-      out.iterations = r.iterations;
-      out.exact = r.converged;
-      break;
-    }
-    case Method::kAnd: {
-      AndOptions opts;
-      opts.local.threads = options.threads;
-      opts.local.max_iterations = options.max_iterations;
-      opts.local.materialize = options.materialize;
-      opts.local.materialize_budget_bytes = options.materialize_budget_bytes;
-      opts.local.trace = options.trace;
-      opts.order = options.order;
-      opts.use_notification = options.use_notification;
-      LocalResult r = AndGeneric(space, opts);
-      out.kappa = std::move(r.tau);
-      out.iterations = r.iterations;
-      out.exact = r.converged;
-      break;
-    }
-  }
-  out.seconds = timer.Seconds();
-  return out;
-}
-
-}  // namespace
-
 DecomposeResult Decompose(const Graph& g, DecompositionKind kind,
                           const DecomposeOptions& options) {
-  switch (kind) {
-    case DecompositionKind::kCore:
-      return RunWithSpace(CoreSpace(g), options);
-    case DecompositionKind::kTruss: {
-      Timer timer;
-      const EdgeIndex edges(g);
-      const double idx_s = timer.Seconds();
-      DecomposeResult out = RunWithSpace(TrussSpace(g, edges), options);
-      out.index_seconds = idx_s;
-      return out;
-    }
-    case DecompositionKind::kNucleus34: {
-      Timer timer;
-      const TriangleIndex tris(g, options.threads);
-      const double idx_s = timer.Seconds();
-      DecomposeResult out = RunWithSpace(Nucleus34Space(g, tris), options);
-      out.index_seconds = idx_s;
-      return out;
-    }
-  }
-  return {};
+  NucleusSession session(g);  // borrowing: g outlives the call
+  StatusOr<DecomposeResult> r = session.Decompose(kind, options);
+  if (!r.ok()) throw std::invalid_argument(r.status().message());
+  return std::move(r).value();
 }
 
 NucleusHierarchy DecomposeHierarchy(const Graph& g, DecompositionKind kind,
                                     const std::vector<Degree>& kappa) {
-  switch (kind) {
-    case DecompositionKind::kCore:
-      return BuildCoreHierarchy(g, kappa);
-    case DecompositionKind::kTruss: {
-      const EdgeIndex edges(g);
-      return BuildTrussHierarchy(g, edges, kappa);
-    }
-    case DecompositionKind::kNucleus34: {
-      const TriangleIndex tris(g);
-      return BuildNucleus34Hierarchy(g, tris, kappa);
-    }
-  }
-  return {};
+  NucleusSession session(g);
+  StatusOr<NucleusHierarchy> h = session.HierarchyFor(kind, kappa);
+  if (!h.ok()) throw std::invalid_argument(h.status().message());
+  return std::move(h).value();
 }
 
 }  // namespace nucleus

@@ -1,86 +1,53 @@
-// Public facade of the library: one entry point that runs any of the three
-// decompositions ((1,2) core, (2,3) truss, (3,4) nucleus) with any of the
-// three methods (exact peeling, SND, AND), plus hierarchy extraction.
+// Legacy one-shot facade, kept as thin DEPRECATED wrappers over a
+// temporary NucleusSession (core/session.h) — the session-centric API is
+// the public surface of the library.
 //
-// Quickstart:
-//   Graph g = LoadEdgeListText("graph.txt");
-//   auto result = Decompose(g, DecompositionKind::kTruss,
-//                           {.method = Method::kAnd, .threads = 8});
-//   // result.kappa[e] = truss number of edge e (EdgeIndex id order)
+// Quickstart (session form; see session.h for the full lifecycle):
+//   NucleusSession session(LoadEdgeListText("graph.txt"));
+//   DecomposeOptions opts;
+//   opts.method = Method::kAnd;
+//   opts.threads = 8;
+//   auto result = session.Decompose(DecompositionKind::kTruss, opts);
+//   // result->kappa[e] = truss number of edge e (EdgeIndex id order);
+//   // repeat calls reuse the cached EdgeIndex/arena/kappa.
+//
+// Migration notes:
+//   Decompose(g, kind, opts)          -> NucleusSession s(g);
+//                                        s.Decompose(kind, opts)
+//   DecomposeHierarchy(g, kind, kappa)-> s.HierarchyFor(kind, kappa), or
+//                                        s.Hierarchy(kind) to compute and
+//                                        cache kappa + hierarchy in one go
+//   EstimateCoreNumbers/EstimateTrussNumbers (local/query.h)
+//                                     -> s.EstimateQueries(kind, ids, opts)
+//                                        (now also covers kNucleus34)
+//   DynamicCoreMaintainer (local/dynamic.h)
+//                                     -> s.BeginUpdates(); batch.InsertEdge/
+//                                        RemoveEdge; batch.Commit()
+// The wrappers below rebuild every index per call and translate session
+// Status failures back into the exceptions they historically threw
+// (std::invalid_argument). Hold a session instead whenever more than one
+// call touches the same graph.
 #ifndef NUCLEUS_CORE_NUCLEUS_DECOMPOSITION_H_
 #define NUCLEUS_CORE_NUCLEUS_DECOMPOSITION_H_
 
-#include <cstdint>
 #include <vector>
 
 #include "src/common/types.h"
+#include "src/core/session.h"
 #include "src/graph/graph.h"
-#include "src/local/and.h"
-#include "src/local/snd.h"
-#include "src/peel/hierarchy.h"
 
 namespace nucleus {
 
-/// Which (r,s) instance to run.
-enum class DecompositionKind {
-  kCore,       // (1, 2): kappa over vertices
-  kTruss,      // (2, 3): kappa over edges
-  kNucleus34,  // (3, 4): kappa over triangles
-};
-
-/// Which algorithm computes the kappa values.
-enum class Method {
-  kPeeling,  // exact, sequential, global (Algorithm 1)
-  kSnd,      // local synchronous iteration (Algorithm 2)
-  kAnd,      // local asynchronous iteration (Algorithm 3)
-};
-
-/// Facade options; a superset of the per-algorithm options.
-struct DecomposeOptions {
-  Method method = Method::kAnd;
-  int threads = 1;
-  /// 0 = run local methods to convergence; otherwise truncate (approx mode).
-  int max_iterations = 0;
-  /// AND processing order.
-  AndOrder order = AndOrder::kNatural;
-  /// AND notification mechanism.
-  bool use_notification = true;
-  /// Materialize the clique space into a flat CSR arena (csr_space.h)
-  /// before running. kAuto materializes for the local methods when the
-  /// arena fits the budget; kOn forces it for every method including
-  /// peeling; kOff always enumerates on the fly.
-  Materialize materialize = Materialize::kAuto;
-  /// Memory budget for kAuto (see LocalOptions::materialize_budget_bytes).
-  std::uint64_t materialize_budget_bytes = std::uint64_t{512} << 20;
-  /// Optional trace sink for the local methods.
-  ConvergenceTrace* trace = nullptr;
-};
-
-/// Facade result.
-struct DecomposeResult {
-  /// kappa (or tau, if truncated) per r-clique. Index meaning depends on
-  /// the kind: vertex id / EdgeIndex id / TriangleIndex id.
-  std::vector<Degree> kappa;
-  /// Number of r-cliques.
-  std::size_t num_r_cliques = 0;
-  /// Sweeps used by the local methods (0 for peeling).
-  int iterations = 0;
-  /// True for peeling and for converged local runs.
-  bool exact = true;
-  /// Wall-clock seconds of the decomposition proper (excludes the r-clique
-  /// index construction, reported separately below).
-  double seconds = 0.0;
-  /// Seconds spent building the edge/triangle index (0 for kCore).
-  double index_seconds = 0.0;
-};
-
-/// Runs a decomposition end to end (builds whatever edge/triangle index the
-/// kind requires internally).
+/// DEPRECATED: runs one decomposition end to end over a throwaway session
+/// (all indices rebuilt per call). Prefer NucleusSession::Decompose.
+/// Throws std::invalid_argument on malformed options.
 DecomposeResult Decompose(const Graph& g, DecompositionKind kind,
                           const DecomposeOptions& options = {});
 
-/// Builds the nucleus hierarchy for kappa values previously computed with
-/// the same kind on the same graph.
+/// DEPRECATED: builds the nucleus hierarchy for kappa values previously
+/// computed with the same kind on the same graph. Prefer
+/// NucleusSession::Hierarchy (cached) or HierarchyFor. Throws
+/// std::invalid_argument when kappa does not match the kind.
 NucleusHierarchy DecomposeHierarchy(const Graph& g, DecompositionKind kind,
                                     const std::vector<Degree>& kappa);
 

@@ -1,0 +1,482 @@
+#include "src/core/session.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "src/common/timer.h"
+#include "src/local/and_impl.h"  // internal::ValidateGivenOrder, AndSweeps
+#include "src/local/snd_impl.h"  // internal::SndSweeps
+#include "src/peel/generic_peel.h"
+
+namespace nucleus {
+
+namespace {
+
+Status ValidateCommonOptions(const Options& options) {
+  if (options.threads < 0) {
+    return Status::InvalidArgument("threads must be >= 0");
+  }
+  if (options.max_iterations < 0) {
+    return Status::InvalidArgument("max_iterations must be >= 0");
+  }
+  return Status::Ok();
+}
+
+// Runs the selected engine over a concrete space. All materialization
+// decisions were already made by the session (the space may itself be a
+// CsrSpace arena), so the engine is told kOff and never self-materializes.
+// `initial` carries the session-cached d_s values for the local methods
+// (empty = let the engine count them); peeling counts internally either
+// way — it consumes the degrees destructively in its bucket queue.
+template <typename Space>
+DecomposeResult RunEngine(const Space& space, const DecomposeOptions& options,
+                          std::vector<Degree> initial) {
+  DecomposeResult out;
+  out.num_r_cliques = space.NumRCliques();
+  const bool has_initial = initial.size() == out.num_r_cliques;
+  Timer timer;
+  switch (options.method) {
+    case Method::kPeeling: {
+      PeelResult peel = PeelDecomposition(space);
+      out.kappa = std::move(peel.kappa);
+      out.exact = true;
+      break;
+    }
+    case Method::kSnd: {
+      LocalOptions local;
+      static_cast<Options&>(local) = options;
+      local.materialize = Materialize::kOff;
+      LocalResult r =
+          has_initial
+              ? internal::SndSweeps(space, local, std::move(initial))
+              : SndGeneric(space, local);
+      out.kappa = std::move(r.tau);
+      out.iterations = r.iterations;
+      out.exact = r.converged;
+      break;
+    }
+    case Method::kAnd: {
+      AndOptions opts;
+      static_cast<Options&>(opts.local) = options;
+      opts.local.materialize = Materialize::kOff;
+      opts.order = options.order;
+      opts.given_order = options.given_order;
+      opts.seed = options.seed;
+      opts.use_notification = options.use_notification;
+      LocalResult r =
+          has_initial
+              ? internal::AndSweeps(space, opts, std::move(initial))
+              : AndGeneric(space, opts);
+      out.kappa = std::move(r.tau);
+      out.iterations = r.iterations;
+      out.exact = r.converged;
+      break;
+    }
+  }
+  out.seconds = timer.Seconds();
+  return out;
+}
+
+}  // namespace
+
+NucleusSession::NucleusSession(Graph&& graph)
+    : storage_(std::move(graph)), graph_(&storage_) {}
+
+NucleusSession::NucleusSession(const Graph& graph) : graph_(&graph) {}
+
+const EdgeIndex& NucleusSession::EdgesLocked(double* build_seconds) {
+  if (!edge_index_) {
+    Timer t;
+    edge_index_ = std::make_unique<EdgeIndex>(*graph_);
+    if (build_seconds != nullptr) *build_seconds += t.Seconds();
+    ++stats_.edge_index_builds;
+  }
+  return *edge_index_;
+}
+
+const TriangleIndex& NucleusSession::TrianglesLocked(int threads,
+                                                     double* build_seconds) {
+  if (!triangle_index_) {
+    Timer t;
+    triangle_index_ =
+        std::make_unique<TriangleIndex>(*graph_, std::max(threads, 1));
+    if (build_seconds != nullptr) *build_seconds += t.Seconds();
+    ++stats_.triangle_index_builds;
+  }
+  return *triangle_index_;
+}
+
+const EdgeIndex& NucleusSession::Edges() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return EdgesLocked(nullptr);
+}
+
+const TriangleIndex& NucleusSession::Triangles(int threads) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return TrianglesLocked(threads, nullptr);
+}
+
+const EdgeTriangleCsr& NucleusSession::EdgeTriangles(int threads) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!edge_triangle_csr_) {
+    const EdgeIndex& edges = EdgesLocked(nullptr);
+    const TriangleIndex& tris = TrianglesLocked(threads, nullptr);
+    edge_triangle_csr_ = std::make_unique<EdgeTriangleCsr>(
+        edges, tris, std::max(threads, 1));
+    ++stats_.edge_triangle_csr_builds;
+  }
+  return *edge_triangle_csr_;
+}
+
+std::size_t NucleusSession::NumRCliques(DecompositionKind kind) {
+  switch (kind) {
+    case DecompositionKind::kCore:
+      return graph().NumVertices();
+    case DecompositionKind::kTruss:
+      return graph().NumEdges();
+    case DecompositionKind::kNucleus34:
+      return Triangles().NumTriangles();
+  }
+  return 0;
+}
+
+template <typename Space, typename MakeSpace>
+StatusOr<DecomposeResult> NucleusSession::DecomposeWithSpace(
+    DecompositionKind kind, const DecomposeOptions& options,
+    ArenaState<Space>* arena_state, int* arena_builds_counter,
+    MakeSpace&& make_space, double index_seconds) {
+  std::unique_lock<std::mutex> lk(mu_);
+  // Pin the on-the-fly space: it is both the direct engine input and the
+  // base the arena keeps a pointer into.
+  if (!arena_state->space) {
+    arena_state->space = std::make_unique<Space>(make_space());
+  }
+  const Space& base = *arena_state->space;
+
+  // Validate kGiven orders here so the engines never throw on session
+  // input (the legacy free functions translate this Status back into the
+  // std::invalid_argument they used to raise).
+  if (options.method == Method::kAnd && options.order == AndOrder::kGiven) {
+    Status s =
+        internal::ValidateGivenOrder(base.NumRCliques(), options.given_order);
+    if (!s.ok()) return s;
+  }
+
+  // Materialization decision. The engines' per-space default is honored
+  // (CoreSpace stays on the fly under kAuto; peeling materializes only
+  // under kOn), the budget gates kAuto, and a failed attempt's budget is
+  // remembered so hopeless builds are not retried every call. An arena
+  // that is already cached is used regardless of policy — a contiguous
+  // scan is never worse than re-enumeration.
+  const bool policy_wants =
+      options.method == Method::kPeeling
+          ? options.materialize == Materialize::kOn
+          : internal::WantMaterialize<Space>(options.materialize);
+  double arena_seconds = 0.0;
+  if (!arena_state->arena && policy_wants &&
+      options.materialize != Materialize::kOff) {
+    const std::uint64_t budget = internal::EffectiveBudget(
+        options.materialize, options.materialize_budget_bytes);
+    if (budget > arena_state->failed_budget) {
+      Timer t;
+      std::vector<Degree> degrees;
+      auto arena = CsrSpace<Space>::TryBuild(base, std::max(options.threads, 1),
+                                             budget, &degrees);
+      if (arena.has_value()) {
+        arena_seconds = t.Seconds();
+        arena_state->arena = std::move(arena);
+        arena_state->failed_budget = 0;
+        ++*arena_builds_counter;
+      } else {
+        // Keep the counting pass's d_s so the fly fallback (this call and
+        // every later one) never re-counts.
+        arena_state->failed_budget = budget;
+        arena_state->fly_degrees = std::move(degrees);
+      }
+    }
+  }
+  const bool use_arena =
+      arena_state->arena.has_value() && options.materialize != Materialize::kOff;
+  std::vector<Degree> initial;
+  if (!use_arena && options.method != Method::kPeeling) {
+    if (arena_state->fly_degrees.empty()) {
+      arena_state->fly_degrees =
+          base.InitialDegrees(std::max(options.threads, 1));
+    }
+    initial = arena_state->fly_degrees;  // engine consumes its copy
+  }
+  // The engine run happens outside the lock so concurrent session calls
+  // proceed; the references stay valid per the mutation contract.
+  lk.unlock();
+
+  DecomposeResult out =
+      use_arena ? RunEngine(*arena_state->arena, options, {})
+                : RunEngine(base, options, std::move(initial));
+  out.index_seconds = index_seconds;
+  out.arena_seconds = arena_seconds;
+
+  if (out.exact) {
+    std::lock_guard<std::mutex> lk2(mu_);
+    kappa_[static_cast<int>(kind)] = out.kappa;
+  }
+  return out;
+}
+
+StatusOr<DecomposeResult> NucleusSession::Decompose(
+    DecompositionKind kind, const DecomposeOptions& options) {
+  if (Status s = ValidateCommonOptions(options); !s.ok()) return s;
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.decompose_calls;
+    // Exact repeat requests are served from the kappa cache: kappa is
+    // unique (Theorems 1-3), so the cached answer is the answer whatever
+    // engine the caller named. Traced runs bypass the cache — the caller
+    // wants the iteration record, not just the fixed point.
+    if (options.use_result_cache && options.max_iterations == 0 &&
+        options.trace == nullptr &&
+        kappa_[static_cast<int>(kind)].has_value()) {
+      // A cache hit must reject the same malformed input a cold call
+      // would; the cached kappa's size is the kind's r-clique count.
+      if (options.method == Method::kAnd &&
+          options.order == AndOrder::kGiven) {
+        Status s = internal::ValidateGivenOrder(
+            kappa_[static_cast<int>(kind)]->size(), options.given_order);
+        if (!s.ok()) return s;
+      }
+      DecomposeResult out;
+      out.kappa = *kappa_[static_cast<int>(kind)];
+      out.num_r_cliques = out.kappa.size();
+      out.exact = true;
+      out.served_from_cache = true;
+      ++stats_.decompose_cache_hits;
+      return out;
+    }
+  }
+
+  switch (kind) {
+    case DecompositionKind::kCore:
+      return DecomposeWithSpace(
+          kind, options, &core_, &stats_.core_arena_builds,
+          [this] { return CoreSpace(*graph_); }, /*index_seconds=*/0.0);
+    case DecompositionKind::kTruss: {
+      double index_seconds = 0.0;
+      std::unique_lock<std::mutex> lk(mu_);
+      const EdgeIndex& edges = EdgesLocked(&index_seconds);
+      lk.unlock();
+      return DecomposeWithSpace(
+          kind, options, &truss_, &stats_.truss_arena_builds,
+          [this, &edges] { return TrussSpace(*graph_, edges); },
+          index_seconds);
+    }
+    case DecompositionKind::kNucleus34: {
+      double index_seconds = 0.0;
+      std::unique_lock<std::mutex> lk(mu_);
+      const TriangleIndex& tris =
+          TrianglesLocked(options.threads, &index_seconds);
+      lk.unlock();
+      return DecomposeWithSpace(
+          kind, options, &nucleus34_, &stats_.nucleus34_arena_builds,
+          [this, &tris] { return Nucleus34Space(*graph_, tris); },
+          index_seconds);
+    }
+  }
+  return Status::Internal("unknown DecompositionKind");
+}
+
+StatusOr<const NucleusHierarchy*> NucleusSession::Hierarchy(
+    DecompositionKind kind, const DecomposeOptions& options) {
+  const int kind_i = static_cast<int>(kind);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (hierarchy_[kind_i]) {
+      return static_cast<const NucleusHierarchy*>(hierarchy_[kind_i].get());
+    }
+  }
+
+  // kappa first (cache-served when an exact decomposition already ran);
+  // the hierarchy is only defined for converged values, so truncation is
+  // overridden.
+  DecomposeOptions exact = options;
+  exact.max_iterations = 0;
+  exact.trace = nullptr;
+  StatusOr<DecomposeResult> r = Decompose(kind, exact);
+  if (!r.ok()) return r.status();
+
+  StatusOr<NucleusHierarchy> h = HierarchyFor(kind, r->kappa);
+  if (!h.ok()) return h.status();
+
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!hierarchy_[kind_i]) {
+    hierarchy_[kind_i] =
+        std::make_unique<NucleusHierarchy>(std::move(h).value());
+    ++stats_.hierarchy_builds;
+  }
+  return static_cast<const NucleusHierarchy*>(hierarchy_[kind_i].get());
+}
+
+StatusOr<NucleusHierarchy> NucleusSession::HierarchyFor(
+    DecompositionKind kind, std::span<const Degree> kappa) {
+  const std::size_t n = NumRCliques(kind);
+  if (kappa.size() != n) {
+    return Status::InvalidArgument(
+        "kappa has " + std::to_string(kappa.size()) + " entries, expected " +
+        std::to_string(n) + " for this kind");
+  }
+  const std::vector<Degree> k(kappa.begin(), kappa.end());
+  switch (kind) {
+    case DecompositionKind::kCore:
+      return BuildCoreHierarchy(*graph_, k);
+    case DecompositionKind::kTruss:
+      return BuildTrussHierarchy(*graph_, Edges(), k);
+    case DecompositionKind::kNucleus34:
+      return BuildNucleus34Hierarchy(*graph_, Triangles(), k);
+  }
+  return Status::Internal("unknown DecompositionKind");
+}
+
+StatusOr<QueryEstimate> NucleusSession::EstimateQueries(
+    DecompositionKind kind, std::span<const CliqueId> ids,
+    const QueryOptions& options) {
+  if (options.radius < 0) {
+    return Status::InvalidArgument("QueryOptions::radius must be >= 0");
+  }
+  if (options.max_iterations < 0) {
+    return Status::InvalidArgument(
+        "QueryOptions::max_iterations must be >= 0");
+  }
+  if (options.threads < 0) {
+    return Status::InvalidArgument("QueryOptions::threads must be >= 0");
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.query_calls;
+  }
+  // CliqueId aliases VertexId/EdgeId/TriangleId, so the spans re-view the
+  // same memory with the kind-specific meaning.
+  switch (kind) {
+    case DecompositionKind::kCore: {
+      for (CliqueId id : ids) {
+        if (id >= graph().NumVertices()) {
+          return Status::InvalidArgument("query vertex id out of range: " +
+                                         std::to_string(id));
+        }
+      }
+      return EstimateCoreNumbers(
+          *graph_, std::span<const VertexId>(ids.data(), ids.size()),
+          options);
+    }
+    case DecompositionKind::kTruss: {
+      const EdgeIndex& edges = Edges();
+      for (CliqueId id : ids) {
+        if (id >= edges.NumEdges()) {
+          return Status::InvalidArgument("query edge id out of range: " +
+                                         std::to_string(id));
+        }
+      }
+      return EstimateTrussNumbers(
+          *graph_, edges, std::span<const EdgeId>(ids.data(), ids.size()),
+          options);
+    }
+    case DecompositionKind::kNucleus34: {
+      const TriangleIndex& tris = Triangles(options.threads);
+      for (CliqueId id : ids) {
+        if (id >= tris.NumTriangles()) {
+          return Status::InvalidArgument("query triangle id out of range: " +
+                                         std::to_string(id));
+        }
+      }
+      return EstimateNucleus34Numbers(
+          *graph_, tris,
+          std::span<const TriangleId>(ids.data(), ids.size()), options);
+    }
+  }
+  return Status::Internal("unknown DecompositionKind");
+}
+
+bool NucleusSession::UpdateBatch::InsertEdge(VertexId u, VertexId v) {
+  const bool applied = maintainer_.InsertEdge(u, v);
+  if (applied) ++mutations_;
+  return applied;
+}
+
+bool NucleusSession::UpdateBatch::RemoveEdge(VertexId u, VertexId v) {
+  const bool applied = maintainer_.RemoveEdge(u, v);
+  if (applied) ++mutations_;
+  return applied;
+}
+
+Status NucleusSession::UpdateBatch::Commit() {
+  if (session_ == nullptr) {
+    return Status::FailedPrecondition(
+        "UpdateBatch was moved from; commit the moved-to handle");
+  }
+  if (committed_) {
+    return Status::FailedPrecondition("UpdateBatch already committed");
+  }
+  const Status s = session_->CommitUpdates(this);
+  if (s.ok()) committed_ = true;
+  return s;
+}
+
+NucleusSession::UpdateBatch NucleusSession::BeginUpdates() {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto& core_kappa = kappa_[static_cast<int>(DecompositionKind::kCore)];
+  if (core_kappa.has_value()) {
+    // Reuse the cached exact core numbers: the maintainer skips its own
+    // decomposition entirely.
+    return UpdateBatch(this, DynamicCoreMaintainer(*graph_, *core_kappa),
+                       commit_epoch_);
+  }
+  return UpdateBatch(this, DynamicCoreMaintainer(*graph_), commit_epoch_);
+}
+
+Status NucleusSession::CommitUpdates(UpdateBatch* batch) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (batch->epoch_ != commit_epoch_) {
+    // Another batch committed mutations after this one branched off;
+    // publishing this snapshot would silently drop them.
+    return Status::FailedPrecondition(
+        "UpdateBatch is stale: the session graph changed since "
+        "BeginUpdates; restart the batch from the current graph");
+  }
+  ++stats_.commits;
+  if (batch->mutations_ == 0) {
+    return Status::Ok();  // graph unchanged: keep every cache
+  }
+  storage_ = batch->maintainer_.ToGraph();
+  graph_ = &storage_;
+  ++commit_epoch_;
+  InvalidateLocked();
+  // (1,2) reuse: the maintainer's locally-repaired core numbers ARE the
+  // exact kappa of the mutated graph, so the core space keeps being served
+  // with zero rebuild. The (2,3)/(3,4) indices and arenas were dropped
+  // above and rebuild lazily at full cold-call cost on next use.
+  kappa_[static_cast<int>(DecompositionKind::kCore)] =
+      batch->maintainer_.CoreNumbersView();
+  return Status::Ok();
+}
+
+void NucleusSession::InvalidateLocked() {
+  core_.Reset();
+  truss_.Reset();
+  nucleus34_.Reset();
+  edge_triangle_csr_.reset();
+  edge_index_.reset();
+  triangle_index_.reset();
+  for (auto& k : kappa_) k.reset();
+  for (auto& h : hierarchy_) h.reset();
+}
+
+void NucleusSession::InvalidateDerivedState() {
+  std::lock_guard<std::mutex> lk(mu_);
+  InvalidateLocked();
+}
+
+SessionStats NucleusSession::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace nucleus

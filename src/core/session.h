@@ -1,0 +1,326 @@
+// Session-centric public API. A NucleusSession is constructed once from a
+// Graph and owns every piece of derived state — EdgeIndex, TriangleIndex,
+// EdgeTriangleCsr, the per-space CSR co-member arenas, exact kappa values,
+// and nucleus hierarchies — built lazily on first use, cached, and shared
+// across every subsequent call. The one-shot free functions in
+// nucleus_decomposition.h are thin deprecated wrappers over a temporary
+// session; server-style callers that issue repeated decompositions,
+// queries, or updates against the same graph should hold a session so the
+// indices and arenas are paid for exactly once.
+//
+// Quickstart:
+//   NucleusSession session(LoadEdgeListText("graph.txt"));  // owns the graph
+//   DecomposeOptions opts;
+//   opts.method = Method::kAnd;
+//   opts.threads = 8;  // an inherited Options knob, so not designated-
+//                      // initializable: {.method = ...} works, {.threads
+//                      // = ...} does not (C++20 aggregates with bases)
+//   auto r = session.Decompose(DecompositionKind::kTruss, opts);
+//   if (!r.ok()) { /* r.status() explains */ }
+//   // r->kappa[e] = truss number of edge e (EdgeIndex id order).
+//   auto r2 = session.Decompose(DecompositionKind::kTruss);  // warm: served
+//   // from the kappa cache, no index or arena rebuild (r2->index_seconds
+//   // == 0, r2->served_from_cache).
+//
+// Error handling: the session boundary never throws on malformed input —
+// every entry point returns Status / StatusOr (see common/status.h).
+//
+// Thread safety: Decompose / Hierarchy / EstimateQueries may be called
+// concurrently from any number of threads (internal caches are built under
+// a mutex; engine runs proceed outside it). Mutations are the exception:
+// UpdateBatch::Commit and InvalidateDerivedState require exclusive access
+// — no concurrent session calls and no outstanding references to cached
+// state (indices, arenas, hierarchies) across them.
+#ifndef NUCLEUS_CORE_SESSION_H_
+#define NUCLEUS_CORE_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/clique/csr_space.h"
+#include "src/clique/edge_index.h"
+#include "src/clique/spaces.h"
+#include "src/clique/triangles.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/graph/graph.h"
+#include "src/local/and.h"
+#include "src/local/dynamic.h"
+#include "src/local/options.h"
+#include "src/local/query.h"
+#include "src/local/snd.h"
+#include "src/peel/hierarchy.h"
+
+namespace nucleus {
+
+/// Which (r,s) instance to run.
+enum class DecompositionKind {
+  kCore,       // (1, 2): kappa over vertices
+  kTruss,      // (2, 3): kappa over edges
+  kNucleus34,  // (3, 4): kappa over triangles
+};
+
+/// Which algorithm computes the kappa values.
+enum class Method {
+  kPeeling,  // exact, sequential, global (Algorithm 1)
+  kSnd,      // local synchronous iteration (Algorithm 2)
+  kAnd,      // local asynchronous iteration (Algorithm 3)
+};
+
+/// Request options: the shared Options knobs plus method selection and the
+/// AND-specific controls.
+struct DecomposeOptions : Options {
+  Method method = Method::kAnd;
+  /// AND processing order.
+  AndOrder order = AndOrder::kNatural;
+  /// Used when order == AndOrder::kGiven; must be a permutation of [0, n).
+  std::vector<CliqueId> given_order;
+  /// Seed for order == AndOrder::kRandom.
+  std::uint64_t seed = 1;
+  /// AND notification mechanism.
+  bool use_notification = true;
+  /// Serve exact repeat requests (max_iterations == 0, no trace) from the
+  /// session's kappa cache instead of re-running the engine. kappa is
+  /// unique, so any exact method produces the same answer; turn this off
+  /// to force a fresh engine run (e.g. when timing the engines).
+  bool use_result_cache = true;
+};
+
+/// Result of one decomposition request.
+struct DecomposeResult {
+  /// kappa (or tau, if truncated) per r-clique. Index meaning depends on
+  /// the kind: vertex id / EdgeIndex id / TriangleIndex id.
+  std::vector<Degree> kappa;
+  /// Number of r-cliques.
+  std::size_t num_r_cliques = 0;
+  /// Sweeps used by the local methods (0 for peeling and cache hits).
+  int iterations = 0;
+  /// True for peeling, converged local runs, and cache hits.
+  bool exact = true;
+  /// Wall-clock seconds of the decomposition proper (excludes index and
+  /// arena construction, reported separately below).
+  double seconds = 0.0;
+  /// Seconds THIS call spent building the edge/triangle index (0 when the
+  /// session already had it cached, and always 0 for kCore).
+  double index_seconds = 0.0;
+  /// Seconds THIS call spent materializing the CSR co-member arena (0 when
+  /// cached, on the fly, or over budget).
+  double arena_seconds = 0.0;
+  /// True when the request was answered from the session's kappa cache
+  /// without running any engine.
+  bool served_from_cache = false;
+};
+
+/// Monotone counters exposing what the session has built and served; the
+/// reuse contract ("index built exactly once") is asserted against these.
+struct SessionStats {
+  int edge_index_builds = 0;
+  int triangle_index_builds = 0;
+  int edge_triangle_csr_builds = 0;
+  int core_arena_builds = 0;
+  int truss_arena_builds = 0;
+  int nucleus34_arena_builds = 0;
+  int decompose_calls = 0;
+  int decompose_cache_hits = 0;
+  int hierarchy_builds = 0;
+  int query_calls = 0;
+  int commits = 0;
+};
+
+class NucleusSession {
+ public:
+  /// Owning construction: the session takes the graph by move.
+  explicit NucleusSession(Graph&& graph);
+  /// Borrowing construction: the caller keeps `graph` alive for the
+  /// session's lifetime (used by the legacy free-function wrappers). A
+  /// committed UpdateBatch switches the session to an internal mutated
+  /// copy; the borrowed graph is never modified.
+  explicit NucleusSession(const Graph& graph);
+
+  // The session hands out internal pointers (indices, arenas, hierarchies),
+  // so it is pinned in memory.
+  NucleusSession(const NucleusSession&) = delete;
+  NucleusSession& operator=(const NucleusSession&) = delete;
+
+  /// The graph every cached index refers to (the mutated copy after a
+  /// committed UpdateBatch).
+  const Graph& graph() const { return *graph_; }
+
+  /// Runs (or serves from cache) a decomposition. Builds whatever index /
+  /// arena the kind and options require on first use; repeat calls reuse
+  /// them, and exact repeat requests are answered from the kappa cache.
+  StatusOr<DecomposeResult> Decompose(DecompositionKind kind,
+                                      const DecomposeOptions& options = {});
+
+  /// The nucleus hierarchy of the kind, built once and cached. kappa comes
+  /// from the cache when an exact decomposition already ran; otherwise an
+  /// exact run with `options` (max_iterations forced to 0) happens first.
+  /// The pointer stays valid until Commit / InvalidateDerivedState.
+  StatusOr<const NucleusHierarchy*> Hierarchy(
+      DecompositionKind kind, const DecomposeOptions& options = {});
+
+  /// Uncached hierarchy from caller-provided kappa values (must match the
+  /// kind's r-clique count). Reuses the session's indices.
+  StatusOr<NucleusHierarchy> HierarchyFor(DecompositionKind kind,
+                                          std::span<const Degree> kappa);
+
+  /// Query-driven local estimation (paper Section 1.2), unified across all
+  /// three spaces: ids are vertex ids (kCore), EdgeIndex ids (kTruss), or
+  /// TriangleIndex ids (kNucleus34). Estimates are certified upper bounds
+  /// of kappa, tightening monotonically with options.radius. Thread-safe;
+  /// concurrent callers share the cached indices.
+  StatusOr<QueryEstimate> EstimateQueries(DecompositionKind kind,
+                                          std::span<const CliqueId> ids,
+                                          const QueryOptions& options = {});
+
+  /// A mutation handle over the session's graph: insert/remove edges with
+  /// exact local repair of core numbers (DynamicCoreMaintainer), then
+  /// Commit() to publish the mutated graph back into the session.
+  /// On commit the session keeps serving the (1,2) space with ZERO rebuild
+  /// (the maintainer's repaired core numbers seed the kappa cache); the
+  /// (2,3)/(3,4) indices and arenas are invalidated and rebuilt lazily on
+  /// next use — their cost is a full EdgeIndex / TriangleIndex + arena
+  /// construction, the same as a cold first call (see ROADMAP: incremental
+  /// arena maintenance is an open item). An uncommitted batch is discarded.
+  class UpdateBatch {
+   public:
+    /// Move transfers the handle; the moved-from batch can no longer
+    /// Commit (it reports kFailedPrecondition).
+    UpdateBatch(UpdateBatch&& other) noexcept
+        : session_(other.session_),
+          maintainer_(std::move(other.maintainer_)),
+          epoch_(other.epoch_),
+          mutations_(other.mutations_),
+          committed_(other.committed_) {
+      other.session_ = nullptr;
+    }
+    UpdateBatch(const UpdateBatch&) = delete;
+    UpdateBatch& operator=(const UpdateBatch&) = delete;
+
+    /// Inserts undirected edge {u, v}; false (no-op) if present or u == v.
+    bool InsertEdge(VertexId u, VertexId v);
+    /// Removes undirected edge {u, v}; false if absent.
+    bool RemoveEdge(VertexId u, VertexId v);
+
+    /// Exact core numbers of the batch's working graph (live view).
+    const std::vector<Degree>& CoreNumbers() const {
+      return maintainer_.CoreNumbersView();
+    }
+    /// Vertices recomputed by the last mutation (locality measure).
+    std::size_t LastRepairWork() const {
+      return maintainer_.LastRepairWork();
+    }
+    /// Mutations applied so far (insertions + removals that took effect).
+    std::size_t NumMutations() const { return mutations_; }
+
+    /// Publishes the mutated graph into the session (see class comment).
+    /// kFailedPrecondition on a second call, on a moved-from handle, or
+    /// when the batch is stale — another batch committed mutations after
+    /// this one began, so publishing this snapshot would silently drop
+    /// them. A no-mutation commit leaves all cached state untouched.
+    Status Commit();
+
+   private:
+    friend class NucleusSession;
+    UpdateBatch(NucleusSession* session, DynamicCoreMaintainer maintainer,
+                std::uint64_t epoch)
+        : session_(session),
+          maintainer_(std::move(maintainer)),
+          epoch_(epoch) {}
+
+    NucleusSession* session_;
+    DynamicCoreMaintainer maintainer_;
+    std::uint64_t epoch_ = 0;  // graph epoch this batch branched from
+    std::size_t mutations_ = 0;
+    bool committed_ = false;
+  };
+
+  /// Starts a mutation batch from the current graph. Seeds the maintainer
+  /// with the cached exact core numbers when available (skipping its
+  /// internal decomposition).
+  UpdateBatch BeginUpdates();
+
+  // Lazily built, cached, shared index surface. References stay valid
+  // until Commit / InvalidateDerivedState (see thread-safety note above).
+
+  /// Canonical edge ids of the current graph.
+  const EdgeIndex& Edges();
+  /// Canonical triangle ids of the current graph; `threads` parallelizes a
+  /// first-time build (ignored afterwards).
+  const TriangleIndex& Triangles(int threads = 1);
+  /// Per-edge triangle adjacency (CSR over edge ids).
+  const EdgeTriangleCsr& EdgeTriangles(int threads = 1);
+
+  /// Number of r-cliques of the kind (building the needed index).
+  std::size_t NumRCliques(DecompositionKind kind);
+
+  /// Drops every cached index, arena, kappa vector, and hierarchy. The
+  /// next call rebuilds from the current graph.
+  void InvalidateDerivedState();
+
+  /// Snapshot of the build/serve counters.
+  SessionStats stats() const;
+
+ private:
+  // Per-kind materialized-arena cache: the base (on-the-fly) space pinned
+  // behind unique_ptr so CsrSpace's internal pointer stays valid, the
+  // arena itself, and the largest budget a build attempt failed under
+  // (avoids re-attempting hopeless builds on every call).
+  template <typename Space>
+  struct ArenaState {
+    std::unique_ptr<Space> space;
+    std::optional<CsrSpace<Space>> arena;
+    std::uint64_t failed_budget = 0;
+    // Cached initial S-degrees (d_s) for on-the-fly engine runs — the
+    // by-product of a failed budgeted arena build, or counted once on the
+    // first fly run — so the counting enumeration is never repeated.
+    std::vector<Degree> fly_degrees;
+
+    void Reset() {
+      arena.reset();  // holds a pointer into *space: drop first
+      space.reset();
+      failed_budget = 0;
+      fly_degrees.clear();
+    }
+  };
+
+  // Lazy builders; the caller must hold mu_. build_seconds (when non-null)
+  // accumulates the time spent building in this call (0 on a cache hit).
+  const EdgeIndex& EdgesLocked(double* build_seconds);
+  const TriangleIndex& TrianglesLocked(int threads, double* build_seconds);
+
+  template <typename Space, typename MakeSpace>
+  StatusOr<DecomposeResult> DecomposeWithSpace(
+      DecompositionKind kind, const DecomposeOptions& options,
+      ArenaState<Space>* arena_state, int* arena_builds_counter,
+      MakeSpace&& make_space, double index_seconds);
+
+  Status CommitUpdates(UpdateBatch* batch);
+  void InvalidateLocked();
+
+  Graph storage_;        // owned graph (empty when borrowing, pre-commit)
+  const Graph* graph_;   // points at storage_ or at the borrowed graph
+
+  mutable std::mutex mu_;  // guards everything below
+  std::unique_ptr<EdgeIndex> edge_index_;
+  std::unique_ptr<TriangleIndex> triangle_index_;
+  std::unique_ptr<EdgeTriangleCsr> edge_triangle_csr_;
+  ArenaState<CoreSpace> core_;
+  ArenaState<TrussSpace> truss_;
+  ArenaState<Nucleus34Space> nucleus34_;
+  std::optional<std::vector<Degree>> kappa_[3];        // indexed by kind
+  std::unique_ptr<NucleusHierarchy> hierarchy_[3];     // indexed by kind
+  // Bumped on every mutating commit; outstanding UpdateBatches compare
+  // their branch epoch against it so a stale batch cannot silently drop a
+  // newer batch's mutations.
+  std::uint64_t commit_epoch_ = 0;
+  SessionStats stats_;
+};
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_CORE_SESSION_H_

@@ -11,11 +11,16 @@ namespace nucleus {
 
 namespace {
 constexpr std::uint64_t kBinaryMagic = 0x4e55434c45555347ull;  // "NUCLEUSG"
+
+// Converts a failed Status into the exception the legacy API promised.
+[[noreturn]] void ThrowStatus(const Status& s) {
+  throw std::runtime_error(s.message());
+}
 }  // namespace
 
-Graph LoadEdgeListText(const std::string& path) {
+StatusOr<Graph> TryLoadEdgeListText(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open graph file: " + path);
+  if (!in) return Status::NotFound("cannot open graph file: " + path);
   GraphBuilder builder(/*relabel=*/true);
   std::string line;
   std::size_t lineno = 0;
@@ -25,17 +30,19 @@ Graph LoadEdgeListText(const std::string& path) {
     std::istringstream ss(line);
     std::uint64_t u, v;
     if (!(ss >> u >> v)) {
-      throw std::runtime_error("malformed edge at " + path + ":" +
-                               std::to_string(lineno));
+      return Status::InvalidArgument("malformed edge at " + path + ":" +
+                                     std::to_string(lineno));
     }
     builder.AddEdge(u, v);
   }
   return builder.Build();
 }
 
-void SaveEdgeListText(const Graph& g, const std::string& path) {
+Status TrySaveEdgeListText(const Graph& g, const std::string& path) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot write graph file: " + path);
+  if (!out) {
+    return Status::FailedPrecondition("cannot write graph file: " + path);
+  }
   out << "# nucleus edge list: " << g.NumVertices() << " vertices, "
       << g.NumEdges() << " edges\n";
   for (VertexId u = 0; u < g.NumVertices(); ++u) {
@@ -43,11 +50,15 @@ void SaveEdgeListText(const Graph& g, const std::string& path) {
       if (u < v) out << u << ' ' << v << '\n';
     }
   }
+  if (!out) return Status::Internal("short write to graph file: " + path);
+  return Status::Ok();
 }
 
-void SaveBinary(const Graph& g, const std::string& path) {
+Status TrySaveBinary(const Graph& g, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("cannot write graph file: " + path);
+  if (!out) {
+    return Status::FailedPrecondition("cannot write graph file: " + path);
+  }
   auto put64 = [&](std::uint64_t x) {
     out.write(reinterpret_cast<const char*>(&x), sizeof(x));
   };
@@ -58,32 +69,79 @@ void SaveBinary(const Graph& g, const std::string& path) {
   out.write(reinterpret_cast<const char*>(g.NeighborArray().data()),
             static_cast<std::streamsize>(g.NeighborArray().size() *
                                          sizeof(VertexId)));
+  if (!out) return Status::Internal("short write to graph file: " + path);
+  return Status::Ok();
 }
 
-Graph LoadBinary(const std::string& path) {
+StatusOr<Graph> TryLoadBinary(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot open graph file: " + path);
+  if (!in) return Status::NotFound("cannot open graph file: " + path);
+  in.seekg(0, std::ios::end);
+  const std::uint64_t file_size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0);
+  bool truncated = false;
   auto get64 = [&] {
     std::uint64_t x = 0;
     in.read(reinterpret_cast<char*>(&x), sizeof(x));
-    if (!in) throw std::runtime_error("truncated graph file: " + path);
+    if (!in) truncated = true;
     return x;
   };
-  if (get64() != kBinaryMagic) {
-    throw std::runtime_error("bad magic in graph file: " + path);
+  const std::uint64_t magic = get64();
+  if (truncated || magic != kBinaryMagic) {
+    return Status::InvalidArgument("bad magic in graph file: " + path);
   }
-  const std::size_t n = get64();
-  const std::size_t deg_sum = get64();
+  const std::uint64_t n = get64();
+  const std::uint64_t deg_sum = get64();
+  if (truncated) {
+    return Status::InvalidArgument("truncated graph file: " + path);
+  }
+  // The header fields are untrusted: bound them by the bytes actually in
+  // the file BEFORE sizing any allocation, so a crafted header cannot
+  // overflow n + 1, trigger a std::bad_alloc (the Try* contract is
+  // Status-only), or walk past the payload.
+  const std::uint64_t remaining = file_size - 3 * sizeof(std::uint64_t);
+  if (n > remaining / sizeof(std::uint64_t) ||
+      deg_sum > remaining / sizeof(VertexId) ||
+      (n + 1) * sizeof(std::uint64_t) + deg_sum * sizeof(VertexId) >
+          remaining) {
+    return Status::InvalidArgument("inconsistent header in graph file: " +
+                                   path);
+  }
   std::vector<std::size_t> offsets(n + 1);
   for (auto& off : offsets) off = get64();
+  if (truncated) {
+    return Status::InvalidArgument("truncated graph file: " + path);
+  }
   if (offsets.back() != deg_sum) {
-    throw std::runtime_error("inconsistent CSR in graph file: " + path);
+    return Status::InvalidArgument("inconsistent CSR in graph file: " + path);
   }
   std::vector<VertexId> neighbors(deg_sum);
   in.read(reinterpret_cast<char*>(neighbors.data()),
           static_cast<std::streamsize>(deg_sum * sizeof(VertexId)));
-  if (!in) throw std::runtime_error("truncated graph file: " + path);
+  if (!in) return Status::InvalidArgument("truncated graph file: " + path);
   return Graph(std::move(offsets), std::move(neighbors));
+}
+
+Graph LoadEdgeListText(const std::string& path) {
+  StatusOr<Graph> g = TryLoadEdgeListText(path);
+  if (!g.ok()) ThrowStatus(g.status());
+  return std::move(g).value();
+}
+
+void SaveEdgeListText(const Graph& g, const std::string& path) {
+  const Status s = TrySaveEdgeListText(g, path);
+  if (!s.ok()) ThrowStatus(s);
+}
+
+void SaveBinary(const Graph& g, const std::string& path) {
+  const Status s = TrySaveBinary(g, path);
+  if (!s.ok()) ThrowStatus(s);
+}
+
+Graph LoadBinary(const std::string& path) {
+  StatusOr<Graph> g = TryLoadBinary(path);
+  if (!g.ok()) ThrowStatus(g.status());
+  return std::move(g).value();
 }
 
 }  // namespace nucleus

@@ -1,22 +1,37 @@
 // Edge-list I/O. Text format is SNAP-compatible: one "u v" pair per line,
 // '#' or '%' comment lines ignored. Binary format is a compact CSR dump.
+//
+// Each loader/saver comes in two flavors: the Try* functions report
+// failures through the Status channel (what the session-centric API and
+// the CLI consume), while the legacy names keep throwing
+// std::runtime_error for existing callers.
 #ifndef NUCLEUS_GRAPH_IO_H_
 #define NUCLEUS_GRAPH_IO_H_
 
 #include <string>
 
+#include "src/common/status.h"
 #include "src/graph/graph.h"
 
 namespace nucleus {
 
 /// Loads a SNAP-style text edge list. Vertex ids are relabeled densely.
-/// Throws std::runtime_error on unreadable files or malformed lines.
-Graph LoadEdgeListText(const std::string& path);
+/// kNotFound for unreadable files, kInvalidArgument for malformed lines.
+StatusOr<Graph> TryLoadEdgeListText(const std::string& path);
 
 /// Writes "u v" lines (canonical u < v orientation), with a header comment.
-void SaveEdgeListText(const Graph& g, const std::string& path);
+/// kFailedPrecondition when the path cannot be opened for writing,
+/// kInternal on a short write.
+Status TrySaveEdgeListText(const Graph& g, const std::string& path);
 
 /// Binary CSR round-trip: magic + n + offsets + neighbors, little endian.
+Status TrySaveBinary(const Graph& g, const std::string& path);
+StatusOr<Graph> TryLoadBinary(const std::string& path);
+
+// Legacy throwing wrappers (std::runtime_error on any failure). Prefer the
+// Try* forms above in new code.
+Graph LoadEdgeListText(const std::string& path);
+void SaveEdgeListText(const Graph& g, const std::string& path);
 void SaveBinary(const Graph& g, const std::string& path);
 Graph LoadBinary(const std::string& path);
 

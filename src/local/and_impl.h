@@ -12,11 +12,33 @@
 
 #include "src/common/h_index.h"
 #include "src/common/rng.h"
+#include "src/common/status.h"
 #include "src/local/and.h"
 
 namespace nucleus {
 
 namespace internal {
+
+/// Rejects malformed kGiven orders up front: a wrong-sized or
+/// non-permutation order used to walk out of bounds / skip r-cliques
+/// silently. The session boundary surfaces this Status directly; the
+/// legacy engine entry points convert it into std::invalid_argument.
+inline Status ValidateGivenOrder(std::size_t n,
+                                 const std::vector<CliqueId>& given_order) {
+  if (given_order.size() != n) {
+    return Status::InvalidArgument(
+        "AndOptions::given_order must have exactly NumRCliques() entries");
+  }
+  std::vector<char> seen(n, 0);
+  for (CliqueId c : given_order) {
+    if (c >= n || seen[c]) {
+      return Status::InvalidArgument(
+          "AndOptions::given_order is not a permutation of [0, n)");
+    }
+    seen[c] = 1;
+  }
+  return Status::Ok();
+}
 
 template <typename Space>
 std::vector<CliqueId> MakeAndOrder(const Space& space,
@@ -40,21 +62,8 @@ std::vector<CliqueId> MakeAndOrder(const Space& space,
       break;
     }
     case AndOrder::kGiven: {
-      // Reject malformed orders up front: a wrong-sized or non-permutation
-      // order used to walk out of bounds / skip r-cliques silently.
-      if (options.given_order.size() != n) {
-        throw std::invalid_argument(
-            "AndOptions::given_order must have exactly NumRCliques() "
-            "entries");
-      }
-      std::vector<char> seen(n, 0);
-      for (CliqueId c : options.given_order) {
-        if (c >= n || seen[c]) {
-          throw std::invalid_argument(
-              "AndOptions::given_order is not a permutation of [0, n)");
-        }
-        seen[c] = 1;
-      }
+      const Status s = ValidateGivenOrder(n, options.given_order);
+      if (!s.ok()) throw std::invalid_argument(s.message());
       order = options.given_order;
       break;
     }

@@ -1,6 +1,7 @@
 #include "src/local/dynamic.h"
 
 #include <algorithm>
+#include <cassert>
 #include <queue>
 
 #include "src/common/h_index.h"
@@ -14,6 +15,17 @@ DynamicCoreMaintainer::DynamicCoreMaintainer(const Graph& g)
     adj_[v].assign(g.Neighbors(v).begin(), g.Neighbors(v).end());
   }
   kappa_ = CoreNumbers(g);
+}
+
+DynamicCoreMaintainer::DynamicCoreMaintainer(const Graph& g,
+                                             std::vector<Degree> kappa)
+    : adj_(g.NumVertices()),
+      kappa_(std::move(kappa)),
+      num_edges_(g.NumEdges()) {
+  assert(kappa_.size() == g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    adj_[v].assign(g.Neighbors(v).begin(), g.Neighbors(v).end());
+  }
 }
 
 DynamicCoreMaintainer::DynamicCoreMaintainer(std::size_t n)

@@ -32,6 +32,12 @@ class DynamicCoreMaintainer {
   /// Starts from an existing graph (core numbers computed internally).
   explicit DynamicCoreMaintainer(const Graph& g);
 
+  /// Starts from an existing graph whose exact core numbers are already
+  /// known (e.g. the session's kappa cache), skipping the internal
+  /// decomposition. Precondition: kappa.size() == g.NumVertices() and the
+  /// values are the exact core numbers of g.
+  DynamicCoreMaintainer(const Graph& g, std::vector<Degree> kappa);
+
   /// Starts from an empty graph on n vertices.
   explicit DynamicCoreMaintainer(std::size_t n);
 

@@ -1,0 +1,45 @@
+// The shared execution knobs of every decomposition entry point. Before
+// this header existed, LocalOptions (SND/AND) and DecomposeOptions (facade)
+// each carried their own copies of threads/max_iterations/materialize/...,
+// and the facade hand-copied them field by field — a drift hazard every
+// time a knob was added. Both structs now derive from the single Options
+// aggregate below, so the shared knobs exist exactly once and propagate
+// with one slice-assignment.
+#ifndef NUCLEUS_LOCAL_OPTIONS_H_
+#define NUCLEUS_LOCAL_OPTIONS_H_
+
+#include <cstdint>
+
+#include "src/clique/csr_space.h"
+#include "src/common/parallel.h"
+
+namespace nucleus {
+
+struct ConvergenceTrace;
+
+/// Knobs common to the local engines (SND/AND), the facade, and the
+/// session API. Derived option structs add their algorithm-specific fields.
+struct Options {
+  /// Worker threads for the per-r-clique loops (and, via the session, for
+  /// index/arena construction).
+  int threads = 1;
+  /// Stop after this many sweeps even if not converged; 0 = run until
+  /// convergence. Truncated runs give the paper's time/quality trade-off.
+  int max_iterations = 0;
+  /// Loop scheduling; the paper argues for dynamic (Section 4.4).
+  Schedule schedule = Schedule::kDynamic;
+  /// Materialize s-clique co-member lists into a flat CSR arena before
+  /// iterating (csr_space.h), turning every sweep into a contiguous scan.
+  /// kAuto materializes when the arena fits materialize_budget_bytes
+  /// (except for CoreSpace, whose on-the-fly scan is already contiguous);
+  /// kOff reproduces the paper's pure on-the-fly Section 5 behavior.
+  Materialize materialize = Materialize::kAuto;
+  /// Memory budget for kAuto; arenas estimated above this stay on the fly.
+  std::uint64_t materialize_budget_bytes = std::uint64_t{512} << 20;
+  /// Optional instrumentation sink.
+  ConvergenceTrace* trace = nullptr;
+};
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_LOCAL_OPTIONS_H_

@@ -177,4 +177,99 @@ QueryEstimate EstimateTrussNumbers(const Graph& g, const EdgeIndex& edges,
   return result;
 }
 
+QueryEstimate EstimateNucleus34Numbers(const Graph& g,
+                                       const TriangleIndex& tris,
+                                       std::span<const TriangleId> queries,
+                                       const QueryOptions& options) {
+  QueryEstimate result;
+  // Vertex ball around all query-triangle vertices; the iterated triangles
+  // are those with all three vertices inside the ball.
+  std::vector<VertexId> seeds;
+  seeds.reserve(queries.size() * 3);
+  for (TriangleId t : queries) {
+    const auto& tri = tris.Vertices(t);
+    seeds.insert(seeds.end(), tri.begin(), tri.end());
+  }
+  std::vector<std::uint32_t> dist;
+  const std::vector<VertexId> ball =
+      VertexBall(g, seeds, options.radius, &dist);
+  constexpr std::uint32_t kInf = 0xffffffffu;
+  auto in_ball = [&](VertexId v) { return dist[v] != kInf; };
+
+  // Region triangles, enumerated locally (u < v < w, all inside the ball)
+  // so the work stays proportional to the ball, not the graph. Boundary
+  // 4-clique degrees d_4 are computed lazily on first read.
+  std::unordered_map<TriangleId, Degree> tau;
+  std::unordered_map<TriangleId, Degree> d4_cache;
+  auto d4_of = [&](TriangleId t) {
+    auto it = d4_cache.find(t);
+    if (it != d4_cache.end()) return it->second;
+    const auto& tri = tris.Vertices(t);
+    Degree c = 0;
+    ForEachCommon3(g.Neighbors(tri[0]), g.Neighbors(tri[1]),
+                   g.Neighbors(tri[2]), [&](VertexId) { ++c; });
+    d4_cache.emplace(t, c);
+    return c;
+  };
+  std::vector<TriangleId> region;
+  for (VertexId u : ball) {
+    for (VertexId v : g.Neighbors(u)) {
+      if (v <= u || !in_ball(v)) continue;
+      ForEachCommon(g.Neighbors(u), g.Neighbors(v), [&](VertexId w) {
+        if (w <= v || !in_ball(w)) return;
+        const TriangleId t = tris.TriangleIdOf(u, v, w);
+        region.push_back(t);
+        tau.emplace(t, d4_of(t));
+      });
+    }
+  }
+  result.region_size = region.size();
+
+  auto tau_of = [&](TriangleId t) {
+    auto it = tau.find(t);
+    return it == tau.end() ? d4_of(t) : it->second;
+  };
+
+  HIndexScratch scratch;
+  for (int iter = 0;
+       options.max_iterations == 0 || iter < options.max_iterations; ++iter) {
+    std::unordered_map<TriangleId, Degree> prev = tau;
+    auto prev_of = [&](TriangleId t) {
+      auto it = prev.find(t);
+      return it == prev.end() ? d4_of(t) : it->second;
+    };
+    std::size_t updates = 0;
+    for (TriangleId t : region) {
+      const auto& tri = tris.Vertices(t);
+      auto& rhos = scratch.values();
+      rhos.clear();
+      ForEachCommon3(g.Neighbors(tri[0]), g.Neighbors(tri[1]),
+                     g.Neighbors(tri[2]), [&](VertexId x) {
+                       // rho of the 4-clique {tri, x}: min over the three
+                       // co-member triangles through x.
+                       const Degree a =
+                           prev_of(tris.TriangleIdOf(tri[0], tri[1], x));
+                       const Degree b =
+                           prev_of(tris.TriangleIdOf(tri[0], tri[2], x));
+                       const Degree c =
+                           prev_of(tris.TriangleIdOf(tri[1], tri[2], x));
+                       rhos.push_back(std::min({a, b, c}));
+                     });
+      const Degree new_tau = std::min<Degree>(scratch.Compute(), prev_of(t));
+      if (new_tau != prev_of(t)) {
+        tau[t] = new_tau;
+        ++updates;
+      }
+    }
+    ++result.iterations;
+    if (updates == 0) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.estimates.reserve(queries.size());
+  for (TriangleId q : queries) result.estimates.push_back(tau_of(q));
+  return result;
+}
+
 }  // namespace nucleus

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/clique/edge_index.h"
+#include "src/clique/triangles.h"
 #include "src/common/types.h"
 #include "src/graph/graph.h"
 
@@ -24,6 +25,11 @@ struct QueryOptions {
   /// Cap on the number of h-index sweeps inside the region; 0 = until the
   /// region converges.
   int max_iterations = 0;
+  /// Worker threads for first-touch index construction when the query runs
+  /// through a NucleusSession (the TriangleIndex build dominates a cold
+  /// (3,4) query). The estimation sweep itself is sequential — its whole
+  /// point is touching a region too small to be worth parallelizing.
+  int threads = 1;
 };
 
 /// Result of a query estimation.
@@ -47,6 +53,16 @@ QueryEstimate EstimateCoreNumbers(const Graph& g,
 QueryEstimate EstimateTrussNumbers(const Graph& g, const EdgeIndex& edges,
                                    std::span<const EdgeId> queries,
                                    const QueryOptions& options = {});
+
+/// Estimates (3,4)-nucleus numbers kappa_4 of the query triangles
+/// (TriangleIndex ids). The iterated region is every triangle whose three
+/// vertices lie inside the BFS ball around the query triangles' vertices;
+/// boundary triangles keep their 4-clique degree d_4 (the valid frozen
+/// upper bound), so estimates are always >= kappa and tighten with radius.
+QueryEstimate EstimateNucleus34Numbers(const Graph& g,
+                                       const TriangleIndex& tris,
+                                       std::span<const TriangleId> queries,
+                                       const QueryOptions& options = {});
 
 }  // namespace nucleus
 

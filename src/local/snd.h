@@ -14,33 +14,18 @@
 #include "src/clique/spaces.h"
 #include "src/common/parallel.h"
 #include "src/common/types.h"
+#include "src/local/options.h"
 #include "src/local/trace.h"
 
 namespace nucleus {
 
-/// Options shared by the local algorithms.
-struct LocalOptions {
-  /// Worker threads for the per-r-clique loops.
-  int threads = 1;
-  /// Stop after this many sweeps even if not converged; 0 = run until
-  /// convergence. Truncated runs give the paper's time/quality trade-off.
-  int max_iterations = 0;
+/// Options of the local algorithms: the shared Options knobs plus the
+/// SND/AND-specific preserve-check ablation switch.
+struct LocalOptions : Options {
   /// Section 4.4 heuristic: skip the h-index computation when tau is
   /// provably preserved (>= tau values of at least tau). Never changes
   /// results, only speed. Exposed for the ablation bench.
   bool use_preserve_check = true;
-  /// Loop scheduling; the paper argues for dynamic (Section 4.4).
-  Schedule schedule = Schedule::kDynamic;
-  /// Materialize s-clique co-member lists into a flat CSR arena before
-  /// iterating (csr_space.h), turning every sweep into a contiguous scan.
-  /// kAuto materializes when the arena fits materialize_budget_bytes
-  /// (except for CoreSpace, whose on-the-fly scan is already contiguous);
-  /// kOff reproduces the paper's pure on-the-fly Section 5 behavior.
-  Materialize materialize = Materialize::kAuto;
-  /// Memory budget for kAuto; arenas estimated above this stay on the fly.
-  std::uint64_t materialize_budget_bytes = std::uint64_t{512} << 20;
-  /// Optional instrumentation sink.
-  ConvergenceTrace* trace = nullptr;
 };
 
 /// Result of an SND/AND run.

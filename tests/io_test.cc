@@ -4,7 +4,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdint>
 #include <fstream>
+#include <limits>
 #include <string>
 
 #include "src/graph/generators.h"
@@ -108,6 +110,29 @@ TEST(GraphIo, BinaryTruncatedThrows) {
               static_cast<std::streamsize>(contents.size()));
   }
   EXPECT_THROW(LoadBinary(path), std::runtime_error);
+}
+
+TEST(GraphIo, BinaryHugeHeaderCountsRejected) {
+  // A crafted header whose n/deg_sum fields exceed what the file can hold
+  // must fail cleanly (no overflow, no bad_alloc): n == UINT64_MAX used to
+  // wrap offsets(n + 1) to an empty vector and crash on offsets.back().
+  const std::string path = TempPath("huge_header.bin");
+  for (const std::uint64_t n :
+       {std::numeric_limits<std::uint64_t>::max(),
+        std::uint64_t{1} << 40, std::uint64_t{100}}) {
+    {
+      std::ofstream out(path, std::ios::binary);
+      const std::uint64_t magic = 0x4e55434c45555347ull;  // "NUCLEUSG"
+      const std::uint64_t deg_sum = 0;
+      out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+      out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+      out.write(reinterpret_cast<const char*>(&deg_sum), sizeof(deg_sum));
+    }
+    const auto g = TryLoadBinary(path);
+    ASSERT_FALSE(g.ok()) << "n=" << n;
+    EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_THROW(LoadBinary(path), std::runtime_error);
+  }
 }
 
 TEST(GraphIo, EmptyGraphRoundTrip) {

@@ -124,6 +124,86 @@ TEST(QueryTruss, TriangleFreeEdgesAreZero) {
   for (Degree e : est.estimates) EXPECT_EQ(e, 0u);
 }
 
+TEST(QueryNucleus34, EstimateIsUpperBoundAndMonotoneInRadius) {
+  // Property sweep across seeds: every estimate upper-bounds the exact
+  // kappa_4 at every radius, and estimates tighten monotonically per
+  // query as the radius grows.
+  for (std::uint64_t seed : {3u, 11u, 27u}) {
+    const Graph g = GeneratePlantedPartition(3, 14, 0.6, 0.05, seed);
+    const TriangleIndex tris(g);
+    ASSERT_GT(tris.NumTriangles(), 8u) << "seed " << seed;
+    const auto kappa = PeelNucleus34(g, tris).kappa;
+    Rng rng(seed);
+    std::vector<TriangleId> queries;
+    for (auto i : rng.SampleWithoutReplacement(tris.NumTriangles(), 8)) {
+      queries.push_back(static_cast<TriangleId>(i));
+    }
+    std::vector<Degree> prev;
+    for (int radius = 0; radius <= 3; ++radius) {
+      QueryOptions opt;
+      opt.radius = radius;
+      const auto est = EstimateNucleus34Numbers(g, tris, queries, opt);
+      ASSERT_EQ(est.estimates.size(), queries.size());
+      for (std::size_t i = 0; i < queries.size(); ++i) {
+        EXPECT_GE(est.estimates[i], kappa[queries[i]])
+            << "seed " << seed << " radius " << radius;
+        if (!prev.empty()) {
+          EXPECT_LE(est.estimates[i], prev[i])
+              << "seed " << seed << " radius " << radius;
+        }
+      }
+      prev = est.estimates;
+    }
+  }
+}
+
+TEST(QueryNucleus34, LargeRadiusIsExact) {
+  const Graph g = GeneratePlantedPartition(2, 15, 0.7, 0.05, 41);
+  const TriangleIndex tris(g);
+  ASSERT_GT(tris.NumTriangles(), 4u);
+  const auto kappa = PeelNucleus34(g, tris).kappa;
+  std::vector<TriangleId> queries = {0, 1, 2, 3};
+  QueryOptions opt;
+  opt.radius = 1000;  // covers the whole graph
+  const auto est = EstimateNucleus34Numbers(g, tris, queries, opt);
+  EXPECT_TRUE(est.converged);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(est.estimates[i], kappa[queries[i]]);
+  }
+}
+
+TEST(QueryNucleus34, RegionGrowsWithRadiusAndStaysLocal) {
+  const Graph g = GeneratePlantedPartition(6, 15, 0.6, 0.01, 53);
+  const TriangleIndex tris(g);
+  ASSERT_GT(tris.NumTriangles(), 0u);
+  std::vector<TriangleId> queries = {0};
+  std::size_t prev = 0;
+  for (int radius = 0; radius <= 2; ++radius) {
+    QueryOptions opt;
+    opt.radius = radius;
+    const auto est = EstimateNucleus34Numbers(g, tris, queries, opt);
+    EXPECT_GE(est.region_size, prev);
+    prev = est.region_size;
+  }
+  // With 6 weakly-connected blocks, radius 0 should not reach them all.
+  QueryOptions r0;
+  r0.radius = 0;
+  EXPECT_LT(EstimateNucleus34Numbers(g, tris, queries, r0).region_size,
+            tris.NumTriangles());
+}
+
+TEST(QueryNucleus34, MaxIterationsCaps) {
+  const Graph g = GeneratePlantedPartition(2, 14, 0.7, 0.05, 61);
+  const TriangleIndex tris(g);
+  ASSERT_GT(tris.NumTriangles(), 2u);
+  std::vector<TriangleId> queries = {0, 1};
+  QueryOptions opt;
+  opt.radius = 2;
+  opt.max_iterations = 1;
+  const auto est = EstimateNucleus34Numbers(g, tris, queries, opt);
+  EXPECT_EQ(est.iterations, 1);
+}
+
 TEST(Query, EmptyQueriesOk) {
   const Graph g = GenerateCycle(10);
   const auto est = EstimateCoreNumbers(g, {}, {});

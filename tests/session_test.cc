@@ -1,0 +1,490 @@
+#include "src/core/session.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/core/nucleus_decomposition.h"
+#include "src/graph/generators.h"
+#include "src/peel/generic_peel.h"
+
+namespace nucleus {
+namespace {
+
+TEST(Session, MatchesPeelingForAllKindsAndMethods) {
+  const Graph g = GenerateErdosRenyi(40, 170, 2);
+  for (auto kind : {DecompositionKind::kCore, DecompositionKind::kTruss,
+                    DecompositionKind::kNucleus34}) {
+    NucleusSession session(g);  // borrowing
+    const auto peel =
+        session.Decompose(kind, {.method = Method::kPeeling});
+    ASSERT_TRUE(peel.ok());
+    for (auto method : {Method::kSnd, Method::kAnd}) {
+      DecomposeOptions opt;
+      opt.method = method;
+      opt.use_result_cache = false;  // force real engine runs
+      const auto r = session.Decompose(kind, opt);
+      ASSERT_TRUE(r.ok());
+      EXPECT_EQ(r->kappa, peel->kappa);
+      EXPECT_TRUE(r->exact);
+      EXPECT_FALSE(r->served_from_cache);
+    }
+  }
+}
+
+TEST(Session, IndexAndArenaBuiltExactlyOnce) {
+  const Graph g = GeneratePlantedPartition(4, 30, 0.5, 0.02, 7);
+  NucleusSession session(g);
+  DecomposeOptions opt;
+  opt.method = Method::kAnd;
+  opt.use_result_cache = false;  // repeats must still reuse index + arena
+  for (int i = 0; i < 3; ++i) {
+    const auto r = session.Decompose(DecompositionKind::kTruss, opt);
+    ASSERT_TRUE(r.ok());
+    if (i == 0) {
+      EXPECT_GT(r->arena_seconds, 0.0);
+    } else {
+      EXPECT_EQ(r->index_seconds, 0.0);
+      EXPECT_EQ(r->arena_seconds, 0.0);
+    }
+  }
+  for (int i = 0; i < 3; ++i) {
+    const auto r = session.Decompose(DecompositionKind::kNucleus34, opt);
+    ASSERT_TRUE(r.ok());
+  }
+  const SessionStats stats = session.stats();
+  EXPECT_EQ(stats.edge_index_builds, 1);
+  EXPECT_EQ(stats.triangle_index_builds, 1);
+  EXPECT_EQ(stats.truss_arena_builds, 1);
+  EXPECT_EQ(stats.nucleus34_arena_builds, 1);
+  EXPECT_EQ(stats.decompose_calls, 6);
+  EXPECT_EQ(stats.decompose_cache_hits, 0);
+}
+
+TEST(Session, WarmExactRepeatIsServedFromKappaCache) {
+  const Graph g = GenerateBarabasiAlbert(200, 4, 3);
+  NucleusSession session(g);
+  const auto cold = session.Decompose(DecompositionKind::kTruss);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold->served_from_cache);
+  const auto warm = session.Decompose(DecompositionKind::kTruss);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->served_from_cache);
+  EXPECT_EQ(warm->index_seconds, 0.0);
+  EXPECT_EQ(warm->arena_seconds, 0.0);
+  EXPECT_TRUE(warm->exact);
+  EXPECT_EQ(warm->kappa, cold->kappa);
+  // Any exact method is served from the same cache (kappa is unique).
+  const auto warm_peel =
+      session.Decompose(DecompositionKind::kTruss, {.method = Method::kPeeling});
+  ASSERT_TRUE(warm_peel.ok());
+  EXPECT_TRUE(warm_peel->served_from_cache);
+  EXPECT_EQ(session.stats().decompose_cache_hits, 2);
+}
+
+TEST(Session, TruncatedRunsBypassTheResultCache) {
+  const Graph g = GenerateBarabasiAlbert(200, 4, 5);
+  NucleusSession session(g);
+  ASSERT_TRUE(session.Decompose(DecompositionKind::kCore).ok());  // seeds cache
+  DecomposeOptions opt;
+  opt.method = Method::kSnd;
+  opt.max_iterations = 1;
+  const auto r = session.Decompose(DecompositionKind::kCore, opt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->served_from_cache);
+  EXPECT_FALSE(r->exact);
+  EXPECT_EQ(r->iterations, 1);
+  // The inexact tau must not poison the cache.
+  const auto again = session.Decompose(DecompositionKind::kCore);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->served_from_cache);
+  EXPECT_EQ(again->kappa, PeelCore(g).kappa);
+}
+
+TEST(Session, TracedRunsBypassTheResultCache) {
+  const Graph g = GenerateErdosRenyi(50, 160, 9);
+  NucleusSession session(g);
+  ASSERT_TRUE(session.Decompose(DecompositionKind::kCore).ok());
+  ConvergenceTrace trace;
+  trace.record_snapshots = true;
+  DecomposeOptions opt;
+  opt.method = Method::kSnd;
+  opt.trace = &trace;
+  const auto r = session.Decompose(DecompositionKind::kCore, opt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->served_from_cache);
+  EXPECT_FALSE(trace.snapshots.empty());
+}
+
+TEST(Session, ConcurrentQueriesMatchSequential) {
+  const Graph g = GeneratePlantedPartition(4, 30, 0.5, 0.02, 11);
+  // Sequential reference from one session.
+  NucleusSession ref_session(g);
+  std::vector<std::vector<CliqueId>> id_sets(8);
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      id_sets[i].push_back(static_cast<CliqueId>((i * 17 + j * 5) %
+                                                 g.NumVertices()));
+    }
+  }
+  QueryOptions qopt;
+  qopt.radius = 2;
+  std::vector<std::vector<Degree>> expected;
+  for (const auto& ids : id_sets) {
+    const auto est =
+        ref_session.EstimateQueries(DecompositionKind::kCore, ids, qopt);
+    ASSERT_TRUE(est.ok());
+    expected.push_back(est->estimates);
+  }
+
+  // Concurrent runs against a fresh session (first touch builds indices
+  // under contention).
+  NucleusSession session(g);
+  std::vector<std::vector<Degree>> got(8);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  for (int i = 0; i < 8; ++i) {
+    workers.emplace_back([&, i] {
+      const auto est =
+          session.EstimateQueries(DecompositionKind::kCore, id_sets[i], qopt);
+      if (!est.ok()) {
+        ++failures;
+        return;
+      }
+      got[i] = est->estimates;
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(got[i], expected[i]) << "caller thread " << i;
+  }
+}
+
+TEST(Session, ConcurrentQueriesAcrossAllKinds) {
+  const Graph g = GeneratePlantedPartition(3, 20, 0.6, 0.03, 13);
+  NucleusSession session(g);
+  const std::vector<CliqueId> ids = {0, 1, 2};
+  QueryOptions qopt;
+  qopt.radius = 1;
+  // Reference estimates per kind, computed sequentially first.
+  std::vector<std::vector<Degree>> expected(3);
+  const DecompositionKind kinds[] = {DecompositionKind::kCore,
+                                     DecompositionKind::kTruss,
+                                     DecompositionKind::kNucleus34};
+  {
+    NucleusSession ref(g);
+    for (int k = 0; k < 3; ++k) {
+      const auto est = ref.EstimateQueries(kinds[k], ids, qopt);
+      ASSERT_TRUE(est.ok());
+      expected[k] = est->estimates;
+    }
+  }
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      for (int k = 0; k < 3; ++k) {
+        const auto est = session.EstimateQueries(kinds[(t + k) % 3], ids,
+                                                 qopt);
+        if (!est.ok() || est->estimates != expected[(t + k) % 3]) ++failures;
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+  // All that concurrency still built each index exactly once.
+  const SessionStats stats = session.stats();
+  EXPECT_EQ(stats.edge_index_builds, 1);
+  EXPECT_EQ(stats.triangle_index_builds, 1);
+}
+
+TEST(Session, ConcurrentDecomposeAgrees) {
+  const Graph g = GenerateErdosRenyi(60, 240, 17);
+  NucleusSession session(g);
+  const auto expected = PeelTruss(g, EdgeIndex(g)).kappa;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&] {
+      const auto r = session.Decompose(DecompositionKind::kTruss);
+      if (!r.ok() || r->kappa != expected) ++failures;
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(session.stats().edge_index_builds, 1);
+}
+
+TEST(Session, MalformedGivenOrderReturnsInvalidArgument) {
+  const Graph g = GenerateCycle(10);
+  NucleusSession session(g);
+  DecomposeOptions opt;
+  opt.method = Method::kAnd;
+  opt.order = AndOrder::kGiven;
+  opt.given_order = {0, 1, 2};  // wrong size
+  const auto r = session.Decompose(DecompositionKind::kCore, opt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+
+  opt.given_order.assign(g.NumVertices(), 0);  // not a permutation
+  const auto r2 = session.Decompose(DecompositionKind::kCore, opt);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kInvalidArgument);
+
+  // A warm session must reject the same malformed input a cold one does —
+  // the kappa-cache fast path may not skip validation.
+  ASSERT_TRUE(session.Decompose(DecompositionKind::kCore).ok());
+  opt.given_order = {0, 1, 2};
+  const auto warm = session.Decompose(DecompositionKind::kCore, opt);
+  ASSERT_FALSE(warm.ok());
+  EXPECT_EQ(warm.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Session, LegacyFacadeStillThrowsOnMalformedOrder) {
+  const Graph g = GenerateCycle(10);
+  DecomposeOptions opt;
+  opt.method = Method::kAnd;
+  opt.order = AndOrder::kGiven;
+  opt.given_order = {0, 1};  // wrong size
+  EXPECT_THROW(Decompose(g, DecompositionKind::kCore, opt),
+               std::invalid_argument);
+}
+
+TEST(Session, InvalidOptionsAndIdsAreStatusNotThrow) {
+  const Graph g = GenerateCycle(12);
+  NucleusSession session(g);
+  DecomposeOptions opt;
+  opt.threads = -1;
+  EXPECT_EQ(session.Decompose(DecompositionKind::kCore, opt).status().code(),
+            StatusCode::kInvalidArgument);
+  opt.threads = 1;
+  opt.max_iterations = -3;
+  EXPECT_EQ(session.Decompose(DecompositionKind::kCore, opt).status().code(),
+            StatusCode::kInvalidArgument);
+
+  const std::vector<CliqueId> bad = {999};
+  for (auto kind : {DecompositionKind::kCore, DecompositionKind::kTruss,
+                    DecompositionKind::kNucleus34}) {
+    const auto est = session.EstimateQueries(kind, bad);
+    ASSERT_FALSE(est.ok());
+    EXPECT_EQ(est.status().code(), StatusCode::kInvalidArgument);
+  }
+  QueryOptions qopt;
+  qopt.radius = -1;
+  EXPECT_EQ(session.EstimateQueries(DecompositionKind::kCore, {}, qopt)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Session, QueriesCoverAllThreeSpaces) {
+  const Graph g = GeneratePlantedPartition(2, 18, 0.7, 0.05, 31);
+  NucleusSession session(g);
+  QueryOptions opt;
+  opt.radius = 100;  // whole graph: estimates converge to exact kappa
+  {
+    const std::vector<CliqueId> ids = {0, 5, 17};
+    const auto est =
+        session.EstimateQueries(DecompositionKind::kCore, ids, opt);
+    ASSERT_TRUE(est.ok());
+    const auto kappa = PeelCore(g).kappa;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      EXPECT_EQ(est->estimates[i], kappa[ids[i]]);
+    }
+  }
+  {
+    const std::vector<CliqueId> ids = {0, 3, 11};
+    const auto est =
+        session.EstimateQueries(DecompositionKind::kTruss, ids, opt);
+    ASSERT_TRUE(est.ok());
+    const auto kappa = PeelTruss(g, session.Edges()).kappa;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      EXPECT_EQ(est->estimates[i], kappa[ids[i]]);
+    }
+  }
+  {
+    ASSERT_GT(session.NumRCliques(DecompositionKind::kNucleus34), 3u);
+    const std::vector<CliqueId> ids = {0, 1, 2};
+    const auto est =
+        session.EstimateQueries(DecompositionKind::kNucleus34, ids, opt);
+    ASSERT_TRUE(est.ok());
+    const auto kappa = PeelNucleus34(g, session.Triangles()).kappa;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      EXPECT_EQ(est->estimates[i], kappa[ids[i]]);
+    }
+  }
+}
+
+TEST(Session, HierarchyIsCachedAndMatchesFacade) {
+  const Graph g = GenerateErdosRenyi(30, 120, 13);
+  NucleusSession session(g);
+  for (auto kind : {DecompositionKind::kCore, DecompositionKind::kTruss,
+                    DecompositionKind::kNucleus34}) {
+    const auto h1 = session.Hierarchy(kind);
+    ASSERT_TRUE(h1.ok());
+    const auto h2 = session.Hierarchy(kind);
+    ASSERT_TRUE(h2.ok());
+    EXPECT_EQ(*h1, *h2);  // same cached object
+    const auto r = Decompose(g, kind, {.method = Method::kPeeling});
+    const NucleusHierarchy ref = DecomposeHierarchy(g, kind, r.kappa);
+    EXPECT_EQ((*h1)->nodes.size(), ref.nodes.size());
+    EXPECT_EQ((*h1)->roots.size(), ref.roots.size());
+    EXPECT_EQ((*h1)->Depth(), ref.Depth());
+  }
+  // Hierarchy seeded each kind's kappa cache: repeats are cache hits.
+  const auto r = session.Decompose(DecompositionKind::kTruss);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->served_from_cache);
+}
+
+TEST(Session, HierarchyForRejectsWrongSizedKappa) {
+  const Graph g = GenerateCycle(8);
+  NucleusSession session(g);
+  const std::vector<Degree> wrong(3, 1);
+  const auto h = session.HierarchyFor(DecompositionKind::kCore, wrong);
+  ASSERT_FALSE(h.ok());
+  EXPECT_EQ(h.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Session, UpdateBatchCommitServesMutatedGraph) {
+  const Graph g = GeneratePlantedPartition(3, 15, 0.6, 0.04, 19);
+  NucleusSession session(g);
+  // Warm up every space, then mutate.
+  ASSERT_TRUE(session.Decompose(DecompositionKind::kCore).ok());
+  ASSERT_TRUE(session.Decompose(DecompositionKind::kTruss).ok());
+  const SessionStats before = session.stats();
+  EXPECT_EQ(before.edge_index_builds, 1);
+
+  NucleusSession::UpdateBatch batch = session.BeginUpdates();
+  int inserted = 0;
+  for (VertexId u = 0; u < 10 && inserted < 12; ++u) {
+    for (VertexId v = 20; v < 25 && inserted < 12; ++v) {
+      if (batch.InsertEdge(u, v)) ++inserted;
+    }
+  }
+  ASSERT_GT(inserted, 0);
+  EXPECT_TRUE(batch.RemoveEdge(0, 20));
+  ASSERT_TRUE(batch.Commit().ok());
+
+  // (1,2): served with zero rebuild — the repaired core numbers seeded the
+  // cache, so this is a cache hit that matches a fresh recompute.
+  const auto core = session.Decompose(DecompositionKind::kCore);
+  ASSERT_TRUE(core.ok());
+  EXPECT_TRUE(core->served_from_cache);
+  EXPECT_EQ(core->kappa, PeelCore(session.graph()).kappa);
+
+  // (2,3): rebuilt lazily on the mutated graph and exact.
+  const auto truss = session.Decompose(DecompositionKind::kTruss);
+  ASSERT_TRUE(truss.ok());
+  EXPECT_FALSE(truss->served_from_cache);
+  EXPECT_EQ(truss->kappa, PeelTruss(session.graph(),
+                                    EdgeIndex(session.graph())).kappa);
+  EXPECT_EQ(session.stats().edge_index_builds,
+            before.edge_index_builds + 1);
+}
+
+TEST(Session, UpdateBatchDoubleCommitFails) {
+  const Graph g = GenerateCycle(6);
+  NucleusSession session(g);
+  auto batch = session.BeginUpdates();
+  batch.InsertEdge(0, 3);
+  ASSERT_TRUE(batch.Commit().ok());
+  const Status second = batch.Commit();
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Session, StaleUpdateBatchCannotDropNewerCommit) {
+  const Graph g = GenerateCycle(8);
+  NucleusSession session(g);
+  auto b1 = session.BeginUpdates();
+  auto b2 = session.BeginUpdates();  // branches from the same graph
+  ASSERT_TRUE(b1.InsertEdge(0, 4));
+  ASSERT_TRUE(b1.Commit().ok());
+  ASSERT_TRUE(b2.InsertEdge(1, 5));
+  // b2's snapshot predates b1's commit; publishing it would silently drop
+  // edge {0,4}.
+  const Status stale = b2.Commit();
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(session.graph().NumEdges(), g.NumEdges() + 1);
+  // A stale batch with no mutations is equally rejected; only a batch
+  // branched from the current graph commits.
+  auto b3 = session.BeginUpdates();
+  ASSERT_TRUE(b3.InsertEdge(1, 5));
+  EXPECT_TRUE(b3.Commit().ok());
+  EXPECT_EQ(session.graph().NumEdges(), g.NumEdges() + 2);
+}
+
+TEST(Session, MovedFromUpdateBatchCannotCommit) {
+  const Graph g = GenerateCycle(6);
+  NucleusSession session(g);
+  auto b1 = session.BeginUpdates();
+  ASSERT_TRUE(b1.InsertEdge(0, 2));
+  NucleusSession::UpdateBatch b2 = std::move(b1);
+  const Status moved = b1.Commit();  // NOLINT(bugprone-use-after-move)
+  ASSERT_FALSE(moved.ok());
+  EXPECT_EQ(moved.code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(b2.Commit().ok());
+  EXPECT_EQ(session.graph().NumEdges(), g.NumEdges() + 1);
+}
+
+TEST(Session, EmptyCommitKeepsCaches) {
+  const Graph g = GenerateErdosRenyi(40, 120, 23);
+  NucleusSession session(g);
+  ASSERT_TRUE(session.Decompose(DecompositionKind::kTruss).ok());
+  auto batch = session.BeginUpdates();
+  EXPECT_FALSE(batch.InsertEdge(0, 0));  // self loop: no-op
+  ASSERT_TRUE(batch.Commit().ok());
+  const auto r = session.Decompose(DecompositionKind::kTruss);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->served_from_cache);
+  EXPECT_EQ(session.stats().edge_index_builds, 1);
+}
+
+TEST(Session, BeginUpdatesReusesCachedCoreKappa) {
+  const Graph g = GenerateBarabasiAlbert(150, 3, 29);
+  NucleusSession session(g);
+  ASSERT_TRUE(session.Decompose(DecompositionKind::kCore).ok());
+  auto batch = session.BeginUpdates();
+  // The maintainer starts from the cached exact kappa.
+  EXPECT_EQ(batch.CoreNumbers(), PeelCore(g).kappa);
+}
+
+TEST(Session, InvalidateDerivedStateForcesRebuild) {
+  const Graph g = GenerateErdosRenyi(30, 100, 31);
+  NucleusSession session(g);
+  ASSERT_TRUE(session.Decompose(DecompositionKind::kTruss).ok());
+  session.InvalidateDerivedState();
+  const auto r = session.Decompose(DecompositionKind::kTruss);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->served_from_cache);
+  EXPECT_EQ(session.stats().edge_index_builds, 2);
+}
+
+TEST(Session, OverBudgetArenaFallsBackToOnTheFly) {
+  const Graph g = GeneratePlantedPartition(3, 20, 0.5, 0.02, 37);
+  NucleusSession session(g);
+  DecomposeOptions opt;
+  opt.method = Method::kAnd;
+  opt.materialize = Materialize::kAuto;
+  opt.materialize_budget_bytes = 1;  // nothing fits
+  const auto r = session.Decompose(DecompositionKind::kTruss, opt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->arena_seconds, 0.0);
+  EXPECT_EQ(session.stats().truss_arena_builds, 0);
+  EXPECT_EQ(r->kappa, PeelTruss(g, session.Edges()).kappa);
+  // A bigger budget on a later call retries and succeeds.
+  opt.materialize_budget_bytes = std::uint64_t{64} << 20;
+  opt.use_result_cache = false;
+  const auto r2 = session.Decompose(DecompositionKind::kTruss, opt);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(session.stats().truss_arena_builds, 1);
+  EXPECT_EQ(r2->kappa, r->kappa);
+}
+
+}  // namespace
+}  // namespace nucleus

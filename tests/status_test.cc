@@ -1,0 +1,70 @@
+#include "src/common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nucleus {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_EQ(s, Status::Ok());
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  const Status s = Status::InvalidArgument("bad radius");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad radius");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad radius");
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v.status().ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> v = Status::NotFound("nope");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(v.status().message(), "nope");
+}
+
+TEST(StatusOr, MoveOutValue) {
+  StatusOr<std::vector<int>> v = std::vector<int>{1, 2, 3};
+  ASSERT_TRUE(v.ok());
+  const std::vector<int> moved = std::move(v).value();
+  EXPECT_EQ(moved.size(), 3u);
+}
+
+TEST(StatusOr, ArrowOperator) {
+  StatusOr<std::string> v = std::string("abc");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->size(), 3u);
+}
+
+TEST(StatusOr, OkStatusIsCoercedToInternal) {
+  // Constructing a StatusOr from an OK status (a bug) must not produce a
+  // half-valid object claiming success without a value.
+  StatusOr<int> v = Status::Ok();
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace nucleus
