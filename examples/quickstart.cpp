@@ -85,6 +85,8 @@ int main(int argc, char** argv) {
   std::printf("\nTip: Method::kPeeling gives the classical exact baseline; "
               "Method::kSnd is the deterministic synchronous variant; "
               "options.max_iterations > 0 trades accuracy for time (such "
-              "truncated runs bypass the result cache).\n");
+              "truncated runs are cached per truncation level, and a "
+              "cached exact kappa serves them directly — set "
+              "use_result_cache = false to force the engine).\n");
   return 0;
 }

@@ -13,12 +13,15 @@
 #ifndef NUCLEUS_CLIQUE_CSR_SPACE_H_
 #define NUCLEUS_CLIQUE_CSR_SPACE_H_
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <limits>
 #include <optional>
 #include <span>
 #include <type_traits>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/clique/generic_space.h"
@@ -180,26 +183,169 @@ class CsrSpace {
   }
 
   /// Contiguous scan over the materialized co-member arena: one span of
-  /// arity() ids per s-clique, no intersections, no id lookups.
+  /// arity() ids per s-clique, no intersections, no id lookups. Once the
+  /// arena has been patched, sentineled (dead) groups are skipped and
+  /// patched-in groups are reported after the pristine ones.
   template <typename Fn>
   void ForEachSClique(CliqueId r, Fn&& fn) const {
     const CliqueId* base = co_members_.data();
-    const std::uint64_t end = offsets_[r + 1];
-    for (std::uint64_t p = offsets_[r]; p < end;
-         p += static_cast<std::uint64_t>(arity_)) {
-      fn(std::span<const CliqueId>(base + p, static_cast<std::size_t>(arity_)));
+    if (!patched_) {  // hot path: no sentinel checks, no overlay probe
+      const std::uint64_t end = offsets_[r + 1];
+      for (std::uint64_t p = offsets_[r]; p < end;
+           p += static_cast<std::uint64_t>(arity_)) {
+        fn(std::span<const CliqueId>(base + p,
+                                     static_cast<std::size_t>(arity_)));
+      }
+      return;
+    }
+    if (static_cast<std::size_t>(r) + 1 < offsets_.size()) {
+      const std::uint64_t end = offsets_[r + 1];
+      for (std::uint64_t p = offsets_[r]; p < end;
+           p += static_cast<std::uint64_t>(arity_)) {
+        if (base[p] == kInvalidClique) continue;  // dead s-clique
+        fn(std::span<const CliqueId>(base + p,
+                                     static_cast<std::size_t>(arity_)));
+      }
+    }
+    const auto it = overlay_.find(r);
+    if (it != overlay_.end()) {
+      const CliqueId* extra = it->second.data();
+      for (std::size_t p = 0; p < it->second.size();
+           p += static_cast<std::size_t>(arity_)) {
+        fn(std::span<const CliqueId>(extra + p,
+                                     static_cast<std::size_t>(arity_)));
+      }
     }
   }
 
   /// Ids per s-clique (C(s,r) - 1).
   int arity() const { return arity_; }
 
-  /// Resident bytes of the materialized arena.
+  /// Applies a committed mutation in place instead of rebuilding the
+  /// arena. Each s-clique is given as its full member list (arity() + 1
+  /// r-clique ids, any order): for every live member r the co-member
+  /// group of a `dead_s` clique is sentineled (pristine region) or erased
+  /// (overlay), and a `born_s` clique's group is written into a free
+  /// sentinel slot of r's pristine range when one exists, else appended
+  /// to r's overlay. `dead_r` lists r-cliques that no longer exist (their
+  /// whole lists are cleared; members of dead_s cliques that appear here
+  /// are skipped); `num_r_cliques_now` grows the id space for patched-in
+  /// r-cliques. Live per-r degrees (InitialDegrees) are maintained.
+  void ApplyPatch(std::span<const std::vector<CliqueId>> dead_s,
+                  std::span<const std::vector<CliqueId>> born_s,
+                  std::span<const CliqueId> dead_r,
+                  std::size_t num_r_cliques_now) {
+    patched_ = true;
+    if (num_r_cliques_now > degrees_.size()) {
+      degrees_.resize(num_r_cliques_now, 0);
+    }
+    const std::size_t base_n = offsets_.size() - 1;
+    const std::size_t arity = static_cast<std::size_t>(arity_);
+    const std::unordered_set<CliqueId> dead_r_set(dead_r.begin(),
+                                                  dead_r.end());
+    for (CliqueId r : dead_r) {
+      if (r < base_n) {
+        for (std::uint64_t p = offsets_[r]; p < offsets_[r + 1]; ++p) {
+          co_members_[p] = kInvalidClique;
+        }
+      }
+      overlay_.erase(r);
+      degrees_[r] = 0;
+    }
+    // Sorted co-member group of `members` minus r (groups are compared as
+    // sets: build order and patch order may disagree on element order).
+    std::vector<CliqueId> key, probe;
+    const auto co_key = [&](const std::vector<CliqueId>& members,
+                            CliqueId r, std::vector<CliqueId>* out) {
+      out->clear();
+      for (CliqueId c : members) {
+        if (c != r) out->push_back(c);
+      }
+      std::sort(out->begin(), out->end());
+    };
+    for (const auto& members : dead_s) {
+      for (CliqueId r : members) {
+        if (dead_r_set.count(r) != 0) continue;  // list cleared wholesale
+        co_key(members, r, &key);
+        bool found = false;
+        if (r < base_n) {
+          for (std::uint64_t p = offsets_[r];
+               !found && p < offsets_[r + 1]; p += arity) {
+            if (co_members_[p] == kInvalidClique) continue;
+            probe.assign(co_members_.begin() + static_cast<std::ptrdiff_t>(p),
+                         co_members_.begin() +
+                             static_cast<std::ptrdiff_t>(p + arity));
+            std::sort(probe.begin(), probe.end());
+            if (probe == key) {
+              for (std::size_t i = 0; i < arity; ++i) {
+                co_members_[p + i] = kInvalidClique;
+              }
+              found = true;
+            }
+          }
+        }
+        if (!found) {
+          const auto it = overlay_.find(r);
+          if (it != overlay_.end()) {
+            auto& list = it->second;
+            for (std::size_t p = 0; !found && p < list.size(); p += arity) {
+              probe.assign(list.begin() + static_cast<std::ptrdiff_t>(p),
+                           list.begin() +
+                               static_cast<std::ptrdiff_t>(p + arity));
+              std::sort(probe.begin(), probe.end());
+              if (probe == key) {
+                // Swap-erase the whole group block.
+                std::copy(list.end() - static_cast<std::ptrdiff_t>(arity),
+                          list.end(),
+                          list.begin() + static_cast<std::ptrdiff_t>(p));
+                list.resize(list.size() - arity);
+                found = true;
+              }
+            }
+          }
+        }
+        assert(found && "dead s-clique group not found in arena");
+        (void)found;
+        assert(degrees_[r] > 0);
+        --degrees_[r];
+      }
+    }
+    for (const auto& members : born_s) {
+      for (CliqueId r : members) {
+        // Reuse a sentinel slot of r's pristine range when one exists so
+        // churn of the same region does not grow the overlay.
+        bool placed = false;
+        if (r < base_n) {
+          for (std::uint64_t p = offsets_[r];
+               !placed && p < offsets_[r + 1]; p += arity) {
+            if (co_members_[p] != kInvalidClique) continue;
+            std::size_t i = 0;
+            for (CliqueId c : members) {
+              if (c != r) co_members_[p + i++] = c;
+            }
+            placed = true;
+          }
+        }
+        if (!placed) {
+          auto& list = overlay_[r];
+          for (CliqueId c : members) {
+            if (c != r) list.push_back(c);
+          }
+        }
+        ++degrees_[r];
+      }
+    }
+  }
+
+  /// Resident bytes of the materialized arena (including patch overlays).
   std::uint64_t MemoryBytes() const {
+    std::uint64_t overlay_ids = 0;
+    for (const auto& [r, list] : overlay_) overlay_ids += list.size();
     return internal::CsrArenaBytes(degrees_.size(),
                                    co_members_.size() /
                                        static_cast<std::uint64_t>(arity_),
-                                   arity_);
+                                   arity_) +
+           overlay_ids * sizeof(CliqueId);
   }
 
   /// The wrapped on-the-fly space.
@@ -216,9 +362,13 @@ class CsrSpace {
 
   const Space* base_;
   int arity_ = 1;
-  std::vector<Degree> degrees_;
+  std::vector<Degree> degrees_;  // live s-clique count per r-clique
   std::vector<std::uint64_t> offsets_;
   std::vector<CliqueId> co_members_;
+  // Patch state (ApplyPatch): sentineled groups live in co_members_;
+  // groups with no free slot spill here, keyed by r-clique id.
+  bool patched_ = false;
+  std::unordered_map<CliqueId, std::vector<CliqueId>> overlay_;
 };
 
 namespace internal {

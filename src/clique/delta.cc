@@ -1,0 +1,78 @@
+#include "src/clique/delta.h"
+
+#include <algorithm>
+
+#include "src/clique/intersect.h"
+
+namespace nucleus {
+
+namespace {
+
+std::array<VertexId, 3> SortedTriple(VertexId u, VertexId v, VertexId w) {
+  std::array<VertexId, 3> t = {u, v, w};
+  std::sort(t.begin(), t.end());
+  return t;
+}
+
+template <typename T>
+void SortUnique(std::vector<T>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+// Triangles of g containing edge {u, v} = common neighbors of u and v.
+void CollectTriangles(const Graph& g,
+                      const std::vector<std::pair<VertexId, VertexId>>& pairs,
+                      std::vector<std::array<VertexId, 3>>* out) {
+  for (const auto& [u, v] : pairs) {
+    ForEachCommon(g.Neighbors(u), g.Neighbors(v), [&, u = u, v = v](
+                                                      VertexId w) {
+      out->push_back(SortedTriple(u, v, w));
+    });
+  }
+  SortUnique(out);
+}
+
+// 4-cliques of g containing edge {u, v} = adjacent pairs {w, x} in the
+// common neighborhood of u and v.
+void CollectFourCliques(
+    const Graph& g, const std::vector<std::pair<VertexId, VertexId>>& pairs,
+    std::vector<std::array<VertexId, 4>>* out) {
+  std::vector<VertexId> common;
+  for (const auto& [u, v] : pairs) {
+    common.clear();
+    ForEachCommon(g.Neighbors(u), g.Neighbors(v),
+                  [&](VertexId w) { common.push_back(w); });
+    for (std::size_t i = 0; i < common.size(); ++i) {
+      for (std::size_t j = i + 1; j < common.size(); ++j) {
+        if (!g.HasEdge(common[i], common[j])) continue;
+        std::array<VertexId, 4> q = {u, v, common[i], common[j]};
+        std::sort(q.begin(), q.end());
+        out->push_back(q);
+      }
+    }
+  }
+  SortUnique(out);
+}
+
+}  // namespace
+
+TriangleDelta ComputeTriangleDelta(const Graph& old_graph,
+                                   const Graph& new_graph,
+                                   const EdgeDelta& delta) {
+  TriangleDelta out;
+  CollectTriangles(old_graph, delta.removed, &out.dead);
+  CollectTriangles(new_graph, delta.inserted, &out.born);
+  return out;
+}
+
+FourCliqueDelta ComputeFourCliqueDelta(const Graph& old_graph,
+                                       const Graph& new_graph,
+                                       const EdgeDelta& delta) {
+  FourCliqueDelta out;
+  CollectFourCliques(old_graph, delta.removed, &out.dead);
+  CollectFourCliques(new_graph, delta.inserted, &out.born);
+  return out;
+}
+
+}  // namespace nucleus

@@ -1,0 +1,61 @@
+// Derived-state deltas of a committed edge mutation. Given the net set of
+// inserted/removed edges between an old and a new graph, these helpers
+// enumerate exactly the s-cliques that were destroyed or created — the
+// inputs the incremental commit pipeline (core/session.cc) feeds to the
+// index and arena ApplyDelta/ApplyPatch methods, so a small commit costs
+// O(delta-neighborhood) instead of a full re-enumeration.
+//
+// A triangle dies iff it contains a removed edge and is born iff it
+// contains an inserted edge (vertex sets are immutable), so enumerating
+// the removed edges' common neighborhoods in the OLD graph and the
+// inserted edges' in the NEW graph covers both exactly; likewise for
+// 4-cliques with the additional cross-pair adjacency check. Both sets are
+// deduplicated (a clique can lose/gain several delta edges).
+#ifndef NUCLEUS_CLIQUE_DELTA_H_
+#define NUCLEUS_CLIQUE_DELTA_H_
+
+#include <array>
+#include <utility>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/graph/graph.h"
+
+namespace nucleus {
+
+/// Net edge mutation set of a committed UpdateBatch: every pair appears at
+/// most once and an insert-then-remove of the same pair cancels out. Pairs
+/// are (u < v)-normalized.
+struct EdgeDelta {
+  std::vector<std::pair<VertexId, VertexId>> inserted;
+  std::vector<std::pair<VertexId, VertexId>> removed;
+
+  bool Empty() const { return inserted.empty() && removed.empty(); }
+};
+
+/// Triangles destroyed/created by the delta, as sorted vertex triples,
+/// each set sorted lexicographically and deduplicated.
+struct TriangleDelta {
+  std::vector<std::array<VertexId, 3>> dead;
+  std::vector<std::array<VertexId, 3>> born;
+};
+
+/// 4-cliques destroyed/created by the delta, as sorted vertex quads,
+/// each set sorted lexicographically and deduplicated.
+struct FourCliqueDelta {
+  std::vector<std::array<VertexId, 4>> dead;
+  std::vector<std::array<VertexId, 4>> born;
+};
+
+/// old_graph must be the graph before the delta and new_graph after it.
+TriangleDelta ComputeTriangleDelta(const Graph& old_graph,
+                                   const Graph& new_graph,
+                                   const EdgeDelta& delta);
+
+FourCliqueDelta ComputeFourCliqueDelta(const Graph& old_graph,
+                                       const Graph& new_graph,
+                                       const EdgeDelta& delta);
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_CLIQUE_DELTA_H_

@@ -1,10 +1,11 @@
 #include "src/clique/edge_index.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace nucleus {
 
-EdgeIndex::EdgeIndex(const Graph& g) : graph_(&g) {
+EdgeIndex::EdgeIndex(const Graph& g) {
   const std::size_t n = g.NumVertices();
   forward_offsets_.assign(n + 1, 0);
   endpoints_.reserve(g.NumEdges());
@@ -15,19 +16,76 @@ EdgeIndex::EdgeIndex(const Graph& g) : graph_(&g) {
     }
   }
   forward_offsets_[n] = endpoints_.size();
+  base_edges_ = endpoints_.size();
+  num_live_ = endpoints_.size();
+}
+
+EdgeId EdgeIndex::BaseIdOf(VertexId u, VertexId v) const {
+  // The higher endpoints of u's pristine forward edges are sorted, so the
+  // id is a binary search within u's forward range over endpoints_ itself.
+  const std::size_t lo = forward_offsets_[u];
+  const std::size_t hi = forward_offsets_[u + 1];
+  const auto begin = endpoints_.begin() + static_cast<std::ptrdiff_t>(lo);
+  const auto end = endpoints_.begin() + static_cast<std::ptrdiff_t>(hi);
+  const std::pair<VertexId, VertexId> key(u, v);
+  const auto it = std::lower_bound(begin, end, key);
+  if (it == end || *it != key) return kInvalidEdge;
+  return static_cast<EdgeId>(it - endpoints_.begin());
 }
 
 EdgeId EdgeIndex::EdgeIdOf(VertexId u, VertexId v) const {
   if (u == v) return kInvalidEdge;
   if (u > v) std::swap(u, v);
-  if (v >= graph_->NumVertices()) return kInvalidEdge;
-  const auto nb = graph_->Neighbors(u);
-  // Forward neighbors of u (those > u) form the tail of nb; the edge id is
-  // forward_offsets_[u] + position within that tail.
-  auto tail_begin = std::upper_bound(nb.begin(), nb.end(), u);
-  auto it = std::lower_bound(tail_begin, nb.end(), v);
-  if (it == nb.end() || *it != v) return kInvalidEdge;
-  return static_cast<EdgeId>(forward_offsets_[u] + (it - tail_begin));
+  if (v >= forward_offsets_.size() - 1) return kInvalidEdge;
+  const EdgeId base = BaseIdOf(u, v);
+  if (base != kInvalidEdge) {
+    return IsLive(base) ? base : kInvalidEdge;
+  }
+  if (!overlay_.empty()) {
+    const auto it = overlay_.find(Key(u, v));
+    if (it != overlay_.end() && IsLive(it->second)) return it->second;
+  }
+  return kInvalidEdge;
+}
+
+std::vector<EdgeId> EdgeIndex::ApplyDelta(
+    std::span<const std::pair<VertexId, VertexId>> removed,
+    std::span<const std::pair<VertexId, VertexId>> inserted) {
+  if (dead_.empty()) dead_.assign(endpoints_.size(), 0);
+  for (auto [u, v] : removed) {
+    if (u > v) std::swap(u, v);
+    EdgeId id = BaseIdOf(u, v);
+    if (id == kInvalidEdge) {
+      const auto it = overlay_.find(Key(u, v));
+      assert(it != overlay_.end() && "removed edge has no id");
+      id = it->second;
+    }
+    assert(dead_[id] == 0 && "removed edge already tombstoned");
+    dead_[id] = 1;
+    --num_live_;
+  }
+  std::vector<EdgeId> ids;
+  ids.reserve(inserted.size());
+  for (auto [u, v] : inserted) {
+    if (u > v) std::swap(u, v);
+    EdgeId id = BaseIdOf(u, v);
+    if (id == kInvalidEdge) {
+      const auto it = overlay_.find(Key(u, v));
+      if (it != overlay_.end()) {
+        id = it->second;  // revive a patched-in pair's tombstone
+      } else {
+        id = static_cast<EdgeId>(endpoints_.size());
+        endpoints_.emplace_back(u, v);
+        dead_.push_back(1);  // flipped live below
+        overlay_.emplace(Key(u, v), id);
+      }
+    }
+    assert(dead_[id] == 1 && "inserted edge already live");
+    dead_[id] = 0;
+    ++num_live_;
+    ids.push_back(id);
+  }
+  return ids;
 }
 
 }  // namespace nucleus

@@ -1,9 +1,24 @@
 // Canonical edge identifiers. Edges are the r-cliques of the (2,3)
 // decomposition (k-truss), so they need dense ids, endpoint lookup, and
 // id-of-pair lookup.
+//
+// Since the incremental-commit engine landed, the index is *patchable*:
+// ApplyDelta threads a committed edge insert/remove delta through the index
+// in place instead of forcing a rebuild. Ids are stable across patches —
+// removed edges are tombstoned (their id stays allocated, IsLive() turns
+// false), inserted edges revive the tombstone of the same endpoint pair
+// when one exists and otherwise get fresh ids appended past the original
+// id range. NumEdges() is therefore the size of the *id space* (every id
+// in [0, NumEdges()) is addressable); NumLiveEdges() counts edges actually
+// present (== Graph::NumEdges() of the patched graph). A pristine index
+// has the two equal and all ids live. The session compacts (rebuilds
+// fresh, re-densifying ids) when DeadFraction() crosses its threshold.
 #ifndef NUCLEUS_CLIQUE_EDGE_INDEX_H_
 #define NUCLEUS_CLIQUE_EDGE_INDEX_H_
 
+#include <cstdint>
+#include <span>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -13,36 +28,84 @@
 namespace nucleus {
 
 /// Assigns ids to the m undirected edges in lexicographic (u, v), u < v
-/// order. Lookup of an id from endpoints is O(log deg(min endpoint)).
+/// order. Lookup of an id from endpoints is O(log deg(min endpoint)) for
+/// original edges and one hash probe for patched-in ones. The index keeps
+/// no pointer into the construction graph, so it outlives graph swaps
+/// (the session replaces its graph on every committed UpdateBatch).
 class EdgeIndex {
  public:
   explicit EdgeIndex(const Graph& g);
 
-  /// Number of edges (== Graph::NumEdges()).
+  /// Size of the id space: every id in [0, NumEdges()) is addressable via
+  /// Endpoints()/IsLive(). Equal to the graph's edge count until a removal
+  /// is patched in; then it may exceed NumLiveEdges() by the tombstones.
   std::size_t NumEdges() const { return endpoints_.size(); }
 
-  /// Endpoints of edge e, with first < second.
+  /// Number of live (present) edges; == Graph::NumEdges() of the current
+  /// graph.
+  std::size_t NumLiveEdges() const { return num_live_; }
+
+  /// False once edge e has been removed by ApplyDelta (until the same
+  /// endpoint pair is re-inserted, which revives the id).
+  bool IsLive(EdgeId e) const { return dead_.empty() || dead_[e] == 0; }
+
+  /// Tombstoned fraction of the id space (0 for a pristine index); the
+  /// session's compaction trigger.
+  double DeadFraction() const {
+    return endpoints_.empty()
+               ? 0.0
+               : static_cast<double>(endpoints_.size() - num_live_) /
+                     static_cast<double>(endpoints_.size());
+  }
+
+  /// Endpoints of edge e, with first < second. Valid for tombstoned ids
+  /// too (the pair the id last named).
   std::pair<VertexId, VertexId> Endpoints(EdgeId e) const {
     return endpoints_[e];
   }
 
-  /// Id of edge {u, v}, or kInvalidEdge if absent.
+  /// Id of live edge {u, v}, or kInvalidEdge if absent (tombstoned counts
+  /// as absent).
   EdgeId EdgeIdOf(VertexId u, VertexId v) const;
 
   /// Edges incident to u whose other endpoint is > u, as (first id, count):
-  /// ids are contiguous because edges are sorted by (u, v).
+  /// ids are contiguous because the original edges are sorted by (u, v).
+  /// Covers only the pristine id range — ids patched in by ApplyDelta are
+  /// not part of any forward range, and tombstoned ids are not skipped.
   std::pair<EdgeId, std::size_t> ForwardRange(VertexId u) const {
     return {static_cast<EdgeId>(forward_offsets_[u]),
             forward_offsets_[u + 1] - forward_offsets_[u]};
   }
 
+  /// Applies a committed graph delta in place: tombstones every `removed`
+  /// edge and assigns ids to every `inserted` edge — reviving the
+  /// tombstone when the pair had an id before, appending a fresh id
+  /// otherwise. Pairs need not be (u < v)-normalized. Removed pairs must
+  /// currently be live; inserted pairs must currently be absent (the
+  /// session guarantees both: the delta is the net mutation set of a
+  /// committed batch). Returns the ids assigned to `inserted`, in order.
+  std::vector<EdgeId> ApplyDelta(
+      std::span<const std::pair<VertexId, VertexId>> removed,
+      std::span<const std::pair<VertexId, VertexId>> inserted);
+
  private:
-  const Graph* graph_;
+  static std::uint64_t Key(VertexId u, VertexId v) {
+    return (static_cast<std::uint64_t>(u) << 32) | v;
+  }
+  // Binary search in the pristine lexicographic range; ignores liveness.
+  EdgeId BaseIdOf(VertexId u, VertexId v) const;
+
   std::vector<std::pair<VertexId, VertexId>> endpoints_;
-  // forward_offsets_[u] = id of the first edge (u, *); the higher endpoints
-  // of u's forward edges are the sorted suffix of Neighbors(u) above u, so
-  // id lookup is a binary search there.
+  // forward_offsets_[u] = id of the first pristine edge (u, *); the base
+  // id range [forward_offsets_[u], forward_offsets_[u+1]) stays sorted by
+  // higher endpoint forever (patched ids only append), so id lookup is a
+  // binary search over endpoints_ itself — no graph needed.
   std::vector<std::size_t> forward_offsets_;
+  std::size_t base_edges_ = 0;  // endpoints_.size() at construction
+  // Patch state; all empty until the first ApplyDelta.
+  std::vector<std::uint8_t> dead_;               // 1 = tombstoned
+  std::unordered_map<std::uint64_t, EdgeId> overlay_;  // appended pairs
+  std::size_t num_live_ = 0;
 };
 
 }  // namespace nucleus

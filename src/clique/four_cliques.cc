@@ -95,6 +95,7 @@ std::vector<Degree> FourCliqueCountsPerTriangle(const Graph& g,
                                                 int threads) {
   std::vector<Degree> counts(tris.NumTriangles(), 0);
   ParallelFor(tris.NumTriangles(), threads, [&](std::size_t t) {
+    if (!tris.IsLive(static_cast<TriangleId>(t))) return;  // d_4 = 0
     const auto& tri = tris.Vertices(static_cast<TriangleId>(t));
     std::size_t c = 0;
     ForEachCommon3(g.Neighbors(tri[0]), g.Neighbors(tri[1]),

@@ -61,6 +61,8 @@ class TrussSpace {
 
   template <typename Fn>
   void ForEachSClique(CliqueId e, Fn&& fn) const {
+    // Tombstoned ids of a patched index name absent edges: no triangles.
+    if (!edges_->IsLive(static_cast<EdgeId>(e))) return;
     const auto [u, v] = edges_->Endpoints(static_cast<EdgeId>(e));
     ForEachCommon(g_->Neighbors(u), g_->Neighbors(v), [&](VertexId w) {
       const CliqueId co[2] = {edges_->EdgeIdOf(u, w), edges_->EdgeIdOf(v, w)};
@@ -91,6 +93,8 @@ class Nucleus34Space {
 
   template <typename Fn>
   void ForEachSClique(CliqueId t, Fn&& fn) const {
+    // Tombstoned ids of a patched index name absent triangles: no K4s.
+    if (!tris_->IsLive(static_cast<TriangleId>(t))) return;
     const auto& tri = tris_->Vertices(static_cast<TriangleId>(t));
     ForEachCommon3(g_->Neighbors(tri[0]), g_->Neighbors(tri[1]),
                    g_->Neighbors(tri[2]), [&](VertexId x) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 
 #include "src/clique/intersect.h"
 #include "src/common/parallel.h"
@@ -87,6 +88,7 @@ std::vector<Degree> TriangleCountsPerEdge(const Graph& g,
                                           int threads) {
   std::vector<Degree> counts(edges.NumEdges(), 0);
   ParallelFor(edges.NumEdges(), threads, [&](std::size_t e) {
+    if (!edges.IsLive(static_cast<EdgeId>(e))) return;  // tombstone: d_3 = 0
     const auto [u, v] = edges.Endpoints(static_cast<EdgeId>(e));
     counts[e] =
         static_cast<Degree>(CountCommon(g.Neighbors(u), g.Neighbors(v)));
@@ -118,14 +120,69 @@ TriangleIndex::TriangleIndex(const Graph& g, int threads) {
                      triangles_[cursor[block]++] = SortedTriple(a, b, c);
                    });
   std::sort(triangles_.begin(), triangles_.end());
+  base_triangles_ = triangles_.size();
+  num_live_ = triangles_.size();
+}
+
+TriangleId TriangleIndex::BaseIdOf(
+    const std::array<VertexId, 3>& key) const {
+  const auto end =
+      triangles_.begin() + static_cast<std::ptrdiff_t>(base_triangles_);
+  const auto it = std::lower_bound(triangles_.begin(), end, key);
+  if (it == end || *it != key) return kInvalidTriangle;
+  return static_cast<TriangleId>(it - triangles_.begin());
 }
 
 TriangleId TriangleIndex::TriangleIdOf(VertexId u, VertexId v,
                                        VertexId w) const {
   const std::array<VertexId, 3> key = SortedTriple(u, v, w);
-  auto it = std::lower_bound(triangles_.begin(), triangles_.end(), key);
-  if (it == triangles_.end() || *it != key) return kInvalidTriangle;
-  return static_cast<TriangleId>(it - triangles_.begin());
+  const TriangleId base = BaseIdOf(key);
+  if (base != kInvalidTriangle) {
+    return IsLive(base) ? base : kInvalidTriangle;
+  }
+  if (!overlay_.empty()) {
+    const auto it = overlay_.find(key);
+    if (it != overlay_.end() && IsLive(it->second)) return it->second;
+  }
+  return kInvalidTriangle;
+}
+
+std::vector<TriangleId> TriangleIndex::ApplyDelta(
+    std::span<const std::array<VertexId, 3>> dead,
+    std::span<const std::array<VertexId, 3>> born) {
+  if (dead_.empty()) dead_.assign(triangles_.size(), 0);
+  for (const auto& key : dead) {
+    TriangleId id = BaseIdOf(key);
+    if (id == kInvalidTriangle) {
+      const auto it = overlay_.find(key);
+      assert(it != overlay_.end() && "dead triangle has no id");
+      id = it->second;
+    }
+    assert(dead_[id] == 0 && "dead triangle already tombstoned");
+    dead_[id] = 1;
+    --num_live_;
+  }
+  std::vector<TriangleId> ids;
+  ids.reserve(born.size());
+  for (const auto& key : born) {
+    TriangleId id = BaseIdOf(key);
+    if (id == kInvalidTriangle) {
+      const auto it = overlay_.find(key);
+      if (it != overlay_.end()) {
+        id = it->second;  // revive a patched-in triple's tombstone
+      } else {
+        id = static_cast<TriangleId>(triangles_.size());
+        triangles_.push_back(key);
+        dead_.push_back(1);  // flipped live below
+        overlay_.emplace(key, id);
+      }
+    }
+    assert(dead_[id] == 1 && "born triangle already live");
+    dead_[id] = 0;
+    ++num_live_;
+    ids.push_back(id);
+  }
+  return ids;
 }
 
 void TriangleIndex::ForEachTriangleOfEdge(
@@ -141,10 +198,13 @@ EdgeTriangleCsr::EdgeTriangleCsr(const EdgeIndex& edges,
                                  const TriangleIndex& tris, int threads) {
   const std::size_t m = edges.NumEdges();
   const std::size_t nt = tris.NumTriangles();
+  num_edges_ = m;
   // Pass 1: per-edge triangle counts (relaxed atomic increments; each
-  // triangle touches its three edges).
+  // triangle touches its three edges). Tombstoned triangles of a patched
+  // index contribute nothing.
   std::vector<Degree> counts(m, 0);
   ParallelFor(nt, threads, [&](std::size_t ti) {
+    if (!tris.IsLive(static_cast<TriangleId>(ti))) return;
     const auto& v = tris.Vertices(static_cast<TriangleId>(ti));
     const EdgeId ids[3] = {edges.EdgeIdOf(v[0], v[1]),
                            edges.EdgeIdOf(v[0], v[2]),
@@ -162,6 +222,7 @@ EdgeTriangleCsr::EdgeTriangleCsr(const EdgeIndex& edges,
   // Pass 2: scatter through per-edge atomic cursors.
   std::vector<std::uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
   ParallelFor(nt, threads, [&](std::size_t ti) {
+    if (!tris.IsLive(static_cast<TriangleId>(ti))) return;
     const auto& v = tris.Vertices(static_cast<TriangleId>(ti));
     const EdgeId ids[3] = {edges.EdgeIdOf(v[0], v[1]),
                            edges.EdgeIdOf(v[0], v[2]),
@@ -180,6 +241,76 @@ EdgeTriangleCsr::EdgeTriangleCsr(const EdgeIndex& edges,
     std::sort(entries_.begin() + static_cast<std::ptrdiff_t>(offsets_[e]),
               entries_.begin() + static_cast<std::ptrdiff_t>(offsets_[e + 1]));
   });
+}
+
+void EdgeTriangleCsr::EnsureCounts() {
+  if (!counts_.empty()) return;
+  counts_.resize(num_edges_);
+  for (std::size_t e = 0; e + 1 < offsets_.size(); ++e) {
+    counts_[e] = static_cast<Degree>(offsets_[e + 1] - offsets_[e]);
+  }
+}
+
+void EdgeTriangleCsr::ApplyDelta(std::span<const TrianglePatch> dead,
+                                 std::span<const TrianglePatch> born,
+                                 std::span<const EdgeId> dead_edges,
+                                 std::size_t num_edge_ids) {
+  num_edges_ = std::max(num_edges_, num_edge_ids);
+  EnsureCounts();
+  counts_.resize(num_edges_, 0);
+  const std::size_t base_m = offsets_.size() - 1;
+  // Removes the (t, *) entry from edge e's list: sentineled in place in
+  // the pristine region, swap-erased from the overlay.
+  const auto remove_entry = [&](EdgeId e, TriangleId t) {
+    if (e < base_m) {
+      for (std::uint64_t p = offsets_[e]; p < offsets_[e + 1]; ++p) {
+        if (entries_[p].first == t) {
+          entries_[p] = {kInvalidTriangle, 0};
+          --counts_[e];
+          return;
+        }
+      }
+    }
+    const auto it = overlay_.find(e);
+    if (it != overlay_.end()) {
+      auto& list = it->second;
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        if (list[i].first == t) {
+          list[i] = list.back();
+          list.pop_back();
+          --counts_[e];
+          return;
+        }
+      }
+    }
+    assert(false && "dead triangle entry not found in edge list");
+  };
+  for (const auto& tp : dead) {
+    for (int i = 0; i < 3; ++i) {
+      // Member ids are resolved by the caller BEFORE tombstoning, so
+      // edges removed in the same commit still carry valid ids here
+      // (their whole lists are additionally cleared via dead_edges
+      // below); the guard only skips ids a caller could not resolve.
+      if (tp.edges[i] == kInvalidEdge) continue;
+      remove_entry(tp.edges[i], tp.id);
+    }
+  }
+  for (EdgeId e : dead_edges) {
+    if (e < base_m) {
+      for (std::uint64_t p = offsets_[e]; p < offsets_[e + 1]; ++p) {
+        entries_[p] = {kInvalidTriangle, 0};
+      }
+    }
+    overlay_.erase(e);
+    counts_[e] = 0;
+  }
+  for (const auto& tp : born) {
+    for (int i = 0; i < 3; ++i) {
+      assert(tp.edges[i] != kInvalidEdge);
+      overlay_[tp.edges[i]].emplace_back(tp.id, tp.opposite[i]);
+      ++counts_[tp.edges[i]];
+    }
+  }
 }
 
 }  // namespace nucleus

@@ -1,6 +1,8 @@
 #include "src/core/session.h"
 
 #include <algorithm>
+#include <array>
+#include <cassert>
 #include <string>
 #include <utility>
 
@@ -85,199 +87,243 @@ NucleusSession::NucleusSession(Graph&& graph)
 
 NucleusSession::NucleusSession(const Graph& graph) : graph_(&graph) {}
 
-const EdgeIndex& NucleusSession::EdgesLocked(double* build_seconds) {
-  if (!edge_index_) {
-    Timer t;
-    edge_index_ = std::make_unique<EdgeIndex>(*graph_);
-    if (build_seconds != nullptr) *build_seconds += t.Seconds();
-    ++stats_.edge_index_builds;
-  }
-  return *edge_index_;
+void NucleusSession::BumpStat(int SessionStats::* field) {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  ++(stats_.*field);
 }
 
-const TriangleIndex& NucleusSession::TrianglesLocked(int threads,
-                                                     double* build_seconds) {
-  if (!triangle_index_) {
+const EdgeIndex& NucleusSession::EdgesShared(double* build_seconds) {
+  return edge_index_.GetOrBuild([&] {
     Timer t;
-    triangle_index_ =
-        std::make_unique<TriangleIndex>(*graph_, std::max(threads, 1));
+    EdgeIndex idx(*graph_);
     if (build_seconds != nullptr) *build_seconds += t.Seconds();
-    ++stats_.triangle_index_builds;
-  }
-  return *triangle_index_;
+    BumpStat(&SessionStats::edge_index_builds);
+    return idx;
+  });
+}
+
+const TriangleIndex& NucleusSession::TrianglesShared(int threads,
+                                                     double* build_seconds) {
+  return triangle_index_.GetOrBuild([&] {
+    Timer t;
+    TriangleIndex idx(*graph_, std::max(threads, 1));
+    if (build_seconds != nullptr) *build_seconds += t.Seconds();
+    BumpStat(&SessionStats::triangle_index_builds);
+    return idx;
+  });
+}
+
+const EdgeTriangleCsr& NucleusSession::EdgeTrianglesShared(int threads) {
+  return edge_triangle_csr_.GetOrBuild([&] {
+    const EdgeIndex& edges = EdgesShared(nullptr);
+    const TriangleIndex& tris = TrianglesShared(threads, nullptr);
+    BumpStat(&SessionStats::edge_triangle_csr_builds);
+    return EdgeTriangleCsr(edges, tris, std::max(threads, 1));
+  });
 }
 
 const EdgeIndex& NucleusSession::Edges() {
-  std::lock_guard<std::mutex> lk(mu_);
-  return EdgesLocked(nullptr);
+  std::shared_lock<std::shared_mutex> lk(session_mu_);
+  return EdgesShared(nullptr);
 }
 
 const TriangleIndex& NucleusSession::Triangles(int threads) {
-  std::lock_guard<std::mutex> lk(mu_);
-  return TrianglesLocked(threads, nullptr);
+  std::shared_lock<std::shared_mutex> lk(session_mu_);
+  return TrianglesShared(threads, nullptr);
 }
 
 const EdgeTriangleCsr& NucleusSession::EdgeTriangles(int threads) {
-  std::lock_guard<std::mutex> lk(mu_);
-  if (!edge_triangle_csr_) {
-    const EdgeIndex& edges = EdgesLocked(nullptr);
-    const TriangleIndex& tris = TrianglesLocked(threads, nullptr);
-    edge_triangle_csr_ = std::make_unique<EdgeTriangleCsr>(
-        edges, tris, std::max(threads, 1));
-    ++stats_.edge_triangle_csr_builds;
+  std::shared_lock<std::shared_mutex> lk(session_mu_);
+  return EdgeTrianglesShared(threads);
+}
+
+std::size_t NucleusSession::NumRCliquesShared(DecompositionKind kind) {
+  switch (kind) {
+    case DecompositionKind::kCore:
+      return graph_->NumVertices();
+    case DecompositionKind::kTruss: {
+      // The id-space size of the patched index when one exists (it may
+      // exceed the live edge count by tombstones), else the edge count a
+      // fresh index would cover.
+      const EdgeIndex* edges = edge_index_.TryGet();
+      return edges != nullptr ? edges->NumEdges() : graph_->NumEdges();
+    }
+    case DecompositionKind::kNucleus34:
+      return TrianglesShared(1, nullptr).NumTriangles();
   }
-  return *edge_triangle_csr_;
+  return 0;
 }
 
 std::size_t NucleusSession::NumRCliques(DecompositionKind kind) {
-  switch (kind) {
-    case DecompositionKind::kCore:
-      return graph().NumVertices();
-    case DecompositionKind::kTruss:
-      return graph().NumEdges();
-    case DecompositionKind::kNucleus34:
-      return Triangles().NumTriangles();
+  std::shared_lock<std::shared_mutex> lk(session_mu_);
+  return NumRCliquesShared(kind);
+}
+
+std::optional<StatusOr<DecomposeResult>> NucleusSession::TryServeFromCache(
+    DecompositionKind kind, const DecomposeOptions& options) {
+  // Traced runs bypass the caches — the caller wants the iteration
+  // record, not just the fixed point.
+  if (!options.use_result_cache || options.trace != nullptr) {
+    return std::nullopt;
   }
-  return 0;
+  ResultCell& cell = results_[static_cast<int>(kind)];
+  std::lock_guard<std::mutex> lk(cell.mu);
+  DecomposeResult out;
+  if (cell.kappa.has_value()) {
+    // kappa is unique (Theorems 1-3), so the cached exact answer serves
+    // any exact request whatever engine the caller named — and any
+    // truncated request too (exact beats truncated: every truncated run
+    // approaches kappa from above, so the fixed point is an answer at
+    // least as converged as requested).
+    out.kappa = *cell.kappa;
+    out.exact = true;
+  } else if (options.max_iterations > 0) {
+    const auto it =
+        cell.tau_cache.find({options.method, options.max_iterations});
+    if (it == cell.tau_cache.end()) return std::nullopt;
+    out.kappa = it->second.tau;
+    out.iterations = it->second.iterations;
+    out.exact = it->second.exact;
+  } else {
+    return std::nullopt;
+  }
+  // A cache hit must reject the same malformed input a cold call would;
+  // the cached vector's size is the kind's r-clique id count.
+  if (options.method == Method::kAnd && options.order == AndOrder::kGiven) {
+    Status s =
+        internal::ValidateGivenOrder(out.kappa.size(), options.given_order);
+    if (!s.ok()) return StatusOr<DecomposeResult>(std::move(s));
+  }
+  out.num_r_cliques = out.kappa.size();
+  out.served_from_cache = true;
+  BumpStat(&SessionStats::decompose_cache_hits);
+  return StatusOr<DecomposeResult>(std::move(out));
+}
+
+void NucleusSession::StoreResult(DecompositionKind kind,
+                                 const DecomposeOptions& options,
+                                 const DecomposeResult& result) {
+  ResultCell& cell = results_[static_cast<int>(kind)];
+  std::lock_guard<std::mutex> lk(cell.mu);
+  if (result.exact) {
+    // kappa is unique: first exact result wins, repeats are identical.
+    if (!cell.kappa.has_value()) cell.kappa = result.kappa;
+  } else if (options.max_iterations > 0 && options.trace == nullptr) {
+    cell.tau_cache[{options.method, options.max_iterations}] =
+        ResultCell::Truncated{result.kappa, result.iterations, false};
+  }
 }
 
 template <typename Space, typename MakeSpace>
 StatusOr<DecomposeResult> NucleusSession::DecomposeWithSpace(
     DecompositionKind kind, const DecomposeOptions& options,
-    ArenaState<Space>* arena_state, int* arena_builds_counter,
+    ArenaCell<Space>* cell, int SessionStats::* arena_counter,
     MakeSpace&& make_space, double index_seconds) {
-  std::unique_lock<std::mutex> lk(mu_);
-  // Pin the on-the-fly space: it is both the direct engine input and the
-  // base the arena keeps a pointer into.
-  if (!arena_state->space) {
-    arena_state->space = std::make_unique<Space>(make_space());
-  }
-  const Space& base = *arena_state->space;
-
-  // Validate kGiven orders here so the engines never throw on session
-  // input (the legacy free functions translate this Status back into the
-  // std::invalid_argument they used to raise).
-  if (options.method == Method::kAnd && options.order == AndOrder::kGiven) {
-    Status s =
-        internal::ValidateGivenOrder(base.NumRCliques(), options.given_order);
-    if (!s.ok()) return s;
-  }
-
-  // Materialization decision. The engines' per-space default is honored
-  // (CoreSpace stays on the fly under kAuto; peeling materializes only
-  // under kOn), the budget gates kAuto, and a failed attempt's budget is
-  // remembered so hopeless builds are not retried every call. An arena
-  // that is already cached is used regardless of policy — a contiguous
-  // scan is never worse than re-enumeration.
-  const bool policy_wants =
-      options.method == Method::kPeeling
-          ? options.materialize == Materialize::kOn
-          : internal::WantMaterialize<Space>(options.materialize);
+  const Space* base = nullptr;
+  const CsrSpace<Space>* arena = nullptr;
   double arena_seconds = 0.0;
-  if (!arena_state->arena && policy_wants &&
-      options.materialize != Materialize::kOff) {
-    const std::uint64_t budget = internal::EffectiveBudget(
-        options.materialize, options.materialize_budget_bytes);
-    if (budget > arena_state->failed_budget) {
-      Timer t;
-      std::vector<Degree> degrees;
-      auto arena = CsrSpace<Space>::TryBuild(base, std::max(options.threads, 1),
-                                             budget, &degrees);
-      if (arena.has_value()) {
-        arena_seconds = t.Seconds();
-        arena_state->arena = std::move(arena);
-        arena_state->failed_budget = 0;
-        ++*arena_builds_counter;
-      } else {
-        // Keep the counting pass's d_s so the fly fallback (this call and
-        // every later one) never re-counts.
-        arena_state->failed_budget = budget;
-        arena_state->fly_degrees = std::move(degrees);
+  std::vector<Degree> initial;
+  {
+    std::lock_guard<std::mutex> lk(cell->mu);
+    // Pin the on-the-fly space: it is both the direct engine input and the
+    // base the arena keeps a pointer into.
+    if (!cell->space) {
+      cell->space = std::make_unique<Space>(make_space());
+    }
+    base = cell->space.get();
+
+    // Validate kGiven orders here so the engines never throw on session
+    // input (the legacy free functions translate this Status back into the
+    // std::invalid_argument they used to raise).
+    if (options.method == Method::kAnd &&
+        options.order == AndOrder::kGiven) {
+      Status s = internal::ValidateGivenOrder(base->NumRCliques(),
+                                              options.given_order);
+      if (!s.ok()) return s;
+    }
+
+    // Materialization decision. The engines' per-space default is honored
+    // (CoreSpace stays on the fly under kAuto; peeling materializes only
+    // under kOn), the budget gates kAuto, and a failed attempt's budget is
+    // remembered so hopeless builds are not retried every call (the memo
+    // is cleared by every mutating commit — the graph may have shrunk).
+    // An arena that is already cached is used regardless of policy — a
+    // contiguous scan is never worse than re-enumeration.
+    const bool policy_wants =
+        options.method == Method::kPeeling
+            ? options.materialize == Materialize::kOn
+            : internal::WantMaterialize<Space>(options.materialize);
+    if (!cell->arena && policy_wants &&
+        options.materialize != Materialize::kOff) {
+      const std::uint64_t budget = internal::EffectiveBudget(
+          options.materialize, options.materialize_budget_bytes);
+      if (budget > cell->failed_budget) {
+        Timer t;
+        std::vector<Degree> degrees;
+        auto built = CsrSpace<Space>::TryBuild(
+            *base, std::max(options.threads, 1), budget, &degrees);
+        if (built.has_value()) {
+          arena_seconds = t.Seconds();
+          cell->arena = std::move(built);
+          cell->failed_budget = 0;
+          BumpStat(arena_counter);
+        } else {
+          // Keep the counting pass's d_s so the fly fallback (this call
+          // and every later one) never re-counts.
+          cell->failed_budget = budget;
+          cell->fly_degrees = std::move(degrees);
+        }
       }
     }
-  }
-  const bool use_arena =
-      arena_state->arena.has_value() && options.materialize != Materialize::kOff;
-  std::vector<Degree> initial;
-  if (!use_arena && options.method != Method::kPeeling) {
-    if (arena_state->fly_degrees.empty()) {
-      arena_state->fly_degrees =
-          base.InitialDegrees(std::max(options.threads, 1));
+    const bool use_arena =
+        cell->arena.has_value() && options.materialize != Materialize::kOff;
+    if (use_arena) {
+      arena = &*cell->arena;
+    } else if (options.method != Method::kPeeling) {
+      if (cell->fly_degrees.empty()) {
+        cell->fly_degrees =
+            base->InitialDegrees(std::max(options.threads, 1));
+      }
+      initial = cell->fly_degrees;  // engine consumes its copy
     }
-    initial = arena_state->fly_degrees;  // engine consumes its copy
   }
-  // The engine run happens outside the lock so concurrent session calls
-  // proceed; the references stay valid per the mutation contract.
-  lk.unlock();
-
+  // The engine run happens outside the cell mutex (but under the session's
+  // shared lock) so concurrent calls — including same-kind repeats and
+  // unrelated kinds — proceed; commits wait for the shared lock to drain.
   DecomposeResult out =
-      use_arena ? RunEngine(*arena_state->arena, options, {})
-                : RunEngine(base, options, std::move(initial));
+      arena != nullptr ? RunEngine(*arena, options, {})
+                       : RunEngine(*base, options, std::move(initial));
   out.index_seconds = index_seconds;
   out.arena_seconds = arena_seconds;
-
-  if (out.exact) {
-    std::lock_guard<std::mutex> lk2(mu_);
-    kappa_[static_cast<int>(kind)] = out.kappa;
-  }
+  StoreResult(kind, options, out);
   return out;
 }
 
-StatusOr<DecomposeResult> NucleusSession::Decompose(
+StatusOr<DecomposeResult> NucleusSession::DecomposeShared(
     DecompositionKind kind, const DecomposeOptions& options) {
-  if (Status s = ValidateCommonOptions(options); !s.ok()) return s;
-
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    ++stats_.decompose_calls;
-    // Exact repeat requests are served from the kappa cache: kappa is
-    // unique (Theorems 1-3), so the cached answer is the answer whatever
-    // engine the caller named. Traced runs bypass the cache — the caller
-    // wants the iteration record, not just the fixed point.
-    if (options.use_result_cache && options.max_iterations == 0 &&
-        options.trace == nullptr &&
-        kappa_[static_cast<int>(kind)].has_value()) {
-      // A cache hit must reject the same malformed input a cold call
-      // would; the cached kappa's size is the kind's r-clique count.
-      if (options.method == Method::kAnd &&
-          options.order == AndOrder::kGiven) {
-        Status s = internal::ValidateGivenOrder(
-            kappa_[static_cast<int>(kind)]->size(), options.given_order);
-        if (!s.ok()) return s;
-      }
-      DecomposeResult out;
-      out.kappa = *kappa_[static_cast<int>(kind)];
-      out.num_r_cliques = out.kappa.size();
-      out.exact = true;
-      out.served_from_cache = true;
-      ++stats_.decompose_cache_hits;
-      return out;
-    }
+  BumpStat(&SessionStats::decompose_calls);
+  if (auto hit = TryServeFromCache(kind, options)) {
+    return std::move(*hit);
   }
-
   switch (kind) {
     case DecompositionKind::kCore:
       return DecomposeWithSpace(
-          kind, options, &core_, &stats_.core_arena_builds,
+          kind, options, &core_, &SessionStats::core_arena_builds,
           [this] { return CoreSpace(*graph_); }, /*index_seconds=*/0.0);
     case DecompositionKind::kTruss: {
       double index_seconds = 0.0;
-      std::unique_lock<std::mutex> lk(mu_);
-      const EdgeIndex& edges = EdgesLocked(&index_seconds);
-      lk.unlock();
+      const EdgeIndex& edges = EdgesShared(&index_seconds);
       return DecomposeWithSpace(
-          kind, options, &truss_, &stats_.truss_arena_builds,
+          kind, options, &truss_, &SessionStats::truss_arena_builds,
           [this, &edges] { return TrussSpace(*graph_, edges); },
           index_seconds);
     }
     case DecompositionKind::kNucleus34: {
       double index_seconds = 0.0;
-      std::unique_lock<std::mutex> lk(mu_);
       const TriangleIndex& tris =
-          TrianglesLocked(options.threads, &index_seconds);
-      lk.unlock();
+          TrianglesShared(options.threads, &index_seconds);
       return DecomposeWithSpace(
-          kind, options, &nucleus34_, &stats_.nucleus34_arena_builds,
+          kind, options, &nucleus34_, &SessionStats::nucleus34_arena_builds,
           [this, &tris] { return Nucleus34Space(*graph_, tris); },
           index_seconds);
     }
@@ -285,13 +331,22 @@ StatusOr<DecomposeResult> NucleusSession::Decompose(
   return Status::Internal("unknown DecompositionKind");
 }
 
+StatusOr<DecomposeResult> NucleusSession::Decompose(
+    DecompositionKind kind, const DecomposeOptions& options) {
+  if (Status s = ValidateCommonOptions(options); !s.ok()) return s;
+  std::shared_lock<std::shared_mutex> lk(session_mu_);
+  return DecomposeShared(kind, options);
+}
+
 StatusOr<const NucleusHierarchy*> NucleusSession::Hierarchy(
     DecompositionKind kind, const DecomposeOptions& options) {
-  const int kind_i = static_cast<int>(kind);
+  if (Status s = ValidateCommonOptions(options); !s.ok()) return s;
+  std::shared_lock<std::shared_mutex> lk(session_mu_);
+  ResultCell& cell = results_[static_cast<int>(kind)];
   {
-    std::lock_guard<std::mutex> lk(mu_);
-    if (hierarchy_[kind_i]) {
-      return static_cast<const NucleusHierarchy*>(hierarchy_[kind_i].get());
+    std::lock_guard<std::mutex> clk(cell.mu);
+    if (cell.hierarchy) {
+      return static_cast<const NucleusHierarchy*>(cell.hierarchy.get());
     }
   }
 
@@ -301,24 +356,24 @@ StatusOr<const NucleusHierarchy*> NucleusSession::Hierarchy(
   DecomposeOptions exact = options;
   exact.max_iterations = 0;
   exact.trace = nullptr;
-  StatusOr<DecomposeResult> r = Decompose(kind, exact);
+  StatusOr<DecomposeResult> r = DecomposeShared(kind, exact);
   if (!r.ok()) return r.status();
 
-  StatusOr<NucleusHierarchy> h = HierarchyFor(kind, r->kappa);
+  StatusOr<NucleusHierarchy> h = HierarchyForShared(kind, r->kappa);
   if (!h.ok()) return h.status();
 
-  std::lock_guard<std::mutex> lk(mu_);
-  if (!hierarchy_[kind_i]) {
-    hierarchy_[kind_i] =
+  std::lock_guard<std::mutex> clk(cell.mu);
+  if (!cell.hierarchy) {
+    cell.hierarchy =
         std::make_unique<NucleusHierarchy>(std::move(h).value());
-    ++stats_.hierarchy_builds;
+    BumpStat(&SessionStats::hierarchy_builds);
   }
-  return static_cast<const NucleusHierarchy*>(hierarchy_[kind_i].get());
+  return static_cast<const NucleusHierarchy*>(cell.hierarchy.get());
 }
 
-StatusOr<NucleusHierarchy> NucleusSession::HierarchyFor(
+StatusOr<NucleusHierarchy> NucleusSession::HierarchyForShared(
     DecompositionKind kind, std::span<const Degree> kappa) {
-  const std::size_t n = NumRCliques(kind);
+  const std::size_t n = NumRCliquesShared(kind);
   if (kappa.size() != n) {
     return Status::InvalidArgument(
         "kappa has " + std::to_string(kappa.size()) + " entries, expected " +
@@ -329,11 +384,18 @@ StatusOr<NucleusHierarchy> NucleusSession::HierarchyFor(
     case DecompositionKind::kCore:
       return BuildCoreHierarchy(*graph_, k);
     case DecompositionKind::kTruss:
-      return BuildTrussHierarchy(*graph_, Edges(), k);
+      return BuildTrussHierarchy(*graph_, EdgesShared(nullptr), k);
     case DecompositionKind::kNucleus34:
-      return BuildNucleus34Hierarchy(*graph_, Triangles(), k);
+      return BuildNucleus34Hierarchy(*graph_, TrianglesShared(1, nullptr),
+                                     k);
   }
   return Status::Internal("unknown DecompositionKind");
+}
+
+StatusOr<NucleusHierarchy> NucleusSession::HierarchyFor(
+    DecompositionKind kind, std::span<const Degree> kappa) {
+  std::shared_lock<std::shared_mutex> lk(session_mu_);
+  return HierarchyForShared(kind, kappa);
 }
 
 StatusOr<QueryEstimate> NucleusSession::EstimateQueries(
@@ -349,16 +411,14 @@ StatusOr<QueryEstimate> NucleusSession::EstimateQueries(
   if (options.threads < 0) {
     return Status::InvalidArgument("QueryOptions::threads must be >= 0");
   }
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    ++stats_.query_calls;
-  }
+  std::shared_lock<std::shared_mutex> lk(session_mu_);
+  BumpStat(&SessionStats::query_calls);
   // CliqueId aliases VertexId/EdgeId/TriangleId, so the spans re-view the
   // same memory with the kind-specific meaning.
   switch (kind) {
     case DecompositionKind::kCore: {
       for (CliqueId id : ids) {
-        if (id >= graph().NumVertices()) {
+        if (id >= graph_->NumVertices()) {
           return Status::InvalidArgument("query vertex id out of range: " +
                                          std::to_string(id));
         }
@@ -368,11 +428,16 @@ StatusOr<QueryEstimate> NucleusSession::EstimateQueries(
           options);
     }
     case DecompositionKind::kTruss: {
-      const EdgeIndex& edges = Edges();
+      const EdgeIndex& edges = EdgesShared(nullptr);
       for (CliqueId id : ids) {
         if (id >= edges.NumEdges()) {
           return Status::InvalidArgument("query edge id out of range: " +
                                          std::to_string(id));
+        }
+        if (!edges.IsLive(id)) {
+          return Status::InvalidArgument(
+              "query edge id names a removed (tombstoned) edge: " +
+              std::to_string(id));
         }
       }
       return EstimateTrussNumbers(
@@ -380,11 +445,16 @@ StatusOr<QueryEstimate> NucleusSession::EstimateQueries(
           options);
     }
     case DecompositionKind::kNucleus34: {
-      const TriangleIndex& tris = Triangles(options.threads);
+      const TriangleIndex& tris = TrianglesShared(options.threads, nullptr);
       for (CliqueId id : ids) {
         if (id >= tris.NumTriangles()) {
           return Status::InvalidArgument("query triangle id out of range: " +
                                          std::to_string(id));
+        }
+        if (!tris.IsLive(id)) {
+          return Status::InvalidArgument(
+              "query triangle id names a removed (tombstoned) triangle: " +
+              std::to_string(id));
         }
       }
       return EstimateNucleus34Numbers(
@@ -397,14 +467,43 @@ StatusOr<QueryEstimate> NucleusSession::EstimateQueries(
 
 bool NucleusSession::UpdateBatch::InsertEdge(VertexId u, VertexId v) {
   const bool applied = maintainer_.InsertEdge(u, v);
-  if (applied) ++mutations_;
-  return applied;
+  if (!applied) return false;
+  if (truss_maintainer_) truss_maintainer_->InsertEdge(u, v);
+  ++mutations_;
+  const auto it = net_.find(PairKey(u, v));
+  if (it != net_.end()) {
+    net_.erase(it);  // was net-removed: insert cancels it out
+  } else {
+    net_.emplace(PairKey(u, v), true);
+  }
+  return true;
 }
 
 bool NucleusSession::UpdateBatch::RemoveEdge(VertexId u, VertexId v) {
   const bool applied = maintainer_.RemoveEdge(u, v);
-  if (applied) ++mutations_;
-  return applied;
+  if (!applied) return false;
+  if (truss_maintainer_) truss_maintainer_->RemoveEdge(u, v);
+  ++mutations_;
+  const auto it = net_.find(PairKey(u, v));
+  if (it != net_.end()) {
+    net_.erase(it);  // was net-inserted: remove cancels it out
+  } else {
+    net_.emplace(PairKey(u, v), false);
+  }
+  return true;
+}
+
+EdgeDelta NucleusSession::UpdateBatch::NetDelta() const {
+  EdgeDelta delta;
+  for (const auto& [key, inserted] : net_) {
+    const VertexId u = static_cast<VertexId>(key >> 32);
+    const VertexId v = static_cast<VertexId>(key & 0xffffffffu);
+    (inserted ? delta.inserted : delta.removed).emplace_back(u, v);
+  }
+  // Deterministic order regardless of hash-map iteration.
+  std::sort(delta.inserted.begin(), delta.inserted.end());
+  std::sort(delta.removed.begin(), delta.removed.end());
+  return delta;
 }
 
 Status NucleusSession::UpdateBatch::Commit() {
@@ -421,19 +520,37 @@ Status NucleusSession::UpdateBatch::Commit() {
 }
 
 NucleusSession::UpdateBatch NucleusSession::BeginUpdates() {
-  std::lock_guard<std::mutex> lk(mu_);
-  const auto& core_kappa = kappa_[static_cast<int>(DecompositionKind::kCore)];
-  if (core_kappa.has_value()) {
-    // Reuse the cached exact core numbers: the maintainer skips its own
-    // decomposition entirely.
-    return UpdateBatch(this, DynamicCoreMaintainer(*graph_, *core_kappa),
-                       commit_epoch_);
+  std::shared_lock<std::shared_mutex> lk(session_mu_);
+  std::optional<std::vector<Degree>> core_kappa;
+  {
+    std::lock_guard<std::mutex> clk(results_[0].mu);
+    core_kappa = results_[0].kappa;
   }
-  return UpdateBatch(this, DynamicCoreMaintainer(*graph_), commit_epoch_);
+  std::optional<std::vector<Degree>> truss_kappa;
+  {
+    std::lock_guard<std::mutex> clk(results_[1].mu);
+    truss_kappa = results_[1].kappa;
+  }
+  // Truss maintenance piggybacks on the cached exact (2,3) kappa — a cold
+  // internal truss decomposition on every BeginUpdates would defeat the
+  // point for callers that never ask for (2,3).
+  std::optional<DynamicTrussMaintainer> truss_maintainer;
+  if (truss_kappa.has_value()) {
+    const EdgeIndex* edges = edge_index_.TryGet();
+    if (edges != nullptr && truss_kappa->size() == edges->NumEdges()) {
+      truss_maintainer.emplace(*graph_, *edges, *truss_kappa);
+    }
+  }
+  DynamicCoreMaintainer core_maintainer =
+      core_kappa.has_value()
+          ? DynamicCoreMaintainer(*graph_, std::move(*core_kappa))
+          : DynamicCoreMaintainer(*graph_);
+  return UpdateBatch(this, std::move(core_maintainer),
+                     std::move(truss_maintainer), commit_epoch_);
 }
 
 Status NucleusSession::CommitUpdates(UpdateBatch* batch) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::unique_lock<std::shared_mutex> lk(session_mu_);
   if (batch->epoch_ != commit_epoch_) {
     // Another batch committed mutations after this one branched off;
     // publishing this snapshot would silently drop them.
@@ -441,41 +558,311 @@ Status NucleusSession::CommitUpdates(UpdateBatch* batch) {
         "UpdateBatch is stale: the session graph changed since "
         "BeginUpdates; restart the batch from the current graph");
   }
-  ++stats_.commits;
-  if (batch->mutations_ == 0) {
+  BumpStat(&SessionStats::commits);
+  const EdgeDelta delta = batch->NetDelta();
+  if (delta.Empty()) {
     return Status::Ok();  // graph unchanged: keep every cache
   }
-  storage_ = batch->maintainer_.ToGraph();
-  graph_ = &storage_;
-  ++commit_epoch_;
-  InvalidateLocked();
+  PropagateDelta(delta, batch->maintainer_.ToGraph(),
+                 batch->truss_maintainer_ ? &*batch->truss_maintainer_
+                                          : nullptr);
   // (1,2) reuse: the maintainer's locally-repaired core numbers ARE the
   // exact kappa of the mutated graph, so the core space keeps being served
-  // with zero rebuild. The (2,3)/(3,4) indices and arenas were dropped
-  // above and rebuild lazily at full cold-call cost on next use.
-  kappa_[static_cast<int>(DecompositionKind::kCore)] =
-      batch->maintainer_.CoreNumbersView();
+  // with zero rebuild.
+  {
+    std::lock_guard<std::mutex> clk(results_[0].mu);
+    results_[0].kappa = batch->maintainer_.CoreNumbersView();
+  }
+  ++commit_epoch_;
   return Status::Ok();
 }
 
-void NucleusSession::InvalidateLocked() {
+void NucleusSession::PropagateDelta(
+    const EdgeDelta& delta, Graph&& new_graph,
+    const DynamicTrussMaintainer* truss_maintainer) {
+  EdgeIndex* eidx = edge_index_.Mutable();
+  TriangleIndex* tidx = triangle_index_.Mutable();
+  EdgeTriangleCsr* etc = edge_triangle_csr_.Mutable();
+  const bool patch_core_arena = core_.arena.has_value();
+  const bool patch_truss_arena = truss_.arena.has_value();
+  const bool patch_n34_arena = nucleus34_.arena.has_value();
+  assert(!patch_truss_arena || eidx != nullptr);
+  assert(!patch_n34_arena || tidx != nullptr);
+  assert(etc == nullptr || (eidx != nullptr && tidx != nullptr));
+  const bool need_tri_edges =
+      eidx != nullptr && (etc != nullptr || patch_truss_arena ||
+                          !truss_.fly_degrees.empty());
+  const bool need_tri_delta = tidx != nullptr || need_tri_edges;
+  const bool need_4c_delta =
+      tidx != nullptr &&
+      (patch_n34_arena || !nucleus34_.fly_degrees.empty());
+  const bool need_tri_ids =
+      tidx != nullptr && (etc != nullptr || need_4c_delta);
+
+  if (eidx != nullptr || tidx != nullptr) {
+    BumpStat(&SessionStats::incremental_commits);
+  }
+
+  // Stage 1: enumerate the s-cliques the delta destroys/creates (dead sets
+  // against the OLD graph, born sets against the new one) and resolve the
+  // ids that die with it while they are still lookup-able.
+  TriangleDelta tdelta;
+  if (need_tri_delta) {
+    tdelta = ComputeTriangleDelta(*graph_, new_graph, delta);
+  }
+  FourCliqueDelta fdelta;
+  if (need_4c_delta) {
+    fdelta = ComputeFourCliqueDelta(*graph_, new_graph, delta);
+  }
+  std::vector<EdgeId> removed_edge_ids;
+  if (eidx != nullptr) {
+    removed_edge_ids.reserve(delta.removed.size());
+    for (const auto& [u, v] : delta.removed) {
+      removed_edge_ids.push_back(eidx->EdgeIdOf(u, v));
+    }
+  }
+  const auto tri_edge_ids = [](const EdgeIndex& idx,
+                               const std::array<VertexId, 3>& t) {
+    return std::array<EdgeId, 3>{idx.EdgeIdOf(t[0], t[1]),
+                                 idx.EdgeIdOf(t[0], t[2]),
+                                 idx.EdgeIdOf(t[1], t[2])};
+  };
+  const auto quad_tri_ids = [](const TriangleIndex& idx,
+                               const std::array<VertexId, 4>& q) {
+    return std::array<TriangleId, 4>{idx.TriangleIdOf(q[0], q[1], q[2]),
+                                     idx.TriangleIdOf(q[0], q[1], q[3]),
+                                     idx.TriangleIdOf(q[0], q[2], q[3]),
+                                     idx.TriangleIdOf(q[1], q[2], q[3])};
+  };
+  std::vector<std::array<EdgeId, 3>> dead_tri_edges;
+  if (need_tri_edges) {
+    dead_tri_edges.reserve(tdelta.dead.size());
+    for (const auto& t : tdelta.dead) {
+      dead_tri_edges.push_back(tri_edge_ids(*eidx, t));
+    }
+  }
+  std::vector<TriangleId> dead_tri_ids;
+  if (need_tri_ids) {
+    dead_tri_ids.reserve(tdelta.dead.size());
+    for (const auto& t : tdelta.dead) {
+      dead_tri_ids.push_back(tidx->TriangleIdOf(t[0], t[1], t[2]));
+    }
+  }
+  std::vector<std::array<TriangleId, 4>> dead_4c_tris;
+  if (need_4c_delta) {
+    dead_4c_tris.reserve(fdelta.dead.size());
+    for (const auto& q : fdelta.dead) {
+      dead_4c_tris.push_back(quad_tri_ids(*tidx, q));
+    }
+  }
+
+  // Stage 2: install the new graph (everything old-graph-dependent is
+  // done). The owned storage's address is stable, so space objects keep
+  // pointing at valid memory; their contents are re-seated below.
+  storage_ = std::move(new_graph);
+  graph_ = &storage_;
+
+  // Stage 3: patch the indices in place (graph-independent structures).
+  if (eidx != nullptr) {
+    eidx->ApplyDelta(delta.removed, delta.inserted);
+  }
+  std::vector<TriangleId> born_tri_ids;
+  if (tidx != nullptr) {
+    born_tri_ids = tidx->ApplyDelta(tdelta.dead, tdelta.born);
+  }
+  std::vector<std::array<EdgeId, 3>> born_tri_edges;
+  if (need_tri_edges) {
+    born_tri_edges.reserve(tdelta.born.size());
+    for (const auto& t : tdelta.born) {
+      born_tri_edges.push_back(tri_edge_ids(*eidx, t));
+    }
+  }
+  std::vector<std::array<TriangleId, 4>> born_4c_tris;
+  if (need_4c_delta) {
+    born_4c_tris.reserve(fdelta.born.size());
+    for (const auto& q : fdelta.born) {
+      born_4c_tris.push_back(quad_tri_ids(*tidx, q));
+    }
+  }
+
+  // Stage 4: patch the per-edge triangle CSR.
+  if (etc != nullptr) {
+    const auto to_patches =
+        [&](const std::vector<std::array<VertexId, 3>>& triples,
+            const std::vector<TriangleId>& ids,
+            const std::vector<std::array<EdgeId, 3>>& edges) {
+          std::vector<EdgeTriangleCsr::TrianglePatch> patches;
+          patches.reserve(triples.size());
+          for (std::size_t i = 0; i < triples.size(); ++i) {
+            const auto& t = triples[i];
+            // Edge j's opposite vertex completes it into the triangle:
+            // (t0,t1)->t2, (t0,t2)->t1, (t1,t2)->t0.
+            patches.push_back(EdgeTriangleCsr::TrianglePatch{
+                ids[i], edges[i], {t[2], t[1], t[0]}});
+          }
+          return patches;
+        };
+    etc->ApplyDelta(to_patches(tdelta.dead, dead_tri_ids, dead_tri_edges),
+                    to_patches(tdelta.born, born_tri_ids, born_tri_edges),
+                    removed_edge_ids, eidx->NumEdges());
+  }
+
+  // Stage 5: patch or drop the arena cells. Space objects are re-seated
+  // in place (assignment keeps their address, which the arena pins).
+  const auto members_of = [](const auto& id_arrays) {
+    std::vector<std::vector<CliqueId>> out;
+    out.reserve(id_arrays.size());
+    for (const auto& arr : id_arrays) {
+      out.emplace_back(arr.begin(), arr.end());
+    }
+    return out;
+  };
+  if (patch_core_arena) {
+    std::vector<std::vector<CliqueId>> dead_s, born_s;
+    dead_s.reserve(delta.removed.size());
+    for (const auto& [u, v] : delta.removed) {
+      dead_s.push_back({u, v});
+    }
+    born_s.reserve(delta.inserted.size());
+    for (const auto& [u, v] : delta.inserted) {
+      born_s.push_back({u, v});
+    }
+    core_.arena->ApplyPatch(dead_s, born_s, {}, graph_->NumVertices());
+    *core_.space = CoreSpace(*graph_);
+  } else {
+    core_.space.reset();
+  }
+  core_.fly_degrees.clear();  // O(n) to recount: not worth patching
+  core_.failed_budget = 0;
+
+  if (patch_truss_arena) {
+    truss_.arena->ApplyPatch(members_of(dead_tri_edges),
+                             members_of(born_tri_edges), removed_edge_ids,
+                             eidx->NumEdges());
+    *truss_.space = TrussSpace(*graph_, *eidx);
+  } else {
+    truss_.space.reset();
+  }
+  if (!truss_.fly_degrees.empty() && eidx != nullptr) {
+    truss_.fly_degrees.resize(eidx->NumEdges(), 0);
+    for (const auto& edges3 : dead_tri_edges) {
+      for (EdgeId e : edges3) --truss_.fly_degrees[e];
+    }
+    for (const auto& edges3 : born_tri_edges) {
+      for (EdgeId e : edges3) ++truss_.fly_degrees[e];
+    }
+  } else {
+    truss_.fly_degrees.clear();
+  }
+  truss_.failed_budget = 0;
+
+  if (patch_n34_arena) {
+    nucleus34_.arena->ApplyPatch(members_of(dead_4c_tris),
+                                 members_of(born_4c_tris), dead_tri_ids,
+                                 tidx->NumTriangles());
+    *nucleus34_.space = Nucleus34Space(*graph_, *tidx);
+  } else {
+    nucleus34_.space.reset();
+  }
+  if (!nucleus34_.fly_degrees.empty() && tidx != nullptr &&
+      need_4c_delta) {
+    nucleus34_.fly_degrees.resize(tidx->NumTriangles(), 0);
+    for (const auto& tris4 : dead_4c_tris) {
+      for (TriangleId t : tris4) --nucleus34_.fly_degrees[t];
+    }
+    for (const auto& tris4 : born_4c_tris) {
+      for (TriangleId t : tris4) ++nucleus34_.fly_degrees[t];
+    }
+    // Patched-in triangles start at their counted d_4 = 0 plus born K4s;
+    // dead triangles decremented to exactly 0 (all their K4s died).
+  } else {
+    nucleus34_.fly_degrees.clear();
+  }
+  nucleus34_.failed_budget = 0;
+
+  // Stage 6: result caches. Core is re-seeded by the caller; (2,3) is
+  // re-seeded from the truss maintainer when the batch carried one; (3,4)
+  // and all hierarchies/tau caches restart cold.
+  for (ResultCell& cell : results_) {
+    std::lock_guard<std::mutex> clk(cell.mu);
+    cell.Reset();
+  }
+  if (truss_maintainer != nullptr) {
+    std::vector<Degree> seed;
+    if (eidx != nullptr) {
+      seed.assign(eidx->NumEdges(), 0);
+      for (EdgeId e = 0; e < eidx->NumEdges(); ++e) {
+        if (!eidx->IsLive(e)) continue;
+        const auto [u, v] = eidx->Endpoints(e);
+        seed[e] = truss_maintainer->TrussNumberOf(u, v);
+      }
+    } else {
+      // No index to patch: a later (2,3) call builds a fresh index whose
+      // lexicographic id order is exactly the maintainer's export order.
+      seed = truss_maintainer->TrussNumbersInIndexOrder();
+    }
+    std::lock_guard<std::mutex> clk(results_[1].mu);
+    results_[1].kappa = std::move(seed);
+    BumpStat(&SessionStats::truss_kappa_seeds);
+  }
+
+  // Stage 7: compaction. Patching keeps commits O(delta) but leaves
+  // tombstones every sweep still iterates over; once a layer's dead
+  // fraction crosses the threshold, re-densify it. The edge layer rebuild
+  // is a cheap linear scan done eagerly (so the (2,3) seed can be remapped
+  // to the fresh ids); the triangle layer drops lazily — its rebuild is
+  // the expensive enumeration and the next (3,4) caller pays it.
+  if (eidx != nullptr) {
+    const std::size_t dead = eidx->NumEdges() - eidx->NumLiveEdges();
+    if (dead >= kMinDeadForCompaction &&
+        eidx->DeadFraction() > kDeadFractionForCompaction) {
+      edge_index_.Install(EdgeIndex(*graph_));
+      BumpStat(&SessionStats::edge_index_builds);
+      BumpStat(&SessionStats::compactions);
+      edge_triangle_csr_.Reset();
+      truss_.Reset();
+      if (truss_maintainer != nullptr) {
+        std::lock_guard<std::mutex> clk(results_[1].mu);
+        results_[1].kappa = truss_maintainer->TrussNumbersInIndexOrder();
+      }
+      eidx = nullptr;  // invalidated
+      etc = nullptr;
+    }
+  }
+  if (tidx != nullptr) {
+    const std::size_t dead =
+        tidx->NumTriangles() - tidx->NumLiveTriangles();
+    if (dead >= kMinDeadForCompaction &&
+        tidx->DeadFraction() > kDeadFractionForCompaction) {
+      triangle_index_.Reset();
+      edge_triangle_csr_.Reset();
+      nucleus34_.Reset();
+      BumpStat(&SessionStats::compactions);
+      tidx = nullptr;
+    }
+  }
+}
+
+void NucleusSession::ResetDerivedState() {
   core_.Reset();
   truss_.Reset();
   nucleus34_.Reset();
-  edge_triangle_csr_.reset();
-  edge_index_.reset();
-  triangle_index_.reset();
-  for (auto& k : kappa_) k.reset();
-  for (auto& h : hierarchy_) h.reset();
+  edge_triangle_csr_.Reset();
+  edge_index_.Reset();
+  triangle_index_.Reset();
+  for (ResultCell& cell : results_) {
+    std::lock_guard<std::mutex> clk(cell.mu);
+    cell.Reset();
+  }
 }
 
 void NucleusSession::InvalidateDerivedState() {
-  std::lock_guard<std::mutex> lk(mu_);
-  InvalidateLocked();
+  std::unique_lock<std::shared_mutex> lk(session_mu_);
+  ResetDerivedState();
 }
 
 SessionStats NucleusSession::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::mutex> lk(stats_mu_);
   return stats_;
 }
 

@@ -1,12 +1,12 @@
 // Session-centric public API. A NucleusSession is constructed once from a
 // Graph and owns every piece of derived state — EdgeIndex, TriangleIndex,
 // EdgeTriangleCsr, the per-space CSR co-member arenas, exact kappa values,
-// and nucleus hierarchies — built lazily on first use, cached, and shared
-// across every subsequent call. The one-shot free functions in
-// nucleus_decomposition.h are thin deprecated wrappers over a temporary
-// session; server-style callers that issue repeated decompositions,
-// queries, or updates against the same graph should hold a session so the
-// indices and arenas are paid for exactly once.
+// truncated-run tau values, and nucleus hierarchies — built lazily on
+// first use, cached, and shared across every subsequent call. The one-shot
+// free functions in nucleus_decomposition.h are thin deprecated wrappers
+// over a temporary session; server-style callers that issue repeated
+// decompositions, queries, or updates against the same graph should hold a
+// session so the indices and arenas are paid for exactly once.
 //
 // Quickstart:
 //   NucleusSession session(LoadEdgeListText("graph.txt"));  // owns the graph
@@ -22,34 +22,63 @@
 //   // from the kappa cache, no index or arena rebuild (r2->index_seconds
 //   // == 0, r2->served_from_cache).
 //
+// Mutation path (incremental commits): UpdateBatch::Commit no longer
+// invalidates the derived state wholesale. The committed edge delta is
+// propagated through every cached layer in place — EdgeIndex ids are
+// tombstoned/appended, the dead/born triangle and 4-clique sets are
+// enumerated from the delta's neighborhoods only and applied as patches to
+// TriangleIndex, EdgeTriangleCsr, and the CSR co-member arenas — and the
+// kappa caches are re-seeded from the exact dynamic maintainers
+// (DynamicCoreMaintainer for (1,2), DynamicTrussMaintainer for (2,3)), so
+// after a small commit the next Decompose of either kind is a cache hit
+// with ZERO rebuilds. Patched indices keep tombstoned ids addressable
+// (kappa vectors are indexed by the id space, dead ids pinned at 0; see
+// EdgeIndex::NumLiveEdges); once the tombstone fraction of an id space
+// crosses kDeadFractionForCompaction the commit compacts that layer
+// (counted in SessionStats::compactions).
+//
 // Error handling: the session boundary never throws on malformed input —
 // every entry point returns Status / StatusOr (see common/status.h).
 //
-// Thread safety: Decompose / Hierarchy / EstimateQueries may be called
-// concurrently from any number of threads (internal caches are built under
-// a mutex; engine runs proceed outside it). Mutations are the exception:
-// UpdateBatch::Commit and InvalidateDerivedState require exclusive access
-// — no concurrent session calls and no outstanding references to cached
-// state (indices, arenas, hierarchies) across them.
+// Thread safety: Decompose / Hierarchy / EstimateQueries / Edges /
+// Triangles / EdgeTriangles may be called concurrently from any number of
+// threads. Internally the session holds a shared_mutex in shared mode on
+// every read path and exclusively in Commit / InvalidateDerivedState, and
+// each piece of derived state lives in its own cell (build-outside,
+// install-under-lock; common/state_cell.h) — so a cold (3,4) arena build
+// blocks only other (3,4) callers, never an unrelated (1,2) read, and
+// commits simply wait for in-flight reads to drain. References returned
+// by Edges()/Triangles()/Hierarchy() are valid until the next mutating
+// Commit or InvalidateDerivedState: a commit usually patches the index
+// objects in place, but cached hierarchies are always dropped and a
+// compacting commit replaces the indices outright — do not hold such a
+// reference across a commit.
 #ifndef NUCLEUS_CORE_SESSION_H_
 #define NUCLEUS_CORE_SESSION_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <span>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/clique/csr_space.h"
+#include "src/clique/delta.h"
 #include "src/clique/edge_index.h"
 #include "src/clique/spaces.h"
 #include "src/clique/triangles.h"
+#include "src/common/state_cell.h"
 #include "src/common/status.h"
 #include "src/common/types.h"
 #include "src/graph/graph.h"
 #include "src/local/and.h"
 #include "src/local/dynamic.h"
+#include "src/local/dynamic_truss.h"
 #include "src/local/options.h"
 #include "src/local/query.h"
 #include "src/local/snd.h"
@@ -83,23 +112,34 @@ struct DecomposeOptions : Options {
   std::uint64_t seed = 1;
   /// AND notification mechanism.
   bool use_notification = true;
-  /// Serve exact repeat requests (max_iterations == 0, no trace) from the
-  /// session's kappa cache instead of re-running the engine. kappa is
-  /// unique, so any exact method produces the same answer; turn this off
-  /// to force a fresh engine run (e.g. when timing the engines).
+  /// Serve repeat requests from the session's result caches instead of
+  /// re-running an engine. Exact requests (max_iterations == 0) hit the
+  /// kappa cache; truncated requests (max_iterations > 0) are served from
+  /// the cached exact kappa when one exists (exact beats truncated: kappa
+  /// is the fixed point every truncated run approaches from above) and
+  /// otherwise from a per-(kind, method, max_iterations) tau cache of
+  /// previous truncated runs (the remaining AND knobs — order, seed,
+  /// threads — are not part of the key: an asynchronous truncated run is
+  /// scheduling-dependent anyway, so any cached tau of the same engine
+  /// and budget is an equally valid certified upper bound). Traced runs
+  /// always bypass. Turn this off to force a fresh engine run (e.g. when
+  /// timing the engines or studying the truncation trajectory itself).
   bool use_result_cache = true;
 };
 
 /// Result of one decomposition request.
 struct DecomposeResult {
   /// kappa (or tau, if truncated) per r-clique. Index meaning depends on
-  /// the kind: vertex id / EdgeIndex id / TriangleIndex id.
+  /// the kind: vertex id / EdgeIndex id / TriangleIndex id. After a
+  /// commit removed edges, the id space may contain tombstoned ids whose
+  /// value is pinned at 0 (see the mutation-path comment above).
   std::vector<Degree> kappa;
-  /// Number of r-cliques.
+  /// Number of r-clique ids (the id space size; equals the live r-clique
+  /// count until a commit tombstones ids).
   std::size_t num_r_cliques = 0;
   /// Sweeps used by the local methods (0 for peeling and cache hits).
   int iterations = 0;
-  /// True for peeling, converged local runs, and cache hits.
+  /// True for peeling, converged local runs, and exact cache hits.
   bool exact = true;
   /// Wall-clock seconds of the decomposition proper (excludes index and
   /// arena construction, reported separately below).
@@ -110,13 +150,14 @@ struct DecomposeResult {
   /// Seconds THIS call spent materializing the CSR co-member arena (0 when
   /// cached, on the fly, or over budget).
   double arena_seconds = 0.0;
-  /// True when the request was answered from the session's kappa cache
+  /// True when the request was answered from the session's result caches
   /// without running any engine.
   bool served_from_cache = false;
 };
 
 /// Monotone counters exposing what the session has built and served; the
-/// reuse contract ("index built exactly once") is asserted against these.
+/// reuse contract ("index built exactly once", "incremental commits do not
+/// rebuild") is asserted against these.
 struct SessionStats {
   int edge_index_builds = 0;
   int triangle_index_builds = 0;
@@ -129,10 +170,28 @@ struct SessionStats {
   int hierarchy_builds = 0;
   int query_calls = 0;
   int commits = 0;
+  /// Mutating commits that propagated the delta through cached state in
+  /// place (vs. commits with nothing cached to patch).
+  int incremental_commits = 0;
+  /// Commits that re-densified an id space because its tombstone fraction
+  /// crossed kDeadFractionForCompaction.
+  int compactions = 0;
+  /// Commits that re-seeded the (2,3) kappa cache from the batch's
+  /// DynamicTrussMaintainer.
+  int truss_kappa_seeds = 0;
 };
 
 class NucleusSession {
  public:
+  /// Tombstone fraction of an id space above which a mutating commit
+  /// compacts (rebuilds fresh, re-densifying ids) instead of patching
+  /// further. Patching keeps commits O(delta); compaction bounds the id
+  /// slack every engine sweep still iterates over.
+  static constexpr double kDeadFractionForCompaction = 0.25;
+  /// Compaction never triggers below this many tombstones (small graphs
+  /// churn their whole edge set without ever amortizing a rebuild).
+  static constexpr std::size_t kMinDeadForCompaction = 64;
+
   /// Owning construction: the session takes the graph by move.
   explicit NucleusSession(Graph&& graph);
   /// Borrowing construction: the caller keeps `graph` alive for the
@@ -152,7 +211,9 @@ class NucleusSession {
 
   /// Runs (or serves from cache) a decomposition. Builds whatever index /
   /// arena the kind and options require on first use; repeat calls reuse
-  /// them, and exact repeat requests are answered from the kappa cache.
+  /// them, and repeat requests are answered from the result caches (see
+  /// DecomposeOptions::use_result_cache for the exact-beats-truncated
+  /// serving rule).
   StatusOr<DecomposeResult> Decompose(DecompositionKind kind,
                                       const DecomposeOptions& options = {});
 
@@ -164,28 +225,26 @@ class NucleusSession {
       DecompositionKind kind, const DecomposeOptions& options = {});
 
   /// Uncached hierarchy from caller-provided kappa values (must match the
-  /// kind's r-clique count). Reuses the session's indices.
+  /// kind's r-clique id count). Reuses the session's indices.
   StatusOr<NucleusHierarchy> HierarchyFor(DecompositionKind kind,
                                           std::span<const Degree> kappa);
 
   /// Query-driven local estimation (paper Section 1.2), unified across all
   /// three spaces: ids are vertex ids (kCore), EdgeIndex ids (kTruss), or
-  /// TriangleIndex ids (kNucleus34). Estimates are certified upper bounds
-  /// of kappa, tightening monotonically with options.radius. Thread-safe;
-  /// concurrent callers share the cached indices.
+  /// TriangleIndex ids (kNucleus34); tombstoned ids are rejected as
+  /// kInvalidArgument. Estimates are certified upper bounds of kappa,
+  /// tightening monotonically with options.radius. Thread-safe; concurrent
+  /// callers share the cached indices.
   StatusOr<QueryEstimate> EstimateQueries(DecompositionKind kind,
                                           std::span<const CliqueId> ids,
                                           const QueryOptions& options = {});
 
   /// A mutation handle over the session's graph: insert/remove edges with
-  /// exact local repair of core numbers (DynamicCoreMaintainer), then
-  /// Commit() to publish the mutated graph back into the session.
-  /// On commit the session keeps serving the (1,2) space with ZERO rebuild
-  /// (the maintainer's repaired core numbers seed the kappa cache); the
-  /// (2,3)/(3,4) indices and arenas are invalidated and rebuilt lazily on
-  /// next use — their cost is a full EdgeIndex / TriangleIndex + arena
-  /// construction, the same as a cold first call (see ROADMAP: incremental
-  /// arena maintenance is an open item). An uncommitted batch is discarded.
+  /// exact local repair of core numbers (DynamicCoreMaintainer) and — when
+  /// the session holds exact (2,3) kappa — of truss numbers
+  /// (DynamicTrussMaintainer), then Commit() to publish the mutated graph
+  /// back into the session with incremental delta propagation (see the
+  /// mutation-path comment at the top). An uncommitted batch is discarded.
   class UpdateBatch {
    public:
     /// Move transfers the handle; the moved-from batch can no longer
@@ -193,6 +252,8 @@ class NucleusSession {
     UpdateBatch(UpdateBatch&& other) noexcept
         : session_(other.session_),
           maintainer_(std::move(other.maintainer_)),
+          truss_maintainer_(std::move(other.truss_maintainer_)),
+          net_(std::move(other.net_)),
           epoch_(other.epoch_),
           mutations_(other.mutations_),
           committed_(other.committed_) {
@@ -210,9 +271,24 @@ class NucleusSession {
     const std::vector<Degree>& CoreNumbers() const {
       return maintainer_.CoreNumbersView();
     }
+    /// True when the batch also repairs truss numbers (the session had
+    /// exact (2,3) kappa cached when BeginUpdates ran); Commit then
+    /// re-seeds the (2,3) kappa cache.
+    bool MaintainsTruss() const { return truss_maintainer_.has_value(); }
+    /// Exact truss number of {u, v} in the batch's working graph, or
+    /// kInvalidClique when absent / not maintaining truss.
+    Degree TrussNumberOf(VertexId u, VertexId v) const {
+      return truss_maintainer_ ? truss_maintainer_->TrussNumberOf(u, v)
+                               : kInvalidClique;
+    }
     /// Vertices recomputed by the last mutation (locality measure).
     std::size_t LastRepairWork() const {
       return maintainer_.LastRepairWork();
+    }
+    /// Edges recomputed by the last mutation's truss repair (0 when not
+    /// maintaining truss).
+    std::size_t LastTrussRepairWork() const {
+      return truss_maintainer_ ? truss_maintainer_->LastRepairWork() : 0;
     }
     /// Mutations applied so far (insertions + removals that took effect).
     std::size_t NumMutations() const { return mutations_; }
@@ -221,31 +297,50 @@ class NucleusSession {
     /// kFailedPrecondition on a second call, on a moved-from handle, or
     /// when the batch is stale — another batch committed mutations after
     /// this one began, so publishing this snapshot would silently drop
-    /// them. A no-mutation commit leaves all cached state untouched.
+    /// them. A commit whose net delta is empty leaves all cached state
+    /// untouched.
     Status Commit();
 
    private:
     friend class NucleusSession;
     UpdateBatch(NucleusSession* session, DynamicCoreMaintainer maintainer,
+                std::optional<DynamicTrussMaintainer> truss_maintainer,
                 std::uint64_t epoch)
         : session_(session),
           maintainer_(std::move(maintainer)),
+          truss_maintainer_(std::move(truss_maintainer)),
           epoch_(epoch) {}
 
-    NucleusSession* session_;
+    // Normalized endpoint-pair key for net_ (same encoding as
+    // EdgeIndex/DynamicTrussMaintainer use internally).
+    static std::uint64_t PairKey(VertexId u, VertexId v) {
+      if (u > v) std::swap(u, v);
+      return (static_cast<std::uint64_t>(u) << 32) | v;
+    }
+    // The net delta relative to the branch graph: pair-key -> inserted?
+    // (an insert-then-remove of the same pair cancels out).
+    EdgeDelta NetDelta() const;
+
+    NucleusSession* session_ = nullptr;
     DynamicCoreMaintainer maintainer_;
+    std::optional<DynamicTrussMaintainer> truss_maintainer_;
+    std::unordered_map<std::uint64_t, bool> net_;  // key -> inserted
     std::uint64_t epoch_ = 0;  // graph epoch this batch branched from
     std::size_t mutations_ = 0;
     bool committed_ = false;
   };
 
-  /// Starts a mutation batch from the current graph. Seeds the maintainer
-  /// with the cached exact core numbers when available (skipping its
-  /// internal decomposition).
+  /// Starts a mutation batch from the current graph. Seeds the core
+  /// maintainer with the cached exact core numbers when available
+  /// (skipping its internal decomposition), and attaches a truss
+  /// maintainer when exact (2,3) kappa is cached (so the commit can
+  /// re-seed it instead of invalidating).
   UpdateBatch BeginUpdates();
 
   // Lazily built, cached, shared index surface. References stay valid
-  // until Commit / InvalidateDerivedState (see thread-safety note above).
+  // until the next mutating Commit or InvalidateDerivedState (commits
+  // usually patch in place, but a compacting commit replaces the
+  // objects; see thread-safety note above).
 
   /// Canonical edge ids of the current graph.
   const EdgeIndex& Edges();
@@ -255,23 +350,29 @@ class NucleusSession {
   /// Per-edge triangle adjacency (CSR over edge ids).
   const EdgeTriangleCsr& EdgeTriangles(int threads = 1);
 
-  /// Number of r-cliques of the kind (building the needed index).
+  /// Number of r-clique ids of the kind (building the needed index). This
+  /// is the id-space size: it may exceed the live count after commits
+  /// removed edges (see the mutation-path comment).
   std::size_t NumRCliques(DecompositionKind kind);
 
-  /// Drops every cached index, arena, kappa vector, and hierarchy. The
-  /// next call rebuilds from the current graph.
+  /// Drops every cached index, arena, kappa/tau vector, and hierarchy.
+  /// The next call rebuilds from the current graph. Requires the same
+  /// exclusivity as Commit (it takes the writer lock).
   void InvalidateDerivedState();
 
   /// Snapshot of the build/serve counters.
   SessionStats stats() const;
 
  private:
-  // Per-kind materialized-arena cache: the base (on-the-fly) space pinned
-  // behind unique_ptr so CsrSpace's internal pointer stays valid, the
-  // arena itself, and the largest budget a build attempt failed under
-  // (avoids re-attempting hopeless builds on every call).
+  // Per-kind materialized-arena cell: its own mutex (so same-kind callers
+  // serialize but different kinds proceed), the base (on-the-fly) space
+  // pinned behind unique_ptr so CsrSpace's internal pointer stays valid,
+  // the arena itself, and the largest budget a build attempt failed under
+  // (avoids re-attempting hopeless builds on every call; cleared on every
+  // mutating commit, since a shrunken graph may fit again).
   template <typename Space>
-  struct ArenaState {
+  struct ArenaCell {
+    std::mutex mu;
     std::unique_ptr<Space> space;
     std::optional<CsrSpace<Space>> arena;
     std::uint64_t failed_budget = 0;
@@ -288,36 +389,84 @@ class NucleusSession {
     }
   };
 
-  // Lazy builders; the caller must hold mu_. build_seconds (when non-null)
-  // accumulates the time spent building in this call (0 on a cache hit).
-  const EdgeIndex& EdgesLocked(double* build_seconds);
-  const TriangleIndex& TrianglesLocked(int threads, double* build_seconds);
+  // Per-kind result cell: exact kappa, the tau cache of truncated runs —
+  // keyed by (method, max_iterations), since unlike kappa a truncated tau
+  // differs between engines (the remaining AND knobs order/seed/threads
+  // are deliberately not part of the key; see use_result_cache) — and
+  // the hierarchy.
+  struct ResultCell {
+    struct Truncated {
+      std::vector<Degree> tau;
+      int iterations = 0;
+      bool exact = false;
+    };
+    mutable std::mutex mu;
+    std::optional<std::vector<Degree>> kappa;
+    std::map<std::pair<Method, int>, Truncated> tau_cache;
+    std::unique_ptr<NucleusHierarchy> hierarchy;
+
+    void Reset() {
+      kappa.reset();
+      tau_cache.clear();
+      hierarchy.reset();
+    }
+  };
+
+  // Shared-lock-held internals (callers hold session_mu_ in shared or
+  // exclusive mode). build_seconds (when non-null) accumulates time spent
+  // building in this call (0 on a cache hit).
+  const EdgeIndex& EdgesShared(double* build_seconds);
+  const TriangleIndex& TrianglesShared(int threads, double* build_seconds);
+  const EdgeTriangleCsr& EdgeTrianglesShared(int threads);
+  std::size_t NumRCliquesShared(DecompositionKind kind);
+  StatusOr<DecomposeResult> DecomposeShared(DecompositionKind kind,
+                                            const DecomposeOptions& options);
+  StatusOr<NucleusHierarchy> HierarchyForShared(DecompositionKind kind,
+                                                std::span<const Degree> kappa);
 
   template <typename Space, typename MakeSpace>
   StatusOr<DecomposeResult> DecomposeWithSpace(
       DecompositionKind kind, const DecomposeOptions& options,
-      ArenaState<Space>* arena_state, int* arena_builds_counter,
+      ArenaCell<Space>* cell, int SessionStats::* arena_counter,
       MakeSpace&& make_space, double index_seconds);
 
+  // Serves a repeat request from the kind's result cell, or std::nullopt
+  // on a miss. Caller holds session_mu_ shared.
+  std::optional<StatusOr<DecomposeResult>> TryServeFromCache(
+      DecompositionKind kind, const DecomposeOptions& options);
+  // Stores an engine run's outcome into the kind's result cell.
+  void StoreResult(DecompositionKind kind, const DecomposeOptions& options,
+                   const DecomposeResult& result);
+
   Status CommitUpdates(UpdateBatch* batch);
-  void InvalidateLocked();
+  // The delta-propagation pipeline (caller holds session_mu_ exclusively).
+  void PropagateDelta(const EdgeDelta& delta, Graph&& new_graph,
+                      const DynamicTrussMaintainer* truss_maintainer);
+  void ResetDerivedState();
+  void BumpStat(int SessionStats::* field);
 
   Graph storage_;        // owned graph (empty when borrowing, pre-commit)
   const Graph* graph_;   // points at storage_ or at the borrowed graph
 
-  mutable std::mutex mu_;  // guards everything below
-  std::unique_ptr<EdgeIndex> edge_index_;
-  std::unique_ptr<TriangleIndex> triangle_index_;
-  std::unique_ptr<EdgeTriangleCsr> edge_triangle_csr_;
-  ArenaState<CoreSpace> core_;
-  ArenaState<TrussSpace> truss_;
-  ArenaState<Nucleus34Space> nucleus34_;
-  std::optional<std::vector<Degree>> kappa_[3];        // indexed by kind
-  std::unique_ptr<NucleusHierarchy> hierarchy_[3];     // indexed by kind
+  // Reads (Decompose/Hierarchy/queries/index accessors) hold this shared;
+  // Commit and InvalidateDerivedState hold it exclusive. All finer state
+  // below has its own cell/mutex, so unrelated reads never serialize.
+  mutable std::shared_mutex session_mu_;
+
+  StateCell<EdgeIndex> edge_index_;
+  StateCell<TriangleIndex> triangle_index_;
+  StateCell<EdgeTriangleCsr> edge_triangle_csr_;
+  ArenaCell<CoreSpace> core_;
+  ArenaCell<TrussSpace> truss_;
+  ArenaCell<Nucleus34Space> nucleus34_;
+  ResultCell results_[3];  // indexed by kind
+
   // Bumped on every mutating commit; outstanding UpdateBatches compare
   // their branch epoch against it so a stale batch cannot silently drop a
-  // newer batch's mutations.
+  // newer batch's mutations. Guarded by session_mu_ (read shared in
+  // BeginUpdates, written exclusive in Commit).
   std::uint64_t commit_epoch_ = 0;
+  mutable std::mutex stats_mu_;
   SessionStats stats_;
 };
 

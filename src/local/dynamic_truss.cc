@@ -38,6 +38,21 @@ DynamicTrussMaintainer::DynamicTrussMaintainer(const Graph& g)
   }
 }
 
+DynamicTrussMaintainer::DynamicTrussMaintainer(const Graph& g,
+                                               const EdgeIndex& edges,
+                                               std::span<const Degree> kappa)
+    : adj_(g.NumVertices()), num_edges_(g.NumEdges()) {
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    adj_[v].assign(g.Neighbors(v).begin(), g.Neighbors(v).end());
+  }
+  kappa_.reserve(g.NumEdges() * 2);
+  for (EdgeId e = 0; e < edges.NumEdges(); ++e) {
+    if (!edges.IsLive(e)) continue;
+    const auto [u, v] = edges.Endpoints(e);
+    kappa_[Key(u, v)] = kappa[e];
+  }
+}
+
 DynamicTrussMaintainer::DynamicTrussMaintainer(std::size_t n) : adj_(n) {}
 
 bool DynamicTrussMaintainer::HasEdgeInternal(VertexId u, VertexId v) const {

@@ -17,6 +17,7 @@
 #define NUCLEUS_LOCAL_DYNAMIC_TRUSS_H_
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -25,6 +26,8 @@
 
 namespace nucleus {
 
+class EdgeIndex;
+
 /// Maintains exact truss numbers of a mutable simple graph. Edges are
 /// keyed by their endpoint pair (stable across mutations, unlike dense
 /// EdgeIndex ids).
@@ -32,6 +35,15 @@ class DynamicTrussMaintainer {
  public:
   explicit DynamicTrussMaintainer(const Graph& g);
   explicit DynamicTrussMaintainer(std::size_t n);
+
+  /// Starts from an existing graph whose exact truss numbers are already
+  /// known (e.g. the session's kappa cache), skipping the internal
+  /// decomposition. kappa is indexed by `edges` ids (tombstoned ids of a
+  /// patched index are ignored). Precondition: kappa.size() ==
+  /// edges.NumEdges(), the live edges of `edges` are exactly the edges of
+  /// g, and the values are the exact truss numbers of g.
+  DynamicTrussMaintainer(const Graph& g, const EdgeIndex& edges,
+                         std::span<const Degree> kappa);
 
   /// Inserts {u, v}; false if present or invalid. Repairs truss numbers.
   bool InsertEdge(VertexId u, VertexId v);

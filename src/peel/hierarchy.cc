@@ -24,11 +24,14 @@ std::size_t NucleusHierarchy::Depth() const {
 }
 
 template NucleusHierarchy BuildHierarchy<CoreSpace>(
-    const CoreSpace&, const std::vector<Degree>&);
+    const CoreSpace&, const std::vector<Degree>&,
+    std::span<const std::uint8_t>);
 template NucleusHierarchy BuildHierarchy<TrussSpace>(
-    const TrussSpace&, const std::vector<Degree>&);
+    const TrussSpace&, const std::vector<Degree>&,
+    std::span<const std::uint8_t>);
 template NucleusHierarchy BuildHierarchy<Nucleus34Space>(
-    const Nucleus34Space&, const std::vector<Degree>&);
+    const Nucleus34Space&, const std::vector<Degree>&,
+    std::span<const std::uint8_t>);
 
 NucleusHierarchy BuildCoreHierarchy(const Graph& g,
                                     const std::vector<Degree>& kappa) {
@@ -37,13 +40,27 @@ NucleusHierarchy BuildCoreHierarchy(const Graph& g,
 
 NucleusHierarchy BuildTrussHierarchy(const Graph& g, const EdgeIndex& edges,
                                      const std::vector<Degree>& kappa) {
-  return BuildHierarchy(TrussSpace(g, edges), kappa);
+  // A patched index keeps tombstoned ids in the id space; exclude them so
+  // removed edges do not surface as phantom singleton nuclei.
+  std::vector<std::uint8_t> live;
+  if (edges.NumLiveEdges() != edges.NumEdges()) {
+    live.resize(edges.NumEdges());
+    for (EdgeId e = 0; e < edges.NumEdges(); ++e) live[e] = edges.IsLive(e);
+  }
+  return BuildHierarchy(TrussSpace(g, edges), kappa, live);
 }
 
 NucleusHierarchy BuildNucleus34Hierarchy(const Graph& g,
                                          const TriangleIndex& tris,
                                          const std::vector<Degree>& kappa) {
-  return BuildHierarchy(Nucleus34Space(g, tris), kappa);
+  std::vector<std::uint8_t> live;
+  if (tris.NumLiveTriangles() != tris.NumTriangles()) {
+    live.resize(tris.NumTriangles());
+    for (TriangleId t = 0; t < tris.NumTriangles(); ++t) {
+      live[t] = tris.IsLive(t);
+    }
+  }
+  return BuildHierarchy(Nucleus34Space(g, tris), kappa, live);
 }
 
 }  // namespace nucleus

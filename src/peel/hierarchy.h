@@ -9,6 +9,8 @@
 #ifndef NUCLEUS_PEEL_HIERARCHY_H_
 #define NUCLEUS_PEEL_HIERARCHY_H_
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/clique/spaces.h"
@@ -44,10 +46,14 @@ struct NucleusHierarchy {
 };
 
 /// Builds the hierarchy for any clique space from precomputed kappa values
-/// (from peeling or converged SND/AND).
+/// (from peeling or converged SND/AND). `live`, when non-empty, marks
+/// which r-clique ids exist (patched indices keep tombstoned ids in the
+/// id space); dead ids are excluded from every node and get
+/// node_of_clique == -1. Empty means all ids are live.
 template <typename Space>
 NucleusHierarchy BuildHierarchy(const Space& space,
-                                const std::vector<Degree>& kappa);
+                                const std::vector<Degree>& kappa,
+                                std::span<const std::uint8_t> live = {});
 
 // Explicitly instantiated wrappers.
 NucleusHierarchy BuildCoreHierarchy(const Graph& g,

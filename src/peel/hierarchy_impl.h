@@ -13,17 +13,24 @@ namespace nucleus {
 
 template <typename Space>
 NucleusHierarchy BuildHierarchy(const Space& space,
-                                const std::vector<Degree>& kappa) {
+                                const std::vector<Degree>& kappa,
+                                std::span<const std::uint8_t> live) {
   const std::size_t n = space.NumRCliques();
   NucleusHierarchy h;
   h.node_of_clique.assign(n, -1);
   if (n == 0) return h;
 
-  // Group r-cliques by kappa, processed from the largest level down.
+  // Group live r-cliques by kappa, processed from the largest level down
+  // (tombstoned ids of a patched index stay out of every node).
+  const auto is_live = [&](CliqueId r) { return live.empty() || live[r]; };
   Degree kmax = 0;
-  for (Degree k : kappa) kmax = std::max(kmax, k);
+  for (CliqueId r = 0; r < n; ++r) {
+    if (is_live(r)) kmax = std::max(kmax, kappa[r]);
+  }
   std::vector<std::vector<CliqueId>> by_level(kmax + 1);
-  for (CliqueId r = 0; r < n; ++r) by_level[kappa[r]].push_back(r);
+  for (CliqueId r = 0; r < n; ++r) {
+    if (is_live(r)) by_level[kappa[r]].push_back(r);
+  }
 
   DisjointSet dsu(n);
   std::vector<bool> active(n, false);

@@ -6,9 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "src/clique/kclique.h"
+#include "src/graph/builder.h"
 #include "src/core/generic_rs.h"
 #include "src/core/nucleus_decomposition.h"
 // Impl headers: this suite instantiates the engines for the non-canonical
@@ -180,6 +183,70 @@ TEST(CsrSpace, FacadeMaterializeKnob) {
       EXPECT_EQ(Decompose(g, kind, on).kappa,
                 Decompose(g, kind, mat_off).kappa);
     }
+  }
+}
+
+TEST(CsrSpace, ApplyPatchMatchesRebuiltArena) {
+  // Build the truss arena for a K5, then "remove" edge (0,1) by patching:
+  // the three triangles {0,1,w} die for w in {2,3,4}. The patched arena
+  // must enumerate exactly the co-member sets a scratch arena over the
+  // shrunken graph does (compared through the shared surviving ids).
+  GraphBuilder b;
+  for (VertexId u = 0; u < 5; ++u) {
+    for (VertexId v = u + 1; v < 5; ++v) b.AddEdge(u, v);
+  }
+  const Graph g = b.Build();
+  EdgeIndex edges(g);
+  const TrussSpace space(g, edges);
+  CsrSpace<TrussSpace> arena(space);
+
+  const EdgeId e01 = edges.EdgeIdOf(0, 1);
+  std::vector<std::vector<CliqueId>> dead_s;
+  for (VertexId w = 2; w < 5; ++w) {
+    dead_s.push_back({e01, edges.EdgeIdOf(0, w), edges.EdgeIdOf(1, w)});
+  }
+  const std::vector<CliqueId> dead_r = {e01};
+  arena.ApplyPatch(dead_s, {}, dead_r, edges.NumEdges());
+
+  const auto degrees = arena.InitialDegrees();
+  EXPECT_EQ(degrees[e01], 0u);
+  // Every other edge of the two dead-triangle fans lost one triangle
+  // (3 -> 2); edges among {2,3,4} keep all three.
+  for (VertexId w = 2; w < 5; ++w) {
+    EXPECT_EQ(degrees[edges.EdgeIdOf(0, w)], 2u);
+    EXPECT_EQ(degrees[edges.EdgeIdOf(1, w)], 2u);
+  }
+  EXPECT_EQ(degrees[edges.EdgeIdOf(2, 3)], 3u);
+  // Dead r-clique enumerates nothing; live ones never report e01.
+  arena.ForEachSClique(e01, [&](std::span<const CliqueId>) { FAIL(); });
+  std::size_t groups = 0;
+  for (VertexId w = 2; w < 5; ++w) {
+    arena.ForEachSClique(edges.EdgeIdOf(0, w),
+                         [&](std::span<const CliqueId> co) {
+                           ++groups;
+                           for (CliqueId c : co) EXPECT_NE(c, e01);
+                         });
+  }
+  EXPECT_EQ(groups, 6u);
+  // Patch the fan back in (edge restored): sentinel slots are reused, and
+  // the arena matches the pristine build again.
+  arena.ApplyPatch({}, dead_s, {}, edges.NumEdges());
+  const CsrSpace<TrussSpace> pristine(space);
+  EXPECT_EQ(arena.InitialDegrees(), pristine.InitialDegrees());
+  for (EdgeId e = 0; e < edges.NumEdges(); ++e) {
+    std::vector<std::vector<CliqueId>> got, want;
+    const auto collect = [](std::vector<std::vector<CliqueId>>* out) {
+      return [out](std::span<const CliqueId> co) {
+        std::vector<CliqueId> group(co.begin(), co.end());
+        std::sort(group.begin(), group.end());
+        out->push_back(std::move(group));
+      };
+    };
+    arena.ForEachSClique(e, collect(&got));
+    pristine.ForEachSClique(e, collect(&want));
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want) << "edge " << e;
   }
 }
 

@@ -23,6 +23,50 @@ TEST(DynamicTruss, StartsFromExactTrussNumbers) {
   EXPECT_EQ(m.NumEdges(), g.NumEdges());
 }
 
+TEST(DynamicTruss, PrecomputedKappaCtorSkipsDecomposition) {
+  const Graph g = GenerateErdosRenyi(30, 120, 2);
+  const EdgeIndex edges(g);
+  const auto kappa = TrussNumbers(g, edges);
+  DynamicTrussMaintainer m(g, edges, kappa);
+  EXPECT_EQ(m.NumEdges(), g.NumEdges());
+  EXPECT_EQ(m.TrussNumbersInIndexOrder(), kappa);
+  // Mutations repair correctly from the seeded state.
+  ASSERT_TRUE(m.InsertEdge(0, 15));
+  ASSERT_TRUE(m.RemoveEdge(edges.Endpoints(0).first,
+                           edges.Endpoints(0).second));
+  EXPECT_EQ(m.TrussNumbersInIndexOrder(), Recompute(m.ToGraph()));
+}
+
+TEST(DynamicTruss, PrecomputedKappaCtorIgnoresTombstonedIds) {
+  // Seed through a patched index: remove an edge from the graph and
+  // tombstone its id; the maintainer must see only the live edges.
+  const Graph g0 = GenerateErdosRenyi(20, 60, 3);
+  EdgeIndex edges(g0);
+  const auto [ru, rv] = edges.Endpoints(5);
+  GraphBuilder b(false);
+  for (VertexId u = 0; u < g0.NumVertices(); ++u) {
+    for (VertexId v : g0.Neighbors(u)) {
+      if (u < v && !(u == ru && v == rv)) b.AddEdge(u, v);
+    }
+  }
+  b.AddVertex(g0.NumVertices() - 1);
+  const Graph g1 = b.Build();
+  const std::vector<std::pair<VertexId, VertexId>> removed = {{ru, rv}};
+  edges.ApplyDelta(removed, {});
+  // kappa in (patched) id order: recompute on g1 and scatter.
+  const EdgeIndex fresh(g1);
+  const auto kappa_fresh = TrussNumbers(g1, fresh);
+  std::vector<Degree> kappa(edges.NumEdges(), 0);
+  for (EdgeId e = 0; e < fresh.NumEdges(); ++e) {
+    const auto [u, v] = fresh.Endpoints(e);
+    kappa[edges.EdgeIdOf(u, v)] = kappa_fresh[e];
+  }
+  DynamicTrussMaintainer m(g1, edges, kappa);
+  EXPECT_EQ(m.NumEdges(), g1.NumEdges());
+  EXPECT_EQ(m.TrussNumbersInIndexOrder(), kappa_fresh);
+  EXPECT_EQ(m.TrussNumberOf(ru, rv), kInvalidClique);
+}
+
 TEST(DynamicTruss, BuildK4EdgeByEdge) {
   DynamicTrussMaintainer m(std::size_t{4});
   const std::pair<VertexId, VertexId> edges[] = {{0, 1}, {0, 2}, {1, 2},

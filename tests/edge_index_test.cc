@@ -2,11 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 #include "src/graph/builder.h"
 #include "src/graph/generators.h"
 
 namespace nucleus {
 namespace {
+
+using VPair = std::pair<VertexId, VertexId>;
 
 TEST(EdgeIndex, CountsMatchGraph) {
   const Graph g = GenerateErdosRenyi(50, 200, 1);
@@ -67,6 +72,91 @@ TEST(EdgeIndex, EmptyGraph) {
   const Graph g;
   const EdgeIndex idx(g);
   EXPECT_EQ(idx.NumEdges(), 0u);
+}
+
+TEST(EdgeIndex, ApplyDeltaTombstonesRemovedEdges) {
+  // Path 0-1-2-3 plus chord (0,2).
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 3);
+  b.AddEdge(0, 2);
+  EdgeIndex idx(b.Build());
+  const EdgeId removed_id = idx.EdgeIdOf(1, 2);
+  ASSERT_NE(removed_id, kInvalidEdge);
+  const std::vector<VPair> removed = {{2, 1}};  // order-insensitive
+  idx.ApplyDelta(removed, {});
+  EXPECT_EQ(idx.NumEdges(), 4u);  // id space unchanged
+  EXPECT_EQ(idx.NumLiveEdges(), 3u);
+  EXPECT_FALSE(idx.IsLive(removed_id));
+  EXPECT_EQ(idx.EdgeIdOf(1, 2), kInvalidEdge);
+  EXPECT_GT(idx.DeadFraction(), 0.0);
+  // Surviving ids and their lookups are untouched.
+  EXPECT_TRUE(idx.IsLive(idx.EdgeIdOf(0, 1)));
+  EXPECT_EQ(idx.Endpoints(removed_id), (VPair{1, 2}));  // still addressable
+}
+
+TEST(EdgeIndex, ApplyDeltaAppendsAndRevives) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 3);
+  EdgeIndex idx(b.Build());
+  // Insert a brand-new pair: appended past the pristine id range.
+  const std::vector<VPair> ins1 = {{3, 0}};
+  const auto ids1 = idx.ApplyDelta({}, ins1);
+  ASSERT_EQ(ids1.size(), 1u);
+  EXPECT_EQ(ids1[0], 3u);  // first appended id
+  EXPECT_EQ(idx.NumEdges(), 4u);
+  EXPECT_EQ(idx.NumLiveEdges(), 4u);
+  EXPECT_EQ(idx.EdgeIdOf(0, 3), 3u);
+  EXPECT_EQ(idx.Endpoints(3), (VPair{0, 3}));
+  // Remove it, then re-insert: the tombstoned id is revived, not grown.
+  const std::vector<VPair> rem = {{0, 3}};
+  idx.ApplyDelta(rem, {});
+  EXPECT_EQ(idx.EdgeIdOf(0, 3), kInvalidEdge);
+  const auto ids2 = idx.ApplyDelta({}, ins1);
+  EXPECT_EQ(ids2[0], 3u);
+  EXPECT_EQ(idx.NumEdges(), 4u);  // no id-space growth on revival
+  // Same for a pristine id: remove (1,2) and bring it back.
+  const EdgeId e12 = idx.EdgeIdOf(1, 2);
+  const std::vector<VPair> rem12 = {{1, 2}};
+  idx.ApplyDelta(rem12, {});
+  EXPECT_EQ(idx.EdgeIdOf(1, 2), kInvalidEdge);
+  const std::vector<VPair> ins12 = {{1, 2}};
+  const auto ids3 = idx.ApplyDelta({}, ins12);
+  EXPECT_EQ(ids3[0], e12);
+  EXPECT_EQ(idx.NumLiveEdges(), 4u);
+  EXPECT_EQ(idx.DeadFraction(), 0.0);
+}
+
+TEST(EdgeIndex, PatchedLookupsStayConsistentUnderChurn) {
+  const Graph g = GenerateErdosRenyi(30, 120, 3);
+  EdgeIndex idx(g);
+  // Tombstone every third edge, append a few fresh pairs, and check every
+  // live id round-trips through EdgeIdOf.
+  std::vector<VPair> removed;
+  for (EdgeId e = 0; e < idx.NumEdges(); e += 3) {
+    removed.push_back(idx.Endpoints(e));
+  }
+  std::vector<VPair> inserted;
+  for (VertexId v = 1; v <= 5; ++v) {
+    if (!g.HasEdge(0, v) && idx.EdgeIdOf(0, v) == kInvalidEdge) {
+      inserted.emplace_back(0, v);
+    }
+  }
+  idx.ApplyDelta(removed, inserted);
+  EXPECT_EQ(idx.NumLiveEdges(),
+            g.NumEdges() - removed.size() + inserted.size());
+  for (EdgeId e = 0; e < idx.NumEdges(); ++e) {
+    const auto [u, v] = idx.Endpoints(e);
+    if (idx.IsLive(e)) {
+      EXPECT_EQ(idx.EdgeIdOf(u, v), e);
+      EXPECT_EQ(idx.EdgeIdOf(v, u), e);
+    } else {
+      EXPECT_EQ(idx.EdgeIdOf(u, v), kInvalidEdge);
+    }
+  }
 }
 
 }  // namespace

@@ -84,23 +84,58 @@ TEST(Session, WarmExactRepeatIsServedFromKappaCache) {
   EXPECT_EQ(session.stats().decompose_cache_hits, 2);
 }
 
-TEST(Session, TruncatedRunsBypassTheResultCache) {
+TEST(Session, TruncatedRunsAreServedPerTauAndExactBeatsTruncated) {
   const Graph g = GenerateBarabasiAlbert(200, 4, 5);
   NucleusSession session(g);
-  ASSERT_TRUE(session.Decompose(DecompositionKind::kCore).ok());  // seeds cache
   DecomposeOptions opt;
   opt.method = Method::kSnd;
   opt.max_iterations = 1;
+  // Cold truncated run: real engine sweep, cached per (kind, tau).
   const auto r = session.Decompose(DecompositionKind::kCore, opt);
   ASSERT_TRUE(r.ok());
   EXPECT_FALSE(r->served_from_cache);
   EXPECT_FALSE(r->exact);
   EXPECT_EQ(r->iterations, 1);
-  // The inexact tau must not poison the cache.
-  const auto again = session.Decompose(DecompositionKind::kCore);
-  ASSERT_TRUE(again.ok());
-  EXPECT_TRUE(again->served_from_cache);
-  EXPECT_EQ(again->kappa, PeelCore(g).kappa);
+  // Repeat at the same truncation level: tau-cache hit with the same tau.
+  const auto repeat = session.Decompose(DecompositionKind::kCore, opt);
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_TRUE(repeat->served_from_cache);
+  EXPECT_FALSE(repeat->exact);
+  EXPECT_EQ(repeat->kappa, r->kappa);
+  // A different truncation level is a different cache key: engine runs.
+  opt.max_iterations = 2;
+  const auto deeper = session.Decompose(DecompositionKind::kCore, opt);
+  ASSERT_TRUE(deeper.ok());
+  EXPECT_FALSE(deeper->served_from_cache);
+  // So is a different method at the same level — truncated tau, unlike
+  // kappa, is engine-specific.
+  DecomposeOptions and_opt = opt;
+  and_opt.max_iterations = 1;
+  and_opt.method = Method::kAnd;
+  const auto other_method =
+      session.Decompose(DecompositionKind::kCore, and_opt);
+  ASSERT_TRUE(other_method.ok());
+  EXPECT_FALSE(other_method->served_from_cache);
+  // The inexact tau must not poison the exact cache.
+  const auto exact = session.Decompose(DecompositionKind::kCore);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_FALSE(exact->served_from_cache);
+  EXPECT_EQ(exact->kappa, PeelCore(g).kappa);
+  // Exact beats truncated: with kappa cached, a truncated request is
+  // served the converged answer (at least as converged as requested).
+  opt.max_iterations = 1;
+  const auto clamped = session.Decompose(DecompositionKind::kCore, opt);
+  ASSERT_TRUE(clamped.ok());
+  EXPECT_TRUE(clamped->served_from_cache);
+  EXPECT_TRUE(clamped->exact);
+  EXPECT_EQ(clamped->kappa, exact->kappa);
+  // use_result_cache = false forces the real truncated engine run.
+  opt.use_result_cache = false;
+  const auto forced = session.Decompose(DecompositionKind::kCore, opt);
+  ASSERT_TRUE(forced.ok());
+  EXPECT_FALSE(forced->served_from_cache);
+  EXPECT_EQ(forced->iterations, 1);
+  EXPECT_EQ(forced->kappa, r->kappa);  // SND is deterministic
 }
 
 TEST(Session, TracedRunsBypassTheResultCache) {
@@ -359,6 +394,7 @@ TEST(Session, UpdateBatchCommitServesMutatedGraph) {
   EXPECT_EQ(before.edge_index_builds, 1);
 
   NucleusSession::UpdateBatch batch = session.BeginUpdates();
+  EXPECT_TRUE(batch.MaintainsTruss());  // (2,3) kappa was cached
   int inserted = 0;
   for (VertexId u = 0; u < 10 && inserted < 12; ++u) {
     for (VertexId v = 20; v < 25 && inserted < 12; ++v) {
@@ -376,14 +412,28 @@ TEST(Session, UpdateBatchCommitServesMutatedGraph) {
   EXPECT_TRUE(core->served_from_cache);
   EXPECT_EQ(core->kappa, PeelCore(session.graph()).kappa);
 
-  // (2,3): rebuilt lazily on the mutated graph and exact.
+  // (2,3): the commit propagated the delta through the cached EdgeIndex
+  // in place and re-seeded the kappa cache from the truss maintainer, so
+  // this too is a cache hit with ZERO rebuilds. Ids are stable across the
+  // commit (fresh-index ids differ), so compare per endpoint pair.
   const auto truss = session.Decompose(DecompositionKind::kTruss);
   ASSERT_TRUE(truss.ok());
-  EXPECT_FALSE(truss->served_from_cache);
-  EXPECT_EQ(truss->kappa, PeelTruss(session.graph(),
-                                    EdgeIndex(session.graph())).kappa);
-  EXPECT_EQ(session.stats().edge_index_builds,
-            before.edge_index_builds + 1);
+  EXPECT_TRUE(truss->served_from_cache);
+  const EdgeIndex fresh(session.graph());
+  const auto expected = PeelTruss(session.graph(), fresh).kappa;
+  const EdgeIndex& patched = session.Edges();
+  EXPECT_EQ(patched.NumLiveEdges(), session.graph().NumEdges());
+  for (EdgeId e = 0; e < fresh.NumEdges(); ++e) {
+    const auto [u, v] = fresh.Endpoints(e);
+    const EdgeId pe = patched.EdgeIdOf(u, v);
+    ASSERT_NE(pe, kInvalidEdge);
+    EXPECT_EQ(truss->kappa[pe], expected[e]) << "edge {" << u << "," << v
+                                             << "}";
+  }
+  const SessionStats after = session.stats();
+  EXPECT_EQ(after.edge_index_builds, before.edge_index_builds);  // no rebuild
+  EXPECT_EQ(after.truss_kappa_seeds, 1);
+  EXPECT_EQ(after.incremental_commits, 1);
 }
 
 TEST(Session, UpdateBatchDoubleCommitFails) {
@@ -463,6 +513,159 @@ TEST(Session, InvalidateDerivedStateForcesRebuild) {
   ASSERT_TRUE(r.ok());
   EXPECT_FALSE(r->served_from_cache);
   EXPECT_EQ(session.stats().edge_index_builds, 2);
+}
+
+TEST(Session, ColdNucleus34BuildDoesNotBlockCoreReads) {
+  // Per-kind state cells: a cold (3,4) triangle-index + arena build holds
+  // only its own cell locks, so (1,2) cache hits keep flowing while it
+  // runs. Warm the core cache first, then count how many core reads
+  // complete while the (3,4) cold call is in flight.
+  const Graph g = GeneratePlantedPartition(6, 45, 0.55, 0.02, 99);
+  NucleusSession session(g);
+  ASSERT_TRUE(session.Decompose(DecompositionKind::kCore).ok());
+
+  std::atomic<bool> n34_started{false};
+  std::atomic<bool> n34_done{false};
+  std::thread n34([&] {
+    DecomposeOptions opt;
+    opt.method = Method::kAnd;
+    opt.materialize = Materialize::kOn;
+    n34_started = true;
+    const auto r = session.Decompose(DecompositionKind::kNucleus34, opt);
+    n34_done = true;
+    ASSERT_TRUE(r.ok());
+  });
+  while (!n34_started) std::this_thread::yield();
+  int core_reads_during_build = 0;
+  while (!n34_done) {
+    const auto r = session.Decompose(DecompositionKind::kCore);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r->served_from_cache);
+    if (!n34_done) ++core_reads_during_build;
+  }
+  n34.join();
+  // The (3,4) cold call takes orders of magnitude longer than one cache
+  // hit; under the old single-mutex session this loop could not complete
+  // a single read until the build finished.
+  EXPECT_GT(core_reads_during_build, 0);
+}
+
+TEST(Session, ConcurrentReadsDuringCommitAreSerialized) {
+  // Readers hold the session lock shared, a commit holds it exclusively:
+  // reads interleaved with a commit observe either the old or the new
+  // state, never a torn one. (The TSAN CI job runs this test to prove the
+  // locking, not just the outcome.)
+  const Graph g = GeneratePlantedPartition(4, 25, 0.5, 0.03, 7);
+  NucleusSession session(g);
+  ASSERT_TRUE(session.Decompose(DecompositionKind::kCore).ok());
+  ASSERT_TRUE(session.Decompose(DecompositionKind::kTruss).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop) {
+        const auto core = session.Decompose(DecompositionKind::kCore);
+        const auto truss = session.Decompose(DecompositionKind::kTruss);
+        if (!core.ok() || !truss.ok()) ++failures;
+        std::this_thread::yield();  // give the committing writer a window
+      }
+    });
+  }
+  for (int round = 0; round < 6; ++round) {
+    auto batch = session.BeginUpdates();
+    const VertexId u = static_cast<VertexId>(round);
+    const VertexId v = static_cast<VertexId>(50 + round);
+    if (round % 2 == 0) {
+      batch.InsertEdge(u, v);
+    } else {
+      batch.RemoveEdge(static_cast<VertexId>(round - 1),
+                       static_cast<VertexId>(49 + round));
+    }
+    const Status s = batch.Commit();
+    if (!s.ok()) ++failures;
+  }
+  stop = true;
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Every post-commit answer matches a from-scratch session.
+  const auto final_core = session.Decompose(DecompositionKind::kCore);
+  ASSERT_TRUE(final_core.ok());
+  EXPECT_EQ(final_core->kappa, PeelCore(session.graph()).kappa);
+}
+
+TEST(Session, FailedBudgetMemoClearedByCommit) {
+  // A budget that cannot fit the initial graph is memoized; after a
+  // commit shrinks the graph the memo must be cleared so the build is
+  // retried (and can now succeed).
+  Graph g = GeneratePlantedPartition(3, 16, 0.7, 0.02, 61);
+  NucleusSession session(std::move(g));
+  DecomposeOptions opt;
+  opt.method = Method::kAnd;
+  opt.materialize = Materialize::kAuto;
+  opt.use_result_cache = false;
+  // Budget below the current arena need but above the post-shrink need:
+  // measure the current need first via an unbudgeted probe session.
+  const Graph& cur = session.graph();
+  std::uint64_t full_bytes = 0;
+  {
+    const EdgeIndex edges(cur);
+    const TrussSpace space(cur, edges);
+    full_bytes = CsrSpace<TrussSpace>(space).MemoryBytes();
+  }
+  opt.materialize_budget_bytes = full_bytes - 1;
+  const auto r = session.Decompose(DecompositionKind::kTruss, opt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(session.stats().truss_arena_builds, 0);
+  // Same budget, no mutation: the memo suppresses a retry.
+  const auto r2 = session.Decompose(DecompositionKind::kTruss, opt);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(session.stats().truss_arena_builds, 0);
+  // Remove a batch of edges (shrinking triangles), then retry: the memo
+  // was cleared by the commit and the smaller arena now fits.
+  auto batch = session.BeginUpdates();
+  std::size_t removed = 0;
+  const EdgeIndex pre(session.graph());
+  for (EdgeId e = 0; e < pre.NumEdges() && removed < pre.NumEdges() / 3;
+       ++e) {
+    const auto [u, v] = pre.Endpoints(e);
+    if (batch.RemoveEdge(u, v)) ++removed;
+  }
+  ASSERT_GT(removed, 0u);
+  ASSERT_TRUE(batch.Commit().ok());
+  const auto r3 = session.Decompose(DecompositionKind::kTruss, opt);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(session.stats().truss_arena_builds, 1);
+}
+
+TEST(Session, HeavyChurnTriggersCompaction) {
+  // Remove well past the dead-fraction threshold in one commit: the edge
+  // layer re-densifies (one counted compaction + fresh EdgeIndex build)
+  // and the re-seeded (2,3) kappa matches a from-scratch decomposition
+  // bitwise (fresh ids are lexicographic again).
+  const Graph g = GenerateErdosRenyi(60, 600, 5);
+  NucleusSession session(g);
+  ASSERT_TRUE(session.Decompose(DecompositionKind::kTruss).ok());
+  auto batch = session.BeginUpdates();
+  const EdgeIndex pre(session.graph());
+  std::size_t removed = 0;
+  for (EdgeId e = 0; e < pre.NumEdges(); e += 2) {
+    const auto [u, v] = pre.Endpoints(e);
+    if (batch.RemoveEdge(u, v)) ++removed;
+  }
+  ASSERT_GT(removed, 64u);  // past kMinDeadForCompaction
+  ASSERT_TRUE(batch.Commit().ok());
+  const SessionStats stats = session.stats();
+  EXPECT_GE(stats.compactions, 1);
+  const EdgeIndex& idx = session.Edges();
+  EXPECT_EQ(idx.NumEdges(), session.graph().NumEdges());  // re-densified
+  EXPECT_EQ(idx.NumLiveEdges(), idx.NumEdges());
+  const auto truss = session.Decompose(DecompositionKind::kTruss);
+  ASSERT_TRUE(truss.ok());
+  EXPECT_TRUE(truss->served_from_cache);  // seed survived compaction
+  EXPECT_EQ(truss->kappa,
+            PeelTruss(session.graph(), EdgeIndex(session.graph())).kappa);
 }
 
 TEST(Session, OverBudgetArenaFallsBackToOnTheFly) {

@@ -201,5 +201,74 @@ TEST(EdgeTriangleCsr, CountsEqualPerEdgeTriangleCounts) {
   }
 }
 
+TEST(TriangleIndex, ApplyDeltaTombstonesAppendsAndRevives) {
+  // Two triangles sharing edge (1,2): {0,1,2} and {1,2,3}.
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 2);
+  b.AddEdge(1, 3);
+  b.AddEdge(2, 3);
+  TriangleIndex tris(b.Build());
+  ASSERT_EQ(tris.NumTriangles(), 2u);
+  const TriangleId t012 = tris.TriangleIdOf(0, 1, 2);
+  // Kill {0,1,2}, birth {0,2,3} (as if edges (0,1) removed, (0,3) added).
+  const std::vector<std::array<VertexId, 3>> dead = {{0, 1, 2}};
+  const std::vector<std::array<VertexId, 3>> born = {{0, 2, 3}};
+  const auto ids = tris.ApplyDelta(dead, born);
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], 2u);  // appended past the pristine range
+  EXPECT_EQ(tris.NumTriangles(), 3u);
+  EXPECT_EQ(tris.NumLiveTriangles(), 2u);
+  EXPECT_FALSE(tris.IsLive(t012));
+  EXPECT_EQ(tris.TriangleIdOf(2, 0, 1), kInvalidTriangle);
+  EXPECT_EQ(tris.TriangleIdOf(3, 2, 0), ids[0]);
+  EXPECT_EQ(tris.TriangleIdOf(1, 2, 3), tris.TriangleIdOf(3, 1, 2));
+  // Revive the pristine tombstone and tombstone the appended id.
+  const auto ids2 = tris.ApplyDelta(born, dead);
+  EXPECT_EQ(ids2[0], t012);  // revived, not re-appended
+  EXPECT_EQ(tris.NumTriangles(), 3u);
+  EXPECT_EQ(tris.NumLiveTriangles(), 2u);
+  EXPECT_FALSE(tris.IsLive(2));
+  EXPECT_TRUE(tris.IsLive(t012));
+}
+
+TEST(EdgeTriangleCsr, ApplyDeltaPatchesEntriesInPlace) {
+  // K4 on {0,1,2,3}: four triangles, every edge in two of them.
+  GraphBuilder b;
+  for (VertexId u = 0; u < 4; ++u) {
+    for (VertexId v = u + 1; v < 4; ++v) b.AddEdge(u, v);
+  }
+  const Graph g = b.Build();
+  EdgeIndex edges(g);
+  TriangleIndex tris(g);
+  EdgeTriangleCsr csr(edges, tris);
+  // Simulate removing edge (0,1): triangles {0,1,2} and {0,1,3} die.
+  const TriangleId t012 = tris.TriangleIdOf(0, 1, 2);
+  const TriangleId t013 = tris.TriangleIdOf(0, 1, 3);
+  const EdgeId e01 = edges.EdgeIdOf(0, 1);
+  const std::vector<EdgeTriangleCsr::TrianglePatch> dead = {
+      {t012, {e01, edges.EdgeIdOf(0, 2), edges.EdgeIdOf(1, 2)}, {2, 1, 0}},
+      {t013, {e01, edges.EdgeIdOf(0, 3), edges.EdgeIdOf(1, 3)}, {3, 1, 0}},
+  };
+  const std::vector<EdgeId> dead_edges = {e01};
+  csr.ApplyDelta(dead, {}, dead_edges, edges.NumEdges());
+  EXPECT_EQ(csr.TriangleCount(e01), 0u);
+  EXPECT_EQ(csr.TriangleCount(edges.EdgeIdOf(0, 2)), 1u);
+  EXPECT_EQ(csr.TriangleCount(edges.EdgeIdOf(2, 3)), 2u);
+  std::vector<TriangleId> got;
+  csr.ForEachTriangleOfEdge(edges.EdgeIdOf(0, 2),
+                            [&](TriangleId t, VertexId w) {
+                              got.push_back(t);
+                              EXPECT_EQ(w, 3u);  // only {0,2,3} survives
+                            });
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], tris.TriangleIdOf(0, 2, 3));
+  // Patch the triangles back in (edge (0,1) restored).
+  csr.ApplyDelta({}, dead, {}, edges.NumEdges());
+  EXPECT_EQ(csr.TriangleCount(e01), 2u);
+  EXPECT_EQ(csr.TriangleCount(edges.EdgeIdOf(0, 2)), 2u);
+}
+
 }  // namespace
 }  // namespace nucleus
