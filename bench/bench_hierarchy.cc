@@ -19,7 +19,9 @@ void Row(const std::string& graph, const std::string& kind,
   const PeelResult peel = PeelDecomposition(space);
   const double peel_s = t.Seconds();
   t.Restart();
-  const NucleusHierarchy h = BuildHierarchy(space, peel.kappa);
+  // Feed the peel's level partition straight into the union-find sweep —
+  // the zero-re-bucketing path a peel-then-hierarchy pipeline should use.
+  const NucleusHierarchy h = BuildHierarchy(space, peel);
   const double build_s = t.Seconds();
   std::size_t max_node = 0;
   for (const auto& node : h.nodes) max_node = std::max(max_node, node.size);

@@ -147,6 +147,48 @@ int RunJson(const std::string& path) {
     JsonPair("planted-perf", g, "nucleus34", space, threads, &records);
   }
 
+  // peel_sequential vs peel_parallel record pair: the exact-kappa peel
+  // path as it stood before the unified engine (sequential bucket-queue
+  // peel over the on-the-fly (3,4) space — what every exact reference,
+  // Hierarchy() call, and peel-vs-local comparison paid) vs the rebuilt
+  // path (level-synchronous parallel peel at 8 threads over the
+  // self-materialized CSR arena, arena build included — the engine's
+  // kAuto+kOn defaults for a server-grade run). kappa is cross-checked
+  // bitwise between the two. CI's bench-smoke asserts >= 1.5x.
+  {
+    const TriangleIndex tris(g, threads);
+    const Nucleus34Space space(g, tris);
+    PeelOptions seq;  // strategy kAuto + threads 1 = sequential, on the fly
+    Timer t;
+    const PeelResult r_seq = PeelDecomposition(space, seq);
+    const double seq_ms = t.Seconds() * 1e3;
+    PeelOptions par;
+    par.strategy = PeelStrategy::kParallel;
+    par.threads = threads;
+    par.materialize = Materialize::kOn;
+    t.Restart();
+    const PeelResult r_par = PeelDecomposition(space, par);
+    const double par_ms = t.Seconds() * 1e3;
+    const bool ok = r_seq.kappa == r_par.kappa &&
+                    r_seq.order.size() == r_par.order.size();
+    BenchRecord rec_seq{"planted-perf",    g.NumVertices(), g.NumEdges(),
+                        "nucleus34",       "peel_sequential", 1,
+                        false,             seq_ms,          0,
+                        0.0,               ok};
+    records.push_back(rec_seq);
+    BenchRecord rec_par = rec_seq;
+    rec_par.method = "peel_parallel";
+    rec_par.threads = threads;
+    rec_par.materialized = true;
+    rec_par.wall_ms = par_ms;
+    rec_par.speedup_vs_onthefly = seq_ms / std::max(par_ms, 1e-6);
+    records.push_back(rec_par);
+    std::printf("%-10s %-9s peel sequential(fly) %10.1f ms  "
+                "parallel(csr, %d threads) %10.1f ms  speedup %.2fx  %s\n",
+                "planted-perf", "nucleus34", seq_ms, threads, par_ms,
+                rec_par.speedup_vs_onthefly, ok ? "ok" : "MISMATCH");
+  }
+
   // session_reuse record pair: cold first Decompose through a
   // NucleusSession (EdgeIndex + CSR arena + AND sweeps) vs warm repeat of
   // the same request (kappa-cache hit; no index, no arena, no engine) on

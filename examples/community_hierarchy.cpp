@@ -83,25 +83,32 @@ int main() {
 
   NucleusSession session(std::move(g));
 
-  // Explicit decomposition first, to show the iteration count; Hierarchy()
-  // below reuses its cached kappa instead of decomposing again.
-  auto r = session.Decompose(DecompositionKind::kTruss,
-                             {.method = Method::kAnd});
-  if (!r.ok()) {
-    std::printf("decompose failed: %s\n", r.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("k-truss decomposition via AND: %d iterations, %.3fs\n",
-              r->iterations, r->seconds);
-
-  auto h = session.Hierarchy(DecompositionKind::kTruss);
+  // Hierarchy straight from a cold session: the request triggers one
+  // exact decomposition via the level-synchronous PARALLEL peel (method =
+  // peel + threads > 1 resolves PeelStrategy::kAuto to the frontier
+  // engine), and the union-find sweep consumes the peel's level partition
+  // directly — no kappa re-bucketing. kappa is cached along the way.
+  DecomposeOptions opt;
+  opt.method = Method::kPeeling;
+  opt.threads = 4;
+  auto h = session.Hierarchy(DecompositionKind::kTruss, opt);
   if (!h.ok()) {
     std::printf("hierarchy failed: %s\n", h.status().ToString().c_str());
     return 1;
   }
-  std::printf("hierarchy: %zu nuclei, %zu roots, depth %zu "
-              "(kappa served from the session cache)\n\n",
+  std::printf("hierarchy via parallel peel: %zu nuclei, %zu roots, "
+              "depth %zu\n",
               (*h)->nodes.size(), (*h)->roots.size(), (*h)->Depth());
+
+  // Any later decomposition request of the kind is a kappa-cache hit —
+  // whatever method or peel strategy it names (kappa is unique).
+  auto r = session.Decompose(DecompositionKind::kTruss, opt);
+  if (!r.ok()) {
+    std::printf("decompose failed: %s\n", r.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("follow-up exact request: served_from_cache=%d\n\n",
+              r->served_from_cache ? 1 : 0);
 
   std::printf("nucleus forest (k = truss level; density = 2|E|/|V|(|V|-1)):\n");
   std::vector<int> roots = (*h)->roots;

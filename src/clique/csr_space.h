@@ -182,6 +182,33 @@ class CsrSpace {
     return degrees_;
   }
 
+  /// Single-id liveness, delegated to the wrapped space (O(1)). Ids past
+  /// the base's range — possible mid-patch only — default to live.
+  bool IsLiveR(CliqueId r) const {
+    if constexpr (requires { base_->IsLiveR(r); }) {
+      return static_cast<std::size_t>(r) >= base_->NumRCliques() ||
+             base_->IsLiveR(r);
+    } else {
+      return true;
+    }
+  }
+
+  /// Liveness of the id range, delegated to the wrapped space (the session
+  /// re-seats the base space on every commit, so its index liveness is
+  /// current even when the arena was patched in place). Ids past the
+  /// base's range — possible mid-patch only — default to live.
+  std::vector<std::uint8_t> LiveRFlags() const {
+    if constexpr (requires { base_->LiveRFlags(); }) {
+      std::vector<std::uint8_t> live = base_->LiveRFlags();
+      if (!live.empty() && live.size() < NumRCliques()) {
+        live.resize(NumRCliques(), 1);
+      }
+      return live;
+    } else {
+      return {};
+    }
+  }
+
   /// Contiguous scan over the materialized co-member arena: one span of
   /// arity() ids per s-clique, no intersections, no id lookups. Once the
   /// arena has been patched, sentineled (dead) groups are skipped and

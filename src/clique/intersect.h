@@ -1,17 +1,83 @@
 // Sorted-list intersection helpers shared by the clique enumerators.
+//
+// Two regimes: comparable-size ranges use the classic linear merge; when
+// one range is much longer than the other (>= kGallopRatio x), the merge
+// switches to galloping — walk the short range and locate each element in
+// the long one by exponential + binary search, O(small * log(large))
+// instead of O(small + large). The skew is common in the on-the-fly
+// ForEachSClique and delta-enumeration paths (a low-degree vertex
+// intersected against a hub), where the linear merge wastes the scan of
+// the hub's list.
 #ifndef NUCLEUS_CLIQUE_INTERSECT_H_
 #define NUCLEUS_CLIQUE_INTERSECT_H_
 
+#include <algorithm>
 #include <span>
+#include <utility>
 
 #include "src/common/types.h"
 
 namespace nucleus {
 
-/// Calls fn(x) for every x present in both sorted ranges.
+namespace internal {
+
+/// Size ratio above which intersection switches from the linear merge to
+/// galloping. 16 keeps the crossover safely past the point where the
+/// log-factor searches beat the linear scan.
+inline constexpr std::size_t kGallopRatio = 16;
+
+/// First index i >= from with a[i] >= x (a sorted ascending): exponential
+/// probe doubling from `from`, then binary search inside the bracketed
+/// window. O(log(i - from)).
+inline std::size_t GallopLowerBound(std::span<const VertexId> a,
+                                    std::size_t from, VertexId x) {
+  std::size_t lo = from;
+  std::size_t offset = 1;
+  while (from + offset < a.size() && a[from + offset] < x) {
+    lo = from + offset;
+    offset <<= 1;
+  }
+  const std::size_t hi = std::min(from + offset, a.size());
+  return static_cast<std::size_t>(
+      std::lower_bound(a.begin() + static_cast<std::ptrdiff_t>(lo),
+                       a.begin() + static_cast<std::ptrdiff_t>(hi), x) -
+      a.begin());
+}
+
+}  // namespace internal
+
+/// Galloping intersection: walks the SHORTER range and gallops through the
+/// longer. Calls fn(x) for every common x, ascending — identical output to
+/// the linear merge, picked automatically by ForEachCommon when the size
+/// skew warrants it.
+template <typename Fn>
+void ForEachCommonGalloping(std::span<const VertexId> a,
+                            std::span<const VertexId> b, Fn&& fn) {
+  if (a.size() > b.size()) std::swap(a, b);
+  std::size_t j = 0;
+  for (const VertexId x : a) {
+    j = internal::GallopLowerBound(b, j, x);
+    if (j >= b.size()) return;
+    if (b[j] == x) {
+      fn(x);
+      ++j;
+    }
+  }
+}
+
+/// Calls fn(x) for every x present in both sorted ranges (ascending).
+/// Auto-dispatches to the galloping variant when one range is
+/// >= kGallopRatio times the other.
 template <typename Fn>
 void ForEachCommon(std::span<const VertexId> a, std::span<const VertexId> b,
                    Fn&& fn) {
+  const std::size_t small = std::min(a.size(), b.size());
+  const std::size_t large = std::max(a.size(), b.size());
+  if (small == 0) return;
+  if (large >= internal::kGallopRatio * small) {
+    ForEachCommonGalloping(a, b, std::forward<Fn>(fn));
+    return;
+  }
   std::size_t i = 0, j = 0;
   while (i < a.size() && j < b.size()) {
     if (a[i] < b[j]) {
@@ -34,10 +100,29 @@ inline std::size_t CountCommon(std::span<const VertexId> a,
   return count;
 }
 
-/// Calls fn(x) for every x present in all three sorted ranges.
+/// Calls fn(x) for every x present in all three sorted ranges (ascending).
+/// When the largest range dwarfs the smallest, the two smaller ranges are
+/// intersected first and each hit is galloped into the largest.
 template <typename Fn>
 void ForEachCommon3(std::span<const VertexId> a, std::span<const VertexId> b,
                     std::span<const VertexId> c, Fn&& fn) {
+  // Order a <= b <= c by size; intersection is symmetric and every path
+  // emits ascending values, so reordering is observation-free.
+  if (b.size() < a.size()) std::swap(a, b);
+  if (c.size() < b.size()) std::swap(b, c);
+  if (b.size() < a.size()) std::swap(a, b);
+  if (a.empty()) return;
+  if (c.size() >= internal::kGallopRatio * a.size()) {
+    std::size_t k = 0;
+    ForEachCommon(a, b, [&](VertexId x) {
+      k = internal::GallopLowerBound(c, k, x);
+      if (k < c.size() && c[k] == x) {
+        fn(x);
+        ++k;
+      }
+    });
+    return;
+  }
   std::size_t i = 0, j = 0, k = 0;
   while (i < a.size() && j < b.size() && k < c.size()) {
     const VertexId m = std::max({a[i], b[j], c[k]});

@@ -9,6 +9,7 @@
 #ifndef NUCLEUS_CLIQUE_SPACES_H_
 #define NUCLEUS_CLIQUE_SPACES_H_
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -28,6 +29,13 @@ class CoreSpace {
   explicit CoreSpace(const Graph& g) : g_(&g) {}
 
   std::size_t NumRCliques() const { return g_->NumVertices(); }
+
+  /// Vertices are never tombstoned (the graph is dense-relabel by
+  /// construction), so every id is live.
+  std::vector<std::uint8_t> LiveRFlags() const { return {}; }
+
+  /// Single-id form of LiveRFlags for point queries.
+  bool IsLiveR(CliqueId) const { return true; }
 
   /// d_2: vertex degrees.
   std::vector<Degree> InitialDegrees(int threads = 1) const;
@@ -55,6 +63,24 @@ class TrussSpace {
       : g_(&g), edges_(&edges) {}
 
   std::size_t NumRCliques() const { return edges_->NumEdges(); }
+
+  /// Liveness of the edge-id range: empty when the index is pristine (all
+  /// ids live); per-id flags once removals tombstoned ids. Engines use
+  /// this to pin dead ids at kappa 0 and keep them out of peel orders,
+  /// level partitions, and hierarchies.
+  std::vector<std::uint8_t> LiveRFlags() const {
+    if (edges_->NumLiveEdges() == edges_->NumEdges()) return {};
+    std::vector<std::uint8_t> live(edges_->NumEdges());
+    for (EdgeId e = 0; e < edges_->NumEdges(); ++e) {
+      live[e] = edges_->IsLive(e) ? 1 : 0;
+    }
+    return live;
+  }
+
+  /// Single-id form of LiveRFlags for point queries (O(1)).
+  bool IsLiveR(CliqueId r) const {
+    return edges_->IsLive(static_cast<EdgeId>(r));
+  }
 
   /// d_3: triangle counts per edge.
   std::vector<Degree> InitialDegrees(int threads = 1) const;
@@ -87,6 +113,21 @@ class Nucleus34Space {
       : g_(&g), tris_(&tris) {}
 
   std::size_t NumRCliques() const { return tris_->NumTriangles(); }
+
+  /// Liveness of the triangle-id range; empty when the index is pristine.
+  std::vector<std::uint8_t> LiveRFlags() const {
+    if (tris_->NumLiveTriangles() == tris_->NumTriangles()) return {};
+    std::vector<std::uint8_t> live(tris_->NumTriangles());
+    for (TriangleId t = 0; t < tris_->NumTriangles(); ++t) {
+      live[t] = tris_->IsLive(t) ? 1 : 0;
+    }
+    return live;
+  }
+
+  /// Single-id form of LiveRFlags for point queries (O(1)).
+  bool IsLiveR(CliqueId r) const {
+    return tris_->IsLive(static_cast<TriangleId>(r));
+  }
 
   /// d_4: 4-clique counts per triangle.
   std::vector<Degree> InitialDegrees(int threads = 1) const;

@@ -1,0 +1,98 @@
+// Shared-memory primitives for level-synchronous (frontier) peeling:
+// an atomically decrementable degree array with the peeling clamp, and a
+// per-worker frontier buffer set that collects the items claimed during a
+// parallel round without locks. Used by the parallel strategy of the peel
+// engine (peel/peel_engine.h); kept in common because the structures are
+// algorithm-agnostic (any "process the minimum level in bulk" sweep can
+// reuse them).
+#ifndef NUCLEUS_COMMON_ATOMIC_FRONTIER_H_
+#define NUCLEUS_COMMON_ATOMIC_FRONTIER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace nucleus {
+
+/// Fixed-size array of atomic degrees. Loads/stores are relaxed: the peel
+/// phases are separated by the thread pool's dispatch barrier, which
+/// provides the necessary happens-before edges between rounds; within a
+/// round only the clamped decrement races, and it is a read-modify-write.
+class AtomicDegreeArray {
+ public:
+  explicit AtomicDegreeArray(const std::vector<Degree>& init)
+      : n_(init.size()), deg_(new std::atomic<Degree>[init.size()]) {
+    for (std::size_t i = 0; i < n_; ++i) {
+      deg_[i].store(init[i], std::memory_order_relaxed);
+    }
+  }
+
+  std::size_t size() const { return n_; }
+
+  Degree Load(std::size_t i) const {
+    return deg_[i].load(std::memory_order_relaxed);
+  }
+
+  void Store(std::size_t i, Degree v) {
+    deg_[i].store(v, std::memory_order_relaxed);
+  }
+
+  /// The peeling update ds(R') = max(ds(R') - 1, floor), atomically.
+  /// Returns true exactly when this call moved the degree from floor + 1
+  /// down to floor — i.e. the caller is the unique decrementer that made
+  /// item i removable at the current level and must claim it for the next
+  /// frontier round. Degrees at or below the floor are left untouched.
+  bool DecrementClamped(std::size_t i, Degree floor) {
+    Degree cur = deg_[i].load(std::memory_order_relaxed);
+    while (cur > floor) {
+      if (deg_[i].compare_exchange_weak(cur, cur - 1,
+                                        std::memory_order_relaxed)) {
+        return cur - 1 == floor;
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::size_t n_;
+  std::unique_ptr<std::atomic<Degree>[]> deg_;
+};
+
+/// Per-worker append buffers for collecting a frontier during a parallel
+/// round (each worker owns buffer[worker]; no synchronization needed), and
+/// a drain that concatenates them into a single round vector.
+class FrontierBuffers {
+ public:
+  explicit FrontierBuffers(int workers)
+      : buffers_(static_cast<std::size_t>(workers < 1 ? 1 : workers)) {}
+
+  void Push(int worker, CliqueId item) {
+    buffers_[static_cast<std::size_t>(worker)].push_back(item);
+  }
+
+  /// Moves every buffered item into *out (appending) and clears the
+  /// buffers for the next round. Call between rounds only (single thread).
+  void Drain(std::vector<CliqueId>* out) {
+    for (auto& b : buffers_) {
+      out->insert(out->end(), b.begin(), b.end());
+      b.clear();
+    }
+  }
+
+  bool Empty() const {
+    for (const auto& b : buffers_) {
+      if (!b.empty()) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<std::vector<CliqueId>> buffers_;
+};
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_COMMON_ATOMIC_FRONTIER_H_

@@ -1,10 +1,14 @@
-// Monotone bucket priority queue used by the peeling algorithms
-// (Batagelj-Zaversnik style). Supports ExtractMin and DecreaseKey in O(1)
-// amortized; keys only ever decrease, and extracted keys are non-decreasing
-// over the life of the peel, which is exactly the peeling invariant.
+// Monotone bucket priority queue backing the SEQUENTIAL strategy of the
+// peel engine (Batagelj-Zaversnik style; peel/peel_engine.h). Supports
+// ExtractMin and DecreaseKey in O(1) amortized; keys only ever decrease,
+// and extracted keys are non-decreasing over the life of the peel, which
+// is exactly the peeling invariant. The parallel strategy replaces this
+// structure with an AtomicDegreeArray + frontier rounds
+// (common/atomic_frontier.h).
 #ifndef NUCLEUS_COMMON_BUCKET_QUEUE_H_
 #define NUCLEUS_COMMON_BUCKET_QUEUE_H_
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <vector>

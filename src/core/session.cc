@@ -28,9 +28,9 @@ Status ValidateCommonOptions(const Options& options) {
 // Runs the selected engine over a concrete space. All materialization
 // decisions were already made by the session (the space may itself be a
 // CsrSpace arena), so the engine is told kOff and never self-materializes.
-// `initial` carries the session-cached d_s values for the local methods
-// (empty = let the engine count them); peeling counts internally either
-// way — it consumes the degrees destructively in its bucket queue.
+// `initial` carries the session-cached d_s values (empty = let the engine
+// count them); every engine — peeling included — consumes its copy
+// destructively.
 template <typename Space>
 DecomposeResult RunEngine(const Space& space, const DecomposeOptions& options,
                           std::vector<Degree> initial) {
@@ -40,8 +40,19 @@ DecomposeResult RunEngine(const Space& space, const DecomposeOptions& options,
   Timer timer;
   switch (options.method) {
     case Method::kPeeling: {
-      PeelResult peel = PeelDecomposition(space);
+      PeelOptions peel_opts;
+      peel_opts.strategy = options.peel_strategy;
+      peel_opts.threads = options.threads;
+      // The session already decided materialization (the space may be a
+      // CsrSpace arena); never self-materialize inside the engine.
+      peel_opts.materialize = Materialize::kOff;
+      PeelResult peel =
+          has_initial
+              ? PeelDecomposition(space, peel_opts, std::move(initial))
+              : PeelDecomposition(space, peel_opts);
       out.kappa = std::move(peel.kappa);
+      out.peel_order = std::move(peel.order);
+      out.peel_levels = std::move(peel.levels);
       out.exact = true;
       break;
     }
@@ -279,7 +290,7 @@ StatusOr<DecomposeResult> NucleusSession::DecomposeWithSpace(
         cell->arena.has_value() && options.materialize != Materialize::kOff;
     if (use_arena) {
       arena = &*cell->arena;
-    } else if (options.method != Method::kPeeling) {
+    } else {
       if (cell->fly_degrees.empty()) {
         cell->fly_degrees =
             base->InitialDegrees(std::max(options.threads, 1));
@@ -359,7 +370,13 @@ StatusOr<const NucleusHierarchy*> NucleusSession::Hierarchy(
   StatusOr<DecomposeResult> r = DecomposeShared(kind, exact);
   if (!r.ok()) return r.status();
 
-  StatusOr<NucleusHierarchy> h = HierarchyForShared(kind, r->kappa);
+  // A fresh peel run hands back its level partition; feed it straight
+  // into the union-find sweep (no kappa re-bucketing). Cache hits and
+  // local-method runs carry no levels and take the kappa path.
+  StatusOr<NucleusHierarchy> h =
+      !r->peel_levels.empty() && r->kappa.size() == NumRCliquesShared(kind)
+          ? HierarchyFromPeelShared(kind, std::move(*r))
+          : HierarchyForShared(kind, r->kappa);
   if (!h.ok()) return h.status();
 
   std::lock_guard<std::mutex> clk(cell.mu);
@@ -369,6 +386,23 @@ StatusOr<const NucleusHierarchy*> NucleusSession::Hierarchy(
     BumpStat(&SessionStats::hierarchy_builds);
   }
   return static_cast<const NucleusHierarchy*>(cell.hierarchy.get());
+}
+
+StatusOr<NucleusHierarchy> NucleusSession::HierarchyFromPeelShared(
+    DecompositionKind kind, DecomposeResult&& result) {
+  PeelResult peel;
+  peel.order = std::move(result.peel_order);
+  peel.levels = std::move(result.peel_levels);
+  switch (kind) {
+    case DecompositionKind::kCore:
+      return BuildHierarchy(CoreSpace(*graph_), peel);
+    case DecompositionKind::kTruss:
+      return BuildHierarchy(TrussSpace(*graph_, EdgesShared(nullptr)), peel);
+    case DecompositionKind::kNucleus34:
+      return BuildHierarchy(
+          Nucleus34Space(*graph_, TrianglesShared(1, nullptr)), peel);
+  }
+  return Status::Internal("unknown DecompositionKind");
 }
 
 StatusOr<NucleusHierarchy> NucleusSession::HierarchyForShared(

@@ -83,6 +83,7 @@
 #include "src/local/query.h"
 #include "src/local/snd.h"
 #include "src/peel/hierarchy.h"
+#include "src/peel/peel_engine.h"
 
 namespace nucleus {
 
@@ -95,7 +96,7 @@ enum class DecompositionKind {
 
 /// Which algorithm computes the kappa values.
 enum class Method {
-  kPeeling,  // exact, sequential, global (Algorithm 1)
+  kPeeling,  // exact, global (Algorithm 1); see DecomposeOptions::peel
   kSnd,      // local synchronous iteration (Algorithm 2)
   kAnd,      // local asynchronous iteration (Algorithm 3)
 };
@@ -104,6 +105,14 @@ enum class Method {
 /// AND-specific controls.
 struct DecomposeOptions : Options {
   Method method = Method::kAnd;
+  /// Peel strategy for method == kPeeling (peel/peel_engine.h): the
+  /// sequential bucket queue or the level-synchronous parallel peel, which
+  /// honors `threads`. kAuto picks parallel whenever threads > 1. Both
+  /// strategies produce identical kappa (it is unique), so the session's
+  /// exact-result cache is strategy-agnostic: a peel-parallel request is a
+  /// cache hit on kappa computed by peel-sequential, SND, or AND, and vice
+  /// versa.
+  PeelStrategy peel_strategy = PeelStrategy::kAuto;
   /// AND processing order.
   AndOrder order = AndOrder::kNatural;
   /// Used when order == AndOrder::kGiven; must be a permutation of [0, n).
@@ -153,6 +162,13 @@ struct DecomposeResult {
   /// True when the request was answered from the session's result caches
   /// without running any engine.
   bool served_from_cache = false;
+  /// The peel's level partition (live r-cliques in non-decreasing kappa
+  /// order, segmented into equal-kappa runs) — populated only by a fresh
+  /// method == kPeeling engine run, empty for the local methods and for
+  /// cache hits. Hierarchy() consumes it directly (zero re-bucketing)
+  /// when the exact run it triggers is a peel.
+  std::vector<CliqueId> peel_order;
+  std::vector<PeelLevel> peel_levels;
 };
 
 /// Monotone counters exposing what the session has built and served; the
@@ -423,6 +439,10 @@ class NucleusSession {
                                             const DecomposeOptions& options);
   StatusOr<NucleusHierarchy> HierarchyForShared(DecompositionKind kind,
                                                 std::span<const Degree> kappa);
+  // Builds the hierarchy from a fresh peel run's level partition (moved
+  // out of the result), skipping the kappa re-bucketing pass.
+  StatusOr<NucleusHierarchy> HierarchyFromPeelShared(DecompositionKind kind,
+                                                     DecomposeResult&& result);
 
   template <typename Space, typename MakeSpace>
   StatusOr<DecomposeResult> DecomposeWithSpace(

@@ -2,16 +2,18 @@
 
 namespace nucleus {
 
-PeelResult PeelCore(const Graph& g) {
-  return PeelDecomposition(CoreSpace(g));
+PeelResult PeelCore(const Graph& g, const PeelOptions& options) {
+  return PeelDecomposition(CoreSpace(g), options);
 }
 
-PeelResult PeelTruss(const Graph& g, const EdgeIndex& edges) {
-  return PeelDecomposition(TrussSpace(g, edges));
+PeelResult PeelTruss(const Graph& g, const EdgeIndex& edges,
+                     const PeelOptions& options) {
+  return PeelDecomposition(TrussSpace(g, edges), options);
 }
 
-PeelResult PeelNucleus34(const Graph& g, const TriangleIndex& tris) {
-  return PeelDecomposition(Nucleus34Space(g, tris));
+PeelResult PeelNucleus34(const Graph& g, const TriangleIndex& tris,
+                         const PeelOptions& options) {
+  return PeelDecomposition(Nucleus34Space(g, tris), options);
 }
 
 }  // namespace nucleus

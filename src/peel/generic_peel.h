@@ -1,66 +1,34 @@
-// Generic peeling engine (Algorithm 1 of the paper): the incremental,
+// Generic peeling entry points (Algorithm 1 of the paper): the exact,
 // globally-informed baseline against which the local algorithms are
-// evaluated. Works over any (r,s) clique space.
+// evaluated. The implementation lives in the unified peel engine
+// (peel_engine.h), which serves two interchangeable strategies — the
+// sequential bucket-queue peel and the level-synchronous parallel peel —
+// behind PeelOptions; this header re-exports it plus the per-space
+// convenience wrappers so callers don't need the space headers.
 #ifndef NUCLEUS_PEEL_GENERIC_PEEL_H_
 #define NUCLEUS_PEEL_GENERIC_PEEL_H_
 
-#include <vector>
-
 #include "src/clique/spaces.h"
-#include "src/common/bucket_queue.h"
 #include "src/common/types.h"
+#include "src/peel/peel_engine.h"
 
 namespace nucleus {
 
-/// Output of a peeling run.
-struct PeelResult {
-  /// kappa[r] = the kappa_s index of r-clique r (Definition 4).
-  std::vector<Degree> kappa;
-  /// r-cliques in peel (non-decreasing kappa) order. This is also the
-  /// certified best-case processing order for AND (Theorem 4).
-  std::vector<CliqueId> order;
-};
-
-/// Runs Algorithm 1 over a clique space. Each extracted minimum r-clique R
-/// freezes kappa(R) = current ds(R); every s-clique of R that is still fully
-/// alive loses one from each surviving co-member, clamped below at kappa(R).
-template <typename Space>
-PeelResult PeelDecomposition(const Space& space) {
-  std::vector<Degree> ds = space.InitialDegrees();
-  BucketQueue queue(ds);
-  PeelResult result;
-  result.kappa.resize(ds.size());
-  result.order.reserve(ds.size());
-  while (!queue.Empty()) {
-    const CliqueId r = queue.ExtractMin();
-    const Degree k = queue.Key(r);
-    result.kappa[r] = k;
-    result.order.push_back(r);
-    space.ForEachSClique(r, [&](std::span<const CliqueId> co) {
-      // Skip s-cliques already destroyed by an earlier extraction.
-      for (CliqueId c : co) {
-        if (queue.Extracted(c)) return;
-      }
-      for (CliqueId c : co) {
-        queue.DecrementKeyClamped(c, k);
-      }
-    });
-  }
-  return result;
-}
-
 // Convenience wrappers (defined in generic_peel.cc) so callers don't need
-// the space headers.
+// the space headers. Each accepts the engine's PeelOptions; the default is
+// the sequential on-the-fly peel.
 
 /// k-core decomposition; kappa indexed by vertex id.
-PeelResult PeelCore(const Graph& g);
+PeelResult PeelCore(const Graph& g, const PeelOptions& options = {});
 
 /// k-truss decomposition; kappa indexed by EdgeIndex edge id. Uses the
 /// paper's convention: an edge of a k-truss is in >= k triangles.
-PeelResult PeelTruss(const Graph& g, const EdgeIndex& edges);
+PeelResult PeelTruss(const Graph& g, const EdgeIndex& edges,
+                     const PeelOptions& options = {});
 
 /// (3,4)-nucleus decomposition; kappa indexed by TriangleIndex triangle id.
-PeelResult PeelNucleus34(const Graph& g, const TriangleIndex& tris);
+PeelResult PeelNucleus34(const Graph& g, const TriangleIndex& tris,
+                         const PeelOptions& options = {});
 
 }  // namespace nucleus
 

@@ -32,6 +32,12 @@ template NucleusHierarchy BuildHierarchy<TrussSpace>(
 template NucleusHierarchy BuildHierarchy<Nucleus34Space>(
     const Nucleus34Space&, const std::vector<Degree>&,
     std::span<const std::uint8_t>);
+template NucleusHierarchy BuildHierarchy<CoreSpace>(const CoreSpace&,
+                                                    const PeelResult&);
+template NucleusHierarchy BuildHierarchy<TrussSpace>(const TrussSpace&,
+                                                     const PeelResult&);
+template NucleusHierarchy BuildHierarchy<Nucleus34Space>(
+    const Nucleus34Space&, const PeelResult&);
 
 NucleusHierarchy BuildCoreHierarchy(const Graph& g,
                                     const std::vector<Degree>& kappa) {
@@ -42,25 +48,15 @@ NucleusHierarchy BuildTrussHierarchy(const Graph& g, const EdgeIndex& edges,
                                      const std::vector<Degree>& kappa) {
   // A patched index keeps tombstoned ids in the id space; exclude them so
   // removed edges do not surface as phantom singleton nuclei.
-  std::vector<std::uint8_t> live;
-  if (edges.NumLiveEdges() != edges.NumEdges()) {
-    live.resize(edges.NumEdges());
-    for (EdgeId e = 0; e < edges.NumEdges(); ++e) live[e] = edges.IsLive(e);
-  }
-  return BuildHierarchy(TrussSpace(g, edges), kappa, live);
+  const TrussSpace space(g, edges);
+  return BuildHierarchy(space, kappa, space.LiveRFlags());
 }
 
 NucleusHierarchy BuildNucleus34Hierarchy(const Graph& g,
                                          const TriangleIndex& tris,
                                          const std::vector<Degree>& kappa) {
-  std::vector<std::uint8_t> live;
-  if (tris.NumLiveTriangles() != tris.NumTriangles()) {
-    live.resize(tris.NumTriangles());
-    for (TriangleId t = 0; t < tris.NumTriangles(); ++t) {
-      live[t] = tris.IsLive(t);
-    }
-  }
-  return BuildHierarchy(Nucleus34Space(g, tris), kappa, live);
+  const Nucleus34Space space(g, tris);
+  return BuildHierarchy(space, kappa, space.LiveRFlags());
 }
 
 }  // namespace nucleus

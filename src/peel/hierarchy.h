@@ -15,6 +15,7 @@
 
 #include "src/clique/spaces.h"
 #include "src/common/types.h"
+#include "src/peel/peel_engine.h"
 
 namespace nucleus {
 
@@ -54,6 +55,13 @@ template <typename Space>
 NucleusHierarchy BuildHierarchy(const Space& space,
                                 const std::vector<Degree>& kappa,
                                 std::span<const std::uint8_t> live = {});
+
+/// Builds the hierarchy straight from a peel run's level partition
+/// (PeelResult::levels / order), skipping the kappa re-bucketing pass.
+/// The engine already excluded tombstoned ids from the partition, so no
+/// separate liveness span is needed.
+template <typename Space>
+NucleusHierarchy BuildHierarchy(const Space& space, const PeelResult& peel);
 
 // Explicitly instantiated wrappers.
 NucleusHierarchy BuildCoreHierarchy(const Graph& g,

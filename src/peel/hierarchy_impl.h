@@ -1,36 +1,40 @@
-// BuildHierarchy template definition; include to instantiate for clique
+// BuildHierarchy template definitions; include to instantiate for clique
 // spaces beyond the canonical three (see core/generic_rs.cc).
+//
+// The construction consumes a LEVEL PARTITION — the r-cliques grouped by
+// kappa, visited from the densest level down. The peel engine emits that
+// structure directly (PeelResult::levels), so the PeelResult overload runs
+// with zero re-bucketing; the kappa-vector overload (used when kappa comes
+// from a cache or a converged local run) derives the partition in one
+// counting pass first.
 #ifndef NUCLEUS_PEEL_HIERARCHY_IMPL_H_
 #define NUCLEUS_PEEL_HIERARCHY_IMPL_H_
 
 #include <algorithm>
+#include <span>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "src/common/disjoint_set.h"
 #include "src/peel/hierarchy.h"
+#include "src/peel/peel_engine.h"
 
 namespace nucleus {
 
+namespace internal {
+
+/// Shared union-find sweep. `levels_desc` lists (k, members-with-that-k)
+/// in strictly DESCENDING k; members must be live ids only, and their
+/// union over all levels is the live id set. `n` is the id-space size.
 template <typename Space>
-NucleusHierarchy BuildHierarchy(const Space& space,
-                                const std::vector<Degree>& kappa,
-                                std::span<const std::uint8_t> live) {
-  const std::size_t n = space.NumRCliques();
+NucleusHierarchy BuildHierarchyFromLevels(
+    const Space& space, std::size_t n,
+    std::span<const std::pair<Degree, std::span<const CliqueId>>>
+        levels_desc) {
   NucleusHierarchy h;
   h.node_of_clique.assign(n, -1);
   if (n == 0) return h;
-
-  // Group live r-cliques by kappa, processed from the largest level down
-  // (tombstoned ids of a patched index stay out of every node).
-  const auto is_live = [&](CliqueId r) { return live.empty() || live[r]; };
-  Degree kmax = 0;
-  for (CliqueId r = 0; r < n; ++r) {
-    if (is_live(r)) kmax = std::max(kmax, kappa[r]);
-  }
-  std::vector<std::vector<CliqueId>> by_level(kmax + 1);
-  for (CliqueId r = 0; r < n; ++r) {
-    if (is_live(r)) by_level[kappa[r]].push_back(r);
-  }
 
   DisjointSet dsu(n);
   std::vector<bool> active(n, false);
@@ -38,8 +42,7 @@ NucleusHierarchy BuildHierarchy(const Space& space,
   // DSU representative is x; -1 if the component is new this level.
   std::vector<int> node_of_root(n, -1);
 
-  for (Degree level = kmax + 1; level-- > 0;) {
-    const auto& newly = by_level[level];
+  for (const auto& [level, newly] : levels_desc) {
     if (newly.empty()) continue;
     for (CliqueId r : newly) active[r] = true;
 
@@ -119,6 +122,53 @@ NucleusHierarchy BuildHierarchy(const Space& space,
     if (h.nodes[id].parent == -1) h.roots.push_back(static_cast<int>(id));
   }
   return h;
+}
+
+}  // namespace internal
+
+template <typename Space>
+NucleusHierarchy BuildHierarchy(const Space& space,
+                                const std::vector<Degree>& kappa,
+                                std::span<const std::uint8_t> live) {
+  const std::size_t n = space.NumRCliques();
+  if (n == 0) return internal::BuildHierarchyFromLevels(space, n, {});
+
+  // Derive the level partition from kappa (live ids only, largest level
+  // first), then run the shared sweep.
+  const auto is_live = [&](CliqueId r) { return live.empty() || live[r]; };
+  Degree kmax = 0;
+  for (CliqueId r = 0; r < n; ++r) {
+    if (is_live(r)) kmax = std::max(kmax, kappa[r]);
+  }
+  std::vector<std::vector<CliqueId>> by_level(kmax + 1);
+  for (CliqueId r = 0; r < n; ++r) {
+    if (is_live(r)) by_level[kappa[r]].push_back(r);
+  }
+  std::vector<std::pair<Degree, std::span<const CliqueId>>> levels_desc;
+  levels_desc.reserve(by_level.size());
+  for (Degree level = kmax + 1; level-- > 0;) {
+    if (!by_level[level].empty()) {
+      levels_desc.emplace_back(level, std::span<const CliqueId>(
+                                          by_level[level]));
+    }
+  }
+  return internal::BuildHierarchyFromLevels(space, n, levels_desc);
+}
+
+template <typename Space>
+NucleusHierarchy BuildHierarchy(const Space& space, const PeelResult& peel) {
+  // The peel engine already partitioned the live ids into equal-kappa
+  // segments of `order` (ascending); feed them to the sweep densest-first.
+  std::vector<std::pair<Degree, std::span<const CliqueId>>> levels_desc;
+  levels_desc.reserve(peel.levels.size());
+  for (std::size_t i = peel.levels.size(); i-- > 0;) {
+    const PeelLevel& level = peel.levels[i];
+    levels_desc.emplace_back(
+        level.k, std::span<const CliqueId>(peel.order.data() + level.begin,
+                                           level.end - level.begin));
+  }
+  return internal::BuildHierarchyFromLevels(space, space.NumRCliques(),
+                                            levels_desc);
 }
 
 }  // namespace nucleus

@@ -2,25 +2,10 @@
 
 #include <algorithm>
 
-#include "src/common/bucket_queue.h"
-
 namespace nucleus {
 
-std::vector<Degree> CoreNumbers(const Graph& g) {
-  const std::size_t n = g.NumVertices();
-  std::vector<Degree> deg(n);
-  for (VertexId v = 0; v < n; ++v) deg[v] = g.GetDegree(v);
-  BucketQueue queue(deg);
-  std::vector<Degree> core(n, 0);
-  while (!queue.Empty()) {
-    const VertexId v = queue.ExtractMin();
-    const Degree k = queue.Key(v);
-    core[v] = k;
-    for (VertexId u : g.Neighbors(v)) {
-      if (!queue.Extracted(u)) queue.DecrementKeyClamped(u, k);
-    }
-  }
-  return core;
+std::vector<Degree> CoreNumbers(const Graph& g, const PeelOptions& options) {
+  return PeelDecomposition(CoreSpace(g), options).kappa;
 }
 
 std::vector<VertexId> KCoreVertices(const Graph& g,

@@ -1,6 +1,8 @@
-// Specialized k-core peeling (Batagelj-Zaversnik): O(n + m) direct
-// implementation, used as a fast path and as a cross-check for the generic
-// engine.
+// k-core peeling entry points, rebuilt on the unified peel engine
+// (peel_engine.h): CoreNumbers runs Algorithm 1 over the (1,2) space with
+// the selected strategy (sequential bucket queue by default; pass
+// PeelOptions{.strategy, .threads} for the level-synchronous parallel
+// peel). The independent O(n^2) reference lives in peel_test.
 #ifndef NUCLEUS_PEEL_KCORE_H_
 #define NUCLEUS_PEEL_KCORE_H_
 
@@ -8,11 +10,13 @@
 
 #include "src/common/types.h"
 #include "src/graph/graph.h"
+#include "src/peel/peel_engine.h"
 
 namespace nucleus {
 
 /// Core numbers kappa_2 for every vertex.
-std::vector<Degree> CoreNumbers(const Graph& g);
+std::vector<Degree> CoreNumbers(const Graph& g,
+                                const PeelOptions& options = {});
 
 /// Vertices of the maximal k-core (possibly disconnected union of k-cores),
 /// i.e. vertices with core number >= k.

@@ -2,29 +2,14 @@
 
 #include <algorithm>
 
-#include "src/clique/spaces.h"
-#include "src/common/bucket_queue.h"
-
 namespace nucleus {
 
 std::vector<Degree> TrussNumbers(const Graph& g, const EdgeIndex& edges,
-                                 int count_threads) {
-  const TrussSpace space(g, edges);
-  std::vector<Degree> ds = space.InitialDegrees(count_threads);
-  BucketQueue queue(ds);
-  std::vector<Degree> kappa(edges.NumEdges(), 0);
-  while (!queue.Empty()) {
-    const EdgeId e = queue.ExtractMin();
-    const Degree k = queue.Key(e);
-    kappa[e] = k;
-    space.ForEachSClique(e, [&](std::span<const CliqueId> co) {
-      for (CliqueId c : co) {
-        if (queue.Extracted(c)) return;
-      }
-      for (CliqueId c : co) queue.DecrementKeyClamped(c, k);
-    });
-  }
-  return kappa;
+                                 int count_threads, PeelStrategy strategy) {
+  PeelOptions options;
+  options.strategy = strategy;
+  options.threads = count_threads;
+  return PeelDecomposition(TrussSpace(g, edges), options).kappa;
 }
 
 std::vector<EdgeId> KTrussEdges(const std::vector<Degree>& truss_numbers,

@@ -1,7 +1,9 @@
-// k-truss peeling pipeline: parallel triangle counting followed by the
-// sequential peel. This is the paper's "partially parallel peeling"
-// baseline (Figure 1b): only the s-degree computation parallelizes, the
-// peel itself is inherently sequential.
+// k-truss peeling pipeline, rebuilt on the unified peel engine. The
+// historical shape — parallel triangle counting followed by a strictly
+// sequential peel (the paper's Figure 1b "partially parallel peeling"
+// baseline) — is the default; passing PeelStrategy::kParallel (or kAuto
+// with threads > 1) runs the whole peel level-synchronously on the thread
+// pool instead.
 #ifndef NUCLEUS_PEEL_KTRUSS_H_
 #define NUCLEUS_PEEL_KTRUSS_H_
 
@@ -10,14 +12,17 @@
 #include "src/clique/edge_index.h"
 #include "src/common/types.h"
 #include "src/graph/graph.h"
+#include "src/peel/peel_engine.h"
 
 namespace nucleus {
 
-/// Truss numbers kappa_3 per edge id. Triangle counting uses
-/// `count_threads`; the peel is sequential. Paper convention: an edge of a
-/// k-truss is in >= k triangles (not k-2).
-std::vector<Degree> TrussNumbers(const Graph& g, const EdgeIndex& edges,
-                                 int count_threads = 1);
+/// Truss numbers kappa_3 per edge id. `count_threads` parallelizes the
+/// triangle counting; the peel itself follows `strategy` (the sequential
+/// bucket queue by default, matching the paper's baseline). Paper
+/// convention: an edge of a k-truss is in >= k triangles (not k-2).
+std::vector<Degree> TrussNumbers(
+    const Graph& g, const EdgeIndex& edges, int count_threads = 1,
+    PeelStrategy strategy = PeelStrategy::kSequential);
 
 /// Edge ids of the maximal k-truss (edges with truss number >= k).
 std::vector<EdgeId> KTrussEdges(const std::vector<Degree>& truss_numbers,

@@ -16,11 +16,17 @@ namespace nucleus {
 
 /// All r-cliques of the maximum kappa(seed)-(r,s) nucleus containing
 /// `seed`: S-connected to the seed through s-cliques whose members all
-/// have kappa >= kappa(seed). Sorted ascending.
+/// have kappa >= kappa(seed). Sorted ascending. A tombstoned seed (dead id
+/// of a patched index) names no nucleus and returns the empty set; dead
+/// non-seed ids can never be reached, because the spaces skip s-cliques
+/// with dead members.
 template <typename Space>
 std::vector<CliqueId> MaxNucleusOf(const Space& space,
                                    const std::vector<Degree>& kappa,
                                    CliqueId seed) {
+  if constexpr (requires { space.IsLiveR(seed); }) {
+    if (!space.IsLiveR(seed)) return {};
+  }
   const Degree k = kappa[seed];
   std::vector<bool> visited(space.NumRCliques(), false);
   std::vector<CliqueId> members;

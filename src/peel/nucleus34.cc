@@ -2,30 +2,16 @@
 
 #include <algorithm>
 
-#include "src/clique/spaces.h"
-#include "src/common/bucket_queue.h"
-
 namespace nucleus {
 
 std::vector<Degree> Nucleus34Numbers(const Graph& g,
                                      const TriangleIndex& tris,
-                                     int count_threads) {
-  const Nucleus34Space space(g, tris);
-  std::vector<Degree> ds = space.InitialDegrees(count_threads);
-  BucketQueue queue(ds);
-  std::vector<Degree> kappa(tris.NumTriangles(), 0);
-  while (!queue.Empty()) {
-    const TriangleId t = queue.ExtractMin();
-    const Degree k = queue.Key(t);
-    kappa[t] = k;
-    space.ForEachSClique(t, [&](std::span<const CliqueId> co) {
-      for (CliqueId c : co) {
-        if (queue.Extracted(c)) return;
-      }
-      for (CliqueId c : co) queue.DecrementKeyClamped(c, k);
-    });
-  }
-  return kappa;
+                                     int count_threads,
+                                     PeelStrategy strategy) {
+  PeelOptions options;
+  options.strategy = strategy;
+  options.threads = count_threads;
+  return PeelDecomposition(Nucleus34Space(g, tris), options).kappa;
 }
 
 Degree MaxNucleus34(const std::vector<Degree>& kappa) {

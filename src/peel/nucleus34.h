@@ -1,5 +1,7 @@
-// (3,4)-nucleus peeling pipeline: parallel per-triangle K4 counting followed
-// by the sequential peel over triangles.
+// (3,4)-nucleus peeling pipeline, rebuilt on the unified peel engine:
+// parallel per-triangle K4 counting followed by the peel over triangles
+// (sequential bucket queue by default; level-synchronous parallel on
+// request).
 #ifndef NUCLEUS_PEEL_NUCLEUS34_H_
 #define NUCLEUS_PEEL_NUCLEUS34_H_
 
@@ -8,14 +10,15 @@
 #include "src/clique/triangles.h"
 #include "src/common/types.h"
 #include "src/graph/graph.h"
+#include "src/peel/peel_engine.h"
 
 namespace nucleus {
 
-/// kappa_4 per triangle id. K4 counting uses `count_threads`; the peel is
-/// sequential.
-std::vector<Degree> Nucleus34Numbers(const Graph& g,
-                                     const TriangleIndex& tris,
-                                     int count_threads = 1);
+/// kappa_4 per triangle id. K4 counting uses `count_threads`; the peel
+/// follows `strategy`.
+std::vector<Degree> Nucleus34Numbers(
+    const Graph& g, const TriangleIndex& tris, int count_threads = 1,
+    PeelStrategy strategy = PeelStrategy::kSequential);
 
 /// Max kappa_4 (0 when there are no triangles).
 Degree MaxNucleus34(const std::vector<Degree>& kappa);

@@ -82,6 +82,54 @@ TEST(BucketQueue, AllZeroKeys) {
   EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
 }
 
+TEST(BucketQueue, EmptyKeySet) {
+  BucketQueue q((std::vector<Degree>{}));
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.Size(), 0u);
+  // Reset from empty to non-empty and back round-trips.
+  q.Reset({2});
+  EXPECT_EQ(q.Size(), 1u);
+  EXPECT_EQ(q.ExtractMin(), 0u);
+  q.Reset({});
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(BucketQueue, AllEqualKeys) {
+  std::vector<Degree> keys(6, 7);
+  BucketQueue q(keys);
+  std::vector<bool> seen(6, false);
+  Degree last = 0;
+  while (!q.Empty()) {
+    const CliqueId item = q.ExtractMin();
+    EXPECT_EQ(q.Key(item), 7u);
+    EXPECT_GE(q.Key(item), last);
+    last = q.Key(item);
+    EXPECT_FALSE(seen[item]);
+    seen[item] = true;
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+TEST(BucketQueue, ClampAtFloorIsIdempotent) {
+  // Decrements clamped at the floor leave both key and position untouched,
+  // even when hammered repeatedly and interleaved with extractions.
+  std::vector<Degree> keys = {3, 3, 5};
+  BucketQueue q(keys);
+  for (int i = 0; i < 10; ++i) q.DecrementKeyClamped(0, 3);
+  EXPECT_EQ(q.Key(0), 3u);
+  const CliqueId first = q.ExtractMin();
+  const Degree k = q.Key(first);
+  EXPECT_EQ(k, 3u);
+  // Floor at the last extracted key: survivor at the floor cannot sink
+  // below it (the peeling invariant).
+  for (int i = 0; i < 10; ++i) {
+    if (!q.Extracted(1)) q.DecrementKeyClamped(1, k);
+  }
+  EXPECT_EQ(q.Key(1), 3u);
+  q.DecrementKeyClamped(2, k);  // 5 -> 4: above the floor, real decrement
+  EXPECT_EQ(q.Key(2), 4u);
+}
+
 TEST(BucketQueue, ResetRebuilds) {
   std::vector<Degree> keys = {3, 1};
   BucketQueue q(keys);

@@ -1,0 +1,108 @@
+// Intersection helpers: the galloping variant must be observationally
+// identical to the linear merge — same elements, same (ascending) order —
+// for every size skew, including the auto-dispatch thresholds inside
+// ForEachCommon / ForEachCommon3.
+#include "src/clique/intersect.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <iterator>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace nucleus {
+namespace {
+
+std::vector<VertexId> Collect2(std::span<const VertexId> a,
+                               std::span<const VertexId> b) {
+  std::vector<VertexId> out;
+  ForEachCommon(a, b, [&](VertexId x) { out.push_back(x); });
+  return out;
+}
+
+std::vector<VertexId> CollectGallop(std::span<const VertexId> a,
+                                    std::span<const VertexId> b) {
+  std::vector<VertexId> out;
+  ForEachCommonGalloping(a, b, [&](VertexId x) { out.push_back(x); });
+  return out;
+}
+
+std::vector<VertexId> Reference2(const std::vector<VertexId>& a,
+                                 const std::vector<VertexId>& b) {
+  std::vector<VertexId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::vector<VertexId> SortedSample(Rng* rng, std::size_t count,
+                                   VertexId universe) {
+  std::set<VertexId> s;
+  while (s.size() < count) {
+    s.insert(static_cast<VertexId>(rng->UniformInt(0, universe)));
+  }
+  return {s.begin(), s.end()};
+}
+
+TEST(Intersect, GallopingMatchesLinearAcrossSkews) {
+  Rng rng(99);
+  // Sweep size ratios across the kGallopRatio dispatch threshold.
+  for (const auto& [na, nb] : std::vector<std::pair<std::size_t,
+                                                    std::size_t>>{
+           {0, 0}, {0, 50}, {1, 1}, {4, 4}, {5, 400}, {3, 48},
+           {16, 16}, {8, 1000}, {200, 220}, {1, 5000}}) {
+    const auto a = SortedSample(&rng, na, 8000);
+    const auto b = SortedSample(&rng, nb, 8000);
+    const auto want = Reference2(a, b);
+    EXPECT_EQ(Collect2(a, b), want) << na << " x " << nb;
+    EXPECT_EQ(Collect2(b, a), want) << nb << " x " << na;
+    EXPECT_EQ(CollectGallop(a, b), want) << na << " x " << nb << " gallop";
+    EXPECT_EQ(CollectGallop(b, a), want) << nb << " x " << na << " gallop";
+    EXPECT_EQ(CountCommon(a, b), want.size());
+  }
+}
+
+TEST(Intersect, GallopingFindsDenseOverlap) {
+  // Contiguous runs exercise the exponential probe's bracketing.
+  std::vector<VertexId> small = {100, 101, 102, 103, 104};
+  std::vector<VertexId> large;
+  for (VertexId v = 0; v < 5000; ++v) large.push_back(v);
+  EXPECT_EQ(CollectGallop(small, large), small);
+  EXPECT_EQ(Collect2(small, large), small);  // auto-dispatches to gallop
+}
+
+TEST(Intersect, ThreeWayMatchesReferenceAcrossSkews) {
+  Rng rng(7);
+  for (const auto& [na, nb, nc] :
+       std::vector<std::array<std::size_t, 3>>{
+           {0, 10, 10}, {3, 3, 3}, {4, 60, 2000}, {2000, 4, 60},
+           {60, 2000, 4}, {50, 55, 60}, {1, 1, 4000}}) {
+    const auto a = SortedSample(&rng, na, 6000);
+    const auto b = SortedSample(&rng, nb, 6000);
+    const auto c = SortedSample(&rng, nc, 6000);
+    const auto want = Reference2(Reference2(a, b), c);
+    std::vector<VertexId> got;
+    ForEachCommon3(a, b, c, [&](VertexId x) { got.push_back(x); });
+    EXPECT_EQ(got, want) << na << "/" << nb << "/" << nc;
+  }
+}
+
+TEST(Intersect, GallopLowerBoundBrackets) {
+  const std::vector<VertexId> a = {2, 4, 6, 8, 10, 12, 14};
+  EXPECT_EQ(internal::GallopLowerBound(a, 0, 1), 0u);
+  EXPECT_EQ(internal::GallopLowerBound(a, 0, 2), 0u);
+  EXPECT_EQ(internal::GallopLowerBound(a, 0, 7), 3u);
+  EXPECT_EQ(internal::GallopLowerBound(a, 0, 14), 6u);
+  EXPECT_EQ(internal::GallopLowerBound(a, 0, 15), 7u);
+  EXPECT_EQ(internal::GallopLowerBound(a, 3, 7), 3u);   // from > 0
+  EXPECT_EQ(internal::GallopLowerBound(a, 5, 11), 5u);  // a[5] = 12 >= 11
+  EXPECT_EQ(internal::GallopLowerBound(a, 7, 1), 7u);   // from == size
+}
+
+}  // namespace
+}  // namespace nucleus

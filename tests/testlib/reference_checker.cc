@@ -18,16 +18,34 @@ constexpr int kMaxReportedMismatches = 5;
 }  // namespace
 
 std::vector<Degree> PeelingKappa(const Graph& g, DecompositionKind kind) {
+  // Compute the reference with BOTH peel strategies and insist they agree
+  // before using it: every suite that validates against peeling thereby
+  // also re-certifies the sequential/parallel engine equivalence on its
+  // own graphs, for free.
+  PeelOptions sequential;
+  sequential.strategy = PeelStrategy::kSequential;
+  PeelOptions parallel;
+  parallel.strategy = PeelStrategy::kParallel;
+  parallel.threads = 4;
+  const auto checked = [](std::vector<Degree> seq, std::vector<Degree> par) {
+    EXPECT_EQ(seq, par)
+        << "sequential and parallel peel disagree on the reference graph";
+    return seq;
+  };
   switch (kind) {
     case DecompositionKind::kCore:
-      return CoreNumbers(g);
+      return checked(CoreNumbers(g, sequential), CoreNumbers(g, parallel));
     case DecompositionKind::kTruss: {
       const EdgeIndex edges(g);
-      return TrussNumbers(g, edges);
+      return checked(
+          TrussNumbers(g, edges),
+          TrussNumbers(g, edges, 4, PeelStrategy::kParallel));
     }
     case DecompositionKind::kNucleus34: {
       const TriangleIndex tris(g);
-      return Nucleus34Numbers(g, tris);
+      return checked(
+          Nucleus34Numbers(g, tris),
+          Nucleus34Numbers(g, tris, 4, PeelStrategy::kParallel));
     }
   }
   ADD_FAILURE() << "unknown DecompositionKind";

@@ -14,9 +14,12 @@
 namespace nucleus {
 namespace testlib {
 
-/// Exact kappa via the specialized peelers (CoreNumbers / TrussNumbers /
-/// Nucleus34Numbers). Index order matches the facade: vertex id for kCore,
-/// EdgeIndex id for kTruss, TriangleIndex id for kNucleus34.
+/// Exact kappa via the peel engine, computed with BOTH strategies
+/// (sequential bucket queue and level-synchronous parallel) and
+/// EXPECT-asserted equal before being returned, so every reference
+/// comparison doubles as an engine-equivalence check. Index order matches
+/// the facade: vertex id for kCore, EdgeIndex id for kTruss,
+/// TriangleIndex id for kNucleus34.
 std::vector<Degree> PeelingKappa(const Graph& g, DecompositionKind kind);
 
 /// EXPECT-asserts tau == PeelingKappa(g, kind) elementwise, reporting the

@@ -6,9 +6,11 @@
 // Usage:
 //   nucleus_cli decompose --input g.txt [--kind core|truss|nucleus34]
 //               [--method peel|snd|and] [--threads N] [--max-iters N]
+//               [--peel auto|sequential|parallel]
 //               [--materialize auto|on|off] [--materialize-budget-mb N]
 //               [--repeat N] [--no-cache] [--output kappa.tsv]
-//   nucleus_cli hierarchy --input g.txt [--kind ...] [--dot out.dot]
+//   nucleus_cli hierarchy --input g.txt [--kind ...] [--threads N]
+//               [--peel auto|sequential|parallel] [--dot out.dot]
 //               [--tsv out.tsv] [--min-size N]
 //   nucleus_cli stats --input g.txt
 //   nucleus_cli generate --model er|ba|rmat|ws|planted|nested
@@ -91,6 +93,14 @@ StatusOr<Method> ParseMethod(const std::string& s) {
                                  " (expected peel|snd|and)");
 }
 
+StatusOr<PeelStrategy> ParsePeelStrategy(const std::string& s) {
+  if (s == "auto") return PeelStrategy::kAuto;
+  if (s == "sequential") return PeelStrategy::kSequential;
+  if (s == "parallel") return PeelStrategy::kParallel;
+  return Status::InvalidArgument("unknown --peel: " + s +
+                                 " (expected auto|sequential|parallel)");
+}
+
 StatusOr<Materialize> ParseMaterialize(const std::string& s) {
   if (s == "auto") return Materialize::kAuto;
   if (s == "on") return Materialize::kOn;
@@ -134,6 +144,9 @@ int CmdDecompose(const Args& args) {
   opt.method = *method;
   opt.threads = args.GetInt("threads", 1);
   opt.max_iterations = args.GetInt("max-iters", 0);
+  StatusOr<PeelStrategy> peel = ParsePeelStrategy(args.Get("peel", "auto"));
+  if (!peel.ok()) return Fail(peel.status());
+  opt.peel_strategy = *peel;
   StatusOr<Materialize> mat =
       ParseMaterialize(args.Get("materialize", "auto"));
   if (!mat.ok()) return Fail(mat.status());
@@ -218,9 +231,15 @@ int CmdHierarchy(const Args& args) {
   StatusOr<DecompositionKind> kind = ParseKind(args.Get("kind", "core"));
   if (!kind.ok()) return Fail(kind.status());
 
+  StatusOr<PeelStrategy> peel = ParsePeelStrategy(args.Get("peel", "auto"));
+  if (!peel.ok()) return Fail(peel.status());
+  DecomposeOptions opt;
+  opt.method = Method::kPeeling;
+  opt.peel_strategy = *peel;
+  opt.threads = args.GetInt("threads", 1);
+
   NucleusSession session(std::move(*g));
-  StatusOr<const NucleusHierarchy*> h =
-      session.Hierarchy(*kind, {.method = Method::kPeeling});
+  StatusOr<const NucleusHierarchy*> h = session.Hierarchy(*kind, opt);
   if (!h.ok()) return Fail(h.status());
   std::fprintf(stderr, "hierarchy: %zu nodes, %zu roots, depth %zu\n",
                (*h)->nodes.size(), (*h)->roots.size(), (*h)->Depth());
@@ -376,11 +395,14 @@ int Usage() {
                "query> --input FILE [options]\n"
                "  decompose: --kind core|truss|nucleus34  --method "
                "peel|snd|and  --threads N  --max-iters N\n"
+               "             --peel auto|sequential|parallel (strategy "
+               "for --method peel; auto = parallel when --threads > 1)\n"
                "             --materialize auto|on|off  "
                "--materialize-budget-mb N  --output FILE\n"
                "             --repeat N (serve N requests from one "
                "session)  --no-cache\n"
-               "  hierarchy: --kind ...  --dot FILE  --tsv FILE  "
+               "  hierarchy: --kind ...  --threads N  --peel "
+               "auto|sequential|parallel  --dot FILE  --tsv FILE  "
                "--min-size N\n"
                "  stats:     (prints V/E/triangle/K4 counts)\n"
                "  generate:  --model er|ba|rmat|ws|planted|nested --n N "
