@@ -330,6 +330,122 @@ int RunJson(const std::string& path) {
                 removals.size(), ok ? "ok" : "MISMATCH");
   }
 
+  // churn_incremental vs churn_rebuild record pair: SUSTAINED small-batch
+  // churn on the (3,4) space — 10 commits of 4 edge toggles each, every
+  // commit followed by a kappa read and a hierarchy read. The incremental
+  // arm runs over one warm session: each commit delta-patches the indices
+  // and arena, re-seeds kappa from the DynamicNucleus34Maintainer, and
+  // repairs the cached hierarchy in place — the ok flag asserts ZERO full
+  // (3,4) rebuilds across the whole run (one triangle-index build, one
+  // arena build, one hierarchy build, all from the warm-up; every commit
+  // counted as a kappa re-seed + hierarchy repair). The rebuild arm pays
+  // wholesale invalidation plus the cold (3,4) decompose + hierarchy after
+  // every commit. The incremental record's speedup field is
+  // rebuild/incremental; CI's bench-smoke asserts it stays >= 2x.
+  {
+    DecomposeOptions opt;
+    opt.method = Method::kAnd;
+    opt.threads = threads;
+    opt.materialize = Materialize::kOn;
+    const int churn_commits = 10;
+    const int ops_per_commit = 2;
+
+    // A fixed toggle pool (strided over the edge set): removed edges get
+    // re-inserted on a later commit, so tombstones never accumulate past
+    // the compaction threshold and both mutation kinds are exercised.
+    const EdgeIndex probe2(g);
+    std::vector<std::pair<VertexId, VertexId>> pool;
+    const std::size_t pool_stride =
+        std::max<std::size_t>(1, probe2.NumEdges() / 24);
+    for (EdgeId e = 0; pool.size() < 24 && e < probe2.NumEdges();
+         e += static_cast<EdgeId>(pool_stride)) {
+      pool.push_back(probe2.Endpoints(e));
+    }
+    const auto toggle = [&](NucleusSession& s, int commit) {
+      auto batch = s.BeginUpdates();
+      for (int i = 0; i < ops_per_commit; ++i) {
+        const auto& [u, v] =
+            pool[(commit * ops_per_commit + i) % pool.size()];
+        if (!batch.InsertEdge(u, v)) batch.RemoveEdge(u, v);
+      }
+      return batch.Commit();
+    };
+
+    // Incremental arm: one warm session across all commits.
+    NucleusSession inc(g);
+    (void)inc.Decompose(DecompositionKind::kNucleus34, opt);  // warm kappa
+    (void)inc.Hierarchy(DecompositionKind::kNucleus34, opt);  // + hierarchy
+    bool ok = true;
+    Timer t;
+    for (int c = 0; c < churn_commits; ++c) {
+      ok = ok && toggle(inc, c).ok();
+      const auto r = inc.Decompose(DecompositionKind::kNucleus34, opt);
+      ok = ok && r.ok() && r->served_from_cache;
+      ok = ok && inc.Hierarchy(DecompositionKind::kNucleus34, opt).ok();
+    }
+    const double churn_inc_ms = t.Seconds() * 1e3;
+    const SessionStats inc_stats = inc.stats();
+    // Zero full (3,4) rebuilds: everything beyond the warm-up was a patch,
+    // a re-seed, or a localized repair.
+    ok = ok && inc_stats.triangle_index_builds == 1 &&
+         inc_stats.nucleus34_arena_builds == 1 &&
+         inc_stats.hierarchy_builds == 1 && inc_stats.compactions == 0 &&
+         inc_stats.nucleus34_kappa_seeds == churn_commits &&
+         inc_stats.hierarchy_repairs == churn_commits;
+
+    // Rebuild arm: identical mutations, wholesale invalidation per commit.
+    NucleusSession reb(g);
+    (void)reb.Decompose(DecompositionKind::kNucleus34, opt);
+    DecomposeOptions cold2 = opt;
+    cold2.use_result_cache = false;
+    t.Restart();
+    for (int c = 0; c < churn_commits; ++c) {
+      ok = ok && toggle(reb, c).ok();
+      reb.InvalidateDerivedState();
+      ok = ok && reb.Decompose(DecompositionKind::kNucleus34, cold2).ok();
+      ok = ok && reb.Hierarchy(DecompositionKind::kNucleus34, opt).ok();
+    }
+    const double churn_reb_ms = t.Seconds() * 1e3;
+
+    // Cross-check the final kappa value-for-value through the triples
+    // (incremental ids are patched-stable, rebuilt ids re-densified).
+    if (ok) {
+      const auto inc_r = inc.Decompose(DecompositionKind::kNucleus34, opt);
+      const auto reb_r = reb.Decompose(DecompositionKind::kNucleus34, opt);
+      ok = inc_r.ok() && reb_r.ok();
+      if (ok) {
+        const TriangleIndex& it = inc.Triangles();
+        const TriangleIndex& rt = reb.Triangles();
+        for (TriangleId tid = 0; ok && tid < rt.NumTriangles(); ++tid) {
+          const auto& tri = rt.Vertices(tid);
+          const TriangleId pt = it.TriangleIdOf(tri[0], tri[1], tri[2]);
+          ok = pt != kInvalidTriangle &&
+               inc_r->kappa[pt] == reb_r->kappa[tid];
+        }
+      }
+    }
+
+    BenchRecord rec_cinc{"planted-perf",     g.NumVertices(),
+                         g.NumEdges(),       "nucleus34",
+                         "churn_incremental", threads,
+                         true,               churn_inc_ms,
+                         0,                  0.0,
+                         ok};
+    rec_cinc.speedup_vs_onthefly =
+        churn_reb_ms / std::max(churn_inc_ms, 1e-6);
+    records.push_back(rec_cinc);
+    BenchRecord rec_creb = rec_cinc;
+    rec_creb.method = "churn_rebuild";
+    rec_creb.wall_ms = churn_reb_ms;
+    rec_creb.speedup_vs_onthefly = 0.0;
+    records.push_back(rec_creb);
+    std::printf("%-10s %-9s threads=%d  churn x%d commits incremental "
+                "%8.2f ms  rebuild %8.1f ms  speedup %.0fx  %s\n",
+                "planted-perf", "nucleus34", threads, churn_commits,
+                churn_inc_ms, churn_reb_ms, rec_cinc.speedup_vs_onthefly,
+                ok ? "ok" : "MISMATCH");
+  }
+
   if (!WriteBenchJson(path, "bench_runtime", fast, records)) return 1;
   std::printf("wrote %s (%zu records)\n", path.c_str(), records.size());
   bool all_ok = true;

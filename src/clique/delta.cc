@@ -21,10 +21,19 @@ void SortUnique(std::vector<T>* v) {
 }
 
 // Triangles of g containing edge {u, v} = common neighbors of u and v.
+// Pairs that are not edges of g are skipped: a dead triangle must have
+// existed (removed pair present in the old graph) and a born one must
+// exist (inserted pair present in the new graph); without the guard an
+// adversarial pair whose endpoints merely share neighbors would fabricate
+// phantom cliques.
 void CollectTriangles(const Graph& g,
                       const std::vector<std::pair<VertexId, VertexId>>& pairs,
                       std::vector<std::array<VertexId, 3>>* out) {
   for (const auto& [u, v] : pairs) {
+    if (u == v || u >= g.NumVertices() || v >= g.NumVertices() ||
+        !g.HasEdge(u, v)) {
+      continue;
+    }
     ForEachCommon(g.Neighbors(u), g.Neighbors(v), [&, u = u, v = v](
                                                       VertexId w) {
       out->push_back(SortedTriple(u, v, w));
@@ -40,6 +49,10 @@ void CollectFourCliques(
     std::vector<std::array<VertexId, 4>>* out) {
   std::vector<VertexId> common;
   for (const auto& [u, v] : pairs) {
+    if (u == v || u >= g.NumVertices() || v >= g.NumVertices() ||
+        !g.HasEdge(u, v)) {
+      continue;
+    }
     common.clear();
     ForEachCommon(g.Neighbors(u), g.Neighbors(v),
                   [&](VertexId w) { common.push_back(w); });

@@ -48,6 +48,10 @@ struct FourCliqueDelta {
 };
 
 /// old_graph must be the graph before the delta and new_graph after it.
+/// Malformed delta pairs are ignored rather than trusted: a removed pair
+/// that is not an edge of old_graph (or an inserted pair absent from
+/// new_graph, or a self loop / out-of-range id) contributes nothing,
+/// so an adversarial batch cannot fabricate phantom dead/born cliques.
 TriangleDelta ComputeTriangleDelta(const Graph& old_graph,
                                    const Graph& new_graph,
                                    const EdgeDelta& delta);

@@ -503,6 +503,7 @@ bool NucleusSession::UpdateBatch::InsertEdge(VertexId u, VertexId v) {
   const bool applied = maintainer_.InsertEdge(u, v);
   if (!applied) return false;
   if (truss_maintainer_) truss_maintainer_->InsertEdge(u, v);
+  if (n34_maintainer_) n34_maintainer_->InsertEdge(u, v);
   ++mutations_;
   const auto it = net_.find(PairKey(u, v));
   if (it != net_.end()) {
@@ -517,6 +518,7 @@ bool NucleusSession::UpdateBatch::RemoveEdge(VertexId u, VertexId v) {
   const bool applied = maintainer_.RemoveEdge(u, v);
   if (!applied) return false;
   if (truss_maintainer_) truss_maintainer_->RemoveEdge(u, v);
+  if (n34_maintainer_) n34_maintainer_->RemoveEdge(u, v);
   ++mutations_;
   const auto it = net_.find(PairKey(u, v));
   if (it != net_.end()) {
@@ -565,9 +567,14 @@ NucleusSession::UpdateBatch NucleusSession::BeginUpdates() {
     std::lock_guard<std::mutex> clk(results_[1].mu);
     truss_kappa = results_[1].kappa;
   }
-  // Truss maintenance piggybacks on the cached exact (2,3) kappa — a cold
-  // internal truss decomposition on every BeginUpdates would defeat the
-  // point for callers that never ask for (2,3).
+  std::optional<std::vector<Degree>> n34_kappa;
+  {
+    std::lock_guard<std::mutex> clk(results_[2].mu);
+    n34_kappa = results_[2].kappa;
+  }
+  // Truss / (3,4) maintenance piggybacks on the cached exact kappa — a
+  // cold internal decomposition on every BeginUpdates would defeat the
+  // point for callers that never ask for those kinds.
   std::optional<DynamicTrussMaintainer> truss_maintainer;
   if (truss_kappa.has_value()) {
     const EdgeIndex* edges = edge_index_.TryGet();
@@ -575,12 +582,20 @@ NucleusSession::UpdateBatch NucleusSession::BeginUpdates() {
       truss_maintainer.emplace(*graph_, *edges, *truss_kappa);
     }
   }
+  std::optional<DynamicNucleus34Maintainer> n34_maintainer;
+  if (n34_kappa.has_value()) {
+    const TriangleIndex* tris = triangle_index_.TryGet();
+    if (tris != nullptr && n34_kappa->size() == tris->NumTriangles()) {
+      n34_maintainer.emplace(*graph_, *tris, *n34_kappa);
+    }
+  }
   DynamicCoreMaintainer core_maintainer =
       core_kappa.has_value()
           ? DynamicCoreMaintainer(*graph_, std::move(*core_kappa))
           : DynamicCoreMaintainer(*graph_);
   return UpdateBatch(this, std::move(core_maintainer),
-                     std::move(truss_maintainer), commit_epoch_);
+                     std::move(truss_maintainer), std::move(n34_maintainer),
+                     commit_epoch_);
 }
 
 Status NucleusSession::CommitUpdates(UpdateBatch* batch) {
@@ -597,23 +612,18 @@ Status NucleusSession::CommitUpdates(UpdateBatch* batch) {
   if (delta.Empty()) {
     return Status::Ok();  // graph unchanged: keep every cache
   }
-  PropagateDelta(delta, batch->maintainer_.ToGraph(),
-                 batch->truss_maintainer_ ? &*batch->truss_maintainer_
-                                          : nullptr);
-  // (1,2) reuse: the maintainer's locally-repaired core numbers ARE the
-  // exact kappa of the mutated graph, so the core space keeps being served
-  // with zero rebuild.
-  {
-    std::lock_guard<std::mutex> clk(results_[0].mu);
-    results_[0].kappa = batch->maintainer_.CoreNumbersView();
-  }
+  PropagateDelta(delta, batch->maintainer_.ToGraph(), *batch);
   ++commit_epoch_;
   return Status::Ok();
 }
 
-void NucleusSession::PropagateDelta(
-    const EdgeDelta& delta, Graph&& new_graph,
-    const DynamicTrussMaintainer* truss_maintainer) {
+void NucleusSession::PropagateDelta(const EdgeDelta& delta,
+                                    Graph&& new_graph,
+                                    const UpdateBatch& batch) {
+  const DynamicTrussMaintainer* truss_maintainer =
+      batch.truss_maintainer_ ? &*batch.truss_maintainer_ : nullptr;
+  const DynamicNucleus34Maintainer* n34_maintainer =
+      batch.n34_maintainer_ ? &*batch.n34_maintainer_ : nullptr;
   EdgeIndex* eidx = edge_index_.Mutable();
   TriangleIndex* tidx = triangle_index_.Mutable();
   EdgeTriangleCsr* etc = edge_triangle_csr_.Mutable();
@@ -635,6 +645,26 @@ void NucleusSession::PropagateDelta(
 
   if (eidx != nullptr || tidx != nullptr) {
     BumpStat(&SessionStats::incremental_commits);
+  }
+
+  // Stage 0: capture cached hierarchies (and the old kappa they pair
+  // with) for in-place repair. Repair needs this commit's exact NEW kappa
+  // too, so a kind qualifies only when its maintainer ran this batch (the
+  // core maintainer always does); unqualified hierarchies die with the
+  // result-cell reset in stage 6.
+  std::unique_ptr<NucleusHierarchy> old_hierarchy[3];
+  std::vector<Degree> old_kappa[3];
+  const bool can_repair[3] = {
+      true, truss_maintainer != nullptr && eidx != nullptr,
+      n34_maintainer != nullptr && tidx != nullptr};
+  for (int kind = 0; kind < 3; ++kind) {
+    ResultCell& cell = results_[kind];
+    std::lock_guard<std::mutex> clk(cell.mu);
+    if (!can_repair[kind] || !cell.hierarchy || !cell.kappa.has_value()) {
+      continue;
+    }
+    old_hierarchy[kind] = std::move(cell.hierarchy);
+    old_kappa[kind] = std::move(*cell.kappa);
   }
 
   // Stage 1: enumerate the s-cliques the delta destroys/creates (dead sets
@@ -814,30 +844,109 @@ void NucleusSession::PropagateDelta(
   }
   nucleus34_.failed_budget = 0;
 
-  // Stage 6: result caches. Core is re-seeded by the caller; (2,3) is
-  // re-seeded from the truss maintainer when the batch carried one; (3,4)
-  // and all hierarchies/tau caches restart cold.
+  // Stage 6: result caches. Every kind whose maintainer ran is re-seeded
+  // with the exact post-delta kappa — (1,2) always (the core maintainer's
+  // locally-repaired numbers ARE the exact kappa of the mutated graph),
+  // (2,3)/(3,4) when the batch carried those maintainers; tau caches
+  // restart cold, and hierarchies are repaired in stage 6.5 below.
   for (ResultCell& cell : results_) {
     std::lock_guard<std::mutex> clk(cell.mu);
     cell.Reset();
   }
+  const std::vector<Degree>& new_core_kappa =
+      batch.maintainer_.CoreNumbersView();
+  {
+    std::lock_guard<std::mutex> clk(results_[0].mu);
+    results_[0].kappa = new_core_kappa;
+  }
+  std::vector<Degree> new_truss_kappa;
   if (truss_maintainer != nullptr) {
-    std::vector<Degree> seed;
     if (eidx != nullptr) {
-      seed.assign(eidx->NumEdges(), 0);
+      new_truss_kappa.assign(eidx->NumEdges(), 0);
       for (EdgeId e = 0; e < eidx->NumEdges(); ++e) {
         if (!eidx->IsLive(e)) continue;
         const auto [u, v] = eidx->Endpoints(e);
-        seed[e] = truss_maintainer->TrussNumberOf(u, v);
+        new_truss_kappa[e] = truss_maintainer->TrussNumberOf(u, v);
       }
     } else {
       // No index to patch: a later (2,3) call builds a fresh index whose
       // lexicographic id order is exactly the maintainer's export order.
-      seed = truss_maintainer->TrussNumbersInIndexOrder();
+      new_truss_kappa = truss_maintainer->TrussNumbersInIndexOrder();
     }
     std::lock_guard<std::mutex> clk(results_[1].mu);
-    results_[1].kappa = std::move(seed);
+    results_[1].kappa = new_truss_kappa;
     BumpStat(&SessionStats::truss_kappa_seeds);
+  }
+  std::vector<Degree> new_n34_kappa;
+  if (n34_maintainer != nullptr) {
+    if (tidx != nullptr) {
+      new_n34_kappa.assign(tidx->NumTriangles(), 0);
+      for (TriangleId t = 0; t < tidx->NumTriangles(); ++t) {
+        if (!tidx->IsLive(t)) continue;
+        const auto& tri = tidx->Vertices(t);
+        new_n34_kappa[t] =
+            n34_maintainer->Nucleus34NumberOf(tri[0], tri[1], tri[2]);
+      }
+    } else {
+      new_n34_kappa = n34_maintainer->Nucleus34NumbersInIndexOrder();
+    }
+    std::lock_guard<std::mutex> clk(results_[2].mu);
+    results_[2].kappa = new_n34_kappa;
+    BumpStat(&SessionStats::nucleus34_kappa_seeds);
+  }
+
+  // Stage 6.5: localized hierarchy repair. The touched-level bound is the
+  // largest level any kappa change / born id / dead id reaches (born ids
+  // enter the old-vs-new diff as 0 -> kappa, dead ids as kappa -> 0); for
+  // the core space — whose r-cliques never die or get born — the delta's
+  // s-cliques (the edges themselves) can also re-link equal-kappa
+  // components with no kappa change, so their min-member levels join the
+  // bound. Everything above the bound is spliced from the old forest;
+  // everything at or below is re-swept from the new kappa.
+  const auto touched_level = [](const std::vector<Degree>& before,
+                                const std::vector<Degree>& after) {
+    Degree level = 0;
+    const std::size_t n = std::max(before.size(), after.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const Degree b = i < before.size() ? before[i] : 0;
+      const Degree a = i < after.size() ? after[i] : 0;
+      if (b != a) level = std::max(level, std::max(b, a));
+    }
+    return level;
+  };
+  const auto install_repaired = [&](int kind, NucleusHierarchy&& repaired) {
+    std::lock_guard<std::mutex> clk(results_[kind].mu);
+    results_[kind].hierarchy =
+        std::make_unique<NucleusHierarchy>(std::move(repaired));
+    BumpStat(&SessionStats::hierarchy_repairs);
+  };
+  if (old_hierarchy[0]) {
+    Degree level = touched_level(old_kappa[0], new_core_kappa);
+    for (const auto& [u, v] : delta.inserted) {
+      level = std::max(level,
+                       std::min(new_core_kappa[u], new_core_kappa[v]));
+    }
+    for (const auto& [u, v] : delta.removed) {
+      level = std::max(level, std::min(old_kappa[0][u], old_kappa[0][v]));
+    }
+    const CoreSpace space(*graph_);
+    install_repaired(0, RepairHierarchy(space, *old_hierarchy[0],
+                                        new_core_kappa, space.LiveRFlags(),
+                                        level));
+  }
+  if (old_hierarchy[1] && eidx != nullptr) {
+    const TrussSpace space(*graph_, *eidx);
+    install_repaired(
+        1, RepairHierarchy(space, *old_hierarchy[1], new_truss_kappa,
+                           space.LiveRFlags(),
+                           touched_level(old_kappa[1], new_truss_kappa)));
+  }
+  if (old_hierarchy[2] && tidx != nullptr) {
+    const Nucleus34Space space(*graph_, *tidx);
+    install_repaired(
+        2, RepairHierarchy(space, *old_hierarchy[2], new_n34_kappa,
+                           space.LiveRFlags(),
+                           touched_level(old_kappa[2], new_n34_kappa)));
   }
 
   // Stage 7: compaction. Patching keeps commits O(delta) but leaves
@@ -845,7 +954,11 @@ void NucleusSession::PropagateDelta(
   // fraction crosses the threshold, re-densify it. The edge layer rebuild
   // is a cheap linear scan done eagerly (so the (2,3) seed can be remapped
   // to the fresh ids); the triangle layer drops lazily — its rebuild is
-  // the expensive enumeration and the next (3,4) caller pays it.
+  // the expensive enumeration and the next (3,4) caller pays it, with the
+  // (3,4) seed re-exported in the fresh lexicographic id order so the
+  // maintainer's exact values survive the re-densify. Hierarchies of a
+  // compacted layer are dropped: their members are ids of the retired
+  // id space.
   if (eidx != nullptr) {
     const std::size_t dead = eidx->NumEdges() - eidx->NumLiveEdges();
     if (dead >= kMinDeadForCompaction &&
@@ -855,9 +968,12 @@ void NucleusSession::PropagateDelta(
       BumpStat(&SessionStats::compactions);
       edge_triangle_csr_.Reset();
       truss_.Reset();
-      if (truss_maintainer != nullptr) {
+      {
         std::lock_guard<std::mutex> clk(results_[1].mu);
-        results_[1].kappa = truss_maintainer->TrussNumbersInIndexOrder();
+        if (truss_maintainer != nullptr) {
+          results_[1].kappa = truss_maintainer->TrussNumbersInIndexOrder();
+        }
+        results_[1].hierarchy.reset();
       }
       eidx = nullptr;  // invalidated
       etc = nullptr;
@@ -872,6 +988,13 @@ void NucleusSession::PropagateDelta(
       edge_triangle_csr_.Reset();
       nucleus34_.Reset();
       BumpStat(&SessionStats::compactions);
+      {
+        std::lock_guard<std::mutex> clk(results_[2].mu);
+        if (n34_maintainer != nullptr) {
+          results_[2].kappa = n34_maintainer->Nucleus34NumbersInIndexOrder();
+        }
+        results_[2].hierarchy.reset();
+      }
       tidx = nullptr;
     }
   }

@@ -29,13 +29,21 @@
 // enumerated from the delta's neighborhoods only and applied as patches to
 // TriangleIndex, EdgeTriangleCsr, and the CSR co-member arenas — and the
 // kappa caches are re-seeded from the exact dynamic maintainers
-// (DynamicCoreMaintainer for (1,2), DynamicTrussMaintainer for (2,3)), so
-// after a small commit the next Decompose of either kind is a cache hit
-// with ZERO rebuilds. Patched indices keep tombstoned ids addressable
-// (kappa vectors are indexed by the id space, dead ids pinned at 0; see
+// (DynamicCoreMaintainer for (1,2), DynamicTrussMaintainer for (2,3),
+// DynamicNucleus34Maintainer for (3,4)), so after a small commit the next
+// Decompose of ANY kind is a cache hit with ZERO rebuilds. Cached
+// hierarchies are repaired in place too (RepairHierarchy re-links only the
+// levels the delta touched, splicing the untouched top of the forest; the
+// result is bitwise-equal to a full rebuild and counted in
+// SessionStats::hierarchy_repairs) whenever the space's maintainer ran
+// this commit — otherwise they drop and the next Hierarchy() rebuilds.
+// Patched indices keep tombstoned ids addressable (kappa vectors are
+// indexed by the id space, dead ids pinned at 0; see
 // EdgeIndex::NumLiveEdges); once the tombstone fraction of an id space
 // crosses kDeadFractionForCompaction the commit compacts that layer
-// (counted in SessionStats::compactions).
+// (counted in SessionStats::compactions), re-exporting the (2,3)/(3,4)
+// kappa seeds in the fresh index order so maintainer state survives the id
+// re-densify.
 //
 // Error handling: the session boundary never throws on malformed input —
 // every entry point returns Status / StatusOr (see common/status.h).
@@ -78,6 +86,7 @@
 #include "src/graph/graph.h"
 #include "src/local/and.h"
 #include "src/local/dynamic.h"
+#include "src/local/dynamic_nucleus34.h"
 #include "src/local/dynamic_truss.h"
 #include "src/local/options.h"
 #include "src/local/query.h"
@@ -195,6 +204,12 @@ struct SessionStats {
   /// Commits that re-seeded the (2,3) kappa cache from the batch's
   /// DynamicTrussMaintainer.
   int truss_kappa_seeds = 0;
+  /// Commits that re-seeded the (3,4) kappa cache from the batch's
+  /// DynamicNucleus34Maintainer.
+  int nucleus34_kappa_seeds = 0;
+  /// Cached hierarchies repaired in place by a commit (localized level
+  /// re-sweep instead of a full rebuild; one count per repaired kind).
+  int hierarchy_repairs = 0;
 };
 
 class NucleusSession {
@@ -269,6 +284,7 @@ class NucleusSession {
         : session_(other.session_),
           maintainer_(std::move(other.maintainer_)),
           truss_maintainer_(std::move(other.truss_maintainer_)),
+          n34_maintainer_(std::move(other.n34_maintainer_)),
           net_(std::move(other.net_)),
           epoch_(other.epoch_),
           mutations_(other.mutations_),
@@ -297,6 +313,16 @@ class NucleusSession {
       return truss_maintainer_ ? truss_maintainer_->TrussNumberOf(u, v)
                                : kInvalidClique;
     }
+    /// True when the batch also repairs (3,4)-nucleus numbers (the session
+    /// had exact (3,4) kappa cached when BeginUpdates ran); Commit then
+    /// re-seeds the (3,4) kappa cache.
+    bool MaintainsNucleus34() const { return n34_maintainer_.has_value(); }
+    /// Exact kappa_4 of triangle {u, v, w} in the batch's working graph,
+    /// or kInvalidClique when absent / not maintaining (3,4).
+    Degree Nucleus34NumberOf(VertexId u, VertexId v, VertexId w) const {
+      return n34_maintainer_ ? n34_maintainer_->Nucleus34NumberOf(u, v, w)
+                             : kInvalidClique;
+    }
     /// Vertices recomputed by the last mutation (locality measure).
     std::size_t LastRepairWork() const {
       return maintainer_.LastRepairWork();
@@ -305,6 +331,11 @@ class NucleusSession {
     /// maintaining truss).
     std::size_t LastTrussRepairWork() const {
       return truss_maintainer_ ? truss_maintainer_->LastRepairWork() : 0;
+    }
+    /// Triangles recomputed by the last mutation's (3,4) repair (0 when
+    /// not maintaining (3,4)).
+    std::size_t LastNucleus34RepairWork() const {
+      return n34_maintainer_ ? n34_maintainer_->LastRepairWork() : 0;
     }
     /// Mutations applied so far (insertions + removals that took effect).
     std::size_t NumMutations() const { return mutations_; }
@@ -321,10 +352,12 @@ class NucleusSession {
     friend class NucleusSession;
     UpdateBatch(NucleusSession* session, DynamicCoreMaintainer maintainer,
                 std::optional<DynamicTrussMaintainer> truss_maintainer,
+                std::optional<DynamicNucleus34Maintainer> n34_maintainer,
                 std::uint64_t epoch)
         : session_(session),
           maintainer_(std::move(maintainer)),
           truss_maintainer_(std::move(truss_maintainer)),
+          n34_maintainer_(std::move(n34_maintainer)),
           epoch_(epoch) {}
 
     // Normalized endpoint-pair key for net_ (same encoding as
@@ -340,6 +373,7 @@ class NucleusSession {
     NucleusSession* session_ = nullptr;
     DynamicCoreMaintainer maintainer_;
     std::optional<DynamicTrussMaintainer> truss_maintainer_;
+    std::optional<DynamicNucleus34Maintainer> n34_maintainer_;
     std::unordered_map<std::uint64_t, bool> net_;  // key -> inserted
     std::uint64_t epoch_ = 0;  // graph epoch this batch branched from
     std::size_t mutations_ = 0;
@@ -348,9 +382,9 @@ class NucleusSession {
 
   /// Starts a mutation batch from the current graph. Seeds the core
   /// maintainer with the cached exact core numbers when available
-  /// (skipping its internal decomposition), and attaches a truss
-  /// maintainer when exact (2,3) kappa is cached (so the commit can
-  /// re-seed it instead of invalidating).
+  /// (skipping its internal decomposition), and attaches a truss / (3,4)
+  /// maintainer when the exact (2,3) / (3,4) kappa is cached (so the
+  /// commit can re-seed those caches instead of invalidating).
   UpdateBatch BeginUpdates();
 
   // Lazily built, cached, shared index surface. References stay valid
@@ -460,8 +494,10 @@ class NucleusSession {
 
   Status CommitUpdates(UpdateBatch* batch);
   // The delta-propagation pipeline (caller holds session_mu_ exclusively).
+  // Reads the batch's maintainers for the new kappa seeds and hierarchy
+  // repairs; `new_graph` is the maintainer-materialized post-delta graph.
   void PropagateDelta(const EdgeDelta& delta, Graph&& new_graph,
-                      const DynamicTrussMaintainer* truss_maintainer);
+                      const UpdateBatch& batch);
   void ResetDerivedState();
   void BumpStat(int SessionStats::* field);
 

@@ -1,0 +1,105 @@
+// Incremental (3,4)-nucleus maintenance under edge insertions/deletions,
+// completing the maintainer family (DynamicCoreMaintainer for (1,2),
+// DynamicTrussMaintainer for (2,3)). Same recipe: after a mutation,
+// rebuild a certified upper bound of the new kappa_4 values, then run the
+// local h-index repair to the fixed point.
+//
+// Upper-bound construction for insertion of e0 = {u,v}: a 4-clique born by
+// the insert must contain e0, so an EXISTING triangle T gains at most one
+// 4-clique (T plus the one endpoint of e0 it misses) and its kappa_4 rises
+// by at most 1. A riser with old kappa m must lie in the new (m+1)-nucleus,
+// which necessarily contains a BORN triangle (otherwise it existed before
+// the insert) and is S-connected through triangles of kappa >= m. We
+// therefore run a per-level multi-source 4-clique-BFS from the born
+// triangles for every level m below the largest born-triangle d_4, bumping
+// the reached kappa == m triangles to min(m+1, d_4). Born triangles start
+// at their d_4 count. Deletion needs no theorem: old values are upper
+// bounds, clamped by the repair. Exactness of the repaired values follows
+// from the fixed-point sandwich (see dynamic.h) and is asserted against
+// full recomputation in dynamic_nucleus34_test.cc over hundreds of random
+// mutations.
+#ifndef NUCLEUS_LOCAL_DYNAMIC_NUCLEUS34_H_
+#define NUCLEUS_LOCAL_DYNAMIC_NUCLEUS34_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/graph/graph.h"
+
+namespace nucleus {
+
+class TriangleIndex;
+
+/// Maintains exact (3,4)-nucleus numbers (kappa_4 per triangle) of a
+/// mutable simple graph. Triangles are keyed by their sorted vertex triple
+/// (stable across mutations, unlike dense TriangleIndex ids).
+class DynamicNucleus34Maintainer {
+ public:
+  explicit DynamicNucleus34Maintainer(const Graph& g);
+  explicit DynamicNucleus34Maintainer(std::size_t n);
+
+  /// Starts from an existing graph whose exact kappa_4 values are already
+  /// known (e.g. the session's kappa cache), skipping the internal
+  /// decomposition. kappa is indexed by `tris` ids (tombstoned ids of a
+  /// patched index are ignored). Precondition: kappa.size() ==
+  /// tris.NumTriangles(), the live triangles of `tris` are exactly the
+  /// triangles of g, and the values are the exact kappa_4 of g.
+  DynamicNucleus34Maintainer(const Graph& g, const TriangleIndex& tris,
+                             std::span<const Degree> kappa);
+
+  /// Inserts {u, v}; false if present or invalid. Repairs kappa_4.
+  bool InsertEdge(VertexId u, VertexId v);
+
+  /// Removes {u, v}; false if absent.
+  bool RemoveEdge(VertexId u, VertexId v);
+
+  /// kappa_4 of triangle {u, v, w} (any order); kInvalidClique if absent.
+  Degree Nucleus34NumberOf(VertexId u, VertexId v, VertexId w) const;
+
+  std::size_t NumVertices() const { return adj_.size(); }
+  std::size_t NumEdges() const { return num_edges_; }
+  std::size_t NumTriangles() const { return kappa_.size(); }
+
+  /// Triangles recomputed during the last mutation (work measure).
+  std::size_t LastRepairWork() const { return last_repair_work_; }
+
+  /// Materializes the current graph (for testing / interop).
+  Graph ToGraph() const;
+
+  /// kappa_4 in TriangleIndex id order of ToGraph(): a fresh index
+  /// assigns lexicographic triple order, which is exactly how this
+  /// exports. The session's compaction path re-seeds its (3,4) cache
+  /// from this.
+  std::vector<Degree> Nucleus34NumbersInIndexOrder() const;
+
+ private:
+  using Triple = std::array<VertexId, 3>;
+  struct TripleHash {
+    std::size_t operator()(const Triple& t) const {
+      std::uint64_t h = t[0];
+      h = h * 0x9e3779b97f4a7c15ULL ^ t[1];
+      h = h * 0x9e3779b97f4a7c15ULL ^ t[2];
+      return static_cast<std::size_t>(h ^ (h >> 32));
+    }
+  };
+  static Triple Sorted(VertexId a, VertexId b, VertexId c);
+  bool HasEdgeInternal(VertexId u, VertexId v) const;
+  // Number of 4-cliques containing the (present) triangle {a, b, c}.
+  Degree QuadCount(VertexId a, VertexId b, VertexId c) const;
+  // Worklist repair; seeds are triples whose inputs changed. kappa_ must
+  // hold a valid upper bound on entry.
+  void Repair(std::vector<Triple> seeds);
+
+  std::vector<std::vector<VertexId>> adj_;
+  std::unordered_map<Triple, Degree, TripleHash> kappa_;
+  std::size_t num_edges_ = 0;
+  std::size_t last_repair_work_ = 0;
+};
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_LOCAL_DYNAMIC_NUCLEUS34_H_

@@ -38,6 +38,15 @@ template NucleusHierarchy BuildHierarchy<TrussSpace>(const TrussSpace&,
                                                      const PeelResult&);
 template NucleusHierarchy BuildHierarchy<Nucleus34Space>(
     const Nucleus34Space&, const PeelResult&);
+template NucleusHierarchy RepairHierarchy<CoreSpace>(
+    const CoreSpace&, const NucleusHierarchy&, const std::vector<Degree>&,
+    std::span<const std::uint8_t>, Degree);
+template NucleusHierarchy RepairHierarchy<TrussSpace>(
+    const TrussSpace&, const NucleusHierarchy&, const std::vector<Degree>&,
+    std::span<const std::uint8_t>, Degree);
+template NucleusHierarchy RepairHierarchy<Nucleus34Space>(
+    const Nucleus34Space&, const NucleusHierarchy&,
+    const std::vector<Degree>&, std::span<const std::uint8_t>, Degree);
 
 NucleusHierarchy BuildCoreHierarchy(const Graph& g,
                                     const std::vector<Degree>& kappa) {

@@ -59,9 +59,32 @@ NucleusHierarchy BuildHierarchy(const Space& space,
 /// Builds the hierarchy straight from a peel run's level partition
 /// (PeelResult::levels / order), skipping the kappa re-bucketing pass.
 /// The engine already excluded tombstoned ids from the partition, so no
-/// separate liveness span is needed.
+/// separate liveness span is needed. Level segments are canonicalized to
+/// ascending id order first, so the result is bitwise-identical to the
+/// kappa overload whatever peel strategy produced the partition.
 template <typename Space>
 NucleusHierarchy BuildHierarchy(const Space& space, const PeelResult& peel);
+
+/// Localized hierarchy repair after a graph delta: splices the nodes of
+/// `old_hierarchy` whose k exceeds `max_touched_level` (their levels are
+/// untouched by the delta) onto a union-find sweep resumed over the
+/// repaired levels only, producing a forest bitwise-identical to
+/// BuildHierarchy(space, kappa, live) at a cost proportional to the
+/// touched levels. Preconditions: `old_hierarchy` was built by any
+/// BuildHierarchy path (they are all canonical) against the pre-delta
+/// space; `kappa`/`live` describe the post-delta space; and
+/// `max_touched_level` is >= every level the delta touched — for every id
+/// whose kappa changed max(old, new), for every born id its new kappa,
+/// for every dead id its old kappa, and (for spaces whose r-cliques never
+/// die, i.e. the core space) the min-member level of every dead/born
+/// s-clique. Ids above that level keep their kappa, liveness, and alive
+/// s-cliques, which is what makes the kept prefix exact.
+template <typename Space>
+NucleusHierarchy RepairHierarchy(const Space& space,
+                                 const NucleusHierarchy& old_hierarchy,
+                                 const std::vector<Degree>& kappa,
+                                 std::span<const std::uint8_t> live,
+                                 Degree max_touched_level);
 
 // Explicitly instantiated wrappers.
 NucleusHierarchy BuildCoreHierarchy(const Graph& g,

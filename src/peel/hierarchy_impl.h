@@ -1,5 +1,6 @@
-// BuildHierarchy template definitions; include to instantiate for clique
-// spaces beyond the canonical three (see core/generic_rs.cc).
+// BuildHierarchy / RepairHierarchy template definitions; include to
+// instantiate for clique spaces beyond the canonical three (see
+// core/generic_rs.cc).
 //
 // The construction consumes a LEVEL PARTITION — the r-cliques grouped by
 // kappa, visited from the densest level down. The peel engine emits that
@@ -7,10 +8,21 @@
 // with zero re-bucketing; the kappa-vector overload (used when kappa comes
 // from a cache or a converged local run) derives the partition in one
 // counting pass first.
+//
+// CANONICAL FORM: every construction path feeds each level's members in
+// ascending id order (the kappa overload buckets ids ascending; the
+// PeelResult overload sorts each level segment first). The union-find
+// sweep's output depends only on that order — DSU representative choices
+// never leak into the node array — so hierarchies of the same (space,
+// kappa, liveness) are bitwise-identical however they were built. That is
+// what lets RepairHierarchy splice a kept node prefix onto a resumed
+// sweep and still match a full rebuild exactly.
 #ifndef NUCLEUS_PEEL_HIERARCHY_IMPL_H_
 #define NUCLEUS_PEEL_HIERARCHY_IMPL_H_
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <span>
 #include <unordered_map>
 #include <utility>
@@ -24,27 +36,34 @@ namespace nucleus {
 
 namespace internal {
 
-/// Shared union-find sweep. `levels_desc` lists (k, members-with-that-k)
-/// in strictly DESCENDING k; members must be live ids only, and their
-/// union over all levels is the live id set. `n` is the id-space size.
+/// Mutable state of the union-find sweep between levels; RepairHierarchy
+/// reconstructs this checkpoint from a kept node prefix instead of
+/// replaying the levels above it.
+struct HierarchySweepState {
+  DisjointSet dsu;
+  /// active[r]: r has been introduced (kappa >= the levels processed).
+  std::vector<bool> active;
+  /// node_of_root[x]: hierarchy node currently topping the component whose
+  /// DSU representative is x; -1 if the component is new this level.
+  std::vector<int> node_of_root;
+
+  explicit HierarchySweepState(std::size_t n)
+      : dsu(n), active(n, false), node_of_root(n, -1) {}
+};
+
+/// Runs the union-find sweep over `levels_desc` — (k, members-with-that-k)
+/// in strictly DESCENDING k, live ids only, each level's members in
+/// ascending id order (see the canonical-form comment above) — appending
+/// nodes to h->nodes and updating the sweep state in place. Levels already
+/// reflected in `state` must not reappear here.
 template <typename Space>
-NucleusHierarchy BuildHierarchyFromLevels(
-    const Space& space, std::size_t n,
+void RunHierarchySweep(
+    const Space& space, NucleusHierarchy* h, HierarchySweepState* state,
     std::span<const std::pair<Degree, std::span<const CliqueId>>>
         levels_desc) {
-  NucleusHierarchy h;
-  h.node_of_clique.assign(n, -1);
-  if (n == 0) return h;
-
-  DisjointSet dsu(n);
-  std::vector<bool> active(n, false);
-  // node_of_root[x]: hierarchy node currently topping the component whose
-  // DSU representative is x; -1 if the component is new this level.
-  std::vector<int> node_of_root(n, -1);
-
   for (const auto& [level, newly] : levels_desc) {
     if (newly.empty()) continue;
-    for (CliqueId r : newly) active[r] = true;
+    for (CliqueId r : newly) state->active[r] = true;
 
     // Union step: an s-clique is alive at this level iff all of its
     // r-cliques are active (kappa >= level). Every s-clique that first
@@ -53,9 +72,9 @@ NucleusHierarchy BuildHierarchyFromLevels(
     // that get merged so they become children of the new node.
     std::unordered_map<CliqueId, std::vector<int>> pending_children;
     auto absorb = [&](CliqueId root, std::vector<int>* out) {
-      if (node_of_root[root] != -1) {
-        out->push_back(node_of_root[root]);
-        node_of_root[root] = -1;
+      if (state->node_of_root[root] != -1) {
+        out->push_back(state->node_of_root[root]);
+        state->node_of_root[root] = -1;
       }
       auto it = pending_children.find(root);
       if (it != pending_children.end()) {
@@ -66,16 +85,16 @@ NucleusHierarchy BuildHierarchyFromLevels(
     for (CliqueId r : newly) {
       space.ForEachSClique(r, [&](std::span<const CliqueId> co) {
         for (CliqueId c : co) {
-          if (!active[c]) return;  // s-clique not alive yet
+          if (!state->active[c]) return;  // s-clique not alive yet
         }
         for (CliqueId c : co) {
-          const CliqueId ra = dsu.Find(r);
-          const CliqueId rb = dsu.Find(c);
+          const CliqueId ra = state->dsu.Find(r);
+          const CliqueId rb = state->dsu.Find(c);
           if (ra == rb) continue;
           std::vector<int> children;
           absorb(ra, &children);
           absorb(rb, &children);
-          const CliqueId merged = dsu.Union(ra, rb);
+          const CliqueId merged = state->dsu.Union(ra, rb);
           if (!children.empty()) {
             auto& vec = pending_children[merged];
             vec.insert(vec.end(), children.begin(), children.end());
@@ -88,12 +107,12 @@ NucleusHierarchy BuildHierarchyFromLevels(
     // member of `newly`.
     std::unordered_map<CliqueId, int> node_for;
     for (CliqueId r : newly) {
-      const CliqueId root = dsu.Find(r);
+      const CliqueId root = state->dsu.Find(r);
       auto [it, inserted] = node_for.try_emplace(root, -1);
       if (inserted) {
-        const int id = static_cast<int>(h.nodes.size());
-        h.nodes.emplace_back();
-        NucleusHierarchy::Node& node = h.nodes.back();
+        const int id = static_cast<int>(h->nodes.size());
+        h->nodes.emplace_back();
+        NucleusHierarchy::Node& node = h->nodes.back();
         node.k = level;
         std::vector<int> children;
         absorb(root, &children);
@@ -101,27 +120,74 @@ NucleusHierarchy BuildHierarchyFromLevels(
         children.erase(std::unique(children.begin(), children.end()),
                        children.end());
         node.children = std::move(children);
-        for (int c : node.children) h.nodes[c].parent = id;
-        node_of_root[root] = id;
+        for (int c : node.children) h->nodes[c].parent = id;
+        state->node_of_root[root] = id;
         it->second = id;
       }
-      h.nodes[it->second].new_members.push_back(r);
-      h.node_of_clique[r] = it->second;
+      h->nodes[it->second].new_members.push_back(r);
+      h->node_of_clique[r] = it->second;
     }
   }
+}
 
-  // Sizes: new members plus descendant sizes. Children are created at a
-  // higher level, hence earlier, so every child id < its parent id and one
-  // forward pass accumulates bottom-up.
-  for (auto& node : h.nodes) node.size = node.new_members.size();
-  for (std::size_t id = 0; id < h.nodes.size(); ++id) {
-    const int p = h.nodes[id].parent;
-    if (p >= 0) h.nodes[p].size += h.nodes[id].size;
+/// Sizes and roots, recomputed from scratch (safe on a repaired forest
+/// whose kept prefix carries stale sizes). Children are created at a
+/// higher level, hence earlier, so every child id < its parent id and one
+/// forward pass accumulates bottom-up.
+inline void FinalizeHierarchy(NucleusHierarchy* h) {
+  h->roots.clear();
+  for (auto& node : h->nodes) node.size = node.new_members.size();
+  for (std::size_t id = 0; id < h->nodes.size(); ++id) {
+    const int p = h->nodes[id].parent;
+    if (p >= 0) h->nodes[p].size += h->nodes[id].size;
   }
-  for (std::size_t id = 0; id < h.nodes.size(); ++id) {
-    if (h.nodes[id].parent == -1) h.roots.push_back(static_cast<int>(id));
+  for (std::size_t id = 0; id < h->nodes.size(); ++id) {
+    if (h->nodes[id].parent == -1) h->roots.push_back(static_cast<int>(id));
   }
+}
+
+/// Shared union-find sweep over a full level partition (fresh build).
+template <typename Space>
+NucleusHierarchy BuildHierarchyFromLevels(
+    const Space& space, std::size_t n,
+    std::span<const std::pair<Degree, std::span<const CliqueId>>>
+        levels_desc) {
+  NucleusHierarchy h;
+  h.node_of_clique.assign(n, -1);
+  if (n == 0) return h;
+  HierarchySweepState state(n);
+  RunHierarchySweep(space, &h, &state, levels_desc);
+  FinalizeHierarchy(&h);
   return h;
+}
+
+/// Bucket live ids (ascending) by kappa and list the non-empty levels
+/// densest-first. `max_level` bounds which ids participate (only kappa <=
+/// max_level; pass the max Degree for all). Storage for the buckets lives
+/// in *by_level (kept alive by the caller while the spans are used).
+inline std::vector<std::pair<Degree, std::span<const CliqueId>>>
+LevelsDescFromKappa(const std::vector<Degree>& kappa,
+                    std::span<const std::uint8_t> live, Degree max_level,
+                    std::vector<std::vector<CliqueId>>* by_level) {
+  const std::size_t n = kappa.size();
+  const auto is_live = [&](CliqueId r) { return live.empty() || live[r]; };
+  Degree kmax = 0;
+  for (CliqueId r = 0; r < n; ++r) {
+    if (is_live(r) && kappa[r] <= max_level) kmax = std::max(kmax, kappa[r]);
+  }
+  by_level->assign(static_cast<std::size_t>(kmax) + 1, {});
+  for (CliqueId r = 0; r < n; ++r) {
+    if (is_live(r) && kappa[r] <= max_level) (*by_level)[kappa[r]].push_back(r);
+  }
+  std::vector<std::pair<Degree, std::span<const CliqueId>>> levels_desc;
+  levels_desc.reserve(by_level->size());
+  for (Degree level = kmax + 1; level-- > 0;) {
+    if (!(*by_level)[level].empty()) {
+      levels_desc.emplace_back(
+          level, std::span<const CliqueId>((*by_level)[level]));
+    }
+  }
+  return levels_desc;
 }
 
 }  // namespace internal
@@ -135,40 +201,102 @@ NucleusHierarchy BuildHierarchy(const Space& space,
 
   // Derive the level partition from kappa (live ids only, largest level
   // first), then run the shared sweep.
-  const auto is_live = [&](CliqueId r) { return live.empty() || live[r]; };
-  Degree kmax = 0;
-  for (CliqueId r = 0; r < n; ++r) {
-    if (is_live(r)) kmax = std::max(kmax, kappa[r]);
-  }
-  std::vector<std::vector<CliqueId>> by_level(kmax + 1);
-  for (CliqueId r = 0; r < n; ++r) {
-    if (is_live(r)) by_level[kappa[r]].push_back(r);
-  }
-  std::vector<std::pair<Degree, std::span<const CliqueId>>> levels_desc;
-  levels_desc.reserve(by_level.size());
-  for (Degree level = kmax + 1; level-- > 0;) {
-    if (!by_level[level].empty()) {
-      levels_desc.emplace_back(level, std::span<const CliqueId>(
-                                          by_level[level]));
-    }
-  }
+  std::vector<std::vector<CliqueId>> by_level;
+  const auto levels_desc = internal::LevelsDescFromKappa(
+      kappa, live, std::numeric_limits<Degree>::max(), &by_level);
   return internal::BuildHierarchyFromLevels(space, n, levels_desc);
 }
 
 template <typename Space>
 NucleusHierarchy BuildHierarchy(const Space& space, const PeelResult& peel) {
   // The peel engine already partitioned the live ids into equal-kappa
-  // segments of `order` (ascending); feed them to the sweep densest-first.
+  // segments of `order` (ascending kappa); sort each segment so the sweep
+  // sees the canonical ascending-id member order whatever strategy peeled
+  // (the sequential bucket queue emits extraction order within levels).
+  std::vector<CliqueId> order = peel.order;
+  for (const PeelLevel& level : peel.levels) {
+    std::sort(order.begin() + static_cast<std::ptrdiff_t>(level.begin),
+              order.begin() + static_cast<std::ptrdiff_t>(level.end));
+  }
   std::vector<std::pair<Degree, std::span<const CliqueId>>> levels_desc;
   levels_desc.reserve(peel.levels.size());
   for (std::size_t i = peel.levels.size(); i-- > 0;) {
     const PeelLevel& level = peel.levels[i];
     levels_desc.emplace_back(
-        level.k, std::span<const CliqueId>(peel.order.data() + level.begin,
+        level.k, std::span<const CliqueId>(order.data() + level.begin,
                                            level.end - level.begin));
   }
   return internal::BuildHierarchyFromLevels(space, space.NumRCliques(),
                                             levels_desc);
+}
+
+template <typename Space>
+NucleusHierarchy RepairHierarchy(const Space& space,
+                                 const NucleusHierarchy& old_hierarchy,
+                                 const std::vector<Degree>& kappa,
+                                 std::span<const std::uint8_t> live,
+                                 Degree max_touched_level) {
+  const std::size_t n = space.NumRCliques();
+  NucleusHierarchy h;
+  h.node_of_clique.assign(n, -1);
+  if (n == 0) return h;
+
+  // Keep the untouched top of the forest: nodes are created densest level
+  // first, so node.k is non-increasing in node id and the nodes with
+  // k > max_touched_level are exactly a prefix. Their levels' member sets,
+  // kappa values, and alive s-cliques are unchanged by the delta (that is
+  // what max_touched_level certifies), so a full rebuild would recreate
+  // this prefix bit for bit.
+  std::size_t prefix = 0;
+  while (prefix < old_hierarchy.nodes.size() &&
+         old_hierarchy.nodes[prefix].k > max_touched_level) {
+    ++prefix;
+  }
+  h.nodes.assign(old_hierarchy.nodes.begin(),
+                 old_hierarchy.nodes.begin() + prefix);
+
+  // Reconstruct the sweep checkpoint the full build would reach after the
+  // kept levels: per-node subtree tops (parents outside the prefix were
+  // created at repaired levels and are re-linked by the resumed sweep),
+  // then actives, the DSU components, and the component -> top-node map.
+  internal::HierarchySweepState state(n);
+  std::vector<int> top(prefix);
+  for (std::size_t i = prefix; i-- > 0;) {
+    const int p = h.nodes[i].parent;  // parent id > child id: already set
+    if (p < 0 || static_cast<std::size_t>(p) >= prefix) {
+      h.nodes[i].parent = -1;
+      top[i] = static_cast<int>(i);
+    } else {
+      top[i] = top[p];
+    }
+  }
+  std::vector<CliqueId> anchor(prefix, kInvalidClique);
+  for (std::size_t i = 0; i < prefix; ++i) {
+    const std::size_t t = static_cast<std::size_t>(top[i]);
+    for (CliqueId r : h.nodes[i].new_members) {
+      state.active[r] = true;
+      h.node_of_clique[r] = static_cast<int>(i);
+      if (anchor[t] == kInvalidClique) {
+        anchor[t] = r;
+      } else {
+        state.dsu.Union(anchor[t], r);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < prefix; ++i) {
+    // Every node has >= 1 new member, so every top has an anchor.
+    if (top[i] == static_cast<int>(i)) {
+      state.node_of_root[state.dsu.Find(anchor[i])] = static_cast<int>(i);
+    }
+  }
+
+  // Resume the sweep over the repaired levels from the new kappa.
+  std::vector<std::vector<CliqueId>> by_level;
+  const auto levels_desc = internal::LevelsDescFromKappa(
+      kappa, live, max_touched_level, &by_level);
+  internal::RunHierarchySweep(space, &h, &state, levels_desc);
+  internal::FinalizeHierarchy(&h);
+  return h;
 }
 
 }  // namespace nucleus

@@ -247,8 +247,33 @@ TEST(PeelEngine, PatchedSpaceSkipsDeadIds) {
   }
 }
 
-// Hierarchy built from the engine's level partition equals the one built
-// from the kappa vector.
+// Fieldwise bitwise equality of two hierarchies: node numbering, member
+// ORDER, roots, and the clique->node map must all agree exactly. This is
+// the contract every BuildHierarchy path (kappa, sequential peel levels,
+// parallel peel levels) and RepairHierarchy promises.
+void ExpectHierarchiesBitwiseEqual(const NucleusHierarchy& got,
+                                   const NucleusHierarchy& want,
+                                   const std::string& what) {
+  ASSERT_EQ(got.nodes.size(), want.nodes.size()) << what;
+  for (std::size_t i = 0; i < want.nodes.size(); ++i) {
+    EXPECT_EQ(got.nodes[i].k, want.nodes[i].k) << what << " node " << i;
+    EXPECT_EQ(got.nodes[i].parent, want.nodes[i].parent)
+        << what << " node " << i;
+    EXPECT_EQ(got.nodes[i].children, want.nodes[i].children)
+        << what << " node " << i;
+    EXPECT_EQ(got.nodes[i].new_members, want.nodes[i].new_members)
+        << what << " node " << i;
+    EXPECT_EQ(got.nodes[i].size, want.nodes[i].size)
+        << what << " node " << i;
+  }
+  EXPECT_EQ(got.roots, want.roots) << what;
+  EXPECT_EQ(got.node_of_clique, want.node_of_clique) << what;
+}
+
+// Hierarchy built from the engine's level partition is BITWISE equal to
+// the one built from the kappa vector — the PeelResult path canonicalizes
+// level segments to ascending id order first, so even member order and
+// node numbering agree, whichever strategy produced the partition.
 TEST(PeelEngine, HierarchyFromLevelsMatchesKappaPath) {
   const Graph g = GeneratePlantedPartition(3, 15, 0.6, 0.04, 13);
   const EdgeIndex edges(g);
@@ -259,18 +284,113 @@ TEST(PeelEngine, HierarchyFromLevelsMatchesKappaPath) {
   const PeelResult peel = PeelDecomposition(space, par);
   const NucleusHierarchy from_levels = BuildHierarchy(space, peel);
   const NucleusHierarchy from_kappa = BuildHierarchy(space, peel.kappa);
-  ASSERT_EQ(from_levels.nodes.size(), from_kappa.nodes.size());
-  EXPECT_EQ(from_levels.roots, from_kappa.roots);
-  EXPECT_EQ(from_levels.node_of_clique, from_kappa.node_of_clique);
-  for (std::size_t i = 0; i < from_levels.nodes.size(); ++i) {
-    EXPECT_EQ(from_levels.nodes[i].k, from_kappa.nodes[i].k);
-    EXPECT_EQ(from_levels.nodes[i].parent, from_kappa.nodes[i].parent);
-    EXPECT_EQ(from_levels.nodes[i].size, from_kappa.nodes[i].size);
-    std::vector<CliqueId> a = from_levels.nodes[i].new_members;
-    std::vector<CliqueId> b = from_kappa.nodes[i].new_members;
-    std::sort(a.begin(), a.end());
-    std::sort(b.begin(), b.end());
-    EXPECT_EQ(a, b);
+  ExpectHierarchiesBitwiseEqual(from_levels, from_kappa, "truss/parallel");
+}
+
+// Satellite: the canonical-form guarantee across all three spaces and both
+// peel strategies — every build path lands on the identical forest.
+TEST(PeelEngine, HierarchyCanonicalAcrossSpacesAndStrategies) {
+  const Graph g = GeneratePlantedPartition(3, 13, 0.6, 0.06, 31);
+  const EdgeIndex edges(g);
+  const TriangleIndex tris(g);
+
+  const auto check = [&](const auto& space, const std::string& name) {
+    PeelOptions seq;
+    seq.strategy = PeelStrategy::kSequential;
+    PeelOptions par;
+    par.strategy = PeelStrategy::kParallel;
+    par.threads = 4;
+    const PeelResult a = PeelDecomposition(space, seq);
+    const PeelResult b = PeelDecomposition(space, par);
+    const NucleusHierarchy want =
+        BuildHierarchy(space, a.kappa, internal::SpaceLiveFlags(space));
+    ExpectHierarchiesBitwiseEqual(BuildHierarchy(space, a), want,
+                                  name + "/seq-levels");
+    ExpectHierarchiesBitwiseEqual(BuildHierarchy(space, b), want,
+                                  name + "/par-levels");
+  };
+  check(CoreSpace(g), "core");
+  check(TrussSpace(g, edges), "truss");
+  check(Nucleus34Space(g, tris), "n34");
+}
+
+// Satellite: RepairHierarchy with unchanged kappa is an identity — the
+// spliced prefix plus the resumed sweep reproduce the full rebuild
+// bitwise for every touched-level cut, across all three spaces.
+TEST(PeelEngine, RepairHierarchyIdentityMatchesFullRebuild) {
+  const Graph g = GeneratePlantedPartition(3, 12, 0.65, 0.06, 37);
+  const EdgeIndex edges(g);
+  const TriangleIndex tris(g);
+
+  const auto check = [&](const auto& space, const std::string& name) {
+    const PeelResult peel = PeelDecomposition(space, PeelOptions{});
+    const auto live = internal::SpaceLiveFlags(space);
+    const NucleusHierarchy full = BuildHierarchy(space, peel.kappa, live);
+    Degree kmax = 0;
+    for (Degree k : peel.kappa) kmax = std::max(kmax, k);
+    for (Degree level : {Degree{0}, kmax / 2, kmax, kmax + 3}) {
+      const NucleusHierarchy repaired =
+          RepairHierarchy(space, full, peel.kappa, live, level);
+      ExpectHierarchiesBitwiseEqual(
+          repaired, full, name + "/L=" + std::to_string(level));
+    }
+  };
+  check(CoreSpace(g), "core");
+  check(TrussSpace(g, edges), "truss");
+  check(Nucleus34Space(g, tris), "n34");
+}
+
+// Satellite: a genuine-delta repair over a PATCHED space. The old
+// hierarchy was built pre-delta; after tombstoning edges the repair at
+// the touched level (max over changed ids of max(old, new) kappa, and the
+// old kappa of every dead id) must reproduce the post-delta full rebuild
+// bitwise — for both peel strategies of the oracle.
+TEST(PeelEngine, RepairHierarchyAfterDeltaMatchesFullRebuild) {
+  const Graph g = GeneratePlantedPartition(3, 12, 0.7, 0.08, 41);
+  EdgeIndex edges(g);
+  const TrussSpace space0(g, edges);
+  const PeelResult peel0 = PeelDecomposition(space0, PeelOptions{});
+  const NucleusHierarchy h0 = BuildHierarchy(space0, peel0.kappa);
+
+  // Remove a handful of edges, patching the id space in place.
+  std::vector<std::pair<VertexId, VertexId>> removed;
+  for (EdgeId e = 0; removed.size() < 5 && e < edges.NumEdges(); e += 9) {
+    removed.push_back(edges.Endpoints(e));
+  }
+  std::vector<std::pair<VertexId, VertexId>> remaining;
+  for (EdgeId e = 0; e < edges.NumEdges(); ++e) {
+    if (std::find(removed.begin(), removed.end(), edges.Endpoints(e)) ==
+        removed.end()) {
+      remaining.push_back(edges.Endpoints(e));
+    }
+  }
+  const Graph mutated = BuildGraphFromEdges(g.NumVertices(), remaining);
+  edges.ApplyDelta(removed, {});
+
+  const TrussSpace space1(mutated, edges);
+  const auto live = space1.LiveRFlags();
+  for (PeelStrategy s :
+       {PeelStrategy::kSequential, PeelStrategy::kParallel}) {
+    PeelOptions opt;
+    opt.strategy = s;
+    opt.threads = 4;
+    const PeelResult peel1 = PeelDecomposition(space1, opt);
+    Degree touched = 0;
+    for (EdgeId e = 0; e < edges.NumEdges(); ++e) {
+      const Degree oldk = peel0.kappa[e];
+      const Degree newk = peel1.kappa[e];
+      if (!edges.IsLive(e)) {
+        touched = std::max(touched, oldk);
+      } else if (oldk != newk) {
+        touched = std::max(touched, std::max(oldk, newk));
+      }
+    }
+    const NucleusHierarchy full = BuildHierarchy(space1, peel1.kappa, live);
+    const NucleusHierarchy repaired =
+        RepairHierarchy(space1, h0, peel1.kappa, live, touched);
+    ExpectHierarchiesBitwiseEqual(
+        repaired, full, std::string("strategy=") +
+                            (s == PeelStrategy::kSequential ? "seq" : "par"));
   }
 }
 

@@ -668,6 +668,80 @@ TEST(Session, HeavyChurnTriggersCompaction) {
             PeelTruss(session.graph(), EdgeIndex(session.graph())).kappa);
 }
 
+TEST(Session, CommitAfterCompactionKeepsMaintainerSeeds) {
+  // Regression: a compacting commit re-densifies the edge AND triangle id
+  // spaces while the (2,3)/(3,4) kappa caches are live. The maintainers
+  // key state structurally (endpoint pairs / vertex triples), so the seeds
+  // must be re-exported in the fresh index order — and the NEXT commit
+  // must still maintain both kinds incrementally and produce exact values.
+  const Graph g = GenerateErdosRenyi(40, 350, 19);
+  NucleusSession session(g);
+  ASSERT_TRUE(session.Decompose(DecompositionKind::kTruss).ok());
+  ASSERT_TRUE(session.Decompose(DecompositionKind::kNucleus34).ok());
+  ASSERT_GT(session.Triangles().NumTriangles(), 2 * std::size_t{64});
+
+  // Commit 1: remove every other edge — far past the dead-fraction
+  // threshold for both the edge and the triangle layer.
+  {
+    auto batch = session.BeginUpdates();
+    ASSERT_TRUE(batch.MaintainsNucleus34());
+    const EdgeIndex pre(session.graph());
+    for (EdgeId e = 0; e < pre.NumEdges(); e += 2) {
+      const auto [u, v] = pre.Endpoints(e);
+      batch.RemoveEdge(u, v);
+    }
+    ASSERT_TRUE(batch.Commit().ok());
+  }
+  ASSERT_GE(session.stats().compactions, 1);
+  // Re-densified: no tombstones left in either id space.
+  EXPECT_EQ(session.Triangles().NumLiveTriangles(),
+            session.Triangles().NumTriangles());
+
+  // The re-exported seeds serve from cache and match a fresh peel
+  // bitwise (fresh ids are lexicographic again after compaction).
+  const auto n34 = session.Decompose(DecompositionKind::kNucleus34);
+  ASSERT_TRUE(n34.ok());
+  EXPECT_TRUE(n34->served_from_cache);
+  EXPECT_EQ(n34->kappa,
+            PeelNucleus34(session.graph(), TriangleIndex(session.graph()))
+                .kappa);
+
+  // Commit 2 — the regression proper: mutate again after the compaction.
+  {
+    auto batch = session.BeginUpdates();
+    ASSERT_TRUE(batch.MaintainsTruss());
+    ASSERT_TRUE(batch.MaintainsNucleus34());
+    ASSERT_TRUE(batch.InsertEdge(0, 1) || batch.RemoveEdge(0, 1));
+    ASSERT_TRUE(batch.InsertEdge(2, 3) || batch.RemoveEdge(2, 3));
+    ASSERT_TRUE(batch.Commit().ok());
+  }
+  const Graph& cur = session.graph();
+  const auto truss2 = session.Decompose(DecompositionKind::kTruss);
+  ASSERT_TRUE(truss2.ok());
+  EXPECT_TRUE(truss2->served_from_cache);
+  const EdgeIndex fresh_edges(cur);
+  const auto truss_ref = PeelTruss(cur, fresh_edges).kappa;
+  for (EdgeId e = 0; e < fresh_edges.NumEdges(); ++e) {
+    const auto [u, v] = fresh_edges.Endpoints(e);
+    ASSERT_EQ(truss2->kappa[session.Edges().EdgeIdOf(u, v)], truss_ref[e]);
+  }
+  const auto n34_2 = session.Decompose(DecompositionKind::kNucleus34);
+  ASSERT_TRUE(n34_2.ok());
+  EXPECT_TRUE(n34_2->served_from_cache);
+  const TriangleIndex fresh_tris(cur);
+  const auto n34_ref = PeelNucleus34(cur, fresh_tris).kappa;
+  for (TriangleId t = 0; t < fresh_tris.NumTriangles(); ++t) {
+    const auto& tri = fresh_tris.Vertices(t);
+    ASSERT_EQ(
+        n34_2->kappa[session.Triangles().TriangleIdOf(tri[0], tri[1],
+                                                      tri[2])],
+        n34_ref[t]);
+  }
+  // Hierarchies were dropped by the compaction (node members referenced
+  // the retired id space); a rebuild works over the compacted indices.
+  ASSERT_TRUE(session.Hierarchy(DecompositionKind::kNucleus34).ok());
+}
+
 TEST(Session, OverBudgetArenaFallsBackToOnTheFly) {
   const Graph g = GeneratePlantedPartition(3, 20, 0.5, 0.02, 37);
   NucleusSession session(g);
