@@ -10,14 +10,18 @@
 // measured against. NUCLEUS_BENCH_FAST=1 shrinks the graph for CI smoke
 // runs.
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "src/clique/csr_space.h"
+#include "src/common/cancel.h"
 #include "src/clique/spaces.h"
 #include "src/common/timer.h"
 #include "src/core/session.h"
@@ -443,6 +447,55 @@ int RunJson(const std::string& path) {
                 "%8.2f ms  rebuild %8.1f ms  speedup %.0fx  %s\n",
                 "planted-perf", "nucleus34", threads, churn_commits,
                 churn_inc_ms, churn_reb_ms, rec_cinc.speedup_vs_onthefly,
+                ok ? "ok" : "MISMATCH");
+  }
+
+  // cancel_latency record: how quickly a COLD (3,4) build at 8 threads
+  // unwinds once the caller fires its CancelToken — the responsiveness
+  // bound of the resilient execution layer (amortized polling in triangle
+  // enumeration, arena build, and the engine sweeps). A worker thread
+  // issues the cold Decompose on a fresh session; the main thread lets it
+  // sink into real work, fires the token, and measures fire ->
+  // Status-return. wall_ms is that latency; CI's bench-smoke asserts
+  // < 100 ms. The check flag asserts the run actually reported kCancelled
+  // and the session stayed retryable (the unbounded retry succeeds).
+  {
+    NucleusSession session(g);
+    CancelToken token;
+    DecomposeOptions opt;
+    opt.method = Method::kAnd;
+    opt.threads = threads;
+    opt.materialize = Materialize::kOn;
+    opt.cancel_token = &token;
+    std::atomic<bool> started{false};
+    Status run_status = Status::Ok();
+    std::thread worker([&] {
+      started.store(true);
+      run_status =
+          session.Decompose(DecompositionKind::kNucleus34, opt).status();
+    });
+    while (!started.load()) std::this_thread::yield();
+    // Deep enough that triangle/arena/engine work is in flight, short
+    // enough that the build (hundreds of ms even in fast mode) cannot
+    // finish first.
+    std::this_thread::sleep_for(std::chrono::milliseconds(fast ? 10 : 100));
+    Timer t;
+    token.RequestCancel();
+    worker.join();
+    const double latency_ms = t.Seconds() * 1e3;
+    bool ok = run_status.code() == StatusCode::kCancelled;
+    if (ok) {
+      token.Reset();
+      ok = session.Decompose(DecompositionKind::kNucleus34, opt).ok();
+    }
+    BenchRecord rec{"planted-perf",   g.NumVertices(), g.NumEdges(),
+                    "nucleus34",      "cancel_latency", threads,
+                    true,             latency_ms,      0,
+                    0.0,              ok};
+    records.push_back(rec);
+    std::printf("%-10s %-9s threads=%d  cancel -> return latency %8.3f ms  "
+                "%s\n",
+                "planted-perf", "nucleus34", threads, latency_ms,
                 ok ? "ok" : "MISMATCH");
   }
 

@@ -43,16 +43,16 @@ int CoMemberArity(const GenericRsSpace& space) {
 
 bool BuildCsrArena(const CoreSpace& space, int threads,
                    std::uint64_t budget_bytes, int arity,
-                   internal::CsrArena* arena) {
+                   internal::CsrArena* arena, RunControl ctl) {
   return internal::GenericBuildCsrArena(space, threads, budget_bytes, arity,
-                                        arena);
+                                        arena, ctl);
 }
 
 bool BuildCsrArena(const GenericRsSpace& space, int threads,
                    std::uint64_t budget_bytes, int arity,
-                   internal::CsrArena* arena) {
+                   internal::CsrArena* arena, RunControl ctl) {
   return internal::GenericBuildCsrArena(space, threads, budget_bytes, arity,
-                                        arena);
+                                        arena, ctl);
 }
 
 // (2,3): one blocked oriented triangle enumeration records each triangle's
@@ -62,7 +62,7 @@ bool BuildCsrArena(const GenericRsSpace& space, int threads,
 // buffers.
 bool BuildCsrArena(const TrussSpace& space, int threads,
                    std::uint64_t budget_bytes, int arity,
-                   internal::CsrArena* arena) {
+                   internal::CsrArena* arena, RunControl ctl) {
   const Graph& g = space.graph();
   const EdgeIndex& edges = space.edges();
   const std::size_t m = edges.NumEdges();
@@ -81,7 +81,8 @@ bool BuildCsrArena(const TrussSpace& space, int threads,
       wedge_bound += std::min(g.GetDegree(u), g.GetDegree(v));
     }
     if (internal::CsrArenaBytes(m, wedge_bound, arity) > budget_bytes) {
-      const Count total = CountTriangles(g, t);
+      const Count total = CountTriangles(g, t, ctl);
+      if (ctl.CanStop() && ctl.ShouldStop()) return false;
       if (internal::CsrArenaBytes(m, 3 * total, arity) > budget_bytes) {
         arena->degrees = space.InitialDegrees(t);
         return false;
@@ -90,12 +91,14 @@ bool BuildCsrArena(const TrussSpace& space, int threads,
   }
 
   std::vector<std::vector<std::array<EdgeId, 3>>> parts(t);
-  ForEachTriangleBlocks(g, t,
-                        [&](int block, VertexId u, VertexId v, VertexId w) {
-                          parts[block].push_back({edges.EdgeIdOf(u, v),
-                                                  edges.EdgeIdOf(u, w),
-                                                  edges.EdgeIdOf(v, w)});
-                        });
+  ForEachTriangleBlocks(
+      g, t,
+      [&](int block, VertexId u, VertexId v, VertexId w) {
+        parts[block].push_back({edges.EdgeIdOf(u, v), edges.EdgeIdOf(u, w),
+                                edges.EdgeIdOf(v, w)});
+      },
+      ctl);
+  if (ctl.CanStop() && ctl.ShouldStop()) return false;
 
   arena->degrees.assign(m, 0);
   // One block per worker: static schedule, not the chunked dynamic default
@@ -136,7 +139,7 @@ bool BuildCsrArena(const TrussSpace& space, int threads,
 // 3 per K4 *per triangle per sweep* on top of the 3-way intersections).
 bool BuildCsrArena(const Nucleus34Space& space, int threads,
                    std::uint64_t budget_bytes, int arity,
-                   internal::CsrArena* arena) {
+                   internal::CsrArena* arena, RunControl ctl) {
   const Graph& g = space.graph();
   const TriangleIndex& tris = space.triangles();
   const std::size_t nt = tris.NumTriangles();
@@ -154,7 +157,8 @@ bool BuildCsrArena(const Nucleus34Space& space, int threads,
           {g.GetDegree(v[0]), g.GetDegree(v[1]), g.GetDegree(v[2])});
     }
     if (internal::CsrArenaBytes(nt, slot_bound, arity) > budget_bytes) {
-      const Count total = CountFourCliques(g, t);
+      const Count total = CountFourCliques(g, t, ctl);
+      if (ctl.CanStop() && ctl.ShouldStop()) return false;
       if (internal::CsrArenaBytes(nt, 4 * total, arity) > budget_bytes) {
         arena->degrees = space.InitialDegrees(t);
         return false;
@@ -170,7 +174,9 @@ bool BuildCsrArena(const Nucleus34Space& space, int threads,
                                 tris.TriangleIdOf(a, b, d),
                                 tris.TriangleIdOf(a, c, d),
                                 tris.TriangleIdOf(b, c, d)});
-      });
+      },
+      ctl);
+  if (ctl.CanStop() && ctl.ShouldStop()) return false;
 
   arena->degrees.assign(nt, 0);
   ParallelFor(

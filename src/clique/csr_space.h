@@ -26,6 +26,7 @@
 
 #include "src/clique/generic_space.h"
 #include "src/clique/spaces.h"
+#include "src/common/cancel.h"
 #include "src/common/parallel.h"
 #include "src/common/types.h"
 
@@ -73,9 +74,10 @@ inline std::uint64_t CsrArenaBytes(std::size_t n, std::uint64_t total_s,
 template <typename Space>
 bool GenericBuildCsrArena(const Space& space, int threads,
                           std::uint64_t budget_bytes, int arity,
-                          CsrArena* arena) {
+                          CsrArena* arena, RunControl ctl = {}) {
   const std::size_t n = space.NumRCliques();
   arena->degrees = space.InitialDegrees(threads);
+  if (ctl.CanStop() && ctl.ShouldStop()) return false;
   std::uint64_t total_s = 0;
   for (Degree d : arena->degrees) total_s += d;
   if (CsrArenaBytes(n, total_s, arity) > budget_bytes) return false;
@@ -86,7 +88,10 @@ bool GenericBuildCsrArena(const Space& space, int threads,
         static_cast<std::uint64_t>(arena->degrees[r]) * arity;
   }
   arena->co_members.resize(arena->offsets[n]);
+  const bool can_stop = ctl.CanStop();
+  AbortFlag abort;
   ParallelFor(n, threads, [&](std::size_t r) {
+    if (can_stop && PollStopAmortized(ctl, abort)) return;
     std::uint64_t pos = arena->offsets[r];
     space.ForEachSClique(static_cast<CliqueId>(r),
                          [&](std::span<const CliqueId> co) {
@@ -94,6 +99,7 @@ bool GenericBuildCsrArena(const Space& space, int threads,
                            for (CliqueId c : co) arena->co_members[pos++] = c;
                          });
   });
+  if (can_stop && ctl.ShouldStop()) return false;
   return true;
 }
 
@@ -102,27 +108,30 @@ bool GenericBuildCsrArena(const Space& space, int threads,
 // Specialized arena builders (csr_space.cc). The truss and (3,4) builders
 // enumerate triangles / 4-cliques globally once (oriented enumeration) and
 // scatter, instead of intersecting adjacency lists per r-clique, which also
-// yields the initial degrees for free.
+// yields the initial degrees for free. All return false without building
+// either when the arena would exceed budget_bytes (degrees contract
+// honored) or when `ctl` stopped the build (degrees possibly partial —
+// callers check ctl before trusting anything).
 bool BuildCsrArena(const CoreSpace& space, int threads,
                    std::uint64_t budget_bytes, int arity,
-                   internal::CsrArena* arena);
+                   internal::CsrArena* arena, RunControl ctl = {});
 bool BuildCsrArena(const TrussSpace& space, int threads,
                    std::uint64_t budget_bytes, int arity,
-                   internal::CsrArena* arena);
+                   internal::CsrArena* arena, RunControl ctl = {});
 bool BuildCsrArena(const Nucleus34Space& space, int threads,
                    std::uint64_t budget_bytes, int arity,
-                   internal::CsrArena* arena);
+                   internal::CsrArena* arena, RunControl ctl = {});
 bool BuildCsrArena(const GenericRsSpace& space, int threads,
                    std::uint64_t budget_bytes, int arity,
-                   internal::CsrArena* arena);
+                   internal::CsrArena* arena, RunControl ctl = {});
 
 /// Fallback for user-defined spaces modeling the clique-space concept.
 template <typename Space>
 bool BuildCsrArena(const Space& space, int threads,
                    std::uint64_t budget_bytes, int arity,
-                   internal::CsrArena* arena) {
+                   internal::CsrArena* arena, RunControl ctl = {}) {
   return internal::GenericBuildCsrArena(space, threads, budget_bytes, arity,
-                                        arena);
+                                        arena, ctl);
 }
 
 /// Arity for unknown spaces: probe the first non-empty r-clique. Spaces
@@ -162,12 +171,20 @@ class CsrSpace {
   /// budget_bytes; the s-clique counts computed during the attempt (== the
   /// space's InitialDegrees) are left in *degrees_out so the caller can
   /// reuse them instead of re-counting.
+  ///
+  /// A stoppable `ctl` also makes the build abandonable: on stop the
+  /// result is std::nullopt with NO degrees contract (the partial counts
+  /// are dropped) — callers distinguish the two nullopt cases by checking
+  /// ctl.ShouldStop().
   static std::optional<CsrSpace> TryBuild(const Space& base, int threads,
                                           std::uint64_t budget_bytes,
-                                          std::vector<Degree>* degrees_out) {
+                                          std::vector<Degree>* degrees_out,
+                                          RunControl ctl = {}) {
     CsrSpace space(&base, CoMemberArity(base));
     internal::CsrArena arena;
-    if (!BuildCsrArena(base, threads, budget_bytes, space.arity_, &arena)) {
+    if (!BuildCsrArena(base, threads, budget_bytes, space.arity_, &arena,
+                       ctl)) {
+      if (ctl.CanStop() && ctl.ShouldStop()) return std::nullopt;
       if (degrees_out != nullptr) *degrees_out = std::move(arena.degrees);
       return std::nullopt;
     }

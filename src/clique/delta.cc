@@ -25,11 +25,15 @@ void SortUnique(std::vector<T>* v) {
 // existed (removed pair present in the old graph) and a born one must
 // exist (inserted pair present in the new graph); without the guard an
 // adversarial pair whose endpoints merely share neighbors would fabricate
-// phantom cliques.
-void CollectTriangles(const Graph& g,
+// phantom cliques. Returns false when stopped via ctl (out is partial).
+bool CollectTriangles(const Graph& g,
                       const std::vector<std::pair<VertexId, VertexId>>& pairs,
-                      std::vector<std::array<VertexId, 3>>* out) {
+                      std::vector<std::array<VertexId, 3>>* out,
+                      RunControl ctl) {
+  const bool can_stop = ctl.CanStop();
+  CheckEvery<64> poll;
   for (const auto& [u, v] : pairs) {
+    if (can_stop && poll.Due() && ctl.ShouldStop()) return false;
     if (u == v || u >= g.NumVertices() || v >= g.NumVertices() ||
         !g.HasEdge(u, v)) {
       continue;
@@ -40,15 +44,22 @@ void CollectTriangles(const Graph& g,
     });
   }
   SortUnique(out);
+  return true;
 }
 
 // 4-cliques of g containing edge {u, v} = adjacent pairs {w, x} in the
-// common neighborhood of u and v.
-void CollectFourCliques(
+// common neighborhood of u and v. Returns false when stopped via ctl.
+bool CollectFourCliques(
     const Graph& g, const std::vector<std::pair<VertexId, VertexId>>& pairs,
-    std::vector<std::array<VertexId, 4>>* out) {
+    std::vector<std::array<VertexId, 4>>* out, RunControl ctl) {
+  const bool can_stop = ctl.CanStop();
+  CheckEvery<16> poll;
   std::vector<VertexId> common;
   for (const auto& [u, v] : pairs) {
+    // The common-neighborhood pair scan can be quadratic in the hub degree
+    // on skewed graphs, hence the tighter poll period than the triangle
+    // collector's.
+    if (can_stop && poll.Due() && ctl.ShouldStop()) return false;
     if (u == v || u >= g.NumVertices() || v >= g.NumVertices() ||
         !g.HasEdge(u, v)) {
       continue;
@@ -66,25 +77,28 @@ void CollectFourCliques(
     }
   }
   SortUnique(out);
+  return true;
 }
 
 }  // namespace
 
 TriangleDelta ComputeTriangleDelta(const Graph& old_graph,
                                    const Graph& new_graph,
-                                   const EdgeDelta& delta) {
+                                   const EdgeDelta& delta, RunControl ctl) {
   TriangleDelta out;
-  CollectTriangles(old_graph, delta.removed, &out.dead);
-  CollectTriangles(new_graph, delta.inserted, &out.born);
+  out.aborted = !CollectTriangles(old_graph, delta.removed, &out.dead, ctl) ||
+                !CollectTriangles(new_graph, delta.inserted, &out.born, ctl);
   return out;
 }
 
 FourCliqueDelta ComputeFourCliqueDelta(const Graph& old_graph,
                                        const Graph& new_graph,
-                                       const EdgeDelta& delta) {
+                                       const EdgeDelta& delta,
+                                       RunControl ctl) {
   FourCliqueDelta out;
-  CollectFourCliques(old_graph, delta.removed, &out.dead);
-  CollectFourCliques(new_graph, delta.inserted, &out.born);
+  out.aborted =
+      !CollectFourCliques(old_graph, delta.removed, &out.dead, ctl) ||
+      !CollectFourCliques(new_graph, delta.inserted, &out.born, ctl);
   return out;
 }
 

@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/cancel.h"
 #include "src/common/types.h"
 #include "src/graph/graph.h"
 
@@ -38,6 +39,9 @@ struct EdgeDelta {
 struct TriangleDelta {
   std::vector<std::array<VertexId, 3>> dead;
   std::vector<std::array<VertexId, 3>> born;
+  /// True when enumeration was stopped mid-stream via a RunControl; the
+  /// sets are then partial and must be discarded.
+  bool aborted = false;
 };
 
 /// 4-cliques destroyed/created by the delta, as sorted vertex quads,
@@ -45,6 +49,9 @@ struct TriangleDelta {
 struct FourCliqueDelta {
   std::vector<std::array<VertexId, 4>> dead;
   std::vector<std::array<VertexId, 4>> born;
+  /// True when enumeration was stopped mid-stream via a RunControl; the
+  /// sets are then partial and must be discarded.
+  bool aborted = false;
 };
 
 /// old_graph must be the graph before the delta and new_graph after it.
@@ -52,13 +59,17 @@ struct FourCliqueDelta {
 /// that is not an edge of old_graph (or an inserted pair absent from
 /// new_graph, or a self loop / out-of-range id) contributes nothing,
 /// so an adversarial batch cannot fabricate phantom dead/born cliques.
+/// A stoppable `ctl` abandons the enumeration mid-stream; the result then
+/// has `aborted == true` and must be discarded.
 TriangleDelta ComputeTriangleDelta(const Graph& old_graph,
                                    const Graph& new_graph,
-                                   const EdgeDelta& delta);
+                                   const EdgeDelta& delta,
+                                   RunControl ctl = {});
 
 FourCliqueDelta ComputeFourCliqueDelta(const Graph& old_graph,
                                        const Graph& new_graph,
-                                       const EdgeDelta& delta);
+                                       const EdgeDelta& delta,
+                                       RunControl ctl = {});
 
 }  // namespace nucleus
 

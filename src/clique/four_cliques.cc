@@ -19,15 +19,21 @@ namespace {
 // vertices.
 template <typename Fn>
 void BlockedFourCliques(const Graph& g, const OrientedGraph& oriented,
-                        int threads, Fn&& fn) {
+                        int threads, Fn&& fn, RunControl ctl = {}) {
+  const bool can_stop = ctl.CanStop();
+  AbortFlag abort;
   ParallelBlocks(
       g.NumVertices(), threads,
       [&](int block, std::size_t begin, std::size_t end) {
         std::vector<VertexId> common;
+        CheckEvery<16> poll;
         for (std::size_t vi = begin; vi < end; ++vi) {
           const VertexId v = static_cast<VertexId>(vi);
           const auto out_v = oriented.OutNeighbors(v);
           for (VertexId w : out_v) {
+            // (v, w) work items can be heavy on skewed graphs, so the
+            // poll sits on the inner pair loop.
+            if (can_stop && poll.Due() && PollStop(ctl, abort)) return;
             common.clear();
             ForEachCommon(out_v, oriented.OutNeighbors(w),
                           [&](VertexId x) { common.push_back(x); });
@@ -64,27 +70,31 @@ void ForEachFourClique(
 void ForEachFourCliqueBlocks(
     const Graph& g, int threads,
     const std::function<void(int, VertexId, VertexId, VertexId, VertexId)>&
-        fn) {
+        fn,
+    RunControl ctl) {
   const auto ranks = DegreeOrderRanks(g);
   const OrientedGraph oriented(g, ranks);
-  BlockedFourCliques(g, oriented, threads,
-                     [&](int block, VertexId a, VertexId b, VertexId c,
-                         VertexId d) {
-                       VertexId q[4] = {a, b, c, d};
-                       std::sort(q, q + 4);
-                       fn(block, q[0], q[1], q[2], q[3]);
-                     });
+  BlockedFourCliques(
+      g, oriented, threads,
+      [&](int block, VertexId a, VertexId b, VertexId c, VertexId d) {
+        VertexId q[4] = {a, b, c, d};
+        std::sort(q, q + 4);
+        fn(block, q[0], q[1], q[2], q[3]);
+      },
+      ctl);
 }
 
-Count CountFourCliques(const Graph& g, int threads) {
+Count CountFourCliques(const Graph& g, int threads, RunControl ctl) {
   const auto ranks = DegreeOrderRanks(g);
   const OrientedGraph oriented(g, ranks);
   const int t = threads <= 1 ? 1 : threads;
   std::vector<Count> partial(t, 0);
-  BlockedFourCliques(g, oriented, t,
-                     [&](int block, VertexId, VertexId, VertexId, VertexId) {
-                       ++partial[block];
-                     });
+  BlockedFourCliques(
+      g, oriented, t,
+      [&](int block, VertexId, VertexId, VertexId, VertexId) {
+        ++partial[block];
+      },
+      ctl);
   Count total = 0;
   for (Count c : partial) total += c;
   return total;
@@ -92,9 +102,12 @@ Count CountFourCliques(const Graph& g, int threads) {
 
 std::vector<Degree> FourCliqueCountsPerTriangle(const Graph& g,
                                                 const TriangleIndex& tris,
-                                                int threads) {
+                                                int threads, RunControl ctl) {
+  const bool can_stop = ctl.CanStop();
+  AbortFlag abort;
   std::vector<Degree> counts(tris.NumTriangles(), 0);
   ParallelFor(tris.NumTriangles(), threads, [&](std::size_t t) {
+    if (can_stop && PollStopAmortized(ctl, abort)) return;
     if (!tris.IsLive(static_cast<TriangleId>(t))) return;  // d_4 = 0
     const auto& tri = tris.Vertices(static_cast<TriangleId>(t));
     std::size_t c = 0;

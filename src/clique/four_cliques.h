@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/clique/triangles.h"
+#include "src/common/cancel.h"
 #include "src/common/types.h"
 #include "src/graph/graph.h"
 
@@ -21,22 +22,27 @@ void ForEachFourClique(
 /// and calls fn(block, a, b, c, d) with a < b < c < d exactly once per
 /// 4-clique, from the block's worker thread. fn must be safe to call
 /// concurrently for distinct blocks.
+/// A stoppable `ctl` makes the enumeration abandonable mid-stream; the
+/// caller must check ctl.ShouldStop() afterwards and discard partials.
 void ForEachFourCliqueBlocks(
     const Graph& g, int threads,
     const std::function<void(int, VertexId, VertexId, VertexId, VertexId)>&
-        fn);
+        fn,
+    RunControl ctl = {});
 
 /// Total 4-clique count (Table 3 statistic). `threads` parallelizes over
-/// vertices with per-thread accumulation.
-Count CountFourCliques(const Graph& g, int threads = 1);
+/// vertices with per-thread accumulation. A stopped run undercounts; the
+/// caller checks ctl.
+Count CountFourCliques(const Graph& g, int threads = 1, RunControl ctl = {});
 
 /// Per-triangle 4-clique counts indexed by TriangleIndex ids; this is d_4,
 /// the initial tau of the (3,4) decomposition. A triangle's 4-cliques are
 /// the common neighbors of its three vertices, so counts parallelize over
-/// triangles.
+/// triangles. A stopped run leaves partial counts; the caller checks ctl.
 std::vector<Degree> FourCliqueCountsPerTriangle(const Graph& g,
                                                 const TriangleIndex& tris,
-                                                int threads = 1);
+                                                int threads = 1,
+                                                RunControl ctl = {});
 
 }  // namespace nucleus
 

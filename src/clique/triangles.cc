@@ -25,12 +25,21 @@ inline std::array<VertexId, 3> SortedTriple(VertexId u, VertexId v,
 
 // Shared blocked driver: calls fn(block, a, b, c) once per triangle with
 // vertices in rank order (NOT id order); blocks partition the vertex range.
+// A stoppable ctl is polled once per few source vertices; on stop every
+// block abandons its remaining range (output is partial — callers check
+// ctl afterwards and discard).
 template <typename Fn>
 void BlockedTriangles(const Graph& g, const OrientedGraph& oriented,
-                      int threads, Fn&& fn) {
+                      int threads, Fn&& fn, RunControl ctl = {}) {
+  const bool can_stop = ctl.CanStop();
+  AbortFlag abort;
   ParallelBlocks(g.NumVertices(), threads,
                  [&](int block, std::size_t begin, std::size_t end) {
+                   CheckEvery<16> poll;
                    for (std::size_t v = begin; v < end; ++v) {
+                     if (can_stop && poll.Due() && PollStop(ctl, abort)) {
+                       return;
+                     }
                      const auto out_v =
                          oriented.OutNeighbors(static_cast<VertexId>(v));
                      for (std::size_t i = 0; i < out_v.size(); ++i) {
@@ -61,23 +70,28 @@ void ForEachTriangle(
 
 void ForEachTriangleBlocks(
     const Graph& g, int threads,
-    const std::function<void(int, VertexId, VertexId, VertexId)>& fn) {
+    const std::function<void(int, VertexId, VertexId, VertexId)>& fn,
+    RunControl ctl) {
   const auto ranks = DegreeOrderRanks(g);
   const OrientedGraph oriented(g, ranks);
-  BlockedTriangles(g, oriented, threads,
-                   [&](int block, VertexId a, VertexId b, VertexId c) {
-                     const auto t = SortedTriple(a, b, c);
-                     fn(block, t[0], t[1], t[2]);
-                   });
+  BlockedTriangles(
+      g, oriented, threads,
+      [&](int block, VertexId a, VertexId b, VertexId c) {
+        const auto t = SortedTriple(a, b, c);
+        fn(block, t[0], t[1], t[2]);
+      },
+      ctl);
 }
 
-Count CountTriangles(const Graph& g, int threads) {
+Count CountTriangles(const Graph& g, int threads, RunControl ctl) {
   const auto ranks = DegreeOrderRanks(g);
   const OrientedGraph oriented(g, ranks);
   const int t = threads <= 1 ? 1 : threads;
   std::vector<Count> partial(t, 0);
-  BlockedTriangles(g, oriented, t, [&](int block, VertexId, VertexId,
-                                       VertexId) { ++partial[block]; });
+  BlockedTriangles(
+      g, oriented, t,
+      [&](int block, VertexId, VertexId, VertexId) { ++partial[block]; },
+      ctl);
   Count total = 0;
   for (Count c : partial) total += c;
   return total;
@@ -96,7 +110,7 @@ std::vector<Degree> TriangleCountsPerEdge(const Graph& g,
   return counts;
 }
 
-TriangleIndex::TriangleIndex(const Graph& g, int threads) {
+TriangleIndex::TriangleIndex(const Graph& g, int threads, RunControl ctl) {
   const auto ranks = DegreeOrderRanks(g);
   const OrientedGraph oriented(g, ranks);
   const int t = threads <= 1 ? 1 : threads;
@@ -104,8 +118,14 @@ TriangleIndex::TriangleIndex(const Graph& g, int threads) {
   // allocated once at its final size (the old ctor grew a vector through
   // repeated reallocation).
   std::vector<std::size_t> block_count(t, 0);
-  BlockedTriangles(g, oriented, t, [&](int block, VertexId, VertexId,
-                                       VertexId) { ++block_count[block]; });
+  BlockedTriangles(
+      g, oriented, t,
+      [&](int block, VertexId, VertexId, VertexId) { ++block_count[block]; },
+      ctl);
+  if (ctl.CanStop() && ctl.ShouldStop()) {
+    aborted_ = true;
+    return;
+  }
   std::vector<std::size_t> block_offset(t + 1, 0);
   for (int b = 0; b < t; ++b) {
     block_offset[b + 1] = block_offset[b] + block_count[b];
@@ -115,10 +135,17 @@ TriangleIndex::TriangleIndex(const Graph& g, int threads) {
   // threads), so each block writes exactly its counted slice.
   std::vector<std::size_t> cursor(block_offset.begin(),
                                   block_offset.end() - 1);
-  BlockedTriangles(g, oriented, t,
-                   [&](int block, VertexId a, VertexId b, VertexId c) {
-                     triangles_[cursor[block]++] = SortedTriple(a, b, c);
-                   });
+  BlockedTriangles(
+      g, oriented, t,
+      [&](int block, VertexId a, VertexId b, VertexId c) {
+        triangles_[cursor[block]++] = SortedTriple(a, b, c);
+      },
+      ctl);
+  if (ctl.CanStop() && ctl.ShouldStop()) {
+    triangles_.clear();
+    aborted_ = true;
+    return;
+  }
   std::sort(triangles_.begin(), triangles_.end());
   base_triangles_ = triangles_.size();
   num_live_ = triangles_.size();
@@ -195,15 +222,19 @@ void TriangleIndex::ForEachTriangleOfEdge(
 }
 
 EdgeTriangleCsr::EdgeTriangleCsr(const EdgeIndex& edges,
-                                 const TriangleIndex& tris, int threads) {
+                                 const TriangleIndex& tris, int threads,
+                                 RunControl ctl) {
   const std::size_t m = edges.NumEdges();
   const std::size_t nt = tris.NumTriangles();
   num_edges_ = m;
+  const bool can_stop = ctl.CanStop();
+  AbortFlag abort;
   // Pass 1: per-edge triangle counts (relaxed atomic increments; each
   // triangle touches its three edges). Tombstoned triangles of a patched
   // index contribute nothing.
   std::vector<Degree> counts(m, 0);
   ParallelFor(nt, threads, [&](std::size_t ti) {
+    if (can_stop && PollStopAmortized(ctl, abort)) return;
     if (!tris.IsLive(static_cast<TriangleId>(ti))) return;
     const auto& v = tris.Vertices(static_cast<TriangleId>(ti));
     const EdgeId ids[3] = {edges.EdgeIdOf(v[0], v[1]),
@@ -214,6 +245,10 @@ EdgeTriangleCsr::EdgeTriangleCsr(const EdgeIndex& edges,
           1, std::memory_order_relaxed);
     }
   });
+  if (can_stop && ctl.ShouldStop()) {
+    aborted_ = true;
+    return;
+  }
   offsets_.assign(m + 1, 0);
   for (std::size_t e = 0; e < m; ++e) {
     offsets_[e + 1] = offsets_[e] + counts[e];
@@ -222,6 +257,7 @@ EdgeTriangleCsr::EdgeTriangleCsr(const EdgeIndex& edges,
   // Pass 2: scatter through per-edge atomic cursors.
   std::vector<std::uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
   ParallelFor(nt, threads, [&](std::size_t ti) {
+    if (can_stop && PollStopAmortized(ctl, abort)) return;
     if (!tris.IsLive(static_cast<TriangleId>(ti))) return;
     const auto& v = tris.Vertices(static_cast<TriangleId>(ti));
     const EdgeId ids[3] = {edges.EdgeIdOf(v[0], v[1]),
@@ -235,6 +271,12 @@ EdgeTriangleCsr::EdgeTriangleCsr(const EdgeIndex& edges,
       entries_[pos] = {static_cast<TriangleId>(ti), opposite[i]};
     }
   });
+  if (can_stop && ctl.ShouldStop()) {
+    offsets_.clear();
+    entries_.clear();
+    aborted_ = true;
+    return;
+  }
   // Deterministic ascending-id order within each edge regardless of thread
   // interleaving.
   ParallelFor(m, threads, [&](std::size_t e) {

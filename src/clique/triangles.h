@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/clique/edge_index.h"
+#include "src/common/cancel.h"
 #include "src/common/types.h"
 #include "src/graph/graph.h"
 
@@ -35,13 +36,18 @@ void ForEachTriangle(const Graph& g,
 /// and calls fn(block, u, v, w) with u < v < w exactly once per triangle,
 /// from the block's worker thread. fn must be safe to call concurrently for
 /// distinct blocks (e.g. append to per-block buffers, or use atomics).
+/// A stoppable `ctl` makes the enumeration abandonable mid-stream: the
+/// caller must check ctl.ShouldStop() afterwards and discard the partial
+/// output when it reports true.
 void ForEachTriangleBlocks(
     const Graph& g, int threads,
-    const std::function<void(int, VertexId, VertexId, VertexId)>& fn);
+    const std::function<void(int, VertexId, VertexId, VertexId)>& fn,
+    RunControl ctl = {});
 
 /// Total triangle count (Table 3 statistic). `threads` parallelizes over
-/// vertices with per-thread accumulation.
-Count CountTriangles(const Graph& g, int threads = 1);
+/// vertices with per-thread accumulation. A stopped run undercounts; the
+/// caller checks ctl.
+Count CountTriangles(const Graph& g, int threads = 1, RunControl ctl = {});
 
 /// Per-edge triangle counts indexed by EdgeIndex ids; this is d_3, the
 /// initial tau of the (2,3) decomposition. `threads` parallelizes over
@@ -59,7 +65,13 @@ class TriangleIndex {
  public:
   /// Builds the index with a counting pre-pass (one exact allocation, no
   /// push_back growth); `threads` parallelizes both the count and the fill.
-  explicit TriangleIndex(const Graph& g, int threads = 1);
+  /// A stoppable `ctl` makes the build abandonable: aborted() then reports
+  /// true, the index is empty, and the caller must discard it.
+  explicit TriangleIndex(const Graph& g, int threads = 1, RunControl ctl = {});
+
+  /// True when a stoppable build was cancelled / ran out of deadline; the
+  /// index holds no triangles and must not be installed or queried.
+  bool aborted() const { return aborted_; }
 
   /// Size of the id space: every id in [0, NumTriangles()) is addressable.
   /// Exceeds NumLiveTriangles() by the tombstones once removals patched in.
@@ -120,6 +132,7 @@ class TriangleIndex {
 
   std::vector<std::array<VertexId, 3>> triangles_;
   std::size_t base_triangles_ = 0;  // triangles_.size() at construction
+  bool aborted_ = false;            // stoppable build stopped mid-stream
   // Patch state; all empty until the first ApplyDelta.
   std::vector<std::uint8_t> dead_;
   std::unordered_map<std::array<VertexId, 3>, TriangleId, TripleHash>
@@ -135,8 +148,13 @@ class TriangleIndex {
 /// entries to per-edge overlay lists.
 class EdgeTriangleCsr {
  public:
+  /// A stoppable `ctl` makes the build abandonable: aborted() then reports
+  /// true and the CSR must be discarded.
   EdgeTriangleCsr(const EdgeIndex& edges, const TriangleIndex& tris,
-                  int threads = 1);
+                  int threads = 1, RunControl ctl = {});
+
+  /// True when a stoppable build was stopped mid-pass.
+  bool aborted() const { return aborted_; }
 
   /// Size of the edge-id space covered (grows when a patch brings new
   /// edge ids).
@@ -192,6 +210,7 @@ class EdgeTriangleCsr {
   std::vector<std::uint64_t> offsets_;
   std::vector<std::pair<TriangleId, VertexId>> entries_;
   std::size_t num_edges_ = 0;
+  bool aborted_ = false;
   // Patch state; empty until the first ApplyDelta. counts_ materializes
   // live per-edge counts once offsets_ diffs stop being the truth.
   std::vector<Degree> counts_;

@@ -1,0 +1,22 @@
+#include "src/common/cancel.h"
+
+#include <limits>
+
+namespace nucleus {
+
+std::int64_t Deadline::RemainingMs() const {
+  if (infinite_) return std::numeric_limits<std::int64_t>::max();
+  const auto now = Clock::now();
+  if (now >= when_) return 0;
+  return std::chrono::duration_cast<std::chrono::milliseconds>(when_ - now)
+      .count();
+}
+
+Status RunControl::StopStatus() const {
+  if (token_ != nullptr && token_->Cancelled()) {
+    return Status::Cancelled("operation cancelled by caller");
+  }
+  return Status::DeadlineExceeded("deadline exceeded");
+}
+
+}  // namespace nucleus

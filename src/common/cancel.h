@@ -1,0 +1,198 @@
+// Cooperative cancellation and deadlines for long-running work. A
+// (3,4) cold build runs for minutes on large graphs; a request-serving
+// front end must be able to bound it (Deadline), abort it (CancelToken),
+// and trust that an aborted run left no partial state behind (the session
+// discards everything a stopped builder produced). Everything here is
+// cooperative: expensive loops poll a RunControl at amortized granularity
+// (CheckEvery) and unwind with a Status — there are no throw paths and no
+// thread is ever killed.
+#ifndef NUCLEUS_COMMON_CANCEL_H_
+#define NUCLEUS_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "src/common/status.h"
+
+namespace nucleus {
+
+/// A manually-fired cancellation latch, shared by address between the
+/// requester and the running work (the session never owns it; the caller
+/// keeps it alive for the duration of the calls that reference it).
+/// Tokens compose: a child constructed with a parent pointer reports
+/// cancelled when either itself or any ancestor fired, so one server-wide
+/// token can fell every in-flight request while each request keeps its own.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  explicit CancelToken(const CancelToken* parent) : parent_(parent) {}
+
+  // Identity is the address; copying would silently sever the
+  // requester/worker link.
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Thread-safe; idempotent.
+  void RequestCancel() { cancelled_.store(true, std::memory_order_release); }
+
+  /// True once this token or any ancestor fired.
+  bool Cancelled() const {
+    if (cancelled_.load(std::memory_order_acquire)) return true;
+    return parent_ != nullptr && parent_->Cancelled();
+  }
+
+  /// Re-arms the token for reuse (tests/benches); never call while work
+  /// still polls it.
+  void Reset() { cancelled_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  const CancelToken* parent_ = nullptr;
+};
+
+/// An absolute steady-clock expiry point; default-constructed = infinite.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+  /// Expires `ms` milliseconds from now; ms <= 0 means already expired.
+  static Deadline After(std::int64_t ms) {
+    return Deadline(Clock::now() + std::chrono::milliseconds(ms));
+  }
+  static Deadline At(Clock::time_point when) { return Deadline(when); }
+
+  bool IsInfinite() const { return infinite_; }
+  bool Expired() const { return !infinite_ && Clock::now() >= when_; }
+
+  /// Milliseconds until expiry, clamped at 0. Infinite deadlines report
+  /// int64 max so callers can pass the value through After() unharmed.
+  std::int64_t RemainingMs() const;
+
+  Clock::time_point when() const { return when_; }
+
+  /// The earlier of the two (infinite loses to any finite deadline).
+  static Deadline Sooner(const Deadline& a, const Deadline& b) {
+    if (a.infinite_) return b;
+    if (b.infinite_) return a;
+    return a.when_ <= b.when_ ? a : b;
+  }
+
+ private:
+  explicit Deadline(Clock::time_point when)
+      : infinite_(false), when_(when) {}
+
+  bool infinite_ = true;
+  Clock::time_point when_{};
+};
+
+/// The copyable view a running computation polls: an optional token plus a
+/// deadline. A default RunControl can never stop, and every poll on it is
+/// a couple of predictable branches — code that always threads a
+/// RunControl through pays nothing when no caller asked for one.
+class RunControl {
+ public:
+  RunControl() = default;
+  RunControl(const CancelToken* token, Deadline deadline)
+      : token_(token), deadline_(deadline) {}
+
+  /// False for the default control: lets hot loops skip even the
+  /// amortized polling when no stop source exists.
+  bool CanStop() const { return token_ != nullptr || !deadline_.IsInfinite(); }
+
+  /// True once the token fired or the deadline passed. Reads the clock
+  /// only when a deadline is set; callers amortize via CheckEvery.
+  bool ShouldStop() const {
+    if (token_ != nullptr && token_->Cancelled()) return true;
+    return deadline_.Expired();
+  }
+
+  /// The Status a stopped run reports: kCancelled when the token fired
+  /// (it wins over a simultaneously expired deadline — the caller acted),
+  /// else kDeadlineExceeded. Call only after ShouldStop() returned true;
+  /// on a still-running control it degrades to kDeadlineExceeded.
+  Status StopStatus() const;
+
+  const CancelToken* token() const { return token_; }
+  const Deadline& deadline() const { return deadline_; }
+
+  /// A derived control sharing this token but bounded by the sooner of
+  /// this deadline and `d` — used to give one stage (e.g. an arena build)
+  /// a share of the request's remaining time without extending it.
+  RunControl WithDeadline(Deadline d) const {
+    return RunControl(token_, Deadline::Sooner(deadline_, d));
+  }
+
+ private:
+  const CancelToken* token_ = nullptr;
+  Deadline deadline_;
+};
+
+/// Builds the control for one request from Options-style knobs; the
+/// deadline clock starts now. deadline_ms == 0 means unbounded.
+inline RunControl MakeRunControl(const CancelToken* token,
+                                 std::int64_t deadline_ms) {
+  return RunControl(
+      token, deadline_ms > 0 ? Deadline::After(deadline_ms)
+                             : Deadline::Infinite());
+}
+
+/// Amortizes an expensive check to every kPeriod-th call: `Due()` is a
+/// branch on a local counter, so a per-item loop can afford it.
+template <unsigned kPeriod>
+class CheckEvery {
+  static_assert(kPeriod > 0);
+
+ public:
+  bool Due() {
+    if (++count_ < kPeriod) return false;
+    count_ = 0;
+    return true;
+  }
+
+ private:
+  unsigned count_ = 0;
+};
+
+/// Shared abort latch for parallel loops: the first worker that observes
+/// ShouldStop() raises it, the rest see the relaxed flag at their next
+/// poll and unwind without re-reading the clock.
+class AbortFlag {
+ public:
+  bool Raised() const { return flag_.load(std::memory_order_relaxed); }
+  void Raise() { flag_.store(true, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// One amortized stop poll for a worker loop: true when the loop must
+/// unwind. Raises `abort` so sibling workers stop at their next poll.
+inline bool PollStop(const RunControl& ctl, AbortFlag& abort) {
+  if (abort.Raised()) return true;
+  if (ctl.ShouldStop()) {
+    abort.Raise();
+    return true;
+  }
+  return false;
+}
+
+/// Amortized poll for per-item loops with no worker-id context (the
+/// plain ParallelFor lambdas): a thread-local counter gates the real
+/// check to roughly every 256 calls, the latch check stays per-call.
+inline bool PollStopAmortized(const RunControl& ctl, AbortFlag& abort) {
+  if (abort.Raised()) return true;
+  thread_local unsigned count = 0;
+  if ((++count & 255u) == 0 && ctl.ShouldStop()) {
+    abort.Raise();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_COMMON_CANCEL_H_

@@ -1,0 +1,101 @@
+#include "src/common/fault_injection.h"
+
+namespace nucleus {
+
+namespace {
+
+// splitmix64: tiny, seedable, good enough for fire/don't-fire draws.
+std::uint64_t NextRandom(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+FaultRegistry& FaultRegistry::Get() {
+  static FaultRegistry* registry = new FaultRegistry();  // never destroyed
+  return *registry;
+}
+
+Status FaultRegistry::Poll(const char* point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Point& p = points_[point];
+  ++p.hits;
+  switch (p.mode) {
+    case Mode::kDisarmed:
+      return Status::Ok();
+    case Mode::kAfter:
+      if (--p.countdown > 0) return Status::Ok();
+      p.mode = Mode::kDisarmed;  // fires exactly once
+      break;
+    case Mode::kProbabilistic: {
+      // Draw in [0, 1) from the top 53 bits.
+      const double draw =
+          static_cast<double>(NextRandom(&p.rng_state) >> 11) * 0x1.0p-53;
+      if (draw >= p.probability) return Status::Ok();
+      break;
+    }
+  }
+  ++p.fired;
+  return Status::ResourceExhausted(std::string("injected fault at ") + point);
+}
+
+void FaultRegistry::ArmAfter(const std::string& point, std::uint64_t nth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Point& p = points_[point];
+  p.mode = Mode::kAfter;
+  p.countdown = nth == 0 ? 1 : nth;
+}
+
+void FaultRegistry::ArmProbabilistic(const std::string& point,
+                                     double probability,
+                                     std::uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Point& p = points_[point];
+  p.mode = Mode::kProbabilistic;
+  p.probability = probability;
+  p.rng_state = seed;
+}
+
+void FaultRegistry::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it != points_.end()) it->second.mode = Mode::kDisarmed;
+}
+
+void FaultRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, p] : points_) p.mode = Mode::kDisarmed;
+}
+
+std::uint64_t FaultRegistry::HitCount(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t FaultRegistry::FiredCount(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.fired;
+}
+
+void FaultRegistry::ResetCounts() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, p] : points_) {
+    p.hits = 0;
+    p.fired = 0;
+  }
+}
+
+std::vector<std::string> FaultRegistry::RegisteredPoints() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(points_.size());
+  for (const auto& [name, p] : points_) names.push_back(name);
+  return names;
+}
+
+}  // namespace nucleus

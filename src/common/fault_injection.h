@@ -1,0 +1,109 @@
+// Scriptable fault points for resilience testing. Expensive state
+// transitions (index builds, arena allocation, commit stages, IO) each
+// declare a named point via NUCLEUS_FAULT_POINT("name"); a test arms the
+// point (fire on the Nth hit, or probabilistically with a seeded rng) and
+// the enclosing Status-returning function unwinds with kResourceExhausted
+// exactly as a real allocation or IO failure would — which is how the
+// fault battery proves every install path is all-or-nothing.
+//
+// Fault points compile to ((void)0) unless the build sets
+// -DNUCLEUS_FAULT_INJECTION (CMake option NUCLEUS_FAULT_INJECTION=ON), so
+// production builds carry zero overhead and zero registry traffic. The
+// registry class itself is always compiled so tests link in any
+// configuration and can skip themselves when injection is off.
+#ifndef NUCLEUS_COMMON_FAULT_INJECTION_H_
+#define NUCLEUS_COMMON_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace nucleus {
+
+/// True when fault points are compiled in.
+constexpr bool FaultInjectionEnabled() {
+#ifdef NUCLEUS_FAULT_INJECTION
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Process-wide registry of fault points. Points self-register on first
+/// execution (so RegisteredPoints() reflects every path a warm-up run
+/// reached), and stay registered — armed or not — until process exit.
+/// All methods are thread-safe; arming is test-only, so the lock on the
+/// poll path is acceptable (points are compiled out of production builds).
+class FaultRegistry {
+ public:
+  static FaultRegistry& Get();
+
+  /// Executes the point: registers it if new, counts the hit, and returns
+  /// non-OK (kResourceExhausted, message naming the point) when armed to
+  /// fire on this hit.
+  Status Poll(const char* point);
+
+  /// Arms `point` to fire exactly once, on the nth hit from now
+  /// (1 = next hit). Replaces any previous arming; registers the point
+  /// if it has not executed yet.
+  void ArmAfter(const std::string& point, std::uint64_t nth);
+
+  /// Arms `point` to fire independently on each hit with `probability`,
+  /// driven by a deterministic rng seeded with `seed`.
+  void ArmProbabilistic(const std::string& point, double probability,
+                        std::uint64_t seed);
+
+  void Disarm(const std::string& point);
+  /// Disarms every point; registrations and hit counts survive.
+  void DisarmAll();
+
+  /// Total executions of the point (armed or not); 0 if never executed.
+  std::uint64_t HitCount(const std::string& point) const;
+  /// Times the point actually fired (returned non-OK).
+  std::uint64_t FiredCount(const std::string& point) const;
+  void ResetCounts();
+
+  /// Every point that has executed or been armed, sorted by name.
+  std::vector<std::string> RegisteredPoints() const;
+
+ private:
+  FaultRegistry() = default;
+
+  enum class Mode { kDisarmed, kAfter, kProbabilistic };
+
+  struct Point {
+    Mode mode = Mode::kDisarmed;
+    std::uint64_t countdown = 0;  // kAfter: hits remaining before firing
+    double probability = 0.0;     // kProbabilistic
+    std::uint64_t rng_state = 0;  // kProbabilistic: splitmix64 state
+    std::uint64_t hits = 0;
+    std::uint64_t fired = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Point> points_;
+};
+
+}  // namespace nucleus
+
+// Declares a fault point inside a function returning Status (or a type
+// implicitly constructible from Status, e.g. StatusOr<T>): when the armed
+// registry fires, the function returns the injected failure right here.
+#ifdef NUCLEUS_FAULT_INJECTION
+#define NUCLEUS_FAULT_POINT(point)                              \
+  do {                                                          \
+    ::nucleus::Status nucleus_fault_point_status =              \
+        ::nucleus::FaultRegistry::Get().Poll(point);            \
+    if (!nucleus_fault_point_status.ok()) {                     \
+      return nucleus_fault_point_status;                        \
+    }                                                           \
+  } while (0)
+#else
+#define NUCLEUS_FAULT_POINT(point) ((void)0)
+#endif
+
+#endif  // NUCLEUS_COMMON_FAULT_INJECTION_H_

@@ -23,6 +23,8 @@
 #include <shared_mutex>
 #include <utility>
 
+#include "src/common/status.h"
+
 namespace nucleus {
 
 template <typename T>
@@ -58,6 +60,32 @@ class StateCell {
     std::unique_lock<std::shared_mutex> lk(mu_);
     value_ = std::move(built);
     return *value_;
+  }
+
+  /// Like GetOrBuild, but the builder is fallible: it returns StatusOr<T>.
+  /// On failure (cancellation, deadline, injected fault, over-budget)
+  /// NOTHING installs — the cell stays bitwise as-if-never-attempted, the
+  /// failure Status propagates to this caller only, and the next caller
+  /// re-runs the builder from scratch. Waiters that were blocked on the
+  /// build mutex observe the still-empty cell and take their own attempt,
+  /// so one caller's cancellation never poisons another's request.
+  template <typename BuildFn>
+  StatusOr<const T*> GetOrTryBuild(BuildFn&& build) {
+    {
+      std::shared_lock<std::shared_mutex> lk(mu_);
+      if (value_) return static_cast<const T*>(value_.get());
+    }
+    std::lock_guard<std::mutex> build_lk(build_mu_);
+    {
+      std::shared_lock<std::shared_mutex> lk(mu_);
+      if (value_) return static_cast<const T*>(value_.get());
+    }
+    StatusOr<T> built = build();
+    if (!built.ok()) return built.status();
+    auto owned = std::make_unique<T>(std::move(built).value());
+    std::unique_lock<std::shared_mutex> lk(mu_);
+    value_ = std::move(owned);
+    return static_cast<const T*>(value_.get());
   }
 
   /// Mutable access for the exclusive-writer phase (commit); nullptr when

@@ -20,6 +20,10 @@ enum class StatusCode {
   kFailedPrecondition,  // call sequencing violated (e.g. double Commit)
   kOutOfRange,          // numeric limits exceeded
   kInternal,            // invariant violation inside the library
+  kCancelled,           // caller fired the CancelToken
+  kDeadlineExceeded,    // request deadline expired mid-computation
+  kResourceExhausted,   // over budget / allocation or IO failure (injected
+                        // faults report this code)
 };
 
 /// A success-or-error value: ok() or a (code, message) pair.
@@ -46,6 +50,15 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -65,6 +78,9 @@ class Status {
       case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
       case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
       case StatusCode::kInternal: return "INTERNAL";
+      case StatusCode::kCancelled: return "CANCELLED";
+      case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+      case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     }
     return "UNKNOWN";
   }

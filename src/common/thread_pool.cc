@@ -31,18 +31,24 @@ void ThreadPool::WorkerLoop(int index, std::uint64_t seen_epoch) {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
-    if (stop_) return;
-    seen_epoch = epoch_;
-    if (index < job_workers_) {
-      auto* fn = job_fn_;
-      void* ctx = job_ctx_;
-      lock.unlock();
-      tls_in_worker = true;
-      fn(ctx, index);
-      tls_in_worker = false;
-      lock.lock();
-      if (--pending_ == 0) done_cv_.notify_one();
+    // A job published before the stop flag must still be drained — the
+    // dispatching thread is blocked until pending_ reaches zero, so
+    // exiting on stop_ with a job outstanding would deadlock it.
+    if (epoch_ != seen_epoch) {
+      seen_epoch = epoch_;
+      if (index < job_workers_) {
+        auto* fn = job_fn_;
+        void* ctx = job_ctx_;
+        lock.unlock();
+        tls_in_worker = true;
+        fn(ctx, index);
+        tls_in_worker = false;
+        lock.lock();
+        if (--pending_ == 0) done_cv_.notify_one();
+      }
+      continue;
     }
+    if (stop_) return;
   }
 }
 
@@ -53,7 +59,17 @@ void ThreadPool::Dispatch(int workers, void (*fn)(void*, int), void* ctx) {
   }
   std::lock_guard<std::mutex> region(dispatch_mu_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stop_) {
+      // Shut down: the workers have exited (or never existed), so
+      // publishing a job would hang forever. Run the whole region inline
+      // on this thread instead — serial, but complete and deadlock-free.
+      lock.unlock();
+      tls_in_worker = true;
+      for (int w = 0; w < workers; ++w) fn(ctx, w);
+      tls_in_worker = false;
+      return;
+    }
     EnsureWorkersLocked(workers - 1);
     job_fn_ = fn;
     job_ctx_ = ctx;
@@ -86,13 +102,26 @@ std::size_t ThreadPool::ThreadsCreated() const {
   return threads_.size();
 }
 
-ThreadPool::~ThreadPool() {
+void ThreadPool::Shutdown() {
+  // Serializing on dispatch_mu_ lets any in-flight region finish cleanly
+  // before the stop flag goes up; Dispatch calls that arrive later see
+  // stop_ and run inline.
+  std::lock_guard<std::mutex> region(dispatch_mu_);
+  std::vector<std::thread> joined;
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
+    joined.swap(threads_);
   }
   work_cv_.notify_all();
-  for (auto& t : threads_) t.join();
+  for (auto& t : joined) t.join();
 }
+
+bool ThreadPool::IsShutdown() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stop_;
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
 
 }  // namespace nucleus

@@ -24,6 +24,10 @@ class ThreadPool {
   /// spawned lazily by Dispatch and live until process exit.
   static ThreadPool& Get();
 
+  /// A private pool instance (tests exercise shutdown against one of
+  /// these rather than tearing down the shared singleton).
+  ThreadPool() = default;
+
   /// True when the calling thread is executing inside a parallel region —
   /// either as a pool worker or as the dispatching caller running its
   /// inline share. Used by ParallelFor to run nested parallel regions
@@ -35,7 +39,21 @@ class ThreadPool {
   /// finished. Grows the pool to workers-1 threads if needed (never
   /// shrinks). Concurrent Dispatch calls from distinct threads serialize.
   /// Must not be called from inside a pool job (callers check InWorker()).
+  ///
+  /// A Dispatch that arrives during or after Shutdown() is not enqueued:
+  /// the region runs every worker index inline on the calling thread (the
+  /// result is identical, just serial), so late work completes instead of
+  /// deadlocking on workers that have already exited.
   void Dispatch(int workers, void (*fn)(void* ctx, int worker), void* ctx);
+
+  /// Drains the in-flight region (if any), stops and joins all workers,
+  /// and marks the pool shut down. Idempotent and thread-safe; the
+  /// destructor calls it. After Shutdown, Dispatch degrades to inline
+  /// execution (see above) and IsShutdown() reports true.
+  void Shutdown();
+
+  /// True once Shutdown() has run (or started on another thread).
+  bool IsShutdown() const;
 
   /// Total worker threads spawned over the pool's lifetime. After warm-up
   /// this is stable: re-dispatching never creates threads (asserted by
@@ -48,8 +66,6 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
  private:
-  ThreadPool() = default;
-
   // Spawns workers until at least `count` exist. Caller holds mu_.
   void EnsureWorkersLocked(int count);
   void WorkerLoop(int index, std::uint64_t seen_epoch);

@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "src/common/fault_injection.h"
 #include "src/common/timer.h"
 #include "src/local/and_impl.h"  // internal::ValidateGivenOrder, AndSweeps
 #include "src/local/snd_impl.h"  // internal::SndSweeps
@@ -30,19 +31,26 @@ Status ValidateCommonOptions(const Options& options) {
 // CsrSpace arena), so the engine is told kOff and never self-materializes.
 // `initial` carries the session-cached d_s values (empty = let the engine
 // count them); every engine — peeling included — consumes its copy
-// destructively.
+// destructively. A stopped run (Options::cancel_token / deadline_ms, which
+// the session re-derives with the deadline time already spent on index and
+// arena builds subtracted) returns the engine's kCancelled /
+// kDeadlineExceeded status with no partial payload.
 template <typename Space>
-DecomposeResult RunEngine(const Space& space, const DecomposeOptions& options,
-                          std::vector<Degree> initial) {
+StatusOr<DecomposeResult> RunEngine(const Space& space,
+                                    const DecomposeOptions& options,
+                                    std::vector<Degree> initial) {
   DecomposeResult out;
   out.num_r_cliques = space.NumRCliques();
   const bool has_initial = initial.size() == out.num_r_cliques;
+  const RunControl ctl = options.MakeControl();
   Timer timer;
   switch (options.method) {
     case Method::kPeeling: {
       PeelOptions peel_opts;
       peel_opts.strategy = options.peel_strategy;
       peel_opts.threads = options.threads;
+      peel_opts.deadline_ms = options.deadline_ms;
+      peel_opts.cancel_token = options.cancel_token;
       // The session already decided materialization (the space may be a
       // CsrSpace arena); never self-materialize inside the engine.
       peel_opts.materialize = Materialize::kOff;
@@ -50,6 +58,7 @@ DecomposeResult RunEngine(const Space& space, const DecomposeOptions& options,
           has_initial
               ? PeelDecomposition(space, peel_opts, std::move(initial))
               : PeelDecomposition(space, peel_opts);
+      if (!peel.status.ok()) return peel.status;
       out.kappa = std::move(peel.kappa);
       out.peel_order = std::move(peel.order);
       out.peel_levels = std::move(peel.levels);
@@ -62,8 +71,9 @@ DecomposeResult RunEngine(const Space& space, const DecomposeOptions& options,
       local.materialize = Materialize::kOff;
       LocalResult r =
           has_initial
-              ? internal::SndSweeps(space, local, std::move(initial))
+              ? internal::SndSweeps(space, local, std::move(initial), ctl)
               : SndGeneric(space, local);
+      if (!r.status.ok()) return r.status;
       out.kappa = std::move(r.tau);
       out.iterations = r.iterations;
       out.exact = r.converged;
@@ -79,8 +89,9 @@ DecomposeResult RunEngine(const Space& space, const DecomposeOptions& options,
       opts.use_notification = options.use_notification;
       LocalResult r =
           has_initial
-              ? internal::AndSweeps(space, opts, std::move(initial))
+              ? internal::AndSweeps(space, opts, std::move(initial), ctl)
               : AndGeneric(space, opts);
+      if (!r.status.ok()) return r.status;
       out.kappa = std::move(r.tau);
       out.iterations = r.iterations;
       out.exact = r.converged;
@@ -89,6 +100,23 @@ DecomposeResult RunEngine(const Space& space, const DecomposeOptions& options,
   }
   out.seconds = timer.Seconds();
   return out;
+}
+
+// Re-derives the engine-facing options from the entry point's RunControl:
+// the cancel token passes through and the deadline collapses to the
+// REMAINING milliseconds, so the engine's internal MakeControl clock
+// restart does not grant back the time already spent building indices.
+DecomposeOptions WithRemainingControl(const DecomposeOptions& options,
+                                      RunControl ctl) {
+  DecomposeOptions run = options;
+  if (ctl.CanStop()) {
+    run.cancel_token = ctl.token();
+    run.deadline_ms =
+        ctl.deadline().IsInfinite()
+            ? 0
+            : std::max<std::int64_t>(1, ctl.deadline().RemainingMs());
+  }
+  return run;
 }
 
 }  // namespace
@@ -131,6 +159,47 @@ const EdgeTriangleCsr& NucleusSession::EdgeTrianglesShared(int threads) {
     BumpStat(&SessionStats::edge_triangle_csr_builds);
     return EdgeTriangleCsr(edges, tris, std::max(threads, 1));
   });
+}
+
+StatusOr<const EdgeIndex*> NucleusSession::TryEdgesShared(
+    double* build_seconds) {
+  return edge_index_.GetOrTryBuild([&]() -> StatusOr<EdgeIndex> {
+    NUCLEUS_FAULT_POINT("edge_index_build");
+    Timer t;
+    EdgeIndex idx(*graph_);
+    if (build_seconds != nullptr) *build_seconds += t.Seconds();
+    BumpStat(&SessionStats::edge_index_builds);
+    return idx;
+  });
+}
+
+StatusOr<const TriangleIndex*> NucleusSession::TryTrianglesShared(
+    int threads, double* build_seconds, RunControl ctl) {
+  return triangle_index_.GetOrTryBuild([&]() -> StatusOr<TriangleIndex> {
+    NUCLEUS_FAULT_POINT("triangle_index_build");
+    Timer t;
+    TriangleIndex idx(*graph_, std::max(threads, 1), ctl);
+    if (idx.aborted()) return ctl.StopStatus();
+    if (build_seconds != nullptr) *build_seconds += t.Seconds();
+    BumpStat(&SessionStats::triangle_index_builds);
+    return idx;
+  });
+}
+
+StatusOr<const EdgeTriangleCsr*> NucleusSession::TryEdgeTrianglesShared(
+    int threads, RunControl ctl) {
+  return edge_triangle_csr_.GetOrTryBuild(
+      [&]() -> StatusOr<EdgeTriangleCsr> {
+        NUCLEUS_FAULT_POINT("edge_triangle_csr_build");
+        auto edges = TryEdgesShared(nullptr);
+        if (!edges.ok()) return edges.status();
+        auto tris = TryTrianglesShared(threads, nullptr, ctl);
+        if (!tris.ok()) return tris.status();
+        EdgeTriangleCsr csr(**edges, **tris, std::max(threads, 1), ctl);
+        if (csr.aborted()) return ctl.StopStatus();
+        BumpStat(&SessionStats::edge_triangle_csr_builds);
+        return csr;
+      });
 }
 
 const EdgeIndex& NucleusSession::Edges() {
@@ -229,7 +298,7 @@ template <typename Space, typename MakeSpace>
 StatusOr<DecomposeResult> NucleusSession::DecomposeWithSpace(
     DecompositionKind kind, const DecomposeOptions& options,
     ArenaCell<Space>* cell, int SessionStats::* arena_counter,
-    MakeSpace&& make_space, double index_seconds) {
+    MakeSpace&& make_space, double index_seconds, RunControl ctl) {
   const Space* base = nullptr;
   const CsrSpace<Space>* arena = nullptr;
   double arena_seconds = 0.0;
@@ -269,18 +338,43 @@ StatusOr<DecomposeResult> NucleusSession::DecomposeWithSpace(
       const std::uint64_t budget = internal::EffectiveBudget(
           options.materialize, options.materialize_budget_bytes);
       if (budget > cell->failed_budget) {
+        NUCLEUS_FAULT_POINT("arena_build");
+        // Degradation ladder: a deadline-bound request grants the arena
+        // build HALF the remaining time. If that share expires while the
+        // request is otherwise alive, the build is abandoned and the run
+        // degrades to the on-the-fly space — a slower sweep beats a
+        // failed request when the arena was merely an optimization.
+        RunControl build_ctl = ctl;
+        const bool has_deadline =
+            ctl.CanStop() && !ctl.deadline().IsInfinite();
+        if (has_deadline) {
+          build_ctl = ctl.WithDeadline(Deadline::After(
+              std::max<std::int64_t>(1, ctl.deadline().RemainingMs() / 2)));
+        }
         Timer t;
         std::vector<Degree> degrees;
         auto built = CsrSpace<Space>::TryBuild(
-            *base, std::max(options.threads, 1), budget, &degrees);
+            *base, std::max(options.threads, 1), budget, &degrees,
+            build_ctl);
         if (built.has_value()) {
           arena_seconds = t.Seconds();
           cell->arena = std::move(built);
           cell->failed_budget = 0;
           BumpStat(arena_counter);
+        } else if (ctl.CanStop() && ctl.ShouldStop()) {
+          // Cancelled / overall deadline exceeded mid-build: the partial
+          // counting degrees are garbage, and neither the failed-budget
+          // memo nor the fly-degree cache may learn from them — the next
+          // call must retry from scratch.
+          return ctl.StopStatus();
+        } else if (build_ctl.CanStop() && build_ctl.ShouldStop()) {
+          // Only the build's deadline share expired: degrade to the fly
+          // space. Same rule: nothing partial is memoized.
+          BumpStat(&SessionStats::degraded_builds);
         } else {
-          // Keep the counting pass's d_s so the fly fallback (this call
-          // and every later one) never re-counts.
+          // Over budget (the degrees contract holds): keep the counting
+          // pass's d_s so the fly fallback (this call and every later
+          // one) never re-counts.
           cell->failed_budget = budget;
           cell->fly_degrees = std::move(degrees);
         }
@@ -298,21 +392,27 @@ StatusOr<DecomposeResult> NucleusSession::DecomposeWithSpace(
       initial = cell->fly_degrees;  // engine consumes its copy
     }
   }
+  if (ctl.CanStop() && ctl.ShouldStop()) return ctl.StopStatus();
   // The engine run happens outside the cell mutex (but under the session's
   // shared lock) so concurrent calls — including same-kind repeats and
   // unrelated kinds — proceed; commits wait for the shared lock to drain.
-  DecomposeResult out =
-      arena != nullptr ? RunEngine(*arena, options, {})
-                       : RunEngine(*base, options, std::move(initial));
-  out.index_seconds = index_seconds;
-  out.arena_seconds = arena_seconds;
-  StoreResult(kind, options, out);
+  const DecomposeOptions run_options = WithRemainingControl(options, ctl);
+  StatusOr<DecomposeResult> out =
+      arena != nullptr ? RunEngine(*arena, run_options, {})
+                       : RunEngine(*base, run_options, std::move(initial));
+  if (!out.ok()) return out.status();
+  out->index_seconds = index_seconds;
+  out->arena_seconds = arena_seconds;
+  StoreResult(kind, options, *out);
   return out;
 }
 
 StatusOr<DecomposeResult> NucleusSession::DecomposeShared(
-    DecompositionKind kind, const DecomposeOptions& options) {
+    DecompositionKind kind, const DecomposeOptions& options,
+    RunControl ctl) {
   BumpStat(&SessionStats::decompose_calls);
+  // Cache hits are served even past a deadline — answering from memory is
+  // the one thing a bounded request can always afford.
   if (auto hit = TryServeFromCache(kind, options)) {
     return std::move(*hit);
   }
@@ -320,23 +420,25 @@ StatusOr<DecomposeResult> NucleusSession::DecomposeShared(
     case DecompositionKind::kCore:
       return DecomposeWithSpace(
           kind, options, &core_, &SessionStats::core_arena_builds,
-          [this] { return CoreSpace(*graph_); }, /*index_seconds=*/0.0);
+          [this] { return CoreSpace(*graph_); }, /*index_seconds=*/0.0,
+          ctl);
     case DecompositionKind::kTruss: {
       double index_seconds = 0.0;
-      const EdgeIndex& edges = EdgesShared(&index_seconds);
+      auto edges = TryEdgesShared(&index_seconds);
+      if (!edges.ok()) return edges.status();
       return DecomposeWithSpace(
           kind, options, &truss_, &SessionStats::truss_arena_builds,
-          [this, &edges] { return TrussSpace(*graph_, edges); },
-          index_seconds);
+          [this, &edges] { return TrussSpace(*graph_, **edges); },
+          index_seconds, ctl);
     }
     case DecompositionKind::kNucleus34: {
       double index_seconds = 0.0;
-      const TriangleIndex& tris =
-          TrianglesShared(options.threads, &index_seconds);
+      auto tris = TryTrianglesShared(options.threads, &index_seconds, ctl);
+      if (!tris.ok()) return tris.status();
       return DecomposeWithSpace(
           kind, options, &nucleus34_, &SessionStats::nucleus34_arena_builds,
-          [this, &tris] { return Nucleus34Space(*graph_, tris); },
-          index_seconds);
+          [this, &tris] { return Nucleus34Space(*graph_, **tris); },
+          index_seconds, ctl);
     }
   }
   return Status::Internal("unknown DecompositionKind");
@@ -345,13 +447,17 @@ StatusOr<DecomposeResult> NucleusSession::DecomposeShared(
 StatusOr<DecomposeResult> NucleusSession::Decompose(
     DecompositionKind kind, const DecomposeOptions& options) {
   if (Status s = ValidateCommonOptions(options); !s.ok()) return s;
+  // The deadline clock starts at the public boundary, so index builds,
+  // arena builds, and the engine run all share one budget.
+  const RunControl ctl = options.MakeControl();
   std::shared_lock<std::shared_mutex> lk(session_mu_);
-  return DecomposeShared(kind, options);
+  return DecomposeShared(kind, options, ctl);
 }
 
 StatusOr<const NucleusHierarchy*> NucleusSession::Hierarchy(
     DecompositionKind kind, const DecomposeOptions& options) {
   if (Status s = ValidateCommonOptions(options); !s.ok()) return s;
+  const RunControl ctl = options.MakeControl();
   std::shared_lock<std::shared_mutex> lk(session_mu_);
   ResultCell& cell = results_[static_cast<int>(kind)];
   {
@@ -367,7 +473,7 @@ StatusOr<const NucleusHierarchy*> NucleusSession::Hierarchy(
   DecomposeOptions exact = options;
   exact.max_iterations = 0;
   exact.trace = nullptr;
-  StatusOr<DecomposeResult> r = DecomposeShared(kind, exact);
+  StatusOr<DecomposeResult> r = DecomposeShared(kind, exact, ctl);
   if (!r.ok()) return r.status();
 
   // A fresh peel run hands back its level partition; feed it straight
@@ -375,8 +481,8 @@ StatusOr<const NucleusHierarchy*> NucleusSession::Hierarchy(
   // local-method runs carry no levels and take the kappa path.
   StatusOr<NucleusHierarchy> h =
       !r->peel_levels.empty() && r->kappa.size() == NumRCliquesShared(kind)
-          ? HierarchyFromPeelShared(kind, std::move(*r))
-          : HierarchyForShared(kind, r->kappa);
+          ? HierarchyFromPeelShared(kind, std::move(*r), ctl)
+          : HierarchyForShared(kind, r->kappa, ctl);
   if (!h.ok()) return h.status();
 
   std::lock_guard<std::mutex> clk(cell.mu);
@@ -389,24 +495,30 @@ StatusOr<const NucleusHierarchy*> NucleusSession::Hierarchy(
 }
 
 StatusOr<NucleusHierarchy> NucleusSession::HierarchyFromPeelShared(
-    DecompositionKind kind, DecomposeResult&& result) {
+    DecompositionKind kind, DecomposeResult&& result, RunControl ctl) {
   PeelResult peel;
   peel.order = std::move(result.peel_order);
   peel.levels = std::move(result.peel_levels);
+  NucleusHierarchy h;
   switch (kind) {
     case DecompositionKind::kCore:
-      return BuildHierarchy(CoreSpace(*graph_), peel);
+      h = BuildHierarchy(CoreSpace(*graph_), peel, ctl);
+      break;
     case DecompositionKind::kTruss:
-      return BuildHierarchy(TrussSpace(*graph_, EdgesShared(nullptr)), peel);
+      h = BuildHierarchy(TrussSpace(*graph_, EdgesShared(nullptr)), peel,
+                         ctl);
+      break;
     case DecompositionKind::kNucleus34:
-      return BuildHierarchy(
-          Nucleus34Space(*graph_, TrianglesShared(1, nullptr)), peel);
+      h = BuildHierarchy(Nucleus34Space(*graph_, TrianglesShared(1, nullptr)),
+                         peel, ctl);
+      break;
   }
-  return Status::Internal("unknown DecompositionKind");
+  if (h.aborted) return ctl.StopStatus();
+  return h;
 }
 
 StatusOr<NucleusHierarchy> NucleusSession::HierarchyForShared(
-    DecompositionKind kind, std::span<const Degree> kappa) {
+    DecompositionKind kind, std::span<const Degree> kappa, RunControl ctl) {
   const std::size_t n = NumRCliquesShared(kind);
   if (kappa.size() != n) {
     return Status::InvalidArgument(
@@ -414,22 +526,33 @@ StatusOr<NucleusHierarchy> NucleusSession::HierarchyForShared(
         std::to_string(n) + " for this kind");
   }
   const std::vector<Degree> k(kappa.begin(), kappa.end());
+  NucleusHierarchy h;
   switch (kind) {
     case DecompositionKind::kCore:
-      return BuildCoreHierarchy(*graph_, k);
-    case DecompositionKind::kTruss:
-      return BuildTrussHierarchy(*graph_, EdgesShared(nullptr), k);
-    case DecompositionKind::kNucleus34:
-      return BuildNucleus34Hierarchy(*graph_, TrianglesShared(1, nullptr),
-                                     k);
+      h = BuildHierarchy(CoreSpace(*graph_), k, {}, ctl);
+      break;
+    case DecompositionKind::kTruss: {
+      // Mirrors BuildTrussHierarchy: a patched index keeps tombstoned ids
+      // in the id space; exclude them so removed edges do not surface as
+      // phantom singleton nuclei. Same for (3,4) below.
+      const TrussSpace space(*graph_, EdgesShared(nullptr));
+      h = BuildHierarchy(space, k, space.LiveRFlags(), ctl);
+      break;
+    }
+    case DecompositionKind::kNucleus34: {
+      const Nucleus34Space space(*graph_, TrianglesShared(1, nullptr));
+      h = BuildHierarchy(space, k, space.LiveRFlags(), ctl);
+      break;
+    }
   }
-  return Status::Internal("unknown DecompositionKind");
+  if (h.aborted) return ctl.StopStatus();
+  return h;
 }
 
 StatusOr<NucleusHierarchy> NucleusSession::HierarchyFor(
     DecompositionKind kind, std::span<const Degree> kappa) {
   std::shared_lock<std::shared_mutex> lk(session_mu_);
-  return HierarchyForShared(kind, kappa);
+  return HierarchyForShared(kind, kappa, RunControl());
 }
 
 StatusOr<QueryEstimate> NucleusSession::EstimateQueries(
@@ -542,7 +665,7 @@ EdgeDelta NucleusSession::UpdateBatch::NetDelta() const {
   return delta;
 }
 
-Status NucleusSession::UpdateBatch::Commit() {
+Status NucleusSession::UpdateBatch::Commit(RunControl ctl) {
   if (session_ == nullptr) {
     return Status::FailedPrecondition(
         "UpdateBatch was moved from; commit the moved-to handle");
@@ -550,7 +673,7 @@ Status NucleusSession::UpdateBatch::Commit() {
   if (committed_) {
     return Status::FailedPrecondition("UpdateBatch already committed");
   }
-  const Status s = session_->CommitUpdates(this);
+  const Status s = session_->CommitUpdates(this, ctl);
   if (s.ok()) committed_ = true;
   return s;
 }
@@ -598,7 +721,7 @@ NucleusSession::UpdateBatch NucleusSession::BeginUpdates() {
                      commit_epoch_);
 }
 
-Status NucleusSession::CommitUpdates(UpdateBatch* batch) {
+Status NucleusSession::CommitUpdates(UpdateBatch* batch, RunControl ctl) {
   std::unique_lock<std::shared_mutex> lk(session_mu_);
   if (batch->epoch_ != commit_epoch_) {
     // Another batch committed mutations after this one branched off;
@@ -607,19 +730,26 @@ Status NucleusSession::CommitUpdates(UpdateBatch* batch) {
         "UpdateBatch is stale: the session graph changed since "
         "BeginUpdates; restart the batch from the current graph");
   }
-  BumpStat(&SessionStats::commits);
+  // Everything from here to the first cache mutation inside PropagateDelta
+  // is fallible (fault points, cancellable enumeration); a non-OK return
+  // leaves the session bitwise untouched and the batch retryable.
+  NUCLEUS_FAULT_POINT("commit_begin");
   const EdgeDelta delta = batch->NetDelta();
   if (delta.Empty()) {
+    BumpStat(&SessionStats::commits);
     return Status::Ok();  // graph unchanged: keep every cache
   }
-  PropagateDelta(delta, batch->maintainer_.ToGraph(), *batch);
+  Status s = PropagateDelta(delta, batch->maintainer_.ToGraph(), *batch, ctl);
+  if (!s.ok()) return s;
+  BumpStat(&SessionStats::commits);
   ++commit_epoch_;
   return Status::Ok();
 }
 
-void NucleusSession::PropagateDelta(const EdgeDelta& delta,
-                                    Graph&& new_graph,
-                                    const UpdateBatch& batch) {
+Status NucleusSession::PropagateDelta(const EdgeDelta& delta,
+                                      Graph&& new_graph,
+                                      const UpdateBatch& batch,
+                                      RunControl ctl) {
   const DynamicTrussMaintainer* truss_maintainer =
       batch.truss_maintainer_ ? &*batch.truss_maintainer_ : nullptr;
   const DynamicNucleus34Maintainer* n34_maintainer =
@@ -643,40 +773,21 @@ void NucleusSession::PropagateDelta(const EdgeDelta& delta,
   const bool need_tri_ids =
       tidx != nullptr && (etc != nullptr || need_4c_delta);
 
-  if (eidx != nullptr || tidx != nullptr) {
-    BumpStat(&SessionStats::incremental_commits);
-  }
-
-  // Stage 0: capture cached hierarchies (and the old kappa they pair
-  // with) for in-place repair. Repair needs this commit's exact NEW kappa
-  // too, so a kind qualifies only when its maintainer ran this batch (the
-  // core maintainer always does); unqualified hierarchies die with the
-  // result-cell reset in stage 6.
-  std::unique_ptr<NucleusHierarchy> old_hierarchy[3];
-  std::vector<Degree> old_kappa[3];
-  const bool can_repair[3] = {
-      true, truss_maintainer != nullptr && eidx != nullptr,
-      n34_maintainer != nullptr && tidx != nullptr};
-  for (int kind = 0; kind < 3; ++kind) {
-    ResultCell& cell = results_[kind];
-    std::lock_guard<std::mutex> clk(cell.mu);
-    if (!can_repair[kind] || !cell.hierarchy || !cell.kappa.has_value()) {
-      continue;
-    }
-    old_hierarchy[kind] = std::move(cell.hierarchy);
-    old_kappa[kind] = std::move(*cell.kappa);
-  }
-
-  // Stage 1: enumerate the s-cliques the delta destroys/creates (dead sets
-  // against the OLD graph, born sets against the new one) and resolve the
-  // ids that die with it while they are still lookup-able.
+  // Stage 1 (fallible): enumerate the s-cliques the delta destroys/creates
+  // (dead sets against the OLD graph, born sets against the new one) and
+  // resolve the ids that die with it while they are still lookup-able.
+  // NOTHING cached is mutated until stage 0 below — every failure exit in
+  // this stage leaves the session exactly as before the commit attempt.
+  NUCLEUS_FAULT_POINT("commit_enumerate");
   TriangleDelta tdelta;
   if (need_tri_delta) {
-    tdelta = ComputeTriangleDelta(*graph_, new_graph, delta);
+    tdelta = ComputeTriangleDelta(*graph_, new_graph, delta, ctl);
+    if (tdelta.aborted) return ctl.StopStatus();
   }
   FourCliqueDelta fdelta;
   if (need_4c_delta) {
-    fdelta = ComputeFourCliqueDelta(*graph_, new_graph, delta);
+    fdelta = ComputeFourCliqueDelta(*graph_, new_graph, delta, ctl);
+    if (fdelta.aborted) return ctl.StopStatus();
   }
   std::vector<EdgeId> removed_edge_ids;
   if (eidx != nullptr) {
@@ -718,6 +829,35 @@ void NucleusSession::PropagateDelta(const EdgeDelta& delta,
     for (const auto& q : fdelta.dead) {
       dead_4c_tris.push_back(quad_tri_ids(*tidx, q));
     }
+  }
+  // Everything the install phase consumes is now staged; the last chance
+  // to fail. Past this point the pipeline runs to completion.
+  NUCLEUS_FAULT_POINT("commit_stage");
+  if (ctl.CanStop() && ctl.ShouldStop()) return ctl.StopStatus();
+
+  if (eidx != nullptr || tidx != nullptr) {
+    BumpStat(&SessionStats::incremental_commits);
+  }
+
+  // Stage 0: capture cached hierarchies (and the old kappa they pair
+  // with) for in-place repair. Repair needs this commit's exact NEW kappa
+  // too, so a kind qualifies only when its maintainer ran this batch (the
+  // core maintainer always does); unqualified hierarchies die with the
+  // result-cell reset in stage 6. (Runs after the fallible stage 1: the
+  // moves out of the result cells are themselves cache mutations.)
+  std::unique_ptr<NucleusHierarchy> old_hierarchy[3];
+  std::vector<Degree> old_kappa[3];
+  const bool can_repair[3] = {
+      true, truss_maintainer != nullptr && eidx != nullptr,
+      n34_maintainer != nullptr && tidx != nullptr};
+  for (int kind = 0; kind < 3; ++kind) {
+    ResultCell& cell = results_[kind];
+    std::lock_guard<std::mutex> clk(cell.mu);
+    if (!can_repair[kind] || !cell.hierarchy || !cell.kappa.has_value()) {
+      continue;
+    }
+    old_hierarchy[kind] = std::move(cell.hierarchy);
+    old_kappa[kind] = std::move(*cell.kappa);
   }
 
   // Stage 2: install the new graph (everything old-graph-dependent is
@@ -998,6 +1138,7 @@ void NucleusSession::PropagateDelta(const EdgeDelta& delta,
       tidx = nullptr;
     }
   }
+  return Status::Ok();
 }
 
 void NucleusSession::ResetDerivedState() {

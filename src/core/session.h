@@ -210,6 +210,10 @@ struct SessionStats {
   /// Cached hierarchies repaired in place by a commit (localized level
   /// re-sweep instead of a full rebuild; one count per repaired kind).
   int hierarchy_repairs = 0;
+  /// Deadline-aware degradations: a budgeted arena build whose deadline
+  /// share expired while the overall request was still alive fell back to
+  /// the on-the-fly space instead of failing the request.
+  int degraded_builds = 0;
 };
 
 class NucleusSession {
@@ -346,7 +350,13 @@ class NucleusSession {
     /// this one began, so publishing this snapshot would silently drop
     /// them. A commit whose net delta is empty leaves all cached state
     /// untouched.
-    Status Commit();
+    ///
+    /// Failure atomicity: every fallible step (delta enumeration — which a
+    /// stoppable `ctl` can cancel — and the injected commit fault points)
+    /// runs BEFORE the first cache mutation, so a commit that returns
+    /// non-OK leaves the session exactly as if never attempted, the batch
+    /// stays uncommitted, and a retry of Commit() can succeed.
+    Status Commit(RunControl ctl = {});
 
    private:
     friend class NucleusSession;
@@ -468,21 +478,35 @@ class NucleusSession {
   const EdgeIndex& EdgesShared(double* build_seconds);
   const TriangleIndex& TrianglesShared(int threads, double* build_seconds);
   const EdgeTriangleCsr& EdgeTrianglesShared(int threads);
+  // Fallible variants used by the Status-returning entry points: the same
+  // cells, but the build is cancellable via ctl and subject to the
+  // injected fault points. A failed build installs NOTHING into the cell
+  // (the next caller rebuilds from scratch); a cached value is returned
+  // as-is even past a deadline.
+  StatusOr<const EdgeIndex*> TryEdgesShared(double* build_seconds);
+  StatusOr<const TriangleIndex*> TryTrianglesShared(int threads,
+                                                    double* build_seconds,
+                                                    RunControl ctl);
+  StatusOr<const EdgeTriangleCsr*> TryEdgeTrianglesShared(int threads,
+                                                          RunControl ctl);
   std::size_t NumRCliquesShared(DecompositionKind kind);
   StatusOr<DecomposeResult> DecomposeShared(DecompositionKind kind,
-                                            const DecomposeOptions& options);
+                                            const DecomposeOptions& options,
+                                            RunControl ctl);
   StatusOr<NucleusHierarchy> HierarchyForShared(DecompositionKind kind,
-                                                std::span<const Degree> kappa);
+                                                std::span<const Degree> kappa,
+                                                RunControl ctl);
   // Builds the hierarchy from a fresh peel run's level partition (moved
   // out of the result), skipping the kappa re-bucketing pass.
   StatusOr<NucleusHierarchy> HierarchyFromPeelShared(DecompositionKind kind,
-                                                     DecomposeResult&& result);
+                                                     DecomposeResult&& result,
+                                                     RunControl ctl);
 
   template <typename Space, typename MakeSpace>
   StatusOr<DecomposeResult> DecomposeWithSpace(
       DecompositionKind kind, const DecomposeOptions& options,
       ArenaCell<Space>* cell, int SessionStats::* arena_counter,
-      MakeSpace&& make_space, double index_seconds);
+      MakeSpace&& make_space, double index_seconds, RunControl ctl);
 
   // Serves a repeat request from the kind's result cell, or std::nullopt
   // on a miss. Caller holds session_mu_ shared.
@@ -492,12 +516,15 @@ class NucleusSession {
   void StoreResult(DecompositionKind kind, const DecomposeOptions& options,
                    const DecomposeResult& result);
 
-  Status CommitUpdates(UpdateBatch* batch);
+  Status CommitUpdates(UpdateBatch* batch, RunControl ctl);
   // The delta-propagation pipeline (caller holds session_mu_ exclusively).
   // Reads the batch's maintainers for the new kappa seeds and hierarchy
   // repairs; `new_graph` is the maintainer-materialized post-delta graph.
-  void PropagateDelta(const EdgeDelta& delta, Graph&& new_graph,
-                      const UpdateBatch& batch);
+  // Staged apply: every fallible step (cancellable delta enumeration,
+  // injected fault points) precedes the first cache mutation — a non-OK
+  // return leaves every layer untouched.
+  Status PropagateDelta(const EdgeDelta& delta, Graph&& new_graph,
+                        const UpdateBatch& batch, RunControl ctl);
   void ResetDerivedState();
   void BumpStat(int SessionStats::* field);
 

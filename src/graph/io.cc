@@ -1,10 +1,12 @@
 #include "src/graph/io.h"
 
+#include <charconv>
 #include <cstdint>
 #include <fstream>
-#include <sstream>
 #include <stdexcept>
+#include <system_error>
 
+#include "src/common/fault_injection.h"
 #include "src/graph/builder.h"
 
 namespace nucleus {
@@ -12,13 +14,44 @@ namespace nucleus {
 namespace {
 constexpr std::uint64_t kBinaryMagic = 0x4e55434c45555347ull;  // "NUCLEUSG"
 
+// Ids must survive the narrowing to the signed 32-bit VertexId used by
+// every downstream index, so anything >= 2^31 is rejected at the door.
+constexpr std::uint64_t kMaxVertexId = (std::uint64_t{1} << 31) - 1;
+
 // Converts a failed Status into the exception the legacy API promised.
 [[noreturn]] void ThrowStatus(const Status& s) {
   throw std::runtime_error(s.message());
 }
+
+const char* SkipSpace(const char* p, const char* end) {
+  while (p != end && (*p == ' ' || *p == '\t' || *p == '\r')) ++p;
+  return p;
+}
+
+enum class ParseId { kOk, kNonNumeric, kOutOfRange };
+
+// Parses one base-10 vertex id token at *p, advancing past it on success.
+ParseId ParseVertexId(const char** p, const char* end, std::uint64_t* out) {
+  auto [next, ec] = std::from_chars(*p, end, *out);
+  if (ec == std::errc::result_out_of_range) return ParseId::kOutOfRange;
+  if (ec != std::errc() || next == *p) return ParseId::kNonNumeric;
+  // A token like "12x" is garbage, not the id 12 — the character after the
+  // digits must be a separator (or the end of the line).
+  if (next != end && *next != ' ' && *next != '\t' && *next != '\r') {
+    return ParseId::kNonNumeric;
+  }
+  *p = next;
+  if (*out > kMaxVertexId) return ParseId::kOutOfRange;
+  return ParseId::kOk;
+}
+
+std::string At(const std::string& path, std::size_t lineno) {
+  return path + ":" + std::to_string(lineno);
+}
 }  // namespace
 
 StatusOr<Graph> TryLoadEdgeListText(const std::string& path) {
+  NUCLEUS_FAULT_POINT("io_load_text");
   std::ifstream in(path);
   if (!in) return Status::NotFound("cannot open graph file: " + path);
   GraphBuilder builder(/*relabel=*/true);
@@ -27,18 +60,43 @@ StatusOr<Graph> TryLoadEdgeListText(const std::string& path) {
   while (std::getline(in, line)) {
     ++lineno;
     if (line.empty() || line[0] == '#' || line[0] == '%') continue;
-    std::istringstream ss(line);
-    std::uint64_t u, v;
-    if (!(ss >> u >> v)) {
-      return Status::InvalidArgument("malformed edge at " + path + ":" +
-                                     std::to_string(lineno));
+    const char* p = line.data();
+    const char* end = p + line.size();
+    p = SkipSpace(p, end);
+    if (p == end) continue;  // whitespace-only line
+    std::uint64_t ids[2];
+    for (int k = 0; k < 2; ++k) {
+      if (k > 0) {
+        p = SkipSpace(p, end);
+        if (p == end) {
+          return Status::InvalidArgument("truncated edge (missing second "
+                                         "endpoint) at " +
+                                         At(path, lineno));
+        }
+      }
+      switch (ParseVertexId(&p, end, &ids[k])) {
+        case ParseId::kOk:
+          break;
+        case ParseId::kNonNumeric:
+          return Status::InvalidArgument("non-numeric vertex id at " +
+                                         At(path, lineno));
+        case ParseId::kOutOfRange:
+          return Status::InvalidArgument(
+              "vertex id exceeds 2^31 - 1 at " + At(path, lineno));
+      }
     }
-    builder.AddEdge(u, v);
+    if (SkipSpace(p, end) != end) {
+      return Status::InvalidArgument("trailing garbage after edge at " +
+                                     At(path, lineno));
+    }
+    builder.AddEdge(ids[0], ids[1]);
   }
+  if (in.bad()) return Status::Internal("read error on graph file: " + path);
   return builder.Build();
 }
 
 Status TrySaveEdgeListText(const Graph& g, const std::string& path) {
+  NUCLEUS_FAULT_POINT("io_save");
   std::ofstream out(path);
   if (!out) {
     return Status::FailedPrecondition("cannot write graph file: " + path);
@@ -55,6 +113,7 @@ Status TrySaveEdgeListText(const Graph& g, const std::string& path) {
 }
 
 Status TrySaveBinary(const Graph& g, const std::string& path) {
+  NUCLEUS_FAULT_POINT("io_save");
   std::ofstream out(path, std::ios::binary);
   if (!out) {
     return Status::FailedPrecondition("cannot write graph file: " + path);
@@ -74,6 +133,7 @@ Status TrySaveBinary(const Graph& g, const std::string& path) {
 }
 
 StatusOr<Graph> TryLoadBinary(const std::string& path) {
+  NUCLEUS_FAULT_POINT("io_load_binary");
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::NotFound("cannot open graph file: " + path);
   in.seekg(0, std::ios::end);

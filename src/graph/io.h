@@ -16,7 +16,10 @@
 namespace nucleus {
 
 /// Loads a SNAP-style text edge list. Vertex ids are relabeled densely.
-/// kNotFound for unreadable files, kInvalidArgument for malformed lines.
+/// kNotFound for unreadable files; kInvalidArgument (with a "path:lineno"
+/// location) for malformed lines: non-numeric tokens, ids >= 2^31 (they
+/// would not survive the narrowing to the 32-bit VertexId), lines with a
+/// missing second endpoint, or trailing garbage after the pair.
 StatusOr<Graph> TryLoadEdgeListText(const std::string& path);
 
 /// Writes "u v" lines (canonical u < v orientation), with a header comment.

@@ -75,9 +75,11 @@ std::vector<CliqueId> MakeAndOrder(const Space& space,
 /// on-the-fly decision path and the CSR build).
 template <typename Space>
 LocalResult AndSweeps(const Space& space, const AndOptions& options,
-                      std::vector<Degree> initial) {
+                      std::vector<Degree> initial, RunControl ctl = {}) {
   const LocalOptions& local = options.local;
   const std::size_t n = space.NumRCliques();
+  const bool can_stop = ctl.CanStop();
+  AbortFlag abort;
   LocalResult result;
   result.tau = std::move(initial);
   const std::vector<CliqueId> order =
@@ -108,6 +110,7 @@ LocalResult AndSweeps(const Space& space, const AndOptions& options,
     ParallelFor(
         n, local.threads,
         [&](std::size_t idx) {
+          if (can_stop && PollStopAmortized(ctl, abort)) return;
           const CliqueId r = order[idx];
           if (options.use_notification) {
             std::atomic_ref<char> flag(active[r]);
@@ -147,6 +150,10 @@ LocalResult AndSweeps(const Space& space, const AndOptions& options,
           }
         },
         local.schedule);
+    if (can_stop && (abort.Raised() || ctl.ShouldStop())) {
+      result.status = ctl.StopStatus();
+      return result;  // tau is partial; caller must discard.
+    }
 
     const std::size_t u = updates.load();
     if (local.trace != nullptr) {
@@ -170,6 +177,7 @@ LocalResult AndSweeps(const Space& space, const AndOptions& options,
 template <typename Space>
 LocalResult AndGeneric(const Space& space, const AndOptions& options) {
   const LocalOptions& local = options.local;
+  const RunControl ctl = local.MakeControl();
   if constexpr (!internal::IsCsrSpace<Space>::value) {
     if (internal::WantMaterialize<Space>(local.materialize)) {
       std::vector<Degree> degrees;
@@ -177,15 +185,20 @@ LocalResult AndGeneric(const Space& space, const AndOptions& options) {
               space, local.threads,
               internal::EffectiveBudget(local.materialize,
                                         local.materialize_budget_bytes),
-              &degrees)) {
-        return internal::AndSweeps(*csr, options, csr->InitialDegrees());
+              &degrees, ctl)) {
+        return internal::AndSweeps(*csr, options, csr->InitialDegrees(), ctl);
+      }
+      if (ctl.CanStop() && ctl.ShouldStop()) {
+        LocalResult stopped;
+        stopped.status = ctl.StopStatus();
+        return stopped;
       }
       // Over budget: the counting attempt already produced tau_0.
-      return internal::AndSweeps(space, options, std::move(degrees));
+      return internal::AndSweeps(space, options, std::move(degrees), ctl);
     }
   }
   return internal::AndSweeps(space, options,
-                             space.InitialDegrees(local.threads));
+                             space.InitialDegrees(local.threads), ctl);
 }
 
 }  // namespace nucleus

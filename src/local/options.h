@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "src/clique/csr_space.h"
+#include "src/common/cancel.h"
 #include "src/common/parallel.h"
 
 namespace nucleus {
@@ -38,6 +39,20 @@ struct Options {
   std::uint64_t materialize_budget_bytes = std::uint64_t{512} << 20;
   /// Optional instrumentation sink.
   ConvergenceTrace* trace = nullptr;
+  /// Wall-clock budget for the whole call in milliseconds; 0 = unbounded.
+  /// The clock starts at the entry point; an expired run unwinds with
+  /// kDeadlineExceeded and installs nothing.
+  std::int64_t deadline_ms = 0;
+  /// Optional cooperative cancellation source (not owned; the caller keeps
+  /// it alive for the duration of the call). A fired token unwinds the
+  /// run with kCancelled and installs nothing.
+  const CancelToken* cancel_token = nullptr;
+
+  /// The control a run derived from these knobs polls; the deadline clock
+  /// starts at the call.
+  RunControl MakeControl() const {
+    return MakeRunControl(cancel_token, deadline_ms);
+  }
 };
 
 }  // namespace nucleus

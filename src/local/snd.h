@@ -13,6 +13,7 @@
 #include "src/clique/csr_space.h"
 #include "src/clique/spaces.h"
 #include "src/common/parallel.h"
+#include "src/common/status.h"
 #include "src/common/types.h"
 #include "src/local/options.h"
 #include "src/local/trace.h"
@@ -38,6 +39,10 @@ struct LocalResult {
   bool converged = false;
   /// Total tau updates across all sweeps.
   std::size_t total_updates = 0;
+  /// Ok for a completed (or iteration-capped) run. kCancelled /
+  /// kDeadlineExceeded when the run was stopped via Options::cancel_token
+  /// or Options::deadline_ms: tau is then partial and must be discarded.
+  Status status = Status::Ok();
 };
 
 /// Generic SND over any clique space.

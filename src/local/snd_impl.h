@@ -20,8 +20,10 @@ namespace internal {
 /// twice).
 template <typename Space>
 LocalResult SndSweeps(const Space& space, const LocalOptions& options,
-                      std::vector<Degree> initial) {
+                      std::vector<Degree> initial, RunControl ctl = {}) {
   const std::size_t n = space.NumRCliques();
+  const bool can_stop = ctl.CanStop();
+  AbortFlag abort;
   LocalResult result;
   result.tau = std::move(initial);
   std::vector<Degree> tau_prev(n);
@@ -40,6 +42,7 @@ LocalResult SndSweeps(const Space& space, const LocalOptions& options,
     ParallelFor(
         n, options.threads,
         [&](std::size_t r) {
+          if (can_stop && PollStopAmortized(ctl, abort)) return;
           const Degree old_tau = tau_prev[r];
           if (old_tau == 0) return;  // 0 is a fixed point
           static thread_local HIndexScratch scratch;
@@ -66,6 +69,10 @@ LocalResult SndSweeps(const Space& space, const LocalOptions& options,
           }
         },
         options.schedule);
+    if (can_stop && (abort.Raised() || ctl.ShouldStop())) {
+      result.status = ctl.StopStatus();
+      return result;  // tau is partial; caller must discard.
+    }
 
     const std::size_t u = updates.load();
     if (options.trace != nullptr) {
@@ -88,6 +95,7 @@ LocalResult SndSweeps(const Space& space, const LocalOptions& options,
 
 template <typename Space>
 LocalResult SndGeneric(const Space& space, const LocalOptions& options) {
+  const RunControl ctl = options.MakeControl();
   if constexpr (!internal::IsCsrSpace<Space>::value) {
     if (internal::WantMaterialize<Space>(options.materialize)) {
       std::vector<Degree> degrees;
@@ -95,15 +103,20 @@ LocalResult SndGeneric(const Space& space, const LocalOptions& options) {
               space, options.threads,
               internal::EffectiveBudget(options.materialize,
                                         options.materialize_budget_bytes),
-              &degrees)) {
-        return internal::SndSweeps(*csr, options, csr->InitialDegrees());
+              &degrees, ctl)) {
+        return internal::SndSweeps(*csr, options, csr->InitialDegrees(), ctl);
+      }
+      if (ctl.CanStop() && ctl.ShouldStop()) {
+        LocalResult stopped;
+        stopped.status = ctl.StopStatus();
+        return stopped;
       }
       // Over budget: the counting attempt already produced tau_0.
-      return internal::SndSweeps(space, options, std::move(degrees));
+      return internal::SndSweeps(space, options, std::move(degrees), ctl);
     }
   }
   return internal::SndSweeps(space, options,
-                             space.InitialDegrees(options.threads));
+                             space.InitialDegrees(options.threads), ctl);
 }
 
 }  // namespace nucleus

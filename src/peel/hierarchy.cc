@@ -25,28 +25,31 @@ std::size_t NucleusHierarchy::Depth() const {
 
 template NucleusHierarchy BuildHierarchy<CoreSpace>(
     const CoreSpace&, const std::vector<Degree>&,
-    std::span<const std::uint8_t>);
+    std::span<const std::uint8_t>, RunControl);
 template NucleusHierarchy BuildHierarchy<TrussSpace>(
     const TrussSpace&, const std::vector<Degree>&,
-    std::span<const std::uint8_t>);
+    std::span<const std::uint8_t>, RunControl);
 template NucleusHierarchy BuildHierarchy<Nucleus34Space>(
     const Nucleus34Space&, const std::vector<Degree>&,
-    std::span<const std::uint8_t>);
+    std::span<const std::uint8_t>, RunControl);
 template NucleusHierarchy BuildHierarchy<CoreSpace>(const CoreSpace&,
-                                                    const PeelResult&);
+                                                    const PeelResult&,
+                                                    RunControl);
 template NucleusHierarchy BuildHierarchy<TrussSpace>(const TrussSpace&,
-                                                     const PeelResult&);
+                                                     const PeelResult&,
+                                                     RunControl);
 template NucleusHierarchy BuildHierarchy<Nucleus34Space>(
-    const Nucleus34Space&, const PeelResult&);
+    const Nucleus34Space&, const PeelResult&, RunControl);
 template NucleusHierarchy RepairHierarchy<CoreSpace>(
     const CoreSpace&, const NucleusHierarchy&, const std::vector<Degree>&,
-    std::span<const std::uint8_t>, Degree);
+    std::span<const std::uint8_t>, Degree, RunControl);
 template NucleusHierarchy RepairHierarchy<TrussSpace>(
     const TrussSpace&, const NucleusHierarchy&, const std::vector<Degree>&,
-    std::span<const std::uint8_t>, Degree);
+    std::span<const std::uint8_t>, Degree, RunControl);
 template NucleusHierarchy RepairHierarchy<Nucleus34Space>(
     const Nucleus34Space&, const NucleusHierarchy&,
-    const std::vector<Degree>&, std::span<const std::uint8_t>, Degree);
+    const std::vector<Degree>&, std::span<const std::uint8_t>, Degree,
+    RunControl);
 
 NucleusHierarchy BuildCoreHierarchy(const Graph& g,
                                     const std::vector<Degree>& kappa) {

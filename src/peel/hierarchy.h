@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/clique/spaces.h"
+#include "src/common/cancel.h"
 #include "src/common/types.h"
 #include "src/peel/peel_engine.h"
 
@@ -42,6 +43,10 @@ struct NucleusHierarchy {
   /// nucleus; Definition: the maximal subgraph around it of >= kappa).
   std::vector<int> node_of_clique;
 
+  /// True when the construction was stopped via a RunControl before the
+  /// sweep completed. The forest is then partial and must be discarded.
+  bool aborted = false;
+
   /// Depth of the forest (number of nodes on the longest root-leaf path).
   std::size_t Depth() const;
 };
@@ -51,10 +56,14 @@ struct NucleusHierarchy {
 /// which r-clique ids exist (patched indices keep tombstoned ids in the
 /// id space); dead ids are excluded from every node and get
 /// node_of_clique == -1. Empty means all ids are live.
+/// A stoppable `ctl` (on any overload, and on RepairHierarchy) abandons
+/// the union-find sweep mid-stream; the returned forest then has
+/// `aborted == true` and must be discarded.
 template <typename Space>
 NucleusHierarchy BuildHierarchy(const Space& space,
                                 const std::vector<Degree>& kappa,
-                                std::span<const std::uint8_t> live = {});
+                                std::span<const std::uint8_t> live = {},
+                                RunControl ctl = {});
 
 /// Builds the hierarchy straight from a peel run's level partition
 /// (PeelResult::levels / order), skipping the kappa re-bucketing pass.
@@ -63,7 +72,8 @@ NucleusHierarchy BuildHierarchy(const Space& space,
 /// ascending id order first, so the result is bitwise-identical to the
 /// kappa overload whatever peel strategy produced the partition.
 template <typename Space>
-NucleusHierarchy BuildHierarchy(const Space& space, const PeelResult& peel);
+NucleusHierarchy BuildHierarchy(const Space& space, const PeelResult& peel,
+                                RunControl ctl = {});
 
 /// Localized hierarchy repair after a graph delta: splices the nodes of
 /// `old_hierarchy` whose k exceeds `max_touched_level` (their levels are
@@ -84,7 +94,8 @@ NucleusHierarchy RepairHierarchy(const Space& space,
                                  const NucleusHierarchy& old_hierarchy,
                                  const std::vector<Degree>& kappa,
                                  std::span<const std::uint8_t> live,
-                                 Degree max_touched_level);
+                                 Degree max_touched_level,
+                                 RunControl ctl = {});
 
 // Explicitly instantiated wrappers.
 NucleusHierarchy BuildCoreHierarchy(const Graph& g,

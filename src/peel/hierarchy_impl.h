@@ -60,7 +60,10 @@ template <typename Space>
 void RunHierarchySweep(
     const Space& space, NucleusHierarchy* h, HierarchySweepState* state,
     std::span<const std::pair<Degree, std::span<const CliqueId>>>
-        levels_desc) {
+        levels_desc,
+    RunControl ctl = {}) {
+  const bool can_stop = ctl.CanStop();
+  CheckEvery<64> poll;
   for (const auto& [level, newly] : levels_desc) {
     if (newly.empty()) continue;
     for (CliqueId r : newly) state->active[r] = true;
@@ -83,6 +86,13 @@ void RunHierarchySweep(
       }
     };
     for (CliqueId r : newly) {
+      // The per-member s-clique enumeration dominates sweep cost, so the
+      // stop poll sits here. A stopped sweep leaves the forest partial;
+      // the aborted flag tells callers to discard it.
+      if (can_stop && poll.Due() && ctl.ShouldStop()) {
+        h->aborted = true;
+        return;
+      }
       space.ForEachSClique(r, [&](std::span<const CliqueId> co) {
         for (CliqueId c : co) {
           if (!state->active[c]) return;  // s-clique not alive yet
@@ -151,12 +161,14 @@ template <typename Space>
 NucleusHierarchy BuildHierarchyFromLevels(
     const Space& space, std::size_t n,
     std::span<const std::pair<Degree, std::span<const CliqueId>>>
-        levels_desc) {
+        levels_desc,
+    RunControl ctl = {}) {
   NucleusHierarchy h;
   h.node_of_clique.assign(n, -1);
   if (n == 0) return h;
   HierarchySweepState state(n);
-  RunHierarchySweep(space, &h, &state, levels_desc);
+  RunHierarchySweep(space, &h, &state, levels_desc, ctl);
+  if (h.aborted) return h;  // partial; caller discards
   FinalizeHierarchy(&h);
   return h;
 }
@@ -195,7 +207,8 @@ LevelsDescFromKappa(const std::vector<Degree>& kappa,
 template <typename Space>
 NucleusHierarchy BuildHierarchy(const Space& space,
                                 const std::vector<Degree>& kappa,
-                                std::span<const std::uint8_t> live) {
+                                std::span<const std::uint8_t> live,
+                                RunControl ctl) {
   const std::size_t n = space.NumRCliques();
   if (n == 0) return internal::BuildHierarchyFromLevels(space, n, {});
 
@@ -204,11 +217,12 @@ NucleusHierarchy BuildHierarchy(const Space& space,
   std::vector<std::vector<CliqueId>> by_level;
   const auto levels_desc = internal::LevelsDescFromKappa(
       kappa, live, std::numeric_limits<Degree>::max(), &by_level);
-  return internal::BuildHierarchyFromLevels(space, n, levels_desc);
+  return internal::BuildHierarchyFromLevels(space, n, levels_desc, ctl);
 }
 
 template <typename Space>
-NucleusHierarchy BuildHierarchy(const Space& space, const PeelResult& peel) {
+NucleusHierarchy BuildHierarchy(const Space& space, const PeelResult& peel,
+                                RunControl ctl) {
   // The peel engine already partitioned the live ids into equal-kappa
   // segments of `order` (ascending kappa); sort each segment so the sweep
   // sees the canonical ascending-id member order whatever strategy peeled
@@ -227,7 +241,7 @@ NucleusHierarchy BuildHierarchy(const Space& space, const PeelResult& peel) {
                                            level.end - level.begin));
   }
   return internal::BuildHierarchyFromLevels(space, space.NumRCliques(),
-                                            levels_desc);
+                                            levels_desc, ctl);
 }
 
 template <typename Space>
@@ -235,7 +249,7 @@ NucleusHierarchy RepairHierarchy(const Space& space,
                                  const NucleusHierarchy& old_hierarchy,
                                  const std::vector<Degree>& kappa,
                                  std::span<const std::uint8_t> live,
-                                 Degree max_touched_level) {
+                                 Degree max_touched_level, RunControl ctl) {
   const std::size_t n = space.NumRCliques();
   NucleusHierarchy h;
   h.node_of_clique.assign(n, -1);
@@ -294,7 +308,8 @@ NucleusHierarchy RepairHierarchy(const Space& space,
   std::vector<std::vector<CliqueId>> by_level;
   const auto levels_desc = internal::LevelsDescFromKappa(
       kappa, live, max_touched_level, &by_level);
-  internal::RunHierarchySweep(space, &h, &state, levels_desc);
+  internal::RunHierarchySweep(space, &h, &state, levels_desc, ctl);
+  if (h.aborted) return h;  // partial; caller discards
   internal::FinalizeHierarchy(&h);
   return h;
 }

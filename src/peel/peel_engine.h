@@ -48,7 +48,9 @@
 #include "src/clique/spaces.h"
 #include "src/common/atomic_frontier.h"
 #include "src/common/bucket_queue.h"
+#include "src/common/cancel.h"
 #include "src/common/parallel.h"
+#include "src/common/status.h"
 #include "src/common/types.h"
 
 namespace nucleus {
@@ -74,6 +76,16 @@ struct PeelOptions {
   /// same way LocalOptions does; peeling defaults to the fly).
   Materialize materialize = Materialize::kOff;
   std::uint64_t materialize_budget_bytes = std::uint64_t{512} << 20;
+  /// Wall-clock budget for the whole run (ms; 0 = unbounded) and optional
+  /// cancellation source — same contract as Options (local/options.h).
+  /// A stopped run reports PeelResult::status and its payload must be
+  /// discarded.
+  std::int64_t deadline_ms = 0;
+  const CancelToken* cancel_token = nullptr;
+
+  RunControl MakeControl() const {
+    return MakeRunControl(cancel_token, deadline_ms);
+  }
 };
 
 /// One equal-kappa segment of PeelResult::order: the r-cliques whose kappa
@@ -101,6 +113,10 @@ struct PeelResult {
   /// Partition of `order` into equal-kappa runs — the level structure that
   /// hierarchy construction consumes directly.
   std::vector<PeelLevel> levels;
+  /// OK for a completed run; kCancelled / kDeadlineExceeded when the run
+  /// was stopped mid-peel, in which case kappa/order/levels are partial
+  /// garbage and the caller must discard the whole result.
+  Status status;
 };
 
 namespace internal {
@@ -121,14 +137,21 @@ std::vector<std::uint8_t> SpaceLiveFlags(const Space& space) {
 /// degrees destructively (they seed the queue).
 template <typename Space>
 PeelResult PeelSequentialImpl(const Space& space, std::vector<Degree> ds,
-                              const std::vector<std::uint8_t>& live) {
+                              const std::vector<std::uint8_t>& live,
+                              RunControl ctl = {}) {
   const std::size_t n = ds.size();
   BucketQueue queue(ds);
   PeelResult result;
   result.kappa.assign(n, 0);
   result.order.reserve(n);
   const bool all_live = live.empty();
+  const bool can_stop = ctl.CanStop();
+  CheckEvery<256> poll;
   while (!queue.Empty()) {
+    if (can_stop && poll.Due() && ctl.ShouldStop()) {
+      result.status = ctl.StopStatus();
+      return result;
+    }
     const CliqueId r = queue.ExtractMin();
     // Tombstoned ids of a patched index sit at degree 0; their kappa is
     // pinned at 0 and they never appear in the order or level partition.
@@ -159,12 +182,20 @@ PeelResult PeelSequentialImpl(const Space& space, std::vector<Degree> ds,
 template <typename Space>
 PeelResult PeelParallelImpl(const Space& space, std::vector<Degree> ds,
                             const std::vector<std::uint8_t>& live,
-                            int threads) {
+                            int threads, RunControl ctl = {}) {
   const std::size_t n = ds.size();
   PeelResult result;
   result.kappa.assign(n, 0);
   if (n == 0) return result;
   result.order.reserve(n);
+
+  // Stop machinery: workers poll amortized inside rounds and raise the
+  // shared flag; the round barrier turns it into a Status. All of it is
+  // skipped (can_stop false) when no deadline/token was supplied.
+  const bool can_stop = ctl.CanStop();
+  AbortFlag abort;
+  std::vector<CheckEvery<64>> polls(
+      static_cast<std::size_t>(std::max(threads, 1)));
 
   AtomicDegreeArray deg(ds);
   // round_of[r]: the frontier round that claimed r. kAliveRound = not yet
@@ -292,6 +323,13 @@ PeelResult PeelParallelImpl(const Space& space, std::vector<Degree> ds,
       // for them costs more than the work, so small rounds run inline
       // (kInlineFrontier) and only bulk rounds fan out.
       const auto process = [&](int w, std::size_t idx) {
+        if (can_stop) {
+          if (abort.Raised()) return;
+          if (polls[static_cast<std::size_t>(w)].Due() && ctl.ShouldStop()) {
+            abort.Raise();
+            return;
+          }
+        }
         const CliqueId r = frontier[idx];
         space.ForEachSClique(r, [&](std::span<const CliqueId> co) {
           // Destroyed in an earlier round, or another same-round member
@@ -318,6 +356,13 @@ PeelResult PeelParallelImpl(const Space& space, std::vector<Degree> ds,
         ParallelForWorker(frontier.size(), threads, process, /*chunk=*/16);
       }
 
+      // A raised abort flag means items were skipped and the degree state
+      // is inconsistent — discard everything and report why.
+      if (can_stop && (abort.Raised() || ctl.ShouldStop())) {
+        result.status = ctl.StopStatus();
+        return result;
+      }
+
       remaining -= frontier.size();
       result.order.insert(result.order.end(), frontier.begin(),
                           frontier.end());
@@ -339,14 +384,14 @@ PeelResult PeelParallelImpl(const Space& space, std::vector<Degree> ds,
 /// Strategy dispatch over a concrete (possibly materialized) space.
 template <typename Space>
 PeelResult PeelDispatch(const Space& space, const PeelOptions& options,
-                        std::vector<Degree> ds) {
+                        std::vector<Degree> ds, RunControl ctl = {}) {
   const std::vector<std::uint8_t> live = SpaceLiveFlags(space);
   const bool parallel =
       options.strategy == PeelStrategy::kParallel ||
       (options.strategy == PeelStrategy::kAuto && options.threads > 1);
   return parallel ? PeelParallelImpl(space, std::move(ds), live,
-                                     options.threads)
-                  : PeelSequentialImpl(space, std::move(ds), live);
+                                     options.threads, ctl)
+                  : PeelSequentialImpl(space, std::move(ds), live, ctl);
 }
 
 }  // namespace internal
@@ -358,6 +403,7 @@ PeelResult PeelDispatch(const Space& space, const PeelOptions& options,
 template <typename Space>
 PeelResult PeelDecomposition(const Space& space,
                              const PeelOptions& options) {
+  const RunControl ctl = options.MakeControl();
   if constexpr (!internal::IsCsrSpace<Space>::value) {
     if (internal::WantMaterialize<Space>(options.materialize)) {
       std::vector<Degree> degrees;
@@ -365,15 +411,21 @@ PeelResult PeelDecomposition(const Space& space,
               space, options.threads,
               internal::EffectiveBudget(options.materialize,
                                         options.materialize_budget_bytes),
-              &degrees)) {
-        return internal::PeelDispatch(*csr, options, csr->InitialDegrees());
+              &degrees, ctl)) {
+        return internal::PeelDispatch(*csr, options, csr->InitialDegrees(),
+                                      ctl);
+      }
+      if (ctl.CanStop() && ctl.ShouldStop()) {
+        PeelResult stopped;
+        stopped.status = ctl.StopStatus();
+        return stopped;
       }
       // Over budget: the counting attempt already produced the degrees.
-      return internal::PeelDispatch(space, options, std::move(degrees));
+      return internal::PeelDispatch(space, options, std::move(degrees), ctl);
     }
   }
   return internal::PeelDispatch(space, options,
-                                space.InitialDegrees(options.threads));
+                                space.InitialDegrees(options.threads), ctl);
 }
 
 /// Degrees-supplied form: runs over `space` as-is (no self-
@@ -383,7 +435,8 @@ PeelResult PeelDecomposition(const Space& space,
 template <typename Space>
 PeelResult PeelDecomposition(const Space& space, const PeelOptions& options,
                              std::vector<Degree> initial_degrees) {
-  return internal::PeelDispatch(space, options, std::move(initial_degrees));
+  return internal::PeelDispatch(space, options, std::move(initial_degrees),
+                                options.MakeControl());
 }
 
 /// Back-compat form: the paper's sequential on-the-fly peel.

@@ -69,6 +69,100 @@ TEST(GraphIo, LoadMissingFileThrows) {
                std::runtime_error);
 }
 
+TEST(GraphIo, LoadRejectsNonNumericTokenWithLineNumber) {
+  const std::string path = TempPath("non_numeric.txt");
+  {
+    std::ofstream out(path);
+    out << "0 1\nfoo 2\n";
+  }
+  const auto g = TryLoadEdgeListText(path);
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(g.status().message().find(":2"), std::string::npos)
+      << g.status().message();
+  EXPECT_NE(g.status().message().find("non-numeric"), std::string::npos)
+      << g.status().message();
+}
+
+TEST(GraphIo, LoadRejectsDigitsWithSuffix) {
+  // "12x" is garbage, not the id 12 with noise after it.
+  const std::string path = TempPath("suffix.txt");
+  {
+    std::ofstream out(path);
+    out << "12x 3\n";
+  }
+  const auto g = TryLoadEdgeListText(path);
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(g.status().message().find(":1"), std::string::npos)
+      << g.status().message();
+}
+
+TEST(GraphIo, LoadRejectsVertexIdAtOrAbove2To31) {
+  const std::string path = TempPath("huge_id.txt");
+  for (const std::string id :
+       {std::string("2147483648"),                  // 2^31 exactly
+        std::string("99999999999999999999999")}) {  // overflows uint64 too
+    {
+      std::ofstream out(path);
+      out << "0 1\n0 " << id << "\n";
+    }
+    const auto g = TryLoadEdgeListText(path);
+    ASSERT_FALSE(g.ok()) << id;
+    EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(g.status().message().find(":2"), std::string::npos)
+        << g.status().message();
+  }
+  // The largest representable id is fine (it gets relabeled densely).
+  {
+    std::ofstream out(path);
+    out << "0 2147483647\n";
+  }
+  const auto ok = TryLoadEdgeListText(path);
+  ASSERT_TRUE(ok.ok()) << ok.status().message();
+  EXPECT_EQ(ok.value().NumEdges(), 1u);
+}
+
+TEST(GraphIo, LoadRejectsTruncatedLine) {
+  const std::string path = TempPath("truncated_line.txt");
+  {
+    std::ofstream out(path);
+    out << "0 1\n5\n";
+  }
+  const auto g = TryLoadEdgeListText(path);
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(g.status().message().find(":2"), std::string::npos)
+      << g.status().message();
+  EXPECT_NE(g.status().message().find("truncated"), std::string::npos)
+      << g.status().message();
+}
+
+TEST(GraphIo, LoadRejectsTrailingGarbage) {
+  const std::string path = TempPath("trailing.txt");
+  {
+    std::ofstream out(path);
+    out << "0 1 junk\n";
+  }
+  const auto g = TryLoadEdgeListText(path);
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(g.status().message().find(":1"), std::string::npos)
+      << g.status().message();
+}
+
+TEST(GraphIo, LoadAcceptsTabsAndCrlf) {
+  const std::string path = TempPath("tabs_crlf.txt");
+  {
+    std::ofstream out(path, std::ios::binary);  // keep the \r literal
+    out << "0\t1\r\n1 2\r\n";
+  }
+  const auto g = TryLoadEdgeListText(path);
+  ASSERT_TRUE(g.ok()) << g.status().message();
+  EXPECT_EQ(g.value().NumVertices(), 3u);
+  EXPECT_EQ(g.value().NumEdges(), 2u);
+}
+
 TEST(GraphIo, BinaryRoundTripExact) {
   const Graph g = GenerateBarabasiAlbert(100, 3, 5);
   const std::string path = TempPath("roundtrip.bin");

@@ -315,6 +315,114 @@ TEST(Session, InvalidOptionsAndIdsAreStatusNotThrow) {
             StatusCode::kInvalidArgument);
 }
 
+TEST(Session, PreCancelledTokenStopsEveryEntryPoint) {
+  const Graph g = GeneratePlantedPartition(2, 20, 0.6, 0.05, 11);
+  NucleusSession session(g);
+  CancelToken token;
+  token.RequestCancel();
+  DecomposeOptions opt;
+  opt.cancel_token = &token;
+  for (auto kind : {DecompositionKind::kCore, DecompositionKind::kTruss,
+                    DecompositionKind::kNucleus34}) {
+    const auto r = session.Decompose(kind, opt);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+    const auto h = session.Hierarchy(kind, opt);
+    ASSERT_FALSE(h.ok());
+    EXPECT_EQ(h.status().code(), StatusCode::kCancelled);
+  }
+  {
+    auto batch = session.BeginUpdates();
+    batch.InsertEdge(0, 25);
+    const Status s = batch.Commit(RunControl(&token, Deadline::Infinite()));
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kCancelled);
+    // The cancelled commit left the batch uncommitted and the session
+    // untouched; retrying without the token succeeds.
+    EXPECT_TRUE(batch.Commit().ok());
+    EXPECT_TRUE(session.graph().HasEdge(0, 25));
+  }
+}
+
+TEST(Session, CancelledBuildLeavesSessionRetryable) {
+  // A cancelled cold request must not poison any cache: the immediate
+  // retry (no token) rebuilds from scratch and matches an untouched
+  // oracle session bit for bit.
+  const Graph g = GenerateBarabasiAlbert(300, 6, 17);
+  NucleusSession oracle(g);
+  const auto want = oracle.Decompose(DecompositionKind::kNucleus34);
+  ASSERT_TRUE(want.ok());
+
+  NucleusSession session(g);
+  CancelToken token;
+  token.RequestCancel();
+  DecomposeOptions opt;
+  opt.cancel_token = &token;
+  ASSERT_FALSE(session.Decompose(DecompositionKind::kNucleus34, opt).ok());
+  const auto retry = session.Decompose(DecompositionKind::kNucleus34);
+  ASSERT_TRUE(retry.ok());
+  EXPECT_EQ(retry->kappa, want->kappa);
+  EXPECT_FALSE(retry->served_from_cache);
+}
+
+TEST(Session, TinyDeadlineReturnsDeadlineExceeded) {
+  // Large enough that triangle enumeration + the (3,4) engine cannot
+  // finish inside 1 ms; the request must come back as a clean Status.
+  const Graph g = GenerateBarabasiAlbert(4000, 10, 3);
+  NucleusSession session(g);
+  DecomposeOptions opt;
+  opt.deadline_ms = 1;
+  const auto r = session.Decompose(DecompositionKind::kNucleus34, opt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(Session, WarmCacheServedDespiteCancelledToken) {
+  // Answering from memory is the one thing a bounded request can always
+  // afford: a cache hit is served even when the token is already
+  // cancelled or the deadline long gone.
+  const Graph g = GenerateCycle(30);
+  NucleusSession session(g);
+  ASSERT_TRUE(session.Decompose(DecompositionKind::kCore).ok());
+  CancelToken token;
+  token.RequestCancel();
+  DecomposeOptions opt;
+  opt.cancel_token = &token;
+  opt.deadline_ms = 1;
+  const auto warm = session.Decompose(DecompositionKind::kCore, opt);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->served_from_cache);
+}
+
+TEST(Session, QueriesRejectTombstonedIds) {
+  // Remove an edge via a commit, then query its (dead) edge id: the id is
+  // still addressable in the id space but must be rejected, not estimated.
+  const Graph g = GenerateErdosRenyi(30, 120, 9);
+  NucleusSession session(g);
+  const EdgeIndex& edges = session.Edges();
+  VertexId u = 0, v = 0;
+  EdgeId dead_id = kInvalidClique;
+  for (VertexId a = 0; a < g.NumVertices() && dead_id == kInvalidClique;
+       ++a) {
+    for (VertexId b : g.Neighbors(a)) {
+      if (a < b) {
+        u = a;
+        v = b;
+        dead_id = edges.EdgeIdOf(a, b);
+        break;
+      }
+    }
+  }
+  ASSERT_NE(dead_id, kInvalidClique);
+  auto batch = session.BeginUpdates();
+  ASSERT_TRUE(batch.RemoveEdge(u, v));
+  ASSERT_TRUE(batch.Commit().ok());
+  const std::vector<CliqueId> ids = {dead_id};
+  const auto est = session.EstimateQueries(DecompositionKind::kTruss, ids);
+  ASSERT_FALSE(est.ok());
+  EXPECT_EQ(est.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(Session, QueriesCoverAllThreeSpaces) {
   const Graph g = GeneratePlantedPartition(2, 18, 0.7, 0.05, 31);
   NucleusSession session(g);

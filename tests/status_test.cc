@@ -28,6 +28,12 @@ TEST(Status, FactoriesCarryCodeAndMessage) {
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Cancelled("c").ToString(), "CANCELLED: c");
 }
 
 TEST(StatusOr, HoldsValue) {
