@@ -29,6 +29,8 @@
 #include "src/local/and.h"
 #include "src/local/snd.h"
 #include "src/peel/generic_peel.h"
+#include "src/server/json.h"
+#include "src/server/server_core.h"
 
 namespace nucleus::bench {
 namespace {
@@ -497,6 +499,110 @@ int RunJson(const std::string& path) {
                 "%s\n",
                 "planted-perf", "nucleus34", threads, latency_ms,
                 ok ? "ok" : "MISMATCH");
+  }
+
+  // server_qps record: warm (2,3) local queries driven through the full
+  // in-process serving stack (admission queue at 8 workers, JSON request
+  // parse, registry lookup, JSON response assembly) vs the same calls made
+  // directly on the session. wall_ms is the per-request mean through the
+  // server; the speedup field is direct_ms / server_ms, i.e. the fraction
+  // of direct throughput the service layer preserves. CI's bench-smoke
+  // asserts >= 0.5 (the HTTP-independent serving overhead costs < 2x on
+  // per-request work of realistic size). The check flag cross-checks the
+  // served estimates against the direct ones bitwise.
+  {
+    ServerConfig server_config;
+    server_config.workers = threads;
+    server_config.queue_capacity = 256;
+    ServerCore server(server_config);
+    Graph serving_copy = g;
+    auto entry = server.registry().Add("bench", std::move(serving_copy));
+    bool ok = entry.ok();
+
+    // Warm the (2,3) state on both arms, then time queries only.
+    NucleusSession direct(g);
+    DecomposeOptions warm_opt;
+    warm_opt.method = Method::kAnd;
+    warm_opt.threads = threads;
+    warm_opt.materialize = Materialize::kOn;
+    ok = ok && direct.Decompose(DecompositionKind::kTruss, warm_opt).ok();
+    const ServerRequest warm_req{
+        "decompose", R"({"graph":"bench","kind":"truss","method":"and"})"};
+    ok = ok && server.Handle(warm_req).status.ok();
+
+    // Radius-1 queries: hundreds of ms of real region work per request on
+    // the full graph (radius 2 balloons to ~10 s/request there), so the
+    // measured ratio reflects serving overhead on realistic work, and the
+    // arm stays minutes-not-hours.
+    const int requests = fast ? 100 : 40;
+    QueryOptions query_opt;
+    query_opt.radius = 1;
+    const std::size_t num_edges = g.NumEdges();
+    auto seed_ids = [&](int i) {
+      std::vector<CliqueId> ids(8);
+      for (int j = 0; j < 8; ++j) {
+        ids[j] = static_cast<CliqueId>((i * 17 + j * 131) % num_edges);
+      }
+      return ids;
+    };
+
+    Timer t;
+    for (int i = 0; ok && i < requests; ++i) {
+      const auto ids = seed_ids(i);
+      ok = direct
+               .EstimateQueries(DecompositionKind::kTruss,
+                                {ids.data(), ids.size()}, query_opt)
+               .ok();
+    }
+    const double direct_ms = t.Seconds() * 1e3 / requests;
+
+    std::string last_body;
+    t.Restart();
+    for (int i = 0; ok && i < requests; ++i) {
+      const auto ids = seed_ids(i);
+      std::string body =
+          R"({"graph":"bench","kind":"truss","radius":1,"ids":[)";
+      for (int j = 0; j < 8; ++j) {
+        if (j) body += ',';
+        body += std::to_string(ids[j]);
+      }
+      body += "]}";
+      const ServerResponse resp = server.Handle({"query", body});
+      ok = ok && resp.status.ok();
+      last_body = resp.body;
+    }
+    const double server_ms = t.Seconds() * 1e3 / requests;
+
+    // Bitwise cross-check of the last request's served estimates.
+    if (ok) {
+      const auto ids = seed_ids(requests - 1);
+      const auto expected = direct.EstimateQueries(
+          DecompositionKind::kTruss, {ids.data(), ids.size()}, query_opt);
+      const auto parsed = JsonValue::Parse(last_body);
+      ok = expected.ok() && parsed.ok();
+      if (ok) {
+        const auto& served = parsed->Find("estimates")->AsArray();
+        ok = served.size() == expected->estimates.size();
+        for (std::size_t j = 0; ok && j < served.size(); ++j) {
+          ok = static_cast<Degree>(served[j].AsInt()) ==
+               expected->estimates[j];
+        }
+      }
+    }
+
+    BenchRecord rec{"planted-perf", g.NumVertices(), g.NumEdges(),
+                    "truss",        "server_qps",    threads,
+                    true,           server_ms,       0,
+                    0.0,            ok};
+    rec.speedup_vs_onthefly = direct_ms / std::max(server_ms, 1e-6);
+    records.push_back(rec);
+    std::printf("%-10s %-9s workers=%d  warm query direct %8.4f ms/req  "
+                "served %8.4f ms/req  (%.0f qps)  throughput ratio %.2fx  "
+                "%s\n",
+                "planted-perf", "truss", threads, direct_ms, server_ms,
+                1e3 / std::max(server_ms, 1e-6), rec.speedup_vs_onthefly,
+                ok ? "ok" : "MISMATCH");
+    server.Shutdown();
   }
 
   if (!WriteBenchJson(path, "bench_runtime", fast, records)) return 1;

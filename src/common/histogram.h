@@ -1,0 +1,97 @@
+// Lock-free latency histogram with logarithmic buckets. The server records
+// one sample per request on the hot path, so Record() must be a couple of
+// atomic increments — no mutex, no allocation. Buckets are powers of two of
+// microseconds (bucket b covers [2^b, 2^(b+1)) us), which spans 1 us to
+// ~4.5 hours in 32 buckets with the <= 2x relative error that is standard
+// for latency telemetry. Snapshots are taken with relaxed loads: the result
+// is a consistent-enough view for /metricz (individual counters are exact,
+// cross-counter skew is bounded by the in-flight requests).
+#ifndef NUCLEUS_COMMON_HISTOGRAM_H_
+#define NUCLEUS_COMMON_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace nucleus {
+
+/// Point-in-time copy of a LatencyHistogram, plus derived quantiles.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum_ms = 0.0;
+  double max_ms = 0.0;
+  /// counts[b] = samples in [2^b, 2^(b+1)) microseconds.
+  std::vector<std::uint64_t> counts;
+
+  double MeanMs() const { return count == 0 ? 0.0 : sum_ms / count; }
+  /// Quantile estimate (q in [0, 1]) from the bucket boundaries: the upper
+  /// edge of the bucket containing the q-th sample, in milliseconds —
+  /// an over-estimate by at most 2x, monotone in q.
+  double QuantileMs(double q) const;
+};
+
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 32;
+
+  void Record(double ms) {
+    const double us = ms * 1e3;
+    std::size_t b = 0;
+    // Bucket index = floor(log2(us)) clamped to [0, kBuckets); < 1 us
+    // lands in bucket 0.
+    for (std::uint64_t v = static_cast<std::uint64_t>(us); v > 1 && b + 1 < kBuckets; v >>= 1) ++b;
+    counts_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    // sum/max as integer nanoseconds so they stay atomics (no double CAS
+    // loops on the hot path; ~292 years of total latency before overflow).
+    const std::uint64_t ns = static_cast<std::uint64_t>(ms * 1e6);
+    sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+    std::uint64_t seen = max_ns_.load(std::memory_order_relaxed);
+    while (ns > seen &&
+           !max_ns_.compare_exchange_weak(seen, ns,
+                                          std::memory_order_relaxed)) {
+    }
+  }
+
+  HistogramSnapshot Snapshot() const {
+    HistogramSnapshot s;
+    s.counts.resize(kBuckets);
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      s.counts[b] = counts_[b].load(std::memory_order_relaxed);
+    }
+    s.count = count_.load(std::memory_order_relaxed);
+    s.sum_ms = static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) / 1e6;
+    s.max_ms = static_cast<double>(max_ns_.load(std::memory_order_relaxed)) / 1e6;
+    return s;
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_ns_{0};
+  std::atomic<std::uint64_t> max_ns_{0};
+};
+
+inline double HistogramSnapshot::QuantileMs(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-th sample (1-based, ceil), found by scanning buckets.
+  std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(count));
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    seen += counts[b];
+    if (seen >= rank) {
+      // Upper edge of bucket b: 2^(b+1) us.
+      return static_cast<double>(std::uint64_t{1} << (b + 1)) / 1e3;
+    }
+  }
+  return max_ms;
+}
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_COMMON_HISTOGRAM_H_

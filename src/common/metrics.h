@@ -1,0 +1,81 @@
+// Process-wide metrics registry: named monotone counters and latency
+// histograms, looked up once (pointer-stable) and then bumped lock-free on
+// hot paths. The server registers one histogram per endpoint and counters
+// for admission-control events (shed, expired, coalesced); /metricz walks
+// the registry and exports every instrument as JSON. Registration takes a
+// mutex; Record/Add on the returned references never do.
+#ifndef NUCLEUS_COMMON_METRICS_H_
+#define NUCLEUS_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/histogram.h"
+
+namespace nucleus {
+
+/// A monotone event counter.
+class MetricCounter {
+ public:
+  void Add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class MetricsRegistry {
+ public:
+  /// The named counter, created on first use. The reference is stable for
+  /// the registry's lifetime — resolve once, bump forever.
+  MetricCounter& Counter(const std::string& name) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto& slot = counters_[name];
+    if (!slot) slot = std::make_unique<MetricCounter>();
+    return *slot;
+  }
+
+  /// The named latency histogram, created on first use; same stability.
+  LatencyHistogram& Histogram(const std::string& name) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto& slot = histograms_[name];
+    if (!slot) slot = std::make_unique<LatencyHistogram>();
+    return *slot;
+  }
+
+  /// Name-sorted snapshots of everything registered so far.
+  std::vector<std::pair<std::string, std::uint64_t>> CounterValues() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) out.emplace_back(name, c->Value());
+    return out;
+  }
+  std::vector<std::pair<std::string, HistogramSnapshot>> HistogramValues()
+      const {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<std::pair<std::string, HistogramSnapshot>> out;
+    out.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) {
+      out.emplace_back(name, h->Snapshot());
+    }
+    return out;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  // unique_ptr pins each instrument: the map may rehash/rebalance under
+  // registration while hot paths hold references into it.
+  std::map<std::string, std::unique_ptr<MetricCounter>> counters_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_COMMON_METRICS_H_

@@ -1164,4 +1164,58 @@ SessionStats NucleusSession::stats() const {
   return stats_;
 }
 
+SessionStateStats NucleusSession::Stats() const {
+  // Shared session lock: concurrent with every read path, excluded by
+  // commits/invalidation — the snapshot never sees a half-applied delta.
+  std::shared_lock<std::shared_mutex> lk(session_mu_);
+  SessionStateStats s;
+  s.counters = stats();
+  s.num_vertices = graph_->NumVertices();
+  s.num_edges = graph_->NumEdges();
+  // Graph CSR: offsets ((n+1) x size_t) + neighbor array (2m x VertexId).
+  s.graph_bytes =
+      (graph_->NumVertices() + 1) * sizeof(std::size_t) +
+      graph_->NeighborArray().size() * sizeof(VertexId);
+  if (const EdgeIndex* eidx = edge_index_.TryGet(); eidx != nullptr) {
+    s.edge_ids = eidx->NumEdges();
+    s.live_edges = eidx->NumLiveEdges();
+    // Endpoint pairs + per-vertex forward offsets.
+    s.index_bytes += s.edge_ids * sizeof(std::pair<VertexId, VertexId>) +
+                     (s.num_vertices + 1) * sizeof(std::size_t);
+  }
+  if (const TriangleIndex* tidx = triangle_index_.TryGet(); tidx != nullptr) {
+    s.triangle_ids = tidx->NumTriangles();
+    s.live_triangles = tidx->NumLiveTriangles();
+    // Vertex triples + the sorted id-lookup keys.
+    s.index_bytes +=
+        s.triangle_ids * (3 * sizeof(VertexId) + sizeof(TriangleId) + 8);
+  }
+  if (const EdgeTriangleCsr* etc = edge_triangle_csr_.TryGet();
+      etc != nullptr) {
+    // Per-edge offsets + one (triangle, opposite-vertex) entry per
+    // triangle-edge incidence (3 per triangle).
+    s.index_bytes +=
+        (s.edge_ids + 1) * sizeof(std::uint64_t) +
+        3 * s.triangle_ids * sizeof(std::pair<TriangleId, VertexId>);
+  }
+  {
+    std::lock_guard<std::mutex> alk(core_.mu);
+    if (core_.arena) s.arena_bytes[0] = core_.arena->MemoryBytes();
+  }
+  {
+    std::lock_guard<std::mutex> alk(truss_.mu);
+    if (truss_.arena) s.arena_bytes[1] = truss_.arena->MemoryBytes();
+  }
+  {
+    std::lock_guard<std::mutex> alk(nucleus34_.mu);
+    if (nucleus34_.arena) s.arena_bytes[2] = nucleus34_.arena->MemoryBytes();
+  }
+  for (int k = 0; k < 3; ++k) {
+    std::lock_guard<std::mutex> clk(results_[k].mu);
+    s.kappa_cached[k] = results_[k].kappa.has_value();
+    s.hierarchy_cached[k] = results_[k].hierarchy != nullptr;
+  }
+  return s;
+}
+
 }  // namespace nucleus

@@ -216,6 +216,42 @@ struct SessionStats {
   int degraded_builds = 0;
 };
 
+/// Read-only snapshot of the session's observable state: the monotone
+/// counters plus what is currently cached and (approximately) how much
+/// memory it pins — the per-graph record a serving layer's /metricz and
+/// eviction policy consume. Copyable and self-contained: nothing in it
+/// refers back into the session. Byte figures for the CSR arenas are the
+/// arenas' own accounting; graph and index bytes are close structural
+/// estimates (payload vectors, not hash-map overhead).
+struct SessionStateStats {
+  SessionStats counters;
+  /// Current graph (the mutated copy after committed updates).
+  std::size_t num_vertices = 0;
+  std::size_t num_edges = 0;
+  /// Id-space sizes and live counts of the cached indices (0 when the
+  /// index has not been built). Ids exceed live counts by the tombstones
+  /// commits left behind.
+  std::size_t edge_ids = 0;
+  std::size_t live_edges = 0;
+  std::size_t triangle_ids = 0;
+  std::size_t live_triangles = 0;
+  /// Per-kind cache occupancy, indexed by DecompositionKind.
+  bool kappa_cached[3] = {false, false, false};
+  bool hierarchy_cached[3] = {false, false, false};
+  /// Resident bytes of the materialized CSR co-member arenas, per kind.
+  std::uint64_t arena_bytes[3] = {0, 0, 0};
+  /// Estimated bytes of the graph's CSR arrays.
+  std::uint64_t graph_bytes = 0;
+  /// Estimated bytes of the edge/triangle/edge-triangle indices.
+  std::uint64_t index_bytes = 0;
+
+  /// Everything the session pins, the registry's eviction currency.
+  std::uint64_t TotalBytes() const {
+    return graph_bytes + index_bytes + arena_bytes[0] + arena_bytes[1] +
+           arena_bytes[2];
+  }
+};
+
 class NucleusSession {
  public:
   /// Tombstone fraction of an id space above which a mutating commit
@@ -423,6 +459,13 @@ class NucleusSession {
   /// Snapshot of the build/serve counters.
   SessionStats stats() const;
 
+  /// Thread-safe read-only snapshot of counters + cached-state occupancy +
+  /// memory footprint (see SessionStateStats). Takes the session lock in
+  /// shared mode, so it can run concurrently with any number of reads and
+  /// never observes a commit mid-flight; each cell is peeked under its own
+  /// mutex, never building anything.
+  SessionStateStats Stats() const;
+
  private:
   // Per-kind materialized-arena cell: its own mutex (so same-kind callers
   // serialize but different kinds proceed), the base (on-the-fly) space
@@ -432,7 +475,7 @@ class NucleusSession {
   // mutating commit, since a shrunken graph may fit again).
   template <typename Space>
   struct ArenaCell {
-    std::mutex mu;
+    mutable std::mutex mu;  // Stats() peeks the arena from const context
     std::unique_ptr<Space> space;
     std::optional<CsrSpace<Space>> arena;
     std::uint64_t failed_budget = 0;

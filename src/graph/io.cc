@@ -59,6 +59,12 @@ StatusOr<Graph> TryLoadEdgeListText(const std::string& path) {
   std::size_t lineno = 0;
   while (std::getline(in, line)) {
     ++lineno;
+    // A UTF-8 BOM on the first line (Windows-re-encoded SNAP mirrors) is
+    // stripped, not treated as a non-numeric token.
+    if (lineno == 1 && line.size() >= 3 && line[0] == '\xef' &&
+        line[1] == '\xbb' && line[2] == '\xbf') {
+      line.erase(0, 3);
+    }
     if (line.empty() || line[0] == '#' || line[0] == '%') continue;
     const char* p = line.data();
     const char* end = p + line.size();
@@ -180,6 +186,19 @@ StatusOr<Graph> TryLoadBinary(const std::string& path) {
           static_cast<std::streamsize>(deg_sum * sizeof(VertexId)));
   if (!in) return Status::InvalidArgument("truncated graph file: " + path);
   return Graph(std::move(offsets), std::move(neighbors));
+}
+
+StatusOr<Graph> TryLoadGraphAuto(const std::string& path) {
+  std::uint64_t head = 0;
+  {
+    std::ifstream probe(path, std::ios::binary);
+    if (!probe) return Status::NotFound("cannot open graph file: " + path);
+    probe.read(reinterpret_cast<char*>(&head), sizeof(head));
+    // A file shorter than the magic cannot be binary; fall through to the
+    // text reader, which reports precise diagnostics.
+  }
+  if (head == kBinaryMagic) return TryLoadBinary(path);
+  return TryLoadEdgeListText(path);
 }
 
 Graph LoadEdgeListText(const std::string& path) {

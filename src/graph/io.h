@@ -31,6 +31,14 @@ Status TrySaveEdgeListText(const Graph& g, const std::string& path);
 Status TrySaveBinary(const Graph& g, const std::string& path);
 StatusOr<Graph> TryLoadBinary(const std::string& path);
 
+/// Format-sniffing loader — what the server's graph registry uses to ingest
+/// datasets by path alone: reads the first 8 bytes and dispatches to
+/// TryLoadBinary when they are the binary CSR magic, otherwise to the SNAP
+/// text reader. A UTF-8 BOM at the start of a text file is tolerated (SNAP
+/// mirrors re-encoded on Windows grow one); every other failure mode is the
+/// dispatched loader's (kNotFound, precise path:lineno kInvalidArgument).
+StatusOr<Graph> TryLoadGraphAuto(const std::string& path);
+
 // Legacy throwing wrappers (std::runtime_error on any failure). Prefer the
 // Try* forms above in new code.
 Graph LoadEdgeListText(const std::string& path);

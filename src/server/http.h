@@ -1,0 +1,135 @@
+// Minimal HTTP/1.1 layer over ServerCore — blocking POSIX sockets, no
+// external dependencies. The wire protocol:
+//
+//   GET  /healthz                  liveness
+//   GET  /metricz                  metrics JSON (histograms, counters,
+//                                  queue gauges, per-graph session stats)
+//   GET  /graphs                   resident graph list
+//   POST /api/<endpoint>           JSON body request (decompose, query,
+//                                  update, densest, stats, load, unload,
+//                                  hierarchy summary)
+//   GET  /api/<endpoint>?k=v&...   same endpoints with query parameters in
+//                                  place of the body (values arrive as
+//                                  strings; the JSON helpers coerce)
+//   GET  /api/hierarchy?graph=&kind=
+//                                  streamed NDJSON hierarchy dump with
+//                                  Transfer-Encoding: chunked
+//
+// Responses are application/json with Content-Length, except the streamed
+// hierarchy dump. HTTP status codes map from Status codes (see
+// HttpStatusFor); error bodies are {"error":..., "code":...}.
+//
+// Parsing is split into pure functions (ParseHttpRequestHead,
+// ParseChunkedBody) so the wire grammar is unit-testable without sockets.
+#ifndef NUCLEUS_SERVER_HTTP_H_
+#define NUCLEUS_SERVER_HTTP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/server/server_core.h"
+
+namespace nucleus {
+
+/// A parsed request head (start line + headers; the body is read
+/// separately using Content-Length).
+struct HttpRequest {
+  std::string method;  // GET, POST, ...
+  std::string path;    // target before '?', percent-decoded
+  std::map<std::string, std::string> query;    // decoded key -> value
+  std::map<std::string, std::string> headers;  // keys lowercased
+  std::string body;
+};
+
+/// Parses everything before the blank line of an HTTP/1.1 request.
+/// kInvalidArgument on grammar violations (bad start line, missing ':',
+/// unsupported version).
+StatusOr<HttpRequest> ParseHttpRequestHead(std::string_view head);
+
+/// Percent-decoding for path/query components ('+' becomes a space).
+std::string PercentDecode(std::string_view in);
+
+/// Decodes a complete Transfer-Encoding: chunked payload (used by the CLI
+/// client when consuming hierarchy streams). kInvalidArgument on malformed
+/// framing or truncation.
+StatusOr<std::string> DecodeChunkedBody(std::string_view in);
+
+/// The HTTP status for a Status code: 200 OK, 400 INVALID_ARGUMENT /
+/// OUT_OF_RANGE, 404 NOT_FOUND, 409 FAILED_PRECONDITION, 429
+/// RESOURCE_EXHAUSTED, 499 CANCELLED (nginx's client-closed-request), 500
+/// INTERNAL, 504 DEADLINE_EXCEEDED.
+int HttpStatusFor(StatusCode code);
+const char* HttpReasonFor(int http_status);
+
+/// Maps an HTTP request onto the transport-independent ServerRequest: the
+/// /api/<endpoint> suffix (or the fixed /metricz, /healthz, /graphs
+/// routes) becomes the endpoint; the JSON body, or the query parameters
+/// re-encoded as a JSON object of strings, becomes the body. Returns
+/// kNotFound for unrouted paths.
+StatusOr<ServerRequest> RouteHttpRequest(const HttpRequest& request);
+
+class HttpServer {
+ public:
+  /// Binds 127.0.0.1:port (port 0 = kernel-chosen ephemeral; read the
+  /// outcome from port() after Start).
+  HttpServer(ServerCore* core, int port);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens, and spawns the accept loop. kFailedPrecondition when
+  /// the socket cannot be bound.
+  Status Start();
+
+  /// Closes the listener and every connection, then joins all threads.
+  /// Idempotent; the destructor calls it.
+  void Stop();
+
+  /// The bound port (valid after a successful Start).
+  int port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  // Serves one request on the connection; returns false when the
+  // connection should close (error, Connection: close, or client EOF).
+  bool ServeOne(int fd);
+
+  ServerCore* core_;
+  int listen_fd_ = -1;
+  int port_;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<int> conn_fds_;  // open connections, for Stop() shutdown
+};
+
+/// A fetched HTTP response (blocking client used by the CLI and the CI
+/// smoke test). Chunked bodies arrive already de-chunked.
+struct HttpFetchResult {
+  int status = 0;
+  std::map<std::string, std::string> headers;  // keys lowercased
+  std::string body;
+};
+
+/// One blocking HTTP/1.1 exchange with host:port. `method` is GET or POST;
+/// `body` is sent with Content-Length when non-empty. kNotFound when the
+/// connection fails, kDeadlineExceeded past timeout_ms, kInvalidArgument
+/// on an unparsable response.
+StatusOr<HttpFetchResult> HttpFetch(const std::string& host, int port,
+                                    const std::string& method,
+                                    const std::string& target,
+                                    const std::string& body,
+                                    std::int64_t timeout_ms = 30000);
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_SERVER_HTTP_H_

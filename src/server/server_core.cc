@@ -1,0 +1,894 @@
+#include "src/server/server_core.h"
+
+#include <algorithm>
+#include <chrono>
+#include <shared_mutex>
+#include <utility>
+
+#include "src/core/densest.h"
+#include "src/server/json.h"
+
+namespace nucleus {
+
+namespace {
+
+ServerResponse ErrorResponse(const Status& s) {
+  JsonWriter w;
+  w.BeginObject()
+      .Key("error")
+      .String(s.message())
+      .Key("code")
+      .String(Status::CodeName(s.code()))
+      .EndObject();
+  return ServerResponse{s, w.Take(), /*streamed=*/false};
+}
+
+ServerResponse OkResponse(JsonWriter&& w) {
+  return ServerResponse{Status::Ok(), w.Take(), /*streamed=*/false};
+}
+
+const char* KindName(DecompositionKind kind) {
+  switch (kind) {
+    case DecompositionKind::kCore: return "core";
+    case DecompositionKind::kTruss: return "truss";
+    case DecompositionKind::kNucleus34: return "nucleus34";
+  }
+  return "?";
+}
+
+StatusOr<DecompositionKind> ParseKindName(const std::string& s) {
+  if (s == "core" || s == "(1,2)" || s == "12") {
+    return DecompositionKind::kCore;
+  }
+  if (s == "truss" || s == "(2,3)" || s == "23") {
+    return DecompositionKind::kTruss;
+  }
+  if (s == "nucleus34" || s == "nucleus" || s == "(3,4)" || s == "34") {
+    return DecompositionKind::kNucleus34;
+  }
+  return Status::InvalidArgument(
+      "unknown kind '" + s + "' (want core | truss | nucleus34)");
+}
+
+StatusOr<Method> ParseMethodName(const std::string& s) {
+  if (s == "and") return Method::kAnd;
+  if (s == "snd") return Method::kSnd;
+  if (s == "peel" || s == "peeling") return Method::kPeeling;
+  return Status::InvalidArgument("unknown method '" + s +
+                                 "' (want and | snd | peel)");
+}
+
+// Remaps a request control onto the session's Options knobs. The session
+// restarts its deadline clock at entry, so it gets the REMAINING time, not
+// the original budget — queue wait already consumed its share.
+void ApplyControl(const RunControl& ctl, Options* options) {
+  options->cancel_token = ctl.token();
+  if (!ctl.deadline().IsInfinite()) {
+    options->deadline_ms = std::max<std::int64_t>(1, ctl.deadline().RemainingMs());
+  }
+}
+
+// Shared shape of the request preamble: parse graph/kind, resolve the
+// registry entry.
+struct Target {
+  std::shared_ptr<GraphRegistry::Entry> entry;
+  DecompositionKind kind = DecompositionKind::kCore;
+};
+
+StatusOr<Target> ResolveTarget(GraphRegistry& registry, const JsonValue& body,
+                               bool needs_kind) {
+  auto name = body.GetString("graph");
+  if (!name.ok()) return name.status();
+  if (name->empty()) {
+    return Status::InvalidArgument("missing required field 'graph'");
+  }
+  Target t;
+  if (needs_kind) {
+    auto kind_name = body.GetString("kind", "core");
+    if (!kind_name.ok()) return kind_name.status();
+    auto kind = ParseKindName(*kind_name);
+    if (!kind.ok()) return kind.status();
+    t.kind = *kind;
+  }
+  auto entry = registry.Get(*name);
+  if (!entry.ok()) return entry.status();
+  t.entry = std::move(entry).value();
+  return t;
+}
+
+void WriteSessionStats(JsonWriter& w, const SessionStateStats& s) {
+  static const char* kKinds[3] = {"core", "truss", "nucleus34"};
+  w.Key("num_vertices").UInt(s.num_vertices);
+  w.Key("num_edges").UInt(s.num_edges);
+  w.Key("edge_ids").UInt(s.edge_ids);
+  w.Key("live_edges").UInt(s.live_edges);
+  w.Key("triangle_ids").UInt(s.triangle_ids);
+  w.Key("live_triangles").UInt(s.live_triangles);
+  w.Key("graph_bytes").UInt(s.graph_bytes);
+  w.Key("index_bytes").UInt(s.index_bytes);
+  w.Key("total_bytes").UInt(s.TotalBytes());
+  w.Key("kappa_cached").BeginObject();
+  for (int k = 0; k < 3; ++k) w.Key(kKinds[k]).Bool(s.kappa_cached[k]);
+  w.EndObject();
+  w.Key("hierarchy_cached").BeginObject();
+  for (int k = 0; k < 3; ++k) w.Key(kKinds[k]).Bool(s.hierarchy_cached[k]);
+  w.EndObject();
+  w.Key("arena_bytes").BeginObject();
+  for (int k = 0; k < 3; ++k) w.Key(kKinds[k]).UInt(s.arena_bytes[k]);
+  w.EndObject();
+  const SessionStats& c = s.counters;
+  w.Key("counters").BeginObject();
+  w.Key("decompose_calls").Int(c.decompose_calls);
+  w.Key("decompose_cache_hits").Int(c.decompose_cache_hits);
+  w.Key("edge_index_builds").Int(c.edge_index_builds);
+  w.Key("triangle_index_builds").Int(c.triangle_index_builds);
+  w.Key("edge_triangle_csr_builds").Int(c.edge_triangle_csr_builds);
+  w.Key("core_arena_builds").Int(c.core_arena_builds);
+  w.Key("truss_arena_builds").Int(c.truss_arena_builds);
+  w.Key("nucleus34_arena_builds").Int(c.nucleus34_arena_builds);
+  w.Key("hierarchy_builds").Int(c.hierarchy_builds);
+  w.Key("hierarchy_repairs").Int(c.hierarchy_repairs);
+  w.Key("query_calls").Int(c.query_calls);
+  w.Key("commits").Int(c.commits);
+  w.Key("incremental_commits").Int(c.incremental_commits);
+  w.Key("compactions").Int(c.compactions);
+  w.Key("truss_kappa_seeds").Int(c.truss_kappa_seeds);
+  w.Key("nucleus34_kappa_seeds").Int(c.nucleus34_kappa_seeds);
+  w.Key("degraded_builds").Int(c.degraded_builds);
+  w.EndObject();
+}
+
+double ElapsedMs(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+ServerCore::ServerCore(ServerConfig config)
+    : config_(config),
+      registry_(GraphRegistry::Config{config.global_memory_budget_bytes,
+                                      config.default_arena_budget_bytes}) {
+  const int workers = std::max(1, config_.workers);
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ServerCore::~ServerCore() { Shutdown(); }
+
+void ServerCore::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    stopping_ = true;
+  }
+  // Fell every in-flight request; still-queued jobs see the fired parent
+  // token the moment a worker pops them and complete as kCancelled.
+  shutdown_cancel_.RequestCancel();
+  queue_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+}
+
+std::size_t ServerCore::QueueDepth() const {
+  std::lock_guard<std::mutex> lk(queue_mu_);
+  return queue_.size();
+}
+
+ServerResponse ServerCore::Handle(const ServerRequest& request) {
+  // The deadline covers the whole request — queue wait included — so it
+  // must be read before admission. A malformed body is left for the
+  // worker to diagnose (its error message carries the parse offset).
+  std::int64_t deadline_ms = config_.default_deadline_ms;
+  if (!request.body.empty()) {
+    auto parsed = JsonValue::Parse(request.body);
+    if (parsed.ok()) {
+      auto d = parsed->GetInt("deadline_ms", config_.default_deadline_ms);
+      if (d.ok()) deadline_ms = *d;
+    }
+  }
+  auto job = std::make_shared<Job>(&shutdown_cancel_);
+  job->request = request;
+  job->deadline =
+      deadline_ms > 0 ? Deadline::After(deadline_ms) : Deadline::Infinite();
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    if (stopping_) {
+      return ErrorResponse(Status::Cancelled("server shutting down"));
+    }
+    if (queue_.size() >= config_.queue_capacity) {
+      metrics_.Counter("server.shed").Add();
+      return ErrorResponse(
+          Status::ResourceExhausted("admission queue full (capacity " +
+                                    std::to_string(config_.queue_capacity) +
+                                    ")"));
+    }
+    queue_.push_back(job);
+  }
+  queue_cv_.notify_one();
+
+  std::unique_lock<std::mutex> jl(job->mu);
+  if (job->deadline.IsInfinite()) {
+    job->cv.wait(jl, [&] { return job->done; });
+  } else if (!job->cv.wait_until(jl, job->deadline.when(),
+                                 [&] { return job->done; })) {
+    // Abandon: the caller stops waiting NOW; the fired token makes the
+    // worker unwind (or skip the job entirely if still queued) instead of
+    // computing for nobody. The job outlives us via shared_ptr.
+    job->abandoned = true;
+    jl.unlock();
+    job->cancel.RequestCancel();
+    metrics_.Counter("server.deadline_abandoned").Add();
+    return ErrorResponse(
+        Status::DeadlineExceeded("request deadline expired"));
+  }
+  return std::move(job->response);
+}
+
+void ServerCore::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lk(queue_mu_);
+      queue_cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    active_.fetch_add(1, std::memory_order_relaxed);
+    ServerResponse resp;
+    bool abandoned;
+    {
+      std::lock_guard<std::mutex> jl(job->mu);
+      abandoned = job->abandoned;
+    }
+    if (abandoned) {
+      metrics_.Counter("server.abandoned_skipped").Add();
+      resp = ErrorResponse(Status::Cancelled("request abandoned by caller"));
+    } else if (job->deadline.Expired()) {
+      metrics_.Counter("server.expired_in_queue").Add();
+      resp = ErrorResponse(
+          Status::DeadlineExceeded("deadline expired while queued"));
+    } else {
+      resp = HandleDirect(job->request,
+                          RunControl(&job->cancel, job->deadline));
+    }
+    {
+      std::lock_guard<std::mutex> jl(job->mu);
+      job->response = std::move(resp);
+      job->done = true;
+    }
+    job->cv.notify_all();
+    active_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+ServerResponse ServerCore::HandleDirect(const ServerRequest& request,
+                                        RunControl ctl) {
+  const auto t0 = std::chrono::steady_clock::now();
+  ServerResponse resp = Dispatch(request, ctl, /*sink=*/nullptr);
+  metrics_.Histogram("latency." + request.endpoint).Record(ElapsedMs(t0));
+  metrics_.Counter("requests." + request.endpoint).Add();
+  if (!resp.status.ok()) metrics_.Counter("errors." + request.endpoint).Add();
+  return resp;
+}
+
+ServerResponse ServerCore::HandleStreaming(const ServerRequest& request,
+                                           ChunkSink* sink, RunControl ctl) {
+  const auto t0 = std::chrono::steady_clock::now();
+  ServerResponse resp = Dispatch(request, ctl, sink);
+  metrics_.Histogram("latency." + request.endpoint).Record(ElapsedMs(t0));
+  metrics_.Counter("requests." + request.endpoint).Add();
+  if (!resp.status.ok()) metrics_.Counter("errors." + request.endpoint).Add();
+  return resp;
+}
+
+ServerResponse ServerCore::Dispatch(const ServerRequest& request,
+                                    RunControl ctl, ChunkSink* sink) {
+  JsonValue body;
+  if (!request.body.empty()) {
+    auto parsed = JsonValue::Parse(request.body);
+    if (!parsed.ok()) return ErrorResponse(parsed.status());
+    body = std::move(parsed).value();
+  }
+  if (!ctl.CanStop()) {
+    // Direct callers (tests, bench, streaming connections) still honor the
+    // body deadline and the server-wide shutdown token.
+    auto deadline_ms = body.GetInt("deadline_ms", config_.default_deadline_ms);
+    ctl = MakeRunControl(&shutdown_cancel_,
+                         deadline_ms.ok() ? *deadline_ms : 0);
+  }
+  if (ctl.ShouldStop()) return ErrorResponse(ctl.StopStatus());
+
+  const std::string& ep = request.endpoint;
+  if (ep == "decompose") return HandleDecompose(body, ctl);
+  if (ep == "query") return HandleQuery(body, ctl);
+  if (ep == "hierarchy") return HandleHierarchy(body, ctl, sink);
+  if (ep == "update") return HandleUpdate(body, ctl);
+  if (ep == "densest") return HandleDensest(body);
+  if (ep == "stats") return HandleStats(body);
+  if (ep == "load") return HandleLoad(body);
+  if (ep == "unload") return HandleUnload(body);
+  if (ep == "graphs") return HandleGraphs();
+  if (ep == "metricz") return ServerResponse{Status::Ok(), MetricsJson()};
+  if (ep == "healthz") return HandleHealthz();
+  return ErrorResponse(Status::NotFound("unknown endpoint: " + ep));
+}
+
+// ---------------------------------------------------------------------------
+// Coalescing
+
+ServerResponse ServerCore::Coalesced(
+    const std::string& key, RunControl ctl,
+    const std::function<ServerResponse()>& run) {
+  std::shared_ptr<Flight> flight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lk(flights_mu_);
+    auto& slot = flights_[key];
+    if (!slot) {
+      slot = std::make_shared<Flight>();
+      leader = true;
+    } else {
+      ++slot->riders;
+    }
+    flight = slot;
+  }
+  if (leader) {
+    ServerResponse resp = run();
+    int riders;
+    {
+      // Erase BEFORE publishing done: after this no new rider can join,
+      // so the rider count is final and later identical requests start a
+      // fresh flight (they would otherwise reuse a stale response).
+      std::lock_guard<std::mutex> lk(flights_mu_);
+      riders = flight->riders;
+      flights_.erase(key);
+    }
+    if (riders > 0) {
+      metrics_.Counter("coalesce.builds").Add();
+      metrics_.Counter("coalesce.riders").Add(static_cast<std::uint64_t>(riders));
+    }
+    {
+      std::lock_guard<std::mutex> fl(flight->mu);
+      flight->response = resp;
+      flight->done = true;
+    }
+    flight->cv.notify_all();
+    return resp;
+  }
+  // Rider: wait for the leader, but keep honoring this request's own
+  // deadline/cancellation — a rider gives up individually without
+  // affecting the leader or the other riders.
+  std::unique_lock<std::mutex> fl(flight->mu);
+  while (!flight->done) {
+    if (ctl.ShouldStop()) return ErrorResponse(ctl.StopStatus());
+    flight->cv.wait_for(fl, std::chrono::milliseconds(ctl.CanStop() ? 10 : 500));
+  }
+  return flight->response;
+}
+
+// ---------------------------------------------------------------------------
+// Endpoints
+
+ServerResponse ServerCore::HandleDecompose(const JsonValue& body,
+                                           RunControl ctl) {
+  auto target = ResolveTarget(registry_, body, /*needs_kind=*/true);
+  if (!target.ok()) return ErrorResponse(target.status());
+  auto entry = target->entry;
+  const DecompositionKind kind = target->kind;
+
+  auto method_name = body.GetString("method", "and");
+  if (!method_name.ok()) return ErrorResponse(method_name.status());
+  auto method = ParseMethodName(*method_name);
+  if (!method.ok()) return ErrorResponse(method.status());
+  auto threads = body.GetInt("threads", 1);
+  if (!threads.ok()) return ErrorResponse(threads.status());
+  auto max_iterations = body.GetInt("max_iterations", 0);
+  if (!max_iterations.ok()) return ErrorResponse(max_iterations.status());
+  auto include_kappa = body.GetBool("include_kappa", false);
+  if (!include_kappa.ok()) return ErrorResponse(include_kappa.status());
+  auto no_cache = body.GetBool("no_cache", false);
+  if (!no_cache.ok()) return ErrorResponse(no_cache.status());
+
+  DecomposeOptions options;
+  options.method = *method;
+  options.threads = static_cast<int>(std::max<std::int64_t>(1, *threads));
+  options.max_iterations =
+      static_cast<int>(std::max<std::int64_t>(0, *max_iterations));
+  options.materialize_budget_bytes = entry->arena_budget_bytes;
+  options.use_result_cache = !*no_cache;
+  ApplyControl(ctl, &options);
+
+  auto run = [this, entry, kind, options, method_name = *method_name,
+              include_kappa = *include_kappa]() -> ServerResponse {
+    auto result = entry->session.Decompose(kind, options);
+    if (!result.ok()) return ErrorResponse(result.status());
+    metrics_
+        .Counter(result->served_from_cache ? "decompose.cache_hits"
+                                           : "decompose.cache_misses")
+        .Add();
+    Degree max_kappa = 0;
+    for (const Degree k : result->kappa) max_kappa = std::max(max_kappa, k);
+    JsonWriter w;
+    w.BeginObject()
+        .Key("graph")
+        .String(entry->name)
+        .Key("kind")
+        .String(KindName(kind))
+        .Key("method")
+        .String(method_name)
+        .Key("num_r_cliques")
+        .UInt(result->num_r_cliques)
+        .Key("max_kappa")
+        .UInt(max_kappa)
+        .Key("iterations")
+        .Int(result->iterations)
+        .Key("exact")
+        .Bool(result->exact)
+        .Key("served_from_cache")
+        .Bool(result->served_from_cache)
+        .Key("seconds")
+        .Double(result->seconds)
+        .Key("index_seconds")
+        .Double(result->index_seconds)
+        .Key("arena_seconds")
+        .Double(result->arena_seconds);
+    if (include_kappa) {
+      w.Key("kappa").BeginArray();
+      for (const Degree k : result->kappa) w.UInt(k);
+      w.EndArray();
+    }
+    w.EndObject();
+    registry_.EnforceBudget();
+    return OkResponse(std::move(w));
+  };
+
+  if (*no_cache) return run();  // forced fresh runs never share a flight
+  const std::string key = "d|" + entry->name + "|" + KindName(kind) + "|" +
+                          *method_name + "|" +
+                          std::to_string(options.max_iterations) +
+                          (*include_kappa ? "|k" : "");
+  return Coalesced(key, ctl, run);
+}
+
+ServerResponse ServerCore::HandleQuery(const JsonValue& body, RunControl ctl) {
+  auto target = ResolveTarget(registry_, body, /*needs_kind=*/true);
+  if (!target.ok()) return ErrorResponse(target.status());
+  auto ids = body.GetIntList("ids");
+  if (!ids.ok()) return ErrorResponse(ids.status());
+  if (ids->empty()) {
+    return ErrorResponse(
+        Status::InvalidArgument("missing required field 'ids'"));
+  }
+  auto radius = body.GetInt("radius", 2);
+  if (!radius.ok()) return ErrorResponse(radius.status());
+  auto max_iterations = body.GetInt("max_iterations", 0);
+  if (!max_iterations.ok()) return ErrorResponse(max_iterations.status());
+  auto threads = body.GetInt("threads", 1);
+  if (!threads.ok()) return ErrorResponse(threads.status());
+
+  std::vector<CliqueId> queries;
+  queries.reserve(ids->size());
+  for (const std::int64_t id : *ids) {
+    if (id < 0 || id > static_cast<std::int64_t>(kInvalidClique)) {
+      return ErrorResponse(Status::InvalidArgument(
+          "query id out of range: " + std::to_string(id)));
+    }
+    queries.push_back(static_cast<CliqueId>(id));
+  }
+  QueryOptions options;
+  options.radius = static_cast<int>(std::max<std::int64_t>(0, *radius));
+  options.max_iterations =
+      static_cast<int>(std::max<std::int64_t>(0, *max_iterations));
+  options.threads = static_cast<int>(std::max<std::int64_t>(1, *threads));
+  (void)ctl;  // queries touch a bounded region; not worth a stop channel
+
+  auto estimate = target->entry->session.EstimateQueries(
+      target->kind, queries, options);
+  if (!estimate.ok()) return ErrorResponse(estimate.status());
+  JsonWriter w;
+  w.BeginObject()
+      .Key("graph")
+      .String(target->entry->name)
+      .Key("kind")
+      .String(KindName(target->kind))
+      .Key("estimates")
+      .BeginArray();
+  for (const Degree e : estimate->estimates) w.UInt(e);
+  w.EndArray()
+      .Key("region_size")
+      .UInt(estimate->region_size)
+      .Key("iterations")
+      .Int(estimate->iterations)
+      .Key("converged")
+      .Bool(estimate->converged)
+      .EndObject();
+  return OkResponse(std::move(w));
+}
+
+ServerResponse ServerCore::HandleHierarchy(const JsonValue& body,
+                                           RunControl ctl, ChunkSink* sink) {
+  auto target = ResolveTarget(registry_, body, /*needs_kind=*/true);
+  if (!target.ok()) return ErrorResponse(target.status());
+  auto entry = target->entry;
+  const DecompositionKind kind = target->kind;
+  auto threads = body.GetInt("threads", 1);
+  if (!threads.ok()) return ErrorResponse(threads.status());
+
+  DecomposeOptions options;
+  options.threads = static_cast<int>(std::max<std::int64_t>(1, *threads));
+  options.materialize_budget_bytes = entry->arena_budget_bytes;
+  ApplyControl(ctl, &options);
+
+  if (sink != nullptr) {
+    // Streamed dump: one JSON document per line (NDJSON) — a header, then
+    // every node. graph_mu held shared pins the hierarchy pointer against
+    // a concurrent commit for as long as the stream runs.
+    std::shared_lock<std::shared_mutex> gl(entry->graph_mu);
+    auto hierarchy = entry->session.Hierarchy(kind, options);
+    if (!hierarchy.ok()) return ErrorResponse(hierarchy.status());
+    const NucleusHierarchy& h = **hierarchy;
+    std::string buffer;
+    {
+      JsonWriter w;
+      w.BeginObject()
+          .Key("graph")
+          .String(entry->name)
+          .Key("kind")
+          .String(KindName(kind))
+          .Key("nodes")
+          .UInt(h.nodes.size())
+          .Key("roots")
+          .UInt(h.roots.size())
+          .Key("depth")
+          .UInt(h.Depth())
+          .EndObject();
+      buffer = w.Take();
+      buffer.push_back('\n');
+    }
+    for (std::size_t i = 0; i < h.nodes.size(); ++i) {
+      const NucleusHierarchy::Node& node = h.nodes[i];
+      JsonWriter w;
+      w.BeginObject()
+          .Key("id")
+          .UInt(i)
+          .Key("k")
+          .UInt(node.k)
+          .Key("parent")
+          .Int(node.parent)
+          .Key("size")
+          .UInt(node.size)
+          .Key("new_members")
+          .BeginArray();
+      for (const CliqueId m : node.new_members) w.UInt(m);
+      w.EndArray().EndObject();
+      buffer += w.str();
+      buffer.push_back('\n');
+      if (buffer.size() >= 32 * 1024) {
+        if (!sink->Write(buffer)) {
+          return ServerResponse{
+              Status::Cancelled("client disconnected mid-stream"), "", true};
+        }
+        buffer.clear();
+        if (ctl.ShouldStop()) {
+          return ServerResponse{ctl.StopStatus(), "", true};
+        }
+      }
+    }
+    if (!buffer.empty() && !sink->Write(buffer)) {
+      return ServerResponse{
+          Status::Cancelled("client disconnected mid-stream"), "", true};
+    }
+    return ServerResponse{Status::Ok(), "", true};
+  }
+
+  // Non-streamed: a summary of the forest (the dump has its own streamed
+  // endpoint); coalesced so N cold requests cost one build.
+  auto run = [this, entry, kind, options]() -> ServerResponse {
+    std::shared_lock<std::shared_mutex> gl(entry->graph_mu);
+    auto hierarchy = entry->session.Hierarchy(kind, options);
+    if (!hierarchy.ok()) return ErrorResponse(hierarchy.status());
+    const NucleusHierarchy& h = **hierarchy;
+    Degree max_k = 0;
+    std::size_t leaves = 0;
+    for (const NucleusHierarchy::Node& node : h.nodes) {
+      max_k = std::max(max_k, node.k);
+      if (node.children.empty()) ++leaves;
+    }
+    JsonWriter w;
+    w.BeginObject()
+        .Key("graph")
+        .String(entry->name)
+        .Key("kind")
+        .String(KindName(kind))
+        .Key("nodes")
+        .UInt(h.nodes.size())
+        .Key("roots")
+        .UInt(h.roots.size())
+        .Key("leaves")
+        .UInt(leaves)
+        .Key("depth")
+        .UInt(h.Depth())
+        .Key("max_k")
+        .UInt(max_k)
+        .EndObject();
+    registry_.EnforceBudget();
+    return OkResponse(std::move(w));
+  };
+  return Coalesced("h|" + entry->name + "|" + KindName(kind), ctl, run);
+}
+
+ServerResponse ServerCore::HandleUpdate(const JsonValue& body,
+                                        RunControl ctl) {
+  auto target = ResolveTarget(registry_, body, /*needs_kind=*/false);
+  if (!target.ok()) return ErrorResponse(target.status());
+  auto entry = target->entry;
+  auto insert = body.GetPairList("insert");
+  if (!insert.ok()) return ErrorResponse(insert.status());
+  auto remove = body.GetPairList("remove");
+  if (!remove.ok()) return ErrorResponse(remove.status());
+
+  const std::int64_t max_id =
+      static_cast<std::int64_t>(entry->session.graph().NumVertices()) - 1;
+  for (const auto* list : {&*insert, &*remove}) {
+    for (const auto& [u, v] : *list) {
+      if (u < 0 || v < 0 || u > max_id || v > max_id) {
+        return ErrorResponse(Status::InvalidArgument(
+            "edge endpoint out of range: [" + std::to_string(u) + ", " +
+            std::to_string(v) + "] (graph has " +
+            std::to_string(max_id + 1) + " vertices)"));
+      }
+    }
+  }
+
+  // update_mu serializes whole batches (a second concurrent batch would
+  // commit as stale); the exclusive graph_mu around Commit keeps it from
+  // invalidating references a streaming/densest reader still holds.
+  std::lock_guard<std::mutex> ul(entry->update_mu);
+  auto batch = entry->session.BeginUpdates();
+  std::size_t inserted = 0;
+  std::size_t removed = 0;
+  for (const auto& [u, v] : *insert) {
+    inserted += batch.InsertEdge(static_cast<VertexId>(u),
+                                 static_cast<VertexId>(v))
+                    ? 1
+                    : 0;
+  }
+  for (const auto& [u, v] : *remove) {
+    removed += batch.RemoveEdge(static_cast<VertexId>(u),
+                                static_cast<VertexId>(v))
+                   ? 1
+                   : 0;
+  }
+  const std::size_t mutations = batch.NumMutations();
+  Status commit;
+  {
+    std::unique_lock<std::shared_mutex> gl(entry->graph_mu);
+    commit = batch.Commit(ctl);
+  }
+  if (!commit.ok()) return ErrorResponse(commit);
+  JsonWriter w;
+  w.BeginObject()
+      .Key("graph")
+      .String(entry->name)
+      .Key("inserted")
+      .UInt(inserted)
+      .Key("removed")
+      .UInt(removed)
+      .Key("mutations")
+      .UInt(mutations)
+      .Key("num_vertices")
+      .UInt(entry->session.graph().NumVertices())
+      .Key("num_edges")
+      .UInt(entry->session.graph().NumEdges())
+      .EndObject();
+  registry_.EnforceBudget();
+  return OkResponse(std::move(w));
+}
+
+ServerResponse ServerCore::HandleDensest(const JsonValue& body) {
+  auto target = ResolveTarget(registry_, body, /*needs_kind=*/false);
+  if (!target.ok()) return ErrorResponse(target.status());
+  auto entry = target->entry;
+  auto mode = body.GetString("mode", "edge");
+  if (!mode.ok()) return ErrorResponse(mode.status());
+
+  // The densest peels run against the raw graph reference; shared graph_mu
+  // keeps a concurrent commit from swapping it mid-scan.
+  std::shared_lock<std::shared_mutex> gl(entry->graph_mu);
+  JsonWriter w;
+  if (*mode == "edge") {
+    const DensestSubgraphResult r =
+        ApproxDensestSubgraph(entry->session.graph());
+    w.BeginObject()
+        .Key("graph")
+        .String(entry->name)
+        .Key("mode")
+        .String("edge")
+        .Key("num_vertices")
+        .UInt(r.vertices.size())
+        .Key("num_edges")
+        .UInt(r.num_edges)
+        .Key("avg_degree_density")
+        .Double(r.avg_degree_density)
+        .Key("edge_density")
+        .Double(r.edge_density)
+        .Key("vertices")
+        .BeginArray();
+    for (const VertexId v : r.vertices) w.UInt(v);
+    w.EndArray().EndObject();
+  } else if (*mode == "triangle") {
+    const TriangleDensestResult r =
+        ApproxTriangleDensestSubgraph(entry->session.graph());
+    w.BeginObject()
+        .Key("graph")
+        .String(entry->name)
+        .Key("mode")
+        .String("triangle")
+        .Key("num_vertices")
+        .UInt(r.vertices.size())
+        .Key("num_triangles")
+        .UInt(r.num_triangles)
+        .Key("triangle_density")
+        .Double(r.triangle_density)
+        .Key("vertices")
+        .BeginArray();
+    for (const VertexId v : r.vertices) w.UInt(v);
+    w.EndArray().EndObject();
+  } else {
+    return ErrorResponse(Status::InvalidArgument(
+        "unknown mode '" + *mode + "' (want edge | triangle)"));
+  }
+  return OkResponse(std::move(w));
+}
+
+ServerResponse ServerCore::HandleStats(const JsonValue& body) {
+  auto target = ResolveTarget(registry_, body, /*needs_kind=*/false);
+  if (!target.ok()) return ErrorResponse(target.status());
+  const SessionStateStats s = target->entry->session.Stats();
+  JsonWriter w;
+  w.BeginObject().Key("graph").String(target->entry->name);
+  WriteSessionStats(w, s);
+  w.EndObject();
+  return OkResponse(std::move(w));
+}
+
+ServerResponse ServerCore::HandleLoad(const JsonValue& body) {
+  auto name = body.GetString("name");
+  if (!name.ok()) return ErrorResponse(name.status());
+  auto path = body.GetString("path");
+  if (!path.ok()) return ErrorResponse(path.status());
+  if (name->empty() || path->empty()) {
+    return ErrorResponse(Status::InvalidArgument(
+        "load requires both 'name' and 'path'"));
+  }
+  auto arena_mb = body.GetInt("arena_budget_mb", 0);
+  if (!arena_mb.ok()) return ErrorResponse(arena_mb.status());
+  auto entry = registry_.Load(
+      *name, *path,
+      static_cast<std::uint64_t>(std::max<std::int64_t>(0, *arena_mb)) << 20);
+  if (!entry.ok()) return ErrorResponse(entry.status());
+  JsonWriter w;
+  w.BeginObject()
+      .Key("name")
+      .String(*name)
+      .Key("num_vertices")
+      .UInt((*entry)->session.graph().NumVertices())
+      .Key("num_edges")
+      .UInt((*entry)->session.graph().NumEdges())
+      .EndObject();
+  return OkResponse(std::move(w));
+}
+
+ServerResponse ServerCore::HandleUnload(const JsonValue& body) {
+  auto name = body.GetString("name");
+  if (!name.ok()) return ErrorResponse(name.status());
+  if (name->empty()) {
+    return ErrorResponse(
+        Status::InvalidArgument("missing required field 'name'"));
+  }
+  if (Status s = registry_.Evict(*name); !s.ok()) return ErrorResponse(s);
+  JsonWriter w;
+  w.BeginObject().Key("evicted").String(*name).EndObject();
+  return OkResponse(std::move(w));
+}
+
+ServerResponse ServerCore::HandleGraphs() {
+  JsonWriter w;
+  w.BeginObject().Key("graphs").BeginArray();
+  for (const auto& entry : registry_.List()) {
+    w.BeginObject()
+        .Key("name")
+        .String(entry->name)
+        .Key("num_vertices")
+        .UInt(entry->session.graph().NumVertices())
+        .Key("num_edges")
+        .UInt(entry->session.graph().NumEdges())
+        .Key("total_bytes")
+        .UInt(entry->session.Stats().TotalBytes())
+        .EndObject();
+  }
+  w.EndArray().EndObject();
+  return OkResponse(std::move(w));
+}
+
+ServerResponse ServerCore::HandleHealthz() {
+  JsonWriter w;
+  w.BeginObject()
+      .Key("ok")
+      .Bool(true)
+      .Key("graphs")
+      .UInt(registry_.NumResident())
+      .Key("workers")
+      .UInt(workers_.size())
+      .EndObject();
+  return OkResponse(std::move(w));
+}
+
+std::string ServerCore::MetricsJson() {
+  JsonWriter w;
+  w.BeginObject();
+
+  w.Key("counters").BeginObject();
+  for (const auto& [name, value] : metrics_.CounterValues()) {
+    w.Key(name).UInt(value);
+  }
+  w.EndObject();
+
+  w.Key("latency_ms").BeginObject();
+  for (const auto& [name, snap] : metrics_.HistogramValues()) {
+    w.Key(name)
+        .BeginObject()
+        .Key("count")
+        .UInt(snap.count)
+        .Key("mean")
+        .Double(snap.MeanMs())
+        .Key("p50")
+        .Double(snap.QuantileMs(0.5))
+        .Key("p99")
+        .Double(snap.QuantileMs(0.99))
+        .Key("max")
+        .Double(snap.max_ms)
+        .EndObject();
+  }
+  w.EndObject();
+
+  w.Key("queue")
+      .BeginObject()
+      .Key("workers")
+      .UInt(workers_.size())
+      .Key("capacity")
+      .UInt(config_.queue_capacity)
+      .Key("depth")
+      .UInt(QueueDepth())
+      .Key("active")
+      .Int(active_.load())
+      .EndObject();
+
+  w.Key("registry").BeginObject();
+  w.Key("resident").UInt(registry_.NumResident());
+  w.Key("evictions").UInt(registry_.Evictions());
+  w.Key("global_budget_bytes").UInt(registry_.config().global_budget_bytes);
+  std::uint64_t total = 0;
+  w.Key("graphs").BeginArray();
+  for (const auto& entry : registry_.List()) {
+    const SessionStateStats s = entry->session.Stats();
+    total += s.TotalBytes();
+    w.BeginObject().Key("name").String(entry->name);
+    WriteSessionStats(w, s);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("total_bytes").UInt(total);
+  w.EndObject();
+
+  w.EndObject();
+  return w.Take();
+}
+
+}  // namespace nucleus

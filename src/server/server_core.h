@@ -1,0 +1,200 @@
+// Transport-independent service layer: named endpoints taking and
+// returning JSON, dispatched against a multi-tenant GraphRegistry, with a
+// bounded admission-control queue and request coalescing in front of the
+// NucleusSession compute. The HTTP layer (server/http.h) is a thin shell
+// over this class; tests and benches drive ServerCore in-process, so the
+// whole serving contract — shedding, deadlines, coalescing, eviction under
+// load — is provable without a socket.
+//
+// Request lifecycle (Handle):
+//   1. Admission: the request enters a bounded queue served by a fixed
+//      worker pool. A full queue sheds immediately with kResourceExhausted
+//      (the caller is never blocked behind work that cannot be scheduled).
+//   2. Deadline: "deadline_ms" in the body (or the config default) bounds
+//      the request end to end — queue wait included. A request that
+//      expires while still queued is skipped, not executed; one that
+//      expires mid-compute unwinds cooperatively through RunControl and
+//      the session installs nothing partial. Either way the caller gets
+//      kDeadlineExceeded and the session stays fully usable.
+//   3. Coalescing: concurrent decompose/hierarchy requests with the same
+//      cache key ride one leader's execution and share its response, so N
+//      cold requests for the same (graph, kind) cost ONE index/arena/kappa
+//      build. Observable via the coalesce.builds / coalesce.riders
+//      counters (and the session's own build counters).
+//
+// Every endpoint records a latency histogram and request/error counters in
+// a MetricsRegistry; /metricz renders the registry plus per-graph
+// SessionStateStats and queue gauges as one JSON document.
+#ifndef NUCLEUS_SERVER_SERVER_CORE_H_
+#define NUCLEUS_SERVER_SERVER_CORE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/cancel.h"
+#include "src/common/metrics.h"
+#include "src/common/status.h"
+#include "src/server/registry.h"
+
+namespace nucleus {
+
+class JsonValue;
+
+struct ServerConfig {
+  /// Worker threads serving the admission queue.
+  int workers = 4;
+  /// Requests allowed to wait in the queue; a request arriving when the
+  /// queue is full is shed with kResourceExhausted.
+  std::size_t queue_capacity = 64;
+  /// Registry budgets (see GraphRegistry::Config).
+  std::uint64_t global_memory_budget_bytes = std::uint64_t{4} << 30;
+  std::uint64_t default_arena_budget_bytes = std::uint64_t{512} << 20;
+  /// Deadline applied to requests whose body names none; 0 = unbounded.
+  std::int64_t default_deadline_ms = 0;
+};
+
+/// One request: a named endpoint plus a JSON object body (empty = "{}").
+/// Endpoints: decompose, query, hierarchy, update, densest, stats, load,
+/// unload, graphs, metricz, healthz.
+struct ServerRequest {
+  std::string endpoint;
+  std::string body;
+};
+
+struct ServerResponse {
+  Status status;
+  /// JSON document; on failure, {"error": ..., "code": ...}. Empty when
+  /// the response was streamed through a ChunkSink instead.
+  std::string body;
+  bool streamed = false;
+};
+
+/// Where a streaming endpoint writes its chunks (the HTTP layer implements
+/// this over chunked transfer encoding; tests implement it over a string).
+/// Write returns false when the consumer is gone — the producer stops.
+class ChunkSink {
+ public:
+  virtual ~ChunkSink() = default;
+  virtual bool Write(std::string_view chunk) = 0;
+};
+
+class ServerCore {
+ public:
+  explicit ServerCore(ServerConfig config);
+  ~ServerCore();
+
+  ServerCore(const ServerCore&) = delete;
+  ServerCore& operator=(const ServerCore&) = delete;
+
+  /// Admission-controlled entry point: queues the request, blocks the
+  /// calling thread until a worker completes it, the queue sheds it, or
+  /// its deadline expires (the abandoned job's CancelToken fires so the
+  /// worker unwinds instead of computing for nobody).
+  ServerResponse Handle(const ServerRequest& request);
+
+  /// Runs the request on the caller's thread, bypassing admission (used
+  /// by the queue workers themselves, by tests that want synchronous
+  /// semantics, and by the bench harness). `ctl` bounds the execution; a
+  /// default control falls back to the body's deadline_ms.
+  ServerResponse HandleDirect(const ServerRequest& request,
+                              RunControl ctl = {});
+
+  /// Streaming endpoints (currently: hierarchy dumps as NDJSON). Runs on
+  /// the caller's thread — streaming is paced by the transport, so it
+  /// must not pin a queue worker for the duration of a slow client.
+  ServerResponse HandleStreaming(const ServerRequest& request,
+                                 ChunkSink* sink, RunControl ctl = {});
+
+  /// Cancels in-flight work, completes queued requests as kCancelled, and
+  /// joins the workers. Idempotent; the destructor calls it.
+  void Shutdown();
+
+  GraphRegistry& registry() { return registry_; }
+  MetricsRegistry& metrics() { return metrics_; }
+
+  /// Queue gauges (tests use these to arrange deterministic shedding).
+  std::size_t QueueDepth() const;
+  int ActiveRequests() const { return active_.load(); }
+
+  /// The /metricz document.
+  std::string MetricsJson();
+
+ private:
+  struct Job {
+    ServerRequest request;
+    Deadline deadline;
+    CancelToken cancel;
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    bool abandoned = false;
+    ServerResponse response;
+
+    explicit Job(const CancelToken* parent) : cancel(parent) {}
+  };
+
+  // One coalesced execution: the first requester (leader) runs, later
+  // identical requests (riders) wait here and share the leader's response.
+  struct Flight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    ServerResponse response;
+    int riders = 0;  // guarded by flights_mu_, frozen once the key erases
+  };
+
+  void WorkerLoop();
+  ServerResponse Dispatch(const ServerRequest& request, RunControl ctl,
+                          ChunkSink* sink);
+
+  // Endpoint handlers. All take the parsed body; those that can be
+  // stopped take the request control.
+  ServerResponse HandleDecompose(const JsonValue& body, RunControl ctl);
+  ServerResponse HandleQuery(const JsonValue& body, RunControl ctl);
+  ServerResponse HandleHierarchy(const JsonValue& body, RunControl ctl,
+                                 ChunkSink* sink);
+  ServerResponse HandleUpdate(const JsonValue& body, RunControl ctl);
+  ServerResponse HandleDensest(const JsonValue& body);
+  ServerResponse HandleStats(const JsonValue& body);
+  ServerResponse HandleLoad(const JsonValue& body);
+  ServerResponse HandleUnload(const JsonValue& body);
+  ServerResponse HandleGraphs();
+  ServerResponse HandleHealthz();
+
+  /// Runs `run` under the singleflight keyed by `key`: the leader
+  /// executes, riders block (bounded by `ctl`) and share the response.
+  ServerResponse Coalesced(const std::string& key, RunControl ctl,
+                           const std::function<ServerResponse()>& run);
+
+  const ServerConfig config_;
+  GraphRegistry registry_;
+  MetricsRegistry metrics_;
+
+  // Server-wide cancellation root: Shutdown fires it and every in-flight
+  // request's token is its child.
+  CancelToken shutdown_cancel_;
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<Job>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+  std::atomic<int> active_{0};
+
+  std::mutex flights_mu_;
+  std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
+};
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_SERVER_SERVER_CORE_H_

@@ -1,0 +1,135 @@
+// LatencyHistogram / MetricsRegistry unit tests: bucket placement,
+// quantile bounds (<= 2x over-estimate, monotone), lock-free concurrent
+// recording, and registry reference stability.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/metrics.h"
+
+namespace nucleus {
+namespace {
+
+TEST(Histogram, CountsSumAndMax) {
+  LatencyHistogram h;
+  h.Record(1.0);
+  h.Record(2.0);
+  h.Record(7.0);
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_NEAR(s.sum_ms, 10.0, 1e-6);
+  EXPECT_NEAR(s.max_ms, 7.0, 1e-6);
+  EXPECT_NEAR(s.MeanMs(), 10.0 / 3.0, 1e-6);
+}
+
+TEST(Histogram, BucketPlacementIsLogarithmic) {
+  LatencyHistogram h;
+  h.Record(0.0005);  // 0.5 us -> bucket 0
+  h.Record(0.003);   // 3 us -> bucket 1 ([2,4) us)
+  h.Record(1.0);     // 1000 us -> bucket 9 ([512,1024) us)
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.counts[0], 1u);
+  EXPECT_EQ(s.counts[1], 1u);
+  EXPECT_EQ(s.counts[9], 1u);
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : s.counts) total += c;
+  EXPECT_EQ(total, s.count);
+}
+
+TEST(Histogram, QuantilesAreBoundedAndMonotone) {
+  LatencyHistogram h;
+  // 90 fast samples at ~1 ms, 10 slow at ~100 ms.
+  for (int i = 0; i < 90; ++i) h.Record(1.0);
+  for (int i = 0; i < 10; ++i) h.Record(100.0);
+  const HistogramSnapshot s = h.Snapshot();
+
+  const double p50 = s.QuantileMs(0.5);
+  const double p95 = s.QuantileMs(0.95);
+  const double p99 = s.QuantileMs(0.99);
+  // Bucket upper edges over-estimate by at most 2x.
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p50, 2.1);
+  EXPECT_GE(p95, 100.0);
+  EXPECT_LE(p95, 210.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_DOUBLE_EQ(s.QuantileMs(0.0), s.QuantileMs(0.01));
+
+  const HistogramSnapshot empty = LatencyHistogram().Snapshot();
+  EXPECT_DOUBLE_EQ(empty.QuantileMs(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.MeanMs(), 0.0);
+}
+
+TEST(Histogram, ConcurrentRecordingLosesNothing) {
+  LatencyHistogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.Record(0.5 + (i % 7));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, static_cast<std::uint64_t>(kThreads * kPerThread));
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : s.counts) total += c;
+  EXPECT_EQ(total, s.count);
+}
+
+TEST(Metrics, CountersAreStableAndSorted) {
+  MetricsRegistry registry;
+  MetricCounter& a = registry.Counter("b.second");
+  MetricCounter& b = registry.Counter("a.first");
+  a.Add();
+  a.Add(2);
+  b.Add(5);
+  // Re-lookup returns the same instrument.
+  registry.Counter("b.second").Add();
+  EXPECT_EQ(a.Value(), 4u);
+
+  const auto values = registry.CounterValues();
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values[0].first, "a.first");
+  EXPECT_EQ(values[0].second, 5u);
+  EXPECT_EQ(values[1].first, "b.second");
+  EXPECT_EQ(values[1].second, 4u);
+}
+
+TEST(Metrics, HistogramsRegisterOnFirstUse) {
+  MetricsRegistry registry;
+  registry.Histogram("lat").Record(3.0);
+  registry.Histogram("lat").Record(5.0);
+  const auto snaps = registry.HistogramValues();
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_EQ(snaps[0].first, "lat");
+  EXPECT_EQ(snaps[0].second.count, 2u);
+}
+
+TEST(Metrics, ConcurrentRegistrationIsSafe) {
+  MetricsRegistry registry;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&registry, t] {
+      for (int i = 0; i < 500; ++i) {
+        registry.Counter("shared").Add();
+        registry.Counter("own." + std::to_string(t)).Add();
+        registry.Histogram("h").Record(1.0);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const auto& [name, value] : registry.CounterValues()) {
+    if (name == "shared") {
+      EXPECT_EQ(value, 2000u);
+    }
+  }
+  EXPECT_EQ(registry.HistogramValues()[0].second.count, 2000u);
+}
+
+}  // namespace
+}  // namespace nucleus

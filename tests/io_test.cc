@@ -238,5 +238,66 @@ TEST(GraphIo, EmptyGraphRoundTrip) {
   EXPECT_EQ(h.NumEdges(), 0u);
 }
 
+TEST(GraphIo, AutoLoadDispatchesOnMagic) {
+  const Graph g = GenerateErdosRenyi(30, 80, 7);
+
+  const std::string bin = TempPath("auto.bin");
+  SaveBinary(g, bin);
+  auto from_bin = TryLoadGraphAuto(bin);
+  ASSERT_TRUE(from_bin.ok()) << from_bin.status().ToString();
+  EXPECT_EQ(from_bin->NumVertices(), g.NumVertices());
+  EXPECT_EQ(from_bin->NumEdges(), g.NumEdges());
+
+  const std::string txt = TempPath("auto.txt");
+  SaveEdgeListText(g, txt);
+  auto from_txt = TryLoadGraphAuto(txt);
+  ASSERT_TRUE(from_txt.ok()) << from_txt.status().ToString();
+  EXPECT_EQ(from_txt->NumEdges(), g.NumEdges());
+}
+
+TEST(GraphIo, AutoLoadMissingFileIsNotFound) {
+  auto g = TryLoadGraphAuto(TempPath("does_not_exist.any"));
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kNotFound);
+}
+
+TEST(GraphIo, AutoLoadToleratesUtf8Bom) {
+  const std::string path = TempPath("bom.txt");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "\xEF\xBB\xBF# SNAP re-encoded on Windows\n0 1\n1 2\n";
+  }
+  auto g = TryLoadGraphAuto(path);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->NumEdges(), 2u);
+}
+
+TEST(GraphIo, AutoLoadShortFileFallsBackToText) {
+  // Shorter than the 8-byte magic: must reach the text reader, which
+  // parses it fine.
+  const std::string path = TempPath("short.txt");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "0 1\n";
+  }
+  auto g = TryLoadGraphAuto(path);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->NumEdges(), 1u);
+}
+
+TEST(GraphIo, AutoLoadPropagatesTextDiagnostics) {
+  const std::string path = TempPath("auto_bad.txt");
+  {
+    std::ofstream out(path);
+    out << "0 1\n2 banana\n";
+  }
+  auto g = TryLoadGraphAuto(path);
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+  // Diagnostics keep the path:lineno shape of the text loader.
+  EXPECT_NE(g.status().ToString().find(path + ":2"), std::string::npos)
+      << g.status().ToString();
+}
+
 }  // namespace
 }  // namespace nucleus

@@ -1,0 +1,512 @@
+// Concurrent battery for the serving layer (ServerCore + GraphRegistry +
+// HttpServer). The serving contract under test:
+//   - coalescing: N concurrent cold requests for the same (graph, kind)
+//     cost exactly ONE session build — riders share the leader's response
+//     and never reach the session;
+//   - admission control: a full queue sheds immediately with
+//     kResourceExhausted, it never blocks the caller behind unschedulable
+//     work;
+//   - deadlines: an expired request comes back kDeadlineExceeded (whether
+//     it expired queued or mid-compute) and the session stays bitwise
+//     reusable — the retry matches an untouched oracle;
+//   - multi-tenancy: reads racing commits and evictions racing reads are
+//     safe at 1, 4, and 8 workers (the TSAN job runs this suite);
+//   - the HTTP shell speaks real sockets: status mapping, JSON bodies,
+//     chunked hierarchy streaming.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <barrier>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/session.h"
+#include "src/graph/generators.h"
+#include "src/server/http.h"
+#include "src/server/json.h"
+#include "src/server/registry.h"
+#include "src/server/server_core.h"
+
+namespace nucleus {
+namespace {
+
+// Dense enough that a cold (3,4) build takes real wall-clock (~millions of
+// K4 visits) — the window the coalescing and shedding tests rely on.
+Graph SlowGraph() { return GenerateErdosRenyi(400, 16000, 11); }
+
+// Small and fast, for the racing/eviction loops.
+Graph FastGraph() { return GenerateErdosRenyi(150, 1200, 5); }
+
+ServerConfig Config(int workers, std::size_t queue_capacity = 64) {
+  ServerConfig config;
+  config.workers = workers;
+  config.queue_capacity = queue_capacity;
+  return config;
+}
+
+bool WaitFor(const std::function<bool()>& pred, int timeout_ms = 10000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
+
+std::uint64_t CounterValue(ServerCore& server, const std::string& name) {
+  for (const auto& [key, value] : server.metrics().CounterValues()) {
+    if (key == name) return value;
+  }
+  return 0;
+}
+
+class StringSink : public ChunkSink {
+ public:
+  bool Write(std::string_view chunk) override {
+    data.append(chunk);
+    return true;
+  }
+  std::string data;
+};
+
+TEST(ServerCore, EndpointsRoundTrip) {
+  ServerCore server(Config(2));
+  ASSERT_TRUE(server.registry().Add("g", FastGraph()).ok());
+
+  for (const char* kind : {"core", "truss", "nucleus34"}) {
+    const ServerResponse r = server.Handle(
+        {"decompose", std::string("{\"graph\":\"g\",\"kind\":\"") + kind +
+                          "\",\"method\":\"peel\"}"});
+    ASSERT_TRUE(r.status.ok()) << kind << ": " << r.status.ToString();
+    auto body = JsonValue::Parse(r.body);
+    ASSERT_TRUE(body.ok());
+    EXPECT_EQ(body->GetString("kind").value(), kind);
+    EXPECT_GT(body->GetInt("num_r_cliques").value(), 0);
+    EXPECT_TRUE(body->GetBool("exact").value());
+  }
+
+  const ServerResponse q = server.Handle(
+      {"query", R"({"graph":"g","kind":"core","ids":[0,1,2],"radius":2})"});
+  ASSERT_TRUE(q.status.ok()) << q.status.ToString();
+  auto q_body = JsonValue::Parse(q.body);
+  ASSERT_TRUE(q_body.ok());
+  EXPECT_EQ(q_body->Find("estimates")->AsArray().size(), 3u);
+
+  const ServerResponse h =
+      server.Handle({"hierarchy", R"({"graph":"g","kind":"truss"})"});
+  ASSERT_TRUE(h.status.ok()) << h.status.ToString();
+  auto h_body = JsonValue::Parse(h.body);
+  ASSERT_TRUE(h_body.ok());
+  EXPECT_GT(h_body->GetInt("nodes").value(), 0);
+
+  const ServerResponse d =
+      server.Handle({"densest", R"({"graph":"g","mode":"triangle"})"});
+  ASSERT_TRUE(d.status.ok()) << d.status.ToString();
+
+  const ServerResponse s = server.Handle({"stats", R"({"graph":"g"})"});
+  ASSERT_TRUE(s.status.ok());
+  auto s_body = JsonValue::Parse(s.body);
+  ASSERT_TRUE(s_body.ok());
+  EXPECT_TRUE(s_body->Find("kappa_cached")->Find("truss")->AsBool());
+  EXPECT_GT(s_body->GetInt("total_bytes").value(), 0);
+
+  const ServerResponse m = server.Handle({"metricz", ""});
+  ASSERT_TRUE(m.status.ok());
+  auto m_body = JsonValue::Parse(m.body);
+  ASSERT_TRUE(m_body.ok()) << m.body;
+  EXPECT_EQ(m_body->Find("registry")->Find("resident")->AsInt(), 1);
+
+  const ServerResponse list = server.Handle({"graphs", ""});
+  ASSERT_TRUE(list.status.ok());
+  EXPECT_EQ(JsonValue::Parse(list.body)->Find("graphs")->AsArray().size(),
+            1u);
+}
+
+TEST(ServerCore, MalformedRequestsAreStatusNotCrash) {
+  ServerCore server(Config(1));
+  ASSERT_TRUE(server.registry().Add("g", FastGraph()).ok());
+  EXPECT_EQ(server.Handle({"decompose", "{not json"}).status.code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(server.Handle({"decompose", "{}"}).status.code(),
+            StatusCode::kInvalidArgument);  // missing graph
+  EXPECT_EQ(
+      server.Handle({"decompose", R"({"graph":"g","kind":"quux"})"})
+          .status.code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(server.Handle({"decompose", R"({"graph":"absent"})"})
+                .status.code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(server.Handle({"frobnicate", "{}"}).status.code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(
+      server
+          .Handle({"update",
+                   R"({"graph":"g","insert":[[0,999999]]})"})
+          .status.code(),
+      StatusCode::kInvalidArgument);
+}
+
+// The tentpole proof: 8 concurrent cold (3,4) requests, one arena/index
+// build. Riders never reach the session (decompose_calls == 1) and the
+// server counts exactly one coalesced build with 7 riders.
+TEST(ServerCore, ConcurrentColdRequestsCoalesceIntoOneBuild) {
+  ServerCore server(Config(8));
+  auto entry = server.registry().Add("g", SlowGraph());
+  ASSERT_TRUE(entry.ok());
+
+  constexpr int kClients = 8;
+  std::barrier barrier(kClients);
+  std::vector<ServerResponse> responses(kClients);
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      barrier.arrive_and_wait();
+      responses[i] = server.Handle(
+          {"decompose", R"({"graph":"g","kind":"nucleus34"})"});
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  std::string first_body;
+  for (int i = 0; i < kClients; ++i) {
+    ASSERT_TRUE(responses[i].status.ok()) << responses[i].status.ToString();
+    if (first_body.empty()) first_body = responses[i].body;
+    // Riders share the leader's response verbatim.
+    EXPECT_EQ(responses[i].body, first_body);
+  }
+
+  const SessionStats stats = (*entry)->session.stats();
+  EXPECT_EQ(stats.decompose_calls, 1);
+  EXPECT_EQ(stats.triangle_index_builds, 1);
+  EXPECT_LE(stats.nucleus34_arena_builds, 1);
+  EXPECT_EQ(CounterValue(server, "coalesce.builds"), 1u);
+  EXPECT_EQ(CounterValue(server, "coalesce.riders"),
+            static_cast<std::uint64_t>(kClients - 1));
+}
+
+TEST(ServerCore, FullQueueShedsWithResourceExhausted) {
+  ServerCore server(Config(/*workers=*/1, /*queue_capacity=*/1));
+  ASSERT_TRUE(server.registry().Add("g", SlowGraph()).ok());
+
+  // Occupy the only worker with a cold (3,4) build...
+  std::thread active([&] {
+    const ServerResponse r = server.Handle(
+        {"decompose", R"({"graph":"g","kind":"nucleus34"})"});
+    EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+  });
+  ASSERT_TRUE(WaitFor([&] { return server.ActiveRequests() == 1; }));
+
+  // ...fill the queue's single slot...
+  std::thread queued([&] {
+    const ServerResponse r =
+        server.Handle({"decompose", R"({"graph":"g","kind":"truss"})"});
+    EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+  });
+  ASSERT_TRUE(WaitFor([&] { return server.QueueDepth() == 1; }));
+
+  // ...and the next arrival sheds immediately.
+  const ServerResponse shed = server.Handle({"healthz", ""});
+  EXPECT_EQ(shed.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_GE(CounterValue(server, "server.shed"), 1u);
+
+  active.join();
+  queued.join();
+}
+
+// An expired request returns kDeadlineExceeded and leaves the session
+// bitwise reusable: the retry's kappa matches an oracle session that never
+// saw a failure.
+TEST(ServerCore, DeadlineExpiredRequestLeavesSessionReusable) {
+  ServerCore server(Config(2));
+  ASSERT_TRUE(server.registry().Add("g", SlowGraph()).ok());
+
+  const ServerResponse expired = server.Handle(
+      {"decompose",
+       R"({"graph":"g","kind":"nucleus34","deadline_ms":1})"});
+  EXPECT_EQ(expired.status.code(), StatusCode::kDeadlineExceeded)
+      << expired.status.ToString();
+
+  const ServerResponse retry = server.Handle(
+      {"decompose",
+       R"({"graph":"g","kind":"nucleus34","include_kappa":true})"});
+  ASSERT_TRUE(retry.status.ok()) << retry.status.ToString();
+  auto body = JsonValue::Parse(retry.body);
+  ASSERT_TRUE(body.ok());
+  const auto& kappa_json = body->Find("kappa")->AsArray();
+
+  NucleusSession oracle(SlowGraph());
+  auto expected = oracle.Decompose(DecompositionKind::kNucleus34);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_EQ(kappa_json.size(), expected->kappa.size());
+  for (std::size_t i = 0; i < kappa_json.size(); ++i) {
+    ASSERT_EQ(static_cast<Degree>(kappa_json[i].AsInt()),
+              expected->kappa[i])
+        << "kappa diverges at id " << i;
+  }
+}
+
+TEST(ServerCore, DeadlineExpiredWhileQueuedIsNeverExecuted) {
+  ServerCore server(Config(/*workers=*/1, /*queue_capacity=*/4));
+  ASSERT_TRUE(server.registry().Add("g", SlowGraph()).ok());
+
+  std::thread active([&] {
+    (void)server.Handle(
+        {"decompose", R"({"graph":"g","kind":"nucleus34"})"});
+  });
+  ASSERT_TRUE(WaitFor([&] { return server.ActiveRequests() == 1; }));
+
+  // Queued behind the slow build with a deadline far shorter than it: the
+  // caller unblocks at ~its deadline (not the build's completion) and the
+  // worker later skips the abandoned job.
+  const auto t0 = std::chrono::steady_clock::now();
+  const ServerResponse r = server.Handle(
+      {"stats", R"({"graph":"g","deadline_ms":2})"});
+  const double waited_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(waited_ms, 5000.0);
+  active.join();
+  EXPECT_GE(CounterValue(server, "server.deadline_abandoned") +
+                CounterValue(server, "server.expired_in_queue"),
+            1u);
+}
+
+// Readers (decompose / stats / streamed hierarchy) racing an updater that
+// commits mutations, across worker-pool widths. Every response must be
+// OK — the registry's graph_mu plus the session's internal locking make
+// commits invisible to in-flight reads.
+TEST(ServerCore, ReadsRacingCommitsAreSafeAcrossWorkerCounts) {
+  for (const int workers : {1, 4, 8}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    ServerCore server(Config(workers));
+    ASSERT_TRUE(server.registry().Add("g", FastGraph()).ok());
+
+    std::atomic<int> failures{0};
+    auto check = [&](const ServerResponse& r) {
+      if (!r.status.ok()) {
+        failures.fetch_add(1);
+        ADD_FAILURE() << r.status.ToString();
+      }
+    };
+
+    std::vector<std::thread> threads;
+    threads.emplace_back([&] {
+      for (int i = 0; i < 8; ++i) {
+        check(server.Handle(
+            {"decompose", R"({"graph":"g","kind":"core"})"}));
+        check(server.Handle(
+            {"decompose", R"({"graph":"g","kind":"truss"})"}));
+      }
+    });
+    threads.emplace_back([&] {
+      for (int i = 0; i < 8; ++i) {
+        check(server.Handle({"stats", R"({"graph":"g"})"}));
+        check(server.Handle({"densest", R"({"graph":"g"})"}));
+      }
+    });
+    threads.emplace_back([&] {
+      for (int i = 0; i < 4; ++i) {
+        StringSink sink;
+        const ServerResponse r = server.HandleStreaming(
+            {"hierarchy", R"({"graph":"g","kind":"core"})"}, &sink);
+        check(r);
+        EXPECT_FALSE(sink.data.empty());
+      }
+    });
+    threads.emplace_back([&] {
+      for (int i = 0; i < 8; ++i) {
+        check(server.Handle(
+            {"update", R"({"graph":"g","insert":[[0,140],[1,141]]})"}));
+        check(server.Handle(
+            {"update", R"({"graph":"g","remove":[[0,140],[1,141]]})"}));
+      }
+    });
+    for (std::thread& t : threads) t.join();
+    EXPECT_EQ(failures.load(), 0);
+  }
+}
+
+// Evicting a graph while requests are in flight: requests that already
+// resolved the entry finish against the still-pinned session; later
+// requests get kNotFound. Never UB, never a crash (TSAN-checked).
+TEST(ServerCore, EvictUnderLoadReturnsNotFound) {
+  ServerCore server(Config(4));
+  ASSERT_TRUE(server.registry().Add("g", FastGraph()).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> not_found{0};
+  std::atomic<int> bad{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        const ServerResponse r =
+            server.Handle({"stats", R"({"graph":"g"})"});
+        if (r.status.code() == StatusCode::kNotFound) {
+          not_found.fetch_add(1);
+        } else if (!r.status.ok()) {
+          bad.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const ServerResponse evict =
+      server.Handle({"unload", R"({"name":"g"})"});
+  EXPECT_TRUE(evict.status.ok()) << evict.status.ToString();
+  ASSERT_TRUE(WaitFor([&] { return not_found.load() > 0; }));
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_EQ(server.Handle({"stats", R"({"graph":"g"})"}).status.code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(server.registry().NumResident(), 0u);
+}
+
+TEST(GraphRegistryTest, LruEvictionUnderGlobalBudget) {
+  // Measure one resident session's footprint, then budget for two.
+  std::uint64_t one_graph_bytes = 0;
+  {
+    GraphRegistry probe(GraphRegistry::Config{0, 0});
+    auto e = probe.Add("p", FastGraph());
+    ASSERT_TRUE(e.ok());
+    one_graph_bytes = (*e)->session.Stats().TotalBytes();
+    ASSERT_GT(one_graph_bytes, 0u);
+  }
+  GraphRegistry::Config config;
+  config.global_budget_bytes = 2 * one_graph_bytes + one_graph_bytes / 2;
+  GraphRegistry registry(config);
+  ASSERT_TRUE(registry.Add("a", FastGraph()).ok());
+  ASSERT_TRUE(registry.Add("b", FastGraph()).ok());
+  EXPECT_EQ(registry.NumResident(), 2u);
+
+  // Touch "a" so "b" is the LRU victim when "c" pushes past the budget.
+  ASSERT_TRUE(registry.Get("a").ok());
+  ASSERT_TRUE(registry.Add("c", FastGraph()).ok());
+  EXPECT_EQ(registry.NumResident(), 2u);
+  EXPECT_TRUE(registry.Get("a").ok());
+  EXPECT_TRUE(registry.Get("c").ok());
+  EXPECT_EQ(registry.Get("b").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(registry.Evictions(), 1u);
+
+  // An in-hand entry handle survives its own eviction (shared_ptr pin).
+  auto pinned = registry.Get("a");
+  ASSERT_TRUE(pinned.ok());
+  ASSERT_TRUE(registry.Evict("a").ok());
+  EXPECT_EQ((*pinned)->session.graph().NumVertices(),
+            FastGraph().NumVertices());
+  EXPECT_EQ(registry.Evict("a").code(), StatusCode::kNotFound);
+}
+
+TEST(GraphRegistryTest, DuplicateNameIsFailedPrecondition) {
+  GraphRegistry registry(GraphRegistry::Config{0, 0});
+  ASSERT_TRUE(registry.Add("g", FastGraph()).ok());
+  EXPECT_EQ(registry.Add("g", FastGraph()).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(registry.Load("", "/nonexistent").status().code(),
+            StatusCode::kNotFound);
+}
+
+// End-to-end over a real loopback socket: status mapping, JSON bodies,
+// chunked hierarchy streaming, keep-alive reuse by the client.
+TEST(HttpServerTest, SocketRoundTrip) {
+  ServerCore core(Config(2));
+  ASSERT_TRUE(core.registry().Add("g", FastGraph()).ok());
+  HttpServer server(&core, /*port=*/0);
+  ASSERT_TRUE(server.Start().ok());
+  const int port = server.port();
+  ASSERT_GT(port, 0);
+
+  auto health = HttpFetch("127.0.0.1", port, "GET", "/healthz", "");
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_EQ(health->status, 200);
+  EXPECT_TRUE(JsonValue::Parse(health->body)->GetBool("ok").value());
+
+  auto decompose = HttpFetch(
+      "127.0.0.1", port, "POST", "/api/decompose",
+      R"({"graph":"g","kind":"truss","method":"peel"})");
+  ASSERT_TRUE(decompose.ok()) << decompose.status().ToString();
+  EXPECT_EQ(decompose->status, 200);
+  auto d_body = JsonValue::Parse(decompose->body);
+  ASSERT_TRUE(d_body.ok());
+  EXPECT_TRUE(d_body->GetBool("exact").value());
+
+  // GET form: query parameters instead of a JSON body.
+  auto get_form = HttpFetch("127.0.0.1", port, "GET",
+                            "/api/decompose?graph=g&kind=core&threads=2",
+                            "");
+  ASSERT_TRUE(get_form.ok());
+  EXPECT_EQ(get_form->status, 200);
+
+  auto stream = HttpFetch("127.0.0.1", port, "GET",
+                          "/api/hierarchy?graph=g&kind=core", "");
+  ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+  EXPECT_EQ(stream->status, 200);
+  EXPECT_EQ(stream->headers["transfer-encoding"], "chunked");
+  // NDJSON: a header line plus one line per node, each parseable.
+  std::size_t lines = 0;
+  std::size_t pos = 0;
+  while (pos < stream->body.size()) {
+    std::size_t eol = stream->body.find('\n', pos);
+    if (eol == std::string::npos) eol = stream->body.size();
+    ASSERT_TRUE(
+        JsonValue::Parse(stream->body.substr(pos, eol - pos)).ok());
+    ++lines;
+    pos = eol + 1;
+  }
+  EXPECT_GE(lines, 2u);
+
+  auto missing = HttpFetch("127.0.0.1", port, "POST", "/api/decompose",
+                           R"({"graph":"absent"})");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status, 404);
+
+  auto bad_route = HttpFetch("127.0.0.1", port, "GET", "/nope", "");
+  ASSERT_TRUE(bad_route.ok());
+  EXPECT_EQ(bad_route->status, 404);
+
+  auto update = HttpFetch("127.0.0.1", port, "POST", "/api/update",
+                          R"({"graph":"g","insert":[[0,100]]})");
+  ASSERT_TRUE(update.ok());
+  EXPECT_EQ(update->status, 200);
+
+  auto metricz = HttpFetch("127.0.0.1", port, "GET", "/metricz", "");
+  ASSERT_TRUE(metricz.ok());
+  EXPECT_EQ(metricz->status, 200);
+  auto m_body = JsonValue::Parse(metricz->body);
+  ASSERT_TRUE(m_body.ok()) << metricz->body;
+  EXPECT_GE(m_body->Find("counters")->AsObject().size(), 1u);
+
+  server.Stop();
+  core.Shutdown();
+}
+
+TEST(HttpServerTest, ShutdownWithInflightWorkIsClean) {
+  auto core = std::make_unique<ServerCore>(Config(2));
+  ASSERT_TRUE(core->registry().Add("g", SlowGraph()).ok());
+  HttpServer server(core.get(), /*port=*/0);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::thread client([&, port = server.port()] {
+    // May complete or be cut off by the shutdown — both are fine; what is
+    // not fine is a hang or a crash.
+    (void)HttpFetch("127.0.0.1", port, "POST", "/api/decompose",
+                    R"({"graph":"g","kind":"nucleus34"})", 30000);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  core->Shutdown();  // fires the server-wide cancel; in-flight work unwinds
+  server.Stop();
+  client.join();
+  core.reset();
+}
+
+}  // namespace
+}  // namespace nucleus

@@ -871,5 +871,81 @@ TEST(Session, OverBudgetArenaFallsBackToOnTheFly) {
   EXPECT_EQ(r2->kappa, r->kappa);
 }
 
+TEST(Session, StatsSnapshotTracksCachedState) {
+  const Graph g = GenerateErdosRenyi(60, 300, 9);
+  NucleusSession session(g);
+
+  const SessionStateStats cold = session.Stats();
+  EXPECT_EQ(cold.num_vertices, g.NumVertices());
+  EXPECT_EQ(cold.num_edges, g.NumEdges());
+  EXPECT_GT(cold.graph_bytes, 0u);
+  EXPECT_EQ(cold.edge_ids, 0u);
+  EXPECT_EQ(cold.triangle_ids, 0u);
+  EXPECT_EQ(cold.index_bytes, 0u);
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_FALSE(cold.kappa_cached[k]);
+    EXPECT_FALSE(cold.hierarchy_cached[k]);
+    EXPECT_EQ(cold.arena_bytes[k], 0u);
+  }
+  EXPECT_EQ(cold.TotalBytes(), cold.graph_bytes);
+
+  ASSERT_TRUE(session.Decompose(DecompositionKind::kTruss).ok());
+  const SessionStateStats warm = session.Stats();
+  EXPECT_TRUE(warm.kappa_cached[static_cast<int>(DecompositionKind::kTruss)]);
+  EXPECT_FALSE(warm.kappa_cached[static_cast<int>(DecompositionKind::kCore)]);
+  EXPECT_GT(warm.edge_ids, 0u);
+  EXPECT_EQ(warm.live_edges, warm.edge_ids);  // no churn yet
+  EXPECT_GT(warm.index_bytes, 0u);
+  EXPECT_GT(warm.TotalBytes(), cold.TotalBytes());
+  EXPECT_EQ(warm.counters.decompose_calls, session.stats().decompose_calls);
+
+  // The triangle id space only materializes for the (3,4) space.
+  ASSERT_TRUE(session.Decompose(DecompositionKind::kNucleus34).ok());
+  const SessionStateStats n34 = session.Stats();
+  EXPECT_GT(n34.triangle_ids, 0u);
+  EXPECT_EQ(n34.live_triangles, n34.triangle_ids);
+
+  ASSERT_TRUE(session.Hierarchy(DecompositionKind::kTruss).ok());
+  const SessionStateStats h = session.Stats();
+  EXPECT_TRUE(h.hierarchy_cached[static_cast<int>(DecompositionKind::kTruss)]);
+  EXPECT_FALSE(h.hierarchy_cached[static_cast<int>(DecompositionKind::kCore)]);
+
+  // The snapshot is a copy: it must not change as the session moves on.
+  session.InvalidateDerivedState();
+  EXPECT_TRUE(h.hierarchy_cached[static_cast<int>(DecompositionKind::kTruss)]);
+  const SessionStateStats reset = session.Stats();
+  EXPECT_FALSE(
+      reset.kappa_cached[static_cast<int>(DecompositionKind::kTruss)]);
+  EXPECT_EQ(reset.index_bytes, 0u);
+}
+
+TEST(Session, StatsIsSafeDuringConcurrentDecompose) {
+  // Stats() takes the session lock and copies — poll it from another
+  // thread while decompositions run (the TSAN job validates this is
+  // race-free, which is what /metricz relies on).
+  const Graph g = GenerateErdosRenyi(80, 500, 13);
+  NucleusSession session(g);
+  std::atomic<bool> stop{false};
+  std::thread poller([&] {
+    while (!stop.load()) {
+      const SessionStateStats s = session.Stats();
+      ASSERT_EQ(s.num_vertices, 80u);
+      ASSERT_LE(s.graph_bytes, s.TotalBytes());
+    }
+  });
+  for (auto kind : {DecompositionKind::kCore, DecompositionKind::kTruss,
+                    DecompositionKind::kNucleus34}) {
+    ASSERT_TRUE(session.Decompose(kind).ok());
+    ASSERT_TRUE(session.Hierarchy(kind).ok());
+  }
+  stop.store(true);
+  poller.join();
+  const SessionStateStats done = session.Stats();
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_TRUE(done.kappa_cached[k]);
+    EXPECT_TRUE(done.hierarchy_cached[k]);
+  }
+}
+
 }  // namespace
 }  // namespace nucleus

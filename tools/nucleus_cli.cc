@@ -44,6 +44,7 @@
 #include "src/graph/generators.h"
 #include "src/graph/io.h"
 #include "src/peel/hierarchy_export.h"
+#include "src/server/http.h"
 
 namespace {
 
@@ -389,10 +390,47 @@ int CmdQuery(const Args& args) {
   return 0;
 }
 
+// Drives a running nucleus_server over HTTP: one request, body to stdout,
+// exit 0 iff the server answered 2xx. Chunked responses (the hierarchy
+// stream) arrive de-chunked. This is what the CI smoke job uses to prove
+// the server end to end over a real socket.
+int CmdClient(const Args& args) {
+  const std::string host = args.Get("host", "127.0.0.1");
+  const int port = args.GetInt("port", 8080);
+  const std::int64_t timeout_ms = args.GetInt("timeout-ms", 30000);
+  std::string method;
+  std::string target;
+  std::string body;
+  if (args.Has("get")) {
+    method = "GET";
+    target = args.Get("get");
+  } else if (args.Has("post")) {
+    method = "POST";
+    target = args.Get("post");
+    body = args.Get("body", "{}");
+  } else {
+    std::fprintf(stderr,
+                 "error: client wants --get PATH or --post PATH [--body "
+                 "JSON]\n");
+    return 2;
+  }
+  auto result = HttpFetch(host, port, method, target, body, timeout_ms);
+  if (!result.ok()) return Fail(result.status());
+  std::fwrite(result->body.data(), 1, result->body.size(), stdout);
+  if (!result->body.empty() && result->body.back() != '\n') {
+    std::printf("\n");
+  }
+  if (result->status < 200 || result->status >= 300) {
+    std::fprintf(stderr, "error: HTTP %d\n", result->status);
+    return 1;
+  }
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: nucleus_cli <decompose|hierarchy|stats|generate|"
-               "query> --input FILE [options]\n"
+               "query|client> --input FILE [options]\n"
                "  decompose: --kind core|truss|nucleus34  --method "
                "peel|snd|and  --threads N  --max-iters N\n"
                "             --peel auto|sequential|parallel (strategy "
@@ -408,7 +446,11 @@ int Usage() {
                "  generate:  --model er|ba|rmat|ws|planted|nested --n N "
                "--m M --seed S --output FILE\n"
                "  query:     --kind core|truss|nucleus34  --ids 1,2,3  "
-               "--radius R  --max-iters N\n");
+               "--radius R  --max-iters N\n"
+               "  client:    --host H --port N (--get PATH | --post PATH "
+               "--body JSON) [--timeout-ms N]\n"
+               "             drives a running nucleus_server; exits 0 iff "
+               "the response is 2xx\n");
   return 2;
 }
 
@@ -420,6 +462,7 @@ int main(int argc, char** argv) {
   const Args args = ParseArgs(argc, argv, 2);
   try {
     if (cmd == "generate") return CmdGenerate(args);
+    if (cmd == "client") return CmdClient(args);
     if (!args.Has("input")) {
       std::fprintf(stderr, "error: --input is required\n");
       return Usage();

@@ -1,0 +1,144 @@
+// nucleus_server — the HTTP/JSON front end over the nucleus library.
+//
+//   nucleus_server --port 8080 --preload web=graphs/web.txt
+//       --workers 8 --queue-depth 128 --memory-budget-mb 4096
+//
+// Serves the endpoints documented in src/server/http.h. --port 0 binds an
+// ephemeral port (printed on stdout), which is what the CI smoke test
+// uses. Graphs can be preloaded at startup (name=path, repeatable) or
+// loaded at runtime through POST /api/load.
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <semaphore>
+#include <string>
+#include <vector>
+
+#include "src/server/http.h"
+#include "src/server/server_core.h"
+
+namespace {
+
+std::binary_semaphore g_shutdown{0};
+
+void HandleSignal(int) { g_shutdown.release(); }
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--port N] [--preload name=path ...] [--workers N]\n"
+      "          [--queue-depth N] [--memory-budget-mb N]\n"
+      "          [--arena-budget-mb N] [--default-deadline-ms N]\n"
+      "\n"
+      "  --port N               listen port on 127.0.0.1 (0 = ephemeral;\n"
+      "                         default 8080). The bound port is printed\n"
+      "                         as 'listening on 127.0.0.1:N'.\n"
+      "  --preload name=path    load a graph at startup (repeatable);\n"
+      "                         format auto-detected (SNAP text / binary)\n"
+      "  --workers N            admission-queue worker threads (default 4)\n"
+      "  --queue-depth N        queued requests before shedding (default 64)\n"
+      "  --memory-budget-mb N   global LRU eviction budget (default 4096)\n"
+      "  --arena-budget-mb N    per-graph arena budget (default 512)\n"
+      "  --default-deadline-ms N  deadline for requests naming none\n"
+      "                         (default 0 = unbounded)\n",
+      argv0);
+  std::exit(2);
+}
+
+std::int64_t ParseInt(const char* argv0, const char* flag, const char* s) {
+  char* end = nullptr;
+  const long long v = std::strtoll(s, &end, 10);
+  if (end == s || *end != '\0' || v < 0) {
+    std::fprintf(stderr, "%s: bad value for %s: %s\n", argv0, flag, s);
+    Usage(argv0);
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = 8080;
+  nucleus::ServerConfig config;
+  std::vector<std::pair<std::string, std::string>> preloads;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s needs a value\n", argv[0], arg.c_str());
+        Usage(argv[0]);
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      port = static_cast<int>(ParseInt(argv[0], "--port", next()));
+    } else if (arg == "--workers") {
+      config.workers =
+          static_cast<int>(ParseInt(argv[0], "--workers", next()));
+    } else if (arg == "--queue-depth") {
+      config.queue_capacity = static_cast<std::size_t>(
+          ParseInt(argv[0], "--queue-depth", next()));
+    } else if (arg == "--memory-budget-mb") {
+      config.global_memory_budget_bytes =
+          static_cast<std::uint64_t>(
+              ParseInt(argv[0], "--memory-budget-mb", next()))
+          << 20;
+    } else if (arg == "--arena-budget-mb") {
+      config.default_arena_budget_bytes =
+          static_cast<std::uint64_t>(
+              ParseInt(argv[0], "--arena-budget-mb", next()))
+          << 20;
+    } else if (arg == "--default-deadline-ms") {
+      config.default_deadline_ms =
+          ParseInt(argv[0], "--default-deadline-ms", next());
+    } else if (arg == "--preload") {
+      const std::string spec = next();
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+        std::fprintf(stderr, "%s: --preload wants name=path, got %s\n",
+                     argv[0], spec.c_str());
+        Usage(argv[0]);
+      }
+      preloads.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+    } else {
+      std::fprintf(stderr, "%s: unknown flag %s\n", argv[0], arg.c_str());
+      Usage(argv[0]);
+    }
+  }
+
+  nucleus::ServerCore core(config);
+  for (const auto& [name, path] : preloads) {
+    auto loaded = core.registry().Load(name, path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "preload %s failed: %s\n", name.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "loaded %s: %zu vertices, %zu edges\n", name.c_str(),
+                 (*loaded)->session.graph().NumVertices(),
+                 (*loaded)->session.graph().NumEdges());
+  }
+
+  nucleus::HttpServer server(&core, port);
+  if (nucleus::Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  // Parsed by scripts driving the server (the CI smoke test binds port 0
+  // and reads the chosen port from this line), so keep it stable.
+  std::printf("listening on 127.0.0.1:%d\n", server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  g_shutdown.acquire();
+  std::fprintf(stderr, "shutting down\n");
+  server.Stop();
+  core.Shutdown();
+  return 0;
+}
