@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netdb.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/types.h>
 #include <unistd.h>
@@ -21,19 +22,10 @@ namespace nucleus {
 
 namespace {
 
-constexpr std::size_t kMaxHeadBytes = 64 * 1024;
-constexpr std::size_t kMaxBodyBytes = 64 * 1024 * 1024;
+constexpr std::size_t kMaxHeadBytes = kHttpMaxHeadBytes;
+constexpr std::size_t kMaxBodyBytes = kHttpMaxBodyBytes;
 
-std::string ErrorBody(const Status& s) {
-  JsonWriter w;
-  w.BeginObject()
-      .Key("error")
-      .String(s.message())
-      .Key("code")
-      .String(Status::CodeName(s.code()))
-      .EndObject();
-  return w.Take();
-}
+std::string ErrorBody(const Status& s) { return HttpErrorBody(s); }
 
 // send() with MSG_NOSIGNAL so a vanished client surfaces as EPIPE, not a
 // process-killing SIGPIPE.
@@ -92,13 +84,7 @@ class SocketChunkSink : public ChunkSink {
   bool EnsureHeader() {
     if (header_sent_) return ok_;
     header_sent_ = true;
-    const std::string head =
-        std::string("HTTP/1.1 200 OK\r\n"
-                    "Content-Type: application/x-ndjson\r\n"
-                    "Transfer-Encoding: chunked\r\n"
-                    "Connection: ") +
-        (keep_alive_ ? "keep-alive" : "close") + "\r\n\r\n";
-    ok_ = SendAll(fd_, head);
+    ok_ = SendAll(fd_, BuildChunkedStreamHead(keep_alive_));
     return ok_;
   }
 
@@ -119,16 +105,51 @@ class SocketChunkSink : public ChunkSink {
 
 bool WriteJsonResponse(int fd, int http_status, std::string_view body,
                        bool keep_alive) {
-  std::string head = "HTTP/1.1 " + std::to_string(http_status) + " " +
-                     HttpReasonFor(http_status) +
-                     "\r\nContent-Type: application/json\r\n"
-                     "Content-Length: " +
-                     std::to_string(body.size()) + "\r\nConnection: " +
-                     (keep_alive ? "keep-alive" : "close") + "\r\n\r\n";
-  return SendAll(fd, head) && SendAll(fd, body);
+  return SendAll(fd,
+                 BuildHttpResponseHead(http_status, body.size(), keep_alive)) &&
+         SendAll(fd, body);
 }
 
 }  // namespace
+
+std::string HttpErrorBody(const Status& s) {
+  JsonWriter w;
+  w.BeginObject()
+      .Key("error")
+      .String(s.message())
+      .Key("code")
+      .String(Status::CodeName(s.code()))
+      .EndObject();
+  return w.Take();
+}
+
+std::string BuildHttpResponseHead(int http_status, std::size_t content_length,
+                                  bool keep_alive) {
+  return "HTTP/1.1 " + std::to_string(http_status) + " " +
+         HttpReasonFor(http_status) +
+         "\r\nContent-Type: application/json\r\n"
+         "Content-Length: " +
+         std::to_string(content_length) + "\r\nConnection: " +
+         (keep_alive ? "keep-alive" : "close") + "\r\n\r\n";
+}
+
+std::string BuildChunkedStreamHead(bool keep_alive) {
+  return std::string(
+             "HTTP/1.1 200 OK\r\n"
+             "Content-Type: application/x-ndjson\r\n"
+             "Transfer-Encoding: chunked\r\n"
+             "Connection: ") +
+         (keep_alive ? "keep-alive" : "close") + "\r\n\r\n";
+}
+
+void AppendChunkFrame(std::string& out, std::string_view chunk) {
+  if (chunk.empty()) return;  // "0\r\n" would terminate the stream
+  char size_line[32];
+  std::snprintf(size_line, sizeof(size_line), "%zx\r\n", chunk.size());
+  out.append(size_line);
+  out.append(chunk);
+  out.append("\r\n");
+}
 
 // ---------------------------------------------------------------------------
 // Pure wire grammar
@@ -272,10 +293,12 @@ const char* HttpReasonFor(int http_status) {
     case 200: return "OK";
     case 400: return "Bad Request";
     case 404: return "Not Found";
+    case 408: return "Request Timeout";
     case 409: return "Conflict";
     case 429: return "Too Many Requests";
     case 499: return "Client Closed Request";
     case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
     case 504: return "Gateway Timeout";
   }
   return "Unknown";
@@ -405,6 +428,10 @@ void HttpServer::AcceptLoop() {
       return;
     }
     SetRecvTimeout(fd, 500);  // bounds Stop() latency, not client patience
+    // Response head and body go out as separate sends; without NODELAY,
+    // Nagle holds the second for the client's delayed ACK (~40ms).
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     std::lock_guard<std::mutex> lk(conn_mu_);
     conn_fds_.push_back(fd);
     conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });

@@ -67,6 +67,28 @@ StatusOr<std::string> DecodeChunkedBody(std::string_view in);
 int HttpStatusFor(StatusCode code);
 const char* HttpReasonFor(int http_status);
 
+/// The JSON error document for a Status: {"error":..., "code":...}. Both
+/// transports build error responses through this one function so their
+/// bodies stay byte-identical.
+std::string HttpErrorBody(const Status& s);
+
+/// Response head for a Content-Length JSON response. Shared between the
+/// blocking shell and the reactor so the full byte stream (not just the
+/// body) is transport-independent.
+std::string BuildHttpResponseHead(int http_status, std::size_t content_length,
+                                  bool keep_alive);
+
+/// Response head for a chunked NDJSON stream (the hierarchy dump).
+std::string BuildChunkedStreamHead(bool keep_alive);
+
+/// Appends one Transfer-Encoding: chunked frame ("<hex size>\r\n<chunk>\r\n")
+/// to `out`. An empty chunk is skipped — "0\r\n" would terminate the stream.
+void AppendChunkFrame(std::string& out, std::string_view chunk);
+
+/// Per-request read caps shared by both transports.
+inline constexpr std::size_t kHttpMaxHeadBytes = 64 * 1024;
+inline constexpr std::size_t kHttpMaxBodyBytes = 64 * 1024 * 1024;
+
 /// Maps an HTTP request onto the transport-independent ServerRequest: the
 /// /api/<endpoint> suffix (or the fixed /metricz, /healthz, /graphs
 /// routes) becomes the endpoint; the JSON body, or the query parameters

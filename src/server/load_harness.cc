@@ -1,0 +1,243 @@
+#include "src/server/load_harness.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nucleus {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool SendAll(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+// Case-insensitive search for "\r\n<name>:" in a response head; returns
+// the header value trimmed of surrounding spaces, or empty.
+std::string_view FindHeader(std::string_view head, std::string_view name) {
+  for (std::size_t pos = 0; pos < head.size();) {
+    std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    const std::string_view line = head.substr(pos, eol - pos);
+    const std::size_t colon = line.find(':');
+    if (colon != std::string_view::npos && colon == name.size()) {
+      bool match = true;
+      for (std::size_t i = 0; i < name.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(line[i])) !=
+            std::tolower(static_cast<unsigned char>(name[i]))) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        std::string_view value = line.substr(colon + 1);
+        while (!value.empty() && value.front() == ' ') value.remove_prefix(1);
+        while (!value.empty() && value.back() == ' ') value.remove_suffix(1);
+        return value;
+      }
+    }
+    pos = eol + 2;
+  }
+  return {};
+}
+
+struct WorkerState {
+  Status status;
+  std::vector<double> latencies_ms;
+  std::uint64_t completed = 0;
+  std::uint64_t errors = 0;
+  int sample_status = 0;
+  std::string sample_body;
+};
+
+int ConnectTo(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+void RunWorker(const LoadHarnessOptions& options, const std::string& request,
+               WorkerState* state) {
+  const int fd = ConnectTo(options.host, options.port);
+  if (fd < 0) {
+    state->status = Status::NotFound("cannot connect to " + options.host + ":" +
+                                     std::to_string(options.port));
+    return;
+  }
+  const int total = options.requests_per_connection;
+  const int depth = std::max(1, options.pipeline_depth);
+  int sent = 0;
+  int received = 0;
+  std::deque<Clock::time_point> sent_at;
+  std::string buffer;
+  char chunk[16384];
+  state->latencies_ms.reserve(static_cast<std::size_t>(total));
+  while (received < total) {
+    // Consume complete responses already buffered before blocking in recv —
+    // and before topping up the send window, so consuming frees slots.
+    bool progressed = true;
+    while (progressed && received < total) {
+      progressed = false;
+      const std::size_t head_end = buffer.find("\r\n\r\n");
+      if (head_end == std::string::npos) break;
+      const std::string_view head = std::string_view(buffer).substr(0, head_end);
+      int status_code = 0;
+      {
+        const std::size_t sp = head.find(' ');
+        if (sp == std::string_view::npos || head.substr(0, 5) != "HTTP/") {
+          state->status = Status::InvalidArgument("malformed response head");
+          ::close(fd);
+          return;
+        }
+        const std::string_view code = head.substr(sp + 1, 3);
+        std::from_chars(code.data(), code.data() + code.size(), status_code);
+      }
+      const std::string_view cl = FindHeader(head, "content-length");
+      if (cl.empty()) {
+        state->status = Status::InvalidArgument(
+            "response without Content-Length (streaming endpoints are not "
+            "load-harness targets)");
+        ::close(fd);
+        return;
+      }
+      std::size_t content_length = 0;
+      std::from_chars(cl.data(), cl.data() + cl.size(), content_length);
+      const std::size_t frame = head_end + 4 + content_length;
+      if (buffer.size() < frame) break;
+      const auto now = Clock::now();
+      if (sent_at.empty()) {
+        state->status = Status::Internal("response without a pending request");
+        ::close(fd);
+        return;
+      }
+      state->latencies_ms.push_back(
+          std::chrono::duration<double, std::milli>(now - sent_at.front())
+              .count());
+      sent_at.pop_front();
+      ++received;
+      ++state->completed;
+      if (status_code < 200 || status_code >= 300) ++state->errors;
+      if (state->sample_status == 0) {
+        state->sample_status = status_code;
+        state->sample_body = buffer.substr(head_end + 4, content_length);
+      }
+      buffer.erase(0, frame);
+      progressed = true;
+    }
+    if (received >= total) break;
+    while (sent < total && static_cast<int>(sent_at.size()) < depth) {
+      if (!SendAll(fd, request)) {
+        state->status = Status::Internal("short write to server");
+        ::close(fd);
+        return;
+      }
+      sent_at.push_back(Clock::now());
+      ++sent;
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    state->status = Status::Internal("server closed connection mid-load");
+    ::close(fd);
+    return;
+  }
+  ::close(fd);
+}
+
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const std::size_t idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+StatusOr<LoadHarnessResult> RunLoadHarness(const LoadHarnessOptions& options) {
+  if (options.connections <= 0 || options.requests_per_connection <= 0) {
+    return Status::InvalidArgument("connections and requests must be positive");
+  }
+  std::string request = options.method + " " + options.target +
+                        " HTTP/1.1\r\nHost: " + options.host + "\r\n";
+  if (!options.body.empty()) {
+    request += "Content-Type: application/json\r\nContent-Length: " +
+               std::to_string(options.body.size()) + "\r\n";
+  }
+  request += "\r\n";
+  request += options.body;
+
+  std::vector<WorkerState> states(static_cast<std::size_t>(options.connections));
+  std::vector<std::thread> threads;
+  threads.reserve(states.size());
+  const auto start = Clock::now();
+  for (auto& state : states) {
+    threads.emplace_back(RunWorker, std::cref(options), std::cref(request),
+                         &state);
+  }
+  for (auto& t : threads) t.join();
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  LoadHarnessResult out;
+  out.connections = options.connections;
+  out.seconds = seconds;
+  std::vector<double> latencies;
+  for (auto& state : states) {
+    if (!state.status.ok()) return state.status;
+    out.completed += state.completed;
+    out.errors += state.errors;
+    latencies.insert(latencies.end(), state.latencies_ms.begin(),
+                     state.latencies_ms.end());
+    if (out.sample_status == 0 && state.sample_status != 0) {
+      out.sample_status = state.sample_status;
+      out.sample_body = std::move(state.sample_body);
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+  out.qps = seconds > 0 ? static_cast<double>(out.completed) / seconds : 0;
+  out.p50_ms = Percentile(latencies, 0.50);
+  out.p90_ms = Percentile(latencies, 0.90);
+  out.p99_ms = Percentile(latencies, 0.99);
+  return out;
+}
+
+}  // namespace nucleus

@@ -1,0 +1,58 @@
+// Closed-loop HTTP load harness: N client threads, each with one blocking
+// connection, driving M requests with windowed pipelining (up to
+// `pipeline_depth` requests outstanding per connection). Measures served
+// QPS and client-observed latency percentiles — the numbers the
+// server_qps_* bench records and the `nucleus_cli loadtest` subcommand
+// report, cross-checkable against the server's own /metricz histograms.
+//
+// Only Content-Length responses are understood (every non-streaming
+// endpoint), which keeps the response scanner incremental and exact under
+// pipelining.
+#ifndef NUCLEUS_SERVER_LOAD_HARNESS_H_
+#define NUCLEUS_SERVER_LOAD_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace nucleus {
+
+struct LoadHarnessOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int connections = 8;
+  int requests_per_connection = 100;
+  /// Requests allowed in flight per connection before waiting for a
+  /// response (1 = strict request/response lockstep).
+  int pipeline_depth = 1;
+  std::string method = "GET";
+  std::string target = "/healthz";
+  /// Sent with Content-Length when non-empty (POST bodies).
+  std::string body;
+};
+
+struct LoadHarnessResult {
+  int connections = 0;
+  std::uint64_t completed = 0;
+  /// Responses with a non-2xx status (they still count as completed).
+  std::uint64_t errors = 0;
+  double seconds = 0;
+  double qps = 0;
+  double p50_ms = 0;
+  double p90_ms = 0;
+  double p99_ms = 0;
+  /// The first response seen, for spot-checking payloads.
+  int sample_status = 0;
+  std::string sample_body;
+};
+
+/// Runs the load; fails when any connection cannot be established or a
+/// response cannot be parsed. Latency for a request is measured from the
+/// moment its bytes are handed to the kernel to the moment its response is
+/// fully received.
+StatusOr<LoadHarnessResult> RunLoadHarness(const LoadHarnessOptions& options);
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_SERVER_LOAD_HARNESS_H_

@@ -1,9 +1,17 @@
 #include "src/server/server_core.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <shared_mutex>
 #include <utility>
+
+#if defined(__linux__)
+#include <sched.h>
+#include <sys/resource.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
 
 #include "src/core/densest.h"
 #include "src/server/json.h"
@@ -11,6 +19,46 @@
 namespace nucleus {
 
 namespace {
+
+// Drops the calling thread's CPU priority for the duration of a batch
+// request, returning the nice value to restore. Levels 1-19 add that many
+// nice levels; level 20 switches the thread to SCHED_IDLE, which any
+// normal-policy wakeup (a read executing inline on a reactor loop)
+// preempts immediately instead of waiting out the batch thread's slice.
+// Per-thread priority is Linux-specific; elsewhere both calls are no-ops.
+int LowerThreadPriority(int level) {
+#if defined(__linux__)
+  const pid_t tid = static_cast<pid_t>(::syscall(SYS_gettid));
+  errno = 0;
+  const int current = ::getpriority(PRIO_PROCESS, static_cast<id_t>(tid));
+  if (errno != 0) return 0;
+  if (level >= 20) {
+    sched_param sp{};
+    ::sched_setscheduler(0, SCHED_IDLE, &sp);
+  } else {
+    ::setpriority(PRIO_PROCESS, static_cast<id_t>(tid),
+                  std::min(current + level, 19));
+  }
+  return current;
+#else
+  (void)level;
+  return 0;
+#endif
+}
+
+void RestoreThreadPriority(int nice_value) {
+#if defined(__linux__)
+  // Unconditionally reset the policy: a no-op if the lowering used plain
+  // nice, and the unprivileged SCHED_IDLE -> SCHED_OTHER transition has
+  // been allowed since Linux 2.6.39.
+  sched_param sp{};
+  ::sched_setscheduler(0, SCHED_OTHER, &sp);
+  const pid_t tid = static_cast<pid_t>(::syscall(SYS_gettid));
+  ::setpriority(PRIO_PROCESS, static_cast<id_t>(tid), nice_value);
+#else
+  (void)nice_value;
+#endif
+}
 
 ServerResponse ErrorResponse(const Status& s) {
   JsonWriter w;
@@ -56,6 +104,18 @@ StatusOr<Method> ParseMethodName(const std::string& s) {
   if (s == "peel" || s == "peeling") return Method::kPeeling;
   return Status::InvalidArgument("unknown method '" + s +
                                  "' (want and | snd | peel)");
+}
+
+// The canonical spelling, used both in coalescing keys and in response
+// bodies, so aliases ("peeling") coalesce with — and answer identically
+// to — the canonical form ("peel").
+const char* CanonicalMethodName(Method m) {
+  switch (m) {
+    case Method::kAnd: return "and";
+    case Method::kSnd: return "snd";
+    case Method::kPeeling: return "peel";
+  }
+  return "?";
 }
 
 // Remaps a request control onto the session's Options knobs. The session
@@ -144,13 +204,71 @@ double ElapsedMs(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+// Negative entries are keyed on the raw request (endpoint + body bytes):
+// a repeated failing request is byte-for-byte the same retry loop, so the
+// exact key hits without any parsing. Bounded so a scan of distinct bad
+// requests cannot grow the map.
+constexpr std::size_t kNegativeCacheCap = 1024;
+
 }  // namespace
+
+RequestClass ClassifyEndpoint(std::string_view endpoint) {
+  if (endpoint == "query" || endpoint == "stats" || endpoint == "densest") {
+    return RequestClass::kRead;
+  }
+  if (endpoint == "decompose" || endpoint == "hierarchy") {
+    return RequestClass::kBuild;
+  }
+  if (endpoint == "update" || endpoint == "load" || endpoint == "unload") {
+    return RequestClass::kUpdate;
+  }
+  // metricz, healthz, graphs — and unknown endpoints, whose NotFound is
+  // cheap to produce.
+  return RequestClass::kAdmin;
+}
+
+const char* RequestClassName(RequestClass cls) {
+  switch (cls) {
+    case RequestClass::kRead: return "read";
+    case RequestClass::kBuild: return "build";
+    case RequestClass::kUpdate: return "update";
+    case RequestClass::kAdmin: return "admin";
+  }
+  return "?";
+}
 
 ServerCore::ServerCore(ServerConfig config)
     : config_(config),
       registry_(GraphRegistry::Config{config.global_memory_budget_bytes,
                                       config.default_arena_budget_bytes}) {
   const int workers = std::max(1, config_.workers);
+  const ClassPolicy* policies[kNumRequestClasses] = {
+      &config_.class_read, &config_.class_build, &config_.class_update,
+      &config_.class_admin};
+  for (int c = 0; c < kNumRequestClasses; ++c) {
+    class_weight_[c] = std::max(1, policies[c]->weight);
+    // Default caps: the whole pool, except updates — a commit flood that
+    // occupied every worker would starve reads behind per-graph update_mu
+    // convoys, so updates default to half the pool.
+    const int auto_cap = static_cast<RequestClass>(c) == RequestClass::kUpdate
+                             ? std::max(1, workers / 2)
+                             : workers;
+    class_limit_[c] = policies[c]->max_concurrency > 0
+                          ? std::min(policies[c]->max_concurrency, workers)
+                          : auto_cap;
+  }
+  // Pre-resolve every known endpoint's instruments; requests then bump
+  // atomics without touching the registry mutex.
+  static constexpr const char* kEndpoints[] = {
+      "decompose", "query",  "hierarchy", "update",  "densest", "stats",
+      "load",      "unload", "graphs",    "metricz", "healthz"};
+  for (const char* ep : kEndpoints) {
+    const std::string name(ep);
+    endpoint_metrics_[name] = EndpointInstruments{
+        &metrics_.Histogram("latency." + name),
+        &metrics_.Counter("requests." + name),
+        &metrics_.Counter("errors." + name)};
+  }
   workers_.reserve(static_cast<std::size_t>(workers));
   for (int i = 0; i < workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -176,40 +294,76 @@ void ServerCore::Shutdown() {
 
 std::size_t ServerCore::QueueDepth() const {
   std::lock_guard<std::mutex> lk(queue_mu_);
-  return queue_.size();
+  return total_queued_;
 }
 
-ServerResponse ServerCore::Handle(const ServerRequest& request) {
-  // The deadline covers the whole request — queue wait included — so it
-  // must be read before admission. A malformed body is left for the
-  // worker to diagnose (its error message carries the parse offset).
-  std::int64_t deadline_ms = config_.default_deadline_ms;
+std::size_t ServerCore::QueueDepth(RequestClass cls) const {
+  std::lock_guard<std::mutex> lk(queue_mu_);
+  return queues_[static_cast<int>(cls)].size();
+}
+
+int ServerCore::ActiveRequests(RequestClass cls) const {
+  std::lock_guard<std::mutex> lk(queue_mu_);
+  return class_active_[static_cast<int>(cls)];
+}
+
+namespace {
+
+// The deadline covers the whole request — queue wait included — so it
+// must be read before admission. A malformed body is left for the worker
+// to diagnose (its error message carries the parse offset).
+std::int64_t PreAdmissionDeadlineMs(const ServerRequest& request,
+                                    std::int64_t default_deadline_ms) {
+  std::int64_t deadline_ms = default_deadline_ms;
   if (!request.body.empty()) {
     auto parsed = JsonValue::Parse(request.body);
     if (parsed.ok()) {
-      auto d = parsed->GetInt("deadline_ms", config_.default_deadline_ms);
+      auto d = parsed->GetInt("deadline_ms", default_deadline_ms);
       if (d.ok()) deadline_ms = *d;
     }
   }
-  auto job = std::make_shared<Job>(&shutdown_cancel_);
-  job->request = request;
-  job->deadline =
-      deadline_ms > 0 ? Deadline::After(deadline_ms) : Deadline::Infinite();
+  return deadline_ms;
+}
+
+}  // namespace
+
+std::optional<ServerResponse> ServerCore::TryEnqueue(
+    const std::shared_ptr<Job>& job) {
   {
     std::lock_guard<std::mutex> lk(queue_mu_);
     if (stopping_) {
       return ErrorResponse(Status::Cancelled("server shutting down"));
     }
-    if (queue_.size() >= config_.queue_capacity) {
+    if (total_queued_ >= config_.queue_capacity) {
       metrics_.Counter("server.shed").Add();
+      metrics_.Counter(std::string("server.shed.") +
+                       RequestClassName(job->cls))
+          .Add();
       return ErrorResponse(
           Status::ResourceExhausted("admission queue full (capacity " +
                                     std::to_string(config_.queue_capacity) +
                                     ")"));
     }
-    queue_.push_back(job);
+    queues_[static_cast<int>(job->cls)].push_back(job);
+    ++total_queued_;
   }
   queue_cv_.notify_one();
+  return std::nullopt;
+}
+
+ServerResponse ServerCore::Handle(const ServerRequest& request) {
+  if (auto neg = NegativeLookup(request)) {
+    BumpEndpointError(request.endpoint);
+    return std::move(*neg);
+  }
+  const std::int64_t deadline_ms =
+      PreAdmissionDeadlineMs(request, config_.default_deadline_ms);
+  auto job = std::make_shared<Job>(&shutdown_cancel_);
+  job->request = request;
+  job->cls = ClassifyEndpoint(request.endpoint);
+  job->deadline =
+      deadline_ms > 0 ? Deadline::After(deadline_ms) : Deadline::Infinite();
+  if (auto rejected = TryEnqueue(job)) return std::move(*rejected);
 
   std::unique_lock<std::mutex> jl(job->mu);
   if (job->deadline.IsInfinite()) {
@@ -229,17 +383,79 @@ ServerResponse ServerCore::Handle(const ServerRequest& request) {
   return std::move(job->response);
 }
 
+void ServerCore::HandleAsync(const ServerRequest& request,
+                             std::function<void(ServerResponse)> done) {
+  if (auto neg = NegativeLookup(request)) {
+    BumpEndpointError(request.endpoint);
+    done(std::move(*neg));
+    return;
+  }
+  const std::int64_t deadline_ms =
+      PreAdmissionDeadlineMs(request, config_.default_deadline_ms);
+  auto job = std::make_shared<Job>(&shutdown_cancel_);
+  job->request = request;
+  job->cls = ClassifyEndpoint(request.endpoint);
+  job->deadline =
+      deadline_ms > 0 ? Deadline::After(deadline_ms) : Deadline::Infinite();
+  job->callback = std::move(done);
+  if (auto rejected = TryEnqueue(job)) {
+    job->callback(std::move(*rejected));
+  }
+}
+
+int ServerCore::RunnableClassLocked() const {
+  for (int c = 0; c < kNumRequestClasses; ++c) {
+    if (!queues_[c].empty() && class_active_[c] < class_limit_[c]) return c;
+  }
+  return -1;
+}
+
+int ServerCore::PickClassLocked() {
+  // Smooth weighted round-robin across runnable classes: every runnable
+  // class earns its weight in credit, the richest runs and pays the round
+  // back. Interleaving matches the weight ratios over any window, so a
+  // build burst cannot monopolize dequeues while reads wait.
+  int total = 0;
+  int best = -1;
+  for (int c = 0; c < kNumRequestClasses; ++c) {
+    if (queues_[c].empty() || class_active_[c] >= class_limit_[c]) continue;
+    wrr_credit_[c] += class_weight_[c];
+    total += class_weight_[c];
+    if (best < 0 || wrr_credit_[c] > wrr_credit_[best]) best = c;
+  }
+  if (best >= 0) wrr_credit_[best] -= total;
+  return best;
+}
+
 void ServerCore::WorkerLoop() {
   for (;;) {
     std::shared_ptr<Job> job;
+    int cls = -1;
     {
       std::unique_lock<std::mutex> lk(queue_mu_);
-      queue_cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained
-      job = std::move(queue_.front());
-      queue_.pop_front();
+      queue_cv_.wait(lk,
+                     [&] { return stopping_ || RunnableClassLocked() >= 0; });
+      if (stopping_) {
+        // Drain every queue ignoring caps: each popped job completes as
+        // kCancelled immediately (the shutdown token already fired).
+        for (int c = 0; c < kNumRequestClasses && cls < 0; ++c) {
+          if (!queues_[c].empty()) cls = c;
+        }
+        if (cls < 0) return;  // drained
+      } else {
+        cls = PickClassLocked();
+        if (cls < 0) continue;  // lost a race; re-wait
+      }
+      job = std::move(queues_[cls].front());
+      queues_[cls].pop_front();
+      --total_queued_;
+      ++class_active_[cls];
     }
     active_.fetch_add(1, std::memory_order_relaxed);
+    metrics_
+        .Counter(std::string("queue.dequeued.") +
+                 RequestClassName(static_cast<RequestClass>(cls)))
+        .Add();
     ServerResponse resp;
     bool abandoned;
     {
@@ -254,26 +470,65 @@ void ServerCore::WorkerLoop() {
       resp = ErrorResponse(
           Status::DeadlineExceeded("deadline expired while queued"));
     } else {
+      const bool batch = config_.batch_nice > 0 &&
+                         (cls == static_cast<int>(RequestClass::kBuild) ||
+                          cls == static_cast<int>(RequestClass::kUpdate));
+      const int restore_nice =
+          batch ? LowerThreadPriority(config_.batch_nice) : 0;
       resp = HandleDirect(job->request,
                           RunControl(&job->cancel, job->deadline));
+      if (batch) RestoreThreadPriority(restore_nice);
     }
-    {
-      std::lock_guard<std::mutex> jl(job->mu);
-      job->response = std::move(resp);
-      job->done = true;
+    if (job->callback) {
+      job->callback(std::move(resp));
+    } else {
+      {
+        std::lock_guard<std::mutex> jl(job->mu);
+        job->response = std::move(resp);
+        job->done = true;
+      }
+      job->cv.notify_all();
     }
-    job->cv.notify_all();
     active_.fetch_sub(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lk(queue_mu_);
+      --class_active_[cls];
+    }
+    // A class-cap slot freed: more than one waiter may now be runnable.
+    queue_cv_.notify_all();
   }
+}
+
+void ServerCore::RecordEndpointMetrics(const std::string& endpoint,
+                                       double latency_ms, bool error) {
+  const auto it = endpoint_metrics_.find(endpoint);
+  if (it != endpoint_metrics_.end()) {
+    it->second.latency->Record(latency_ms);
+    it->second.requests->Add();
+    if (error) it->second.errors->Add();
+    return;
+  }
+  metrics_.Histogram("latency." + endpoint).Record(latency_ms);
+  metrics_.Counter("requests." + endpoint).Add();
+  if (error) metrics_.Counter("errors." + endpoint).Add();
+}
+
+void ServerCore::BumpEndpointError(const std::string& endpoint) {
+  const auto it = endpoint_metrics_.find(endpoint);
+  if (it != endpoint_metrics_.end()) {
+    it->second.requests->Add();
+    it->second.errors->Add();
+    return;
+  }
+  metrics_.Counter("requests." + endpoint).Add();
+  metrics_.Counter("errors." + endpoint).Add();
 }
 
 ServerResponse ServerCore::HandleDirect(const ServerRequest& request,
                                         RunControl ctl) {
   const auto t0 = std::chrono::steady_clock::now();
   ServerResponse resp = Dispatch(request, ctl, /*sink=*/nullptr);
-  metrics_.Histogram("latency." + request.endpoint).Record(ElapsedMs(t0));
-  metrics_.Counter("requests." + request.endpoint).Add();
-  if (!resp.status.ok()) metrics_.Counter("errors." + request.endpoint).Add();
+  RecordEndpointMetrics(request.endpoint, ElapsedMs(t0), !resp.status.ok());
   return resp;
 }
 
@@ -281,14 +536,70 @@ ServerResponse ServerCore::HandleStreaming(const ServerRequest& request,
                                            ChunkSink* sink, RunControl ctl) {
   const auto t0 = std::chrono::steady_clock::now();
   ServerResponse resp = Dispatch(request, ctl, sink);
-  metrics_.Histogram("latency." + request.endpoint).Record(ElapsedMs(t0));
-  metrics_.Counter("requests." + request.endpoint).Add();
-  if (!resp.status.ok()) metrics_.Counter("errors." + request.endpoint).Add();
+  RecordEndpointMetrics(request.endpoint, ElapsedMs(t0), !resp.status.ok());
   return resp;
+}
+
+// ---------------------------------------------------------------------------
+// Negative-result cache
+
+std::optional<ServerResponse> ServerCore::NegativeLookup(
+    const ServerRequest& request) {
+  if (config_.negative_cache_ttl_ms <= 0) return std::nullopt;
+  const std::string key = request.endpoint + '\n' + request.body;
+  std::lock_guard<std::mutex> lk(negative_mu_);
+  const auto it = negative_cache_.find(key);
+  if (it == negative_cache_.end()) return std::nullopt;
+  if (std::chrono::steady_clock::now() >= it->second.expires) {
+    negative_cache_.erase(it);
+    return std::nullopt;
+  }
+  metrics_.Counter("negcache.hits").Add();
+  return it->second.response;
+}
+
+void ServerCore::MaybeNegativeStore(const ServerRequest& request,
+                                    const ServerResponse& response) {
+  if (config_.negative_cache_ttl_ms <= 0 || response.streamed) return;
+  // Only failures that are deterministic for a fixed server state: a bad
+  // graph name or malformed options will fail identically until a load /
+  // update changes the world (which clears the cache) or the TTL runs out.
+  const StatusCode code = response.status.code();
+  if (code != StatusCode::kInvalidArgument && code != StatusCode::kNotFound) {
+    return;
+  }
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lk(negative_mu_);
+  if (negative_cache_.size() >= kNegativeCacheCap) {
+    for (auto it = negative_cache_.begin(); it != negative_cache_.end();) {
+      it = it->second.expires <= now ? negative_cache_.erase(it)
+                                     : std::next(it);
+    }
+    if (negative_cache_.size() >= kNegativeCacheCap) {
+      negative_cache_.erase(negative_cache_.begin());
+    }
+  }
+  negative_cache_[request.endpoint + '\n' + request.body] = NegativeEntry{
+      response,
+      now + std::chrono::milliseconds(config_.negative_cache_ttl_ms)};
+  metrics_.Counter("negcache.stores").Add();
+}
+
+void ServerCore::ClearNegativeCache() {
+  std::lock_guard<std::mutex> lk(negative_mu_);
+  negative_cache_.clear();
 }
 
 ServerResponse ServerCore::Dispatch(const ServerRequest& request,
                                     RunControl ctl, ChunkSink* sink) {
+  if (auto neg = NegativeLookup(request)) return std::move(*neg);
+  ServerResponse resp = DispatchUncached(request, ctl, sink);
+  MaybeNegativeStore(request, resp);
+  return resp;
+}
+
+ServerResponse ServerCore::DispatchUncached(const ServerRequest& request,
+                                            RunControl ctl, ChunkSink* sink) {
   JsonValue body;
   if (!request.body.empty()) {
     auto parsed = JsonValue::Parse(request.body);
@@ -323,21 +634,28 @@ ServerResponse ServerCore::Dispatch(const ServerRequest& request,
 // Coalescing
 
 ServerResponse ServerCore::Coalesced(
-    const std::string& key, RunControl ctl,
+    const std::string& key, const std::string& raw_sig, RunControl ctl,
     const std::function<ServerResponse()>& run) {
   std::shared_ptr<Flight> flight;
   bool leader = false;
+  bool norm_hit = false;
   {
     std::lock_guard<std::mutex> lk(flights_mu_);
     auto& slot = flights_[key];
     if (!slot) {
       slot = std::make_shared<Flight>();
+      slot->raw_sig = raw_sig;
       leader = true;
     } else {
       ++slot->riders;
+      // The rider joined through the canonical key even though its raw
+      // option spelling differs from the leader's — normalization earned
+      // this coalesce.
+      norm_hit = slot->raw_sig != raw_sig;
     }
     flight = slot;
   }
+  if (norm_hit) metrics_.Counter("coalesce.norm_hits").Add();
   if (leader) {
     ServerResponse resp = run();
     int riders;
@@ -404,7 +722,11 @@ ServerResponse ServerCore::HandleDecompose(const JsonValue& body,
   options.use_result_cache = !*no_cache;
   ApplyControl(ctl, &options);
 
-  auto run = [this, entry, kind, options, method_name = *method_name,
+  // Responses carry the canonical method spelling, so a rider that asked
+  // for an alias gets the same bytes the leader produced.
+  const std::string canonical_method = CanonicalMethodName(*method);
+  auto run = [this, entry, kind, options,
+              method_name = canonical_method,
               include_kappa = *include_kappa]() -> ServerResponse {
     auto result = entry->session.Decompose(kind, options);
     if (!result.ok()) return ErrorResponse(result.status());
@@ -449,11 +771,17 @@ ServerResponse ServerCore::HandleDecompose(const JsonValue& body,
   };
 
   if (*no_cache) return run();  // forced fresh runs never share a flight
+  // The key is the canonical option tuple: method aliases collapse to one
+  // spelling, defaulted fields equal their explicit forms (the key is
+  // built from parsed values), and the thread count is excluded — it
+  // cannot change the result, only how fast the leader produces it.
   const std::string key = "d|" + entry->name + "|" + KindName(kind) + "|" +
-                          *method_name + "|" +
+                          canonical_method + "|" +
                           std::to_string(options.max_iterations) +
                           (*include_kappa ? "|k" : "");
-  return Coalesced(key, ctl, run);
+  const std::string raw_sig =
+      *method_name + "|" + std::to_string(*threads);
+  return Coalesced(key, raw_sig, ctl, run);
 }
 
 ServerResponse ServerCore::HandleQuery(const JsonValue& body, RunControl ctl) {
@@ -620,7 +948,8 @@ ServerResponse ServerCore::HandleHierarchy(const JsonValue& body,
     registry_.EnforceBudget();
     return OkResponse(std::move(w));
   };
-  return Coalesced("h|" + entry->name + "|" + KindName(kind), ctl, run);
+  return Coalesced("h|" + entry->name + "|" + KindName(kind),
+                   std::to_string(*threads), ctl, run);
 }
 
 ServerResponse ServerCore::HandleUpdate(const JsonValue& body,
@@ -672,6 +1001,9 @@ ServerResponse ServerCore::HandleUpdate(const JsonValue& body,
     commit = batch.Commit(ctl);
   }
   if (!commit.ok()) return ErrorResponse(commit);
+  // The commit may have grown the vertex range — cached out-of-range
+  // rejections are stale now.
+  ClearNegativeCache();
   JsonWriter w;
   w.BeginObject()
       .Key("graph")
@@ -773,6 +1105,8 @@ ServerResponse ServerCore::HandleLoad(const JsonValue& body) {
       *name, *path,
       static_cast<std::uint64_t>(std::max<std::int64_t>(0, *arena_mb)) << 20);
   if (!entry.ok()) return ErrorResponse(entry.status());
+  // The graph exists now — cached NotFounds for its name are stale.
+  ClearNegativeCache();
   JsonWriter w;
   w.BeginObject()
       .Key("name")
@@ -793,6 +1127,7 @@ ServerResponse ServerCore::HandleUnload(const JsonValue& body) {
         Status::InvalidArgument("missing required field 'name'"));
   }
   if (Status s = registry_.Evict(*name); !s.ok()) return ErrorResponse(s);
+  ClearNegativeCache();
   JsonWriter w;
   w.BeginObject().Key("evicted").String(*name).EndObject();
   return OkResponse(std::move(w));
@@ -867,8 +1202,26 @@ std::string ServerCore::MetricsJson() {
       .Key("depth")
       .UInt(QueueDepth())
       .Key("active")
-      .Int(active_.load())
-      .EndObject();
+      .Int(active_.load());
+  w.Key("classes").BeginObject();
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    for (int c = 0; c < kNumRequestClasses; ++c) {
+      w.Key(RequestClassName(static_cast<RequestClass>(c)))
+          .BeginObject()
+          .Key("depth")
+          .UInt(queues_[c].size())
+          .Key("active")
+          .Int(class_active_[c])
+          .Key("limit")
+          .Int(class_limit_[c])
+          .Key("weight")
+          .Int(class_weight_[c])
+          .EndObject();
+    }
+  }
+  w.EndObject();
+  w.EndObject();
 
   w.Key("registry").BeginObject();
   w.Key("resident").UInt(registry_.NumResident());

@@ -189,6 +189,82 @@ TEST(ServerCore, ConcurrentColdRequestsCoalesceIntoOneBuild) {
             static_cast<std::uint64_t>(kClients - 1));
 }
 
+// Two concurrent requests for the same canonical work, spelled differently
+// (threads is an execution hint, not part of the result), still coalesce
+// into one build — and the differing raw signature is counted as a
+// normalization win in coalesce.norm_hits.
+TEST(ServerCore, DifferentSpellingsCoalesceViaNormalization) {
+  ServerCore server(Config(8));
+  auto entry = server.registry().Add("g", SlowGraph());
+  ASSERT_TRUE(entry.ok());
+
+  std::barrier barrier(2);
+  ServerResponse a, b;
+  std::thread t1([&] {
+    barrier.arrive_and_wait();
+    a = server.Handle(
+        {"decompose", R"({"graph":"g","kind":"nucleus34","threads":1})"});
+  });
+  std::thread t2([&] {
+    barrier.arrive_and_wait();
+    b = server.Handle(
+        {"decompose", R"({"graph":"g","kind":"nucleus34","threads":2})"});
+  });
+  t1.join();
+  t2.join();
+
+  ASSERT_TRUE(a.status.ok()) << a.status.ToString();
+  ASSERT_TRUE(b.status.ok()) << b.status.ToString();
+  EXPECT_EQ(a.body, b.body);  // the rider shares the leader's bytes
+  EXPECT_EQ((*entry)->session.stats().decompose_calls, 1);
+  EXPECT_EQ(CounterValue(server, "coalesce.builds"), 1u);
+  EXPECT_EQ(CounterValue(server, "coalesce.riders"), 1u);
+  EXPECT_EQ(CounterValue(server, "coalesce.norm_hits"), 1u);
+}
+
+// A deterministic failure (unknown graph) is answered from the negative-
+// result cache on repeat — and an update commit clears the cache, because
+// cached rejections may be stale once the world changes.
+TEST(ServerCore, NegativeResultsAreCachedAndClearedByUpdates) {
+  ServerConfig config = Config(2);
+  config.negative_cache_ttl_ms = 60000;
+  ServerCore server(config);
+  ASSERT_TRUE(server.registry().Add("g", FastGraph()).ok());
+
+  const ServerRequest bad{"decompose", R"({"graph":"absent"})"};
+  EXPECT_EQ(server.Handle(bad).status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(CounterValue(server, "negcache.stores"), 1u);
+  EXPECT_EQ(CounterValue(server, "negcache.hits"), 0u);
+
+  EXPECT_EQ(server.Handle(bad).status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(CounterValue(server, "negcache.hits"), 1u);
+
+  // A committed update may have changed what is and is not an error; the
+  // next identical request misses the cache and is stored afresh.
+  const ServerResponse up =
+      server.Handle({"update", R"({"graph":"g","insert":[[0,1]]})"});
+  ASSERT_TRUE(up.status.ok()) << up.status.ToString();
+  EXPECT_EQ(server.Handle(bad).status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(CounterValue(server, "negcache.stores"), 2u);
+  EXPECT_EQ(CounterValue(server, "negcache.hits"), 1u);
+}
+
+// The negative cache is a TTL cache: entries expire on their own even when
+// nothing mutates the world.
+TEST(ServerCore, NegativeCacheEntriesExpire) {
+  ServerConfig config = Config(2);
+  config.negative_cache_ttl_ms = 100;
+  ServerCore server(config);
+
+  const ServerRequest bad{"decompose", R"({"graph":"absent"})"};
+  EXPECT_EQ(server.Handle(bad).status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(CounterValue(server, "negcache.stores"), 1u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  EXPECT_EQ(server.Handle(bad).status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(CounterValue(server, "negcache.hits"), 0u);
+  EXPECT_EQ(CounterValue(server, "negcache.stores"), 2u);
+}
+
 TEST(ServerCore, FullQueueShedsWithResourceExhausted) {
   ServerCore server(Config(/*workers=*/1, /*queue_capacity=*/1));
   ASSERT_TRUE(server.registry().Add("g", SlowGraph()).ok());

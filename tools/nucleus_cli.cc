@@ -45,6 +45,8 @@
 #include "src/graph/io.h"
 #include "src/peel/hierarchy_export.h"
 #include "src/server/http.h"
+#include "src/server/json.h"
+#include "src/server/load_harness.h"
 
 namespace {
 
@@ -427,10 +429,88 @@ int CmdClient(const Args& args) {
   return 0;
 }
 
+// Closed-loop load generator against a running nucleus_server: N
+// connections x M requests each, with optional pipelining, reporting
+// served QPS and client-observed latency percentiles. Afterwards it
+// fetches /metricz and prints the server-side histogram for the same
+// endpoint, so client and server measurements can be cross-checked (the
+// server histogram's buckets are log2-spaced: its quantiles may read up to
+// 2x above the client's, never below... minus queue/wire time).
+int CmdLoadtest(const Args& args) {
+  LoadHarnessOptions options;
+  options.host = args.Get("host", "127.0.0.1");
+  options.port = args.GetInt("port", 8080);
+  options.connections = args.GetInt("connections", 8);
+  options.requests_per_connection = args.GetInt("requests", 100);
+  options.pipeline_depth = args.GetInt("pipeline", 1);
+  if (args.Has("get")) {
+    options.method = "GET";
+    options.target = args.Get("get");
+  } else if (args.Has("post")) {
+    options.method = "POST";
+    options.target = args.Get("post");
+    options.body = args.Get("body", "{}");
+  } else {
+    std::fprintf(stderr,
+                 "error: loadtest wants --get PATH or --post PATH [--body "
+                 "JSON]\n");
+    return 2;
+  }
+
+  auto result = RunLoadHarness(options);
+  if (!result.ok()) return Fail(result.status());
+  std::printf("connections\t%d\n", result->connections);
+  std::printf("completed\t%llu\n",
+              static_cast<unsigned long long>(result->completed));
+  std::printf("errors\t%llu\n",
+              static_cast<unsigned long long>(result->errors));
+  std::printf("seconds\t%.3f\n", result->seconds);
+  std::printf("qps\t%.1f\n", result->qps);
+  std::printf("client_p50_ms\t%.3f\n", result->p50_ms);
+  std::printf("client_p90_ms\t%.3f\n", result->p90_ms);
+  std::printf("client_p99_ms\t%.3f\n", result->p99_ms);
+
+  // Cross-check against the server's own histogram for this endpoint.
+  std::string endpoint = options.target;
+  if (const std::size_t q = endpoint.find('?'); q != std::string::npos) {
+    endpoint.resize(q);
+  }
+  if (endpoint.rfind("/api/", 0) == 0) {
+    endpoint = endpoint.substr(5);
+  } else if (!endpoint.empty() && endpoint.front() == '/') {
+    endpoint = endpoint.substr(1);
+  }
+  auto metricz =
+      HttpFetch(options.host, options.port, "GET", "/metricz", "", 10000);
+  if (!metricz.ok()) {
+    std::fprintf(stderr, "warning: /metricz fetch failed: %s\n",
+                 metricz.status().ToString().c_str());
+    return result->errors == 0 ? 0 : 1;
+  }
+  auto doc = JsonValue::Parse(metricz->body);
+  if (doc.ok()) {
+    if (const JsonValue* latency = doc->Find("latency_ms")) {
+      if (const JsonValue* h = latency->Find("latency." + endpoint)) {
+        const JsonValue* count = h->Find("count");
+        const JsonValue* p50 = h->Find("p50");
+        const JsonValue* p99 = h->Find("p99");
+        std::printf("server_count\t%lld\n",
+                    static_cast<long long>(count ? count->AsInt() : 0));
+        std::printf("server_p50_ms\t%.3f\n", p50 ? p50->AsDouble() : 0.0);
+        std::printf("server_p99_ms\t%.3f\n", p99 ? p99->AsDouble() : 0.0);
+      } else {
+        std::printf("server_histogram\t(none for latency.%s)\n",
+                    endpoint.c_str());
+      }
+    }
+  }
+  return result->errors == 0 ? 0 : 1;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: nucleus_cli <decompose|hierarchy|stats|generate|"
-               "query|client> --input FILE [options]\n"
+               "query|client|loadtest> --input FILE [options]\n"
                "  decompose: --kind core|truss|nucleus34  --method "
                "peel|snd|and  --threads N  --max-iters N\n"
                "             --peel auto|sequential|parallel (strategy "
@@ -450,7 +530,12 @@ int Usage() {
                "  client:    --host H --port N (--get PATH | --post PATH "
                "--body JSON) [--timeout-ms N]\n"
                "             drives a running nucleus_server; exits 0 iff "
-               "the response is 2xx\n");
+               "the response is 2xx\n"
+               "  loadtest:  --host H --port N (--get PATH | --post PATH "
+               "--body JSON)\n"
+               "             --connections N --requests M --pipeline W\n"
+               "             measures served QPS + latency percentiles and "
+               "cross-checks /metricz\n");
   return 2;
 }
 
@@ -463,6 +548,7 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "generate") return CmdGenerate(args);
     if (cmd == "client") return CmdClient(args);
+    if (cmd == "loadtest") return CmdLoadtest(args);
     if (!args.Has("input")) {
       std::fprintf(stderr, "error: --input is required\n");
       return Usage();

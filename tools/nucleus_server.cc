@@ -3,20 +3,25 @@
 //   nucleus_server --port 8080 --preload web=graphs/web.txt
 //       --workers 8 --queue-depth 128 --memory-budget-mb 4096
 //
-// Serves the endpoints documented in src/server/http.h. --port 0 binds an
-// ephemeral port (printed on stdout), which is what the CI smoke test
-// uses. Graphs can be preloaded at startup (name=path, repeatable) or
-// loaded at runtime through POST /api/load.
+// Serves the endpoints documented in src/server/http.h over one of two
+// transports: the epoll reactor (default; a few event-loop threads own
+// every connection) or the blocking thread-per-connection shell
+// (--transport blocking). --port 0 binds an ephemeral port (printed on
+// stdout), which is what the CI smoke test uses. Graphs can be preloaded
+// at startup (name=path, repeatable) or loaded at runtime through
+// POST /api/load.
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <semaphore>
 #include <string>
 #include <vector>
 
 #include "src/server/http.h"
+#include "src/server/reactor.h"
 #include "src/server/server_core.h"
 
 namespace {
@@ -31,6 +36,11 @@ void HandleSignal(int) { g_shutdown.release(); }
       "usage: %s [--port N] [--preload name=path ...] [--workers N]\n"
       "          [--queue-depth N] [--memory-budget-mb N]\n"
       "          [--arena-budget-mb N] [--default-deadline-ms N]\n"
+      "          [--transport reactor|blocking] [--loops N]\n"
+      "          [--max-connections N] [--idle-timeout-ms N]\n"
+      "          [--read-deadline-ms N] [--no-inline-reads]\n"
+      "          [--class-weight CLASS=N ...] [--class-limit CLASS=N ...]\n"
+      "          [--negcache-ttl-ms N] [--batch-nice N]\n"
       "\n"
       "  --port N               listen port on 127.0.0.1 (0 = ephemeral;\n"
       "                         default 8080). The bound port is printed\n"
@@ -42,7 +52,30 @@ void HandleSignal(int) { g_shutdown.release(); }
       "  --memory-budget-mb N   global LRU eviction budget (default 4096)\n"
       "  --arena-budget-mb N    per-graph arena budget (default 512)\n"
       "  --default-deadline-ms N  deadline for requests naming none\n"
-      "                         (default 0 = unbounded)\n",
+      "                         (default 0 = unbounded)\n"
+      "  --transport T          reactor (epoll event loops; default) or\n"
+      "                         blocking (thread per connection)\n"
+      "  --loops N              reactor event-loop threads (default 2)\n"
+      "  --max-connections N    open-connection cap; accepts beyond it are\n"
+      "                         answered 503 (default 1024)\n"
+      "  --idle-timeout-ms N    close idle connections after N ms\n"
+      "                         (default 60000; 0 disables)\n"
+      "  --read-deadline-ms N   close connections that stall mid-request\n"
+      "                         after N ms with 408 (default 10000;\n"
+      "                         0 disables)\n"
+      "  --no-inline-reads      route read/admin requests through the\n"
+      "                         admission queue instead of executing them\n"
+      "                         on the reactor loops\n"
+      "  --class-weight CLASS=N dequeue share for an admission class\n"
+      "                         (read, build, update, admin)\n"
+      "  --class-limit CLASS=N  concurrent-execution cap for a class\n"
+      "                         (0 = default: all workers; update defaults\n"
+      "                         to half)\n"
+      "  --negcache-ttl-ms N    negative-result cache TTL (default 2000;\n"
+      "                         0 disables)\n"
+      "  --batch-nice N         extra nice applied to workers while they\n"
+      "                         run build/update requests, so inline reads\n"
+      "                         preempt batch work (default 5; 0 disables)\n",
       argv0);
   std::exit(2);
 }
@@ -57,11 +90,44 @@ std::int64_t ParseInt(const char* argv0, const char* flag, const char* s) {
   return v;
 }
 
+nucleus::ClassPolicy* PolicyFor(nucleus::ServerConfig& config,
+                                const std::string& name) {
+  if (name == "read") return &config.class_read;
+  if (name == "build") return &config.class_build;
+  if (name == "update") return &config.class_update;
+  if (name == "admin") return &config.class_admin;
+  return nullptr;
+}
+
+// Parses "CLASS=N" and stores N into the named class's weight or cap.
+void ParseClassSpec(const char* argv0, const char* flag, const char* raw,
+                    nucleus::ServerConfig& config, bool weight) {
+  const std::string spec = raw;
+  const std::size_t eq = spec.find('=');
+  nucleus::ClassPolicy* policy =
+      eq == std::string::npos ? nullptr
+                              : PolicyFor(config, spec.substr(0, eq));
+  if (policy == nullptr) {
+    std::fprintf(stderr, "%s: %s wants read|build|update|admin=N, got %s\n",
+                 argv0, flag, raw);
+    Usage(argv0);
+  }
+  const int value =
+      static_cast<int>(ParseInt(argv0, flag, spec.c_str() + eq + 1));
+  if (weight) {
+    policy->weight = value;
+  } else {
+    policy->max_concurrency = value;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   int port = 8080;
   nucleus::ServerConfig config;
+  nucleus::ReactorConfig reactor_config;
+  bool use_reactor = true;
   std::vector<std::pair<std::string, std::string>> preloads;
 
   for (int i = 1; i < argc; ++i) {
@@ -94,6 +160,43 @@ int main(int argc, char** argv) {
     } else if (arg == "--default-deadline-ms") {
       config.default_deadline_ms =
           ParseInt(argv[0], "--default-deadline-ms", next());
+    } else if (arg == "--transport") {
+      const std::string transport = next();
+      if (transport == "reactor") {
+        use_reactor = true;
+      } else if (transport == "blocking") {
+        use_reactor = false;
+      } else {
+        std::fprintf(stderr, "%s: --transport wants reactor|blocking, got %s\n",
+                     argv[0], transport.c_str());
+        Usage(argv[0]);
+      }
+    } else if (arg == "--loops") {
+      reactor_config.loops =
+          static_cast<int>(ParseInt(argv[0], "--loops", next()));
+    } else if (arg == "--max-connections") {
+      reactor_config.max_connections =
+          static_cast<int>(ParseInt(argv[0], "--max-connections", next()));
+    } else if (arg == "--idle-timeout-ms") {
+      reactor_config.idle_timeout_ms =
+          ParseInt(argv[0], "--idle-timeout-ms", next());
+    } else if (arg == "--read-deadline-ms") {
+      reactor_config.read_deadline_ms =
+          ParseInt(argv[0], "--read-deadline-ms", next());
+    } else if (arg == "--no-inline-reads") {
+      reactor_config.inline_fast_reads = false;
+    } else if (arg == "--class-weight") {
+      ParseClassSpec(argv[0], "--class-weight", next(), config,
+                     /*weight=*/true);
+    } else if (arg == "--class-limit") {
+      ParseClassSpec(argv[0], "--class-limit", next(), config,
+                     /*weight=*/false);
+    } else if (arg == "--negcache-ttl-ms") {
+      config.negative_cache_ttl_ms =
+          ParseInt(argv[0], "--negcache-ttl-ms", next());
+    } else if (arg == "--batch-nice") {
+      config.batch_nice =
+          static_cast<int>(ParseInt(argv[0], "--batch-nice", next()));
     } else if (arg == "--preload") {
       const std::string spec = next();
       const std::size_t eq = spec.find('=');
@@ -111,6 +214,13 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (use_reactor && !nucleus::ReactorServer::Supported()) {
+    std::fprintf(stderr,
+                 "reactor transport unsupported on this platform; "
+                 "falling back to --transport blocking\n");
+    use_reactor = false;
+  }
+
   nucleus::ServerCore core(config);
   for (const auto& [name, path] : preloads) {
     auto loaded = core.registry().Load(name, path);
@@ -124,21 +234,37 @@ int main(int argc, char** argv) {
                  (*loaded)->session.graph().NumEdges());
   }
 
-  nucleus::HttpServer server(&core, port);
-  if (nucleus::Status s = server.Start(); !s.ok()) {
-    std::fprintf(stderr, "start failed: %s\n", s.ToString().c_str());
-    return 1;
+  std::unique_ptr<nucleus::ReactorServer> reactor;
+  std::unique_ptr<nucleus::HttpServer> blocking;
+  int bound_port = 0;
+  if (use_reactor) {
+    reactor_config.port = port;
+    reactor = std::make_unique<nucleus::ReactorServer>(&core, reactor_config);
+    if (nucleus::Status s = reactor->Start(); !s.ok()) {
+      std::fprintf(stderr, "start failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    bound_port = reactor->port();
+  } else {
+    blocking = std::make_unique<nucleus::HttpServer>(&core, port);
+    if (nucleus::Status s = blocking->Start(); !s.ok()) {
+      std::fprintf(stderr, "start failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    bound_port = blocking->port();
   }
+  std::fprintf(stderr, "transport: %s\n", use_reactor ? "reactor" : "blocking");
   // Parsed by scripts driving the server (the CI smoke test binds port 0
   // and reads the chosen port from this line), so keep it stable.
-  std::printf("listening on 127.0.0.1:%d\n", server.port());
+  std::printf("listening on 127.0.0.1:%d\n", bound_port);
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
   g_shutdown.acquire();
   std::fprintf(stderr, "shutting down\n");
-  server.Stop();
+  if (reactor) reactor->Stop();
+  if (blocking) blocking->Stop();
   core.Shutdown();
   return 0;
 }
