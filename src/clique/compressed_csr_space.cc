@@ -1,0 +1,81 @@
+#include "src/clique/compressed_csr_space.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nucleus::internal {
+
+bool EncodeCompressedArena(CsrArena* arena, int arity,
+                           std::uint64_t budget_bytes,
+                           CompressedArena* out) {
+  const std::size_t n = arena->degrees.size();
+  const std::size_t group = static_cast<std::size_t>(arity);
+  const std::uint64_t fixed = CompressedArenaBytes(n, 0);
+  out->byte_offsets.assign(n + 1, 0);
+  out->bytes.clear();
+  // Sequential encode: every byte offset depends on the previous r-clique's
+  // encoded length, and the pass is a cheap linear scan next to the arena
+  // enumeration that produced the input.
+  std::vector<CliqueId> groups;      // r's co-member groups, sort scratch
+  std::vector<std::uint32_t> order;  // lexicographic group order
+  for (std::size_t r = 0; r < n; ++r) {
+    const std::uint64_t begin = arena->offsets[r];
+    const std::uint64_t end = arena->offsets[r + 1];
+    const std::size_t d = static_cast<std::size_t>((end - begin) / group);
+    if (d != 0) {
+      groups.assign(arena->co_members.begin() +
+                        static_cast<std::ptrdiff_t>(begin),
+                    arena->co_members.begin() +
+                        static_cast<std::ptrdiff_t>(end));
+      // Sort within each group (ascending deltas) and the groups
+      // lexicographically (non-negative head deltas). Group order is
+      // observation-free for every consumer: kappa is unique and the
+      // SND/AND updates are h-indices over the co-member multiset.
+      for (std::size_t g = 0; g < d; ++g) {
+        std::sort(groups.begin() + static_cast<std::ptrdiff_t>(g * group),
+                  groups.begin() +
+                      static_cast<std::ptrdiff_t>((g + 1) * group));
+      }
+      order.resize(d);
+      for (std::size_t g = 0; g < d; ++g) {
+        order[g] = static_cast<std::uint32_t>(g);
+      }
+      std::sort(order.begin(), order.end(),
+                [&](std::uint32_t a, std::uint32_t b) {
+                  return std::lexicographical_compare(
+                      groups.begin() + static_cast<std::ptrdiff_t>(a * group),
+                      groups.begin() +
+                          static_cast<std::ptrdiff_t>((a + 1) * group),
+                      groups.begin() + static_cast<std::ptrdiff_t>(b * group),
+                      groups.begin() +
+                          static_cast<std::ptrdiff_t>((b + 1) * group));
+                });
+      std::uint64_t prev_head = 0;
+      bool first = true;
+      for (std::uint32_t g : order) {
+        const CliqueId* members = groups.data() + g * group;
+        const std::uint64_t head = members[0];
+        assert(first || head >= prev_head);
+        AppendVarint(&out->bytes, first ? head : head - prev_head);
+        first = false;
+        prev_head = head;
+        std::uint64_t prev = head;
+        for (std::size_t k = 1; k < group; ++k) {
+          assert(members[k] > prev);
+          AppendVarint(&out->bytes, members[k] - prev);
+          prev = members[k];
+        }
+      }
+    }
+    out->byte_offsets[r + 1] = out->bytes.size();
+    if (fixed + out->bytes.size() > budget_bytes) {
+      out->byte_offsets.clear();
+      out->bytes.clear();
+      return false;
+    }
+  }
+  out->degrees = std::move(arena->degrees);
+  return true;
+}
+
+}  // namespace nucleus::internal

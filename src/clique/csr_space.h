@@ -33,10 +33,15 @@
 namespace nucleus {
 
 /// Materialization policy for the local engines (LocalOptions::materialize).
+/// kAuto is a degradation ladder: the uncompressed CSR arena when it fits
+/// the budget, else the delta-compressed arena
+/// (compressed_csr_space.h) when THAT fits, else on the fly.
 enum class Materialize {
-  kAuto,  // materialize when the arena fits the memory budget (default)
-  kOn,    // always materialize, ignoring the budget
-  kOff,   // always enumerate on the fly (the paper's Section 5 behavior)
+  kAuto,        // uncompressed -> compressed -> fly, budget-gated (default)
+  kOn,          // always materialize uncompressed, ignoring the budget
+  kOff,         // always enumerate on the fly (paper Section 5 behavior)
+  kCompressed,  // materialize the delta-compressed arena (budget-gated;
+                // degrades to on-the-fly when even that exceeds it)
 };
 
 /// Co-member arity of a space: every s-clique of an r-clique is reported as
@@ -433,15 +438,19 @@ struct MaterializeByDefault : std::true_type {};
 template <>
 struct MaterializeByDefault<CoreSpace> : std::false_type {};
 
-/// Resolves the engines' materialization decision for a space type.
+/// Resolves the engines' materialization decision for a space type. An
+/// explicit mode (kOn / kCompressed) always materializes; kAuto honors the
+/// per-space default.
 template <typename Space>
 bool WantMaterialize(Materialize mode) {
-  if (mode == Materialize::kOn) return true;
+  if (mode == Materialize::kOn || mode == Materialize::kCompressed) {
+    return true;
+  }
   if (mode == Materialize::kOff) return false;
   return MaterializeByDefault<Space>::value;
 }
 
-/// kOn ignores the budget; kAuto honors it.
+/// kOn ignores the budget; kAuto and kCompressed honor it.
 inline std::uint64_t EffectiveBudget(Materialize mode,
                                      std::uint64_t budget_bytes) {
   return mode == Materialize::kOn

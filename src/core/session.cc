@@ -301,6 +301,7 @@ StatusOr<DecomposeResult> NucleusSession::DecomposeWithSpace(
     MakeSpace&& make_space, double index_seconds, RunControl ctl) {
   const Space* base = nullptr;
   const CsrSpace<Space>* arena = nullptr;
+  const CompressedCsrSpace<Space>* compressed = nullptr;
   double arena_seconds = 0.0;
   std::vector<Degree> initial;
   {
@@ -324,33 +325,43 @@ StatusOr<DecomposeResult> NucleusSession::DecomposeWithSpace(
 
     // Materialization decision. The engines' per-space default is honored
     // (CoreSpace stays on the fly under kAuto; peeling materializes only
-    // under kOn), the budget gates kAuto, and a failed attempt's budget is
-    // remembered so hopeless builds are not retried every call (the memo
-    // is cleared by every mutating commit — the graph may have shrunk).
-    // An arena that is already cached is used regardless of policy — a
-    // contiguous scan is never worse than re-enumeration.
+    // under the explicit kOn / kCompressed modes), the budget gates kAuto
+    // and kCompressed, and a failed attempt's budget is remembered PER
+    // REPRESENTATION so hopeless builds are not retried every call while
+    // a budget retry after a degrade still picks the compressed rung (the
+    // memos are cleared by every mutating commit — the graph may have
+    // shrunk). An arena that is already cached is used regardless of
+    // policy — a contiguous scan is never worse than re-enumeration — and
+    // a cached UNCOMPRESSED arena also serves kCompressed requests.
+    //
+    // The kAuto ladder: uncompressed CSR arena -> delta-compressed arena
+    // -> on the fly, degrading on budget overrun. A deadline-bound
+    // request grants the whole materialization HALF the remaining time;
+    // if that share expires while the request is otherwise alive, the
+    // build is abandoned and the run degrades straight to the fly space —
+    // a slower sweep beats a failed request when the arena was merely an
+    // optimization.
     const bool policy_wants =
         options.method == Method::kPeeling
-            ? options.materialize == Materialize::kOn
+            ? (options.materialize == Materialize::kOn ||
+               options.materialize == Materialize::kCompressed)
             : internal::WantMaterialize<Space>(options.materialize);
-    if (!cell->arena && policy_wants &&
+    if (!cell->arena && !cell->compressed && policy_wants &&
         options.materialize != Materialize::kOff) {
       const std::uint64_t budget = internal::EffectiveBudget(
           options.materialize, options.materialize_budget_bytes);
-      if (budget > cell->failed_budget) {
+      RunControl build_ctl = ctl;
+      const bool has_deadline =
+          ctl.CanStop() && !ctl.deadline().IsInfinite();
+      if (has_deadline) {
+        build_ctl = ctl.WithDeadline(Deadline::After(
+            std::max<std::int64_t>(1, ctl.deadline().RemainingMs() / 2)));
+      }
+      bool deadline_degraded = false;
+      const bool want_uncompressed =
+          options.materialize != Materialize::kCompressed;
+      if (want_uncompressed && budget > cell->failed_budget) {
         NUCLEUS_FAULT_POINT("arena_build");
-        // Degradation ladder: a deadline-bound request grants the arena
-        // build HALF the remaining time. If that share expires while the
-        // request is otherwise alive, the build is abandoned and the run
-        // degrades to the on-the-fly space — a slower sweep beats a
-        // failed request when the arena was merely an optimization.
-        RunControl build_ctl = ctl;
-        const bool has_deadline =
-            ctl.CanStop() && !ctl.deadline().IsInfinite();
-        if (has_deadline) {
-          build_ctl = ctl.WithDeadline(Deadline::After(
-              std::max<std::int64_t>(1, ctl.deadline().RemainingMs() / 2)));
-        }
         Timer t;
         std::vector<Degree> degrees;
         auto built = CsrSpace<Space>::TryBuild(
@@ -369,21 +380,51 @@ StatusOr<DecomposeResult> NucleusSession::DecomposeWithSpace(
           return ctl.StopStatus();
         } else if (build_ctl.CanStop() && build_ctl.ShouldStop()) {
           // Only the build's deadline share expired: degrade to the fly
-          // space. Same rule: nothing partial is memoized.
+          // space (no second build attempt — the share is spent). Same
+          // rule: nothing partial is memoized.
+          deadline_degraded = true;
           BumpStat(&SessionStats::degraded_builds);
         } else {
           // Over budget (the degrees contract holds): keep the counting
           // pass's d_s so the fly fallback (this call and every later
-          // one) never re-counts.
+          // one) never re-counts, and fall through to the compressed rung.
           cell->failed_budget = budget;
           cell->fly_degrees = std::move(degrees);
         }
       }
+      if (!cell->arena && !deadline_degraded &&
+          budget > cell->failed_budget_compressed) {
+        NUCLEUS_FAULT_POINT("compressed_arena_build");
+        Timer t;
+        std::vector<Degree> degrees;
+        auto built = CompressedCsrSpace<Space>::TryBuild(
+            *base, std::max(options.threads, 1), budget, &degrees,
+            build_ctl);
+        if (built.has_value()) {
+          arena_seconds += t.Seconds();
+          cell->compressed = std::move(built);
+          cell->failed_budget_compressed = 0;
+          BumpStat(arena_counter);
+          BumpStat(&SessionStats::compressed_builds);
+        } else if (ctl.CanStop() && ctl.ShouldStop()) {
+          return ctl.StopStatus();
+        } else if (build_ctl.CanStop() && build_ctl.ShouldStop()) {
+          BumpStat(&SessionStats::degraded_builds);
+        } else {
+          // Even the compressed form exceeds the budget: last rung is the
+          // fly space.
+          cell->failed_budget_compressed = budget;
+          if (cell->fly_degrees.empty()) {
+            cell->fly_degrees = std::move(degrees);
+          }
+        }
+      }
     }
-    const bool use_arena =
-        cell->arena.has_value() && options.materialize != Materialize::kOff;
-    if (use_arena) {
+    const bool mode_off = options.materialize == Materialize::kOff;
+    if (!mode_off && cell->arena) {
       arena = &*cell->arena;
+    } else if (!mode_off && cell->compressed) {
+      compressed = &*cell->compressed;
     } else {
       if (cell->fly_degrees.empty()) {
         cell->fly_degrees =
@@ -398,8 +439,11 @@ StatusOr<DecomposeResult> NucleusSession::DecomposeWithSpace(
   // unrelated kinds — proceed; commits wait for the shared lock to drain.
   const DecomposeOptions run_options = WithRemainingControl(options, ctl);
   StatusOr<DecomposeResult> out =
-      arena != nullptr ? RunEngine(*arena, run_options, {})
-                       : RunEngine(*base, run_options, std::move(initial));
+      arena != nullptr
+          ? RunEngine(*arena, run_options, {})
+          : compressed != nullptr
+                ? RunEngine(*compressed, run_options, {})
+                : RunEngine(*base, run_options, std::move(initial));
   if (!out.ok()) return out.status();
   out->index_seconds = index_seconds;
   out->arena_seconds = arena_seconds;
@@ -913,6 +957,19 @@ Status NucleusSession::PropagateDelta(const EdgeDelta& delta,
 
   // Stage 5: patch or drop the arena cells. Space objects are re-seated
   // in place (assignment keeps their address, which the arena pins).
+  // Compressed arenas are IMMUTABLE (a varint byte stream has no slack for
+  // sentinels), so they are dropped here and rebuilt lazily by the next
+  // decompose of the kind; only uncompressed arenas are patched in place.
+  const auto drop_compressed = [&](auto& cell) {
+    if (cell.compressed.has_value()) {
+      cell.compressed.reset();
+      BumpStat(&SessionStats::compressed_drops);
+    }
+    cell.failed_budget_compressed = 0;
+  };
+  drop_compressed(core_);
+  drop_compressed(truss_);
+  drop_compressed(nucleus34_);
   const auto members_of = [](const auto& id_arrays) {
     std::vector<std::vector<CliqueId>> out;
     out.reserve(id_arrays.size());
@@ -1201,14 +1258,23 @@ SessionStateStats NucleusSession::Stats() const {
   {
     std::lock_guard<std::mutex> alk(core_.mu);
     if (core_.arena) s.arena_bytes[0] = core_.arena->MemoryBytes();
+    if (core_.compressed) {
+      s.arena_compressed_bytes[0] = core_.compressed->MemoryBytes();
+    }
   }
   {
     std::lock_guard<std::mutex> alk(truss_.mu);
     if (truss_.arena) s.arena_bytes[1] = truss_.arena->MemoryBytes();
+    if (truss_.compressed) {
+      s.arena_compressed_bytes[1] = truss_.compressed->MemoryBytes();
+    }
   }
   {
     std::lock_guard<std::mutex> alk(nucleus34_.mu);
     if (nucleus34_.arena) s.arena_bytes[2] = nucleus34_.arena->MemoryBytes();
+    if (nucleus34_.compressed) {
+      s.arena_compressed_bytes[2] = nucleus34_.compressed->MemoryBytes();
+    }
   }
   for (int k = 0; k < 3; ++k) {
     std::lock_guard<std::mutex> clk(results_[k].mu);

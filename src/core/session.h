@@ -75,6 +75,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/clique/compressed_csr_space.h"
 #include "src/clique/csr_space.h"
 #include "src/clique/delta.h"
 #include "src/clique/edge_index.h"
@@ -214,6 +215,15 @@ struct SessionStats {
   /// share expired while the overall request was still alive fell back to
   /// the on-the-fly space instead of failing the request.
   int degraded_builds = 0;
+  /// Arena builds that produced the delta-compressed representation
+  /// (compressed_csr_space.h) — the explicit kCompressed mode, or kAuto
+  /// degrading there after the uncompressed arena exceeded the budget.
+  /// Also counted in the per-kind *_arena_builds.
+  int compressed_builds = 0;
+  /// Mutating commits that dropped an immutable compressed arena (it
+  /// cannot be patched in place); the next decompose of that kind rebuilds
+  /// it lazily.
+  int compressed_drops = 0;
 };
 
 /// Read-only snapshot of the session's observable state: the monotone
@@ -238,17 +248,25 @@ struct SessionStateStats {
   /// Per-kind cache occupancy, indexed by DecompositionKind.
   bool kappa_cached[3] = {false, false, false};
   bool hierarchy_cached[3] = {false, false, false};
-  /// Resident bytes of the materialized CSR co-member arenas, per kind.
+  /// Resident bytes of the materialized co-member arenas, per kind, split
+  /// by representation: arena_bytes is the uncompressed CSR arena,
+  /// arena_compressed_bytes the delta-compressed byte arena (a kind holds
+  /// at most one of the two).
   std::uint64_t arena_bytes[3] = {0, 0, 0};
+  std::uint64_t arena_compressed_bytes[3] = {0, 0, 0};
   /// Estimated bytes of the graph's CSR arrays.
   std::uint64_t graph_bytes = 0;
   /// Estimated bytes of the edge/triangle/edge-triangle indices.
   std::uint64_t index_bytes = 0;
 
-  /// Everything the session pins, the registry's eviction currency.
+  /// Everything the session pins, the registry's eviction currency —
+  /// compressed arenas priced at their real (compressed) footprint.
   std::uint64_t TotalBytes() const {
-    return graph_bytes + index_bytes + arena_bytes[0] + arena_bytes[1] +
-           arena_bytes[2];
+    std::uint64_t total = graph_bytes + index_bytes;
+    for (int k = 0; k < 3; ++k) {
+      total += arena_bytes[k] + arena_compressed_bytes[k];
+    }
+    return total;
   }
 };
 
@@ -478,7 +496,18 @@ class NucleusSession {
     mutable std::mutex mu;  // Stats() peeks the arena from const context
     std::unique_ptr<Space> space;
     std::optional<CsrSpace<Space>> arena;
+    // The delta-compressed alternative (at most one representation is
+    // held: the uncompressed arena wins when both could exist). Immutable:
+    // commits drop it (SessionStats::compressed_drops) and the next
+    // decompose rebuilds lazily, unlike `arena`, which is patched.
+    std::optional<CompressedCsrSpace<Space>> compressed;
+    // Largest budgets a build attempt failed under, per representation,
+    // so hopeless builds are not retried every call (cleared on every
+    // mutating commit — the graph may have shrunk). Separate memos keep a
+    // failed UNCOMPRESSED attempt from blocking the compressed rung: a
+    // budget retry after a degrade picks compressed, not on-the-fly.
     std::uint64_t failed_budget = 0;
+    std::uint64_t failed_budget_compressed = 0;
     // Cached initial S-degrees (d_s) for on-the-fly engine runs — the
     // by-product of a failed budgeted arena build, or counted once on the
     // first fly run — so the counting enumeration is never repeated.
@@ -486,8 +515,10 @@ class NucleusSession {
 
     void Reset() {
       arena.reset();  // holds a pointer into *space: drop first
+      compressed.reset();
       space.reset();
       failed_budget = 0;
+      failed_budget_compressed = 0;
       fly_degrees.clear();
     }
   };

@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/clique/compressed_csr_space.h"
 #include "src/common/h_index.h"
 #include "src/common/rng.h"
 #include "src/common/status.h"
@@ -180,18 +181,34 @@ LocalResult AndGeneric(const Space& space, const AndOptions& options) {
   const RunControl ctl = local.MakeControl();
   if constexpr (!internal::IsCsrSpace<Space>::value) {
     if (internal::WantMaterialize<Space>(local.materialize)) {
+      const std::uint64_t budget = internal::EffectiveBudget(
+          local.materialize, local.materialize_budget_bytes);
       std::vector<Degree> degrees;
-      if (auto csr = CsrSpace<Space>::TryBuild(
-              space, local.threads,
-              internal::EffectiveBudget(local.materialize,
-                                        local.materialize_budget_bytes),
-              &degrees, ctl)) {
-        return internal::AndSweeps(*csr, options, csr->InitialDegrees(), ctl);
+      if (local.materialize != Materialize::kCompressed) {
+        if (auto csr = CsrSpace<Space>::TryBuild(space, local.threads,
+                                                 budget, &degrees, ctl)) {
+          return internal::AndSweeps(*csr, options, csr->InitialDegrees(),
+                                     ctl);
+        }
+        if (ctl.CanStop() && ctl.ShouldStop()) {
+          LocalResult stopped;
+          stopped.status = ctl.StopStatus();
+          return stopped;
+        }
       }
-      if (ctl.CanStop() && ctl.ShouldStop()) {
-        LocalResult stopped;
-        stopped.status = ctl.StopStatus();
-        return stopped;
+      // Compressed rung: the explicit kCompressed mode, or kAuto degrading
+      // after the uncompressed arena exceeded the budget.
+      if (local.materialize != Materialize::kOn) {
+        if (auto packed = CompressedCsrSpace<Space>::TryBuild(
+                space, local.threads, budget, &degrees, ctl)) {
+          return internal::AndSweeps(*packed, options,
+                                     packed->InitialDegrees(), ctl);
+        }
+        if (ctl.CanStop() && ctl.ShouldStop()) {
+          LocalResult stopped;
+          stopped.status = ctl.StopStatus();
+          return stopped;
+        }
       }
       // Over budget: the counting attempt already produced tau_0.
       return internal::AndSweeps(space, options, std::move(degrees), ctl);

@@ -29,13 +29,19 @@ struct Options {
   int max_iterations = 0;
   /// Loop scheduling; the paper argues for dynamic (Section 4.4).
   Schedule schedule = Schedule::kDynamic;
-  /// Materialize s-clique co-member lists into a flat CSR arena before
-  /// iterating (csr_space.h), turning every sweep into a contiguous scan.
-  /// kAuto materializes when the arena fits materialize_budget_bytes
-  /// (except for CoreSpace, whose on-the-fly scan is already contiguous);
-  /// kOff reproduces the paper's pure on-the-fly Section 5 behavior.
+  /// Materialize s-clique co-member lists into a flat arena before
+  /// iterating, turning every sweep into a contiguous scan. kAuto walks a
+  /// degradation ladder against materialize_budget_bytes: the uncompressed
+  /// CSR arena (csr_space.h) when it fits, else the delta+varint
+  /// compressed arena (compressed_csr_space.h, typically several x
+  /// smaller at a small decode cost), else on the fly (except for
+  /// CoreSpace, whose on-the-fly scan is already contiguous and never
+  /// materializes under kAuto). kCompressed asks for the compressed rung
+  /// directly (still budget-gated, degrading to the fly space); kOff
+  /// reproduces the paper's pure on-the-fly Section 5 behavior.
   Materialize materialize = Materialize::kAuto;
-  /// Memory budget for kAuto; arenas estimated above this stay on the fly.
+  /// Memory budget for kAuto/kCompressed; arenas estimated above this
+  /// degrade down the ladder.
   std::uint64_t materialize_budget_bytes = std::uint64_t{512} << 20;
   /// Optional instrumentation sink.
   ConvergenceTrace* trace = nullptr;

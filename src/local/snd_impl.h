@@ -8,6 +8,7 @@
 #include <atomic>
 #include <utility>
 
+#include "src/clique/compressed_csr_space.h"
 #include "src/common/h_index.h"
 #include "src/local/snd.h"
 
@@ -98,18 +99,34 @@ LocalResult SndGeneric(const Space& space, const LocalOptions& options) {
   const RunControl ctl = options.MakeControl();
   if constexpr (!internal::IsCsrSpace<Space>::value) {
     if (internal::WantMaterialize<Space>(options.materialize)) {
+      const std::uint64_t budget = internal::EffectiveBudget(
+          options.materialize, options.materialize_budget_bytes);
       std::vector<Degree> degrees;
-      if (auto csr = CsrSpace<Space>::TryBuild(
-              space, options.threads,
-              internal::EffectiveBudget(options.materialize,
-                                        options.materialize_budget_bytes),
-              &degrees, ctl)) {
-        return internal::SndSweeps(*csr, options, csr->InitialDegrees(), ctl);
+      if (options.materialize != Materialize::kCompressed) {
+        if (auto csr = CsrSpace<Space>::TryBuild(space, options.threads,
+                                                 budget, &degrees, ctl)) {
+          return internal::SndSweeps(*csr, options, csr->InitialDegrees(),
+                                     ctl);
+        }
+        if (ctl.CanStop() && ctl.ShouldStop()) {
+          LocalResult stopped;
+          stopped.status = ctl.StopStatus();
+          return stopped;
+        }
       }
-      if (ctl.CanStop() && ctl.ShouldStop()) {
-        LocalResult stopped;
-        stopped.status = ctl.StopStatus();
-        return stopped;
+      // Compressed rung: the explicit kCompressed mode, or kAuto degrading
+      // after the uncompressed arena exceeded the budget.
+      if (options.materialize != Materialize::kOn) {
+        if (auto packed = CompressedCsrSpace<Space>::TryBuild(
+                space, options.threads, budget, &degrees, ctl)) {
+          return internal::SndSweeps(*packed, options,
+                                     packed->InitialDegrees(), ctl);
+        }
+        if (ctl.CanStop() && ctl.ShouldStop()) {
+          LocalResult stopped;
+          stopped.status = ctl.StopStatus();
+          return stopped;
+        }
       }
       // Over budget: the counting attempt already produced tau_0.
       return internal::SndSweeps(space, options, std::move(degrees), ctl);

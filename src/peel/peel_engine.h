@@ -44,6 +44,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/clique/compressed_csr_space.h"
 #include "src/clique/csr_space.h"
 #include "src/clique/spaces.h"
 #include "src/common/atomic_frontier.h"
@@ -406,19 +407,34 @@ PeelResult PeelDecomposition(const Space& space,
   const RunControl ctl = options.MakeControl();
   if constexpr (!internal::IsCsrSpace<Space>::value) {
     if (internal::WantMaterialize<Space>(options.materialize)) {
+      const std::uint64_t budget = internal::EffectiveBudget(
+          options.materialize, options.materialize_budget_bytes);
       std::vector<Degree> degrees;
-      if (auto csr = CsrSpace<Space>::TryBuild(
-              space, options.threads,
-              internal::EffectiveBudget(options.materialize,
-                                        options.materialize_budget_bytes),
-              &degrees, ctl)) {
-        return internal::PeelDispatch(*csr, options, csr->InitialDegrees(),
-                                      ctl);
+      if (options.materialize != Materialize::kCompressed) {
+        if (auto csr = CsrSpace<Space>::TryBuild(space, options.threads,
+                                                 budget, &degrees, ctl)) {
+          return internal::PeelDispatch(*csr, options, csr->InitialDegrees(),
+                                        ctl);
+        }
+        if (ctl.CanStop() && ctl.ShouldStop()) {
+          PeelResult stopped;
+          stopped.status = ctl.StopStatus();
+          return stopped;
+        }
       }
-      if (ctl.CanStop() && ctl.ShouldStop()) {
-        PeelResult stopped;
-        stopped.status = ctl.StopStatus();
-        return stopped;
+      // Compressed rung: the explicit kCompressed mode, or kAuto degrading
+      // after the uncompressed arena exceeded the budget.
+      if (options.materialize != Materialize::kOn) {
+        if (auto packed = CompressedCsrSpace<Space>::TryBuild(
+                space, options.threads, budget, &degrees, ctl)) {
+          return internal::PeelDispatch(*packed, options,
+                                        packed->InitialDegrees(), ctl);
+        }
+        if (ctl.CanStop() && ctl.ShouldStop()) {
+          PeelResult stopped;
+          stopped.status = ctl.StopStatus();
+          return stopped;
+        }
       }
       // Over budget: the counting attempt already produced the degrees.
       return internal::PeelDispatch(space, options, std::move(degrees), ctl);

@@ -106,6 +106,15 @@ StatusOr<Method> ParseMethodName(const std::string& s) {
                                  "' (want and | snd | peel)");
 }
 
+StatusOr<Materialize> ParseMaterializeName(const std::string& s) {
+  if (s == "auto") return Materialize::kAuto;
+  if (s == "on") return Materialize::kOn;
+  if (s == "off") return Materialize::kOff;
+  if (s == "compressed") return Materialize::kCompressed;
+  return Status::InvalidArgument(
+      "unknown materialize '" + s + "' (want auto | on | off | compressed)");
+}
+
 // The canonical spelling, used both in coalescing keys and in response
 // bodies, so aliases ("peeling") coalesce with — and answer identically
 // to — the canonical form ("peel").
@@ -176,6 +185,9 @@ void WriteSessionStats(JsonWriter& w, const SessionStateStats& s) {
   w.Key("arena_bytes").BeginObject();
   for (int k = 0; k < 3; ++k) w.Key(kKinds[k]).UInt(s.arena_bytes[k]);
   w.EndObject();
+  w.Key("arena_compressed_bytes").BeginObject();
+  for (int k = 0; k < 3; ++k) w.Key(kKinds[k]).UInt(s.arena_compressed_bytes[k]);
+  w.EndObject();
   const SessionStats& c = s.counters;
   w.Key("counters").BeginObject();
   w.Key("decompose_calls").Int(c.decompose_calls);
@@ -195,6 +207,8 @@ void WriteSessionStats(JsonWriter& w, const SessionStateStats& s) {
   w.Key("truss_kappa_seeds").Int(c.truss_kappa_seeds);
   w.Key("nucleus34_kappa_seeds").Int(c.nucleus34_kappa_seeds);
   w.Key("degraded_builds").Int(c.degraded_builds);
+  w.Key("compressed_builds").Int(c.compressed_builds);
+  w.Key("compressed_drops").Int(c.compressed_drops);
   w.EndObject();
 }
 
@@ -712,12 +726,17 @@ ServerResponse ServerCore::HandleDecompose(const JsonValue& body,
   if (!include_kappa.ok()) return ErrorResponse(include_kappa.status());
   auto no_cache = body.GetBool("no_cache", false);
   if (!no_cache.ok()) return ErrorResponse(no_cache.status());
+  auto materialize_name = body.GetString("materialize", config_.default_materialize);
+  if (!materialize_name.ok()) return ErrorResponse(materialize_name.status());
+  auto materialize = ParseMaterializeName(*materialize_name);
+  if (!materialize.ok()) return ErrorResponse(materialize.status());
 
   DecomposeOptions options;
   options.method = *method;
   options.threads = static_cast<int>(std::max<std::int64_t>(1, *threads));
   options.max_iterations =
       static_cast<int>(std::max<std::int64_t>(0, *max_iterations));
+  options.materialize = *materialize;
   options.materialize_budget_bytes = entry->arena_budget_bytes;
   options.use_result_cache = !*no_cache;
   ApplyControl(ctl, &options);
@@ -773,8 +792,9 @@ ServerResponse ServerCore::HandleDecompose(const JsonValue& body,
   if (*no_cache) return run();  // forced fresh runs never share a flight
   // The key is the canonical option tuple: method aliases collapse to one
   // spelling, defaulted fields equal their explicit forms (the key is
-  // built from parsed values), and the thread count is excluded — it
-  // cannot change the result, only how fast the leader produces it.
+  // built from parsed values), and the thread count and materialize mode
+  // are excluded — neither can change the result (kappa is identical
+  // across representations), only how fast the leader produces it.
   const std::string key = "d|" + entry->name + "|" + KindName(kind) + "|" +
                           canonical_method + "|" +
                           std::to_string(options.max_iterations) +
@@ -847,9 +867,14 @@ ServerResponse ServerCore::HandleHierarchy(const JsonValue& body,
   const DecompositionKind kind = target->kind;
   auto threads = body.GetInt("threads", 1);
   if (!threads.ok()) return ErrorResponse(threads.status());
+  auto materialize_name = body.GetString("materialize", config_.default_materialize);
+  if (!materialize_name.ok()) return ErrorResponse(materialize_name.status());
+  auto materialize = ParseMaterializeName(*materialize_name);
+  if (!materialize.ok()) return ErrorResponse(materialize.status());
 
   DecomposeOptions options;
   options.threads = static_cast<int>(std::max<std::int64_t>(1, *threads));
+  options.materialize = *materialize;
   options.materialize_budget_bytes = entry->arena_budget_bytes;
   ApplyControl(ctl, &options);
 

@@ -87,6 +87,11 @@ struct ServerConfig {
   std::uint64_t default_arena_budget_bytes = std::uint64_t{512} << 20;
   /// Deadline applied to requests whose body names none; 0 = unbounded.
   std::int64_t default_deadline_ms = 0;
+  /// Materialization mode for decompose/hierarchy requests whose body
+  /// names none: auto | on | off | compressed (see Options::materialize).
+  /// Kept as the spelled-out name so a request body overrides it through
+  /// the same parser; validated when a request uses it.
+  std::string default_materialize = "auto";
   /// Admission-class scheduling (see ClassPolicy). Reads dominate the
   /// dequeue share so warm queries keep flowing while builds churn.
   ClassPolicy class_read{/*weight=*/8, /*max_concurrency=*/0};

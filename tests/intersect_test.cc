@@ -92,6 +92,124 @@ TEST(Intersect, ThreeWayMatchesReferenceAcrossSkews) {
   }
 }
 
+std::vector<VertexId> CollectLinear(std::span<const VertexId> a,
+                                    std::span<const VertexId> b) {
+  std::vector<VertexId> out;
+  internal::ForEachCommonLinear(a, b, [&](VertexId x) { out.push_back(x); });
+  return out;
+}
+
+// The auto-dispatched intersection (SIMD block merge on x86-64 builds,
+// scalar everywhere else) must match the scalar linear merge element for
+// element across adversarial lengths: the kSimdMinLen dispatch threshold,
+// the 4/8-wide block boundaries, the kSimdBufLen buffer-full repeat path,
+// and both kernels' sub-block tails.
+TEST(Intersect, SimdDispatchMatchesLinearAcrossAdversarialLengths) {
+  Rng rng(1234);
+  const std::size_t lengths[] = {4,  7,  8,  9,  12, 15, 16,  17,
+                                 24, 31, 32, 33, 63, 64, 65, 100, 257};
+  for (const std::size_t na : lengths) {
+    for (const std::size_t nb : lengths) {
+      // Stay under the galloping threshold so the comparable-size path
+      // (the one with the SIMD kernels) is the one dispatched.
+      if (na >= internal::kGallopRatio * nb ||
+          nb >= internal::kGallopRatio * na) {
+        continue;
+      }
+      // Tight universe => dense overlap, wide => sparse.
+      for (const VertexId universe :
+           {static_cast<VertexId>(na + nb),
+            static_cast<VertexId>(8 * (na + nb))}) {
+        const auto a = SortedSample(&rng, na, universe + 1);
+        const auto b = SortedSample(&rng, nb, universe + 1);
+        const auto want = CollectLinear(a, b);
+        EXPECT_EQ(want, Reference2(a, b));
+        EXPECT_EQ(Collect2(a, b), want) << na << " x " << nb;
+        EXPECT_EQ(Collect2(b, a), want) << nb << " x " << na;
+      }
+    }
+  }
+}
+
+TEST(Intersect, SimdDispatchHandlesFullAndZeroOverlap) {
+  // Identical ranges: every block is all-matches, so the 64-slot match
+  // buffer fills repeatedly (the "call the kernel again" path).
+  std::vector<VertexId> dense;
+  for (VertexId v = 0; v < 512; ++v) dense.push_back(3 * v);
+  EXPECT_EQ(Collect2(dense, dense), dense);
+  // Interleaved odd/even: blocks full of near-misses, zero matches.
+  std::vector<VertexId> odd, even;
+  for (VertexId v = 0; v < 256; ++v) {
+    even.push_back(2 * v);
+    odd.push_back(2 * v + 1);
+  }
+  EXPECT_TRUE(Collect2(odd, even).empty());
+  // One shifted overlap region at the end.
+  std::vector<VertexId> hi(dense.begin() + 400, dense.end());
+  EXPECT_EQ(Collect2(dense, hi), hi);
+}
+
+TEST(Intersect, ThreeWaySimdPathMatchesReference) {
+  Rng rng(4321);
+  // All three comparable and >= kSimdMinLen: the block-merge prefilter
+  // path. Include a case where c is densely consumed (early-exhaustion
+  // return) and one with total overlap.
+  for (const auto& [na, nb, nc] :
+       std::vector<std::array<std::size_t, 3>>{
+           {8, 8, 8}, {16, 20, 24}, {33, 40, 47}, {64, 64, 64},
+           {100, 90, 80}, {257, 200, 150}}) {
+    const auto a = SortedSample(&rng, na, 400);
+    const auto b = SortedSample(&rng, nb, 400);
+    const auto c = SortedSample(&rng, nc, 400);
+    const auto want = Reference2(Reference2(a, b), c);
+    std::vector<VertexId> got;
+    ForEachCommon3(a, b, c, [&](VertexId x) { got.push_back(x); });
+    EXPECT_EQ(got, want) << na << "/" << nb << "/" << nc;
+  }
+  std::vector<VertexId> run;
+  for (VertexId v = 0; v < 128; ++v) run.push_back(v);
+  std::vector<VertexId> got;
+  ForEachCommon3(run, run, run, [&](VertexId x) { got.push_back(x); });
+  EXPECT_EQ(got, run);
+}
+
+#if defined(NUCLEUS_SIMD_X86)
+// Drive the width-4 and width-8 kernels directly (not through dispatch) so
+// an AVX2 machine still exercises the SSE2 kernel, and vice versa the
+// dispatcher's choice is pinned against the scalar reference.
+TEST(Intersect, SimdKernelsAgreeWithEachOtherAndScalar) {
+  Rng rng(555);
+  for (int round = 0; round < 50; ++round) {
+    const auto a = SortedSample(
+        &rng, static_cast<std::size_t>(rng.UniformInt(8, 200)), 300);
+    const auto b = SortedSample(
+        &rng, static_cast<std::size_t>(rng.UniformInt(8, 200)), 300);
+    const auto want = CollectLinear(a, b);
+    auto drain = [&](auto&& kernel) {
+      std::vector<VertexId> out;
+      VertexId buf[internal::kSimdBufLen];
+      std::size_t i = 0, j = 0;
+      for (;;) {
+        const std::size_t count =
+            kernel(a.data(), a.size(), b.data(), b.size(), &i, &j, buf,
+                   internal::kSimdBufLen);
+        out.insert(out.end(), buf, buf + count);
+        if (count + internal::kSimdMaxWidth <= internal::kSimdBufLen) break;
+      }
+      internal::ForEachCommonLinear(
+          std::span<const VertexId>(a).subspan(i),
+          std::span<const VertexId>(b).subspan(j),
+          [&](VertexId x) { out.push_back(x); });
+      return out;
+    };
+    EXPECT_EQ(drain(internal::SimdIntersectStepSse), want) << round;
+    if (internal::CpuHasAvx2()) {
+      EXPECT_EQ(drain(internal::SimdIntersectStepAvx2), want) << round;
+    }
+  }
+}
+#endif  // NUCLEUS_SIMD_X86
+
 TEST(Intersect, GallopLowerBoundBrackets) {
   const std::vector<VertexId> a = {2, 4, 6, 8, 10, 12, 14};
   EXPECT_EQ(internal::GallopLowerBound(a, 0, 1), 0u);

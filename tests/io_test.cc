@@ -100,7 +100,7 @@ TEST(GraphIo, LoadRejectsDigitsWithSuffix) {
 
 TEST(GraphIo, LoadRejectsVertexIdAtOrAbove2To31) {
   const std::string path = TempPath("huge_id.txt");
-  for (const std::string id :
+  for (const std::string& id :
        {std::string("2147483648"),                  // 2^31 exactly
         std::string("99999999999999999999999")}) {  // overflows uint64 too
     {

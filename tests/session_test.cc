@@ -713,20 +713,22 @@ TEST(Session, FailedBudgetMemoClearedByCommit) {
   opt.method = Method::kAnd;
   opt.materialize = Materialize::kAuto;
   opt.use_result_cache = false;
-  // Budget below the current arena need but above the post-shrink need:
-  // measure the current need first via an unbudgeted probe session.
+  // Budget below even the COMPRESSED arena need (so the whole ladder
+  // degrades to the fly space) but above the post-shrink need: measure
+  // the current needs first via unbudgeted probes.
   const Graph& cur = session.graph();
-  std::uint64_t full_bytes = 0;
+  std::uint64_t compressed_bytes = 0;
   {
     const EdgeIndex edges(cur);
     const TrussSpace space(cur, edges);
-    full_bytes = CsrSpace<TrussSpace>(space).MemoryBytes();
+    compressed_bytes = CompressedCsrSpace<TrussSpace>(space).MemoryBytes();
   }
-  opt.materialize_budget_bytes = full_bytes - 1;
+  opt.materialize_budget_bytes = compressed_bytes - 1;
   const auto r = session.Decompose(DecompositionKind::kTruss, opt);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(session.stats().truss_arena_builds, 0);
-  // Same budget, no mutation: the memo suppresses a retry.
+  // Same budget, no mutation: the memos suppress retries of both
+  // representations.
   const auto r2 = session.Decompose(DecompositionKind::kTruss, opt);
   ASSERT_TRUE(r2.ok());
   EXPECT_EQ(session.stats().truss_arena_builds, 0);

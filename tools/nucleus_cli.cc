@@ -7,7 +7,7 @@
 //   nucleus_cli decompose --input g.txt [--kind core|truss|nucleus34]
 //               [--method peel|snd|and] [--threads N] [--max-iters N]
 //               [--peel auto|sequential|parallel]
-//               [--materialize auto|on|off] [--materialize-budget-mb N]
+//               [--materialize auto|on|off|compressed] [--materialize-budget-mb N]
 //               [--repeat N] [--no-cache] [--output kappa.tsv]
 //   nucleus_cli hierarchy --input g.txt [--kind ...] [--threads N]
 //               [--peel auto|sequential|parallel] [--dot out.dot]
@@ -108,8 +108,9 @@ StatusOr<Materialize> ParseMaterialize(const std::string& s) {
   if (s == "auto") return Materialize::kAuto;
   if (s == "on") return Materialize::kOn;
   if (s == "off") return Materialize::kOff;
+  if (s == "compressed") return Materialize::kCompressed;
   return Status::InvalidArgument("unknown --materialize: " + s +
-                                 " (expected auto|on|off)");
+                                 " (expected auto|on|off|compressed)");
 }
 
 // Prints the status and returns the CLI exit code for a failed request.
@@ -515,7 +516,7 @@ int Usage() {
                "peel|snd|and  --threads N  --max-iters N\n"
                "             --peel auto|sequential|parallel (strategy "
                "for --method peel; auto = parallel when --threads > 1)\n"
-               "             --materialize auto|on|off  "
+               "             --materialize auto|on|off|compressed  "
                "--materialize-budget-mb N  --output FILE\n"
                "             --repeat N (serve N requests from one "
                "session)  --no-cache\n"

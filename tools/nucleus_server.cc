@@ -36,6 +36,7 @@ void HandleSignal(int) { g_shutdown.release(); }
       "usage: %s [--port N] [--preload name=path ...] [--workers N]\n"
       "          [--queue-depth N] [--memory-budget-mb N]\n"
       "          [--arena-budget-mb N] [--default-deadline-ms N]\n"
+      "          [--materialize auto|on|off|compressed]\n"
       "          [--transport reactor|blocking] [--loops N]\n"
       "          [--max-connections N] [--idle-timeout-ms N]\n"
       "          [--read-deadline-ms N] [--no-inline-reads]\n"
@@ -53,6 +54,10 @@ void HandleSignal(int) { g_shutdown.release(); }
       "  --arena-budget-mb N    per-graph arena budget (default 512)\n"
       "  --default-deadline-ms N  deadline for requests naming none\n"
       "                         (default 0 = unbounded)\n"
+      "  --materialize M        arena mode for requests naming none:\n"
+      "                         auto (budget ladder: csr, then compressed,\n"
+      "                         then on the fly), on, off, or compressed\n"
+      "                         (default auto)\n"
       "  --transport T          reactor (epoll event loops; default) or\n"
       "                         blocking (thread per connection)\n"
       "  --loops N              reactor event-loop threads (default 2)\n"
@@ -160,6 +165,16 @@ int main(int argc, char** argv) {
     } else if (arg == "--default-deadline-ms") {
       config.default_deadline_ms =
           ParseInt(argv[0], "--default-deadline-ms", next());
+    } else if (arg == "--materialize") {
+      const std::string mode = next();
+      if (mode != "auto" && mode != "on" && mode != "off" &&
+          mode != "compressed") {
+        std::fprintf(stderr,
+                     "%s: --materialize wants auto|on|off|compressed, got %s\n",
+                     argv[0], mode.c_str());
+        Usage(argv[0]);
+      }
+      config.default_materialize = mode;
     } else if (arg == "--transport") {
       const std::string transport = next();
       if (transport == "reactor") {
